@@ -1,0 +1,110 @@
+//! Microbenchmarks of the configuration-analysis layer: classification is
+//! executed by every robot on every activation, so its cost dominates the
+//! COMPUTE phase of the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_config::{
+    classify, detect_quasi_regularity, quasi_regular_with_center, rotational_symmetry,
+    string_of_angles, view_of, Class, Configuration,
+};
+use gather_geom::{Point, Tol};
+use gather_workloads as workloads;
+use std::hint::black_box;
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    for class in [
+        Class::Multiple,
+        Class::Collinear1W,
+        Class::Collinear2W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ] {
+        for n in [8usize, 16, 32] {
+            let config = Configuration::canonical(workloads::of_class(class, n, 3), tol());
+            group.bench_with_input(
+                BenchmarkId::new(class.short_name(), n),
+                &config,
+                |b, config| {
+                    b.iter(|| classify(black_box(config), tol()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_of");
+    for n in [8usize, 32, 128] {
+        let config = Configuration::canonical(workloads::random_scatter(n, 8.0, 5), tol());
+        let p = config.distinct_points()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(config, p), |b, (config, p)| {
+            b.iter(|| view_of(black_box(config), *p, tol()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotational_symmetry");
+    for n in [8usize, 16, 32] {
+        let config = Configuration::canonical(workloads::regular_polygon(n, 4.0, 0.2), tol());
+        group.bench_with_input(BenchmarkId::new("ring", n), &config, |b, config| {
+            b.iter(|| rotational_symmetry(black_box(config), tol()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_string_of_angles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_of_angles");
+    for n in [8usize, 64, 256] {
+        let config = Configuration::canonical(workloads::random_scatter(n, 8.0, 9), tol());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
+            b.iter(|| string_of_angles(black_box(config), Point::ORIGIN, tol()).periodicity());
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quasi_regularity");
+    for n in [8usize, 16, 32, 64] {
+        let positive = Configuration::canonical(workloads::regular_polygon(n, 4.0, 0.1), tol());
+        group.bench_with_input(BenchmarkId::new("ring", n), &positive, |b, config| {
+            b.iter(|| detect_quasi_regularity(black_box(config), tol()));
+        });
+        let negative = Configuration::canonical(workloads::asymmetric(n, 5), tol());
+        group.bench_with_input(BenchmarkId::new("asymmetric", n), &negative, |b, config| {
+            b.iter(|| detect_quasi_regularity(black_box(config), tol()));
+        });
+    }
+    // The Lemma 3.4 occupied-centre test in isolation.
+    for n in [8usize, 32] {
+        let config =
+            Configuration::canonical(workloads::ring_with_center(n - 1, 1, 4.0), tol());
+        group.bench_with_input(BenchmarkId::new("lemma34", n), &config, |b, config| {
+            b.iter(|| quasi_regular_with_center(black_box(config), Point::ORIGIN, tol()));
+        });
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration tuned so the whole suite runs in minutes: the
+/// measured functions are deterministic and microsecond-scale, so small
+/// samples already give stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{name = benches; config = quick(); targets = bench_classify, bench_views, bench_symmetry, bench_string_of_angles, bench_qr_detection}
+criterion_main!(benches);

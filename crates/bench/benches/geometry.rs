@@ -1,0 +1,76 @@
+//! Microbenchmarks of the geometry substrate: the primitives on the hot
+//! path of every robot activation (smallest enclosing circle, convex hull,
+//! Weiszfeld iteration, medians).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_geom::{
+    convex_hull, smallest_enclosing_circle, weber::median_interval_on_line,
+    weber_point_weiszfeld, Tol,
+};
+use gather_workloads as workloads;
+use std::hint::black_box;
+
+fn bench_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smallest_enclosing_circle");
+    for n in [8usize, 32, 128, 512] {
+        let pts = workloads::random_scatter(n, 10.0, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| smallest_enclosing_circle(black_box(pts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_hull");
+    for n in [8usize, 32, 128, 512] {
+        let pts = workloads::random_scatter(n, 10.0, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| convex_hull(black_box(pts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_weiszfeld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weber_weiszfeld");
+    let tol = Tol::default();
+    for n in [8usize, 32, 128] {
+        let pts = workloads::random_scatter(n, 10.0, 13);
+        group.bench_with_input(BenchmarkId::new("scatter", n), &pts, |b, pts| {
+            b.iter(|| weber_point_weiszfeld(black_box(pts), tol));
+        });
+        // Symmetric inputs converge differently (centre capture path).
+        let ring = workloads::regular_polygon(n, 5.0, 0.3);
+        group.bench_with_input(BenchmarkId::new("ring", n), &ring, |b, pts| {
+            b.iter(|| weber_point_weiszfeld(black_box(pts), tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_median(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collinear_median");
+    let tol = Tol::default();
+    for n in [9usize, 65, 257] {
+        let pts = workloads::collinear_1w(n, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| median_interval_on_line(black_box(pts), tol));
+        });
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration tuned so the whole suite runs in minutes: the
+/// measured functions are deterministic and microsecond-scale, so small
+/// samples already give stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{name = benches; config = quick(); targets = bench_sec, bench_hull, bench_weiszfeld, bench_median}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Benchmarks of the simulation engine: cost of one ATOM round and of a
+//! complete gathering, per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_bench::factory;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use std::hint::black_box;
+
+fn engine_for(n: usize, algorithm: &str, seed: u64) -> Engine {
+    Engine::builder(workloads::random_scatter(n, 8.0, seed))
+        .algorithm(factory::algorithm(algorithm))
+        .scheduler(RoundRobin::new(2.max(n / 4)))
+        .motion(RandomStops::new(0.4, seed))
+        .check_invariants(false)
+        .build()
+}
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round");
+    for n in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("wait-free-gather", n), &n, |b, &n| {
+            b.iter_batched(
+                || engine_for(n, "wait-free-gather", 3),
+                |mut engine| {
+                    black_box(engine.step());
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_gather");
+    group.sample_size(20);
+    for algorithm in ["wait-free-gather", "center-of-gravity", "weber-oracle"] {
+        for n in [8usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm, n),
+                &(algorithm, n),
+                |b, &(algorithm, n)| {
+                    b.iter_batched(
+                        || engine_for(n, algorithm, 5),
+                        |mut engine| {
+                            black_box(engine.run(100_000));
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_invariant_audit_overhead(c: &mut Criterion) {
+    // Ablation: cost of the per-round Lemma 5.1 monitor.
+    let mut group = c.benchmark_group("audit_overhead");
+    for audit in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("round_n16", audit),
+            &audit,
+            |b, &audit| {
+                b.iter_batched(
+                    || {
+                        Engine::builder(workloads::random_scatter(16, 8.0, 7))
+                            .algorithm(factory::algorithm("wait-free-gather"))
+                            .check_invariants(audit)
+                            .build()
+                    },
+                    |mut engine| {
+                        black_box(engine.step());
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Criterion configuration tuned so the whole suite runs in minutes: the
+/// measured functions are deterministic and microsecond-scale, so small
+/// samples already give stable medians.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!{name = benches; config = quick(); targets = bench_single_round, bench_full_gather, bench_invariant_audit_overhead}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! B1 — Simulator throughput: wall-clock cost of the reproduction at
+//! scale.
+//!
+//! Measures rounds/second and LOOK-phase cost (classification dominates)
+//! for team sizes up to 128, for the paper's algorithm and the cheapest
+//! baseline, with the invariant audit on and off. This is the "can a
+//! laptop run the whole evaluation" table backing the repro=5 banding.
+
+use gather_bench::table::{f, Table};
+use gather_bench::Args;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::{CenterOfGravity, WaitFreeGather};
+use std::time::Instant;
+
+fn measure(n: usize, algorithm: &str, audit: bool, rounds: u64) -> (f64, f64) {
+    let pts = workloads::random_scatter(n, 10.0, 7);
+    let mut builder = Engine::builder(pts)
+        .scheduler(RoundRobin::new(2.max(n / 4)))
+        .motion(RandomStops::new(0.3, 3))
+        .check_invariants(audit);
+    builder = match algorithm {
+        "wait-free-gather" => builder.algorithm(WaitFreeGather::default()),
+        "center-of-gravity" => builder.algorithm(CenterOfGravity::new()),
+        other => panic!("unknown algorithm {other}"),
+    };
+    let mut engine = builder.build();
+    let start = Instant::now();
+    let mut executed = 0u64;
+    for _ in 0..rounds {
+        if engine.is_gathered() {
+            // Restart from a fresh scatter to keep measuring steady-state
+            // rounds rather than the gathered fixed point.
+            break;
+        }
+        engine.step();
+        executed += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    if executed == 0 {
+        return (0.0, 0.0);
+    }
+    (
+        executed as f64 / elapsed,
+        elapsed / executed as f64 * 1e6,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: &[usize] = if args.quick {
+        &[8, 32]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
+    let mut table = Table::new(&[
+        "algorithm", "audit", "n", "rounds/s", "µs/round",
+    ]);
+    for &(alg, audit) in &[
+        ("wait-free-gather", false),
+        ("wait-free-gather", true),
+        ("center-of-gravity", false),
+    ] {
+        for &n in sizes {
+            // Enough rounds for a stable measurement, few enough to finish
+            // fast at n = 128 (a round costs ~n classifications).
+            let budget = if n <= 32 { 400 } else { 60 };
+            let (rps, us) = measure(n, alg, audit, budget);
+            table.push(vec![
+                alg.into(),
+                if audit { "on" } else { "off" }.into(),
+                n.to_string(),
+                f(rps, 0),
+                f(us, 1),
+            ]);
+        }
+    }
+    println!("B1 — simulator throughput (steady-state rounds before gathering)\n");
+    table.print();
+    let out = args.out_dir.join("b1_throughput.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("\nwrote {}", out.display());
+}

@@ -1,0 +1,77 @@
+//! F1 — Rounds-to-gather scaling with team size.
+//!
+//! Sweeps `n` per class at `f = 0` and `f = n − 1`, under the random
+//! scheduler and motion adversary.
+//!
+//! Expected shape: rounds grow mildly with `n` (activation fairness is the
+//! binding constraint, not the geometry); massive crash counts *reduce*
+//! rounds (fewer live robots need to arrive); no failures anywhere.
+
+use gather_bench::runner::{mean, parallel_map, stddev, Scenario};
+use gather_bench::table::{f, pct, Table};
+use gather_bench::Args;
+use gather_config::Class;
+use gather_workloads as workloads;
+
+fn main() {
+    let args = Args::parse();
+    let classes = [
+        Class::Multiple,
+        Class::Collinear1W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ];
+    let sizes: &[usize] = if args.quick {
+        &[6, 12]
+    } else {
+        &[4, 6, 8, 12, 16, 24, 32]
+    };
+
+    let mut scenarios = Vec::new();
+    for &class in &classes {
+        for &n in sizes {
+            for all_but_one in [false, true] {
+                for trial in 0..args.trials as u64 {
+                    let mut s = Scenario::new(workloads::of_class(class, n, trial), trial);
+                    s.scheduler = "random";
+                    s.motion = "random";
+                    s.faults = if all_but_one { n - 1 } else { 0 };
+                    s.max_rounds = 400_000;
+                    scenarios.push(s);
+                }
+            }
+        }
+    }
+    let metrics = parallel_map(scenarios, |s| s.run());
+
+    let mut table = Table::new(&[
+        "class", "n", "f", "gathered", "rounds(mean)", "rounds(std)", "travel(mean)",
+    ]);
+    let mut idx = 0;
+    for &class in &classes {
+        for &n in sizes {
+            for all_but_one in [false, true] {
+                let cell: Vec<_> = (0..args.trials).map(|k| &metrics[idx + k]).collect();
+                idx += args.trials;
+                let ok = cell.iter().filter(|m| m.gathered).count();
+                let rounds: Vec<f64> = cell.iter().map(|m| m.rounds as f64).collect();
+                let travel: Vec<f64> = cell.iter().map(|m| m.total_travel).collect();
+                table.push(vec![
+                    class.short_name().into(),
+                    n.to_string(),
+                    if all_but_one { (n - 1).to_string() } else { "0".into() },
+                    pct(ok, args.trials),
+                    f(mean(&rounds), 1),
+                    f(stddev(&rounds), 1),
+                    f(mean(&travel), 1),
+                ]);
+            }
+        }
+    }
+
+    println!("F1 — rounds-to-gather vs team size (series: class × fault level)\n");
+    table.print();
+    let out = args.out_dir.join("f1_scaling.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("\nwrote {}", out.display());
+}

@@ -1,0 +1,72 @@
+//! F2 — Sensitivity to the minimum movement step `δ`.
+//!
+//! The model guarantees progress of at least `δ` per interrupted move; the
+//! stingy adversary (`AlwaysDelta`) makes every move exactly `δ`, so the
+//! round count scales like `diameter/δ`. The full-motion rows are the
+//! control: `δ` is irrelevant when moves complete.
+//!
+//! Expected shape: under `delta` motion, rounds ≈ c/δ (log-log slope −1);
+//! under `full` motion, rounds are flat in `δ`.
+
+use gather_bench::runner::{mean, parallel_map, Scenario};
+use gather_bench::table::{f, pct, Table};
+use gather_bench::Args;
+use gather_workloads as workloads;
+
+fn main() {
+    let args = Args::parse();
+    let deltas: &[f64] = if args.quick {
+        &[0.1, 0.5]
+    } else {
+        &[0.01, 0.02, 0.05, 0.1, 0.2, 0.5]
+    };
+    let motions = ["delta", "full"];
+    let n = 8usize;
+
+    let mut scenarios = Vec::new();
+    for &motion in &motions {
+        for &delta in deltas {
+            for trial in 0..args.trials as u64 {
+                let mut s = Scenario::new(workloads::random_scatter(n, 8.0, trial), trial);
+                s.motion = motion;
+                s.delta = delta;
+                s.faults = 2;
+                s.max_rounds = 1_000_000;
+                scenarios.push(s);
+            }
+        }
+    }
+    let metrics = parallel_map(scenarios, |s| s.run());
+
+    let mut table = Table::new(&[
+        "motion", "delta", "gathered", "rounds(mean)", "rounds×delta", "travel(mean)",
+    ]);
+    let mut idx = 0;
+    for &motion in &motions {
+        for &delta in deltas {
+            let cell: Vec<_> = (0..args.trials).map(|k| &metrics[idx + k]).collect();
+            idx += args.trials;
+            let ok = cell.iter().filter(|m| m.gathered).count();
+            let rounds: Vec<f64> = cell.iter().map(|m| m.rounds as f64).collect();
+            let travel: Vec<f64> = cell.iter().map(|m| m.total_travel).collect();
+            table.push(vec![
+                motion.into(),
+                f(delta, 3),
+                pct(ok, args.trials),
+                f(mean(&rounds), 1),
+                f(mean(&rounds) * delta, 2),
+                f(mean(&travel), 1),
+            ]);
+        }
+    }
+
+    println!("F2 — effect of the minimum step δ (n = {n}, f = 2)\n");
+    table.print();
+    println!(
+        "\nunder the stingy adversary 'rounds×delta' is roughly constant \
+         (rounds ∝ 1/δ); under full motion δ does not matter."
+    );
+    let out = args.out_dir.join("f2_delta.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,89 @@
+//! F3 — The class-transition graph (claims C1 of Lemmas 5.3–5.9).
+//!
+//! Aggregates class transitions over many executions and compares them
+//! against the edges the proofs allow: `M` is absorbing, `L1W → M`,
+//! `QR → {M, L1W}`, `A → {M, L1W, QR}`, `L2W → anything but B`, and no
+//! edge enters `B`.
+//!
+//! Expected shape: every observed edge is allowed; `illegal` = 0.
+
+use gather_bench::table::Table;
+use gather_bench::Args;
+use gather_config::Class;
+use gather_sim::metrics::summarize;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::WaitFreeGather;
+use std::collections::BTreeMap;
+
+fn allowed(from: Class, to: Class) -> bool {
+    use Class::*;
+    match from {
+        Multiple => false,
+        Collinear1W => matches!(to, Multiple),
+        QuasiRegular => matches!(to, Multiple | Collinear1W),
+        Asymmetric => matches!(to, Multiple | Collinear1W | QuasiRegular),
+        Collinear2W => to != Bivalent,
+        Bivalent => to != Bivalent,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let classes = [
+        Class::Multiple,
+        Class::Collinear1W,
+        Class::Collinear2W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ];
+
+    let mut edges: BTreeMap<(Class, Class), u64> = BTreeMap::new();
+    let mut runs = 0usize;
+    let mut gathered = 0usize;
+    for &class in &classes {
+        for n in [5usize, 8, 12] {
+            for seed in 0..args.trials as u64 {
+                let pts = workloads::of_class(class, n, seed);
+                let mut engine = Engine::builder(pts)
+                    .algorithm(WaitFreeGather::default())
+                    .scheduler(RandomSubsets::new(0.4, 6 * n as u64, seed))
+                    .motion(RandomStops::new(0.3, seed + 1))
+                    .crash_plan(RandomCrashes::new(n / 2, 0.05, seed + 2))
+                    .build();
+                let outcome = engine.run(200_000);
+                let m = summarize(outcome, engine.trace());
+                runs += 1;
+                if m.gathered {
+                    gathered += 1;
+                }
+                for (edge, count) in m.transitions {
+                    *edges.entry(edge).or_insert(0) += count;
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new(&["from", "to", "count", "allowed by lemmas"]);
+    let mut illegal = 0u64;
+    for ((from, to), count) in &edges {
+        let ok = allowed(*from, *to);
+        if !ok {
+            illegal += count;
+        }
+        table.push(vec![
+            from.short_name().into(),
+            to.short_name().into(),
+            count.to_string(),
+            if ok { "yes" } else { "NO" }.into(),
+        ]);
+    }
+
+    println!("F3 — observed class transitions over {runs} executions ({gathered} gathered)\n");
+    table.print();
+    println!("\nillegal transitions: {illegal} (the lemmas predict 0)");
+    let out = args.out_dir.join("f3_transitions.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {}", out.display());
+    assert_eq!(illegal, 0, "lemma-violating transition observed");
+}

@@ -1,0 +1,93 @@
+//! F4 — The potential function of class `A` (Lemma 5.6, Claim C2).
+//!
+//! Records the time series of `φ = (max multiplicity of the elected point,
+//! Σ distances to it)` along asymmetric-phase executions and verifies the
+//! lexicographic improvement whenever the configuration changes.
+//!
+//! Expected shape: `mult` is non-decreasing; within equal-`mult` stretches
+//! the distance sum is non-increasing; `violations` = 0.
+
+use gather_bench::table::{f, Table};
+use gather_bench::Args;
+use gather_config::{classify, Class, Configuration};
+use gather_geom::Tol;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::{rules, WaitFreeGather};
+
+fn main() {
+    let args = Args::parse();
+    let tol = Tol::default();
+
+    // One detailed time series (figure data)…
+    let pts = workloads::asymmetric(10, 2);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(3))
+        .motion(RandomStops::new(0.3, 5))
+        .build();
+    let mut series = Table::new(&["round", "class", "elected mult", "sum dist"]);
+    for round in 0..10_000u64 {
+        let config = engine.configuration();
+        let analysis = classify(&config, tol);
+        if analysis.class != Class::Asymmetric {
+            break;
+        }
+        let elected = rules::asymmetric::elected_point(&config, tol);
+        series.push(vec![
+            round.to_string(),
+            analysis.class.short_name().into(),
+            config.mult(elected, tol).to_string(),
+            f(config.sum_of_distances(elected), 4),
+        ]);
+        if engine.is_gathered() {
+            break;
+        }
+        engine.step();
+    }
+    println!("F4 — φ time series in class A (single seeded run)\n");
+    series.print();
+    series
+        .write_csv(&args.out_dir.join("f4_potential_series.csv"))
+        .expect("write CSV");
+
+    // …and a violation count across many runs (table data).
+    let mut runs = 0usize;
+    let mut violations = 0usize;
+    for seed in 0..(args.trials as u64 * 4) {
+        let n = 6 + (seed as usize % 7);
+        let pts = workloads::asymmetric(n, seed);
+        let mut engine = Engine::builder(pts)
+            .algorithm(WaitFreeGather::default())
+            .scheduler(RandomSubsets::new(0.4, 6 * n as u64, seed))
+            .motion(RandomStops::new(0.3, seed + 9))
+            .crash_plan(RandomCrashes::new(n / 3, 0.05, seed + 17))
+            .build();
+        runs += 1;
+        let mut prev: Option<(usize, f64, Configuration)> = None;
+        for _ in 0..20_000 {
+            let config = engine.configuration();
+            if classify(&config, tol).class != Class::Asymmetric {
+                break;
+            }
+            let elected = rules::asymmetric::elected_point(&config, tol);
+            let mult = config.mult(elected, tol);
+            let sum = config.sum_of_distances(elected);
+            if let Some((pm, ps, pc)) = &prev {
+                let changed = *pc != config;
+                let improved = mult > *pm || (mult == *pm && sum < *ps + 1e-9);
+                if changed && !improved {
+                    violations += 1;
+                }
+            }
+            prev = Some((mult, sum, config));
+            if engine.is_gathered() {
+                break;
+            }
+            engine.step();
+        }
+    }
+    println!("\nφ-monotonicity audit: {runs} asymmetric runs, {violations} violations (expected 0)");
+    assert_eq!(violations, 0);
+    println!("wrote {}", args.out_dir.join("f4_potential_series.csv").display());
+}

@@ -1,0 +1,131 @@
+//! F5 — Crash-timing sensitivity: does *when and whom* the adversary
+//! crashes matter?
+//!
+//! Strategies compared on the same workloads: crashes at start, randomly
+//! timed crashes, the leader-assassin (always kill a robot standing on the
+//! current target) and the endpoint-killer (crash the extremes of
+//! collinear configurations — the adversary of Lemma 5.9's contradiction).
+//!
+//! Expected shape: 100% gathering under every strategy; targeted
+//! strategies cost somewhat more rounds than random ones.
+
+use gather_bench::table::{f, pct, Table};
+use gather_bench::Args;
+use gather_config::{classify, Class, Configuration};
+use gather_geom::Tol;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::WaitFreeGather;
+
+fn crash_plan(strategy: &str, fbudget: usize, seed: u64) -> Box<dyn CrashPlan> {
+    match strategy {
+        "at-start" => Box::new(CrashAtRounds::new(
+            (0..fbudget).map(|i| (0, i)).collect(),
+        )),
+        "random" => Box::new(RandomCrashes::new(fbudget, 0.05, seed)),
+        "leader" => Box::new(TargetedCrashes::new(
+            "leader",
+            fbudget,
+            |round, config: &Configuration, alive: &[bool]| {
+                if round % 3 != 0 {
+                    return Vec::new();
+                }
+                let Some(target) = classify(config, Tol::default()).target else {
+                    return Vec::new();
+                };
+                config
+                    .points()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| alive[*i] && p.within(target, 1e-6))
+                    .map(|(i, _)| i)
+                    .take(1)
+                    .collect()
+            },
+        )),
+        "endpoints" => Box::new(TargetedCrashes::new(
+            "endpoints",
+            fbudget,
+            |round, config: &Configuration, alive: &[bool]| {
+                if round != 0 {
+                    return Vec::new();
+                }
+                let tol = Tol::default();
+                if classify(config, tol).class != Class::Collinear2W {
+                    return Vec::new();
+                }
+                let frame = gathering::rules::collinear2w::line_frame(config);
+                config
+                    .points()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| {
+                        alive[*i]
+                            && (p.within(frame.lo, tol.snap) || p.within(frame.hi, tol.snap))
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            },
+        )),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let strategies = ["at-start", "random", "leader", "endpoints"];
+    let classes = [
+        Class::Multiple,
+        Class::Collinear2W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ];
+    let n = 9usize;
+    let fbudget = 4usize;
+
+    let mut table = Table::new(&[
+        "strategy", "class", "trials", "gathered", "rounds(mean)", "crashed(mean)",
+    ]);
+    for &strategy in &strategies {
+        for &class in &classes {
+            let mut ok = 0usize;
+            let mut rounds = Vec::new();
+            let mut crashed = Vec::new();
+            for seed in 0..args.trials as u64 {
+                let pts = workloads::of_class(class, n, seed);
+                let n_actual = pts.len();
+                let mut engine = Engine::builder(pts)
+                    .algorithm(WaitFreeGather::default())
+                    .scheduler(RoundRobin::new(3))
+                    .motion(RandomStops::new(0.4, seed))
+                    .crash_plan(crash_plan(strategy, fbudget.min(n_actual - 1), seed))
+                    .build();
+                let outcome = engine.run(200_000);
+                if outcome.gathered() {
+                    ok += 1;
+                    rounds.push(outcome.rounds() as f64);
+                }
+                crashed.push((n_actual - engine.live_count()) as f64);
+                assert!(
+                    engine.violations().is_empty(),
+                    "{strategy}/{class}: {:?}",
+                    engine.violations()
+                );
+            }
+            table.push(vec![
+                strategy.into(),
+                class.short_name().into(),
+                args.trials.to_string(),
+                pct(ok, args.trials),
+                f(gather_bench::runner::mean(&rounds), 1),
+                f(gather_bench::runner::mean(&crashed), 1),
+            ]);
+        }
+    }
+
+    println!("F5 — crash-timing strategies vs WAIT-FREE-GATHER (n = {n}, f ≤ {fbudget})\n");
+    table.print();
+    let out = args.out_dir.join("f5_crash_timing.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("\nwrote {}", out.display());
+}

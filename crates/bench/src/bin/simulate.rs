@@ -1,0 +1,182 @@
+//! `simulate` — drive one gathering execution from the command line.
+//!
+//! ```text
+//! cargo run -p gather-bench --bin simulate -- \
+//!     --workload asymmetric --n 9 --seed 7 \
+//!     --algorithm wait-free-gather --scheduler random --motion random \
+//!     --crashes 3 --delta 0.05 --rounds 30000 \
+//!     --svg out/run.svg --verbose
+//! ```
+//!
+//! Prints a per-round narration (with `--verbose`), the outcome, summary
+//! metrics, and optionally writes an SVG of the trajectories.
+
+use gather_bench::factory;
+use gather_config::Class;
+use gather_sim::metrics::summarize;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+
+struct Options {
+    workload: String,
+    n: usize,
+    seed: u64,
+    algorithm: String,
+    scheduler: String,
+    motion: String,
+    crashes: usize,
+    delta: f64,
+    rounds: u64,
+    svg: Option<std::path::PathBuf>,
+    verbose: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: "scatter".into(),
+            n: 8,
+            seed: 1,
+            algorithm: "wait-free-gather".into(),
+            scheduler: "random".into(),
+            motion: "random".into(),
+            crashes: 0,
+            delta: 0.05,
+            rounds: 60_000,
+            svg: None,
+            verbose: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: simulate [--workload scatter|clusters|grid|M|L1W|L2W|QR|A|bivalent]
+                [--n N] [--seed S] [--algorithm NAME] [--scheduler NAME]
+                [--motion NAME] [--crashes F] [--delta D] [--rounds R]
+                [--svg PATH] [--verbose]";
+
+fn parse() -> Options {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value\n{USAGE}"));
+        match a.as_str() {
+            "--workload" => o.workload = value("--workload"),
+            "--n" => o.n = value("--n").parse().expect("--n integer"),
+            "--seed" => o.seed = value("--seed").parse().expect("--seed integer"),
+            "--algorithm" => o.algorithm = value("--algorithm"),
+            "--scheduler" => o.scheduler = value("--scheduler"),
+            "--motion" => o.motion = value("--motion"),
+            "--crashes" => o.crashes = value("--crashes").parse().expect("--crashes integer"),
+            "--delta" => o.delta = value("--delta").parse().expect("--delta float"),
+            "--rounds" => o.rounds = value("--rounds").parse().expect("--rounds integer"),
+            "--svg" => o.svg = Some(value("--svg").into()),
+            "--verbose" => o.verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}\n{USAGE}"),
+        }
+    }
+    o
+}
+
+fn workload(name: &str, n: usize, seed: u64) -> Vec<gather_geom::Point> {
+    match name {
+        "scatter" => workloads::random_scatter(n, 10.0, seed),
+        "clusters" => workloads::clusters(n, (n / 3).max(2), seed),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            workloads::grid(side, side, 2.0)
+        }
+        "bivalent" | "B" => workloads::bivalent(n - n % 2, 8.0),
+        "M" => workloads::of_class(Class::Multiple, n, seed),
+        "L1W" => workloads::of_class(Class::Collinear1W, n, seed),
+        "L2W" => workloads::of_class(Class::Collinear2W, n, seed),
+        "QR" => workloads::of_class(Class::QuasiRegular, n, seed),
+        "A" => workloads::of_class(Class::Asymmetric, n, seed),
+        other => panic!("unknown workload {other}\n{USAGE}"),
+    }
+}
+
+fn main() {
+    let o = parse();
+    let initial = workload(&o.workload, o.n, o.seed);
+    let n = initial.len();
+    println!(
+        "simulate: {} robots ({}), algorithm {}, scheduler {}, motion {}, f = {}, δ = {}",
+        n, o.workload, o.algorithm, o.scheduler, o.motion, o.crashes, o.delta
+    );
+
+    let mut engine = Engine::builder(initial)
+        .algorithm(factory::algorithm(&o.algorithm))
+        .scheduler(factory::scheduler(&o.scheduler, n, o.seed))
+        .motion(factory::motion(&o.motion, o.seed + 1))
+        .crash_plan(RandomCrashes::new(o.crashes.min(n.saturating_sub(1)), 0.05, o.seed + 2))
+        .delta(o.delta)
+        .record_positions(o.svg.is_some())
+        .check_invariants(o.algorithm == "wait-free-gather")
+        .build();
+
+    let outcome = loop {
+        if engine.is_gathered() {
+            break RunOutcome::Gathered {
+                round: engine.round(),
+                point: engine.positions()[0],
+            };
+        }
+        if engine.round() >= o.rounds {
+            break RunOutcome::RoundLimit { rounds: engine.round() };
+        }
+        let record = engine.step();
+        if o.verbose {
+            println!(
+                "round {:>5}: class {:<3} distinct {:>3} max-mult {:>3} activated {:>3} crashed {:?} travel {:.3}",
+                record.round,
+                record.class.short_name(),
+                record.distinct,
+                record.max_mult,
+                record.activated.len(),
+                record.crashed,
+                record.travel,
+            );
+        }
+    };
+
+    match outcome {
+        RunOutcome::Gathered { round, point } => {
+            println!("GATHERED at {point} after {round} rounds");
+        }
+        RunOutcome::RoundLimit { rounds } => println!("NOT gathered within {rounds} rounds"),
+    }
+    let metrics = summarize(outcome, engine.trace());
+    println!("{metrics}");
+    println!(
+        "correct robots: {}/{}; violations: {}",
+        engine.correct_count(),
+        n,
+        engine.violations().len()
+    );
+    for v in engine.violations() {
+        println!("  VIOLATION: {v}");
+    }
+
+    if let Some(path) = &o.svg {
+        let crashes: Vec<(usize, u64)> = engine
+            .trace()
+            .records()
+            .iter()
+            .flat_map(|r| r.crashed.iter().map(move |i| (*i, r.round)))
+            .collect();
+        let svg = gather_viz::render_trajectories(
+            engine.position_log(),
+            &crashes,
+            gather_viz::TrajectoryStyle::default(),
+        );
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+        std::fs::write(path, svg).expect("write SVG");
+        println!("wrote {}", path.display());
+    }
+}

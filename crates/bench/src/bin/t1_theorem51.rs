@@ -1,0 +1,82 @@
+//! T1 — Theorem 5.1: WAIT-FREE-GATHER gathers all correct robots from
+//! every non-bivalent class, for any `f ≤ n − 1`, under every scheduler
+//! and motion adversary sampled.
+//!
+//! Expected shape: the `gathered` column is 100% in every row; rounds grow
+//! with serialisation (scheduler `single`) and with the stingy motion
+//! adversary, but success never drops.
+
+use gather_bench::runner::{mean, parallel_map, Scenario};
+use gather_bench::table::{f, pct, Table};
+use gather_bench::Args;
+use gather_config::Class;
+use gather_workloads as workloads;
+
+fn main() {
+    let args = Args::parse();
+    let n = 8usize;
+    let classes = [
+        Class::Multiple,
+        Class::Collinear1W,
+        Class::Collinear2W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ];
+    let fault_levels = [0usize, 1, n / 2, n - 1];
+    let schedulers: &[&'static str] = if args.quick {
+        &["full", "round-robin"]
+    } else {
+        &["full", "round-robin", "single", "random"]
+    };
+
+    let mut scenarios: Vec<(Class, usize, &'static str, Scenario)> = Vec::new();
+    for &class in &classes {
+        for &faults in &fault_levels {
+            for &sched in schedulers {
+                for trial in 0..args.trials as u64 {
+                    let mut s =
+                        Scenario::new(workloads::of_class(class, n, trial), trial);
+                    s.scheduler = sched;
+                    s.motion = "random";
+                    s.faults = faults;
+                    s.max_rounds = 200_000;
+                    scenarios.push((class, faults, sched, s));
+                }
+            }
+        }
+    }
+
+    let metrics = parallel_map(scenarios, |(_, _, _, s)| s.run());
+
+    let mut table = Table::new(&[
+        "class", "n", "f", "scheduler", "trials", "gathered", "rounds(mean)", "travel(mean)",
+    ]);
+    let mut idx = 0;
+    for &class in &classes {
+        for &faults in &fault_levels {
+            for &sched in schedulers {
+                let cell: Vec<_> = (0..args.trials).map(|k| &metrics[idx + k]).collect();
+                idx += args.trials;
+                let gathered = cell.iter().filter(|m| m.gathered).count();
+                let rounds: Vec<f64> = cell.iter().map(|m| m.rounds as f64).collect();
+                let travel: Vec<f64> = cell.iter().map(|m| m.total_travel).collect();
+                table.push(vec![
+                    class.short_name().into(),
+                    n.to_string(),
+                    faults.to_string(),
+                    sched.into(),
+                    args.trials.to_string(),
+                    pct(gathered, args.trials),
+                    f(mean(&rounds), 1),
+                    f(mean(&travel), 1),
+                ]);
+            }
+        }
+    }
+
+    println!("T1 — Theorem 5.1: gathering success across classes, faults, schedulers\n");
+    table.print();
+    let out = args.out_dir.join("t1_theorem51.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("\nwrote {}", out.display());
+}

@@ -1,0 +1,86 @@
+//! T2 — Baseline comparison: the paper's algorithm vs the prior art its
+//! introduction discusses, across fault levels and initial-configuration
+//! families (including the multi-multiplicity starts that are outside the
+//! classic algorithms' contracts).
+//!
+//! Expected shape: `wait-free-gather` is 100% everywhere; `ordered-march`
+//! collapses as soon as `f ≥ 1` can hit the designated walker;
+//! `agmon-peleg` style survives small `f` on distinct starts but is
+//! unreliable on multiplicity starts; `center-of-gravity` "succeeds" only
+//! because float convergence eventually crosses the snap radius, paying a
+//! large round count under the stingy motion adversary.
+
+use gather_bench::factory::ALGORITHMS;
+use gather_bench::runner::{mean, median, parallel_map, Scenario};
+use gather_bench::table::{f, pct, Table};
+use gather_bench::Args;
+use gather_geom::Point;
+use gather_workloads as workloads;
+
+fn workload(name: &str, seed: u64) -> Vec<Point> {
+    match name {
+        "scatter" => workloads::random_scatter(8, 8.0, seed),
+        "stacks" => workloads::clusters(9, 3, seed),
+        "line" => workloads::collinear_1w(9, seed),
+        "ring" => workloads::regular_polygon(8, 4.0, seed as f64 * 0.1),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let workload_names = ["scatter", "stacks", "line", "ring"];
+    let fault_levels = [0usize, 1, 2, 4];
+
+    let mut scenarios = Vec::new();
+    for &alg in &ALGORITHMS {
+        for &w in &workload_names {
+            for &faults in &fault_levels {
+                for trial in 0..args.trials as u64 {
+                    let mut s = Scenario::new(workload(w, trial), trial * 7 + 1);
+                    s.algorithm = alg;
+                    s.scheduler = "random";
+                    s.motion = "random";
+                    s.faults = faults;
+                    s.max_rounds = 50_000;
+                    scenarios.push(s);
+                }
+            }
+        }
+    }
+
+    let metrics = parallel_map(scenarios, |s| s.run());
+
+    let mut table = Table::new(&[
+        "algorithm", "workload", "f", "gathered", "rounds(median)", "rounds(mean)",
+    ]);
+    let mut idx = 0;
+    for &alg in &ALGORITHMS {
+        for &w in &workload_names {
+            for &faults in &fault_levels {
+                let cell: Vec<_> = (0..args.trials).map(|k| &metrics[idx + k]).collect();
+                idx += args.trials;
+                let ok = cell.iter().filter(|m| m.gathered).count();
+                let rounds: Vec<f64> = cell
+                    .iter()
+                    .filter(|m| m.gathered)
+                    .map(|m| m.rounds as f64)
+                    .collect();
+                table.push(vec![
+                    alg.into(),
+                    w.into(),
+                    faults.to_string(),
+                    pct(ok, args.trials),
+                    f(median(&rounds), 1),
+                    f(mean(&rounds), 1),
+                ]);
+            }
+        }
+    }
+
+    println!("T2 — baselines vs WAIT-FREE-GATHER (round stats over gathered runs only)\n");
+    table.print();
+    let out = args.out_dir.join("t2_baselines.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("\nwrote {}", out.display());
+}

@@ -1,0 +1,81 @@
+//! T5 — Lemma 5.1: the wait-freeness necessary condition.
+//!
+//! For every sampled configuration of every class, count how many occupied
+//! locations WAIT-FREE-GATHER instructs to stay. Crash tolerance for
+//! `f = n − 1` requires at most one. The baselines are measured too, which
+//! shows exactly *why* they fail: `ordered-march` leaves all but one
+//! location waiting.
+//!
+//! Expected shape: `max staying` ≤ 1 for wait-free-gather and agmon-peleg
+//! and the convergence rules; `ordered-march` has `max staying` close to
+//! the number of distinct locations.
+
+use gather_bench::factory::{algorithm, ALGORITHMS};
+use gather_bench::table::{f as fmt, Table};
+use gather_bench::Args;
+use gather_config::{Class, Configuration};
+use gather_geom::Tol;
+use gather_sim::Snapshot;
+use gather_workloads as workloads;
+
+fn main() {
+    let args = Args::parse();
+    let classes = [
+        Class::Multiple,
+        Class::Collinear1W,
+        Class::Collinear2W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ];
+    let tol = Tol::default();
+
+    let mut table = Table::new(&[
+        "algorithm", "class", "configs", "max staying", "mean staying", "wait-free",
+    ]);
+
+    for &alg_name in &ALGORITHMS {
+        let alg = algorithm(alg_name);
+        for &class in &classes {
+            let mut max_staying = 0usize;
+            let mut total = 0usize;
+            let mut configs = 0usize;
+            for seed in 0..args.trials as u64 {
+                for n in [5usize, 8, 11] {
+                    let pts = workloads::of_class(class, n, seed);
+                    let config = Configuration::canonical(pts, tol);
+                    if config.is_gathered() {
+                        continue;
+                    }
+                    let mut staying = 0usize;
+                    for p in config.distinct_points() {
+                        let d = alg.destination(&Snapshot::new(config.clone(), p));
+                        if d.within(p, tol.abs) {
+                            staying += 1;
+                        }
+                    }
+                    max_staying = max_staying.max(staying);
+                    total += staying;
+                    configs += 1;
+                }
+            }
+            table.push(vec![
+                alg_name.into(),
+                class.short_name().into(),
+                configs.to_string(),
+                max_staying.to_string(),
+                fmt(total as f64 / configs.max(1) as f64, 2),
+                if max_staying <= 1 { "yes" } else { "NO" }.into(),
+            ]);
+        }
+    }
+
+    println!("T5 — Lemma 5.1: locations instructed to stay, per algorithm and class\n");
+    table.print();
+    println!(
+        "\na crash-tolerant algorithm for f ≤ n−1 must keep 'max staying' ≤ 1 \
+         (Lemma 5.1); 'ordered-march' fails exactly this condition."
+    );
+    let out = args.out_dir.join("t5_waitfree.csv");
+    table.write_csv(&out).expect("write CSV");
+    println!("wrote {}", out.display());
+}

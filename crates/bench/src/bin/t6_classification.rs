@@ -1,0 +1,154 @@
+//! T6 — Section IV: the classification partition and safe points.
+//!
+//! Three measurements:
+//!
+//! 1. generator agreement — every per-class generator's output classifies
+//!    as intended (exercising the decision procedure's boundaries);
+//! 2. the class distribution of random configurations by team size — shows
+//!    why class `A` only becomes generic for n ≥ 5 (small configurations
+//!    have Weber points with periodic direction structure);
+//! 3. Lemmas 4.2/4.3 — safe points exist exactly outside `B ∪ L2W` among
+//!    the sampled configurations.
+//!
+//! Expected shape: 100% generator agreement; random scatters are QR for
+//! n ∈ {3, 4} and overwhelmingly A for n ≥ 5; zero safe-point lemma
+//! violations.
+
+use gather_bench::table::{pct, Table};
+use gather_bench::Args;
+use gather_config::{classify, safe_points, Class, Configuration};
+use gather_geom::Tol;
+use gather_workloads as workloads;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = Args::parse();
+    let tol = Tol::default();
+    let trials = args.trials.max(5);
+
+    // 1. Generator agreement.
+    let mut agree = Table::new(&["class", "n", "trials", "agreement"]);
+    for class in Class::all() {
+        for n in [4usize, 6, 9, 12] {
+            let hits = (0..trials as u64)
+                .filter(|seed| {
+                    let pts = workloads::of_class(class, n, *seed);
+                    classify(&Configuration::canonical(pts, tol), tol).class == class
+                })
+                .count();
+            agree.push(vec![
+                class.short_name().into(),
+                n.to_string(),
+                trials.to_string(),
+                pct(hits, trials),
+            ]);
+        }
+    }
+    println!("T6a — generator/classifier agreement\n");
+    agree.print();
+    agree
+        .write_csv(&args.out_dir.join("t6a_agreement.csv"))
+        .expect("write CSV");
+
+    // 2. Class distribution of random configurations.
+    let mut dist = Table::new(&["n", "samples", "B", "M", "L1W", "L2W", "QR", "A"]);
+    for n in [3usize, 4, 5, 6, 8, 12] {
+        let samples = trials * 10;
+        let mut hist: BTreeMap<Class, usize> = BTreeMap::new();
+        for seed in 0..samples as u64 {
+            let pts = workloads::random_scatter(n, 8.0, seed.wrapping_mul(31).wrapping_add(n as u64));
+            let class = classify(&Configuration::canonical(pts, tol), tol).class;
+            *hist.entry(class).or_insert(0) += 1;
+        }
+        let cell = |c: Class| pct(hist.get(&c).copied().unwrap_or(0), samples);
+        dist.push(vec![
+            n.to_string(),
+            samples.to_string(),
+            cell(Class::Bivalent),
+            cell(Class::Multiple),
+            cell(Class::Collinear1W),
+            cell(Class::Collinear2W),
+            cell(Class::QuasiRegular),
+            cell(Class::Asymmetric),
+        ]);
+    }
+    println!("\nT6b — class distribution of uniform random configurations\n");
+    dist.print();
+    dist.write_csv(&args.out_dir.join("t6b_distribution.csv"))
+        .expect("write CSV");
+
+    // 3. Safe-point lemmas.
+    let mut safe = Table::new(&["class", "configs", "lemma", "violations"]);
+    let mut by_class: BTreeMap<Class, (usize, usize)> = BTreeMap::new();
+    for class in Class::all() {
+        for seed in 0..trials as u64 {
+            for n in [4usize, 7, 10] {
+                let pts = workloads::of_class(class, n, seed);
+                let config = Configuration::canonical(pts, tol);
+                let has_safe = !safe_points(&config, tol).is_empty();
+                let violated = match classify(&config, tol).class {
+                    // Lemma 4.3: B and L2W have no safe point.
+                    Class::Bivalent | Class::Collinear2W => has_safe,
+                    // Lemma 4.2: non-linear configurations have one.
+                    c if !config.is_linear(tol) => {
+                        let _ = c;
+                        !has_safe
+                    }
+                    _ => false,
+                };
+                let entry = by_class.entry(class).or_insert((0, 0));
+                entry.0 += 1;
+                if violated {
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    for (class, (configs, violations)) in &by_class {
+        safe.push(vec![
+            class.short_name().into(),
+            configs.to_string(),
+            match class {
+                Class::Bivalent | Class::Collinear2W => "4.3 (none exist)",
+                _ => "4.2 (exists if non-linear)",
+            }
+            .into(),
+            violations.to_string(),
+        ]);
+    }
+    println!("\nT6c — safe-point lemmas 4.2/4.3\n");
+    safe.print();
+    safe.write_csv(&args.out_dir.join("t6c_safe_points.csv"))
+        .expect("write CSV");
+
+    // 4. Axial symmetry: mirror-symmetric configurations carry a
+    // detectable axis yet classify as A — the paper's chirality argument.
+    let mut axial = Table::new(&["pairs", "on-axis", "trials", "axis found", "class A"]);
+    for (pairs, on_axis) in [(2usize, 1usize), (3, 0), (3, 1), (4, 2)] {
+        let mut axes = 0usize;
+        let mut class_a = 0usize;
+        for seed in 0..trials as u64 {
+            let pts = workloads::axially_symmetric(pairs, on_axis, seed);
+            let config = Configuration::canonical(pts, tol);
+            if gather_config::detect_mirror_axis(&config, tol).is_some() {
+                axes += 1;
+            }
+            if classify(&config, tol).class == Class::Asymmetric {
+                class_a += 1;
+            }
+        }
+        axial.push(vec![
+            pairs.to_string(),
+            on_axis.to_string(),
+            trials.to_string(),
+            pct(axes, trials),
+            pct(class_a, trials),
+        ]);
+    }
+    println!("\nT6d — axial symmetry: mirror axes broken by chirality\n");
+    axial.print();
+    axial
+        .write_csv(&args.out_dir.join("t6d_axial.csv"))
+        .expect("write CSV");
+    println!("\nwrote CSVs under {}", args.out_dir.display());
+}

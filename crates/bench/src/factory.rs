@@ -1,0 +1,90 @@
+//! Name-indexed construction of algorithms, schedulers and adversaries, so
+//! experiment sweeps are plain data.
+
+use gather_sim::prelude::*;
+use gathering::{AgmonPelegStyle, CenterOfGravity, OrderedMarch, WaitFreeGather, WeberOracle};
+
+/// All algorithm names, the paper's algorithm first.
+pub const ALGORITHMS: [&str; 5] = [
+    "wait-free-gather",
+    "ordered-march",
+    "agmon-peleg",
+    "center-of-gravity",
+    "weber-oracle",
+];
+
+/// All scheduler names.
+pub const SCHEDULERS: [&str; 4] = ["full", "round-robin", "single", "random"];
+
+/// All motion-adversary names.
+pub const MOTIONS: [&str; 3] = ["full", "delta", "random"];
+
+/// Builds an algorithm by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (see [`ALGORITHMS`]).
+pub fn algorithm(name: &str) -> Box<dyn Algorithm> {
+    match name {
+        "wait-free-gather" => Box::new(WaitFreeGather::default()),
+        "ordered-march" => Box::new(OrderedMarch::default()),
+        "agmon-peleg" => Box::new(AgmonPelegStyle::default()),
+        "center-of-gravity" => Box::new(CenterOfGravity::new()),
+        "weber-oracle" => Box::new(WeberOracle::default()),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Builds a scheduler by name (`n` sizes the starvation cap of the random
+/// scheduler).
+///
+/// # Panics
+///
+/// Panics on an unknown name (see [`SCHEDULERS`]).
+pub fn scheduler(name: &str, n: usize, seed: u64) -> Box<dyn Scheduler> {
+    match name {
+        "full" => Box::new(EveryRobot),
+        "round-robin" => Box::new(RoundRobin::new(2.max(n / 4))),
+        "single" => Box::new(SequentialSingle::new()),
+        "random" => Box::new(RandomSubsets::new(0.4, 6 * n as u64, seed)),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+/// Builds a motion adversary by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (see [`MOTIONS`]).
+pub fn motion(name: &str, seed: u64) -> Box<dyn MotionAdversary> {
+    match name {
+        "full" => Box::new(FullMotion),
+        "delta" => Box::new(AlwaysDelta),
+        "random" => Box::new(RandomStops::new(0.4, seed)),
+        other => panic!("unknown motion adversary {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_constructs() {
+        for name in ALGORITHMS {
+            assert_eq!(algorithm(name).name(), name);
+        }
+        for name in SCHEDULERS {
+            assert_eq!(scheduler(name, 8, 0).name(), name);
+        }
+        for name in MOTIONS {
+            assert_eq!(motion(name, 0).name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn unknown_algorithm_panics() {
+        let _ = algorithm("nope");
+    }
+}

@@ -1,0 +1,89 @@
+//! Experiment harness shared by the per-table/per-figure runner binaries.
+//!
+//! The paper is a theory paper with no empirical section, so the
+//! "evaluation" reproduced here is the explicit experiment plan of
+//! DESIGN.md §6 / EXPERIMENTS.md: every runner binary regenerates one
+//! table (T1–T6) or figure (F1–F5), printing a human-readable table and
+//! writing a CSV under `results/`.
+//!
+//! The harness provides:
+//!
+//! * [`Args`] — uniform CLI parsing (`--trials N`, `--out DIR`,
+//!   `--quick`);
+//! * [`factory`] — algorithms/schedulers/motion adversaries by name, so
+//!   sweeps are data-driven;
+//! * [`runner`] — single-scenario execution and a crossbeam-based parallel
+//!   map for embarrassingly parallel trial matrices;
+//! * [`table`] — aligned text tables + CSV output.
+
+use std::path::PathBuf;
+
+pub mod factory;
+pub mod runner;
+pub mod table;
+
+/// Common command-line arguments for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Number of independent trials per cell (seeds `0..trials`).
+    pub trials: usize,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Reduced sweep for smoke-testing the harness.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            trials: 10,
+            out_dir: PathBuf::from("results"),
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--trials N`, `--out DIR` and `--quick` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut out = Args::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    let v = args.next().expect("--trials needs a value");
+                    out.trials = v.parse().expect("--trials must be an integer");
+                }
+                "--out" => {
+                    let v = args.next().expect("--out needs a value");
+                    out.out_dir = PathBuf::from(v);
+                }
+                "--quick" => {
+                    out.quick = true;
+                    out.trials = out.trials.min(3);
+                }
+                other => panic!(
+                    "unknown argument {other}; usage: [--trials N] [--out DIR] [--quick]"
+                ),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert_eq!(a.trials, 10);
+        assert!(!a.quick);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+}

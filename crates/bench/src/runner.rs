@@ -1,0 +1,223 @@
+//! Scenario execution and parallel trial mapping.
+
+use crate::factory;
+use gather_geom::Point;
+use gather_sim::metrics::{summarize, RunMetrics};
+use gather_sim::prelude::*;
+
+/// One fully specified simulation scenario (a single cell × seed of an
+/// experiment matrix).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Initial robot positions.
+    pub initial: Vec<Point>,
+    /// Algorithm name (see [`factory::ALGORITHMS`]).
+    pub algorithm: &'static str,
+    /// Scheduler name (see [`factory::SCHEDULERS`]).
+    pub scheduler: &'static str,
+    /// Motion-adversary name (see [`factory::MOTIONS`]).
+    pub motion: &'static str,
+    /// Number of crash faults to inject (randomly timed, seeded).
+    pub faults: usize,
+    /// Minimum movement step `δ`.
+    pub delta: f64,
+    /// Round budget.
+    pub max_rounds: u64,
+    /// RNG seed for every randomised component.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the harness defaults (paper's algorithm, full sync,
+    /// full motion, no faults, `δ = 0.05`, 60 000 rounds).
+    pub fn new(initial: Vec<Point>, seed: u64) -> Self {
+        Scenario {
+            initial,
+            algorithm: "wait-free-gather",
+            scheduler: "full",
+            motion: "full",
+            faults: 0,
+            delta: 0.05,
+            max_rounds: 60_000,
+            seed,
+        }
+    }
+
+    /// Runs the scenario to completion and summarises it.
+    pub fn run(&self) -> RunMetrics {
+        let n = self.initial.len();
+        let wait_free = self.algorithm == "wait-free-gather";
+        let mut engine = Engine::builder(self.initial.clone())
+            .algorithm(factory::algorithm(self.algorithm))
+            .scheduler(factory::scheduler(self.scheduler, n, self.seed))
+            .motion(factory::motion(self.motion, self.seed.wrapping_add(1)))
+            .crash_plan(RandomCrashes::new(
+                self.faults.min(n.saturating_sub(1)),
+                0.05,
+                self.seed.wrapping_add(2),
+            ))
+            .frames(FramePolicy::RandomPerActivation {
+                seed: self.seed.wrapping_add(3),
+            })
+            .delta(self.delta)
+            // Invariant monitors are part of the experiment only for the
+            // wait-free algorithm; baselines violate them by design.
+            .check_invariants(wait_free)
+            .build();
+        let outcome = engine.run(self.max_rounds);
+        let metrics = summarize(outcome, engine.trace());
+        if wait_free {
+            assert!(
+                engine.violations().is_empty(),
+                "invariant violations in {:?}: {:?}",
+                self,
+                engine.violations()
+            );
+        }
+        metrics
+    }
+}
+
+/// Runs `f` over every item on a small thread pool (crossbeam channels as
+/// the work queue) and returns results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let (tx_work, rx_work) = crossbeam::channel::unbounded::<(usize, &T)>();
+    let (tx_res, rx_res) = crossbeam::channel::unbounded::<(usize, R)>();
+    for pair in items.iter().enumerate() {
+        tx_work.send(pair).expect("queue open");
+    }
+    drop(tx_work);
+
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx_work.clone();
+            let tx = tx_res.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, item)) = rx.recv() {
+                    let r = f(item);
+                    if tx.send((i, r)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx_res);
+        while let Ok((i, r)) = rx_res.recv() {
+            results[i] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker delivered every result"))
+        .collect()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Median of a slice (0 for empty input).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// The `p`-th percentile (nearest-rank with linear interpolation; 0 for
+/// empty input).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = rank - lo as f64;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_workloads as workloads;
+
+    #[test]
+    fn scenario_runs_and_gathers() {
+        let s = Scenario::new(workloads::random_scatter(5, 5.0, 3), 3);
+        let m = s.run();
+        assert!(m.gathered);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn statistics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert!(stddev(&[2.0, 2.0, 2.0]) < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert!((percentile(&v, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&v, 95.0) - 95.05).abs() < 1e-9);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Aligned text tables and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple result table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV (header + rows, comma-separated, cells with
+    /// commas/quotes escaped).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating directories or writing the file.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        writeln!(
+            f,
+            "{}",
+            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: formats a float with the given precision.
+pub fn f(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+/// Convenience: formats a percentage out of a count.
+pub fn pct(hits: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.0}%", 100.0 * hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.push(vec!["x".into(), "1".into()]);
+        t.push(vec!["longer".into(), "23".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let dir = std::env::temp_dir().join("gather-bench-test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["x,y".into(), "say \"hi\"".into()]);
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x,y\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(3, 4), "75%");
+        assert_eq!(pct(0, 0), "n/a");
+    }
+}

@@ -1,0 +1,399 @@
+//! Successor ordering and the string of angles (Definition 4 of the paper).
+//!
+//! Given a configuration `C` and a candidate centre `c`, the robots not
+//! located at `c` are enumerated in clockwise order around `c` (co-located
+//! robots and robots sharing a ray are consecutive, contributing zero
+//! angles). The resulting cyclic string of `n − mult(c)` angles is the
+//! *string of angles* `SA(c)`; its periodicity `per(SA)` (Definition 5)
+//! measures the configuration's angular regularity around `c`.
+//!
+//! Only the *direction* structure matters for periodicity: the string is
+//! `k`-periodic exactly when the multiset of robot-count-per-direction is
+//! invariant under rotation by `2π/k` around `c`. The implementation
+//! therefore buckets robots by direction and compares angular gaps.
+
+use crate::configuration::Configuration;
+use gather_geom::{angle::normalize_tau, Point, Tol};
+use std::f64::consts::TAU;
+
+/// Angular tolerance for direction comparisons (bucket merging, rotation
+/// slot matching, periodicity of angle strings).
+///
+/// Robot positions carry transverse noise up to the canonicalisation
+/// radius `Tol::snap`; seen from a candidate centre, a robot at distance
+/// `r` therefore has direction noise up to `snap / r`. Robots closer than
+/// the centre zone (see [`center_zone_radius`]) are treated as located at
+/// the centre, which bounds the direction noise of the remaining robots by
+/// `snap / zone ≲ 1e-3`. Genuinely distinct directions in the paper's
+/// configurations are separated by orders of magnitude more.
+pub const ANGLE_EPS: f64 = 1e-3;
+
+/// Fraction of the configuration's radius (max distance from the centre)
+/// within which robots count as located *at* a candidate centre for the
+/// purpose of direction analysis.
+pub const CENTER_ZONE_REL: f64 = 1e-3;
+
+/// The radius around a candidate centre within which robots are treated
+/// as being at the centre when analysing direction structure: the larger
+/// of twice the canonicalisation radius and [`CENTER_ZONE_REL`] times the
+/// configuration's extent around the centre.
+///
+/// Rationale: a robot converging on the centre ends up within `Tol::snap`
+/// of it transversally; measured from any candidate centre its direction
+/// is pure noise, yet it is exactly the robot whose position the
+/// quasi-regular rule is free to ignore (it is "at" the Weber point for
+/// all movement purposes). Excluding the zone keeps the direction noise of
+/// every *counted* robot below [`ANGLE_EPS`].
+pub fn center_zone_radius(config: &Configuration, center: Point, tol: Tol) -> f64 {
+    let extent = config
+        .points()
+        .iter()
+        .map(|p| p.dist(center))
+        .fold(0.0, f64::max);
+    (2.0 * tol.snap).max(CENTER_ZONE_REL * extent)
+}
+
+/// The string of angles `SA(c)` of a configuration around a centre point.
+///
+/// The entries are the clockwise angles between consecutive robots in the
+/// clockwise successor order around the centre; robots at the centre are
+/// excluded. The string is cyclic and its entries sum to `2π` (or the
+/// string is empty when every robot sits at the centre).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringOfAngles {
+    entries: Vec<f64>,
+}
+
+impl StringOfAngles {
+    /// The angles in radians, in clockwise successor order.
+    pub fn entries(&self) -> &[f64] {
+        &self.entries
+    }
+
+    /// The string's length `m = n − mult(c)`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the string empty (all robots at the centre)?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The periodicity `per(SA)`: the greatest `k` such that the cyclic
+    /// string is a `k`-th power (`SA = x^k`). The empty string has
+    /// periodicity 1 by convention.
+    ///
+    /// Angle entries are compared with [`ANGLE_EPS`] tolerance, so centres
+    /// of regularity located numerically and configurations perturbed by
+    /// position-canonicalisation noise are still recognised.
+    pub fn periodicity(&self) -> usize {
+        let n = self.entries.len();
+        if n == 0 {
+            return 1;
+        }
+        for block in 1..=n {
+            if n % block != 0 {
+                continue;
+            }
+            let tiles = (block..n)
+                .all(|i| (self.entries[i] - self.entries[i - block]).abs() <= ANGLE_EPS);
+            if tiles {
+                return n / block;
+            }
+        }
+        1
+    }
+}
+
+impl std::fmt::Display for StringOfAngles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SA[")?;
+        for (i, a) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Robots of `config` bucketed by their direction angle from `center`
+/// (robots at the centre excluded): returns `(ccw angle in [0, 2π), count)`
+/// pairs sorted by angle ascending, with buckets merged within
+/// [`ANGLE_EPS`]-scale tolerance.
+pub(crate) fn direction_buckets(
+    config: &Configuration,
+    center: Point,
+    tol: Tol,
+) -> Vec<(f64, usize)> {
+    let zone = center_zone_radius(config, center, tol);
+    let mut angles: Vec<f64> = config
+        .points()
+        .iter()
+        .filter(|p| !p.within(center, zone))
+        .map(|p| normalize_tau((*p - center).angle()))
+        .collect();
+    angles.sort_by(f64::total_cmp);
+    let eps = ANGLE_EPS;
+    let mut buckets: Vec<(f64, usize)> = Vec::new();
+    for a in angles {
+        match buckets.last_mut() {
+            Some((b, m)) if (a - *b).abs() <= eps => {
+                // Running mean keeps the representative centred.
+                *b += (a - *b) / (*m as f64 + 1.0);
+                *m += 1;
+            }
+            _ => buckets.push((a, 1)),
+        }
+    }
+    // The first and last buckets may be the same direction across the 0/2π
+    // seam.
+    if buckets.len() > 1 {
+        let first = buckets[0];
+        let last = *buckets.last().expect("non-empty");
+        if (first.0 + TAU - last.0).abs() <= eps {
+            buckets[0].1 += last.1;
+            buckets.pop();
+        }
+    }
+    buckets
+}
+
+/// Computes the string of angles `SA(c)` of `config` around `center`
+/// (Definition 4).
+///
+/// Robots located at `center` (within `tol.snap`) are excluded. Robots
+/// sharing a direction contribute zero entries between them and one entry
+/// equal to the clockwise gap to the next occupied direction.
+///
+/// # Example
+///
+/// ```
+/// use gather_config::{string_of_angles, Configuration};
+/// use gather_geom::{Point, Tol};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let square = Configuration::new(vec![
+///     Point::new(1.0, 0.0), Point::new(0.0, 1.0),
+///     Point::new(-1.0, 0.0), Point::new(0.0, -1.0),
+/// ]);
+/// let sa = string_of_angles(&square, Point::ORIGIN, Tol::default());
+/// assert_eq!(sa.len(), 4);
+/// assert!(sa.entries().iter().all(|a| (a - FRAC_PI_2).abs() < 1e-9));
+/// assert_eq!(sa.periodicity(), 4);
+/// ```
+pub fn string_of_angles(config: &Configuration, center: Point, tol: Tol) -> StringOfAngles {
+    let buckets = direction_buckets(config, center, tol);
+    let mut entries: Vec<f64> = Vec::with_capacity(config.len());
+    let d = buckets.len();
+    for i in 0..d {
+        let (angle, count) = buckets[i];
+        // Zero angles between co-directional robots.
+        for _ in 1..count {
+            entries.push(0.0);
+        }
+        // Clockwise gap to the next direction. Buckets are sorted by CCW
+        // angle, so the clockwise successor direction is the *previous*
+        // bucket; traversing buckets in ascending order while recording the
+        // gap to the next ascending bucket yields the same cyclic string
+        // read counter-clockwise. Periodicity is invariant under reading
+        // direction reversal *of a cyclic string of gaps*, but to stay
+        // faithful to the paper we record clockwise gaps: the gap from this
+        // direction clockwise to the previous bucket equals the ascending
+        // difference, so we emit ascending differences which are exactly
+        // the clockwise gaps of the reversed traversal order.
+        let next = buckets[(i + 1) % d].0;
+        let gap = if d == 1 {
+            TAU
+        } else {
+            normalize_tau(next - angle)
+        };
+        entries.push(gap);
+    }
+    StringOfAngles { entries }
+}
+
+/// The greatest `k` such that the cyclic string `s` equals `x^k` for some
+/// block `x` (i.e. `k` divides `len` and rotating by `len/k` fixes the
+/// string). Empty strings have periodicity 1.
+pub fn string_periodicity<T: PartialEq>(s: &[T]) -> usize {
+    let n = s.len();
+    if n == 0 {
+        return 1;
+    }
+    // Try block lengths ascending: the first block length that tiles the
+    // string gives the largest k = n / block.
+    for block in 1..=n {
+        if n % block != 0 {
+            continue;
+        }
+        let tiles = (block..n).all(|i| s[i] == s[i - block]);
+        if tiles {
+            return n / block;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn ngon(n: usize, r: f64, phase: f64) -> Configuration {
+        (0..n)
+            .map(|k| {
+                let th = TAU * k as f64 / n as f64 + phase;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn periodicity_of_strings() {
+        assert_eq!(string_periodicity(&[1, 2, 1, 2, 1, 2]), 3);
+        assert_eq!(string_periodicity(&[1, 1, 1, 1]), 4);
+        assert_eq!(string_periodicity(&[1, 2, 3]), 1);
+        assert_eq!(string_periodicity(&[1, 2, 3, 1, 2, 3]), 2);
+        assert_eq!(string_periodicity::<i64>(&[]), 1);
+        assert_eq!(string_periodicity(&[7]), 1);
+    }
+
+    #[test]
+    fn square_string_is_four_right_angles() {
+        let sa = string_of_angles(&ngon(4, 2.0, 0.3), Point::ORIGIN, t());
+        assert_eq!(sa.len(), 4);
+        let total: f64 = sa.entries().iter().sum();
+        assert!((total - TAU).abs() < 1e-9);
+        assert!(sa.entries().iter().all(|a| (a - FRAC_PI_2).abs() < 1e-9));
+        assert_eq!(sa.periodicity(), 4);
+    }
+
+    #[test]
+    fn angles_sum_to_full_turn() {
+        let c = Configuration::new(vec![
+            Point::new(1.0, 0.2),
+            Point::new(-0.5, 1.0),
+            Point::new(-1.0, -1.3),
+            Point::new(0.7, -0.9),
+        ]);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        let total: f64 = sa.entries().iter().sum();
+        assert!((total - TAU).abs() < 1e-9);
+        assert_eq!(sa.periodicity(), 1);
+    }
+
+    #[test]
+    fn center_robots_are_excluded() {
+        let mut pts = ngon(3, 1.0, 0.0).points().to_vec();
+        pts.push(Point::ORIGIN);
+        pts.push(Point::ORIGIN);
+        let c = Configuration::new(pts);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        assert_eq!(sa.len(), 3); // 5 robots - mult(center)=2
+        assert_eq!(sa.periodicity(), 3);
+    }
+
+    #[test]
+    fn colinear_stack_contributes_zero_angles() {
+        // Two robots on the same ray: one zero entry.
+        let c = Configuration::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        assert_eq!(sa.len(), 3);
+        let zeros = sa.entries().iter().filter(|a| a.abs() < 1e-9).count();
+        assert_eq!(zeros, 1);
+    }
+
+    #[test]
+    fn co_located_robots_contribute_zero_angles() {
+        let c = Configuration::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(-1.0, 0.0),
+        ]);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        assert_eq!(sa.len(), 4);
+        assert_eq!(sa.periodicity(), 2);
+    }
+
+    #[test]
+    fn biangular_configuration_is_periodic_but_not_symmetric() {
+        // Alternating angles α, β with arbitrary radii: periodicity k.
+        let k = 3;
+        let alpha = 0.4;
+        let beta = TAU / k as f64 - alpha;
+        let mut pts = Vec::new();
+        let mut theta: f64 = 0.1;
+        let radii = [1.0, 2.5];
+        for i in 0..(2 * k) {
+            pts.push(Point::new(
+                radii[i % 2] * theta.cos(),
+                radii[i % 2] * theta.sin(),
+            ));
+            theta += if i % 2 == 0 { alpha } else { beta };
+        }
+        let c = Configuration::new(pts);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        assert_eq!(sa.len(), 2 * k);
+        assert_eq!(sa.periodicity(), k);
+    }
+
+    #[test]
+    fn single_direction_wraps_to_full_turn() {
+        let c = Configuration::new(vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)]);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        assert_eq!(sa.len(), 2);
+        let total: f64 = sa.entries().iter().sum();
+        assert!((total - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_robots_at_center_is_empty_string() {
+        let c = Configuration::new(vec![Point::ORIGIN; 3]);
+        let sa = string_of_angles(&c, Point::ORIGIN, t());
+        assert!(sa.is_empty());
+        assert_eq!(sa.periodicity(), 1);
+    }
+
+    #[test]
+    fn seam_bucket_merge() {
+        // Directions at ~0 and ~2π-ε must merge into one bucket.
+        let c = Configuration::new(vec![
+            Point::new(1.0, 1e-9),
+            Point::new(1.0, -1e-9),
+            Point::new(-1.0, 0.0),
+        ]);
+        let buckets = direction_buckets(&c, Point::ORIGIN, t());
+        assert_eq!(buckets.len(), 2);
+        let counts: Vec<usize> = buckets.iter().map(|(_, m)| *m).collect();
+        assert!(counts.contains(&2));
+    }
+
+    #[test]
+    fn periodicity_is_rotation_invariant() {
+        let base = ngon(6, 2.0, 0.0);
+        let rotated = ngon(6, 2.0, 1.234);
+        let p1 = string_of_angles(&base, Point::ORIGIN, t()).periodicity();
+        let p2 = string_of_angles(&rotated, Point::ORIGIN, t()).periodicity();
+        assert_eq!(p1, p2);
+        assert_eq!(p1, 6);
+    }
+
+    #[test]
+    fn off_center_destroys_periodicity() {
+        let c = ngon(4, 2.0, 0.0);
+        let sa = string_of_angles(&c, Point::new(0.5, 0.3), t());
+        assert_eq!(sa.periodicity(), 1);
+    }
+}

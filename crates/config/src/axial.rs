@@ -1,0 +1,208 @@
+//! Axial (mirror) symmetry detection.
+//!
+//! Section I of the paper: configurations that are neither quasi-regular
+//! nor linear "are either completely asymmetric or have only axial
+//! symmetry (i.e., mirror symmetry). Using the condition of chirality, we
+//! are able to break the symmetry for configurations having axial
+//! symmetry and thus treat them as asymmetric configurations."
+//!
+//! The detector here makes that structure observable: it finds a mirror
+//! axis when one exists. The gathering algorithm never needs it — that is
+//! the point of the chirality argument — but experiments and tests use it
+//! to label workloads and to verify that mirror-symmetric configurations
+//! really do classify as `A`.
+
+use crate::configuration::Configuration;
+use gather_geom::{centroid, Line, Point, Tol};
+
+/// Reflects `p` across `axis`.
+fn reflect(p: Point, axis: &Line) -> Point {
+    let t = axis.project(p);
+    let foot = axis.at(t);
+    foot + (foot - p)
+}
+
+/// Does reflecting the whole multiset across `axis` map it onto itself
+/// (within `tol.snap`)?
+pub fn is_mirror_axis(config: &Configuration, axis: &Line, tol: Tol) -> bool {
+    let points = config.points();
+    let mut used = vec![false; points.len()];
+    for p in points {
+        let image = reflect(*p, axis);
+        let mut matched = false;
+        for (j, q) in points.iter().enumerate() {
+            if !used[j] && q.within(image, tol.snap) {
+                used[j] = true;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds a mirror axis of the configuration, if any.
+///
+/// Any mirror axis of a finite multiset passes through its centroid, and
+/// either passes through an occupied position or is the perpendicular
+/// bisector of a pair of positions — so those finitely many candidates are
+/// exhaustive. Returns the first axis found (configurations may have
+/// several, e.g. regular polygons).
+///
+/// Gathered configurations (one distinct location) trivially admit every
+/// axis through the point; `None` is returned for them and for empty
+/// configurations, since "axial symmetry" is not a useful label there.
+///
+/// # Example
+///
+/// ```
+/// use gather_config::{axial::detect_mirror_axis, Configuration};
+/// use gather_geom::{Point, Tol};
+///
+/// // An isosceles triangle has a vertical mirror axis.
+/// let c = Configuration::new(vec![
+///     Point::new(-2.0, 0.0), Point::new(2.0, 0.0), Point::new(0.0, 5.0),
+/// ]);
+/// let axis = detect_mirror_axis(&c, Tol::default()).expect("isosceles");
+/// // The axis is vertical: its direction has no x component.
+/// assert!(axis.dir().x.abs() < 1e-9);
+/// ```
+pub fn detect_mirror_axis(config: &Configuration, tol: Tol) -> Option<Line> {
+    let distinct = config.distinct_points();
+    if distinct.len() < 2 {
+        return None;
+    }
+    let center = centroid(config.points());
+
+    let mut candidates: Vec<Line> = Vec::new();
+    // Axes through the centroid and an occupied position.
+    for p in &distinct {
+        if !p.within(center, tol.snap) {
+            candidates.push(Line::through(center, *p));
+        }
+    }
+    // Perpendicular bisectors of pairs (through the centroid).
+    for i in 0..distinct.len() {
+        for j in (i + 1)..distinct.len() {
+            let mid = distinct[i].midpoint(distinct[j]);
+            let dir = (distinct[j] - distinct[i]).perp();
+            if dir.norm() > tol.abs {
+                let a = mid;
+                let b = mid + dir;
+                // The axis must pass through the centroid.
+                let line = Line::through(a, b);
+                if line.distance_to(center) <= tol.snap {
+                    candidates.push(line);
+                }
+            }
+        }
+    }
+
+    candidates
+        .into_iter()
+        .find(|axis| is_mirror_axis(config, axis, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn reflection_is_an_involution() {
+        let axis = Line::through(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let p = Point::new(3.0, -2.0);
+        let image = reflect(p, &axis);
+        assert!(reflect(image, &axis).dist(p) < 1e-12);
+        // Reflecting across y = x swaps coordinates.
+        assert!(image.dist(Point::new(-2.0, 3.0)) < 1e-12);
+    }
+
+    #[test]
+    fn isosceles_triangle_axis() {
+        let c = Configuration::new(vec![
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 5.0),
+        ]);
+        let axis = detect_mirror_axis(&c, t()).expect("axis");
+        assert!(axis.contains(Point::new(0.0, 5.0), t()));
+        assert!(axis.contains(Point::new(0.0, 0.0), t()));
+    }
+
+    #[test]
+    fn scalene_has_no_axis() {
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 2.5),
+        ]);
+        assert!(detect_mirror_axis(&c, t()).is_none());
+    }
+
+    #[test]
+    fn regular_polygon_has_an_axis() {
+        let pts: Vec<Point> = (0..5)
+            .map(|k| {
+                let th = TAU * k as f64 / 5.0 + 0.3;
+                Point::new(2.0 * th.cos(), 2.0 * th.sin())
+            })
+            .collect();
+        assert!(detect_mirror_axis(&Configuration::new(pts), t()).is_some());
+    }
+
+    #[test]
+    fn generated_axial_workloads_have_axes() {
+        // (Mirrors the generator in gather-workloads without depending on
+        // it: build a mirror configuration by hand.)
+        let axis_angle = 0.7_f64;
+        let (s, c) = axis_angle.sin_cos();
+        let mut pts = Vec::new();
+        for (u, v) in [(1.0, 2.0), (-3.0, 1.0), (4.0, 3.5)] {
+            pts.push(Point::new(u * c - v * s, u * s + v * c));
+            pts.push(Point::new(u * c + v * s, u * s - v * c));
+        }
+        let config = Configuration::new(pts);
+        let axis = detect_mirror_axis(&config, t()).expect("axis");
+        // The detected axis has the constructed direction (mod π).
+        let got = axis.dir().angle().rem_euclid(std::f64::consts::PI);
+        let want = axis_angle.rem_euclid(std::f64::consts::PI);
+        assert!(
+            (got - want).abs() < 1e-6 || (got - want).abs() > std::f64::consts::PI - 1e-6,
+            "axis direction {got} vs constructed {want}"
+        );
+    }
+
+    #[test]
+    fn multiplicity_must_match_under_reflection() {
+        // A mirror pair with unequal multiplicities is not symmetric.
+        let c = Configuration::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert!(detect_mirror_axis(&c, t()).is_none());
+    }
+
+    #[test]
+    fn gathered_and_tiny_configurations_return_none() {
+        assert!(detect_mirror_axis(&Configuration::default(), t()).is_none());
+        let single = Configuration::new(vec![Point::new(1.0, 1.0); 3]);
+        assert!(detect_mirror_axis(&single, t()).is_none());
+    }
+
+    #[test]
+    fn two_point_configuration_has_axes() {
+        // Both the joining line and the perpendicular bisector are axes.
+        let c = Configuration::new(vec![Point::new(-1.0, 0.0), Point::new(1.0, 0.0)]);
+        assert!(detect_mirror_axis(&c, t()).is_some());
+    }
+}

@@ -1,0 +1,405 @@
+//! Classification of configurations (Section IV of the paper).
+//!
+//! Every configuration of `n ≥ 1` robots belongs to exactly one of five
+//! classes, and WAIT-FREE-GATHER dispatches on the class:
+//!
+//! | Class | Definition | Algorithm behaviour |
+//! |---|---|---|
+//! | `B`   | robots split `n/2 + n/2` over two points | *(gathering impossible — Lemma 5.2)* |
+//! | `M`   | unique point of maximum multiplicity | converge on it with side-steps |
+//! | `L1W` | collinear, unique Weber point (median) | move to the median |
+//! | `L2W` | collinear, non-unique Weber point | endpoints leave the line, others go to the line centre |
+//! | `QR`  | quasi-regular, not above | move to the centre of quasi-regularity (= Weber point) |
+//! | `A`   | asymmetric remainder | elect a safe point, move to it |
+//!
+//! `classify` follows the same priority order the definitions use, so the
+//! classes are disjoint by construction; the partition property
+//! (`B ∪ M ∪ L ∪ QR ∪ A = P`) is validated empirically by experiment T6.
+
+use crate::configuration::Configuration;
+use crate::quasi::detect_quasi_regularity;
+use gather_geom::{weber::median_interval_on_line, Point, Tol};
+
+/// The five configuration classes of the paper (`L` split into `L1W` and
+/// `L2W` as in Section IV.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    /// `B`: robots equally distributed over exactly two points.
+    /// Deterministic gathering is impossible from this class.
+    Bivalent,
+    /// `M`: a unique point of maximum multiplicity exists.
+    Multiple,
+    /// `L1W`: collinear with a unique Weber point (unique median).
+    Collinear1W,
+    /// `L2W`: collinear with infinitely many Weber points.
+    Collinear2W,
+    /// `QR`: quasi-regular (includes regular, biangular, and rotationally
+    /// symmetric configurations), not in the previous classes.
+    QuasiRegular,
+    /// `A`: asymmetric (`sym(C) = 1`) remainder.
+    Asymmetric,
+}
+
+impl Class {
+    /// Short name as used in the paper (`B`, `M`, `L1W`, `L2W`, `QR`, `A`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Class::Bivalent => "B",
+            Class::Multiple => "M",
+            Class::Collinear1W => "L1W",
+            Class::Collinear2W => "L2W",
+            Class::QuasiRegular => "QR",
+            Class::Asymmetric => "A",
+        }
+    }
+
+    /// All classes, in the paper's priority order.
+    pub fn all() -> [Class; 6] {
+        [
+            Class::Bivalent,
+            Class::Multiple,
+            Class::Collinear1W,
+            Class::Collinear2W,
+            Class::QuasiRegular,
+            Class::Asymmetric,
+        ]
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The result of classifying a configuration, with the artefacts the
+/// gathering algorithm needs for the class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The configuration's class.
+    pub class: Class,
+    /// Number of robots.
+    pub n: usize,
+    /// The unique movement target, when the class defines one:
+    /// the max-multiplicity point for `M`, the Weber point for `L1W`,
+    /// the centre of quasi-regularity for `QR`.
+    pub target: Option<Point>,
+    /// For `QR`: the quasi-regularity `qreg(C)`.
+    pub qreg: Option<usize>,
+}
+
+/// Classifies `config` into the paper's partition (Section IV.A) and
+/// returns the class together with the class's movement target when one is
+/// intrinsic to the class.
+///
+/// # Panics
+///
+/// Panics if the configuration is empty: the paper's model has `n ≥ 1`
+/// robots and an empty configuration has no meaningful class.
+///
+/// # Example
+///
+/// ```
+/// use gather_config::{classify, Class, Configuration};
+/// use gather_geom::{Point, Tol};
+///
+/// let bivalent = Configuration::new(vec![
+///     Point::new(0.0, 0.0), Point::new(0.0, 0.0),
+///     Point::new(3.0, 0.0), Point::new(3.0, 0.0),
+/// ]);
+/// assert_eq!(classify(&bivalent, Tol::default()).class, Class::Bivalent);
+/// ```
+pub fn classify(config: &Configuration, tol: Tol) -> Analysis {
+    assert!(!config.is_empty(), "cannot classify an empty configuration");
+    let n = config.len();
+    let distinct = config.distinct();
+
+    // Gathered configurations are class M with the gathering point as
+    // target (the M rule keeps them gathered: the robot at the unique
+    // maximum does not move).
+    if distinct.len() == 1 {
+        return Analysis {
+            class: Class::Multiple,
+            n,
+            target: Some(distinct[0].0),
+            qreg: None,
+        };
+    }
+
+    // B: exactly two locations, each with n/2 robots.
+    if distinct.len() == 2 && distinct[0].1 == distinct[1].1 {
+        return Analysis {
+            class: Class::Bivalent,
+            n,
+            target: None,
+            qreg: None,
+        };
+    }
+
+    // M: unique point of maximum multiplicity.
+    if let Some((p, _)) = config.unique_max_multiplicity() {
+        return Analysis {
+            class: Class::Multiple,
+            n,
+            target: Some(p),
+            qreg: None,
+        };
+    }
+
+    // L: linear configurations, split by Weber-point uniqueness. Linearity
+    // was established on the distinct positions above; the median interval
+    // is computed by projection (no second collinearity test, which could
+    // disagree on near-coincident clusters).
+    if config.is_linear(tol) {
+        let (lo, hi) = median_interval_on_line(config.points(), tol);
+        if lo.dist(hi) <= tol.snap {
+            return Analysis {
+                class: Class::Collinear1W,
+                n,
+                target: Some(lo.midpoint(hi)),
+                qreg: None,
+            };
+        }
+        return Analysis {
+            class: Class::Collinear2W,
+            n,
+            target: None,
+            qreg: None,
+        };
+    }
+
+    // QR: quasi-regular configurations.
+    if let Some(qr) = detect_quasi_regularity(config, tol) {
+        return Analysis {
+            class: Class::QuasiRegular,
+            n,
+            target: Some(qr.center),
+            qreg: Some(qr.m),
+        };
+    }
+
+    // A: everything else. By the partition argument of Section IV.A any
+    // remaining configuration has sym(C) = 1 (a symmetric one would have
+    // been caught by the QR detector via its SEC centre).
+    Analysis {
+        class: Class::Asymmetric,
+        n,
+        target: None,
+        qreg: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetry::rotational_symmetry;
+    use std::f64::consts::TAU;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn ngon(n: usize, r: f64) -> Vec<Point> {
+        (0..n)
+            .map(|k| {
+                let th = TAU * k as f64 / n as f64;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_configuration_panics() {
+        let _ = classify(&Configuration::default(), t());
+    }
+
+    #[test]
+    fn gathered_is_multiple() {
+        let c = Configuration::new(vec![Point::new(1.0, 2.0); 7]);
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::Multiple);
+        assert_eq!(a.target, Some(Point::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn bivalent_detection() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(5.0, 0.0);
+        let c = Configuration::new(vec![p, p, p, q, q, q]);
+        assert_eq!(classify(&c, t()).class, Class::Bivalent);
+        // Unequal split over two points is NOT bivalent — it's M.
+        let c2 = Configuration::new(vec![p, p, p, q, q]);
+        let a2 = classify(&c2, t());
+        assert_eq!(a2.class, Class::Multiple);
+        assert_eq!(a2.target, Some(p));
+    }
+
+    #[test]
+    fn two_robots_at_distinct_points_are_bivalent() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert_eq!(classify(&c, t()).class, Class::Bivalent);
+    }
+
+    #[test]
+    fn multiple_beats_linearity() {
+        // A linear configuration with a unique max multiplicity is M.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+        ]);
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::Multiple);
+        assert_eq!(a.target, Some(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_odd_is_l1w() {
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(4.0, 4.0),
+        ]);
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::Collinear1W);
+        assert!(a.target.unwrap().dist(Point::new(1.0, 1.0)) < 1e-9);
+    }
+
+    #[test]
+    fn collinear_even_distinct_medians_is_l2w() {
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(7.0, 0.0),
+        ]);
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::Collinear2W);
+        assert!(a.target.is_none());
+    }
+
+    #[test]
+    fn collinear_even_with_coincident_medians_is_l1w() {
+        // Middle two robots at the same point, but max multiplicity tied:
+        // 2 robots at x=3 and 2 robots at x=0 → no unique max → linear →
+        // median = 3 (positions 0,0,3,3,8 sorted: n=5 odd). Build n=6:
+        // 0,0,3,3,3? that's unique max. Use 0,0,3,3,8,9: medians both 3.
+        let xs = [0.0, 0.0, 3.0, 3.0, 8.0, 9.0];
+        let c = Configuration::new(xs.map(|x| Point::new(x, 0.0)).to_vec());
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::Collinear1W);
+        assert!(a.target.unwrap().dist(Point::new(3.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn square_is_quasi_regular() {
+        let c = Configuration::new(ngon(4, 2.0));
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::QuasiRegular);
+        assert_eq!(a.qreg, Some(4));
+        assert!(a.target.unwrap().dist(Point::ORIGIN) < 1e-6);
+    }
+
+    /// Robustly asymmetric: Weber point at the occupied origin, directions
+    /// 0°/100°/200° not periodic (see the quasi module for why generic
+    /// small configurations end up quasi-regular instead).
+    fn asymmetric4() -> Configuration {
+        let deg = |d: f64| d.to_radians();
+        Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(2.0 * deg(100.0).cos(), 2.0 * deg(100.0).sin()),
+            Point::new(2.5 * deg(200.0).cos(), 2.5 * deg(200.0).sin()),
+        ])
+    }
+
+    #[test]
+    fn vertex_weber_quadrilateral_is_asymmetric() {
+        let c = asymmetric4();
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::Asymmetric);
+        assert_eq!(rotational_symmetry(&c, t()), 1);
+    }
+
+    #[test]
+    fn scalene_triangle_is_quasi_regular() {
+        // Any triangle with all angles < 120° is regular around its Fermat
+        // point (string of angles (2π/3)³), hence in QR, not A.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 2.5),
+        ]);
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::QuasiRegular);
+        assert_eq!(a.qreg, Some(3));
+    }
+
+    #[test]
+    fn classes_are_disjoint_over_a_gallery() {
+        // classify returns exactly one class per configuration by
+        // construction; verify the expected class on one representative of
+        // each.
+        let reps: Vec<(Configuration, Class)> = vec![
+            (
+                Configuration::new(vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                ]),
+                Class::Bivalent,
+            ),
+            (
+                Configuration::new(vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                ]),
+                Class::Multiple,
+            ),
+            (
+                Configuration::new(vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                    Point::new(5.0, 0.0),
+                ]),
+                Class::Collinear1W,
+            ),
+            (
+                Configuration::new(vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                    Point::new(2.0, 0.0),
+                    Point::new(5.0, 0.0),
+                ]),
+                Class::Collinear2W,
+            ),
+            (Configuration::new(ngon(6, 1.0)), Class::QuasiRegular),
+            (asymmetric4(), Class::Asymmetric),
+        ];
+        for (c, expected) in &reps {
+            assert_eq!(classify(c, t()).class, *expected, "config {c}");
+        }
+    }
+
+    #[test]
+    fn symmetric_triangle_with_center_robot() {
+        // Equilateral triangle + robot at the centre: all multiplicities
+        // are 1 with 4 points, non-linear, quasi-regular with occupied
+        // centre.
+        let mut pts = ngon(3, 2.0);
+        pts.push(Point::ORIGIN);
+        let c = Configuration::new(pts);
+        let a = classify(&c, t());
+        assert_eq!(a.class, Class::QuasiRegular);
+        assert!(a.target.unwrap().dist(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn short_names_cover_all_classes() {
+        let names: Vec<&str> = Class::all().iter().map(|c| c.short_name()).collect();
+        assert_eq!(names, vec!["B", "M", "L1W", "L2W", "QR", "A"]);
+        assert_eq!(format!("{}", Class::QuasiRegular), "QR");
+    }
+}

@@ -1,0 +1,394 @@
+//! The multiset of robot positions (`C_R(τ)` in the paper) and strong
+//! multiplicity detection.
+
+use gather_geom::{
+    are_collinear, smallest_enclosing_circle, Circle, Point, Tol,
+};
+
+/// A configuration of `n` robots: a *multiset* of points on the plane.
+///
+/// The paper's robots have **strong multiplicity detection**: a robot can
+/// count exactly how many robots occupy each point. [`Configuration`]
+/// supports this through [`Configuration::distinct`] (the paper's `U(C)`
+/// with multiplicities) and [`Configuration::mult`].
+///
+/// To make multiplicity well defined in floating point, configurations are
+/// usually built with [`Configuration::canonical`], which snaps together
+/// points closer than `tol.snap` so that co-located robots have bitwise
+/// identical coordinates.
+///
+/// # Example
+///
+/// ```
+/// use gather_config::Configuration;
+/// use gather_geom::{Point, Tol};
+///
+/// let c = Configuration::canonical(
+///     vec![
+///         Point::new(0.0, 0.0),
+///         Point::new(1e-9, -1e-9),     // same location, up to noise
+///         Point::new(3.0, 4.0),
+///     ],
+///     Tol::default(),
+/// );
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.distinct().len(), 2);
+/// assert_eq!(c.mult(Point::new(0.0, 0.0), Tol::default()), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Configuration {
+    points: Vec<Point>,
+}
+
+impl Configuration {
+    /// Creates a configuration from robot positions as given (no snapping).
+    pub fn new(points: Vec<Point>) -> Self {
+        Configuration { points }
+    }
+
+    /// Creates a configuration, snapping together all points within
+    /// `tol.snap` of each other so multiplicity detection is exact.
+    ///
+    /// Clustering is transitive (single-linkage): a chain of nearby points
+    /// collapses into one location, represented by the cluster centroid.
+    pub fn canonical(points: Vec<Point>, tol: Tol) -> Self {
+        Configuration {
+            points: canonicalize(points, tol.snap),
+        }
+    }
+
+    /// Number of robots `n`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Is the configuration empty (no robots)?
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The positions of all robots, one entry per robot.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The paper's `U(C)`: distinct occupied locations, each with its
+    /// multiplicity, in deterministic (lexicographic) order.
+    ///
+    /// Positions are compared bitwise; build the configuration with
+    /// [`Configuration::canonical`] if the input may contain noise.
+    pub fn distinct(&self) -> Vec<(Point, usize)> {
+        let mut sorted: Vec<Point> = self.points.clone();
+        sorted.sort_by(|a, b| a.lex_cmp(*b));
+        let mut out: Vec<(Point, usize)> = Vec::new();
+        for p in sorted {
+            match out.last_mut() {
+                Some((q, m)) if *q == p => *m += 1,
+                _ => out.push((p, 1)),
+            }
+        }
+        out
+    }
+
+    /// The distinct occupied locations without multiplicities.
+    pub fn distinct_points(&self) -> Vec<Point> {
+        self.distinct().into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// The multiplicity of location `p`: how many robots are within
+    /// `tol.snap` of it (strong multiplicity detection, `mult(p)`).
+    pub fn mult(&self, p: Point, tol: Tol) -> usize {
+        self.points.iter().filter(|q| q.within(p, tol.snap)).count()
+    }
+
+    /// The maximum multiplicity over all locations, with the locations that
+    /// attain it.
+    pub fn max_multiplicity(&self) -> (usize, Vec<Point>) {
+        let distinct = self.distinct();
+        let max = distinct.iter().map(|(_, m)| *m).max().unwrap_or(0);
+        let points = distinct
+            .into_iter()
+            .filter(|(_, m)| *m == max)
+            .map(|(p, _)| p)
+            .collect();
+        (max, points)
+    }
+
+    /// Does exactly one location attain the maximum multiplicity, and if so
+    /// which (the class-`M` test)?
+    pub fn unique_max_multiplicity(&self) -> Option<(Point, usize)> {
+        let (max, points) = self.max_multiplicity();
+        if points.len() == 1 {
+            Some((points[0], max))
+        } else {
+            None
+        }
+    }
+
+    /// Are all robots on one straight line (the paper's *linear*
+    /// configuration)? Configurations with at most 2 distinct locations are
+    /// linear by convention.
+    pub fn is_linear(&self, tol: Tol) -> bool {
+        are_collinear(&self.distinct_points(), tol)
+    }
+
+    /// Are all robots at a single location?
+    pub fn is_gathered(&self) -> bool {
+        self.distinct().len() <= 1
+    }
+
+    /// The smallest enclosing circle of the distinct locations
+    /// (`sec(U(C))` in the paper).
+    pub fn sec(&self) -> Circle {
+        smallest_enclosing_circle(&self.distinct_points())
+    }
+
+    /// Sum of distances from `x` to every robot (with multiplicity) — the
+    /// Weber objective over the configuration.
+    pub fn sum_of_distances(&self, x: Point) -> f64 {
+        self.points.iter().map(|p| x.dist(*p)).sum()
+    }
+
+    /// Applies `f` to every robot position, producing a new configuration.
+    /// Useful for expressing global transforms in tests.
+    pub fn map(&self, mut f: impl FnMut(Point) -> Point) -> Configuration {
+        Configuration {
+            points: self.points.iter().map(|p| f(*p)).collect(),
+        }
+    }
+}
+
+impl FromIterator<Point> for Configuration {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Configuration::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point> for Configuration {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Configuration[n={}] {{ ", self.len())?;
+        for (p, m) in self.distinct() {
+            if m > 1 {
+                write!(f, "{p}x{m} ")?;
+            } else {
+                write!(f, "{p} ")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Single-linkage clustering of points within `snap`, replacing each
+/// cluster by its centroid. O(n²) union-find; n is small (robot counts).
+fn canonicalize(points: Vec<Point>, snap: f64) -> Vec<Point> {
+    let n = points.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if points[i].within(points[j], snap) {
+                let ri = find(&mut parent, i);
+                let rj = find(&mut parent, j);
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    // Centroid per cluster.
+    let mut sum_x = vec![0.0f64; n];
+    let mut sum_y = vec![0.0f64; n];
+    let mut count = vec![0usize; n];
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        sum_x[r] += points[i].x;
+        sum_y[r] += points[i].y;
+        count[r] += 1;
+    }
+    (0..n)
+        .map(|i| {
+            let r = find(&mut parent, i);
+            Point::new(sum_x[r] / count[r] as f64, sum_y[r] / count[r] as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn distinct_counts_multiplicities() {
+        let c = Configuration::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+        ]);
+        let d = c.distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (Point::new(0.0, 0.0), 1));
+        assert_eq!(d[1], (Point::new(1.0, 1.0), 3));
+    }
+
+    #[test]
+    fn canonical_snaps_noisy_duplicates() {
+        let c = Configuration::canonical(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1e-8, 1e-8),
+                Point::new(-1e-8, 0.0),
+                Point::new(2.0, 2.0),
+            ],
+            t(),
+        );
+        assert_eq!(c.distinct().len(), 2);
+        let (max, pts) = c.max_multiplicity();
+        assert_eq!(max, 3);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].dist(Point::ORIGIN) < 1e-7);
+    }
+
+    #[test]
+    fn canonical_clusters_transitively() {
+        // Chain: a-b within snap, b-c within snap, a-c slightly beyond.
+        let snap = 1e-6;
+        let tol = Tol::new(1e-9, 1e-9, snap);
+        let c = Configuration::canonical(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.8e-6, 0.0),
+                Point::new(1.6e-6, 0.0),
+            ],
+            tol,
+        );
+        assert_eq!(c.distinct().len(), 1);
+    }
+
+    #[test]
+    fn mult_uses_snap_radius() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        assert_eq!(c.mult(Point::new(0.0, 1e-8), t()), 1);
+        assert_eq!(c.mult(Point::new(2.0, 0.0), t()), 0);
+    }
+
+    #[test]
+    fn unique_max_multiplicity_detection() {
+        let unique = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        let (p, m) = unique.unique_max_multiplicity().unwrap();
+        assert_eq!((p, m), (Point::new(0.0, 0.0), 2));
+
+        let tie = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(tie.unique_max_multiplicity().is_none());
+    }
+
+    #[test]
+    fn linearity() {
+        let line = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(4.0, 4.0),
+            Point::new(1.0, 1.0),
+        ]);
+        assert!(line.is_linear(t()));
+        let tri = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
+        assert!(!tri.is_linear(t()));
+        // <= 2 distinct points is always linear.
+        let two = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert!(two.is_linear(t()));
+    }
+
+    #[test]
+    fn gathered_detection() {
+        let g = Configuration::new(vec![Point::new(2.0, 2.0); 5]);
+        assert!(g.is_gathered());
+        let ng = Configuration::new(vec![Point::new(2.0, 2.0), Point::new(3.0, 2.0)]);
+        assert!(!ng.is_gathered());
+        assert!(Configuration::default().is_gathered());
+    }
+
+    #[test]
+    fn sec_ignores_multiplicity() {
+        // sec is over U(C): stacking robots on one point must not move it.
+        let base = Configuration::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        let stacked = Configuration::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(base.sec().center.dist(stacked.sec().center) < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_distances_counts_multiplicity() {
+        let c = Configuration::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-2.0, 0.0),
+        ]);
+        assert_eq!(c.sum_of_distances(Point::ORIGIN), 1.0 + 1.0 + 2.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut c: Configuration = (0..3).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_eq!(c.len(), 3);
+        c.extend([Point::new(9.0, 9.0)]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn map_applies_transform() {
+        let c = Configuration::new(vec![Point::new(1.0, 2.0)]);
+        let moved = c.map(|p| Point::new(p.x + 1.0, p.y));
+        assert_eq!(moved.points()[0], Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn display_shows_multiplicity() {
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        let s = format!("{c}");
+        assert!(s.contains("x2"), "{s}");
+        assert!(s.contains("n=3"), "{s}");
+    }
+}

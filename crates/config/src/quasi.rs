@@ -1,0 +1,432 @@
+//! Quasi-regular configurations and their detection (Definitions 6–7,
+//! Lemma 3.4, Theorem 3.1 of the paper).
+//!
+//! A configuration `C` is *quasi-regular* with centre `c` when a regular
+//! configuration with centre of regularity `c` can be obtained from `C` by
+//! moving only robots located at `c`. Quasi-regularity matters because:
+//!
+//! * it is preserved when robots move straight toward the centre (even if
+//!   the adversary interrupts them), and
+//! * the centre of quasi-regularity of a non-linear configuration **is its
+//!   Weber point** (Lemma 3.3), the ideal crash-tolerant gathering target.
+//!
+//! Detection has two cases:
+//!
+//! * **Occupied centre** (`c ∈ C`): the paper's combinatorial criterion
+//!   (Lemma 3.4) — for some `m > 1`, the robots at `c` suffice to fill every
+//!   angular slot of the `2π/m`-rotation orbits of the occupied directions
+//!   around `c` up to the orbit's maximum. Implemented exactly in
+//!   [`quasi_regular_with_center`].
+//! * **Unoccupied centre**: then no point may be moved, so `C` itself must
+//!   be regular around `c`; such a centre satisfies the Weber first-order
+//!   condition and is found among the regularity candidate centres (SEC
+//!   centre, numeric Weber point).
+
+use crate::angles::{center_zone_radius, direction_buckets, ANGLE_EPS};
+use crate::configuration::Configuration;
+use crate::regularity::{candidate_centers, regularity_around};
+use gather_geom::{Point, Tol};
+use std::f64::consts::TAU;
+
+/// Evidence that a configuration is quasi-regular (Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuasiRegularity {
+    /// The centre of quasi-regularity `CQR(C)`; for non-linear
+    /// configurations this is the Weber point (Lemma 3.3).
+    pub center: Point,
+    /// The quasi-regularity `qreg(C) > 1`.
+    pub m: usize,
+    /// Whether the centre is an occupied position.
+    pub center_occupied: bool,
+}
+
+/// Absolute circular distance between two angles, in `[0, π]`.
+fn circ_diff(a: f64, b: f64) -> f64 {
+    let mut d = (a - b).abs() % TAU;
+    if d > TAU / 2.0 {
+        d = TAU - d;
+    }
+    d
+}
+
+/// Lemma 3.4: is `config` quasi-regular with **occupied** centre `p`?
+///
+/// Returns the largest `m > 1` for which the criterion
+/// `mult(p) ≥ Σ_x (OBJ(C, x) − LOC(C, x))` holds — i.e. the robots stacked
+/// at `p` can be redistributed to the empty angular slots so that the
+/// directions around `p` become `m`-periodic — or `None` if no `m` works.
+///
+/// `p` must carry at least one robot, and at least one robot must lie
+/// elsewhere (otherwise the notion is degenerate and `None` is returned).
+///
+/// # Example
+///
+/// ```
+/// use gather_config::{quasi_regular_with_center, Configuration};
+/// use gather_geom::{Point, Tol};
+///
+/// // Three of four corners of a square plus 1 spare robot at the centre:
+/// // the spare can complete the square, so the configuration is
+/// // quasi-regular with the centre as its Weber point.
+/// let c = Configuration::new(vec![
+///     Point::new(1.0, 0.0), Point::new(0.0, 1.0), Point::new(-1.0, 0.0),
+///     Point::new(0.0, 0.0),
+/// ]);
+/// let m = quasi_regular_with_center(&c, Point::new(0.0, 0.0), Tol::default());
+/// assert_eq!(m, Some(4));
+/// ```
+pub fn quasi_regular_with_center(
+    config: &Configuration,
+    p: Point,
+    tol: Tol,
+) -> Option<usize> {
+    if config.mult(p, tol) == 0 {
+        return None;
+    }
+    // Robots within the centre zone count as located at p: they are the
+    // robots the quasi-regular rule may move (or has just gathered), and
+    // their directions from p are numerically meaningless.
+    let zone = center_zone_radius(config, p, tol);
+    let mult_p = config
+        .points()
+        .iter()
+        .filter(|q| q.within(p, zone))
+        .count();
+    let buckets = direction_buckets(config, p, tol);
+    if buckets.is_empty() {
+        return None; // all robots at p: gathered, not quasi-regular
+    }
+    let n = config.len();
+    let eps = ANGLE_EPS;
+
+    let mut best: Option<usize> = None;
+    for m in 2..=n {
+        let step = TAU / m as f64;
+        let mut visited = vec![false; buckets.len()];
+        let mut deficiency: usize = 0;
+        let mut feasible = true;
+        for i in 0..buckets.len() {
+            if visited[i] {
+                continue;
+            }
+            // The orbit of direction i under rotation by 2π/m: m slots.
+            let base = buckets[i].0;
+            let mut counts: Vec<usize> = Vec::with_capacity(m);
+            for j in 0..m {
+                let target = base + step * j as f64;
+                let mut found = 0usize;
+                for (k, (angle, count)) in buckets.iter().enumerate() {
+                    if circ_diff(*angle, target) <= eps {
+                        found = *count;
+                        if visited[k] && k != i {
+                            // Slot already claimed by another orbit: the
+                            // orbits overlap inconsistently under this m.
+                            feasible = false;
+                        }
+                        visited[k] = true;
+                        break;
+                    }
+                }
+                counts.push(found);
+            }
+            if !feasible {
+                break;
+            }
+            let obj = *counts.iter().max().expect("m >= 2 slots");
+            deficiency += counts.iter().map(|c| obj - c).sum::<usize>();
+        }
+        if feasible && deficiency <= mult_p {
+            best = Some(m);
+        }
+    }
+    best
+}
+
+/// Theorem 3.1: detects whether `config` is quasi-regular and, if so,
+/// returns its centre (= Weber point for non-linear configurations) and
+/// quasi-regularity.
+///
+/// Linear configurations are excluded by convention (`None`): the paper's
+/// class `QR` is disjoint from the linear classes, and the Weber machinery
+/// for lines lives in `gather_geom::weber`.
+///
+/// Occupied-centre candidates are tested with the exact combinatorial
+/// criterion of Lemma 3.4; unoccupied candidates (SEC centre, numeric Weber
+/// point) with the string-of-angles periodicity. Occupied centres win ties
+/// because their test is exact.
+pub fn detect_quasi_regularity(config: &Configuration, tol: Tol) -> Option<QuasiRegularity> {
+    if config.len() < 2 || config.is_gathered() || config.is_linear(tol) {
+        return None;
+    }
+    // Occupied centres: Lemma 3.4, prefiltered by the Weber subgradient
+    // condition — by Lemma 3.3 the centre of quasi-regularity must be the
+    // Weber point, and an occupied point p with multiplicity k is the
+    // Weber point only if the residual pull of the other robots satisfies
+    // |Σ unit(p→q)| ≤ k. The prefilter is exact up to floating noise and
+    // prunes the O(n³) combinatorial test from all but O(1) candidates.
+    let mut best: Option<QuasiRegularity> = None;
+    for (p, _mult) in config.distinct() {
+        let zone = center_zone_radius(config, p, tol);
+        let mut pull = gather_geom::Vec2::ZERO;
+        let mut zone_mult = 0usize;
+        for q in config.points() {
+            if q.within(p, zone) {
+                zone_mult += 1;
+            } else {
+                pull += (*q - p).normalized();
+            }
+        }
+        // Generous slack: direction noise contributes at most ANGLE_EPS
+        // per robot to the residual; a false pass only costs time.
+        if pull.norm() > zone_mult as f64 + 0.1 + ANGLE_EPS * config.len() as f64 {
+            continue;
+        }
+        if let Some(m) = quasi_regular_with_center(config, p, tol) {
+            if best.map_or(true, |b| m > b.m) {
+                best = Some(QuasiRegularity {
+                    center: p,
+                    m,
+                    center_occupied: true,
+                });
+            }
+        }
+    }
+    if best.is_some() {
+        return best;
+    }
+    // Unoccupied centres: C itself must be regular around the centre.
+    for c in candidate_centers(config, tol) {
+        if config.mult(c, tol) > 0 {
+            continue; // occupied candidates already handled exactly
+        }
+        let m = regularity_around(config, c, tol);
+        if m > 1 && best.map_or(true, |b| m > b.m) {
+            best = Some(QuasiRegularity {
+                center: c,
+                m,
+                center_occupied: false,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_geom::weber_objective;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn ngon(n: usize, r: f64, phase: f64) -> Vec<Point> {
+        (0..n)
+            .map(|k| {
+                let th = TAU * k as f64 / n as f64 + phase;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn regular_polygon_is_quasi_regular_with_unoccupied_center() {
+        let c = Configuration::new(ngon(5, 2.0, 0.3));
+        let qr = detect_quasi_regularity(&c, t()).expect("5-gon is quasi-regular");
+        assert_eq!(qr.m, 5);
+        assert!(!qr.center_occupied);
+        assert!(qr.center.dist(Point::ORIGIN) < 1e-6);
+    }
+
+    #[test]
+    fn occupied_center_completion() {
+        // 4 of 6 hexagon corners + 2 robots at the centre: the centre
+        // robots can fill the 2 missing corners.
+        let corners = ngon(6, 2.0, 0.0);
+        let mut pts = corners[..4].to_vec();
+        pts.push(Point::ORIGIN);
+        pts.push(Point::ORIGIN);
+        let c = Configuration::new(pts);
+        let m = quasi_regular_with_center(&c, Point::ORIGIN, t());
+        assert_eq!(m, Some(6));
+        let qr = detect_quasi_regularity(&c, t()).expect("quasi-regular");
+        assert!(qr.center_occupied);
+        assert!(qr.center.dist(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_center_multiplicity_fails() {
+        // 4 of 6 hexagon corners + only 1 robot at the centre: cannot fill
+        // 2 missing corners with one robot — m = 6 infeasible. But m = 2 is
+        // feasible: opposite corners pair up (2 orbits complete) and the 2
+        // unpaired corners need... check exact combinatorics instead of
+        // guessing: the test asserts only that m = 6 is not claimed.
+        let corners = ngon(6, 2.0, 0.0);
+        let mut pts = corners[..4].to_vec();
+        pts.push(Point::ORIGIN);
+        let c = Configuration::new(pts);
+        let m = quasi_regular_with_center(&c, Point::ORIGIN, t());
+        assert_ne!(m, Some(6));
+    }
+
+    /// A robustly asymmetric configuration: the Weber point coincides with
+    /// the occupied point at the origin (the pull of the other three robots
+    /// has norm ≈ 0.65 < 1), and the directions from it (0°, 100°, 200°)
+    /// are not periodic. Note that a *generic* 4-point configuration with
+    /// an unoccupied Weber point is quasi-regular with m = 2: four unit
+    /// vectors summing to zero are always invariant under rotation by π.
+    fn asymmetric4() -> Configuration {
+        let deg = |d: f64| d.to_radians();
+        Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(2.0 * deg(100.0).cos(), 2.0 * deg(100.0).sin()),
+            Point::new(2.5 * deg(200.0).cos(), 2.5 * deg(200.0).sin()),
+        ])
+    }
+
+    #[test]
+    fn asymmetric_is_not_quasi_regular() {
+        assert!(detect_quasi_regularity(&asymmetric4(), t()).is_none());
+    }
+
+    #[test]
+    fn every_triangle_is_quasi_regular_via_its_fermat_point() {
+        // The string of angles around the Fermat point of any triangle with
+        // all angles < 120° is (2π/3)³, so scalene triangles are regular —
+        // the paper's QR class subsumes the classic 3-robot algorithm of
+        // moving to the Weber point.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 2.5),
+        ]);
+        let qr = detect_quasi_regularity(&c, t()).expect("triangle is quasi-regular");
+        assert_eq!(qr.m, 3);
+        assert!(!qr.center_occupied);
+    }
+
+    #[test]
+    fn generic_four_points_are_quasi_regular_with_period_two() {
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 2.5),
+            Point::new(3.4, 2.9),
+        ]);
+        let qr = detect_quasi_regularity(&c, t()).expect("4 points, interior Weber point");
+        assert_eq!(qr.m, 2);
+    }
+
+    #[test]
+    fn linear_configurations_are_excluded() {
+        let c = Configuration::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(detect_quasi_regularity(&c, t()).is_none());
+    }
+
+    #[test]
+    fn quasi_regular_center_is_weber_point() {
+        // Lemma 3.3: CQR(C) = WP(C) for non-linear quasi-regular C.
+        let mut pts = ngon(4, 3.0, 0.0);
+        pts.push(Point::ORIGIN); // occupied centre
+        let c = Configuration::new(pts);
+        let qr = detect_quasi_regularity(&c, t()).expect("quasi-regular");
+        // The centre minimises the Weber objective against perturbations.
+        let obj = weber_objective(qr.center, c.points());
+        for dir in 0..8 {
+            let th = TAU * dir as f64 / 8.0;
+            let probe = Point::new(
+                qr.center.x + 0.05 * th.cos(),
+                qr.center.y + 0.05 * th.sin(),
+            );
+            assert!(weber_objective(probe, c.points()) >= obj - 1e-12);
+        }
+    }
+
+    #[test]
+    fn biangular_with_unequal_radii_is_quasi_regular() {
+        let k = 3usize;
+        let alpha = 0.5;
+        let beta = TAU / k as f64 - alpha;
+        let mut pts = Vec::new();
+        let mut theta: f64 = 0.2;
+        for i in 0..(2 * k) {
+            let r = if i % 2 == 0 { 1.0 } else { 2.0 };
+            pts.push(Point::new(r * theta.cos(), r * theta.sin()));
+            theta += if i % 2 == 0 { alpha } else { beta };
+        }
+        let c = Configuration::new(pts);
+        let qr = detect_quasi_regularity(&c, t()).expect("biangular is quasi-regular");
+        assert!(qr.m >= k, "m = {}", qr.m);
+        assert!(qr.center.dist(Point::ORIGIN) < 1e-5);
+    }
+
+    #[test]
+    fn moving_points_toward_center_preserves_quasi_regularity() {
+        let c = Configuration::new(ngon(4, 2.0, 0.0));
+        let qr = detect_quasi_regularity(&c, t()).expect("square");
+        // Move two robots partway toward the centre (adversarial stops).
+        let moved = Configuration::new(
+            c.points()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| match i {
+                    0 => p.lerp(qr.center, 0.5),
+                    1 => p.lerp(qr.center, 0.8),
+                    _ => *p,
+                })
+                .collect(),
+        );
+        let qr2 = detect_quasi_regularity(&moved, t()).expect("still quasi-regular");
+        assert!(qr2.center.dist(qr.center) < 1e-6);
+    }
+
+    #[test]
+    fn robots_reaching_the_center_keep_it_quasi_regular() {
+        // One robot of a square reaches the centre: now an occupied-centre
+        // quasi-regular configuration (the centre robot could rebuild the
+        // square).
+        let mut pts = ngon(4, 2.0, 0.0);
+        pts[0] = Point::ORIGIN;
+        let c = Configuration::new(pts);
+        let qr = detect_quasi_regularity(&c, t()).expect("quasi-regular");
+        assert!(qr.center.dist(Point::ORIGIN) < 1e-9);
+        assert!(qr.center_occupied);
+        assert_eq!(qr.m, 4);
+    }
+
+    #[test]
+    fn gathered_and_tiny_configurations() {
+        assert!(detect_quasi_regularity(&Configuration::default(), t()).is_none());
+        let single = Configuration::new(vec![Point::ORIGIN; 5]);
+        assert!(detect_quasi_regularity(&single, t()).is_none());
+        let pair = Configuration::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]);
+        assert!(detect_quasi_regularity(&pair, t()).is_none()); // linear
+    }
+
+    #[test]
+    fn occupied_test_rejects_unoccupied_point() {
+        let c = Configuration::new(ngon(4, 2.0, 0.0));
+        assert_eq!(quasi_regular_with_center(&c, Point::ORIGIN, t()), None);
+    }
+
+    #[test]
+    fn doubled_square_is_quasi_regular_around_unoccupied_center() {
+        // Two robots on each square corner: the string of angles around the
+        // centre is (0, π/2)⁴, so per(SA) = 4 and the centre is unoccupied.
+        let mut pts = Vec::new();
+        for p in ngon(4, 2.0, 0.0) {
+            pts.push(p);
+            pts.push(p);
+        }
+        let c = Configuration::new(pts);
+        let qr = detect_quasi_regularity(&c, t()).expect("doubled square");
+        assert_eq!(qr.m, 4);
+        assert!(!qr.center_occupied);
+        assert!(qr.center.dist(Point::ORIGIN) < 1e-6);
+    }
+}

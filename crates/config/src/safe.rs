@@ -1,0 +1,210 @@
+//! Safe points (Definition 8 of the paper).
+//!
+//! A robot position `p` is *safe* when every half-line starting at `p`
+//! contains at most `⌈n/2⌉ − 1` robots. Moving all robots straight toward a
+//! safe point can never produce the forbidden bivalent configuration `B`
+//! (two points each holding `n/2` robots): any such split would need one
+//! ray from `p` to carry `n/2 ≥ ⌈n/2⌉` robots.
+//!
+//! * Lemma 4.2 — every non-linear configuration contains a safe point;
+//! * Lemma 4.3 — bivalent (`B`) and `L2W` configurations have none.
+//!
+//! The asymmetric branch (class `A`) of WAIT-FREE-GATHER elects its
+//! gathering point among the safe points of the configuration.
+
+use crate::angles::direction_buckets;
+use crate::configuration::Configuration;
+use gather_geom::{Point, Tol};
+
+/// Is `p` a safe point of `config` (Definition 8)?
+///
+/// `p` is safe iff no half-line starting at `p` (excluding `p` itself)
+/// carries `⌈n/2⌉` or more robots, counted with multiplicity.
+///
+/// # Example
+///
+/// ```
+/// use gather_config::{is_safe_point, Configuration};
+/// use gather_geom::{Point, Tol};
+///
+/// let c = Configuration::new(vec![
+///     Point::new(0.0, 0.0), Point::new(2.0, 0.0),
+///     Point::new(4.0, 0.0), Point::new(6.0, 0.0),
+/// ]);
+/// let tol = Tol::default();
+/// // From an endpoint, one ray carries all 3 other robots >= ceil(4/2)=2.
+/// assert!(!is_safe_point(&c, Point::new(0.0, 0.0), tol));
+/// // From an interior point, each ray carries at most 2 robots… which is
+/// // still >= 2, so no point of this L2W line is safe (Lemma 4.3).
+/// assert!(!is_safe_point(&c, Point::new(2.0, 0.0), tol));
+/// ```
+pub fn is_safe_point(config: &Configuration, p: Point, tol: Tol) -> bool {
+    let n = config.len();
+    let threshold = n.div_ceil(2); // ⌈n/2⌉; a ray with this many is unsafe
+    let buckets = direction_buckets(config, p, tol);
+    buckets.iter().all(|(_, count)| *count < threshold)
+}
+
+/// The safe points among the occupied positions `U(C)` of the
+/// configuration, in deterministic (lexicographic) order.
+///
+/// # Example
+///
+/// ```
+/// use gather_config::{safe_points, Configuration};
+/// use gather_geom::{Point, Tol};
+///
+/// // Non-linear configurations always have a safe point (Lemma 4.2).
+/// let c = Configuration::new(vec![
+///     Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(1.0, 2.5),
+/// ]);
+/// assert!(!safe_points(&c, Tol::default()).is_empty());
+/// ```
+pub fn safe_points(config: &Configuration, tol: Tol) -> Vec<Point> {
+    config
+        .distinct_points()
+        .into_iter()
+        .filter(|p| is_safe_point(config, *p, tol))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn triangle_corners_are_safe() {
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 2.5),
+        ]);
+        // n = 3, threshold ⌈3/2⌉ = 2: every ray from a corner carries 1.
+        assert_eq!(safe_points(&c, t()).len(), 3);
+    }
+
+    #[test]
+    fn non_linear_configurations_have_safe_points() {
+        // Lemma 4.2 on a gallery of non-linear configurations.
+        let gallery: Vec<Configuration> = vec![
+            Configuration::new(
+                (0..7)
+                    .map(|k| {
+                        let th = TAU * k as f64 / 7.0;
+                        Point::new(th.cos(), th.sin())
+                    })
+                    .collect(),
+            ),
+            Configuration::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 0.0),
+                Point::new(0.0, 3.0),
+                Point::new(3.0, 3.0),
+            ]),
+            Configuration::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 1.0),
+            ]),
+        ];
+        for c in &gallery {
+            assert!(
+                !safe_points(c, t()).is_empty(),
+                "no safe point in {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn bivalent_has_no_safe_point() {
+        // Lemma 4.3, B case: 2+2 robots on two points.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 0.0),
+        ]);
+        assert!(safe_points(&c, t()).is_empty());
+        // …and even unoccupied points are unsafe.
+        assert!(!is_safe_point(&c, Point::new(2.0, 0.0), t()));
+        assert!(!is_safe_point(&c, Point::new(2.0, 3.0), t()));
+    }
+
+    #[test]
+    fn l2w_line_has_no_safe_point() {
+        // Lemma 4.3, L2W case: 4 distinct collinear points, median not
+        // unique.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(7.0, 0.0),
+        ]);
+        assert!(safe_points(&c, t()).is_empty());
+    }
+
+    #[test]
+    fn l1w_median_with_multiplicity_is_safe() {
+        // 5 collinear robots with a heavy middle: rays from the median
+        // carry 2 < ⌈5/2⌉ = 3 robots each.
+        let c = Configuration::new(vec![
+            Point::new(-2.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]);
+        let safe = safe_points(&c, t());
+        assert_eq!(safe, vec![Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn multiplicity_counts_toward_threshold() {
+        // n = 6; ray from p to a stack of 3 robots: 3 >= ⌈6/2⌉ = 3 unsafe.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(-2.0, -1.0),
+        ]);
+        assert!(!is_safe_point(&c, Point::new(0.0, 0.0), t()));
+        // The stack itself is safe: rays from it carry at most 2.
+        assert!(is_safe_point(&c, Point::new(2.0, 0.0), t()));
+    }
+
+    #[test]
+    fn aligned_robots_on_one_ray_accumulate() {
+        // From p, robots at distance 1, 2, 3 on the same ray share a
+        // half-line: 3 >= ⌈5/2⌉ = 3, unsafe.
+        let c = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+            Point::new(-1.0, 0.0),
+        ]);
+        assert!(!is_safe_point(&c, Point::new(0.0, 0.0), t()));
+    }
+
+    #[test]
+    fn odd_bivalent_like_split_is_safe_on_heavy_side() {
+        // 3 + 2 split over two points (n = 5, not bivalent): the heavy
+        // point sees 2 < 3 on its one ray → safe; the light point sees
+        // 3 >= 3 → unsafe.
+        let heavy = Point::new(0.0, 0.0);
+        let light = Point::new(5.0, 0.0);
+        let c = Configuration::new(vec![heavy, heavy, heavy, light, light]);
+        assert!(is_safe_point(&c, heavy, t()));
+        assert!(!is_safe_point(&c, light, t()));
+        assert_eq!(safe_points(&c, t()), vec![heavy]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Lemma 3.1: in a configuration with `sym(C) = k > 1`, every view
+//! equivalence class away from the SEC centre is a regular `k`-gon centred
+//! on the SEC centre whose corners carry equal multiplicity.
+
+use gather_config::{rotational_symmetry, symmetry_classes, Configuration};
+use gather_geom::{Point, Tol};
+use std::f64::consts::TAU;
+
+fn assert_lemma31(config: &Configuration, expected_sym: usize) {
+    let tol = Tol::default();
+    let k = rotational_symmetry(config, tol);
+    assert_eq!(k, expected_sym, "unexpected symmetry for {config}");
+    if k <= 1 {
+        return;
+    }
+    let center = config.sec().center;
+    for (view, class) in symmetry_classes(config, tol) {
+        let off_center: Vec<Point> = class
+            .iter()
+            .copied()
+            .filter(|p| !p.within(center, tol.snap))
+            .collect();
+        if off_center.is_empty() {
+            continue; // the centre itself forms a singleton class
+        }
+        // Classes are k-gons for maximal classes; smaller classes divide k.
+        if off_center.len() != k {
+            continue;
+        }
+        // Equal radius…
+        let r0 = off_center[0].dist(center);
+        for p in &off_center {
+            assert!(
+                (p.dist(center) - r0).abs() < 1e-6,
+                "class of view {view} not equidistant from the SEC centre"
+            );
+        }
+        // …equally spaced angles…
+        let mut angles: Vec<f64> = off_center
+            .iter()
+            .map(|p| (*p - center).angle())
+            .collect();
+        angles.sort_by(f64::total_cmp);
+        for w in 0..angles.len() {
+            let gap = if w + 1 < angles.len() {
+                angles[w + 1] - angles[w]
+            } else {
+                angles[0] + TAU - angles[w]
+            };
+            assert!(
+                (gap - TAU / k as f64).abs() < 1e-6,
+                "class is not a regular {k}-gon (gap {gap})"
+            );
+        }
+        // …equal multiplicity.
+        let m0 = config.mult(off_center[0], tol);
+        for p in &off_center {
+            assert_eq!(config.mult(*p, tol), m0, "corner multiplicities differ");
+        }
+    }
+}
+
+fn ngon(n: usize, r: f64, phase: f64) -> Vec<Point> {
+    (0..n)
+        .map(|j| {
+            let th = TAU * j as f64 / n as f64 + phase;
+            Point::new(r * th.cos(), r * th.sin())
+        })
+        .collect()
+}
+
+#[test]
+fn single_ring() {
+    for k in [3usize, 4, 5, 7] {
+        assert_lemma31(&Configuration::new(ngon(k, 3.0, 0.4)), k);
+    }
+}
+
+#[test]
+fn nested_rings() {
+    let mut pts = ngon(5, 4.0, 0.0);
+    pts.extend(ngon(5, 1.5, 0.7));
+    assert_lemma31(&Configuration::new(pts), 5);
+}
+
+#[test]
+fn rings_with_center_robot() {
+    let mut pts = ngon(6, 2.0, 0.1);
+    pts.push(Point::ORIGIN);
+    assert_lemma31(&Configuration::new(pts), 6);
+}
+
+#[test]
+fn rings_with_multiplicity() {
+    // Two robots on every corner of a square: classes still form 4-gons
+    // with equal (doubled) multiplicity.
+    let mut pts = Vec::new();
+    for p in ngon(4, 3.0, 0.2) {
+        pts.push(p);
+        pts.push(p);
+    }
+    assert_lemma31(&Configuration::new(pts), 4);
+}
+
+#[test]
+fn mixed_symmetry_takes_gcd_like_structure() {
+    // A hexagon plus a square share only the trivial rotation: sym is
+    // determined by the largest equal-view class, which here is < 6.
+    let mut pts = ngon(6, 4.0, 0.0);
+    pts.extend(ngon(4, 2.0, 0.3));
+    let config = Configuration::new(pts);
+    let k = rotational_symmetry(&config, Tol::default());
+    assert!(k <= 2, "hexagon+square cannot have high symmetry, got {k}");
+}

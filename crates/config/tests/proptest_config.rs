@@ -1,0 +1,165 @@
+//! Property-based tests of the configuration-analysis layer.
+
+use gather_config::{
+    classify, detect_quasi_regularity, is_safe_point, regularity_around, safe_points,
+    string_of_angles, view_of, Class, Configuration,
+};
+use gather_geom::{Point, Similarity, Tol};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-800i32..800, -800i32..800).prop_map(|(x, y)| Point::new(x as f64 / 80.0, y as f64 / 80.0))
+}
+
+fn arb_config() -> impl Strategy<Value = Configuration> {
+    prop::collection::vec(arb_point(), 3..=10)
+        .prop_map(|pts| Configuration::canonical(pts, Tol::default()))
+}
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn distinct_multiplicities_sum_to_n(config in arb_config()) {
+        let total: usize = config.distinct().iter().map(|(_, m)| m).sum();
+        prop_assert_eq!(total, config.len());
+    }
+
+    #[test]
+    fn views_agree_between_colocated_robots(config in arb_config()) {
+        // Every occupied location has exactly one view — recomputation is
+        // stable and independent of which robot at the location asks.
+        for p in config.distinct_points() {
+            let v1 = view_of(&config, p, tol());
+            let v2 = view_of(&config, p, tol());
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn string_of_angles_sums_to_full_turn(config in arb_config(), c in arb_point()) {
+        let sa = string_of_angles(&config, c, tol());
+        if !sa.is_empty() {
+            let total: f64 = sa.entries().iter().sum();
+            prop_assert!((total - TAU).abs() < 1e-6, "sum {total}");
+        }
+    }
+
+    #[test]
+    fn periodicity_divides_length(config in arb_config(), c in arb_point()) {
+        let sa = string_of_angles(&config, c, tol());
+        if !sa.is_empty() {
+            prop_assert_eq!(sa.len() % sa.periodicity(), 0);
+        }
+    }
+
+    #[test]
+    fn regularity_is_rotation_invariant(config in arb_config(), theta in 0.0f64..TAU) {
+        let sim = Similarity::new(theta, 1.0, Point::ORIGIN);
+        let moved = config.map(|p| sim.apply(p));
+        let r1 = regularity_around(&config, Point::new(0.1, 0.2), tol());
+        let r2 = regularity_around(&moved, sim.apply(Point::new(0.1, 0.2)), tol());
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn safe_points_are_a_subset_of_occupied(config in arb_config()) {
+        let occupied = config.distinct_points();
+        for p in safe_points(&config, tol()) {
+            prop_assert!(occupied.contains(&p));
+            prop_assert!(is_safe_point(&config, p, tol()));
+        }
+    }
+
+    #[test]
+    fn gathered_configs_classify_multiple(p in arb_point(), n in 1usize..8) {
+        let config = Configuration::new(vec![p; n]);
+        let a = classify(&config, tol());
+        prop_assert_eq!(a.class, Class::Multiple);
+        prop_assert_eq!(a.target, Some(p));
+    }
+
+    #[test]
+    fn class_targets_exist_when_required(config in arb_config()) {
+        let a = classify(&config, tol());
+        match a.class {
+            Class::Multiple | Class::Collinear1W | Class::QuasiRegular => {
+                prop_assert!(a.target.is_some(), "{} lacks a target", a.class)
+            }
+            Class::Bivalent | Class::Collinear2W | Class::Asymmetric => {
+                prop_assert!(a.target.is_none(), "{} has an unexpected target", a.class)
+            }
+        }
+    }
+
+    #[test]
+    fn qr_detection_is_translation_invariant(config in arb_config(), dx in -50i32..50, dy in -50i32..50) {
+        let shift = gather_geom::Vec2::new(dx as f64 / 5.0, dy as f64 / 5.0);
+        let moved = config.map(|p| p + shift);
+        let d1 = detect_quasi_regularity(&config, tol()).is_some();
+        let d2 = detect_quasi_regularity(&moved, tol()).is_some();
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn qr_center_is_stable_under_contraction(config in arb_config()) {
+        // If QR is detected, moving every robot 30% toward the centre must
+        // keep the configuration quasi-regular with (almost) the same
+        // centre — the heart of Lemma 5.5's claim C1.
+        if config.is_linear(tol()) {
+            return Ok(());
+        }
+        if let Some(qr) = detect_quasi_regularity(&config, tol()) {
+            let moved = config.map(|p| p.lerp(qr.center, 0.3));
+            let again = detect_quasi_regularity(&moved, tol());
+            prop_assert!(again.is_some(), "QR lost under contraction of {config}");
+            let scale = config.sec().radius.max(1.0);
+            prop_assert!(
+                again.unwrap().center.dist(qr.center) < 1e-3 * scale,
+                "centre drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_class_survives_partial_move_to_target(config in arb_config()) {
+        // Claim C1 of Lemma 5.3, random form: moving any single robot
+        // halfway toward the class-M target keeps the target the unique
+        // maximum.
+        let a = classify(&config, tol());
+        if a.class != Class::Multiple || config.is_gathered() {
+            return Ok(());
+        }
+        let target = a.target.unwrap();
+        for idx in 0..config.len() {
+            let halfway = config.points()[idx].lerp(target, 0.5);
+            // The algorithm's side-step rule exists precisely to avoid
+            // landing on another robot; the straight-line form of the
+            // claim only applies to unobstructed moves.
+            let lands_on_robot = config
+                .distinct_points()
+                .iter()
+                .any(|q| !q.within(target, tol().snap) && halfway.within(*q, tol().snap));
+            if lands_on_robot {
+                continue;
+            }
+            let moved = Configuration::canonical(
+                config
+                    .points()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| if i == idx { halfway } else { *p })
+                    .collect(),
+                tol(),
+            );
+            let b = classify(&moved, tol());
+            prop_assert_eq!(b.class, Class::Multiple);
+            prop_assert!(b.target.unwrap().within(target, 1e-6));
+        }
+    }
+}

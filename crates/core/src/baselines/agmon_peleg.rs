@@ -1,0 +1,136 @@
+//! Reconstruction of the 1-crash-tolerant gathering of Agmon & Peleg [1].
+//!
+//! The original algorithm (for robots starting at *distinct* positions)
+//! gathers `n ≥ 3` robots in ATOM despite one crash by making sure at
+//! least two robots are always instructed to move. This reconstruction
+//! keeps its two phases:
+//!
+//! * a unique point of maximum multiplicity exists → **every** robot moves
+//!   straight toward it (no side-stepping);
+//! * otherwise → every robot moves toward the centre of the smallest
+//!   enclosing circle.
+//!
+//! Both phases instruct all robots to move, so one crash cannot block
+//! progress. The known weaknesses the paper's algorithm fixes, shown in
+//! experiment T2:
+//!
+//! * straight unordered marching can merge two robots *away* from the
+//!   target under adversarial stops, minting a second maximum-multiplicity
+//!   point and losing the unique rally (needs `f ≥ 2` or bad luck);
+//! * the SEC centre is not invariant under the robots' own movement, so an
+//!   adversary can drag the phase-2 target around;
+//! * configurations with multiple multiplicity points from the start
+//!   (arbitrary initial configurations) are outside its contract.
+
+use gather_config::Configuration;
+use gather_geom::{Point, Tol};
+use gather_sim::{Algorithm, Snapshot};
+
+/// Agmon–Peleg-style 1-crash-tolerant gathering (reconstruction).
+#[derive(Debug, Clone, Copy)]
+pub struct AgmonPelegStyle {
+    tol: Tol,
+}
+
+impl Default for AgmonPelegStyle {
+    fn default() -> Self {
+        AgmonPelegStyle { tol: Tol::default() }
+    }
+}
+
+impl AgmonPelegStyle {
+    /// The baseline with an explicit tolerance policy.
+    pub fn new(tol: Tol) -> Self {
+        AgmonPelegStyle { tol }
+    }
+
+    fn rally(config: &Configuration) -> Point {
+        config
+            .unique_max_multiplicity()
+            .filter(|(_, m)| *m > 1)
+            .map(|(p, _)| p)
+            .unwrap_or_else(|| config.sec().center)
+    }
+}
+
+impl Algorithm for AgmonPelegStyle {
+    fn name(&self) -> &'static str {
+        "agmon-peleg"
+    }
+
+    fn destination(&self, snap: &Snapshot) -> Point {
+        let rally = Self::rally(snap.config());
+        if snap.me().within(rally, self.tol.snap) {
+            snap.me()
+        } else {
+            rally
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(points: Vec<Point>, me: Point) -> Snapshot {
+        Snapshot::new(Configuration::new(points), me)
+    }
+
+    #[test]
+    fn multiplicity_point_attracts_everyone() {
+        let heavy = Point::new(1.0, 1.0);
+        let pts = vec![heavy, heavy, Point::new(4.0, 0.0), Point::new(-2.0, 3.0)];
+        let alg = AgmonPelegStyle::default();
+        for me in [Point::new(4.0, 0.0), Point::new(-2.0, 3.0)] {
+            assert_eq!(alg.destination(&snap(pts.clone(), me)), heavy);
+        }
+        assert_eq!(alg.destination(&snap(pts, heavy)), heavy);
+    }
+
+    #[test]
+    fn distinct_positions_head_to_sec_center() {
+        let pts = vec![
+            Point::new(-3.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let alg = AgmonPelegStyle::default();
+        let d = alg.destination(&snap(pts, Point::new(0.0, 1.0)));
+        assert!(d.dist(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn singleton_max_multiplicity_is_not_a_rally() {
+        // All multiplicities are 1: even if one is "uniquely maximal" by
+        // tie-breaking, only stacks (m > 1) count as rally points.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
+        let alg = AgmonPelegStyle::default();
+        let d = alg.destination(&snap(pts.clone(), pts[0]));
+        let sec = Configuration::new(pts).sec().center;
+        assert!(d.dist(sec) < 1e-9);
+    }
+
+    #[test]
+    fn at_least_two_robots_always_move() {
+        // The defining 1-crash-tolerance property: count movers.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ];
+        let alg = AgmonPelegStyle::default();
+        let movers = pts
+            .iter()
+            .filter(|me| {
+                let d = alg.destination(&snap(pts.clone(), **me));
+                d.dist(**me) > 1e-9
+            })
+            .count();
+        assert!(movers >= 2, "only {movers} movers");
+    }
+}

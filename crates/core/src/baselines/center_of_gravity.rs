@@ -1,0 +1,69 @@
+//! Gravitational convergence (Cohen & Peleg, reference [9] of the paper).
+//!
+//! Every robot always moves toward the centre of gravity (centroid) of all
+//! observed robots. This solves *convergence* — positions approach a common
+//! point — but not *gathering*: the centroid moves whenever any subset of
+//! robots moves, so no configuration short of an exact gathering is ever a
+//! fixed target, and adversarial activation/stopping keeps correct robots
+//! apart for unboundedly long. In the simulator it often ends "gathered"
+//! only because positions eventually merge within the snap radius; the
+//! experiments report its round counts against the paper's algorithm.
+
+use gather_geom::{centroid, Point};
+use gather_sim::{Algorithm, Snapshot};
+
+/// The gravitational (centre-of-gravity) convergence rule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CenterOfGravity;
+
+impl CenterOfGravity {
+    /// The baseline algorithm (stateless).
+    pub fn new() -> Self {
+        CenterOfGravity
+    }
+}
+
+impl Algorithm for CenterOfGravity {
+    fn name(&self) -> &'static str {
+        "center-of-gravity"
+    }
+
+    fn destination(&self, snap: &Snapshot) -> Point {
+        centroid(snap.config().points())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::Configuration;
+
+    #[test]
+    fn always_targets_the_centroid() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 6.0),
+        ];
+        let alg = CenterOfGravity::new();
+        let snap = Snapshot::new(Configuration::new(pts), Point::new(0.0, 0.0));
+        assert_eq!(alg.destination(&snap), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn centroid_weights_multiplicity() {
+        let heavy = Point::new(0.0, 0.0);
+        let pts = vec![heavy, heavy, heavy, Point::new(4.0, 0.0)];
+        let alg = CenterOfGravity::new();
+        let snap = Snapshot::new(Configuration::new(pts), heavy);
+        assert_eq!(alg.destination(&snap), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn gathered_point_is_fixed() {
+        let p = Point::new(2.0, -1.0);
+        let alg = CenterOfGravity::new();
+        let snap = Snapshot::new(Configuration::new(vec![p; 4]), p);
+        assert_eq!(alg.destination(&snap), p);
+    }
+}

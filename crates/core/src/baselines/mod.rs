@@ -1,0 +1,19 @@
+//! Baseline gathering algorithms the paper positions WAIT-FREE-GATHER
+//! against (Section I).
+//!
+//! | Baseline | Idea | Known limitation the experiments demonstrate |
+//! |---|---|---|
+//! | [`OrderedMarch`] | classic non-wait-free gathering: one designated robot at a time walks to the rallying point | a single crash of the designated robot deadlocks the system |
+//! | [`AgmonPelegStyle`] | reconstruction of the 1-crash-tolerant algorithm of Agmon & Peleg: everyone to the multiplicity point, else everyone to the SEC centre | requires distinct initial positions; adversarial stops can mint a second multiplicity point under `f ≥ 2` |
+//! | [`CenterOfGravity`] | gravitational *convergence* (Cohen & Peleg): always move to the centroid | converges but the target shifts every round — exact gathering is not achieved in bounded adversarial executions |
+//! | [`WeberOracle`] | move to the (numerically computed) Weber point | not computable exactly in general — this oracle shows why the paper's computable-Weber classes matter |
+
+mod agmon_peleg;
+mod center_of_gravity;
+mod ordered_march;
+mod weber_oracle;
+
+pub use agmon_peleg::AgmonPelegStyle;
+pub use center_of_gravity::CenterOfGravity;
+pub use ordered_march::OrderedMarch;
+pub use weber_oracle::WeberOracle;

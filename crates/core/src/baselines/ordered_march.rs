@@ -1,0 +1,122 @@
+//! Classic non-wait-free gathering: robots move one at a time.
+//!
+//! This is the algorithmic pattern the paper's introduction warns about:
+//! "when the robots are instructed to move in some specific order defined
+//! by the algorithm, if one robot crashes all robots that were waiting for
+//! this robot would never move, thus creating a deadlock."
+//!
+//! The rallying point is the unique maximum-multiplicity point if one
+//! exists, otherwise the centre of the smallest enclosing circle. Among the
+//! robots not at the rallying point, only the one with the minimal
+//! `(distance, view)` key moves; everyone else waits. Fault-free this
+//! gathers from most configurations; a single crash of the designated
+//! walker freezes the execution forever (experiment T2).
+
+use gather_config::{view_of, Configuration};
+use gather_geom::{Point, Tol};
+use gather_sim::{Algorithm, Snapshot};
+
+/// The classic "one robot walks, everyone waits" gathering rule.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedMarch {
+    tol: Tol,
+}
+
+impl Default for OrderedMarch {
+    fn default() -> Self {
+        OrderedMarch { tol: Tol::default() }
+    }
+}
+
+impl OrderedMarch {
+    /// The baseline with an explicit tolerance policy.
+    pub fn new(tol: Tol) -> Self {
+        OrderedMarch { tol }
+    }
+
+    /// The rallying point: unique max-multiplicity location, or the SEC
+    /// centre.
+    fn rally(config: &Configuration) -> Point {
+        config
+            .unique_max_multiplicity()
+            .map(|(p, _)| p)
+            .unwrap_or_else(|| config.sec().center)
+    }
+
+    /// The location designated to move: minimal `(distance to rally, view)`
+    /// among locations not at the rally point.
+    fn designated(config: &Configuration, rally: Point, tol: Tol) -> Option<Point> {
+        config
+            .distinct_points()
+            .into_iter()
+            .filter(|p| !p.within(rally, tol.snap))
+            .min_by(|p, q| {
+                p.dist(rally)
+                    .total_cmp(&q.dist(rally))
+                    .then_with(|| view_of(config, *p, tol).cmp(&view_of(config, *q, tol)))
+            })
+    }
+}
+
+impl Algorithm for OrderedMarch {
+    fn name(&self) -> &'static str {
+        "ordered-march"
+    }
+
+    fn destination(&self, snap: &Snapshot) -> Point {
+        let config = snap.config();
+        let me = snap.me();
+        let rally = Self::rally(config);
+        match Self::designated(config, rally, self.tol) {
+            Some(walker) if me.within(walker, self.tol.snap) => rally,
+            _ => me, // everyone else waits (the non-wait-free sin)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(points: Vec<Point>, me: Point) -> Snapshot {
+        Snapshot::new(Configuration::new(points), me)
+    }
+
+    #[test]
+    fn only_the_closest_robot_moves() {
+        let heavy = Point::new(0.0, 0.0);
+        let pts = vec![heavy, heavy, Point::new(2.0, 0.0), Point::new(5.0, 0.5)];
+        let alg = OrderedMarch::default();
+        // The robot at distance 2 is designated.
+        assert_eq!(alg.destination(&snap(pts.clone(), Point::new(2.0, 0.0))), heavy);
+        // The farther robot waits.
+        assert_eq!(
+            alg.destination(&snap(pts.clone(), Point::new(5.0, 0.5))),
+            Point::new(5.0, 0.5)
+        );
+        // Robots at the rally stay.
+        assert_eq!(alg.destination(&snap(pts, heavy)), heavy);
+    }
+
+    #[test]
+    fn distinct_positions_rally_at_sec_center() {
+        let pts = vec![
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let alg = OrderedMarch::default();
+        // SEC centre is the origin; (0,1) is closest and designated.
+        let d = alg.destination(&snap(pts.clone(), Point::new(0.0, 1.0)));
+        assert!(d.dist(Point::ORIGIN) < 1e-9);
+        let d2 = alg.destination(&snap(pts, Point::new(2.0, 0.0)));
+        assert_eq!(d2, Point::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn gathered_configuration_is_fixed() {
+        let p = Point::new(1.0, 1.0);
+        let alg = OrderedMarch::default();
+        assert_eq!(alg.destination(&snap(vec![p; 3], p)), p);
+    }
+}

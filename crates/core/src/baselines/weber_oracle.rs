@@ -1,0 +1,75 @@
+//! The Weber-point oracle: the "if only we could compute it" baseline.
+//!
+//! Section I of the paper: *"If the Weber point can be computed, it is
+//! simple to devise a robot protocol that solves gathering: all robots
+//! simply move towards the Weber point. Unfortunately, the Weber point
+//! cannot be computed by any finite algorithm for an arbitrary set of
+//! points."* This baseline plays that impossible strategy with a numeric
+//! stand-in (damped Weiszfeld iteration). It is crash-tolerant by the
+//! invariance of the Weber point under moves toward it (Lemma 3.2) — up to
+//! the numeric error of the iteration, which is exactly what the
+//! experiments quantify: the paper's algorithm achieves the same effect
+//! *exactly* on the classes where the Weber point is computable, and works
+//! around it elsewhere.
+
+use gather_geom::{weber_point_weiszfeld, Point, Tol};
+use gather_sim::{Algorithm, Snapshot};
+
+/// Move-to-the-(numeric)-Weber-point oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct WeberOracle {
+    tol: Tol,
+}
+
+impl Default for WeberOracle {
+    fn default() -> Self {
+        WeberOracle { tol: Tol::default() }
+    }
+}
+
+impl WeberOracle {
+    /// The oracle with an explicit tolerance policy.
+    pub fn new(tol: Tol) -> Self {
+        WeberOracle { tol }
+    }
+}
+
+impl Algorithm for WeberOracle {
+    fn name(&self) -> &'static str {
+        "weber-oracle"
+    }
+
+    fn destination(&self, snap: &Snapshot) -> Point {
+        weber_point_weiszfeld(snap.config().points(), self.tol).point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::Configuration;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn targets_the_geometric_median() {
+        let pts: Vec<Point> = (0..3)
+            .map(|k| {
+                let th = TAU * k as f64 / 3.0;
+                Point::new(th.cos(), th.sin())
+            })
+            .collect();
+        let alg = WeberOracle::default();
+        let snap = Snapshot::new(Configuration::new(pts.clone()), pts[0]);
+        assert!(alg.destination(&snap).dist(Point::ORIGIN) < 1e-6);
+    }
+
+    #[test]
+    fn heavy_point_captures_the_median() {
+        let heavy = Point::new(1.0, 1.0);
+        let mut pts = vec![heavy; 5];
+        pts.push(Point::new(9.0, 9.0));
+        let alg = WeberOracle::default();
+        let snap = Snapshot::new(Configuration::new(pts), heavy);
+        assert!(alg.destination(&snap).dist(heavy) < 1e-6);
+    }
+}

@@ -1,0 +1,59 @@
+//! WAIT-FREE-GATHER: deterministic gathering of `n` anonymous, oblivious,
+//! disoriented mobile robots tolerating up to `n − 1` crash faults.
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *"Gathering of Mobile Robots Tolerating Multiple Crash Faults"*
+//! (Bouzid, Das, Tixeuil; ICDCS 2013): the algorithm of Figure 2, split
+//! into one rule per configuration class (Section V.B), plus the baseline
+//! algorithms the paper positions itself against.
+//!
+//! # The algorithm
+//!
+//! On every activation a robot classifies the observed configuration
+//! (`gather_config::classify`) and dispatches:
+//!
+//! * **`M`** (unique max-multiplicity point `c`) — robots at `c` stay;
+//!   robots with a free path move straight to `c`; blocked robots side-step
+//!   clockwise by a third of the angular gap to the nearest occupied ray
+//!   ([`rules::multiple`]);
+//! * **`QR` / `L1W`** — move straight to the Weber point, which is
+//!   computable for these classes and invariant under the movement
+//!   ([`rules::weberward`]);
+//! * **`A`** (asymmetric) — elect the best safe point by
+//!   `(multiplicity, −Σ distances, view)` and move straight to it
+//!   ([`rules::asymmetric`]);
+//! * **`L2W`** (collinear, no unique Weber point) — the two endpoint
+//!   locations rotate off the line, everyone else heads to the line centre
+//!   ([`rules::collinear2w`]);
+//! * **`B`** (bivalent) — outside the algorithm's contract (gathering is
+//!   impossible, Lemma 5.2); the implementation moves to the midpoint so
+//!   the algorithm stays total ([`rules::bivalent`]).
+//!
+//! Theorem 5.1: from every initial configuration except `B`, all correct
+//! robots gather, for every fair scheduler, every motion adversary and any
+//! `f ≤ n − 1` crashes.
+//!
+//! # Example
+//!
+//! ```
+//! use gathering::WaitFreeGather;
+//! use gather_sim::prelude::*;
+//! use gather_geom::Point;
+//!
+//! let mut engine = Engine::builder(vec![
+//!         Point::new(0.0, 0.0), Point::new(4.0, 0.0),
+//!         Point::new(1.0, 2.5), Point::new(3.0, 3.0),
+//!     ])
+//!     .algorithm(WaitFreeGather::default())
+//!     .crash_plan(CrashAtRounds::at_start([2])) // one robot crashes
+//!     .build();
+//! let outcome = engine.run(10_000);
+//! assert!(outcome.gathered());
+//! ```
+
+pub mod baselines;
+pub mod rules;
+mod wait_free;
+
+pub use baselines::{AgmonPelegStyle, CenterOfGravity, OrderedMarch, WeberOracle};
+pub use wait_free::WaitFreeGather;

@@ -1,0 +1,165 @@
+//! Class `A`: asymmetric configurations.
+//!
+//! Every occupied position has a unique view, so the robots can elect a
+//! common gathering point deterministically. The election (line 17 of the
+//! paper's Figure 2) runs over the *safe points* of the configuration
+//! (Definition 8 — guaranteed non-empty for non-linear configurations by
+//! Lemma 4.2) and picks the point that maximises multiplicity, then
+//! minimises the sum of distances to all robots, then maximises the view.
+//! All robots move straight to the elected point. Movement toward a safe
+//! point can never produce the bivalent class (Lemma 5.6, Claim C1), and
+//! the potential `φ = (max multiplicity, Σ distances)` strictly improves
+//! whenever anything moves (Claim C2), so the execution converges to `M`
+//! or to a gathered configuration.
+
+use gather_config::{safe_points, view_of, Configuration};
+use gather_geom::{Point, Tol};
+
+/// The elected gathering point of an asymmetric configuration: the best
+/// safe point by `(multiplicity ↑, Σ distances ↓, view ↑)`.
+///
+/// # Panics
+///
+/// Panics if the configuration has no safe point — impossible for class
+/// `A` inputs (they are non-linear; Lemma 4.2).
+pub fn elected_point(config: &Configuration, tol: Tol) -> Point {
+    let candidates = safe_points(config, tol);
+    assert!(
+        !candidates.is_empty(),
+        "class-A configuration without a safe point: {config}"
+    );
+    candidates
+        .into_iter()
+        .max_by(|p, q| {
+            let mult_p = config.mult(*p, tol);
+            let mult_q = config.mult(*q, tol);
+            mult_p
+                .cmp(&mult_q)
+                // smaller sum of distances is better → reversed comparison
+                .then_with(|| {
+                    config
+                        .sum_of_distances(*q)
+                        .total_cmp(&config.sum_of_distances(*p))
+                })
+                .then_with(|| view_of(config, *p, tol).cmp(&view_of(config, *q, tol)))
+        })
+        .expect("non-empty candidate set")
+}
+
+/// Destination for class `A`: every robot moves straight to the elected
+/// safe point (robots already there stay).
+pub fn destination(config: &Configuration, _me: Point, tol: Tol) -> Point {
+    elected_point(config, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::{classify, is_safe_point, Class};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    /// The canonical robustly-asymmetric configuration (Weber point at the
+    /// occupied origin, directions 0°/100°/200°).
+    fn asym() -> Configuration {
+        let deg = |d: f64| d.to_radians();
+        Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(2.0 * deg(100.0).cos(), 2.0 * deg(100.0).sin()),
+            Point::new(2.5 * deg(200.0).cos(), 2.5 * deg(200.0).sin()),
+        ])
+    }
+
+    #[test]
+    fn configuration_is_class_a() {
+        assert_eq!(classify(&asym(), t()).class, Class::Asymmetric);
+    }
+
+    #[test]
+    fn elected_point_is_safe_and_occupied() {
+        let cfg = asym();
+        let e = elected_point(&cfg, t());
+        assert!(is_safe_point(&cfg, e, t()));
+        assert!(cfg.mult(e, t()) >= 1);
+    }
+
+    #[test]
+    fn all_robots_agree_on_the_elected_point() {
+        let cfg = asym();
+        let points = cfg.distinct_points();
+        let first = destination(&cfg, points[0], t());
+        for p in &points[1..] {
+            assert_eq!(destination(&cfg, *p, t()), first);
+        }
+    }
+
+    #[test]
+    fn election_prefers_higher_multiplicity() {
+        // A stack of 2 robots (still no unique max? make another stack of 2
+        // elsewhere so the config is not class M).
+        let deg = |d: f64| d.to_radians();
+        let heavy = Point::new(3.0, 0.0);
+        let other = Point::new(2.0 * deg(100.0).cos(), 2.0 * deg(100.0).sin());
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            heavy,
+            heavy,
+            other,
+            other,
+            Point::new(2.5 * deg(200.0).cos(), 2.5 * deg(200.0).sin()),
+        ]);
+        // Both stacks have multiplicity 2: election must pick a safe stack
+        // over the multiplicity-1 points if one is safe.
+        let e = elected_point(&cfg, t());
+        assert!(
+            cfg.mult(e, t()) == 2 || !is_safe_point(&cfg, heavy, t()) && !is_safe_point(&cfg, other, t()),
+            "elected {e} with mult {}",
+            cfg.mult(e, t())
+        );
+    }
+
+    #[test]
+    fn election_is_similarity_invariant() {
+        use gather_geom::Similarity;
+        let cfg = asym();
+        let sim = Similarity::new(1.1, 2.0, Point::new(5.0, -7.0));
+        let moved = cfg.map(|p| sim.apply(p));
+        let e1 = sim.apply(elected_point(&cfg, t()));
+        let e2 = elected_point(&moved, t());
+        assert!(e1.dist(e2) < 1e-6, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn election_breaks_distance_ties_by_view() {
+        // Construct a configuration where two safe points share the same
+        // multiplicity; the sum-of-distances comparison (then view) must
+        // still produce a single winner — verified by agreement from all
+        // positions.
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(1.0, 3.0),
+            Point::new(5.0, 3.1),
+            Point::new(3.0, 5.0),
+        ]);
+        if classify(&cfg, t()).class == Class::Asymmetric {
+            let e = elected_point(&cfg, t());
+            for p in cfg.distinct_points() {
+                assert_eq!(destination(&cfg, p, t()), e);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without a safe point")]
+    fn bivalent_like_input_panics() {
+        // Out-of-contract input (no safe point): must fail loudly.
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(4.0, 0.0);
+        let cfg = Configuration::new(vec![p, p, q, q]);
+        let _ = elected_point(&cfg, t());
+    }
+}

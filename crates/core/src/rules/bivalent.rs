@@ -1,0 +1,57 @@
+//! Class `B`: the bivalent configuration — outside the algorithm's
+//! contract.
+//!
+//! Deterministic gathering from `B` is impossible (Lemma 5.2): whatever a
+//! deterministic anonymous algorithm does, a scheduler/motion adversary can
+//! keep the robots split into two equal groups forever. WAIT-FREE-GATHER is
+//! simply not required to gather from `B`; to keep the implementation a
+//! total function we use the natural attempt — every robot heads to the
+//! midpoint of the two occupied locations — and experiment T3 demonstrates
+//! the adversary that defeats it (and every alternative rule).
+
+use gather_config::Configuration;
+use gather_geom::{Point, Tol};
+
+/// Destination for the bivalent class: the midpoint of the two occupied
+/// locations.
+///
+/// # Panics
+///
+/// Panics if the configuration does not have exactly two occupied
+/// locations.
+pub fn destination(config: &Configuration, _me: Point, _tol: Tol) -> Point {
+    let distinct = config.distinct_points();
+    assert_eq!(
+        distinct.len(),
+        2,
+        "bivalent rule applied to a non-bivalent configuration"
+    );
+    distinct[0].midpoint(distinct[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint_of_the_two_groups() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(4.0, 2.0);
+        let cfg = Configuration::new(vec![p, p, q, q]);
+        let d = destination(&cfg, p, Tol::default());
+        assert_eq!(d, Point::new(2.0, 1.0));
+        // Both sides compute the same destination.
+        assert_eq!(destination(&cfg, q, Tol::default()), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-bivalent")]
+    fn non_bivalent_input_panics() {
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
+        let _ = destination(&cfg, Point::ORIGIN, Tol::default());
+    }
+}

@@ -1,0 +1,189 @@
+//! Class `L2W`: collinear configurations without a unique Weber point.
+//!
+//! At least four distinct locations lie on one line (Lemma 4.1). The two
+//! *endpoint* locations rotate off the line — clockwise around the line
+//! centre by `π/4`, keeping their radius — while every other robot heads to
+//! the centre of the line segment. If any endpoint robot moves at all the
+//! configuration leaves the linear classes (Lemma 5.8); if the endpoints
+//! are all crashed the centre is a fixed target and the correct robots
+//! gather there (Lemma 5.9). No reachable configuration is bivalent
+//! (Lemma 5.7).
+
+use gather_config::Configuration;
+use gather_geom::angle::rotate_cw_around;
+use gather_geom::{Line, Point, Tol};
+use std::f64::consts::FRAC_PI_4;
+
+/// The geometry of an `L2W` configuration: endpoints and line centre.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFrame {
+    /// The location at the minimal projection (`u⁻`).
+    pub lo: Point,
+    /// The location at the maximal projection (`u⁺`).
+    pub hi: Point,
+    /// The midpoint of `[u⁻, u⁺]` — the gathering target for interior
+    /// robots.
+    pub center: Point,
+}
+
+/// Computes endpoints and centre of a collinear configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration has fewer than two distinct locations.
+pub fn line_frame(config: &Configuration) -> LineFrame {
+    let distinct = config.distinct_points();
+    assert!(
+        distinct.len() >= 2,
+        "line frame of a gathered configuration"
+    );
+    let far = distinct
+        .iter()
+        .copied()
+        .max_by(|a, b| distinct[0].dist2(*a).total_cmp(&distinct[0].dist2(*b)))
+        .expect("non-empty");
+    let line = Line::through(distinct[0], far);
+    let (mut lo, mut hi) = (distinct[0], distinct[0]);
+    let (mut t_lo, mut t_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in distinct {
+        let t = line.project(p);
+        if t < t_lo {
+            t_lo = t;
+            lo = p;
+        }
+        if t > t_hi {
+            t_hi = t;
+            hi = p;
+        }
+    }
+    LineFrame {
+        lo,
+        hi,
+        center: lo.midpoint(hi),
+    }
+}
+
+/// Destination for class `L2W`.
+///
+/// * endpoint robots rotate clockwise around the line centre by `π/4`
+///   (same distance from the centre, strictly off the line);
+/// * all other robots move straight to the centre (robots already there
+///   stay).
+pub fn destination(config: &Configuration, me: Point, tol: Tol) -> Point {
+    let frame = line_frame(config);
+    if me.within(frame.lo, tol.snap) || me.within(frame.hi, tol.snap) {
+        rotate_cw_around(me, frame.center, FRAC_PI_4)
+    } else {
+        frame.center
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::{classify, Class};
+    use gather_geom::predicates::are_collinear;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn l2w() -> Configuration {
+        Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(8.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn configuration_is_l2w() {
+        assert_eq!(classify(&l2w(), t()).class, Class::Collinear2W);
+    }
+
+    #[test]
+    fn frame_identifies_endpoints_and_center() {
+        let f = line_frame(&l2w());
+        assert_eq!(f.lo, Point::new(0.0, 0.0));
+        assert_eq!(f.hi, Point::new(8.0, 0.0));
+        assert_eq!(f.center, Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn interior_robots_head_to_center() {
+        let cfg = l2w();
+        assert_eq!(destination(&cfg, Point::new(1.0, 0.0), t()), Point::new(4.0, 0.0));
+        assert_eq!(destination(&cfg, Point::new(3.0, 0.0), t()), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn endpoint_robots_leave_the_line() {
+        let cfg = l2w();
+        let line_pts = cfg.distinct_points();
+        for e in [Point::new(0.0, 0.0), Point::new(8.0, 0.0)] {
+            let d = destination(&cfg, e, t());
+            assert!(
+                !are_collinear(
+                    &[line_pts[0], line_pts[3], d],
+                    t()
+                ),
+                "endpoint destination {d} still on the line"
+            );
+            // Radius around the centre is preserved.
+            let c = Point::new(4.0, 0.0);
+            assert!((c.dist(d) - c.dist(e)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn endpoint_rotation_is_clockwise_for_both_ends() {
+        let cfg = l2w();
+        let d_lo = destination(&cfg, Point::new(0.0, 0.0), t());
+        let d_hi = destination(&cfg, Point::new(8.0, 0.0), t());
+        // Clockwise around (4,0): the left endpoint goes up, the right
+        // endpoint goes down — they stay diametrically opposite.
+        assert!(d_lo.y > 0.0);
+        assert!(d_hi.y < 0.0);
+        let c = Point::new(4.0, 0.0);
+        assert!(((d_lo - c) + (d_hi - c)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn robot_at_center_stays() {
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(6.0, 0.0),
+        ]);
+        if classify(&cfg, t()).class == Class::Collinear2W {
+            let d = destination(&cfg, Point::new(4.0, 0.0), t());
+            assert_eq!(d, Point::new(4.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn multiplicities_at_endpoints_rotate_together() {
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(8.0, 0.0),
+        ]);
+        assert_eq!(classify(&cfg, t()).class, Class::Collinear2W);
+        let d = destination(&cfg, Point::new(0.0, 0.0), t());
+        assert!(d.y.abs() > 0.1, "endpoint failed to leave the line: {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gathered")]
+    fn gathered_input_panics() {
+        let cfg = Configuration::new(vec![Point::ORIGIN; 3]);
+        let _ = line_frame(&cfg);
+    }
+}

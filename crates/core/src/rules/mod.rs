@@ -1,0 +1,11 @@
+//! The per-class movement rules of WAIT-FREE-GATHER (Figure 2).
+//!
+//! Each module implements one branch of the algorithm as a pure function
+//! `(configuration, my position, tolerance) → destination`. The dispatcher
+//! lives in [`crate::WaitFreeGather`].
+
+pub mod asymmetric;
+pub mod bivalent;
+pub mod collinear2w;
+pub mod multiple;
+pub mod weberward;

@@ -1,0 +1,204 @@
+//! Class `M`: a unique point of maximum multiplicity exists.
+//!
+//! All robots head for the unique max-multiplicity point `c`. A robot whose
+//! straight path is blocked (another occupied location strictly between it
+//! and `c`) *side-steps*: it rotates clockwise around `c`, keeping its
+//! radius, by one third of the clockwise angular gap to the nearest other
+//! occupied ray. The paper's Claims C1/C2 (Lemma 5.3) show this never
+//! merges robots anywhere except at `c` — so `c` remains the unique
+//! maximum — while guaranteeing progress under any fair scheduler and any
+//! crash pattern.
+
+use gather_config::Configuration;
+use gather_geom::angle::{normalize_tau, rotate_cw_around};
+use gather_geom::predicates::is_strictly_between;
+use gather_geom::{Point, Tol};
+use std::f64::consts::TAU;
+
+/// Destination for a robot at `me` when the configuration has the unique
+/// max-multiplicity point `target`.
+///
+/// * at `target` → stay;
+/// * free path → straight to `target`;
+/// * blocked → clockwise side-step at constant radius (angle =
+///   `min(gap, π)/3` where `gap` is the clockwise angle to the nearest
+///   other occupied ray around `target`).
+pub fn destination(config: &Configuration, me: Point, target: Point, tol: Tol) -> Point {
+    destination_with_fraction(config, me, target, tol, 1.0 / 3.0)
+}
+
+/// [`destination`] with an explicit side-step fraction of the angular gap
+/// (the paper uses `1/3`; experiment A1 ablates the choice). The fraction
+/// is clamped to `(0, 1)`; values close to `1` step almost onto the next
+/// occupied ray, which is exactly the collision hazard the paper's
+/// constant avoids.
+pub fn destination_with_fraction(
+    config: &Configuration,
+    me: Point,
+    target: Point,
+    tol: Tol,
+    fraction: f64,
+) -> Point {
+    if me.within(target, tol.snap) {
+        return target;
+    }
+
+    let blocked = config
+        .distinct_points()
+        .into_iter()
+        .any(|p| is_strictly_between(me, target, p, tol));
+    if !blocked {
+        return target;
+    }
+
+    // Clockwise angular gap from my ray to the nearest other occupied ray
+    // around the target.
+    let my_angle = (me - target).angle();
+    let mut gap = TAU;
+    for p in config.distinct_points() {
+        if p.within(target, tol.snap) {
+            continue;
+        }
+        let a = normalize_tau(my_angle - (p - target).angle()); // clockwise
+        if a > 1e-9 && a < gap {
+            gap = a;
+        }
+    }
+    let fraction = fraction.clamp(1e-3, 1.0 - 1e-3);
+    let step = gap.min(std::f64::consts::PI) * fraction;
+    rotate_cw_around(me, target, step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_3;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn m_config() -> (Configuration, Point) {
+        // Heavy point at the origin, satellites elsewhere.
+        let c = Point::new(0.0, 0.0);
+        let cfg = Configuration::new(vec![
+            c,
+            c,
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+            Point::new(-2.0, -2.0),
+        ]);
+        (cfg, c)
+    }
+
+    #[test]
+    fn robot_at_target_stays() {
+        let (cfg, c) = m_config();
+        assert_eq!(destination(&cfg, c, c, t()), c);
+    }
+
+    #[test]
+    fn free_robot_moves_straight_to_target() {
+        let (cfg, c) = m_config();
+        let me = Point::new(4.0, 0.0);
+        assert_eq!(destination(&cfg, me, c, t()), c);
+    }
+
+    #[test]
+    fn blocked_robot_side_steps_at_constant_radius() {
+        // Robot at (8,0) blocked by the robot at (4,0).
+        let c = Point::new(0.0, 0.0);
+        let cfg = Configuration::new(vec![
+            c,
+            c,
+            Point::new(4.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(0.0, 3.0),
+        ]);
+        let me = Point::new(8.0, 0.0);
+        let d = destination(&cfg, me, c, t());
+        assert_ne!(d, c);
+        assert_ne!(d, me);
+        assert!((c.dist(d) - 8.0).abs() < 1e-9, "radius changed: {d}");
+    }
+
+    #[test]
+    fn side_step_rotates_clockwise() {
+        let c = Point::new(0.0, 0.0);
+        let cfg = Configuration::new(vec![
+            c,
+            c,
+            Point::new(4.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(0.0, 3.0), // 90° CCW from my ray — CW gap is 270°
+        ]);
+        let me = Point::new(8.0, 0.0);
+        let d = destination(&cfg, me, c, t());
+        // Clockwise from +x means negative y.
+        assert!(d.y < 0.0, "side-step went counter-clockwise: {d}");
+    }
+
+    #[test]
+    fn side_step_stays_within_one_third_of_gap() {
+        let c = Point::new(0.0, 0.0);
+        // Nearest CW ray at 30° below mine.
+        let below = Point::new(
+            5.0 * (-30.0_f64).to_radians().cos(),
+            5.0 * (-30.0_f64).to_radians().sin(),
+        );
+        let cfg = Configuration::new(vec![
+            c,
+            c,
+            Point::new(4.0, 0.0),
+            Point::new(8.0, 0.0),
+            below,
+        ]);
+        let me = Point::new(8.0, 0.0);
+        let d = destination(&cfg, me, c, t());
+        let turned = normalize_tau((me - c).angle() - (d - c).angle());
+        assert!(turned > 0.0);
+        assert!(
+            turned <= 30.0_f64.to_radians() / 3.0 + 1e-9,
+            "turned {turned} rad, gap was 30°"
+        );
+    }
+
+    #[test]
+    fn all_rays_shared_still_side_steps() {
+        // Everything on one ray: blocked robot side-steps by π/3 at most.
+        let c = Point::new(0.0, 0.0);
+        let cfg = Configuration::new(vec![
+            c,
+            c,
+            Point::new(2.0, 0.0),
+            Point::new(5.0, 0.0),
+        ]);
+        let me = Point::new(5.0, 0.0);
+        let d = destination(&cfg, me, c, t());
+        assert_ne!(d, me);
+        let turned = normalize_tau((me - c).angle() - (d - c).angle());
+        assert!(turned > 0.0 && turned <= FRAC_PI_3 + 1e-9);
+    }
+
+    #[test]
+    fn side_steps_of_distinct_radii_do_not_collide() {
+        // Two blocked robots on one ray side-step together: same new ray,
+        // still distinct radii.
+        let c = Point::new(0.0, 0.0);
+        let cfg = Configuration::new(vec![
+            c,
+            c,
+            Point::new(2.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(8.0, 0.0),
+        ]);
+        let d5 = destination(&cfg, Point::new(5.0, 0.0), c, t());
+        let d8 = destination(&cfg, Point::new(8.0, 0.0), c, t());
+        assert!((c.dist(d5) - 5.0).abs() < 1e-9);
+        assert!((c.dist(d8) - 8.0).abs() < 1e-9);
+        // Same rotation angle → same ray → paths stay parallel, no merge.
+        let a5 = (d5 - c).angle();
+        let a8 = (d8 - c).angle();
+        assert!((a5 - a8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Classes `QR` and `L1W`: move straight to the Weber point.
+//!
+//! For quasi-regular configurations the Weber point is the centre of
+//! quasi-regularity (Lemma 3.3); for collinear configurations with a unique
+//! median it is that median. In both cases the point is *invariant under
+//! straight moves toward it* (Lemma 3.2), so every robot simply heads
+//! there; crashes cannot displace the target (Lemmas 5.4, 5.5).
+
+use gather_geom::Point;
+
+/// Destination for classes `QR` and `L1W`: the precomputed Weber point.
+///
+/// The heavy lifting (computing the target) happens during classification
+/// (`gather_config::classify` returns it in `Analysis::target`); the rule
+/// itself is the identity on the target. Robots already at the target
+/// return it unchanged, which the engine treats as "do not move".
+pub fn destination(target: Point) -> Point {
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::{classify, Class, Configuration};
+    use gather_geom::Tol;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn qr_robots_head_to_center_of_quasi_regularity() {
+        let cfg: Configuration = (0..5)
+            .map(|k| {
+                let th = TAU * k as f64 / 5.0;
+                Point::new(2.0 * th.cos(), 2.0 * th.sin())
+            })
+            .collect();
+        let a = classify(&cfg, Tol::default());
+        assert_eq!(a.class, Class::QuasiRegular);
+        let target = a.target.expect("QR has a target");
+        assert!(destination(target).dist(Point::ORIGIN) < 1e-6);
+    }
+
+    #[test]
+    fn l1w_robots_head_to_unique_median() {
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(9.0, 0.0),
+        ]);
+        let a = classify(&cfg, Tol::default());
+        assert_eq!(a.class, Class::Collinear1W);
+        let target = a.target.expect("L1W has a target");
+        assert!(destination(target).dist(Point::new(2.0, 0.0)) < 1e-9);
+    }
+}

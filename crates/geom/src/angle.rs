@@ -1,0 +1,243 @@
+//! Clockwise angles and chirality.
+//!
+//! The robots of the paper share *chirality*: a common notion of the
+//! clockwise direction. All angular bookkeeping in the reproduction is
+//! therefore expressed as **clockwise** angles in `[0, 2π)`; the paper's
+//! `∠(u, c, v)` ("the angle in the clockwise direction between segments
+//! `[c,u]` and `[c,v]`") is [`cw_angle_at`].
+
+use crate::point::{Point, Vec2};
+use std::f64::consts::TAU;
+
+/// An angle in radians normalised to `[0, 2π)`.
+///
+/// The newtype documents (and enforces, via [`Angle::new`]) the
+/// normalisation convention used throughout the suite.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::Angle;
+/// use std::f64::consts::TAU;
+/// assert_eq!(Angle::new(-0.5).radians(), TAU - 0.5);
+/// assert_eq!(Angle::new(TAU + 1.0).radians(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// A full turn, `2π`.
+    pub const FULL_TURN: f64 = TAU;
+
+    /// Creates an angle, normalising the input into `[0, 2π)`.
+    #[inline]
+    pub fn new(radians: f64) -> Self {
+        Angle(normalize_tau(radians))
+    }
+
+    /// The normalised value in radians, in `[0, 2π)`.
+    #[inline]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Sum of two angles, renormalised.
+    #[inline]
+    pub fn plus(self, other: Angle) -> Angle {
+        Angle::new(self.0 + other.0)
+    }
+}
+
+impl std::fmt::Display for Angle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}rad", self.0)
+    }
+}
+
+/// Normalises an angle into `[0, 2π)`.
+#[inline]
+pub fn normalize_tau(theta: f64) -> f64 {
+    let mut t = theta % TAU;
+    if t < 0.0 {
+        t += TAU;
+    }
+    // The addition above can round back up to exactly TAU.
+    if t >= TAU {
+        t = 0.0;
+    }
+    t
+}
+
+/// Counter-clockwise polar angle of point `p` as seen from `origin`,
+/// in `(-π, π]`.
+///
+/// # Panics
+///
+/// Panics if `p == origin` (the direction is undefined).
+#[inline]
+pub fn polar_angle(origin: Point, p: Point) -> f64 {
+    let v = p - origin;
+    assert!(
+        v.norm2() > 0.0,
+        "polar angle undefined for coincident points"
+    );
+    v.angle()
+}
+
+/// Clockwise angle from direction `from` to direction `to`, in `[0, 2π)`.
+///
+/// "Clockwise" decreases the counter-clockwise angle, so this is
+/// `(angle(from) - angle(to)) mod 2π`.
+#[inline]
+pub fn cw_angle(from: Vec2, to: Vec2) -> f64 {
+    normalize_tau(from.angle() - to.angle())
+}
+
+/// Counter-clockwise angle from direction `from` to direction `to`,
+/// in `[0, 2π)`.
+#[inline]
+pub fn ccw_angle(from: Vec2, to: Vec2) -> f64 {
+    normalize_tau(to.angle() - from.angle())
+}
+
+/// The paper's `∠(u, c, v)`: the clockwise angle at apex `c` from the ray
+/// toward `u` to the ray toward `v`, in `[0, 2π)`.
+///
+/// # Panics
+///
+/// Panics if `u == c` or `v == c`.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{angle::cw_angle_at, Point};
+/// use std::f64::consts::FRAC_PI_2;
+/// let c = Point::ORIGIN;
+/// let u = Point::new(0.0, 1.0); // up
+/// let v = Point::new(1.0, 0.0); // right: a quarter turn clockwise from up
+/// assert!((cw_angle_at(u, c, v) - FRAC_PI_2).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn cw_angle_at(u: Point, c: Point, v: Point) -> f64 {
+    assert!(u != c && v != c, "angle apex coincides with an endpoint");
+    cw_angle(u - c, v - c)
+}
+
+/// Rotates point `p` around `center` by `theta` radians **clockwise**.
+///
+/// Used by the side-step moves of WAIT-FREE-GATHER (classes `M` and `L2W`),
+/// which rotate destinations clockwise thanks to chirality.
+#[inline]
+pub fn rotate_cw_around(p: Point, center: Point, theta: f64) -> Point {
+    let v = (p - center).rotated(-theta);
+    center + v
+}
+
+/// Rotates point `p` around `center` by `theta` radians counter-clockwise.
+#[inline]
+pub fn rotate_ccw_around(p: Point, center: Point, theta: f64) -> Point {
+    let v = (p - center).rotated(theta);
+    center + v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn normalisation_into_tau_range() {
+        assert_eq!(normalize_tau(0.0), 0.0);
+        assert_eq!(normalize_tau(TAU), 0.0);
+        assert_eq!(normalize_tau(-FRAC_PI_2), 3.0 * FRAC_PI_2);
+        assert!((normalize_tau(3.0 * TAU + 1.0) - 1.0).abs() < 1e-12);
+        // A value that rounds back to TAU must still land in [0, TAU).
+        let just_below_zero = -f64::EPSILON / 4.0;
+        let n = normalize_tau(just_below_zero);
+        assert!((0.0..TAU).contains(&n));
+    }
+
+    #[test]
+    fn angle_newtype_normalises() {
+        assert_eq!(Angle::new(TAU + 0.25).radians(), 0.25);
+        assert_eq!(Angle::new(-0.25).radians(), TAU - 0.25);
+        let a = Angle::new(3.0 * FRAC_PI_2);
+        let b = Angle::new(FRAC_PI_2 + 0.0);
+        assert!((a.plus(b).radians() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clockwise_quarter_turn() {
+        let up = Vec2::new(0.0, 1.0);
+        let right = Vec2::new(1.0, 0.0);
+        assert!((cw_angle(up, right) - FRAC_PI_2).abs() < 1e-12);
+        assert!((cw_angle(right, up) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+        assert!((ccw_angle(right, up) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cw_plus_ccw_is_full_turn_or_both_zero() {
+        let a = Vec2::from_angle(0.3);
+        let b = Vec2::from_angle(2.1);
+        let cw = cw_angle(a, b);
+        let ccw = ccw_angle(a, b);
+        assert!((cw + ccw - TAU).abs() < 1e-12);
+        assert_eq!(cw_angle(a, a), 0.0);
+        assert_eq!(ccw_angle(a, a), 0.0);
+    }
+
+    #[test]
+    fn paper_angle_notation() {
+        let c = Point::new(1.0, 1.0);
+        let u = Point::new(1.0, 2.0);
+        let v = Point::new(2.0, 1.0);
+        assert!((cw_angle_at(u, c, v) - FRAC_PI_2).abs() < 1e-12);
+        assert!((cw_angle_at(v, c, u) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_cw_moves_up_to_right() {
+        let c = Point::ORIGIN;
+        let p = Point::new(0.0, 1.0);
+        let r = rotate_cw_around(p, c, FRAC_PI_2);
+        assert!((r.x - 1.0).abs() < 1e-12);
+        assert!(r.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotations_are_inverses() {
+        let c = Point::new(2.0, -1.0);
+        let p = Point::new(5.0, 3.0);
+        let r = rotate_ccw_around(rotate_cw_around(p, c, FRAC_PI_4), c, FRAC_PI_4);
+        assert!(p.dist(r) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_radius() {
+        let c = Point::new(1.0, 1.0);
+        let p = Point::new(4.0, 5.0);
+        let r = rotate_cw_around(p, c, 1.234);
+        assert!((c.dist(p) - c.dist(r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_angle_matches_vector_angle() {
+        let o = Point::new(1.0, 1.0);
+        let p = Point::new(2.0, 2.0);
+        assert!((polar_angle(o, p) - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincident")]
+    fn polar_angle_of_same_point_panics() {
+        let o = Point::new(1.0, 1.0);
+        let _ = polar_angle(o, o);
+    }
+
+    #[test]
+    #[should_panic(expected = "apex")]
+    fn angle_at_apex_panics_on_degenerate_input() {
+        let c = Point::ORIGIN;
+        let _ = cw_angle_at(c, c, Point::new(1.0, 0.0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Exact floating-point expansion arithmetic for orientation signs.
+//!
+//! The fast [`orient2d`](crate::predicates::orient2d) filter answers most
+//! queries from a single `f64` evaluation plus an error bound; when the
+//! determinant's magnitude falls inside the bound the sign is uncertain.
+//! This module resolves those cases **exactly**, using the classic
+//! error-free transformations (Dekker/Knuth two-sum, FMA-based
+//! two-product) to represent the determinant as a sum of non-overlapping
+//! `f64` components whose leading term carries the true sign — the
+//! non-adaptive core of Shewchuk's robust predicates.
+//!
+//! Exactness holds whenever the intermediate products do not overflow or
+//! underflow to zero, which is guaranteed for coordinates in the range the
+//! simulator produces (|x| ≤ 1e150 or so); robot workloads live around
+//! |x| ≤ 1e3.
+
+use crate::point::Point;
+
+/// Error-free sum: returns `(s, e)` with `s = fl(a + b)` and
+/// `a + b = s + e` exactly (Knuth's two-sum).
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free product: returns `(p, e)` with `p = fl(a·b)` and
+/// `a·b = p + e` exactly (via fused multiply-add).
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+/// Adds a single component to an expansion (non-decreasing magnitude,
+/// non-overlapping), returning the grown expansion.
+/// (Shewchuk's `GROW-EXPANSION`.)
+fn grow_expansion(e: &[f64], b: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(e.len() + 1);
+    let mut q = b;
+    for &component in e {
+        let (sum, err) = two_sum(q, component);
+        if err != 0.0 {
+            out.push(err);
+        }
+        q = sum;
+    }
+    out.push(q);
+    out
+}
+
+/// Sums two expansions.
+fn expansion_sum(e: &[f64], f: &[f64]) -> Vec<f64> {
+    let mut out = e.to_vec();
+    for &component in f {
+        out = grow_expansion(&out, component);
+    }
+    out
+}
+
+/// The sign of the exact value represented by an expansion (its largest-
+/// magnitude component is last and carries the sign).
+fn expansion_sign(e: &[f64]) -> std::cmp::Ordering {
+    // Components may include zeros; the last non-zero dominates.
+    for &c in e.iter().rev() {
+        if c != 0.0 {
+            return c.partial_cmp(&0.0).expect("finite component");
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// The exact sign of `(b - a) × (c - a)`: `Greater` for counter-clockwise,
+/// `Less` for clockwise, `Equal` for exactly collinear points.
+///
+/// Computes the 2×2 determinant `ax·by − ax·cy + bx·cy − bx·ay + cx·ay −
+/// cx·by` as an exact expansion, so the answer is correct for every finite
+/// input whose products stay in range — no epsilons involved.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::exact::orient2d_exact_sign;
+/// use gather_geom::Point;
+/// use std::cmp::Ordering;
+///
+/// // A perturbation of one ulp is enough to decide the side.
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(1.0, 1.0);
+/// let c = Point::new(2.0, (2.0f64).next_up());
+/// assert_eq!(orient2d_exact_sign(a, b, c), Ordering::Greater);
+/// let on = Point::new(2.0, 2.0);
+/// assert_eq!(orient2d_exact_sign(a, b, on), Ordering::Equal);
+/// ```
+pub fn orient2d_exact_sign(a: Point, b: Point, c: Point) -> std::cmp::Ordering {
+    // det = ax(by − cy) + bx(cy − ay) + cx(ay − by), expanded to six
+    // products so every term is an exact two_prod of *input* values.
+    let terms = [
+        two_prod(a.x, b.y),
+        two_prod(-a.x, c.y),
+        two_prod(b.x, c.y),
+        two_prod(-b.x, a.y),
+        two_prod(c.x, a.y),
+        two_prod(-c.x, b.y),
+    ];
+    let mut expansion: Vec<f64> = Vec::new();
+    for (p, e) in terms {
+        expansion = expansion_sum(&expansion, &[e, p]);
+    }
+    expansion_sign(&expansion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::{orient2d, Orientation};
+    use std::cmp::Ordering;
+
+    #[test]
+    fn two_sum_is_error_free() {
+        let a = 1e16;
+        let b = 1.0;
+        let (s, e) = two_sum(a, b);
+        // 1e16 + 1 is not representable; the error term recovers it.
+        assert_eq!(s, 1e16);
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn two_prod_is_error_free() {
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 + f64::EPSILON;
+        let (p, e) = two_prod(a, b);
+        // (1+ε)² = 1 + 2ε + ε²; the ε² tail is the error term.
+        assert_eq!(p, 1.0 + 2.0 * f64::EPSILON);
+        assert_eq!(e, f64::EPSILON * f64::EPSILON);
+    }
+
+    #[test]
+    fn exact_sign_on_clear_cases() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orient2d_exact_sign(a, b, Point::new(0.0, 1.0)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            orient2d_exact_sign(a, b, Point::new(0.0, -1.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            orient2d_exact_sign(a, b, Point::new(5.0, 0.0)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn exact_sign_resolves_one_ulp_perturbations() {
+        // Points on y = x with the last coordinate nudged by one ulp:
+        // far below the fast filter's resolution at this magnitude.
+        let a = Point::new(1e8, 1e8);
+        let b = Point::new(2e8, 2e8);
+        let up = Point::new(3e8, (3e8_f64).next_up());
+        let down = Point::new(3e8, (3e8_f64).next_down());
+        let on = Point::new(3e8, 3e8);
+        assert_eq!(orient2d_exact_sign(a, b, up), Ordering::Greater);
+        assert_eq!(orient2d_exact_sign(a, b, down), Ordering::Less);
+        assert_eq!(orient2d_exact_sign(a, b, on), Ordering::Equal);
+        // The filtered predicate calls all three collinear — that is the
+        // gap this module closes.
+        assert_eq!(orient2d(a, b, up), Orientation::Collinear);
+    }
+
+    #[test]
+    fn exact_sign_agrees_with_filter_when_filter_is_sure() {
+        let mut state: u64 = 99;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 16) % 2001) as f64 / 100.0 - 10.0
+        };
+        for _ in 0..500 {
+            let a = Point::new(rand(), rand());
+            let b = Point::new(rand(), rand());
+            let c = Point::new(rand(), rand());
+            let filtered = orient2d(a, b, c);
+            let exact = orient2d_exact_sign(a, b, c);
+            match filtered {
+                Orientation::CounterClockwise => assert_eq!(exact, Ordering::Greater),
+                Orientation::Clockwise => assert_eq!(exact, Ordering::Less),
+                Orientation::Collinear => { /* filter unsure or truly collinear */ }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_sign_is_antisymmetric() {
+        let a = Point::new(0.3, 1.7);
+        let b = Point::new(-2.0, 0.4);
+        let c = Point::new(1.5, -0.9);
+        assert_eq!(
+            orient2d_exact_sign(a, b, c),
+            orient2d_exact_sign(b, a, c).reverse()
+        );
+        assert_eq!(orient2d_exact_sign(a, b, c), orient2d_exact_sign(b, c, a));
+    }
+
+    #[test]
+    fn expansion_sign_handles_zero_padding() {
+        assert_eq!(expansion_sign(&[0.0, 0.0]), Ordering::Equal);
+        assert_eq!(expansion_sign(&[1.0, 0.0]), Ordering::Greater);
+        assert_eq!(expansion_sign(&[0.5, -2.0]), Ordering::Less);
+        assert_eq!(expansion_sign(&[]), Ordering::Equal);
+    }
+}

@@ -1,0 +1,215 @@
+//! Convex hulls — the paper's `CH(Q)`.
+//!
+//! The `L2W` branch of WAIT-FREE-GATHER needs the extreme points of a
+//! collinear configuration (the hull of a collinear set is its two
+//! endpoints), and the asymmetric branch reasons about hull membership.
+//! Implemented with Andrew's monotone chain over the filtered orientation
+//! predicate.
+
+use crate::point::Point;
+use crate::predicates::{orient2d, Orientation};
+use crate::tol::Tol;
+
+/// Convex hull of a point set, as the vertices of the hull polygon in
+/// counter-clockwise order starting from the lexicographically smallest
+/// point. Interior points and points on hull edges are excluded; duplicate
+/// points are collapsed.
+///
+/// Degenerate cases: the hull of a single (possibly repeated) point is that
+/// point; the hull of a collinear set is its two extreme points.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{convex_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0), Point::new(1.0, 1.0), // interior
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// assert!(!hull.contains(&Point::new(1.0, 1.0)));
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup_by(|a, b| a == b);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    if hull.is_empty() {
+        // All points collinear: monotone chain collapses; return extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+/// Is `p` inside or on the boundary of the convex hull `hull` (vertices in
+/// counter-clockwise order, as produced by [`convex_hull`])?
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{convex_hull, hull_contains, Point, Tol};
+/// let hull = convex_hull(&[
+///     Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(0.0, 4.0),
+/// ]);
+/// let tol = Tol::default();
+/// assert!(hull_contains(&hull, Point::new(1.0, 1.0), tol));
+/// assert!(hull_contains(&hull, Point::new(2.0, 0.0), tol)); // edge
+/// assert!(!hull_contains(&hull, Point::new(3.0, 3.0), tol));
+/// ```
+pub fn hull_contains(hull: &[Point], p: Point, tol: Tol) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].approx_eq(p, tol),
+        2 => crate::predicates::is_between(hull[0], hull[1], p, tol),
+        _ => {
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                if crate::predicates::orient2d_tol(a, b, p, tol) == Orientation::Clockwise {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// The vertices of the hull that are *strict* extreme points (corners) of
+/// the point set. For a collinear set this is its two endpoints — exactly
+/// the robots the `L2W` branch instructs to leave the line.
+pub fn extreme_points(points: &[Point]) -> Vec<Point> {
+    convex_hull(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+            Point::new(2.0, 0.0), // on an edge: excluded
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for corner in &pts[..4] {
+            assert!(hull.contains(corner));
+        }
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 4.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            let c = hull[(i + 2) % hull.len()];
+            assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+        }
+    }
+
+    #[test]
+    fn hull_of_collinear_set_is_two_endpoints() {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, i as f64 * 2.0)).collect();
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert!(hull.contains(&Point::new(0.0, 0.0)));
+        assert!(hull.contains(&Point::new(6.0, 12.0)));
+    }
+
+    #[test]
+    fn hull_degenerate_cases() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0); 4]);
+        assert_eq!(single, vec![Point::new(1.0, 1.0)]);
+        let pair = convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 0.0)]);
+        assert_eq!(pair.len(), 2);
+    }
+
+    #[test]
+    fn containment_in_triangle() {
+        let tol = Tol::default();
+        let hull = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(3.0, 6.0),
+        ]);
+        assert!(hull_contains(&hull, Point::new(3.0, 2.0), tol));
+        assert!(hull_contains(&hull, Point::new(0.0, 0.0), tol)); // vertex
+        assert!(hull_contains(&hull, Point::new(3.0, 0.0), tol)); // edge
+        assert!(!hull_contains(&hull, Point::new(3.0, 7.0), tol));
+        assert!(!hull_contains(&hull, Point::new(-0.1, 0.0), tol));
+    }
+
+    #[test]
+    fn containment_in_degenerate_hulls() {
+        let tol = Tol::default();
+        let pt_hull = convex_hull(&[Point::new(2.0, 2.0)]);
+        assert!(hull_contains(&pt_hull, Point::new(2.0, 2.0), tol));
+        assert!(!hull_contains(&pt_hull, Point::new(2.0, 3.0), tol));
+        let seg_hull = convex_hull(&[Point::new(0.0, 0.0), Point::new(4.0, 0.0)]);
+        assert!(hull_contains(&seg_hull, Point::new(2.0, 0.0), tol));
+        assert!(!hull_contains(&seg_hull, Point::new(2.0, 1.0), tol));
+        assert!(!hull_contains(&[], Point::ORIGIN, tol));
+    }
+
+    #[test]
+    fn all_input_points_are_inside_their_hull() {
+        // Deterministic pseudo-random scatter.
+        let mut pts = Vec::new();
+        let mut state: u64 = 42;
+        for _ in 0..100 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 16) % 1000) as f64 / 100.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((state >> 16) % 1000) as f64 / 100.0;
+            pts.push(Point::new(x, y));
+        }
+        let hull = convex_hull(&pts);
+        let tol = Tol::default();
+        for p in &pts {
+            assert!(hull_contains(&hull, *p, tol), "point {p} escaped its hull");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Lines, rays (the paper's half-lines `HF(u, v)`), and segments.
+
+use crate::point::{Point, Vec2};
+use crate::predicates::{is_between, orient2d_tol, Orientation};
+use crate::tol::Tol;
+
+/// An (infinite) straight line through two distinct points — the paper's
+/// `line(u, v)`.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{Line, Point, Tol};
+/// let l = Line::through(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+/// assert!(l.contains(Point::new(5.0, 5.0), Tol::default()));
+/// assert!(!l.contains(Point::new(5.0, 4.0), Tol::default()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    origin: Point,
+    dir: Vec2, // unit length
+}
+
+impl Line {
+    /// The line through `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn through(a: Point, b: Point) -> Self {
+        Line {
+            origin: a,
+            dir: (b - a).normalized(),
+        }
+    }
+
+    /// A point on the line.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Unit direction of the line (sign is arbitrary).
+    pub fn dir(&self) -> Vec2 {
+        self.dir
+    }
+
+    /// Does the line pass through `p` (within tolerance)?
+    pub fn contains(&self, p: Point, tol: Tol) -> bool {
+        orient2d_tol(self.origin, self.origin + self.dir, p, tol) == Orientation::Collinear
+    }
+
+    /// Signed parameter of the orthogonal projection of `p` onto the line:
+    /// `project(origin) = 0`, increasing along `dir`.
+    ///
+    /// Collinear configurations are ordered by this parameter (the paper's
+    /// `min(U(C))`, `max(U(C))`, medians).
+    pub fn project(&self, p: Point) -> f64 {
+        (p - self.origin).dot(self.dir)
+    }
+
+    /// The point at signed parameter `t` along the line.
+    pub fn at(&self, t: f64) -> Point {
+        self.origin + self.dir * t
+    }
+
+    /// Orthogonal distance from `p` to the line.
+    pub fn distance_to(&self, p: Point) -> f64 {
+        (p - self.origin).cross(self.dir).abs()
+    }
+}
+
+/// The paper's half-line `HF(u, v)`: the open ray starting at `u` (excluding
+/// `u` itself) and passing through `v`.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{Point, Ray, Tol};
+/// let hf = Ray::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+/// let tol = Tol::default();
+/// assert!(hf.contains(Point::new(0.5, 0.0), tol));
+/// assert!(hf.contains(Point::new(9.0, 0.0), tol));
+/// assert!(!hf.contains(Point::new(0.0, 0.0), tol)); // apex excluded
+/// assert!(!hf.contains(Point::new(-1.0, 0.0), tol)); // behind the apex
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    apex: Point,
+    dir: Vec2, // unit length
+}
+
+impl Ray {
+    /// The half-line from `apex` through `through`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apex == through`.
+    pub fn new(apex: Point, through: Point) -> Self {
+        Ray {
+            apex,
+            dir: (through - apex).normalized(),
+        }
+    }
+
+    /// The half-line from `apex` in direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is the zero vector.
+    pub fn from_dir(apex: Point, dir: Vec2) -> Self {
+        Ray {
+            apex,
+            dir: dir.normalized(),
+        }
+    }
+
+    /// The excluded starting point of the half-line.
+    pub fn apex(&self) -> Point {
+        self.apex
+    }
+
+    /// Unit direction of the half-line.
+    pub fn dir(&self) -> Vec2 {
+        self.dir
+    }
+
+    /// Is `p` on the open half-line (collinear, strictly past the apex)?
+    ///
+    /// The apex itself is *not* on `HF(u, v)`, per the paper's definition;
+    /// points within `tol.snap` of the apex count as the apex.
+    pub fn contains(&self, p: Point, tol: Tol) -> bool {
+        if p.within(self.apex, tol.snap) {
+            return false;
+        }
+        let v = p - self.apex;
+        // On the supporting line?
+        let line_pt = self.apex + self.dir;
+        if orient2d_tol(self.apex, line_pt, p, tol) != Orientation::Collinear {
+            return false;
+        }
+        v.dot(self.dir) > 0.0
+    }
+
+    /// The point at distance `t >= 0` from the apex along the ray.
+    pub fn at(&self, t: f64) -> Point {
+        self.apex + self.dir * t
+    }
+}
+
+/// A closed segment `[a, b]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates the segment `[a, b]` (degenerate segments are allowed).
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// The midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Is `p` on the closed segment (within tolerance)?
+    pub fn contains(&self, p: Point, tol: Tol) -> bool {
+        is_between(self.a, self.b, p, tol)
+    }
+
+    /// Closest point of the segment to `p`.
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        let ab = self.b - self.a;
+        let len2 = ab.norm2();
+        if len2 == 0.0 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(ab) / len2).clamp(0.0, 1.0);
+        self.a.lerp(self.b, t)
+    }
+
+    /// Distance from `p` to the segment.
+    pub fn distance_to(&self, p: Point) -> f64 {
+        p.dist(self.closest_point_to(p))
+    }
+
+    /// Do the two closed segments share at least one point?
+    ///
+    /// Uses orientation tests (robust for properly crossing segments) with
+    /// betweenness fallbacks for the collinear/touching cases.
+    pub fn intersects(&self, other: &Segment, tol: Tol) -> bool {
+        use crate::predicates::{orient2d_tol, Orientation};
+        let o1 = orient2d_tol(self.a, self.b, other.a, tol);
+        let o2 = orient2d_tol(self.a, self.b, other.b, tol);
+        let o3 = orient2d_tol(other.a, other.b, self.a, tol);
+        let o4 = orient2d_tol(other.a, other.b, self.b, tol);
+        if o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+        {
+            return true; // proper crossing
+        }
+        // Touching or collinear overlap.
+        (o1 == Orientation::Collinear && is_between(self.a, self.b, other.a, tol))
+            || (o2 == Orientation::Collinear && is_between(self.a, self.b, other.b, tol))
+            || (o3 == Orientation::Collinear && is_between(other.a, other.b, self.a, tol))
+            || (o4 == Orientation::Collinear && is_between(other.a, other.b, self.b, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn line_contains_and_projection() {
+        let l = Line::through(Point::new(1.0, 1.0), Point::new(4.0, 5.0));
+        assert!(l.contains(Point::new(7.0, 9.0), t()));
+        assert!(!l.contains(Point::new(7.0, 8.0), t()));
+        assert_eq!(l.project(Point::new(1.0, 1.0)), 0.0);
+        assert!((l.project(Point::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_at_inverts_project() {
+        let l = Line::through(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        let p = Point::new(6.0, 8.0);
+        let q = l.at(l.project(p));
+        assert!(p.dist(q) < 1e-12);
+    }
+
+    #[test]
+    fn line_distance() {
+        let l = Line::through(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!((l.distance_to(Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+        assert_eq!(l.distance_to(Point::new(5.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn degenerate_line_panics() {
+        let p = Point::new(1.0, 1.0);
+        let _ = Line::through(p, p);
+    }
+
+    #[test]
+    fn ray_excludes_apex_and_behind() {
+        let r = Ray::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        assert!(r.contains(Point::new(3.0, 3.0), t()));
+        assert!(r.contains(Point::new(1.5, 1.5), t()));
+        assert!(!r.contains(Point::new(1.0, 1.0), t()));
+        assert!(!r.contains(Point::new(0.0, 0.0), t()));
+        assert!(!r.contains(Point::new(3.0, 2.0), t()));
+    }
+
+    #[test]
+    fn ray_at_walks_along_direction() {
+        let r = Ray::from_dir(Point::ORIGIN, Vec2::new(0.0, 2.0));
+        let p = r.at(3.0);
+        assert!(p.dist(Point::new(0.0, 3.0)) < 1e-12);
+    }
+
+    #[test]
+    fn segment_contains_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!(s.contains(Point::new(1.0, 0.0), t()));
+        assert!(s.contains(s.a, t()));
+        assert!(!s.contains(Point::new(3.0, 0.0), t()));
+        assert_eq!(s.midpoint(), Point::new(1.0, 0.0));
+        assert_eq!(s.length(), 2.0);
+    }
+
+    #[test]
+    fn segment_closest_point_clamps() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        assert_eq!(s.closest_point_to(Point::new(2.0, 5.0)), Point::new(2.0, 0.0));
+        assert_eq!(s.closest_point_to(Point::new(-3.0, 1.0)), s.a);
+        assert_eq!(s.closest_point_to(Point::new(9.0, -2.0)), s.b);
+        assert!((s.distance_to(Point::new(2.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_intersection_proper_crossing() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let s2 = Segment::new(Point::new(0.0, 4.0), Point::new(4.0, 0.0));
+        assert!(s1.intersects(&s2, t()));
+    }
+
+    #[test]
+    fn segment_intersection_disjoint() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(1.0, 1.0));
+        assert!(!s1.intersects(&s2, t()));
+        let s3 = Segment::new(Point::new(2.0, 0.0), Point::new(3.0, 0.0));
+        assert!(!s1.intersects(&s3, t())); // collinear but separated
+    }
+
+    #[test]
+    fn segment_intersection_touching_endpoint() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(2.0, 3.0));
+        assert!(s1.intersects(&s2, t()));
+    }
+
+    #[test]
+    fn segment_intersection_collinear_overlap() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(5.0, 0.0));
+        assert!(s1.intersects(&s2, t()));
+    }
+
+    #[test]
+    fn segment_intersection_t_shape() {
+        // One endpoint interior to the other segment.
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(2.0, -3.0));
+        assert!(s1.intersects(&s2, t()));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let p = Point::new(1.0, 2.0);
+        let s = Segment::new(p, p);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.closest_point_to(Point::new(9.0, 9.0)), p);
+        assert!(s.contains(p, t()));
+    }
+}

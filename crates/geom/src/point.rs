@@ -1,0 +1,451 @@
+//! Points and vectors on the Euclidean plane.
+//!
+//! The paper models robots as points in `ℝ²`; [`Point`] is that type.
+//! [`Vec2`] is a displacement between points. Keeping the two distinct makes
+//! transform code (translation acts on points, not on vectors) and robot
+//! movement code self-documenting.
+
+use crate::tol::Tol;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position on the plane.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{Point, Vec2};
+/// let a = Point::new(1.0, 2.0);
+/// let b = a + Vec2::new(3.0, -2.0);
+/// assert_eq!(b, Point::new(4.0, 0.0));
+/// assert_eq!((b - a).norm(), (9.0f64 + 4.0).sqrt());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement (direction and magnitude) on the plane.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::Vec2;
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// assert_eq!(v.normalized().norm(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.6}, {:.6}>", self.x, self.y)
+    }
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point (`|u, v|` in the paper).
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance (avoids the square root).
+    #[inline]
+    pub fn dist2(self, other: Point) -> f64 {
+        (self - other).norm2()
+    }
+
+    /// Approximate equality of positions under `tol.abs`-sized noise.
+    #[inline]
+    pub fn approx_eq(self, other: Point, tol: Tol) -> bool {
+        tol.eq(self.x, other.x) && tol.eq(self.y, other.y)
+    }
+
+    /// Is this point within `radius` of `other`?
+    #[inline]
+    pub fn within(self, other: Point, radius: f64) -> bool {
+        self.dist2(other) <= radius * radius
+    }
+
+    /// The point a fraction `t` of the way from `self` to `to`
+    /// (`t = 0` gives `self`, `t = 1` gives `to`).
+    ///
+    /// This is how the simulator realises partial moves: a robot instructed
+    /// to move from `r` to `d` may be stopped by the adversary anywhere on
+    /// the segment `[r, d]` past the minimum step `δ`.
+    #[inline]
+    pub fn lerp(self, to: Point, t: f64) -> Point {
+        Point::new(self.x + (to.x - self.x) * t, self.y + (to.y - self.y) * t)
+    }
+
+    /// The midpoint of `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Displacement vector from the origin to this point.
+    #[inline]
+    pub fn to_vec(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Lexicographic comparison by `(x, y)`. Useful for deterministic
+    /// canonical orderings of point sets.
+    ///
+    /// This is a total order for finite coordinates.
+    #[inline]
+    pub fn lex_cmp(self, other: Point) -> std::cmp::Ordering {
+        self.x
+            .total_cmp(&other.x)
+            .then_with(|| self.y.total_cmp(&other.y))
+    }
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector with the given counter-clockwise angle from the `+x` axis.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Vec2::new(theta.cos(), theta.sin())
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (`z` component of the 3D cross product).
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// This vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is exactly zero.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalise the zero vector");
+        self / n
+    }
+
+    /// `Some(unit vector)` or `None` when the norm is `<= eps`.
+    #[inline]
+    pub fn try_normalized(self, eps: f64) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= eps {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Perpendicular vector, rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// This vector rotated counter-clockwise by `theta` radians.
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Counter-clockwise angle of this vector from the `+x` axis, in
+    /// `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Interpret this vector as a point (origin + self).
+    #[inline]
+    pub fn to_point(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vec2) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vec2) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vec2) -> Point {
+        Point::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, other: Point) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, other: Vec2) {
+        self.x += other.x;
+        self.y += other.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, other: Vec2) {
+        self.x -= other.x;
+        self.y -= other.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// Arithmetic mean of a non-empty set of points (the "center of gravity"
+/// used by the convergence baseline — reference 9 of the paper).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{centroid, Point};
+/// let c = centroid(&[Point::new(0.0, 0.0), Point::new(2.0, 4.0)]);
+/// assert_eq!(c, Point::new(1.0, 2.0));
+/// ```
+pub fn centroid(points: &[Point]) -> Point {
+    assert!(!points.is_empty(), "centroid of an empty point set");
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for p in points {
+        sx += p.x;
+        sy += p.y;
+    }
+    let n = points.len() as f64;
+    Point::new(sx / n, sy / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn point_vector_arithmetic_roundtrips() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        let v = b - a;
+        assert_eq!(a + v, b);
+        assert_eq!(b - v, a);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert!(a.within(b, 5.0));
+        assert!(!a.within(b, 4.999));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert!(e1.cross(e2) > 0.0); // e2 is CCW from e1
+        assert!(e2.cross(e1) < 0.0);
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0).rotated(FRAC_PI_2);
+        assert!((v.x - 0.0).abs() < 1e-15);
+        assert!((v.y - 1.0).abs() < 1e-15);
+        let w = Vec2::new(1.0, 0.0).rotated(PI);
+        assert!((w.x + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perp_is_ccw_quarter_turn() {
+        let v = Vec2::new(2.0, 1.0);
+        let p = v.perp();
+        assert_eq!(v.dot(p), 0.0);
+        assert!(v.cross(p) > 0.0);
+    }
+
+    #[test]
+    fn angle_of_axes() {
+        assert_eq!(Vec2::new(1.0, 0.0).angle(), 0.0);
+        assert!((Vec2::new(0.0, 1.0).angle() - FRAC_PI_2).abs() < 1e-15);
+        assert!((Vec2::new(-1.0, 0.0).angle() - PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalisation() {
+        let v = Vec2::new(3.0, 4.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+        assert!(Vec2::ZERO.try_normalized(1e-12).is_none());
+        assert!(v.try_normalized(1e-12).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalizing_zero_panics() {
+        let _ = Vec2::ZERO.normalized();
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert_eq!(centroid(&pts), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        let a = Point::new(0.0, 5.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 6.0);
+        assert_eq!(a.lex_cmp(b), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(c), std::cmp::Ordering::Less);
+        assert_eq!(a.lex_cmp(a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn approx_eq_uses_tolerance() {
+        let t = Tol::default();
+        let a = Point::new(1.0, 1.0);
+        assert!(a.approx_eq(Point::new(1.0 + 1e-12, 1.0 - 1e-12), t));
+        assert!(!a.approx_eq(Point::new(1.001, 1.0), t));
+    }
+}

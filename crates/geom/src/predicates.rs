@@ -1,0 +1,312 @@
+//! Orientation and incidence predicates with a floating-point error filter.
+//!
+//! The classification machinery of the paper (collinearity of the whole
+//! configuration, points lying on a half-line, betweenness on a segment)
+//! bottoms out in the classic `orient2d` determinant. We evaluate it in
+//! `f64` with a forward error bound in the style of Shewchuk's static
+//! filter: when the determinant's magnitude exceeds the bound the sign is
+//! certain; below the bound we declare the points collinear. For the
+//! coordinate magnitudes produced by the workload generators this matches
+//! the exact predicate on all non-adversarial inputs, and errs toward
+//! "collinear" on the knife-edge — which is the conservative direction for
+//! the algorithm (a configuration misread as linear is handled by the `L`
+//! branches, which are safe for non-linear configurations too only briefly;
+//! the tolerance is set so generators never produce knife-edge inputs).
+
+use crate::point::Point;
+use crate::tol::Tol;
+
+/// Result of an orientation test on an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The triple makes a left (counter-clockwise) turn.
+    CounterClockwise,
+    /// The triple makes a right (clockwise) turn.
+    Clockwise,
+    /// The triple is collinear (within the error filter).
+    Collinear,
+}
+
+/// Relative error bound for the `orient2d` determinant computed with f64.
+/// `(3 + 16ε)ε` from Shewchuk's analysis, rounded up.
+const ORIENT2D_REL_BOUND: f64 = 3.3306690738754716e-16;
+
+/// Signed area of the parallelogram `(b - a) × (c - a)`.
+///
+/// Positive when `a → b → c` turns counter-clockwise.
+#[inline]
+pub fn orient2d_raw(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Filtered orientation of the triple `a → b → c`.
+///
+/// Uses a static forward error bound: the sign of the determinant is
+/// trusted only when its magnitude exceeds the bound; otherwise the triple
+/// is reported [`Orientation::Collinear`].
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{orient2d, Orientation, Point};
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(1.0, 0.0);
+/// assert_eq!(orient2d(a, b, Point::new(0.0, 1.0)), Orientation::CounterClockwise);
+/// assert_eq!(orient2d(a, b, Point::new(0.0, -1.0)), Orientation::Clockwise);
+/// assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+/// ```
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    let det = orient2d_raw(a, b, c);
+    // Magnitude bound on the rounding error of the determinant.
+    let detsum = ((b.x - a.x) * (c.y - a.y)).abs() + ((b.y - a.y) * (c.x - a.x)).abs();
+    let err = ORIENT2D_REL_BOUND * detsum;
+    if det > err {
+        Orientation::CounterClockwise
+    } else if det < -err {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Fully robust orientation: the fast filtered test, falling back to the
+/// exact expansion-arithmetic sign ([`crate::exact::orient2d_exact_sign`])
+/// whenever the filter is uncertain. Collinear answers are exact.
+pub fn orient2d_robust(a: Point, b: Point, c: Point) -> Orientation {
+    let det = orient2d_raw(a, b, c);
+    let detsum = ((b.x - a.x) * (c.y - a.y)).abs() + ((b.y - a.y) * (c.x - a.x)).abs();
+    let err = ORIENT2D_REL_BOUND * detsum;
+    if det > err {
+        return Orientation::CounterClockwise;
+    }
+    if det < -err {
+        return Orientation::Clockwise;
+    }
+    match crate::exact::orient2d_exact_sign(a, b, c) {
+        std::cmp::Ordering::Greater => Orientation::CounterClockwise,
+        std::cmp::Ordering::Less => Orientation::Clockwise,
+        std::cmp::Ordering::Equal => Orientation::Collinear,
+    }
+}
+
+/// Orientation with a user tolerance: triples whose normalised determinant
+/// is within `tol` of zero are collinear. The determinant is normalised by
+/// the product of the two edge lengths, making the test scale-invariant
+/// (it compares the sine of the turn angle against the tolerance).
+pub fn orient2d_tol(a: Point, b: Point, c: Point, tol: Tol) -> Orientation {
+    let det = orient2d_raw(a, b, c);
+    let scale = a.dist(b) * a.dist(c);
+    if scale == 0.0 {
+        return Orientation::Collinear;
+    }
+    let sine = det / scale;
+    if tol.is_zero(sine) {
+        Orientation::Collinear
+    } else if sine > 0.0 {
+        Orientation::CounterClockwise
+    } else {
+        Orientation::Clockwise
+    }
+}
+
+/// Are all points collinear (lying on one common line)?
+///
+/// Degenerate inputs (0, 1 or 2 points, or all points coincident) count as
+/// collinear, matching the paper's definition of a *linear* configuration.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{are_collinear, Point, Tol};
+/// let tol = Tol::default();
+/// let on_line = [Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
+/// assert!(are_collinear(&on_line, tol));
+/// let triangle = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+/// assert!(!are_collinear(&triangle, tol));
+/// ```
+pub fn are_collinear(points: &[Point], tol: Tol) -> bool {
+    // Pick the two mutually farthest of (first point, farthest from it) as
+    // the line's anchor; this is numerically the most stable choice.
+    let Some(&first) = points.first() else {
+        return true;
+    };
+    let Some(&anchor) = points
+        .iter()
+        .max_by(|p, q| first.dist2(**p).total_cmp(&first.dist2(**q)))
+    else {
+        return true;
+    };
+    if first.dist(anchor) <= tol.abs {
+        return true; // all points coincide (within tolerance)
+    }
+    points
+        .iter()
+        .all(|&p| orient2d_tol(first, anchor, p, tol) == Orientation::Collinear)
+}
+
+/// Is `p` on the closed segment `[a, b]` (within tolerance)?
+pub fn is_between(a: Point, b: Point, p: Point, tol: Tol) -> bool {
+    if orient2d_tol(a, b, p, tol) != Orientation::Collinear {
+        return false;
+    }
+    let ab = b - a;
+    let t = (p - a).dot(ab);
+    let len2 = ab.norm2();
+    if len2 == 0.0 {
+        return a.approx_eq(p, tol);
+    }
+    tol.ge(t, 0.0) && tol.le(t, len2)
+}
+
+/// Is `p` strictly inside the open segment `(a, b)` — collinear with and
+/// between the endpoints, but distinct from both (beyond `tol.snap`)?
+///
+/// This is the "is there a robot between `r` and the destination" test of
+/// the `M` branch of WAIT-FREE-GATHER.
+pub fn is_strictly_between(a: Point, b: Point, p: Point, tol: Tol) -> bool {
+    if p.within(a, tol.snap) || p.within(b, tol.snap) {
+        return false;
+    }
+    is_between(a, b, p, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        assert_eq!(orient2d(a, b, Point::new(1.0, 3.0)), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, b, Point::new(1.0, -3.0)), Orientation::Clockwise);
+        assert_eq!(orient2d(a, b, Point::new(7.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let a = Point::new(0.3, 1.7);
+        let b = Point::new(-2.0, 0.4);
+        let c = Point::new(1.5, -0.9);
+        let o1 = orient2d(a, b, c);
+        let o2 = orient2d(b, a, c);
+        assert_ne!(o1, Orientation::Collinear);
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn filter_handles_tiny_perturbations() {
+        // Points on a line with a perturbation below f64 resolution at this
+        // magnitude must read collinear.
+        let a = Point::new(1e8, 1e8);
+        let b = Point::new(2e8, 2e8);
+        let c = Point::new(3e8, 3e8 + 1e-9);
+        assert_eq!(orient2d(a, b, c), Orientation::Collinear);
+    }
+
+    #[test]
+    fn robust_orientation_resolves_the_filter_band() {
+        let a = Point::new(1e8, 1e8);
+        let b = Point::new(2e8, 2e8);
+        let up = Point::new(3e8, (3e8_f64).next_up());
+        assert_eq!(orient2d(a, b, up), Orientation::Collinear); // filter unsure
+        assert_eq!(orient2d_robust(a, b, up), Orientation::CounterClockwise);
+        assert_eq!(
+            orient2d_robust(a, b, Point::new(3e8, 3e8)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn robust_matches_filter_on_clear_inputs() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 1.0);
+        let c = Point::new(-1.0, 3.0);
+        assert_eq!(orient2d(a, b, c), orient2d_robust(a, b, c));
+    }
+
+    #[test]
+    fn tolerant_orientation_is_scale_invariant() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.5, 1e-12);
+        assert_eq!(orient2d_tol(a, b, c, t()), Orientation::Collinear);
+        // Same shape, billion times larger.
+        let s = 1e9;
+        let c2 = Point::new(0.5 * s, 1e-12 * s);
+        assert_eq!(
+            orient2d_tol(a, Point::new(s, 0.0), c2, t()),
+            Orientation::Collinear
+        );
+        // A genuine turn is detected at any scale.
+        let d = Point::new(0.5 * s, 0.3 * s);
+        assert_eq!(
+            orient2d_tol(a, Point::new(s, 0.0), d, t()),
+            Orientation::CounterClockwise
+        );
+    }
+
+    #[test]
+    fn collinearity_of_sets() {
+        let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        assert!(are_collinear(&line, t()));
+        let mut bent = line.clone();
+        bent.push(Point::new(1.0, 5.0));
+        assert!(!are_collinear(&bent, t()));
+    }
+
+    #[test]
+    fn collinearity_degenerate_inputs() {
+        assert!(are_collinear(&[], t()));
+        assert!(are_collinear(&[Point::new(1.0, 1.0)], t()));
+        assert!(are_collinear(&[Point::new(1.0, 1.0), Point::new(2.0, 5.0)], t()));
+        let same = [Point::new(3.0, 3.0); 5];
+        assert!(are_collinear(&same, t()));
+    }
+
+    #[test]
+    fn collinearity_robust_to_unsorted_input() {
+        // The anchor selection must not assume sorted input.
+        let pts = [
+            Point::new(5.0, 5.0),
+            Point::new(-3.0, -3.0),
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+        ];
+        assert!(are_collinear(&pts, t()));
+    }
+
+    #[test]
+    fn betweenness() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 4.0);
+        assert!(is_between(a, b, Point::new(2.0, 2.0), t()));
+        assert!(is_between(a, b, a, t())); // closed interval includes ends
+        assert!(is_between(a, b, b, t()));
+        assert!(!is_between(a, b, Point::new(5.0, 5.0), t())); // beyond b
+        assert!(!is_between(a, b, Point::new(-1.0, -1.0), t())); // before a
+        assert!(!is_between(a, b, Point::new(2.0, 2.5), t())); // off line
+    }
+
+    #[test]
+    fn strict_betweenness_excludes_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        assert!(is_strictly_between(a, b, Point::new(2.0, 0.0), t()));
+        assert!(!is_strictly_between(a, b, a, t()));
+        assert!(!is_strictly_between(a, b, b, t()));
+        // Within snap distance of an endpoint counts as the endpoint.
+        assert!(!is_strictly_between(a, b, Point::new(4.0 - 1e-9, 0.0), t()));
+    }
+
+    #[test]
+    fn betweenness_degenerate_segment() {
+        let a = Point::new(1.0, 1.0);
+        assert!(is_between(a, a, a, t()));
+        assert!(!is_between(a, a, Point::new(2.0, 1.0), t()));
+    }
+}

@@ -1,0 +1,297 @@
+//! Smallest enclosing circles — the paper's `sec(C)`.
+//!
+//! The *view* of a robot position (Definition 2) is anchored on the centre
+//! of the smallest enclosing circle of the distinct positions, so `sec` is
+//! on the hot path of symmetry detection. Implemented with Welzl's
+//! algorithm, made iterative-in-expectation by a deterministic shuffle
+//! (the suite forbids ambient randomness; a fixed LCG permutation gives the
+//! same expected O(n) behaviour reproducibly).
+
+use crate::point::Point;
+use crate::tol::Tol;
+
+/// A circle on the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Circle {
+    /// Centre of the circle (`center(G)` in the paper).
+    pub center: Point,
+    /// Radius of the circle.
+    pub radius: f64,
+}
+
+impl std::fmt::Display for Circle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Circle(center={}, r={:.6})", self.center, self.radius)
+    }
+}
+
+impl Circle {
+    /// Creates a circle from centre and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0`.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius >= 0.0, "negative circle radius");
+        Circle { center, radius }
+    }
+
+    /// Is `p` inside or on the circle (with tolerance slack on the radius)?
+    pub fn contains(&self, p: Point, tol: Tol) -> bool {
+        let slack = tol.abs + tol.rel * self.radius.max(1.0);
+        self.center.dist(p) <= self.radius + slack
+    }
+
+    /// Is `p` on the circle boundary (within tolerance)?
+    pub fn on_boundary(&self, p: Point, tol: Tol) -> bool {
+        tol.eq(self.center.dist(p), self.radius)
+    }
+}
+
+/// Circle through two points (as diameter).
+fn circle_from_2(a: Point, b: Point) -> Circle {
+    let c = a.midpoint(b);
+    Circle::new(c, c.dist(a).max(c.dist(b)))
+}
+
+/// Circumcircle of three points; `None` if they are (numerically) collinear.
+fn circle_from_3(a: Point, b: Point, c: Point) -> Option<Circle> {
+    let bx = b.x - a.x;
+    let by = b.y - a.y;
+    let cx = c.x - a.x;
+    let cy = c.y - a.y;
+    let d = 2.0 * (bx * cy - by * cx);
+    if d.abs() < 1e-12 * (bx.abs() + by.abs() + cx.abs() + cy.abs()).max(1e-300) {
+        return None;
+    }
+    let b2 = bx * bx + by * by;
+    let c2 = cx * cx + cy * cy;
+    let ux = (cy * b2 - by * c2) / d;
+    let uy = (bx * c2 - cx * b2) / d;
+    let center = Point::new(a.x + ux, a.y + uy);
+    let r = center.dist(a).max(center.dist(b)).max(center.dist(c));
+    Some(Circle::new(center, r))
+}
+
+/// Smallest circle with the points of `boundary` on its boundary
+/// (|boundary| <= 3).
+fn trivial(boundary: &[Point]) -> Circle {
+    match boundary {
+        [] => Circle::new(Point::ORIGIN, 0.0),
+        [a] => Circle::new(*a, 0.0),
+        [a, b] => circle_from_2(*a, *b),
+        [a, b, c] => circle_from_3(*a, *b, *c).unwrap_or_else(|| {
+            // Collinear support: the diameter circle of the farthest pair.
+            let ab = circle_from_2(*a, *b);
+            let ac = circle_from_2(*a, *c);
+            let bc = circle_from_2(*b, *c);
+            let mut best = ab;
+            for cand in [ac, bc] {
+                if cand.radius > best.radius {
+                    best = cand;
+                }
+            }
+            best
+        }),
+        _ => unreachable!("support set larger than 3"),
+    }
+}
+
+/// Slack used when testing containment inside Welzl's recursion.
+const WELZL_EPS: f64 = 1e-10;
+
+fn welzl(pts: &mut [Point], boundary: &mut Vec<Point>) -> Circle {
+    if pts.is_empty() || boundary.len() == 3 {
+        return trivial(boundary);
+    }
+    let p = pts[pts.len() - 1];
+    let n = pts.len() - 1;
+    let d = welzl(&mut pts[..n], boundary);
+    if d.center.dist(p) <= d.radius * (1.0 + WELZL_EPS) + WELZL_EPS {
+        return d;
+    }
+    boundary.push(p);
+    let r = welzl(&mut pts[..n], boundary);
+    boundary.pop();
+    r
+}
+
+/// Smallest enclosing circle of a point set (the paper's `sec(C)`,
+/// conventionally applied to the de-duplicated positions `U(C)`).
+///
+/// Returns a zero circle at the origin for an empty input and a zero-radius
+/// circle at the point for a single-point input.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{smallest_enclosing_circle, Point};
+/// let c = smallest_enclosing_circle(&[
+///     Point::new(-1.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 0.5),
+/// ]);
+/// assert!(c.center.dist(Point::ORIGIN) < 1e-9);
+/// assert!((c.radius - 1.0).abs() < 1e-9);
+/// ```
+pub fn smallest_enclosing_circle(points: &[Point]) -> Circle {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.dedup_by(|a, b| a == b);
+    // Deterministic shuffle (LCG) for expected-linear Welzl behaviour.
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    for i in (1..pts.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        pts.swap(i, j);
+    }
+    let n = pts.len();
+    let mut boundary = Vec::with_capacity(3);
+    welzl(&mut pts[..n], &mut boundary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tol() -> Tol {
+        Tol::default()
+    }
+
+    fn assert_encloses(c: Circle, pts: &[Point]) {
+        for p in pts {
+            assert!(
+                c.contains(*p, tol()),
+                "{p} outside {c} by {}",
+                c.center.dist(*p) - c.radius
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = smallest_enclosing_circle(&[]);
+        assert_eq!(e.radius, 0.0);
+        let p = Point::new(3.0, 4.0);
+        let s = smallest_enclosing_circle(&[p]);
+        assert_eq!(s.center, p);
+        assert_eq!(s.radius, 0.0);
+    }
+
+    #[test]
+    fn two_points_diameter() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let c = smallest_enclosing_circle(&[a, b]);
+        assert!(c.center.dist(Point::new(2.0, 0.0)) < 1e-12);
+        assert!((c.radius - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilateral_triangle_circumcircle() {
+        let r = 5.0;
+        let pts: Vec<Point> = (0..3)
+            .map(|k| {
+                let th = TAU * k as f64 / 3.0;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect();
+        let c = smallest_enclosing_circle(&pts);
+        assert!(c.center.dist(Point::ORIGIN) < 1e-9);
+        assert!((c.radius - r).abs() < 1e-9);
+        assert_encloses(c, &pts);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter_of_longest_side() {
+        // Very obtuse triangle: SEC is the diameter circle of the long side.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let c = Point::new(5.0, 0.1);
+        let circ = smallest_enclosing_circle(&[a, b, c]);
+        assert!(circ.center.dist(Point::new(5.0, 0.0)) < 1e-9);
+        assert!((circ.radius - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regular_polygon_centered() {
+        for n in [4usize, 5, 7, 12, 64] {
+            let pts: Vec<Point> = (0..n)
+                .map(|k| {
+                    let th = TAU * k as f64 / n as f64 + 0.37;
+                    Point::new(2.0 + 3.0 * th.cos(), -1.0 + 3.0 * th.sin())
+                })
+                .collect();
+            let c = smallest_enclosing_circle(&pts);
+            assert!(c.center.dist(Point::new(2.0, -1.0)) < 1e-9, "n={n}");
+            assert!((c.radius - 3.0).abs() < 1e-9, "n={n}");
+            assert_encloses(c, &pts);
+        }
+    }
+
+    #[test]
+    fn interior_points_do_not_change_sec() {
+        let mut pts = vec![
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(0.0, -2.0),
+        ];
+        let base = smallest_enclosing_circle(&pts);
+        pts.push(Point::new(0.3, 0.1));
+        pts.push(Point::new(-0.5, 0.9));
+        let with_interior = smallest_enclosing_circle(&pts);
+        assert!(base.center.dist(with_interior.center) < 1e-9);
+        assert!((base.radius - with_interior.radius).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..9).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let c = smallest_enclosing_circle(&pts);
+        let expect_center = Point::new(4.0, 8.0);
+        assert!(c.center.dist(expect_center) < 1e-9);
+        assert_encloses(c, &pts);
+    }
+
+    #[test]
+    fn duplicate_points_are_harmless() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        let c = smallest_enclosing_circle(&pts);
+        assert!((c.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sec_is_minimal_against_shrinking() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 4.0),
+            Point::new(-2.0, 2.0),
+        ];
+        let c = smallest_enclosing_circle(&pts);
+        // Any circle with a slightly smaller radius centred anywhere near
+        // the SEC centre must miss at least one point.
+        let shrunk = Circle::new(c.center, c.radius * 0.999);
+        let missed = pts.iter().any(|p| !shrunk.contains(*p, Tol::strict()));
+        assert!(missed, "SEC was not minimal");
+    }
+
+    #[test]
+    fn boundary_predicate() {
+        let c = Circle::new(Point::ORIGIN, 2.0);
+        assert!(c.on_boundary(Point::new(2.0, 0.0), tol()));
+        assert!(!c.on_boundary(Point::new(1.0, 0.0), tol()));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_radius_panics() {
+        let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Centralised tolerance policy.
+//!
+//! The paper reasons over exact real arithmetic; this reproduction runs on
+//! `f64`. Every approximate comparison in the workspace goes through a single
+//! [`Tol`] value so that the precision/robustness trade-off is explicit,
+//! configurable, and measurable (experiment T4 sweeps it).
+
+use std::fmt;
+
+/// Tolerance policy for approximate geometric comparisons.
+///
+/// Two scalars `a` and `b` are considered equal when
+/// `|a - b| <= abs + rel * max(|a|, |b|)`.
+///
+/// `snap` is the radius used by the simulator to canonicalise robot
+/// positions: points closer than `snap` are considered the *same location*
+/// for the purpose of strong multiplicity detection. It should be
+/// comfortably larger than the accumulated floating-point noise of one
+/// round's computations (frame round-trips, angle arithmetic) and
+/// comfortably smaller than any inter-robot distance produced by the
+/// workload generators.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::Tol;
+/// let tol = Tol::default();
+/// assert!(tol.eq(1.0, 1.0 + 1e-12));
+/// assert!(!tol.eq(1.0, 1.001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tol {
+    /// Absolute epsilon for scalar comparisons.
+    pub abs: f64,
+    /// Relative epsilon for scalar comparisons.
+    pub rel: f64,
+    /// Position-canonicalisation radius (strong multiplicity detection).
+    pub snap: f64,
+}
+
+impl Default for Tol {
+    /// The default policy used across the whole test and experiment suite:
+    /// `abs = 1e-9`, `rel = 1e-9`, `snap = 1e-6`.
+    fn default() -> Self {
+        Tol { abs: 1e-9, rel: 1e-9, snap: 1e-6 }
+    }
+}
+
+impl fmt::Display for Tol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tol(abs={:.1e}, rel={:.1e}, snap={:.1e})", self.abs, self.rel, self.snap)
+    }
+}
+
+impl Tol {
+    /// Creates a tolerance with the given absolute/relative epsilons and
+    /// snap radius.
+    pub fn new(abs: f64, rel: f64, snap: f64) -> Self {
+        Tol { abs, rel, snap }
+    }
+
+    /// A stricter policy (useful in tests on exactly-constructed inputs).
+    pub fn strict() -> Self {
+        Tol { abs: 1e-12, rel: 1e-12, snap: 1e-9 }
+    }
+
+    /// A looser policy, for heavily perturbed inputs.
+    pub fn loose() -> Self {
+        Tol { abs: 1e-6, rel: 1e-6, snap: 1e-4 }
+    }
+
+    /// Approximate scalar equality.
+    #[inline]
+    pub fn eq(self, a: f64, b: f64) -> bool {
+        let diff = (a - b).abs();
+        diff <= self.abs + self.rel * a.abs().max(b.abs())
+    }
+
+    /// Approximate `a < b` (strictly less, beyond tolerance).
+    #[inline]
+    pub fn lt(self, a: f64, b: f64) -> bool {
+        a < b && !self.eq(a, b)
+    }
+
+    /// Approximate `a <= b` (less, or equal within tolerance).
+    #[inline]
+    pub fn le(self, a: f64, b: f64) -> bool {
+        a <= b || self.eq(a, b)
+    }
+
+    /// Approximate `a > b` (strictly greater, beyond tolerance).
+    #[inline]
+    pub fn gt(self, a: f64, b: f64) -> bool {
+        self.lt(b, a)
+    }
+
+    /// Approximate `a >= b`.
+    #[inline]
+    pub fn ge(self, a: f64, b: f64) -> bool {
+        self.le(b, a)
+    }
+
+    /// Is `a` approximately zero?
+    #[inline]
+    pub fn is_zero(self, a: f64) -> bool {
+        a.abs() <= self.abs
+    }
+
+    /// Approximate equality of angles in radians, treating values that
+    /// differ by a multiple of `2π` as equal (so `0` and `2π` compare equal,
+    /// as do `-π` and `π`).
+    #[inline]
+    pub fn angle_eq(self, a: f64, b: f64) -> bool {
+        use std::f64::consts::TAU;
+        let mut d = (a - b) % TAU;
+        if d > TAU / 2.0 {
+            d -= TAU;
+        } else if d < -TAU / 2.0 {
+            d += TAU;
+        }
+        d.abs() <= self.abs.max(1e-9)
+    }
+
+    /// Total-order comparison of scalars under this tolerance: returns
+    /// `Equal` when [`Tol::eq`] holds, otherwise the exact ordering.
+    #[inline]
+    pub fn cmp(self, a: f64, b: f64) -> std::cmp::Ordering {
+        if self.eq(a, b) {
+            std::cmp::Ordering::Equal
+        } else if a < b {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn default_tolerance_accepts_tiny_noise() {
+        let t = Tol::default();
+        assert!(t.eq(1.0, 1.0 + 1e-12));
+        assert!(t.eq(0.0, 1e-10));
+        assert!(t.eq(1e9, 1e9 + 0.5)); // relative part dominates
+    }
+
+    #[test]
+    fn default_tolerance_rejects_real_differences() {
+        let t = Tol::default();
+        assert!(!t.eq(1.0, 1.0001));
+        assert!(!t.eq(0.0, 1e-6));
+    }
+
+    #[test]
+    fn strict_ordering_helpers() {
+        let t = Tol::default();
+        assert!(t.lt(1.0, 2.0));
+        assert!(!t.lt(1.0, 1.0 + 1e-12));
+        assert!(t.le(1.0, 1.0 + 1e-12));
+        assert!(t.gt(2.0, 1.0));
+        assert!(t.ge(1.0 + 1e-12, 1.0));
+    }
+
+    #[test]
+    fn zero_check() {
+        let t = Tol::default();
+        assert!(t.is_zero(0.0));
+        assert!(t.is_zero(1e-12));
+        assert!(!t.is_zero(1e-3));
+    }
+
+    #[test]
+    fn angle_equality_wraps() {
+        let t = Tol::default();
+        assert!(t.angle_eq(0.0, TAU));
+        assert!(t.angle_eq(-PI, PI));
+        assert!(t.angle_eq(0.1, 0.1 + TAU));
+        assert!(!t.angle_eq(0.0, 0.1));
+    }
+
+    #[test]
+    fn cmp_is_total_under_tolerance() {
+        let t = Tol::default();
+        assert_eq!(t.cmp(1.0, 1.0 + 1e-12), Ordering::Equal);
+        assert_eq!(t.cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(t.cmp(2.0, 1.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_strictness() {
+        assert!(Tol::strict().abs < Tol::default().abs);
+        assert!(Tol::default().abs < Tol::loose().abs);
+        assert!(Tol::strict().snap < Tol::default().snap);
+    }
+}

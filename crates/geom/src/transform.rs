@@ -1,0 +1,264 @@
+//! Orientation-preserving similarity transforms.
+//!
+//! The robots of the paper are *disoriented*: each observes the world in its
+//! own coordinate system with its own origin (itself), rotation, and unit
+//! distance. They do share **chirality**, so the transforms relating their
+//! frames never include a reflection. [`Similarity`] is exactly this class:
+//! `x ↦ s·R(θ)·x + t` with scale `s > 0` and a proper rotation `R(θ)`.
+//!
+//! The simulator uses a `Similarity` per robot per activation to produce the
+//! robot's local snapshot and to map the computed destination back to global
+//! coordinates. Any gathering algorithm valid in the paper's model must be
+//! *equivariant* under these transforms — a property the test suite checks
+//! explicitly.
+
+use crate::point::{Point, Vec2};
+
+/// An orientation-preserving similarity transform of the plane:
+/// rotation by `theta`, uniform scaling by `scale > 0`, then translation.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{Point, Similarity};
+/// use std::f64::consts::FRAC_PI_2;
+/// let t = Similarity::new(FRAC_PI_2, 2.0, Point::new(1.0, 0.0));
+/// let p = t.apply(Point::new(1.0, 0.0)); // rotate 90° CCW, double, shift
+/// assert!(p.dist(Point::new(1.0, 2.0)) < 1e-12);
+/// let back = t.inverse().apply(p);
+/// assert!(back.dist(Point::new(1.0, 0.0)) < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Similarity {
+    cos: f64,
+    sin: f64,
+    scale: f64,
+    translation: Vec2,
+}
+
+impl Default for Similarity {
+    fn default() -> Self {
+        Similarity::identity()
+    }
+}
+
+impl Similarity {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Similarity {
+            cos: 1.0,
+            sin: 0.0,
+            scale: 1.0,
+            translation: Vec2::ZERO,
+        }
+    }
+
+    /// Creates a transform: rotate by `theta` (counter-clockwise), scale by
+    /// `scale`, then translate so the old origin lands on `origin_image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0` (a non-positive scale would be a reflection or
+    /// a collapse, both outside the model).
+    pub fn new(theta: f64, scale: f64, origin_image: Point) -> Self {
+        assert!(scale > 0.0, "similarity scale must be positive");
+        Similarity {
+            cos: theta.cos(),
+            sin: theta.sin(),
+            scale,
+            translation: origin_image.to_vec(),
+        }
+    }
+
+    /// Pure translation.
+    pub fn translation(offset: Vec2) -> Self {
+        Similarity {
+            cos: 1.0,
+            sin: 0.0,
+            scale: 1.0,
+            translation: offset,
+        }
+    }
+
+    /// The similarity mapping global coordinates into the local frame of an
+    /// observer at `observer_pos` whose frame is rotated by `theta` and
+    /// whose unit distance is `unit` (global units per local unit):
+    /// the observer sees itself at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit <= 0`.
+    pub fn into_local_frame(observer_pos: Point, theta: f64, unit: f64) -> Self {
+        assert!(unit > 0.0, "frame unit must be positive");
+        // local = R(-theta)/unit * (global - observer)
+        let s = 1.0 / unit;
+        let (sin, cos) = (-theta).sin_cos();
+        let off = Vec2::new(
+            -(cos * observer_pos.x - sin * observer_pos.y) * s,
+            -(sin * observer_pos.x + cos * observer_pos.y) * s,
+        );
+        Similarity {
+            cos,
+            sin,
+            scale: s,
+            translation: off,
+        }
+    }
+
+    /// Scale factor of the transform.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply(&self, p: Point) -> Point {
+        let x = self.scale * (self.cos * p.x - self.sin * p.y) + self.translation.x;
+        let y = self.scale * (self.sin * p.x + self.cos * p.y) + self.translation.y;
+        Point::new(x, y)
+    }
+
+    /// Applies the transform to a direction vector (rotation and scale only;
+    /// translation does not act on vectors).
+    #[inline]
+    pub fn apply_vec(&self, v: Vec2) -> Vec2 {
+        Vec2::new(
+            self.scale * (self.cos * v.x - self.sin * v.y),
+            self.scale * (self.sin * v.x + self.cos * v.y),
+        )
+    }
+
+    /// Applies the transform to every point of a slice.
+    pub fn apply_all(&self, points: &[Point]) -> Vec<Point> {
+        points.iter().map(|p| self.apply(*p)).collect()
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Similarity {
+        // y = sR x + t  =>  x = (1/s) R^T (y - t)
+        let inv_scale = 1.0 / self.scale;
+        let t = self.translation;
+        let inv_t = Vec2::new(
+            -inv_scale * (self.cos * t.x + self.sin * t.y),
+            -inv_scale * (-self.sin * t.x + self.cos * t.y),
+        );
+        Similarity {
+            cos: self.cos,
+            sin: -self.sin,
+            scale: inv_scale,
+            translation: inv_t,
+        }
+    }
+
+    /// Composition: `self.then(&g)` applies `self` first, then `g`.
+    pub fn then(&self, g: &Similarity) -> Similarity {
+        // g(f(x)) = s_g R_g (s_f R_f x + t_f) + t_g
+        let cos = g.cos * self.cos - g.sin * self.sin;
+        let sin = g.sin * self.cos + g.cos * self.sin;
+        let scale = g.scale * self.scale;
+        let t = Vec2::new(
+            g.scale * (g.cos * self.translation.x - g.sin * self.translation.y) + g.translation.x,
+            g.scale * (g.sin * self.translation.x + g.cos * self.translation.y) + g.translation.y,
+        );
+        Similarity {
+            cos,
+            sin,
+            scale,
+            translation: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_3};
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let id = Similarity::identity();
+        let p = Point::new(3.0, -2.0);
+        assert_eq!(id.apply(p), p);
+        assert_eq!(id.apply_vec(Vec2::new(1.0, 2.0)), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn rotation_scale_translation_order() {
+        let t = Similarity::new(FRAC_PI_2, 3.0, Point::new(10.0, 0.0));
+        // (1,0) -> rotate -> (0,1) -> scale -> (0,3) -> translate -> (10,3)
+        let p = t.apply(Point::new(1.0, 0.0));
+        assert!(p.dist(Point::new(10.0, 3.0)) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let t = Similarity::new(1.234, 0.7, Point::new(-4.0, 9.0));
+        let inv = t.inverse();
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, -3.0),
+            Point::new(-1.5, 2.5),
+        ] {
+            assert!(inv.apply(t.apply(p)).dist(p) < 1e-12);
+            assert!(t.apply(inv.apply(p)).dist(p) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let f = Similarity::new(0.4, 2.0, Point::new(1.0, 1.0));
+        let g = Similarity::new(-1.1, 0.5, Point::new(-3.0, 2.0));
+        let fg = f.then(&g);
+        let p = Point::new(2.0, -7.0);
+        assert!(fg.apply(p).dist(g.apply(f.apply(p))) < 1e-12);
+    }
+
+    #[test]
+    fn local_frame_puts_observer_at_origin() {
+        let obs = Point::new(5.0, -2.0);
+        let t = Similarity::into_local_frame(obs, FRAC_PI_3, 2.5);
+        assert!(t.apply(obs).dist(Point::ORIGIN) < 1e-12);
+    }
+
+    #[test]
+    fn local_frame_preserves_relative_geometry() {
+        let obs = Point::new(1.0, 1.0);
+        let t = Similarity::into_local_frame(obs, 0.9, 3.0);
+        let a = Point::new(4.0, 1.0);
+        let b = Point::new(1.0, 5.0);
+        // Distances scale by 1/unit.
+        let la = t.apply(a);
+        let lb = t.apply(b);
+        assert!((la.dist(lb) - a.dist(b) / 3.0).abs() < 1e-12);
+        // Chirality: orientation of triples is preserved.
+        use crate::predicates::{orient2d, Orientation};
+        let o_global = orient2d(obs, a, b);
+        let o_local = orient2d(t.apply(obs), la, lb);
+        assert_eq!(o_global, o_local);
+        assert_ne!(o_global, Orientation::Collinear);
+    }
+
+    #[test]
+    fn transforms_preserve_angles() {
+        let t = Similarity::new(2.2, 5.0, Point::new(7.0, -1.0));
+        let u = Vec2::new(1.0, 0.3);
+        let v = Vec2::new(-0.5, 2.0);
+        let before = crate::angle::cw_angle(u, v);
+        let after = crate::angle::cw_angle(t.apply_vec(u), t.apply_vec(v));
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = Similarity::new(0.0, 0.0, Point::ORIGIN);
+    }
+
+    #[test]
+    fn apply_all_maps_every_point() {
+        let t = Similarity::translation(Vec2::new(1.0, 2.0));
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let out = t.apply_all(&pts);
+        assert_eq!(out, vec![Point::new(1.0, 2.0), Point::new(2.0, 3.0)]);
+    }
+}

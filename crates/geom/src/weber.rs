@@ -1,0 +1,473 @@
+//! Weber points (Definition 1 of the paper).
+//!
+//! The Weber point of a configuration `C` minimises `Σ_{p ∈ C} |x, p|`.
+//! Facts used by the paper and exposed here:
+//!
+//! * non-linear configurations have a **unique** Weber point;
+//! * linear configurations have the interval of **medians** as their Weber
+//!   point set ([`collinear_weber_interval`]), which is a single point iff
+//!   the median is unique — this distinguishes classes `L1W` and `L2W`;
+//! * the Weber point is **invariant under straight moves toward it**
+//!   (Lemma 3.2), which is why it is a crash-tolerant gathering target;
+//! * no finite algorithm computes it for arbitrary configurations, but the
+//!   damped Weiszfeld iteration ([`weber_point_weiszfeld`]) converges to it
+//!   numerically; the paper's contribution is an *exact* computation for
+//!   quasi-regular configurations (implemented in `gather-config`), for
+//!   which the numeric solver doubles as a cross-check.
+
+use crate::line::Line;
+use crate::point::{Point, Vec2};
+use crate::predicates::are_collinear;
+use crate::tol::Tol;
+
+/// Sum of Euclidean distances from `x` to every point of `points`
+/// (the Weber objective).
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{weber_objective, Point};
+/// let pts = [Point::new(-1.0, 0.0), Point::new(1.0, 0.0)];
+/// assert_eq!(weber_objective(Point::ORIGIN, &pts), 2.0);
+/// assert!(weber_objective(Point::new(0.0, 1.0), &pts) > 2.0);
+/// ```
+pub fn weber_objective(x: Point, points: &[Point]) -> f64 {
+    points.iter().map(|p| x.dist(*p)).sum()
+}
+
+/// Outcome of the Weiszfeld iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeberResult {
+    /// The computed (approximate) Weber point.
+    pub point: Point,
+    /// The Weber objective at `point`.
+    pub objective: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the iteration met its convergence threshold.
+    pub converged: bool,
+}
+
+/// Maximum Weiszfeld iterations before giving up.
+const MAX_ITERS: usize = 10_000;
+
+/// Numerically computes the Weber point of `points` with the Weiszfeld
+/// iteration, using the Vardi–Zhang rule to step off input points (plain
+/// Weiszfeld is undefined when an iterate lands exactly on an input point,
+/// which happens routinely for symmetric robot configurations whose Weber
+/// point is an occupied centre).
+///
+/// `eps` is the convergence threshold on the step length, typically
+/// `tol.abs`. For collinear inputs the Weber point may not be unique; this
+/// function then returns the midpoint of the median interval (the canonical
+/// choice used throughout the suite).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{weber_point_weiszfeld, Point, Tol};
+/// // Weber point of 3 vertices of an equilateral triangle = its centre.
+/// let pts: Vec<Point> = (0..3).map(|k| {
+///     let th = std::f64::consts::TAU * k as f64 / 3.0;
+///     Point::new(th.cos(), th.sin())
+/// }).collect();
+/// let w = weber_point_weiszfeld(&pts, Tol::default());
+/// assert!(w.point.dist(Point::ORIGIN) < 1e-7);
+/// assert!(w.converged);
+/// ```
+pub fn weber_point_weiszfeld(points: &[Point], tol: Tol) -> WeberResult {
+    assert!(!points.is_empty(), "Weber point of an empty configuration");
+    let eps = tol.abs.max(1e-12);
+
+    if points.len() == 1 {
+        return WeberResult {
+            point: points[0],
+            objective: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    if are_collinear(points, tol) {
+        let (lo, hi) = collinear_weber_interval(points, tol)
+            .expect("collinear set must have a median interval");
+        let point = lo.midpoint(hi);
+        return WeberResult {
+            point,
+            objective: weber_objective(point, points),
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    // Start from the best input point or the centroid, whichever is better.
+    let centroid = crate::point::centroid(points);
+    let mut x = points
+        .iter()
+        .copied()
+        .chain(std::iter::once(centroid))
+        .min_by(|a, b| {
+            weber_objective(*a, points).total_cmp(&weber_objective(*b, points))
+        })
+        .expect("non-empty");
+
+    // Distinct input locations (bitwise groups) with multiplicities, plus
+    // the configuration extent, for the vertex-capture test below.
+    let mut distinct: Vec<(Point, usize)> = Vec::new();
+    for p in points {
+        match distinct.iter_mut().find(|(q, _)| q == p) {
+            Some((_, m)) => *m += 1,
+            None => distinct.push((*p, 1)),
+        }
+    }
+    let extent = points
+        .iter()
+        .map(|p| centroid.dist(*p))
+        .fold(0.0, f64::max)
+        .max(1e-12);
+    // If the iterate hovers near an input point, test that point's exact
+    // optimality (the subgradient condition |Σ unit vectors| ≤ mult) and
+    // snap to it — Weiszfeld converges sublinearly exactly in this regime,
+    // and the snap also removes the residual numeric offset.
+    let capture = |x: Point| -> Option<Point> {
+        let (p, m) = distinct
+            .iter()
+            .min_by(|(a, _), (b, _)| x.dist2(*a).total_cmp(&x.dist2(*b)))
+            .copied()?;
+        if x.dist(p) > 1e-3 * extent {
+            return None;
+        }
+        let mut pull = Vec2::ZERO;
+        for q in points {
+            if *q != p {
+                pull += (*q - p) / q.dist(p);
+            }
+        }
+        (pull.norm() <= m as f64 + 1e-9).then_some(p)
+    };
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < MAX_ITERS {
+        iterations += 1;
+        if iterations % 16 == 0 {
+            if let Some(p) = capture(x) {
+                x = p;
+                converged = true;
+                break;
+            }
+        }
+        // T(x) = Σ p_i / d_i / Σ 1/d_i over points not coincident with x;
+        // Vardi–Zhang correction accounts for coincident points' weight.
+        let mut num = Vec2::ZERO;
+        let mut denom = 0.0;
+        let mut coincident = 0usize;
+        let mut pull = Vec2::ZERO; // R(x): subgradient of the far points
+        for p in points {
+            let d = x.dist(*p);
+            if d <= eps {
+                coincident += 1;
+                continue;
+            }
+            num += (p.to_vec()) / d;
+            denom += 1.0 / d;
+            pull += (*p - x) / d;
+        }
+        if denom == 0.0 {
+            // All points coincide with x: x is the Weber point.
+            converged = true;
+            break;
+        }
+        let t = (num / denom).to_point();
+        let next = if coincident == 0 {
+            t
+        } else {
+            // Vardi–Zhang: if the pull of the far points does not exceed the
+            // weight of the coincident ones, x is optimal; otherwise step
+            // toward T with damping 1 - m/|R|.
+            let r = pull.norm();
+            let m = coincident as f64;
+            if r <= m {
+                converged = true;
+                break;
+            }
+            let lambda = (1.0 - m / r).min(1.0);
+            Point::new(x.x + (t.x - x.x) * lambda, x.y + (t.y - x.y) * lambda)
+        };
+        let step = x.dist(next);
+        x = next;
+        if step <= eps {
+            // Final polish: if we stopped next to an input point that is
+            // itself optimal, land on it exactly.
+            if let Some(p) = capture(x) {
+                x = p;
+            }
+            converged = true;
+            break;
+        }
+    }
+
+    WeberResult {
+        point: x,
+        objective: weber_objective(x, points),
+        iterations,
+        converged,
+    }
+}
+
+/// The Weber point set of a **collinear** configuration: the closed interval
+/// `[min Med(C), max Med(C)]` of its medians along the line (with
+/// multiplicity).
+///
+/// Returns `None` if the points are not collinear (within tolerance).
+/// For an odd number of points the interval is degenerate (a single point);
+/// for an even number it is degenerate iff the two middle points coincide.
+///
+/// # Example
+///
+/// ```
+/// use gather_geom::{weber::collinear_weber_interval, Point, Tol};
+/// let pts = [0.0, 1.0, 5.0, 9.0].map(|x| Point::new(x, 0.0));
+/// let (lo, hi) = collinear_weber_interval(&pts, Tol::default()).unwrap();
+/// assert_eq!((lo.x, hi.x), (1.0, 5.0)); // even count: middle two points
+/// ```
+pub fn collinear_weber_interval(points: &[Point], tol: Tol) -> Option<(Point, Point)> {
+    if points.is_empty() || !are_collinear(points, tol) {
+        return None;
+    }
+    Some(median_interval_on_line(points, tol))
+}
+
+/// The median interval of `points` projected onto their principal line
+/// (the line through the two mutually farthest points), without checking
+/// collinearity.
+///
+/// For genuinely collinear inputs this equals the Weber interval of
+/// [`collinear_weber_interval`]. Callers that have already established
+/// linearity with their own tolerance policy (e.g. on de-duplicated
+/// positions) use this to avoid a second, subtly different collinearity
+/// test on the raw multiset.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn median_interval_on_line(points: &[Point], tol: Tol) -> (Point, Point) {
+    assert!(!points.is_empty(), "median of an empty configuration");
+    let first = points[0];
+    let far = points
+        .iter()
+        .copied()
+        .max_by(|a, b| first.dist2(*a).total_cmp(&first.dist2(*b)))
+        .expect("non-empty");
+    if first.dist(far) <= tol.abs {
+        return (first, first); // all points coincide (within tolerance)
+    }
+    let line = Line::through(first, far);
+    let mut ts: Vec<f64> = points.iter().map(|p| line.project(*p)).collect();
+    ts.sort_by(f64::total_cmp);
+    let n = ts.len();
+    let (lo, hi) = if n % 2 == 1 {
+        let m = ts[n / 2];
+        (m, m)
+    } else {
+        (ts[n / 2 - 1], ts[n / 2])
+    };
+    (line.at(lo), line.at(hi))
+}
+
+/// Does a collinear configuration have a **unique** Weber point?
+///
+/// This is the `L1W` vs `L2W` distinction of the paper. Returns `None` if
+/// the points are not collinear; otherwise `Some(point)` when the median is
+/// unique and `Some` is collapsed accordingly — see
+/// [`collinear_weber_interval`] for the general interval.
+pub fn unique_collinear_weber_point(points: &[Point], tol: Tol) -> Option<Point> {
+    let (lo, hi) = collinear_weber_interval(points, tol)?;
+    if lo.dist(hi) <= tol.snap {
+        Some(lo.midpoint(hi))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn objective_of_two_points_is_their_distance_between_them() {
+        let pts = [Point::new(-3.0, 0.0), Point::new(3.0, 0.0)];
+        // Anywhere on the segment achieves the minimum = 6.
+        assert_eq!(weber_objective(Point::ORIGIN, &pts), 6.0);
+        assert_eq!(weber_objective(Point::new(1.0, 0.0), &pts), 6.0);
+        assert!(weber_objective(Point::new(0.0, 2.0), &pts) > 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn weiszfeld_empty_panics() {
+        let _ = weber_point_weiszfeld(&[], t());
+    }
+
+    #[test]
+    fn weiszfeld_single_and_coincident_points() {
+        let p = Point::new(2.0, 3.0);
+        let r = weber_point_weiszfeld(&[p], t());
+        assert_eq!(r.point, p);
+        let r2 = weber_point_weiszfeld(&[p, p, p], t());
+        assert!(r2.point.dist(p) < 1e-9);
+        assert!(r2.converged);
+    }
+
+    #[test]
+    fn weiszfeld_equilateral_triangle() {
+        let pts: Vec<Point> = (0..3)
+            .map(|k| {
+                let th = TAU * k as f64 / 3.0 + 0.1;
+                Point::new(5.0 + 2.0 * th.cos(), -3.0 + 2.0 * th.sin())
+            })
+            .collect();
+        let r = weber_point_weiszfeld(&pts, t());
+        assert!(r.point.dist(Point::new(5.0, -3.0)) < 1e-6);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn weiszfeld_square_center() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        let r = weber_point_weiszfeld(&pts, t());
+        assert!(r.point.dist(Point::new(2.0, 2.0)) < 1e-6);
+    }
+
+    #[test]
+    fn weiszfeld_handles_weber_point_on_an_input_point() {
+        // A point of multiplicity 3 at the centre of a triangle dominates:
+        // the Weber point is that occupied centre (Vardi–Zhang case).
+        let mut pts: Vec<Point> = (0..3)
+            .map(|k| {
+                let th = TAU * k as f64 / 3.0;
+                Point::new(th.cos(), th.sin())
+            })
+            .collect();
+        for _ in 0..3 {
+            pts.push(Point::ORIGIN);
+        }
+        let r = weber_point_weiszfeld(&pts, t());
+        assert!(r.point.dist(Point::ORIGIN) < 1e-7, "got {}", r.point);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn weiszfeld_is_no_worse_than_any_input_point() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 1.0),
+            Point::new(3.0, 9.0),
+            Point::new(-2.0, 4.0),
+            Point::new(5.0, 5.0),
+        ];
+        let r = weber_point_weiszfeld(&pts, t());
+        for p in &pts {
+            assert!(r.objective <= weber_objective(*p, &pts) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weiszfeld_first_order_condition() {
+        // At the optimum, the unit-vector pull sums to ~0 (unoccupied case).
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 1.0),
+            Point::new(4.0, 7.0),
+            Point::new(1.0, 5.0),
+        ];
+        let r = weber_point_weiszfeld(&pts, t());
+        let mut pull = Vec2::ZERO;
+        for p in &pts {
+            pull += (*p - r.point).normalized();
+        }
+        assert!(pull.norm() < 1e-5, "residual pull {}", pull.norm());
+    }
+
+    #[test]
+    fn collinear_interval_odd_is_median_point() {
+        let pts = [0.0, 2.0, 10.0].map(|x| Point::new(x, x)); // along y=x
+        let (lo, hi) = collinear_weber_interval(&pts, t()).unwrap();
+        assert!(lo.dist(hi) < 1e-12);
+        assert!(lo.dist(Point::new(2.0, 2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn collinear_interval_even_distinct_medians() {
+        let pts = [0.0, 2.0, 6.0, 11.0].map(|x| Point::new(x, 0.0));
+        let (lo, hi) = collinear_weber_interval(&pts, t()).unwrap();
+        assert_eq!((lo.x, hi.x), (2.0, 6.0));
+        assert!(unique_collinear_weber_point(&pts, t()).is_none());
+    }
+
+    #[test]
+    fn collinear_interval_even_with_multiplicity_collapses() {
+        // Middle two positions coincide => unique Weber point (class L1W).
+        let pts = [0.0, 3.0, 3.0, 11.0].map(|x| Point::new(x, 0.0));
+        let w = unique_collinear_weber_point(&pts, t()).unwrap();
+        assert!(w.dist(Point::new(3.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn collinear_interval_respects_multiplicity() {
+        // Multiplicity shifts the median: {0 (x4), 10} has median 0.
+        let pts = [0.0, 0.0, 0.0, 0.0, 10.0].map(|x| Point::new(x, 0.0));
+        let (lo, hi) = collinear_weber_interval(&pts, t()).unwrap();
+        assert!(lo.dist(hi) < 1e-12);
+        assert!(lo.dist(Point::ORIGIN) < 1e-12);
+    }
+
+    #[test]
+    fn non_collinear_has_no_interval() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        assert!(collinear_weber_interval(&pts, t()).is_none());
+        assert!(unique_collinear_weber_point(&pts, t()).is_none());
+    }
+
+    #[test]
+    fn weiszfeld_on_collinear_input_returns_median() {
+        let pts = [0.0, 1.0, 2.0, 3.0, 50.0].map(|x| Point::new(x, 0.0));
+        let r = weber_point_weiszfeld(&pts, t());
+        assert!(r.point.dist(Point::new(2.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn weber_point_invariance_under_movement_toward_it() {
+        // Lemma 3.2, checked numerically: move each point halfway toward
+        // the Weber point; the Weber point stays put.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 1.0),
+            Point::new(4.0, 7.0),
+            Point::new(1.0, 5.0),
+            Point::new(6.0, 6.0),
+        ];
+        let w = weber_point_weiszfeld(&pts, t()).point;
+        let moved: Vec<Point> = pts.iter().map(|p| p.lerp(w, 0.5)).collect();
+        let w2 = weber_point_weiszfeld(&moved, t()).point;
+        assert!(w.dist(w2) < 1e-5, "Weber point drifted {} -> {}", w, w2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the geometry kernel.
+
+use gather_geom::angle::{cw_angle, normalize_tau, rotate_ccw_around, rotate_cw_around};
+use gather_geom::predicates::{is_between, orient2d, Orientation};
+use gather_geom::{
+    convex_hull, smallest_enclosing_circle, weber_objective,
+    weber_point_weiszfeld, Point, Segment, Similarity, Tol, Vec2,
+};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i32..1000, -1000i32..1000)
+        .prop_map(|(x, y)| Point::new(x as f64 / 50.0, y as f64 / 50.0))
+}
+
+fn arb_points(lo: usize, hi: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), lo..=hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn orientation_antisymmetry(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let o1 = orient2d(a, b, c);
+        let o2 = orient2d(b, a, c);
+        match o1 {
+            Orientation::Collinear => prop_assert_eq!(o2, Orientation::Collinear),
+            Orientation::Clockwise => prop_assert_eq!(o2, Orientation::CounterClockwise),
+            Orientation::CounterClockwise => prop_assert_eq!(o2, Orientation::Clockwise),
+        }
+    }
+
+    #[test]
+    fn orientation_cyclic_invariance(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(orient2d(a, b, c), orient2d(b, c, a));
+    }
+
+    #[test]
+    fn angles_normalise_into_tau(theta in -100.0f64..100.0) {
+        let t = normalize_tau(theta);
+        prop_assert!((0.0..TAU).contains(&t));
+        // Same residue class.
+        let diff = (theta - t) / TAU;
+        prop_assert!((diff - diff.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cw_rotation_matches_cw_angle(
+        p in arb_point(),
+        c in arb_point(),
+        theta in 0.0f64..TAU,
+    ) {
+        prop_assume!(p.dist(c) > 0.1);
+        let r = rotate_cw_around(p, c, theta);
+        // Radius preserved.
+        prop_assert!((c.dist(p) - c.dist(r)).abs() < 1e-9);
+        // The clockwise angle from the original to the rotated direction
+        // equals theta.
+        let measured = cw_angle(p - c, r - c);
+        let diff = (measured - theta).abs().min(TAU - (measured - theta).abs());
+        prop_assert!(diff < 1e-9, "theta={theta} measured={measured}");
+    }
+
+    #[test]
+    fn rotations_invert(p in arb_point(), c in arb_point(), theta in 0.0f64..TAU) {
+        let back = rotate_ccw_around(rotate_cw_around(p, c, theta), c, theta);
+        prop_assert!(back.dist(p) < 1e-9);
+    }
+
+    #[test]
+    fn similarity_preserves_distance_ratios(
+        a in arb_point(), b in arb_point(), c in arb_point(),
+        theta in 0.0f64..TAU, scale in 0.1f64..10.0, origin in arb_point(),
+    ) {
+        prop_assume!(a.dist(b) > 0.1 && a.dist(c) > 0.1);
+        let s = Similarity::new(theta, scale, origin);
+        let ratio_before = a.dist(b) / a.dist(c);
+        let ratio_after = s.apply(a).dist(s.apply(b)) / s.apply(a).dist(s.apply(c));
+        prop_assert!((ratio_before - ratio_after).abs() < 1e-6 * ratio_before.max(1.0));
+    }
+
+    #[test]
+    fn similarity_preserves_orientation(
+        a in arb_point(), b in arb_point(), c in arb_point(),
+        theta in 0.0f64..TAU, scale in 0.1f64..10.0, origin in arb_point(),
+    ) {
+        let s = Similarity::new(theta, scale, origin);
+        let before = orient2d(a, b, c);
+        prop_assume!(before != Orientation::Collinear);
+        prop_assert_eq!(before, orient2d(s.apply(a), s.apply(b), s.apply(c)));
+    }
+
+    #[test]
+    fn hull_is_idempotent(pts in arb_points(3, 20)) {
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        prop_assert_eq!(h1.len(), h2.len());
+    }
+
+    #[test]
+    fn hull_vertices_are_input_points(pts in arb_points(1, 20)) {
+        let hull = convex_hull(&pts);
+        for v in &hull {
+            prop_assert!(pts.contains(v));
+        }
+    }
+
+    #[test]
+    fn sec_grows_monotonically(pts in arb_points(2, 15), extra in arb_point()) {
+        let before = smallest_enclosing_circle(&pts);
+        let mut more = pts.clone();
+        more.push(extra);
+        let after = smallest_enclosing_circle(&more);
+        prop_assert!(after.radius >= before.radius - 1e-9);
+    }
+
+    #[test]
+    fn weber_objective_is_convex_on_segments(
+        pts in arb_points(3, 12),
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        // f(midpoint) <= (f(a) + f(b)) / 2.
+        let mid = a.midpoint(b);
+        let lhs = weber_objective(mid, &pts);
+        let rhs = (weber_objective(a, &pts) + weber_objective(b, &pts)) / 2.0;
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn weiszfeld_stationarity(pts in arb_points(4, 12)) {
+        // Perturbing the solution in 8 directions never improves it much.
+        let tol = Tol::default();
+        let w = weber_point_weiszfeld(&pts, tol);
+        for k in 0..8 {
+            let th = TAU * k as f64 / 8.0;
+            let probe = Point::new(w.point.x + 0.01 * th.cos(), w.point.y + 0.01 * th.sin());
+            prop_assert!(
+                weber_objective(probe, &pts) >= w.objective - 1e-4,
+                "improved by moving {th}"
+            );
+        }
+    }
+
+    #[test]
+    fn betweenness_of_lerp(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
+        let p = a.lerp(b, t);
+        prop_assert!(is_between(a, b, p, Tol::default()));
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point(),
+    ) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let tol = Tol::default();
+        prop_assert_eq!(s1.intersects(&s2, tol), s2.intersects(&s1, tol));
+    }
+
+    #[test]
+    fn crossing_segments_detected(c in arb_point(), r in 0.5f64..5.0, theta in 0.0f64..TAU) {
+        // Two diameters of one circle always intersect (at the centre).
+        let dir1 = Vec2::from_angle(theta);
+        let dir2 = Vec2::from_angle(theta + 1.0);
+        let s1 = Segment::new(c + dir1 * r, c - dir1 * r);
+        let s2 = Segment::new(c + dir2 * r, c - dir2 * r);
+        prop_assert!(s1.intersects(&s2, Tol::default()));
+    }
+}

@@ -1,0 +1,91 @@
+//! The robot algorithm interface (the COMPUTE phase).
+
+use crate::snapshot::Snapshot;
+use gather_geom::Point;
+
+/// A deterministic, oblivious robot algorithm.
+///
+/// All robots run the *same* algorithm (they are anonymous), and the
+/// computed destination may depend only on the current snapshot (they are
+/// oblivious): the trait takes `&self` and implementations must not carry
+/// interior mutability — the engine may invoke a fresh instance at any
+/// activation and behaviour must be identical.
+///
+/// Returning the observer's own position ([`Snapshot::me`]) means "do not
+/// move".
+///
+/// Because snapshots arrive in an arbitrary per-activation frame (rotation,
+/// uniform scale, translation — never reflection), a correct algorithm must
+/// be *equivariant*: transforming the snapshot by a similarity `T` must
+/// transform the destination by `T` as well. The test suites verify this
+/// property for every algorithm in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use gather_sim::{Algorithm, Snapshot};
+/// use gather_geom::Point;
+///
+/// /// Always stay put.
+/// struct Stay;
+/// impl Algorithm for Stay {
+///     fn name(&self) -> &'static str { "stay" }
+///     fn destination(&self, snap: &Snapshot) -> Point { snap.me() }
+/// }
+/// ```
+pub trait Algorithm {
+    /// Short identifier used in traces and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes the destination for the robot observing `snap`, in the
+    /// snapshot's own coordinate frame.
+    fn destination(&self, snap: &Snapshot) -> Point;
+}
+
+impl<A: Algorithm + ?Sized> Algorithm for &A {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn destination(&self, snap: &Snapshot) -> Point {
+        (**self).destination(snap)
+    }
+}
+
+impl<A: Algorithm + ?Sized> Algorithm for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn destination(&self, snap: &Snapshot) -> Point {
+        (**self).destination(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::Configuration;
+
+    struct Stay;
+    impl Algorithm for Stay {
+        fn name(&self) -> &'static str {
+            "stay"
+        }
+        fn destination(&self, snap: &Snapshot) -> Point {
+            snap.me()
+        }
+    }
+
+    #[test]
+    fn trait_objects_and_references_delegate() {
+        let snap = Snapshot::new(
+            Configuration::new(vec![Point::new(1.0, 2.0)]),
+            Point::new(1.0, 2.0),
+        );
+        let by_ref: &dyn Algorithm = &Stay;
+        assert_eq!(by_ref.name(), "stay");
+        assert_eq!(by_ref.destination(&snap), Point::new(1.0, 2.0));
+        let boxed: Box<dyn Algorithm> = Box::new(Stay);
+        assert_eq!(boxed.name(), "stay");
+        assert_eq!(boxed.destination(&snap), Point::new(1.0, 2.0));
+    }
+}

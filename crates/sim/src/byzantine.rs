@@ -1,0 +1,223 @@
+//! Byzantine robots: adversary-controlled participants.
+//!
+//! The paper's fault model is *crash* faults; its introduction contrasts
+//! them with **byzantine** faults, citing Agmon & Peleg's impossibility:
+//! a single byzantine robot prevents gathering of `n = 3` robots. A
+//! byzantine robot looks exactly like a correct robot (anonymous,
+//! visible, physically identical — it still moves continuously and is
+//! subject to the same activation scheduler), but its destinations are
+//! chosen by an adversarial policy instead of the algorithm.
+//!
+//! This module extends the simulator beyond the paper's positive result so
+//! experiment T7 can chart where crash-tolerance ends and byzantine
+//! vulnerability begins.
+
+use gather_config::Configuration;
+use gather_geom::{centroid, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses destinations for a byzantine robot.
+///
+/// The policy sees the true global configuration (the byzantine adversary
+/// is omniscient) and its robot's current position; the returned
+/// destination is executed under the same physics as everyone else's
+/// (straight-line motion, the δ rule, the motion adversary).
+pub trait ByzantinePolicy {
+    /// Destination for byzantine `robot` at `me` in `round`.
+    fn destination(
+        &mut self,
+        round: u64,
+        robot: usize,
+        config: &Configuration,
+        me: Point,
+    ) -> Point;
+
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str {
+        "byzantine"
+    }
+}
+
+impl<B: ByzantinePolicy + ?Sized> ByzantinePolicy for Box<B> {
+    fn destination(
+        &mut self,
+        round: u64,
+        robot: usize,
+        config: &Configuration,
+        me: Point,
+    ) -> Point {
+        (**self).destination(round, robot, config, me)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Never moves — behaviourally identical to a crashed robot. The baseline
+/// that byzantine tolerance must at least match crash tolerance against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Statue;
+
+impl ByzantinePolicy for Statue {
+    fn destination(&mut self, _round: u64, _robot: usize, _config: &Configuration, me: Point) -> Point {
+        me
+    }
+    fn name(&self) -> &'static str {
+        "statue"
+    }
+}
+
+/// Moves to uniformly random points within a box around the configuration:
+/// maximal noise injection.
+#[derive(Debug, Clone)]
+pub struct Wanderer {
+    rng: StdRng,
+    /// Half-side of the wandering box, centred on the configuration
+    /// centroid.
+    extent: f64,
+}
+
+impl Wanderer {
+    /// A wanderer confined to a `2·extent` box around the centroid.
+    pub fn new(extent: f64, seed: u64) -> Self {
+        Wanderer {
+            rng: StdRng::seed_from_u64(seed),
+            extent,
+        }
+    }
+}
+
+impl ByzantinePolicy for Wanderer {
+    fn destination(&mut self, _round: u64, _robot: usize, config: &Configuration, _me: Point) -> Point {
+        let c = centroid(config.points());
+        Point::new(
+            c.x + self.rng.random_range(-self.extent..self.extent),
+            c.y + self.rng.random_range(-self.extent..self.extent),
+        )
+    }
+    fn name(&self) -> &'static str {
+        "wanderer"
+    }
+}
+
+/// Runs away from the crowd: always moves directly away from the point of
+/// maximum multiplicity (or the centroid when multiplicities are flat),
+/// trying to stretch the configuration and postpone any rally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fugitive;
+
+impl ByzantinePolicy for Fugitive {
+    fn destination(&mut self, _round: u64, _robot: usize, config: &Configuration, me: Point) -> Point {
+        let (_, maxima) = config.max_multiplicity();
+        let anchor = maxima
+            .first()
+            .copied()
+            .unwrap_or_else(|| centroid(config.points()));
+        let away = me - anchor;
+        match away.try_normalized(1e-12) {
+            Some(dir) => me + dir * 2.0,
+            None => me + gather_geom::Vec2::new(2.0, 0.0),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "fugitive"
+    }
+}
+
+/// The anti-gathering specialist: stalks the stack. It joins the location
+/// of maximum multiplicity and, once there, leaps away — forever toggling
+/// the configuration's structure and relocating whatever target the
+/// algorithm elects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackStalker;
+
+impl ByzantinePolicy for StackStalker {
+    fn destination(&mut self, round: u64, _robot: usize, config: &Configuration, me: Point) -> Point {
+        let (_, maxima) = config.max_multiplicity();
+        let target = maxima
+            .first()
+            .copied()
+            .unwrap_or_else(|| centroid(config.points()));
+        if me.within(target, 1e-6) {
+            // Leap off the stack, direction varying by round.
+            let theta = (round as f64) * 2.399963229728653; // golden angle
+            me + gather_geom::Vec2::from_angle(theta) * 3.0
+        } else {
+            target
+        }
+    }
+    fn name(&self) -> &'static str {
+        "stack-stalker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Configuration {
+        Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn statue_never_moves() {
+        let mut s = Statue;
+        let me = Point::new(4.0, 0.0);
+        assert_eq!(s.destination(0, 2, &cfg(), me), me);
+        assert_eq!(s.destination(99, 2, &cfg(), me), me);
+    }
+
+    #[test]
+    fn wanderer_stays_in_box_and_is_seeded() {
+        let run = |seed| {
+            let mut w = Wanderer::new(5.0, seed);
+            (0..20)
+                .map(|r| w.destination(r, 0, &cfg(), Point::ORIGIN))
+                .collect::<Vec<_>>()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3));
+        let c = centroid(cfg().points());
+        for p in a {
+            assert!((p.x - c.x).abs() <= 5.0 && (p.y - c.y).abs() <= 5.0);
+        }
+    }
+
+    #[test]
+    fn fugitive_moves_away_from_the_stack() {
+        let mut f = Fugitive;
+        let me = Point::new(4.0, 0.0);
+        let d = f.destination(0, 2, &cfg(), me);
+        // The stack is at the origin; the fugitive runs along +x.
+        assert!(d.x > me.x);
+        assert!((d.y - me.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fugitive_handles_standing_on_the_stack() {
+        let mut f = Fugitive;
+        let me = Point::new(0.0, 0.0);
+        let d = f.destination(0, 0, &cfg(), me);
+        assert!(d.dist(me) > 1.0); // still produces a move
+    }
+
+    #[test]
+    fn stalker_alternates_join_and_leap() {
+        let mut s = StackStalker;
+        let stack = Point::new(0.0, 0.0);
+        // Away from the stack: join it.
+        assert_eq!(s.destination(0, 1, &cfg(), Point::new(4.0, 0.0)), stack);
+        // On the stack: leap off.
+        let leap = s.destination(1, 1, &cfg(), stack);
+        assert!(leap.dist(stack) > 1.0);
+        // Different rounds leap in different directions.
+        let leap2 = s.destination(2, 1, &cfg(), stack);
+        assert!(leap.dist(leap2) > 1e-6);
+    }
+}

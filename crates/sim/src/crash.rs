@@ -1,0 +1,287 @@
+//! Crash-fault injection (the paper's fault model).
+//!
+//! A crashed robot stops taking actions forever but remains visible to the
+//! others. The adversary chooses *which* robots crash and *when*; the
+//! paper's Theorem 5.1 tolerates any `f ≤ n − 1` crashes. Plans provided:
+//!
+//! * [`NoCrashes`] — fault-free baseline;
+//! * [`CrashAtRounds`] — an explicit schedule `(round, robot)`;
+//! * [`RandomCrashes`] — up to `f` crashes at random times/victims;
+//! * [`TargetedCrashes`] — crashes chosen by a closure observing the
+//!   current configuration (e.g. "always crash the robot closest to the
+//!   elected point", or "crash the line endpoints", the adversarial
+//!   patterns used in the paper's proofs).
+
+use gather_config::Configuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides which robots crash at the start of each round.
+pub trait CrashPlan {
+    /// Robots to crash in `round`, given the current (global, canonical)
+    /// configuration and per-robot positions/liveness. Indices of already
+    /// crashed robots are ignored by the engine.
+    fn crashes(&mut self, round: u64, config: &Configuration, alive: &[bool]) -> Vec<usize>;
+
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str {
+        "crash-plan"
+    }
+
+    /// The maximum number of crashes this plan may inject (`f`), if known.
+    fn budget(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<C: CrashPlan + ?Sized> CrashPlan for Box<C> {
+    fn crashes(&mut self, round: u64, config: &Configuration, alive: &[bool]) -> Vec<usize> {
+        (**self).crashes(round, config, alive)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn budget(&self) -> Option<usize> {
+        (**self).budget()
+    }
+}
+
+/// No robot ever crashes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCrashes;
+
+impl CrashPlan for NoCrashes {
+    fn crashes(&mut self, _round: u64, _config: &Configuration, _alive: &[bool]) -> Vec<usize> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+    fn budget(&self) -> Option<usize> {
+        Some(0)
+    }
+}
+
+/// Crashes robots at an explicit schedule of `(round, robot)` pairs.
+///
+/// # Example
+///
+/// ```
+/// use gather_sim::{CrashAtRounds, CrashPlan};
+/// use gather_config::Configuration;
+/// use gather_geom::Point;
+///
+/// let mut plan = CrashAtRounds::new(vec![(0, 2), (5, 0)]);
+/// let c = Configuration::new(vec![Point::ORIGIN; 3]);
+/// assert_eq!(plan.crashes(0, &c, &[true; 3]), vec![2]);
+/// assert_eq!(plan.crashes(1, &c, &[true; 3]), Vec::<usize>::new());
+/// assert_eq!(plan.crashes(5, &c, &[true; 3]), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashAtRounds {
+    schedule: Vec<(u64, usize)>,
+}
+
+impl CrashAtRounds {
+    /// A plan crashing robot `i` at round `r` for each `(r, i)` given.
+    pub fn new(schedule: Vec<(u64, usize)>) -> Self {
+        CrashAtRounds { schedule }
+    }
+
+    /// Convenience: crash the given robots before the first round.
+    pub fn at_start(robots: impl IntoIterator<Item = usize>) -> Self {
+        CrashAtRounds {
+            schedule: robots.into_iter().map(|i| (0, i)).collect(),
+        }
+    }
+}
+
+impl CrashPlan for CrashAtRounds {
+    fn crashes(&mut self, round: u64, _config: &Configuration, _alive: &[bool]) -> Vec<usize> {
+        self.schedule
+            .iter()
+            .filter(|(r, _)| *r == round)
+            .map(|(_, i)| *i)
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "scheduled"
+    }
+    fn budget(&self) -> Option<usize> {
+        Some(self.schedule.len())
+    }
+}
+
+/// Crashes up to `f` robots: in each round, each live robot crashes with
+/// probability `p_per_round` until the budget is exhausted.
+#[derive(Debug, Clone)]
+pub struct RandomCrashes {
+    f: usize,
+    p_per_round: f64,
+    crashed_so_far: usize,
+    rng: StdRng,
+}
+
+impl RandomCrashes {
+    /// A plan crashing at most `f` robots, each live robot independently
+    /// with per-round probability `p_per_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_per_round` is not within `[0, 1]`.
+    pub fn new(f: usize, p_per_round: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_per_round),
+            "crash probability must be in [0, 1]"
+        );
+        RandomCrashes {
+            f,
+            p_per_round,
+            crashed_so_far: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CrashPlan for RandomCrashes {
+    fn crashes(&mut self, _round: u64, _config: &Configuration, alive: &[bool]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, &is_alive) in alive.iter().enumerate() {
+            if self.crashed_so_far >= self.f {
+                break;
+            }
+            if is_alive && self.rng.random_bool(self.p_per_round) {
+                out.push(i);
+                self.crashed_so_far += 1;
+            }
+        }
+        out
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn budget(&self) -> Option<usize> {
+        Some(self.f)
+    }
+}
+
+/// Crashes chosen by an arbitrary closure with access to the current
+/// configuration — the fully adaptive adversary of the paper's proofs.
+///
+/// The closure receives `(round, config, alive)` and returns victims; the
+/// plan enforces the budget `f` across the whole run.
+pub struct TargetedCrashes<F> {
+    f: usize,
+    used: usize,
+    name: &'static str,
+    chooser: F,
+}
+
+impl<F: FnMut(u64, &Configuration, &[bool]) -> Vec<usize>> TargetedCrashes<F> {
+    /// A budgeted adaptive crash plan.
+    pub fn new(name: &'static str, f: usize, chooser: F) -> Self {
+        TargetedCrashes {
+            f,
+            used: 0,
+            name,
+            chooser,
+        }
+    }
+}
+
+impl<F: FnMut(u64, &Configuration, &[bool]) -> Vec<usize>> CrashPlan for TargetedCrashes<F> {
+    fn crashes(&mut self, round: u64, config: &Configuration, alive: &[bool]) -> Vec<usize> {
+        if self.used >= self.f {
+            return Vec::new();
+        }
+        let mut victims = (self.chooser)(round, config, alive);
+        victims.retain(|i| alive.get(*i).copied().unwrap_or(false));
+        victims.truncate(self.f - self.used);
+        self.used += victims.len();
+        victims
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn budget(&self) -> Option<usize> {
+        Some(self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_geom::Point;
+
+    fn cfg(n: usize) -> Configuration {
+        Configuration::new((0..n).map(|i| Point::new(i as f64, 0.0)).collect())
+    }
+
+    #[test]
+    fn no_crashes_never_crashes() {
+        let mut p = NoCrashes;
+        for r in 0..10 {
+            assert!(p.crashes(r, &cfg(4), &[true; 4]).is_empty());
+        }
+        assert_eq!(p.budget(), Some(0));
+    }
+
+    #[test]
+    fn scheduled_crashes_fire_once() {
+        let mut p = CrashAtRounds::new(vec![(3, 1), (3, 2)]);
+        assert!(p.crashes(2, &cfg(4), &[true; 4]).is_empty());
+        assert_eq!(p.crashes(3, &cfg(4), &[true; 4]), vec![1, 2]);
+        assert_eq!(p.budget(), Some(2));
+    }
+
+    #[test]
+    fn at_start_crashes_in_round_zero() {
+        let mut p = CrashAtRounds::at_start([0, 3]);
+        assert_eq!(p.crashes(0, &cfg(4), &[true; 4]), vec![0, 3]);
+        assert!(p.crashes(1, &cfg(4), &[true; 4]).is_empty());
+    }
+
+    #[test]
+    fn random_crashes_respect_budget() {
+        let mut p = RandomCrashes::new(2, 1.0, 9);
+        let first = p.crashes(0, &cfg(5), &[true; 5]);
+        assert_eq!(first.len(), 2);
+        let later = p.crashes(1, &cfg(5), &[true; 5]);
+        assert!(later.is_empty());
+    }
+
+    #[test]
+    fn random_crashes_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = RandomCrashes::new(3, 0.3, seed);
+            (0..20)
+                .map(|r| p.crashes(r, &cfg(6), &[true; 6]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn targeted_crashes_filter_dead_and_budget() {
+        let mut p = TargetedCrashes::new("kill-zero", 1, |_r, _c, _a| vec![0, 1]);
+        // Robot 0 already dead: only robot 1 is a valid victim, budget 1.
+        let victims = p.crashes(0, &cfg(3), &[false, true, true]);
+        assert_eq!(victims, vec![1]);
+        assert!(p.crashes(1, &cfg(3), &[false, false, true]).is_empty());
+    }
+
+    #[test]
+    fn targeted_crashes_see_configuration() {
+        // Crash the robot at the largest x-coordinate.
+        let mut p = TargetedCrashes::new("rightmost", 1, |_r, c: &Configuration, _a| {
+            let rightmost = c
+                .points()
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.x.total_cmp(&b.x))
+                .map(|(i, _)| i);
+            rightmost.into_iter().collect()
+        });
+        assert_eq!(p.crashes(0, &cfg(4), &[true; 4]), vec![3]);
+    }
+}

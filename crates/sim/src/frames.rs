@@ -1,0 +1,130 @@
+//! Per-robot local coordinate frames (disorientation with chirality).
+//!
+//! The robots of the paper do not share a coordinate system: each LOOK
+//! delivers the configuration in the observing robot's own frame — its own
+//! position at the origin, an arbitrary rotation, and an arbitrary unit
+//! distance. They *do* share chirality, so frames never reflect. A correct
+//! algorithm must behave identically whichever frame it is given; running
+//! the simulator with [`FramePolicy::RandomPerActivation`] exercises
+//! exactly this.
+
+use gather_geom::{Point, Similarity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// How the engine chooses each robot's observation frame.
+#[derive(Debug, Clone)]
+pub enum FramePolicy {
+    /// All snapshots are delivered in global coordinates (the robot still
+    /// sees itself at its global position). Useful for debugging and for
+    /// isolating frame-invariance effects.
+    GlobalFrame,
+    /// Each activation gets a fresh frame: the robot at the origin, a
+    /// rotation uniform in `[0, 2π)`, and a unit distance (scale) uniform
+    /// in `[0.5, 2]`. Deterministic per seed.
+    RandomPerActivation {
+        /// RNG seed for frame generation.
+        seed: u64,
+    },
+}
+
+impl Default for FramePolicy {
+    fn default() -> Self {
+        FramePolicy::RandomPerActivation { seed: 0 }
+    }
+}
+
+/// Stateful frame generator owned by the engine.
+#[derive(Debug)]
+pub(crate) struct FrameSource {
+    policy: FramePolicy,
+    rng: StdRng,
+}
+
+impl FrameSource {
+    pub(crate) fn new(policy: FramePolicy) -> Self {
+        let seed = match policy {
+            FramePolicy::GlobalFrame => 0,
+            FramePolicy::RandomPerActivation { seed } => seed,
+        };
+        FrameSource {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The transform from global coordinates into the observing robot's
+    /// local frame for one activation.
+    pub(crate) fn frame_for(&mut self, observer: Point) -> Similarity {
+        match self.policy {
+            FramePolicy::GlobalFrame => Similarity::identity(),
+            FramePolicy::RandomPerActivation { .. } => {
+                let theta = self.rng.random_range(0.0..TAU);
+                let unit = self.rng.random_range(0.5..2.0);
+                Similarity::into_local_frame(observer, theta, unit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_frame_is_identity() {
+        let mut src = FrameSource::new(FramePolicy::GlobalFrame);
+        let f = src.frame_for(Point::new(3.0, 4.0));
+        assert_eq!(f, Similarity::identity());
+    }
+
+    #[test]
+    fn random_frames_put_observer_at_origin() {
+        let mut src = FrameSource::new(FramePolicy::RandomPerActivation { seed: 5 });
+        for i in 0..10 {
+            let obs = Point::new(i as f64, -2.0 * i as f64);
+            let f = src.frame_for(obs);
+            assert!(f.apply(obs).dist(Point::ORIGIN) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_frames_preserve_orientation_and_shape() {
+        use gather_geom::predicates::{orient2d, Orientation};
+        let mut src = FrameSource::new(FramePolicy::RandomPerActivation { seed: 6 });
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        for _ in 0..20 {
+            let f = src.frame_for(a);
+            let (fa, fb, fc) = (f.apply(a), f.apply(b), f.apply(c));
+            // Chirality: CCW triples stay CCW.
+            assert_eq!(orient2d(fa, fb, fc), Orientation::CounterClockwise);
+            // Similarity: distance ratios preserved.
+            let ratio = fa.dist(fb) / a.dist(b);
+            assert!((fa.dist(fc) / a.dist(c) - ratio).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frames_are_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut src = FrameSource::new(FramePolicy::RandomPerActivation { seed });
+            (0..5)
+                .map(|i| src.frame_for(Point::new(i as f64, 0.0)).apply(Point::ORIGIN))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+    }
+
+    #[test]
+    fn frame_scale_is_within_documented_range() {
+        let mut src = FrameSource::new(FramePolicy::RandomPerActivation { seed: 1 });
+        for _ in 0..50 {
+            let f = src.frame_for(Point::ORIGIN);
+            // into_local_frame uses scale = 1/unit with unit ∈ [0.5, 2).
+            assert!(f.scale() > 0.5 - 1e-12 && f.scale() <= 2.0 + 1e-12);
+        }
+    }
+}

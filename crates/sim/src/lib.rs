@@ -1,0 +1,89 @@
+//! ATOM (SSYNC) mobile-robot simulator.
+//!
+//! This crate is the execution substrate for the reproduction of
+//! *"Gathering of Mobile Robots Tolerating Multiple Crash Faults"*
+//! (Bouzid, Das, Tixeuil; ICDCS 2013). It implements the paper's model
+//! (Section II) faithfully:
+//!
+//! * time is divided into rounds; in each round an adversarially chosen
+//!   subset of robots is active ([`scheduler`]), and each active robot
+//!   performs one atomic Look–Compute–Move cycle;
+//! * robots are anonymous, oblivious, and disoriented: each observation is
+//!   delivered in a per-robot local coordinate frame (rotation + uniform
+//!   scale + translation, **no reflection** — the robots share chirality)
+//!   chosen fresh at every activation ([`frames`]);
+//! * robots have strong multiplicity detection: snapshots are canonicalised
+//!   so co-located robots have identical coordinates ([`snapshot`]);
+//! * a move toward the computed destination may be stopped by the adversary
+//!   anywhere past the minimum step `δ` ([`motion`]);
+//! * robots crash permanently at adversarially chosen times ([`crash`]); a
+//!   crashed robot stops acting but remains visible.
+//!
+//! The [`engine`] wires these together, records per-round traces, and runs
+//! invariant monitors (wait-freeness per Lemma 5.1, never-entering the
+//! bivalent class, scheduler fairness).
+//!
+//! # Example
+//!
+//! ```
+//! use gather_sim::prelude::*;
+//! use gather_geom::{Point, Tol};
+//!
+//! /// Toy algorithm: move to the centroid of the observed configuration.
+//! struct GoToCentroid;
+//! impl Algorithm for GoToCentroid {
+//!     fn name(&self) -> &'static str { "centroid" }
+//!     fn destination(&self, snap: &Snapshot) -> Point {
+//!         gather_geom::centroid(snap.config().points())
+//!     }
+//! }
+//!
+//! let mut engine = Engine::builder(vec![
+//!         Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 2.0),
+//!     ])
+//!     .algorithm(GoToCentroid)
+//!     .build();
+//! let outcome = engine.run(1_000);
+//! // The centroid rule converges (robots end within snap distance).
+//! assert!(outcome.gathered());
+//! ```
+
+pub mod algorithm;
+pub mod byzantine;
+pub mod crash;
+pub mod engine;
+pub mod frames;
+pub mod metrics;
+pub mod motion;
+pub mod scheduler;
+pub mod snapshot;
+pub mod trace;
+
+pub use algorithm::Algorithm;
+pub use byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
+pub use crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
+pub use engine::{Engine, EngineBuilder, RunOutcome};
+pub use frames::FramePolicy;
+pub use motion::{AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops};
+pub use scheduler::{
+    EveryRobot, FnScheduler, RandomSubsets, RoundRobin, Scheduler, SequentialSingle,
+};
+pub use snapshot::Snapshot;
+pub use trace::{RoundRecord, Trace};
+
+/// Convenient glob import for simulator users.
+pub mod prelude {
+    pub use crate::algorithm::Algorithm;
+    pub use crate::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
+    pub use crate::crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
+    pub use crate::engine::{Engine, EngineBuilder, RunOutcome};
+    pub use crate::frames::FramePolicy;
+    pub use crate::motion::{
+        AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops,
+    };
+    pub use crate::scheduler::{
+        EveryRobot, FnScheduler, RandomSubsets, RoundRobin, Scheduler, SequentialSingle,
+    };
+    pub use crate::snapshot::Snapshot;
+    pub use crate::trace::{RoundRecord, Trace};
+}

@@ -1,0 +1,115 @@
+//! Run summaries for experiment tables.
+
+use crate::engine::RunOutcome;
+use crate::trace::Trace;
+use gather_config::Class;
+use std::collections::BTreeMap;
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Did the run gather?
+    pub gathered: bool,
+    /// Rounds until gathering, or rounds executed if it did not gather.
+    pub rounds: u64,
+    /// Total distance travelled by all robots.
+    pub total_travel: f64,
+    /// Rounds spent per configuration class.
+    pub class_rounds: BTreeMap<Class, u64>,
+    /// Distinct classes visited, in first-visit order.
+    pub class_sequence: Vec<Class>,
+    /// Class transitions observed (self-loops excluded).
+    pub transitions: BTreeMap<(Class, Class), u64>,
+}
+
+/// Summarises an outcome and its trace into one metrics record.
+///
+/// # Example
+///
+/// ```
+/// use gather_sim::metrics::summarize;
+/// use gather_sim::{RunOutcome, Trace};
+/// use gather_geom::Point;
+///
+/// let m = summarize(
+///     RunOutcome::Gathered { round: 3, point: Point::ORIGIN },
+///     &Trace::new(),
+/// );
+/// assert!(m.gathered);
+/// assert_eq!(m.rounds, 3);
+/// ```
+pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
+    RunMetrics {
+        gathered: outcome.gathered(),
+        rounds: outcome.rounds(),
+        total_travel: trace.total_travel(),
+        class_rounds: trace.class_histogram(),
+        class_sequence: trace.class_sequence(),
+        transitions: trace.class_transitions(),
+    }
+}
+
+impl std::fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in {} rounds, travel {:.3}, classes ",
+            if self.gathered { "gathered" } else { "NOT gathered" },
+            self.rounds,
+            self.total_travel,
+        )?;
+        for (i, c) in self.class_sequence.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RoundRecord;
+    use gather_geom::Point;
+
+    #[test]
+    fn summary_aggregates_trace() {
+        let mut t = Trace::new();
+        for (i, c) in [Class::Asymmetric, Class::Multiple].iter().enumerate() {
+            t.push(RoundRecord {
+                round: i as u64,
+                class: *c,
+                distinct: 2,
+                max_mult: 2,
+                activated: vec![0, 1],
+                crashed: vec![],
+                travel: 2.5,
+            });
+        }
+        let m = summarize(
+            RunOutcome::Gathered {
+                round: 2,
+                point: Point::ORIGIN,
+            },
+            &t,
+        );
+        assert!(m.gathered);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.total_travel, 5.0);
+        assert_eq!(m.class_sequence, vec![Class::Asymmetric, Class::Multiple]);
+        assert_eq!(m.transitions[&(Class::Asymmetric, Class::Multiple)], 1);
+        let shown = format!("{m}");
+        assert!(shown.contains("gathered"));
+        assert!(shown.contains("A→M"));
+    }
+
+    #[test]
+    fn round_limit_summary() {
+        let m = summarize(RunOutcome::RoundLimit { rounds: 50 }, &Trace::new());
+        assert!(!m.gathered);
+        assert_eq!(m.rounds, 50);
+        assert!(format!("{m}").contains("NOT gathered"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The movement adversary and the minimum step `δ`.
+//!
+//! In the paper's model a robot moving toward its computed destination may
+//! be stopped by the adversary before arriving, subject to one guarantee:
+//! there is a constant `δ > 0` such that a robot reaches any destination
+//! closer than `δ`, and otherwise advances at least `δ` along the segment.
+//! The engine enforces the `δ` floor; a [`MotionAdversary`] chooses where
+//! past the floor the robot actually stops.
+
+use gather_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses how far along `[from, to]` an activated robot travels.
+///
+/// Implementations return the desired *fraction* of the segment in
+/// `(0, 1]`; the engine clamps the realised travel so the `δ` guarantee
+/// holds regardless of what the adversary returns.
+pub trait MotionAdversary {
+    /// Desired stop fraction for `robot` moving from `from` to `to` in
+    /// `round`, in `(0, 1]` (`1` = reach the destination).
+    fn stop_fraction(&mut self, round: u64, robot: usize, from: Point, to: Point) -> f64;
+
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str {
+        "motion"
+    }
+}
+
+impl<M: MotionAdversary + ?Sized> MotionAdversary for Box<M> {
+    fn stop_fraction(&mut self, round: u64, robot: usize, from: Point, to: Point) -> f64 {
+        (**self).stop_fraction(round, robot, from, to)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Every move completes: robots always reach their destinations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMotion;
+
+impl MotionAdversary for FullMotion {
+    fn stop_fraction(&mut self, _round: u64, _robot: usize, _from: Point, _to: Point) -> f64 {
+        1.0
+    }
+    fn name(&self) -> &'static str {
+        "full"
+    }
+}
+
+/// The stingiest adversary: every move is cut to the minimum step `δ`
+/// (or completes, when the destination is closer than `δ`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysDelta;
+
+impl MotionAdversary for AlwaysDelta {
+    fn stop_fraction(&mut self, _round: u64, _robot: usize, _from: Point, _to: Point) -> f64 {
+        // Fraction 0 requests "as little as allowed"; the engine's δ floor
+        // turns this into exactly δ (or full arrival under δ).
+        f64::MIN_POSITIVE
+    }
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+}
+
+/// Stops every robot at a uniformly random fraction of its segment.
+#[derive(Debug, Clone)]
+pub struct RandomStops {
+    rng: StdRng,
+    /// Probability that a move is allowed to complete outright.
+    p_complete: f64,
+}
+
+impl RandomStops {
+    /// A random motion adversary: with probability `p_complete` the move
+    /// finishes; otherwise it stops at a uniform fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_complete` is not within `[0, 1]`.
+    pub fn new(p_complete: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_complete),
+            "completion probability must be in [0, 1]"
+        );
+        RandomStops {
+            rng: StdRng::seed_from_u64(seed),
+            p_complete,
+        }
+    }
+}
+
+impl MotionAdversary for RandomStops {
+    fn stop_fraction(&mut self, _round: u64, _robot: usize, _from: Point, _to: Point) -> f64 {
+        if self.rng.random_bool(self.p_complete) {
+            1.0
+        } else {
+            self.rng.random_range(0.0_f64..1.0).max(f64::MIN_POSITIVE)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// A symmetry-preserving motion adversary: every robot is stopped at
+/// exactly half of its segment. Co-located robots moving to a common
+/// destination stay co-located, and symmetric configurations stay
+/// symmetric — until destinations come within the minimum step `δ`, at
+/// which point the model forces exact arrival. (For the bivalent
+/// impossibility demonstration of Lemma 5.2 this is therefore *not*
+/// sufficient on its own; the adversary there must also serialise the
+/// activation of the two groups — see experiment T3.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymmetricHalfStops;
+
+impl MotionAdversary for SymmetricHalfStops {
+    fn stop_fraction(&mut self, _round: u64, _robot: usize, _from: Point, _to: Point) -> f64 {
+        0.5
+    }
+    fn name(&self) -> &'static str {
+        "half"
+    }
+}
+
+/// Realises the model's movement rule: travelling from `from` toward `to`
+/// with desired fraction `fraction` and minimum step `delta`, returns the
+/// point actually reached.
+///
+/// * if `|from, to| <= delta`, the robot reaches `to` exactly;
+/// * otherwise it travels `max(delta, fraction · |from, to|)` along the
+///   segment, and arrives exactly at `to` if that meets or exceeds the
+///   distance.
+pub fn apply_motion(from: Point, to: Point, fraction: f64, delta: f64) -> Point {
+    let dist = from.dist(to);
+    if dist <= delta {
+        return to;
+    }
+    let travel = (fraction.clamp(0.0, 1.0) * dist).max(delta);
+    if travel >= dist {
+        to
+    } else {
+        from.lerp(to, travel / dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_moves_always_complete() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(0.05, 0.0);
+        // Even a zero-fraction request reaches a destination within δ.
+        let p = apply_motion(from, to, 0.0, 0.1);
+        assert_eq!(p, to);
+    }
+
+    #[test]
+    fn delta_floor_is_enforced() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(10.0, 0.0);
+        let p = apply_motion(from, to, 1e-9, 0.5);
+        assert!((p.x - 0.5).abs() < 1e-12, "moved {p}");
+    }
+
+    #[test]
+    fn full_fraction_reaches_destination_exactly() {
+        let from = Point::new(1.0, 2.0);
+        let to = Point::new(-3.0, 7.0);
+        let p = apply_motion(from, to, 1.0, 0.01);
+        assert_eq!(p, to); // bitwise: arrivals must be exact for multiplicity
+    }
+
+    #[test]
+    fn near_full_fraction_snaps_to_destination() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(1.0, 0.0);
+        // travel = 0.999999, less than dist: stops short (no snapping here;
+        // the engine's canonicalisation handles clustering).
+        let p = apply_motion(from, to, 0.999999, 0.01);
+        assert!(p.x < 1.0);
+        // fraction > 1 is clamped and still lands exactly on `to`.
+        let q = apply_motion(from, to, 7.5, 0.01);
+        assert_eq!(q, to);
+    }
+
+    #[test]
+    fn fraction_between_delta_and_one_is_respected() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(10.0, 0.0);
+        let p = apply_motion(from, to, 0.3, 0.1);
+        assert!((p.x - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversary_implementations_return_valid_fractions() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(5.0, 5.0);
+        let mut full = FullMotion;
+        assert_eq!(full.stop_fraction(0, 0, from, to), 1.0);
+        let mut min = AlwaysDelta;
+        let f = min.stop_fraction(0, 0, from, to);
+        assert!(f > 0.0 && f <= 1.0);
+        let mut half = SymmetricHalfStops;
+        assert_eq!(half.stop_fraction(0, 0, from, to), 0.5);
+        let mut rnd = RandomStops::new(0.5, 11);
+        for r in 0..50 {
+            let f = rnd.stop_fraction(r, 0, from, to);
+            assert!(f > 0.0 && f <= 1.0, "round {r}: fraction {f}");
+        }
+    }
+
+    #[test]
+    fn random_stops_deterministic_per_seed() {
+        let sample = |seed| {
+            let mut m = RandomStops::new(0.3, seed);
+            (0..20)
+                .map(|r| m.stop_fraction(r, 0, Point::ORIGIN, Point::new(1.0, 0.0)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(3), sample(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn random_stops_validates_input() {
+        let _ = RandomStops::new(1.5, 0);
+    }
+}

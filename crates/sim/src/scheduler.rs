@@ -1,0 +1,322 @@
+//! Activation schedulers: the ATOM model's adversary choosing which robots
+//! act in each round.
+//!
+//! The model's only constraint is *fairness*: every correct robot is
+//! activated infinitely often. The proofs of the paper quantify over all
+//! fair schedulers; the experiments sample the canonical extreme points of
+//! that space:
+//!
+//! * [`EveryRobot`] — fully synchronous (FSYNC embedded in SSYNC);
+//! * [`RoundRobin`] — exactly `k` robots per round, cyclically;
+//! * [`SequentialSingle`] — one robot per round (maximal serialisation);
+//! * [`RandomSubsets`] — independent coin per robot, with a starvation cap
+//!   enforcing fairness in finite runs;
+//! * [`FnScheduler`] — arbitrary custom adversaries for experiments.
+//!
+//! Schedulers see only robot indices and liveness, not positions; an
+//! adversary that reads the configuration can be built with
+//! [`FnScheduler`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses the set of robots to activate in each round.
+///
+/// `alive[i]` tells whether robot `i` is still correct; crashed robots may
+/// be "selected" but the engine ignores them, so schedulers may skip the
+/// liveness check. Returning an empty set is allowed (an idle round), but a
+/// fair scheduler must not starve any live robot forever.
+pub trait Scheduler {
+    /// Robots to activate in `round` (0-based), given liveness flags.
+    fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize>;
+
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize> {
+        (**self).select(round, alive)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Activates every robot in every round (fully synchronous execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EveryRobot;
+
+impl Scheduler for EveryRobot {
+    fn select(&mut self, _round: u64, alive: &[bool]) -> Vec<usize> {
+        (0..alive.len()).collect()
+    }
+    fn name(&self) -> &'static str {
+        "full"
+    }
+}
+
+/// Activates exactly `k` live robots per round, cycling deterministically.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    k: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler activating `k` robots per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "round-robin group size must be positive");
+        RoundRobin { k, next: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn select(&mut self, _round: u64, alive: &[bool]) -> Vec<usize> {
+        let n = alive.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let live: Vec<usize> = (0..n).filter(|i| alive[*i]).collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.k.min(live.len()));
+        for j in 0..self.k.min(live.len()) {
+            out.push(live[(self.next + j) % live.len()]);
+        }
+        self.next = (self.next + self.k) % live.len();
+        out
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Activates a single robot per round, in cyclic order — the most
+/// serialised fair execution.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialSingle {
+    next: usize,
+}
+
+impl SequentialSingle {
+    /// A scheduler activating one robot at a time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for SequentialSingle {
+    fn select(&mut self, _round: u64, alive: &[bool]) -> Vec<usize> {
+        let n = alive.len();
+        for _ in 0..n {
+            let i = self.next % n.max(1);
+            self.next = (self.next + 1) % n.max(1);
+            if alive.get(i).copied().unwrap_or(false) {
+                return vec![i];
+            }
+        }
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "single"
+    }
+}
+
+/// Activates each live robot independently with probability `p`, forcing
+/// activation of any robot idle for more than `starvation_cap` rounds so
+/// finite executions remain fair.
+#[derive(Debug, Clone)]
+pub struct RandomSubsets {
+    p: f64,
+    starvation_cap: u64,
+    rng: StdRng,
+    last_active: Vec<u64>,
+}
+
+impl RandomSubsets {
+    /// A random-subset scheduler with activation probability `p` and the
+    /// given seed. Robots idle longer than `starvation_cap` rounds are
+    /// activated unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `(0, 1]`.
+    pub fn new(p: f64, starvation_cap: u64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0, 1]");
+        RandomSubsets {
+            p,
+            starvation_cap,
+            rng: StdRng::seed_from_u64(seed),
+            last_active: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for RandomSubsets {
+    fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize> {
+        if self.last_active.len() != alive.len() {
+            self.last_active = vec![round; alive.len()];
+        }
+        let mut out = Vec::new();
+        for (i, &is_alive) in alive.iter().enumerate() {
+            if !is_alive {
+                continue;
+            }
+            let starved = round.saturating_sub(self.last_active[i]) >= self.starvation_cap;
+            if starved || self.rng.random_bool(self.p) {
+                out.push(i);
+                self.last_active[i] = round;
+            }
+        }
+        out
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Wraps a closure as a scheduler, for experiment-specific adversaries.
+///
+/// # Example
+///
+/// ```
+/// use gather_sim::{FnScheduler, Scheduler};
+/// // Activate only even-indexed robots on even rounds, odd on odd rounds.
+/// let mut s = FnScheduler::new("parity", |round, alive: &[bool]| {
+///     (0..alive.len())
+///         .filter(|i| alive[*i] && (*i as u64 % 2 == round % 2))
+///         .collect()
+/// });
+/// assert_eq!(s.select(0, &[true, true, true]), vec![0, 2]);
+/// assert_eq!(s.select(1, &[true, true, true]), vec![1]);
+/// ```
+pub struct FnScheduler<F> {
+    name: &'static str,
+    f: F,
+}
+
+impl<F: FnMut(u64, &[bool]) -> Vec<usize>> FnScheduler<F> {
+    /// Wraps `f` as a scheduler named `name`.
+    pub fn new(name: &'static str, f: F) -> Self {
+        FnScheduler { name, f }
+    }
+}
+
+impl<F: FnMut(u64, &[bool]) -> Vec<usize>> Scheduler for FnScheduler<F> {
+    fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize> {
+        (self.f)(round, alive)
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_robot_selects_all() {
+        let mut s = EveryRobot;
+        assert_eq!(s.select(0, &[true, false, true]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_cycles_over_live_robots() {
+        let mut s = RoundRobin::new(2);
+        let alive = [true, true, true, true];
+        let r0 = s.select(0, &alive);
+        let r1 = s.select(1, &alive);
+        assert_eq!(r0, vec![0, 1]);
+        assert_eq!(r1, vec![2, 3]);
+        let r2 = s.select(2, &alive);
+        assert_eq!(r2, vec![0, 1]);
+    }
+
+    #[test]
+    fn round_robin_skips_crashed_robots() {
+        let mut s = RoundRobin::new(2);
+        let alive = [true, false, true, false];
+        let r0 = s.select(0, &alive);
+        assert_eq!(r0, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn round_robin_zero_panics() {
+        let _ = RoundRobin::new(0);
+    }
+
+    #[test]
+    fn sequential_visits_everyone() {
+        let mut s = SequentialSingle::new();
+        let alive = [true, true, true];
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..3 {
+            for i in s.select(r, &alive) {
+                seen.insert(i);
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn sequential_skips_crashed() {
+        let mut s = SequentialSingle::new();
+        let alive = [false, true, false];
+        assert_eq!(s.select(0, &alive), vec![1]);
+        assert_eq!(s.select(1, &alive), vec![1]);
+    }
+
+    #[test]
+    fn random_subsets_respects_starvation_cap() {
+        let mut s = RandomSubsets::new(0.01, 5, 42);
+        let alive = [true; 4];
+        let mut last = vec![0u64; 4];
+        for round in 0..200 {
+            for i in s.select(round, &alive) {
+                last[i] = round;
+            }
+            for (i, l) in last.iter().enumerate() {
+                assert!(
+                    round - l <= 6,
+                    "robot {i} starved from round {l} to {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_subsets_is_deterministic_per_seed() {
+        let alive = [true; 8];
+        let runs: Vec<Vec<Vec<usize>>> = (0..2)
+            .map(|_| {
+                let mut s = RandomSubsets::new(0.5, 100, 7);
+                (0..20).map(|r| s.select(r, &alive)).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn random_subsets_validates_probability() {
+        let _ = RandomSubsets::new(0.0, 10, 1);
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(EveryRobot.name(), "full");
+        assert_eq!(RoundRobin::new(1).name(), "round-robin");
+        assert_eq!(SequentialSingle::new().name(), "single");
+        assert_eq!(RandomSubsets::new(0.5, 10, 0).name(), "random");
+    }
+}

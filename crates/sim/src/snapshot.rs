@@ -1,0 +1,77 @@
+//! Snapshots: what a robot sees during its LOOK phase.
+
+use gather_config::Configuration;
+use gather_geom::Point;
+
+/// The complete observation a robot obtains in its LOOK phase: the
+/// positions of all robots (with strong multiplicity — co-located robots
+/// have identical coordinates) expressed in the observing robot's own
+/// coordinate frame, plus the observer's own position in that frame.
+///
+/// Snapshots carry no identities, no velocities, no history and no global
+/// orientation: exactly the information the paper's model grants. The
+/// observer cannot tell which robots are crashed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    config: Configuration,
+    me: Point,
+}
+
+impl Snapshot {
+    /// Creates a snapshot from an observed configuration and the observer's
+    /// own position within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no robot of `config` is located at `me` — the observer
+    /// always sees itself.
+    pub fn new(config: Configuration, me: Point) -> Self {
+        assert!(
+            config.points().iter().any(|p| *p == me),
+            "observer position {me} not present in the observed configuration"
+        );
+        Snapshot { config, me }
+    }
+
+    /// The observed configuration (in the observer's frame).
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The observer's own position (in the observer's frame).
+    pub fn me(&self) -> Point {
+        self.me
+    }
+
+    /// Total number of robots `n`.
+    pub fn n(&self) -> usize {
+        self.config.len()
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Snapshot {{ me: {}, {} }}", self.me, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_exposes_config_and_self() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let s = Snapshot::new(c.clone(), Point::new(1.0, 0.0));
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.me(), Point::new(1.0, 0.0));
+        assert_eq!(s.config(), &c);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn observer_must_be_in_configuration() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0)]);
+        let _ = Snapshot::new(c, Point::new(5.0, 5.0));
+    }
+}

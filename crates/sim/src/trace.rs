@@ -1,0 +1,167 @@
+//! Execution traces: per-round records for analysis and experiments.
+
+use gather_config::Class;
+use std::collections::BTreeMap;
+
+/// What happened in one simulated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: u64,
+    /// The configuration's class at the *start* of the round.
+    pub class: Class,
+    /// Number of distinct occupied locations at the start of the round.
+    pub distinct: usize,
+    /// Maximum multiplicity at the start of the round.
+    pub max_mult: usize,
+    /// Robots activated by the scheduler this round.
+    pub activated: Vec<usize>,
+    /// Robots newly crashed this round.
+    pub crashed: Vec<usize>,
+    /// Total distance travelled by robots this round.
+    pub travel: f64,
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one round's record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All recorded rounds, in order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Rounds spent in each configuration class.
+    pub fn class_histogram(&self) -> BTreeMap<Class, u64> {
+        let mut hist = BTreeMap::new();
+        for r in &self.records {
+            *hist.entry(r.class).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// The observed class transitions `(from, to) → count`, counting only
+    /// rounds where the class changed.
+    ///
+    /// Experiment F3 compares this against the transition edges allowed by
+    /// Lemmas 5.3–5.9 (e.g. `M` never leaves `M`; nothing enters `B`).
+    pub fn class_transitions(&self) -> BTreeMap<(Class, Class), u64> {
+        let mut out = BTreeMap::new();
+        for w in self.records.windows(2) {
+            if w[0].class != w[1].class {
+                *out.entry((w[0].class, w[1].class)).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Total distance travelled by all robots over the execution.
+    pub fn total_travel(&self) -> f64 {
+        self.records.iter().map(|r| r.travel).sum()
+    }
+
+    /// The sequence of classes visited (consecutive duplicates collapsed).
+    pub fn class_sequence(&self) -> Vec<Class> {
+        let mut out: Vec<Class> = Vec::new();
+        for r in &self.records {
+            if out.last() != Some(&r.class) {
+                out.push(r.class);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: u64, class: Class) -> RoundRecord {
+        RoundRecord {
+            round,
+            class,
+            distinct: 3,
+            max_mult: 1,
+            activated: vec![0],
+            crashed: vec![],
+            travel: 1.0,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_rounds_per_class() {
+        let mut t = Trace::new();
+        t.push(rec(0, Class::Asymmetric));
+        t.push(rec(1, Class::Asymmetric));
+        t.push(rec(2, Class::Multiple));
+        let h = t.class_histogram();
+        assert_eq!(h[&Class::Asymmetric], 2);
+        assert_eq!(h[&Class::Multiple], 1);
+    }
+
+    #[test]
+    fn transitions_ignore_self_loops() {
+        let mut t = Trace::new();
+        t.push(rec(0, Class::Asymmetric));
+        t.push(rec(1, Class::Asymmetric));
+        t.push(rec(2, Class::Multiple));
+        t.push(rec(3, Class::Multiple));
+        let tr = t.class_transitions();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[&(Class::Asymmetric, Class::Multiple)], 1);
+    }
+
+    #[test]
+    fn class_sequence_collapses_runs() {
+        let mut t = Trace::new();
+        for (i, c) in [
+            Class::QuasiRegular,
+            Class::QuasiRegular,
+            Class::Multiple,
+            Class::Multiple,
+        ]
+        .iter()
+        .enumerate()
+        {
+            t.push(rec(i as u64, *c));
+        }
+        assert_eq!(
+            t.class_sequence(),
+            vec![Class::QuasiRegular, Class::Multiple]
+        );
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = Trace::new();
+        t.push(rec(0, Class::Multiple));
+        t.push(rec(1, Class::Multiple));
+        assert_eq!(t.total_travel(), 2.0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+}

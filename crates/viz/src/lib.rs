@@ -1,0 +1,45 @@
+//! SVG rendering of robot-gathering executions.
+//!
+//! Two renderers, both dependency-free (hand-written SVG):
+//!
+//! * [`render_trajectories`] — the whole execution: per-robot polylines
+//!   from a position log (as recorded by the engine's
+//!   `record_positions(true)`), start/end markers, crash crosses, the
+//!   gathering point;
+//! * [`render_configuration`] — one configuration snapshot with
+//!   multiplicity labels, the smallest enclosing circle, and the
+//!   classification target.
+//!
+//! # Example
+//!
+//! ```
+//! use gather_viz::{render_trajectories, TrajectoryStyle};
+//! use gather_geom::Point;
+//!
+//! let log = vec![
+//!     vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)],
+//!     vec![Point::new(1.0, 0.0), Point::new(3.0, 0.0)],
+//!     vec![Point::new(2.0, 0.0), Point::new(2.0, 0.0)],
+//! ];
+//! let svg = render_trajectories(&log, &[], TrajectoryStyle::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("polyline"));
+//! ```
+
+mod snapshot;
+mod svg;
+mod trajectories;
+
+pub use snapshot::{render_configuration, SnapshotStyle};
+pub use trajectories::{render_trajectories, TrajectoryStyle};
+
+/// A categorical colour palette with good contrast on white.
+pub(crate) const PALETTE: [&str; 10] = [
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2",
+    "#ff9da6", "#9d755d", "#bab0ac", "#eeca3b",
+];
+
+/// Picks a palette colour by index.
+pub(crate) fn color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}

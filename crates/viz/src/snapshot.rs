@@ -1,0 +1,132 @@
+//! Single-configuration rendering with classification artefacts.
+
+use crate::svg::{SvgDoc, Viewport};
+use gather_config::{classify, Configuration};
+use gather_geom::Tol;
+
+/// Style options for [`render_configuration`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotStyle {
+    /// Pixel size of the (square) image.
+    pub size: f64,
+    /// Draw the smallest enclosing circle.
+    pub sec: bool,
+    /// Annotate the class and target.
+    pub annotate: bool,
+}
+
+impl Default for SnapshotStyle {
+    fn default() -> Self {
+        SnapshotStyle {
+            size: 480.0,
+            sec: true,
+            annotate: true,
+        }
+    }
+}
+
+/// Renders one configuration as SVG: occupied locations sized and labelled
+/// by multiplicity, optionally the smallest enclosing circle, the class
+/// name, and the classification target (as a ring marker).
+pub fn render_configuration(config: &Configuration, tol: Tol, style: SnapshotStyle) -> String {
+    let distinct = config.distinct();
+    let sec = config.sec();
+    let vp = Viewport::fit(
+        distinct
+            .iter()
+            .map(|(p, _)| *p)
+            .chain(std::iter::once(sec.center)),
+        style.size,
+        40.0,
+    );
+    let mut doc = SvgDoc::new(style.size);
+    doc.rect_background("#ffffff");
+
+    if style.sec && distinct.len() > 1 {
+        let (cx, cy) = vp.map(sec.center);
+        let (rx, _) = vp.map(gather_geom::Point::new(sec.center.x + sec.radius, sec.center.y));
+        doc.circle_outline(cx, cy, rx - cx, "#bbbbbb", true);
+    }
+
+    let analysis = (!config.is_empty()).then(|| classify(config, tol));
+
+    for (p, mult) in &distinct {
+        let (x, y) = vp.map(*p);
+        let r = 4.0 + 2.0 * (*mult as f64).sqrt();
+        doc.circle(x, y, r, "#4c78a8", "#2a4a6b");
+        if *mult > 1 {
+            doc.text(x + r + 2.0, y + 4.0, 11.0, &format!("×{mult}"), "#333333");
+        }
+    }
+
+    if let Some(analysis) = &analysis {
+        if let Some(target) = analysis.target {
+            let (x, y) = vp.map(target);
+            doc.circle_outline(x, y, 9.0, "#e45756", false);
+        }
+        if style.annotate {
+            doc.text(
+                8.0,
+                16.0,
+                13.0,
+                &format!(
+                    "class {} (n = {}{})",
+                    analysis.class.short_name(),
+                    config.len(),
+                    analysis
+                        .qreg
+                        .map(|m| format!(", qreg = {m}"))
+                        .unwrap_or_default()
+                ),
+                "#333333",
+            );
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_geom::Point;
+
+    #[test]
+    fn renders_multiplicity_labels_and_class() {
+        let config = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ]);
+        let svg = render_configuration(&config, Tol::default(), SnapshotStyle::default());
+        assert!(svg.contains("×2"));
+        assert!(svg.contains("class M"));
+        assert!(svg.contains("stroke-dasharray")); // the SEC
+    }
+
+    #[test]
+    fn qr_annotation_includes_qreg() {
+        let config: Configuration = (0..5)
+            .map(|k| {
+                let th = std::f64::consts::TAU * k as f64 / 5.0;
+                Point::new(th.cos(), th.sin())
+            })
+            .collect();
+        let svg = render_configuration(&config, Tol::default(), SnapshotStyle::default());
+        assert!(svg.contains("class QR"));
+        assert!(svg.contains("qreg = 5"));
+    }
+
+    #[test]
+    fn annotation_can_be_disabled() {
+        let config = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        let style = SnapshotStyle {
+            annotate: false,
+            sec: false,
+            ..Default::default()
+        };
+        let svg = render_configuration(&config, Tol::default(), style);
+        assert!(!svg.contains("class "));
+        assert!(!svg.contains("stroke-dasharray"));
+    }
+}

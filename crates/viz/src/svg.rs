@@ -1,0 +1,192 @@
+//! Minimal SVG document builder and world→screen mapping.
+
+use gather_geom::Point;
+
+/// Maps world coordinates into a square SVG viewport with padding,
+/// preserving aspect ratio and flipping the y axis (SVG grows downward).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Viewport {
+    scale: f64,
+    offset_x: f64,
+    offset_y: f64,
+}
+
+impl Viewport {
+    /// A viewport fitting all `points` into `size`×`size` pixels with
+    /// `pad` pixels of padding. Falls back to a unit window for empty or
+    /// degenerate input.
+    pub fn fit(points: impl Iterator<Item = Point>, size: f64, pad: f64) -> Self {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in points {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        if !min_x.is_finite() || max_x - min_x < 1e-9 && max_y - min_y < 1e-9 {
+            let cx = if min_x.is_finite() { min_x } else { 0.0 };
+            let cy = if min_y.is_finite() { min_y } else { 0.0 };
+            min_x = cx - 1.0;
+            max_x = cx + 1.0;
+            min_y = cy - 1.0;
+            max_y = cy + 1.0;
+        }
+        let span = (max_x - min_x).max(max_y - min_y);
+        let scale = (size - 2.0 * pad) / span;
+        Viewport {
+            scale,
+            offset_x: pad - min_x * scale + (size - 2.0 * pad - (max_x - min_x) * scale) / 2.0,
+            offset_y: pad + max_y * scale + (size - 2.0 * pad - (max_y - min_y) * scale) / 2.0,
+        }
+    }
+
+    /// World point → pixel coordinates.
+    pub fn map(&self, p: Point) -> (f64, f64) {
+        (
+            self.offset_x + p.x * self.scale,
+            self.offset_y - p.y * self.scale,
+        )
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub(crate) struct SvgDoc {
+    body: String,
+    size: f64,
+}
+
+impl SvgDoc {
+    pub fn new(size: f64) -> Self {
+        SvgDoc {
+            body: String::new(),
+            size,
+        }
+    }
+
+    pub fn rect_background(&mut self, fill: &str) {
+        self.body.push_str(&format!(
+            r#"<rect width="{s}" height="{s}" fill="{fill}"/>"#,
+            s = self.size
+        ));
+    }
+
+    pub fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str, stroke: &str) {
+        self.body.push_str(&format!(
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{r:.2}" fill="{fill}" stroke="{stroke}"/>"#
+        ));
+    }
+
+    pub fn circle_outline(&mut self, x: f64, y: f64, r: f64, stroke: &str, dash: bool) {
+        let dash_attr = if dash {
+            r#" stroke-dasharray="4 3""#
+        } else {
+            ""
+        };
+        self.body.push_str(&format!(
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{r:.2}" fill="none" stroke="{stroke}"{dash_attr}/>"#
+        ));
+    }
+
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64, opacity: f64) {
+        if pts.len() < 2 {
+            return;
+        }
+        let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        self.body.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}" stroke-opacity="{opacity}" stroke-linejoin="round"/>"#,
+            coords.join(" ")
+        ));
+    }
+
+    pub fn cross(&mut self, x: f64, y: f64, r: f64, stroke: &str) {
+        self.body.push_str(&format!(
+            r#"<path d="M {x0:.2} {y0:.2} L {x1:.2} {y1:.2} M {x0:.2} {y1:.2} L {x1:.2} {y0:.2}" stroke="{stroke}" stroke-width="2"/>"#,
+            x0 = x - r,
+            y0 = y - r,
+            x1 = x + r,
+            y1 = y + r,
+        ));
+    }
+
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str, fill: &str) {
+        self.body.push_str(&format!(
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" fill="{fill}">{}</text>"#,
+            xml_escape(content)
+        ));
+    }
+
+    pub fn finish(self) -> String {
+        format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" viewBox="0 0 {s} {s}">{}</svg>"#,
+            self.body,
+            s = self.size
+        )
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viewport_maps_corners_inside() {
+        let pts = [Point::new(-5.0, -5.0), Point::new(5.0, 5.0)];
+        let vp = Viewport::fit(pts.iter().copied(), 400.0, 20.0);
+        for p in pts {
+            let (x, y) = vp.map(p);
+            assert!((0.0..=400.0).contains(&x), "x={x}");
+            assert!((0.0..=400.0).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn viewport_flips_y() {
+        let pts = [Point::new(0.0, 0.0), Point::new(0.0, 10.0)];
+        let vp = Viewport::fit(pts.iter().copied(), 400.0, 20.0);
+        let (_, y_low) = vp.map(Point::new(0.0, 0.0));
+        let (_, y_high) = vp.map(Point::new(0.0, 10.0));
+        assert!(y_high < y_low, "higher world y must be higher on screen");
+    }
+
+    #[test]
+    fn viewport_handles_degenerate_input() {
+        let vp = Viewport::fit(std::iter::empty(), 400.0, 20.0);
+        let (x, y) = vp.map(Point::ORIGIN);
+        assert!(x.is_finite() && y.is_finite());
+        let single = Viewport::fit([Point::new(3.0, 3.0)].into_iter(), 400.0, 20.0);
+        let (x, y) = single.map(Point::new(3.0, 3.0));
+        assert!((0.0..=400.0).contains(&x) && (0.0..=400.0).contains(&y));
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(200.0);
+        doc.rect_background("#fff");
+        doc.circle(10.0, 10.0, 3.0, "red", "none");
+        doc.polyline(&[(0.0, 0.0), (5.0, 5.0)], "blue", 1.5, 0.8);
+        doc.cross(20.0, 20.0, 4.0, "black");
+        doc.text(5.0, 15.0, 10.0, "a < b", "gray");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("&lt;")); // escaped text
+    }
+
+    #[test]
+    fn short_polylines_are_skipped() {
+        let mut doc = SvgDoc::new(100.0);
+        doc.polyline(&[(1.0, 1.0)], "red", 1.0, 1.0);
+        assert!(!doc.finish().contains("polyline"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Execution trajectory rendering.
+
+use crate::color;
+use crate::svg::{SvgDoc, Viewport};
+use gather_geom::Point;
+
+/// Style options for [`render_trajectories`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryStyle {
+    /// Pixel size of the (square) image.
+    pub size: f64,
+    /// Polyline opacity.
+    pub opacity: f64,
+    /// Draw round markers along each trajectory.
+    pub waypoints: bool,
+}
+
+impl Default for TrajectoryStyle {
+    fn default() -> Self {
+        TrajectoryStyle {
+            size: 640.0,
+            opacity: 0.85,
+            waypoints: false,
+        }
+    }
+}
+
+/// Renders an execution's position log as SVG.
+///
+/// * `log[r][i]` is robot `i`'s position after round `r` (`log[0]` is the
+///   initial configuration) — exactly the engine's `position_log()`;
+/// * `crashed[k] = (robot, round)` draws a crash cross where robot
+///   `robot` stood when it crashed.
+///
+/// Start positions are hollow circles, final positions filled; each robot
+/// keeps one palette colour throughout.
+///
+/// # Panics
+///
+/// Panics if the log rows have inconsistent robot counts.
+pub fn render_trajectories(
+    log: &[Vec<Point>],
+    crashed: &[(usize, u64)],
+    style: TrajectoryStyle,
+) -> String {
+    let n = log.first().map(|row| row.len()).unwrap_or(0);
+    for row in log {
+        assert_eq!(row.len(), n, "inconsistent robot count in position log");
+    }
+    let vp = Viewport::fit(log.iter().flatten().copied(), style.size, 30.0);
+    let mut doc = SvgDoc::new(style.size);
+    doc.rect_background("#ffffff");
+
+    for robot in 0..n {
+        let pts: Vec<(f64, f64)> = log.iter().map(|row| vp.map(row[robot])).collect();
+        doc.polyline(&pts, color(robot), 1.6, style.opacity);
+        if style.waypoints {
+            for &(x, y) in &pts {
+                doc.circle(x, y, 1.2, color(robot), "none");
+            }
+        }
+        if let Some(&(sx, sy)) = pts.first() {
+            doc.circle(sx, sy, 4.0, "#ffffff", color(robot));
+        }
+        if let Some(&(ex, ey)) = pts.last() {
+            doc.circle(ex, ey, 3.0, color(robot), "none");
+        }
+    }
+
+    for &(robot, round) in crashed {
+        if robot < n {
+            let row = (round as usize).min(log.len().saturating_sub(1));
+            let (x, y) = vp.map(log[row][robot]);
+            doc.cross(x, y, 6.0, "#d62728");
+        }
+    }
+
+    doc.text(
+        8.0,
+        style.size - 8.0,
+        11.0,
+        &format!("{} robots, {} rounds", n, log.len().saturating_sub(1)),
+        "#666666",
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_log() -> Vec<Vec<Point>> {
+        vec![
+            vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0)],
+            vec![Point::new(1.0, 0.5), Point::new(3.0, 0.5), Point::new(2.0, 2.0)],
+            vec![Point::new(2.0, 1.0), Point::new(2.0, 1.0), Point::new(2.0, 1.0)],
+        ]
+    }
+
+    #[test]
+    fn renders_one_polyline_per_robot() {
+        let svg = render_trajectories(&demo_log(), &[], TrajectoryStyle::default());
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains("3 robots, 2 rounds"));
+    }
+
+    #[test]
+    fn crash_markers_are_drawn() {
+        let svg = render_trajectories(&demo_log(), &[(1, 1)], TrajectoryStyle::default());
+        assert!(svg.contains("<path"), "crash cross missing");
+    }
+
+    #[test]
+    fn waypoints_add_circles() {
+        let plain = render_trajectories(&demo_log(), &[], TrajectoryStyle::default());
+        let mut with = TrajectoryStyle::default();
+        with.waypoints = true;
+        let dotted = render_trajectories(&demo_log(), &[], with);
+        assert!(dotted.matches("<circle").count() > plain.matches("<circle").count());
+    }
+
+    #[test]
+    fn empty_log_renders_without_panic() {
+        let svg = render_trajectories(&[], &[], TrajectoryStyle::default());
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn inconsistent_rows_panic() {
+        let log = vec![vec![Point::ORIGIN], vec![Point::ORIGIN, Point::ORIGIN]];
+        let _ = render_trajectories(&log, &[], TrajectoryStyle::default());
+    }
+}

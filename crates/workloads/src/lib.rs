@@ -1,0 +1,542 @@
+//! Seeded workload generators: initial robot configurations of every class.
+//!
+//! Experiments and tests need reproducible initial configurations of each
+//! of the paper's classes (`B`, `M`, `L1W`, `L2W`, `QR`, `A`) plus generic
+//! families (random scatter, grids, clusters). All generators are
+//! deterministic in their seed; none read ambient randomness.
+//!
+//! # Example
+//!
+//! ```
+//! use gather_workloads as workloads;
+//! use gather_config::{classify, Class, Configuration};
+//! use gather_geom::Tol;
+//!
+//! let pts = workloads::of_class(Class::Asymmetric, 7, 42);
+//! let analysis = classify(&Configuration::new(pts), Tol::default());
+//! assert_eq!(analysis.class, Class::Asymmetric);
+//! ```
+
+use gather_config::{classify, Class, Configuration};
+use gather_geom::{Point, Tol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// A bivalent configuration: `n/2` robots on each of two points.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or `n < 2`.
+pub fn bivalent(n: usize, separation: f64) -> Vec<Point> {
+    assert!(n >= 2 && n % 2 == 0, "bivalent configurations need even n >= 2");
+    let a = Point::new(0.0, 0.0);
+    let b = Point::new(separation, 0.0);
+    let mut pts = vec![a; n / 2];
+    pts.extend(vec![b; n / 2]);
+    pts
+}
+
+/// A class-`M` configuration: a stack of `stack` robots plus random
+/// satellites (stack strictly larger than any accidental satellite stack).
+///
+/// # Panics
+///
+/// Panics if `stack < 2` or `stack >= n`.
+pub fn multiple(n: usize, stack: usize, seed: u64) -> Vec<Point> {
+    assert!(stack >= 2 && stack < n, "need 2 <= stack < n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let heavy = Point::new(0.0, 0.0);
+    let mut pts = vec![heavy; stack];
+    while pts.len() < n {
+        let p = Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0));
+        // Keep satellites clearly distinct so multiplicities stay exact.
+        if pts.iter().all(|q| q.dist(p) > 0.5) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// A class-`L1W` configuration: `n` collinear robots with a unique median
+/// (odd `n`, distinct positions).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `n` is even.
+pub fn collinear_1w(n: usize, seed: u64) -> Vec<Point> {
+    assert!(n >= 3 && n % 2 == 1, "L1W generator wants odd n >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dir = TAU * rng.random_range(0.0..1.0);
+    let (s, c) = dir.sin_cos();
+    let mut ts = std::collections::BTreeSet::new();
+    while ts.len() < n {
+        ts.insert((rng.random_range(-10.0_f64..10.0) * 100.0) as i64);
+    }
+    ts.into_iter()
+        .map(|t| {
+            let t = t as f64 / 100.0;
+            Point::new(t * c, t * s)
+        })
+        .collect()
+}
+
+/// A class-`L2W` configuration: even `n >= 4` distinct collinear positions
+/// with two distinct medians.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n` is odd.
+pub fn collinear_2w(n: usize, seed: u64) -> Vec<Point> {
+    assert!(n >= 4 && n % 2 == 0, "L2W generator wants even n >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dir = TAU * rng.random_range(0.0..1.0);
+    let (s, c) = dir.sin_cos();
+    let mut ts = std::collections::BTreeSet::new();
+    while ts.len() < n {
+        ts.insert((rng.random_range(-10.0_f64..10.0) * 100.0) as i64);
+    }
+    let pts: Vec<Point> = ts
+        .into_iter()
+        .map(|t| {
+            let t = t as f64 / 100.0;
+            Point::new(t * c, t * s)
+        })
+        .collect();
+    pts
+}
+
+/// A regular `n`-gon of radius `radius` with phase `phase`, centred at the
+/// origin (class `QR`, symmetric).
+pub fn regular_polygon(n: usize, radius: f64, phase: f64) -> Vec<Point> {
+    (0..n)
+        .map(|k| {
+            let th = TAU * k as f64 / n as f64 + phase;
+            Point::new(radius * th.cos(), radius * th.sin())
+        })
+        .collect()
+}
+
+/// A regular `ring`-gon plus `at_center` robots stacked on the centre
+/// (class `QR` with an occupied centre, exercising Lemma 3.4).
+pub fn ring_with_center(ring: usize, at_center: usize, radius: f64) -> Vec<Point> {
+    let mut pts = regular_polygon(ring, radius, 0.37);
+    pts.extend(std::iter::repeat(Point::ORIGIN).take(at_center));
+    pts
+}
+
+/// A biangular configuration: `2k` robots around the origin with
+/// alternating angular gaps `alpha` and `2π/k − alpha` and alternating
+/// radii — regular (class `QR`) but not rotationally symmetric.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `alpha` is not within `(0, 2π/k)`.
+pub fn biangular(k: usize, alpha: f64, r_even: f64, r_odd: f64) -> Vec<Point> {
+    assert!(k >= 2, "biangular configurations need k >= 2");
+    let beta = TAU / k as f64 - alpha;
+    assert!(alpha > 0.0 && beta > 0.0, "alpha must be in (0, 2π/k)");
+    let mut pts = Vec::with_capacity(2 * k);
+    let mut theta: f64 = 0.1;
+    for i in 0..(2 * k) {
+        let r = if i % 2 == 0 { r_even } else { r_odd };
+        pts.push(Point::new(r * theta.cos(), r * theta.sin()));
+        theta += if i % 2 == 0 { alpha } else { beta };
+    }
+    pts
+}
+
+/// A quasi-regular configuration: a symmetric multi-ring partially
+/// converged toward its centre with per-robot radial factors (directions
+/// preserved, radii scrambled) — exactly the configurations WAIT-FREE-GATHER
+/// produces while driving class `QR` toward the Weber point.
+pub fn quasi_regular(m: usize, rings: usize, seed: u64) -> Vec<Point> {
+    assert!(m >= 2, "quasi-regular symmetry must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for ring in 0..rings.max(1) {
+        let base_r = 2.0 + 2.0 * ring as f64;
+        let phase = rng.random_range(0.0..TAU);
+        for k in 0..m {
+            let th = TAU * k as f64 / m as f64 + phase;
+            // Independent radial shrink per robot: preserves the direction
+            // structure (regularity) but not congruence (symmetry).
+            let r = base_r * rng.random_range(0.2..1.0);
+            pts.push(Point::new(r * th.cos(), r * th.sin()));
+        }
+    }
+    pts
+}
+
+/// `n` robots uniformly scattered in a `2·extent`-sided square; positions
+/// are kept pairwise-distinct.
+pub fn random_scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    while pts.len() < n {
+        let p = Point::new(
+            rng.random_range(-extent..extent),
+            rng.random_range(-extent..extent),
+        );
+        if pts.iter().all(|q| q.dist(p) > extent * 1e-3) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// `n` robots split into `k` tight stacks at random locations (heavy
+/// multiplicities, possibly tied).
+pub fn clusters(n: usize, k: usize, seed: u64) -> Vec<Point> {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..k)
+        .map(|_| Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0)))
+        .collect();
+    (0..n).map(|i| centers[i % k]).collect()
+}
+
+/// A `w × h` grid of robots with the given spacing (symmetric for square
+/// grids, class `QR`; a degenerate 1-row grid is collinear).
+pub fn grid(w: usize, h: usize, spacing: f64) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(w * h);
+    for i in 0..w {
+        for j in 0..h {
+            pts.push(Point::new(i as f64 * spacing, j as f64 * spacing));
+        }
+    }
+    pts
+}
+
+/// An asymmetric (class `A`) configuration of `n >= 4` robots, by rejection
+/// sampling random scatters (random configurations of `n ≥ 5` distinct
+/// points are asymmetric with overwhelming probability; for `n = 4` the
+/// generator plants the Weber point on an occupied position).
+///
+/// # Panics
+///
+/// Panics if `n < 4` (3 distinct non-collinear points are always
+/// quasi-regular via their Fermat point).
+pub fn asymmetric(n: usize, seed: u64) -> Vec<Point> {
+    assert!(n >= 4, "class A needs n >= 4");
+    for attempt in 0..1000 {
+        let pts = if n == 4 {
+            // Vertex-Weber construction: three satellites whose unit pull
+            // at the origin stays below 1, at non-periodic angles.
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+            let jitter = rng.random_range(-5.0..5.0_f64).to_radians();
+            let deg = |d: f64| d.to_radians() + jitter;
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0 * deg(0.0).cos(), 3.0 * deg(0.0).sin()),
+                Point::new(2.0 * deg(100.0).cos(), 2.0 * deg(100.0).sin()),
+                Point::new(2.5 * deg(200.0).cos(), 2.5 * deg(200.0).sin()),
+            ]
+        } else {
+            random_scatter(n, 10.0, seed.wrapping_add(attempt))
+        };
+        let analysis = classify(&Configuration::new(pts.clone()), Tol::default());
+        if analysis.class == Class::Asymmetric {
+            return pts;
+        }
+    }
+    panic!("failed to generate an asymmetric configuration of n = {n}");
+}
+
+/// A near-bivalent configuration: two stacks of `n/2` and `n/2 ± 1`
+/// robots — one robot away from the forbidden class `B`, classifying as
+/// `M`. Useful for probing the classification boundary and the
+/// never-enter-`B` invariant.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn near_bivalent(n: usize, separation: f64) -> Vec<Point> {
+    assert!(n >= 3, "near-bivalent needs n >= 3");
+    let heavy = n / 2 + 1;
+    let light = n - heavy;
+    let a = Point::new(0.0, 0.0);
+    let b = Point::new(separation, 0.0);
+    let mut pts = vec![a; heavy];
+    pts.extend(vec![b; light]);
+    pts
+}
+
+/// `n` robots on a common circle at random angles (co-circular but
+/// generically irregular). For `n ≥ 5` such configurations are typically
+/// class `A` with the whole configuration on its own smallest enclosing
+/// circle — a useful stress case for view computation (every position is
+/// on the SEC boundary).
+pub fn co_circular(n: usize, radius: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut angles: Vec<f64> = Vec::with_capacity(n);
+    while angles.len() < n {
+        let a = rng.random_range(0.0..TAU);
+        if angles.iter().all(|b| {
+            let mut d = (a - b).abs();
+            if d > TAU / 2.0 {
+                d = TAU - d;
+            }
+            d > 0.05
+        }) {
+            angles.push(a);
+        }
+    }
+    angles
+        .into_iter()
+        .map(|a| Point::new(radius * a.cos(), radius * a.sin()))
+        .collect()
+}
+
+/// An axially (mirror) symmetric configuration: `pairs` mirror pairs
+/// across a random axis through the origin plus `on_axis` robots on the
+/// axis itself — and no rotational symmetry.
+///
+/// The paper's Section I observes that configurations which are neither
+/// quasi-regular nor linear "are either completely asymmetric or have only
+/// axial symmetry", and that **chirality breaks axial symmetry**: mirrored
+/// positions see the world with opposite handedness, so their clockwise
+/// views differ and the configuration classifies as `A`. The generator
+/// rejection-samples until that is the case (tiny `pairs` values can land
+/// in `QR` through their Weber point).
+///
+/// # Panics
+///
+/// Panics if `pairs < 2` or generation fails repeatedly (does not happen
+/// for `pairs >= 2` with the default tolerance).
+pub fn axially_symmetric(pairs: usize, on_axis: usize, seed: u64) -> Vec<Point> {
+    assert!(pairs >= 2, "need at least two mirror pairs");
+    for attempt in 0..1000 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt * 7919));
+        let axis = rng.random_range(0.0..TAU);
+        let (sin, cos) = axis.sin_cos();
+        let mut pts = Vec::with_capacity(2 * pairs + on_axis);
+        for _ in 0..pairs {
+            // A point in axis-aligned coordinates (u along the axis, v off).
+            let u = rng.random_range(-8.0_f64..8.0);
+            let v = rng.random_range(0.5_f64..8.0);
+            pts.push(Point::new(u * cos - v * sin, u * sin + v * cos));
+            pts.push(Point::new(u * cos + v * sin, u * sin - v * cos)); // mirror
+        }
+        for _ in 0..on_axis {
+            let u = rng.random_range(-8.0_f64..8.0);
+            pts.push(Point::new(u * cos, u * sin));
+        }
+        let analysis = classify(&Configuration::new(pts.clone()), Tol::default());
+        if analysis.class == Class::Asymmetric {
+            return pts;
+        }
+    }
+    panic!("failed to generate an axially symmetric class-A configuration");
+}
+
+/// A configuration of the requested class, deterministically from the
+/// seed. `n` is adjusted minimally when a class constrains it (e.g. `B`
+/// needs even `n`); the returned configuration always classifies as
+/// requested under [`Tol::default`].
+///
+/// # Panics
+///
+/// Panics if `n < 4` (every class is realisable from 4 robots up; `QR`
+/// accepts any `n >= 3`).
+pub fn of_class(class: Class, n: usize, seed: u64) -> Vec<Point> {
+    assert!(n >= 4, "of_class needs n >= 4");
+    let pts = match class {
+        Class::Bivalent => bivalent(n - n % 2, 6.0),
+        Class::Multiple => multiple(n, 2 + (seed as usize % (n - 2).max(1)).min(n - 2), seed),
+        Class::Collinear1W => collinear_1w(if n % 2 == 0 { n - 1 } else { n }, seed),
+        Class::Collinear2W => collinear_2w(n - n % 2, seed),
+        Class::QuasiRegular => {
+            if n % 2 == 0 && n >= 6 && seed % 2 == 0 {
+                biangular(n / 2, TAU / (n as f64), 2.0, 4.0)
+            } else {
+                regular_polygon(n, 3.0, (seed as f64) * 0.1)
+            }
+        }
+        Class::Asymmetric => asymmetric(n, seed),
+    };
+    debug_assert_eq!(
+        classify(&Configuration::new(pts.clone()), Tol::default()).class,
+        class,
+        "generator produced the wrong class for {class} n={n} seed={seed}"
+    );
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(pts: &[Point]) -> Class {
+        classify(&Configuration::new(pts.to_vec()), Tol::default()).class
+    }
+
+    #[test]
+    fn bivalent_generator() {
+        let pts = bivalent(8, 5.0);
+        assert_eq!(pts.len(), 8);
+        assert_eq!(class_of(&pts), Class::Bivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn bivalent_rejects_odd() {
+        let _ = bivalent(5, 5.0);
+    }
+
+    #[test]
+    fn multiple_generator() {
+        for seed in 0..5 {
+            let pts = multiple(9, 3, seed);
+            assert_eq!(pts.len(), 9);
+            assert_eq!(class_of(&pts), Class::Multiple, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn collinear_generators() {
+        for seed in 0..5 {
+            assert_eq!(class_of(&collinear_1w(7, seed)), Class::Collinear1W);
+            assert_eq!(class_of(&collinear_2w(6, seed)), Class::Collinear2W);
+        }
+    }
+
+    #[test]
+    fn regular_and_biangular_are_qr() {
+        assert_eq!(class_of(&regular_polygon(5, 2.0, 0.3)), Class::QuasiRegular);
+        // One robot at the centre keeps all multiplicities equal -> QR with
+        // an occupied centre.
+        assert_eq!(class_of(&ring_with_center(6, 1, 3.0)), Class::QuasiRegular);
+        assert_eq!(
+            class_of(&biangular(4, 0.5, 1.5, 3.0)),
+            Class::QuasiRegular
+        );
+    }
+
+    #[test]
+    fn stacked_center_outranks_quasi_regularity() {
+        // Two robots at the centre give a unique max-multiplicity point,
+        // and class M takes priority over QR in the partition.
+        assert_eq!(class_of(&ring_with_center(6, 2, 3.0)), Class::Multiple);
+    }
+
+    #[test]
+    fn quasi_regular_generator_is_qr() {
+        for seed in 0..5 {
+            let pts = quasi_regular(4, 2, seed);
+            assert_eq!(pts.len(), 8);
+            assert_eq!(class_of(&pts), Class::QuasiRegular, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_generator() {
+        for seed in 0..5 {
+            for n in [4usize, 5, 8, 13] {
+                let pts = asymmetric(n, seed);
+                assert_eq!(pts.len(), n);
+                assert_eq!(class_of(&pts), Class::Asymmetric, "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn near_bivalent_is_class_m() {
+        for n in [5usize, 8, 9, 12] {
+            let pts = near_bivalent(n, 6.0);
+            assert_eq!(pts.len(), n);
+            assert_eq!(class_of(&pts), Class::Multiple, "n={n}");
+        }
+    }
+
+    #[test]
+    fn co_circular_points_share_the_sec_boundary() {
+        let pts = co_circular(7, 4.0, 3);
+        let cfg = Configuration::new(pts);
+        let sec = cfg.sec();
+        for p in cfg.distinct_points() {
+            assert!(
+                sec.on_boundary(p, Tol::default()),
+                "{p} not on the boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn axially_symmetric_configurations_are_class_a() {
+        // The paper's chirality argument: mirror symmetry does not protect
+        // a configuration from leader election, because clockwise views
+        // differ across the axis.
+        for seed in 0..5 {
+            let pts = axially_symmetric(3, 1, seed);
+            assert_eq!(pts.len(), 7);
+            assert_eq!(class_of(&pts), Class::Asymmetric, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn axially_symmetric_is_actually_mirror_symmetric() {
+        // Sanity on the generator: the multiset of pairwise distances has
+        // the duplication structure of a mirror configuration (each
+        // off-axis point has a partner at equal distance from every axis
+        // point).
+        let pts = axially_symmetric(3, 0, 1);
+        let cfg = Configuration::new(pts.clone());
+        // Mirror pairs are adjacent in the output: (0,1), (2,3), (4,5).
+        for k in 0..3 {
+            let a = pts[2 * k];
+            let b = pts[2 * k + 1];
+            assert!(
+                (cfg.sum_of_distances(a) - cfg.sum_of_distances(b)).abs() < 1e-9,
+                "pair {k} not symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn of_class_produces_every_class() {
+        for class in Class::all() {
+            for seed in 0..3 {
+                let pts = of_class(class, 8, seed);
+                assert_eq!(class_of(&pts), class, "{class} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_scatter(10, 5.0, 3), random_scatter(10, 5.0, 3));
+        assert_eq!(asymmetric(6, 9), asymmetric(6, 9));
+        assert_eq!(collinear_1w(9, 2), collinear_1w(9, 2));
+    }
+
+    #[test]
+    fn scatter_points_are_distinct() {
+        let pts = random_scatter(50, 10.0, 7);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(pts[i].dist(pts[j]) > 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_form_stacks() {
+        let pts = clusters(10, 3, 4);
+        let cfg = Configuration::new(pts);
+        assert_eq!(cfg.distinct().len(), 3);
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid(3, 4, 1.0).len(), 12);
+        // A square grid is 4-fold symmetric → QR.
+        assert_eq!(class_of(&grid(3, 3, 2.0)), Class::QuasiRegular);
+        // A single row is collinear.
+        let row = grid(5, 1, 1.0);
+        assert!(matches!(
+            class_of(&row),
+            Class::Collinear1W | Class::Collinear2W
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: gather seven robots, three of which crash along the way.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use gather_geom::Point;
+use gather_sim::prelude::*;
+use gathering::WaitFreeGather;
+
+fn main() {
+    // Seven robots scattered on the plane — two of them already share a
+    // location (arbitrary initial configurations are fine).
+    let initial = vec![
+        Point::new(0.0, 0.0),
+        Point::new(0.0, 0.0),
+        Point::new(6.0, 1.0),
+        Point::new(2.0, 5.0),
+        Point::new(-3.0, 4.0),
+        Point::new(-1.0, -4.0),
+        Point::new(4.0, -2.0),
+    ];
+
+    let mut engine = Engine::builder(initial)
+        .algorithm(WaitFreeGather::default())
+        // Robots 1 and 3 crash at rounds 2 and 5; robot 5 never even starts.
+        .crash_plan(CrashAtRounds::new(vec![(0, 5), (2, 1), (5, 3)]))
+        // A random fair scheduler and adversarial movement interruptions.
+        .scheduler(RandomSubsets::new(0.6, 30, 42))
+        .motion(RandomStops::new(0.5, 42))
+        .build();
+
+    let outcome = engine.run(10_000);
+
+    match outcome {
+        RunOutcome::Gathered { round, point } => {
+            println!("gathered at {point} in {round} rounds");
+        }
+        RunOutcome::RoundLimit { rounds } => {
+            println!("did not gather within {rounds} rounds");
+        }
+    }
+
+    println!(
+        "classes visited: {:?}",
+        engine
+            .trace()
+            .class_sequence()
+            .iter()
+            .map(|c| c.short_name())
+            .collect::<Vec<_>>()
+    );
+    println!("total distance travelled: {:.2}", engine.trace().total_travel());
+    println!("live robots at the end: {}/{}", engine.live_count(), engine.positions().len());
+    assert!(outcome.gathered(), "WAIT-FREE-GATHER must gather here");
+    assert!(engine.violations().is_empty());
+}

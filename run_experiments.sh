@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every experiment table/figure CSV under results/.
+set -e
+for bin in t1_theorem51 t2_baselines t3_bivalent t4_qr_detection t5_waitfree \
+           t6_classification t7_byzantine f1_scaling f2_delta f3_transitions \
+           f4_potential f5_crash_timing f6_staleness a1_ablations b1_throughput; do
+  echo "== $bin =="
+  cargo run --release -q -p gather-bench --bin "$bin" -- --out results "$@" \
+    | tee "results/$bin.txt"
+done

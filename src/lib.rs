@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the whole wait-free gathering suite.
+pub use gather_config as config;
+pub use gather_geom as geom;
+pub use gather_sim as sim;
+pub use gather_workloads as workloads;
+pub use gathering;

@@ -1,0 +1,113 @@
+//! The paper's chirality argument (Section I): configurations with only
+//! axial (mirror) symmetry are handled as asymmetric, because the shared
+//! clockwise orientation gives mirrored positions different views. These
+//! tests run the full algorithm on mirror-symmetric starts.
+
+use gather_config::{classify, rotational_symmetry, Class, Configuration};
+use gather_geom::{Point, Tol};
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::{rules, WaitFreeGather};
+
+#[test]
+fn axial_configurations_have_trivial_rotational_symmetry() {
+    for seed in 0..5 {
+        let pts = workloads::axially_symmetric(4, 1, seed);
+        let config = Configuration::canonical(pts, Tol::default());
+        assert_eq!(
+            rotational_symmetry(&config, Tol::default()),
+            1,
+            "seed {seed}: chirality should break mirror symmetry"
+        );
+    }
+}
+
+#[test]
+fn generated_axial_workloads_have_a_detectable_axis() {
+    use gather_config::detect_mirror_axis;
+    for seed in 0..5 {
+        let pts = workloads::axially_symmetric(3, 1, seed);
+        let config = Configuration::canonical(pts, Tol::default());
+        assert!(
+            detect_mirror_axis(&config, Tol::default()).is_some(),
+            "seed {seed}: generator lost its mirror axis"
+        );
+        // …and yet the configuration is class A: chirality sees through
+        // the mirror. This pair of assertions is the paper's §I claim.
+        assert_eq!(classify(&config, Tol::default()).class, Class::Asymmetric);
+    }
+}
+
+#[test]
+fn mirrored_positions_have_distinct_views() {
+    use gather_config::view_of;
+    let pts = workloads::axially_symmetric(3, 0, 2);
+    let config = Configuration::canonical(pts.clone(), Tol::default());
+    // Mirror pairs are adjacent in the generator's output.
+    for k in 0..3 {
+        let va = view_of(&config, pts[2 * k], Tol::default());
+        let vb = view_of(&config, pts[2 * k + 1], Tol::default());
+        assert_ne!(va, vb, "mirror pair {k} shares a view — chirality lost");
+    }
+}
+
+#[test]
+fn election_is_unanimous_despite_the_mirror() {
+    let pts = workloads::axially_symmetric(4, 1, 3);
+    let config = Configuration::canonical(pts, Tol::default());
+    assert_eq!(classify(&config, Tol::default()).class, Class::Asymmetric);
+    let elected = rules::asymmetric::elected_point(&config, Tol::default());
+    for p in config.distinct_points() {
+        assert_eq!(
+            rules::asymmetric::destination(&config, p, Tol::default()),
+            elected
+        );
+    }
+}
+
+#[test]
+fn gathering_from_axially_symmetric_starts() {
+    for seed in [0u64, 1, 2] {
+        let pts = workloads::axially_symmetric(3, 1, seed);
+        let n = pts.len();
+        let mut engine = Engine::builder(pts)
+            .algorithm(WaitFreeGather::default())
+            .scheduler(RoundRobin::new(2))
+            .motion(RandomStops::new(0.4, seed))
+            .crash_plan(RandomCrashes::new(n / 2, 0.05, seed + 1))
+            .build();
+        let outcome = engine.run(60_000);
+        assert!(outcome.gathered(), "seed {seed}: {outcome:?}");
+        assert!(engine.violations().is_empty(), "{:?}", engine.violations());
+    }
+}
+
+#[test]
+fn perfect_mirror_with_symmetric_adversary_still_gathers() {
+    // Even a motion adversary that preserves the mirror (equal fractional
+    // stops) cannot exploit it: the elected point is common to both sides.
+    let pts = workloads::axially_symmetric(4, 0, 7);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .motion(SymmetricHalfStops)
+        .frames(FramePolicy::GlobalFrame)
+        .build();
+    let outcome = engine.run(30_000);
+    assert!(outcome.gathered(), "{outcome:?}");
+}
+
+#[test]
+fn isosceles_triangle_has_an_axis_but_gathers() {
+    // The smallest axially symmetric case: an isosceles (non-equilateral)
+    // triangle. It is quasi-regular via its Fermat point — chirality is
+    // not even needed — but the run must gather regardless.
+    let pts = vec![
+        Point::new(-2.0, 0.0),
+        Point::new(2.0, 0.0),
+        Point::new(0.0, 5.0),
+    ];
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .build();
+    assert!(engine.run(10_000).gathered());
+}

@@ -1,0 +1,197 @@
+//! The negative results that motivate the paper (Section I), demonstrated
+//! empirically:
+//!
+//! * classic non-wait-free gathering deadlocks after one crash;
+//! * the bivalent configuration defeats every anonymous deterministic
+//!   algorithm under the symmetry-preserving adversary (Lemma 5.2);
+//! * the baselines do not cover arbitrary initial configurations.
+
+use gather_config::{classify, Class, Configuration};
+use gather_geom::{Point, Tol};
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::{AgmonPelegStyle, CenterOfGravity, OrderedMarch, WaitFreeGather, WeberOracle};
+
+#[test]
+fn ordered_march_gathers_fault_free() {
+    let pts = workloads::random_scatter(6, 8.0, 5);
+    let mut engine = Engine::builder(pts)
+        .algorithm(OrderedMarch::default())
+        .check_invariants(false) // it is not wait-free by design
+        .build();
+    let outcome = engine.run(30_000);
+    assert!(outcome.gathered(), "{outcome:?}");
+}
+
+#[test]
+fn ordered_march_deadlocks_when_the_walker_crashes() {
+    // The designated walker is the robot closest to the rally point; crash
+    // it at the start. Everyone else waits forever: a deadlock the paper's
+    // introduction describes verbatim.
+    let pts = workloads::multiple(6, 3, 7);
+    let config = Configuration::new(pts.clone());
+    let rally = config.unique_max_multiplicity().unwrap().0;
+    // Find the index of the closest non-rally robot (the designated one).
+    let walker = pts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.within(rally, 1e-9))
+        .min_by(|(_, p), (_, q)| p.dist(rally).total_cmp(&q.dist(rally)))
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut engine = Engine::builder(pts)
+        .algorithm(OrderedMarch::default())
+        .crash_plan(CrashAtRounds::at_start([walker]))
+        .check_invariants(false)
+        .build();
+    let outcome = engine.run(5_000);
+    assert!(
+        !outcome.gathered(),
+        "ordered march should deadlock: {outcome:?}"
+    );
+    // And the positions literally never changed after the crash.
+    assert_eq!(engine.trace().total_travel(), 0.0);
+}
+
+#[test]
+fn wait_free_gather_survives_the_same_crash() {
+    let pts = workloads::multiple(6, 3, 7);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .crash_plan(CrashAtRounds::at_start([3]))
+        .build();
+    let outcome = engine.run(30_000);
+    assert!(outcome.gathered(), "{outcome:?}");
+}
+
+/// Drives an algorithm from a bivalent start under the group-serialising
+/// adversary of Lemma 5.2: only one of the two co-located groups is
+/// activated per round (alternating, so the schedule is fair). Whatever
+/// common destination the anonymous algorithm computes, the activated
+/// group lands on it *together* while the other group stands still — the
+/// robots remain split into two equal groups forever. (Full simultaneous
+/// activation would NOT work as an adversary: once both groups are within
+/// the minimum step δ of a common destination, the model forces exact
+/// arrival and the robots gather — the adversary must serialise.)
+///
+/// In exact arithmetic the separation halves each round but never reaches
+/// zero — convergence without gathering. Floating point cannot run
+/// "forever" (positions merge at the snap radius), so the test runs while
+/// the separation stays far above the float floor and asserts the bivalent
+/// invariant holds at every single round.
+fn assert_stays_bivalent(algorithm: impl Algorithm + 'static, label: &str) {
+    let initial_separation = 8.0;
+    let pts = workloads::bivalent(8, initial_separation);
+    let half = pts.len() / 2;
+    let mut engine = Engine::builder(pts)
+        .algorithm(algorithm)
+        .scheduler(FnScheduler::new("alternate-groups", move |round, alive: &[bool]| {
+            let range = if round % 2 == 0 { 0..half } else { half..alive.len() };
+            range.filter(|i| alive[*i]).collect()
+        }))
+        .frames(FramePolicy::GlobalFrame)
+        .check_invariants(false)
+        .build();
+    let mut previous_sep = initial_separation;
+    // 12 halvings: separation ≥ 8/2¹² ≈ 2·10⁻³, still ≫ snap (10⁻⁶).
+    for round in 0..12 {
+        assert!(!engine.is_gathered(), "{label}: gathered at round {round}");
+        engine.step();
+        let config = engine.configuration();
+        assert_eq!(
+            classify(&config, Tol::default()).class,
+            Class::Bivalent,
+            "{label}: left the bivalent class at round {round}: {config}"
+        );
+        let distinct = config.distinct_points();
+        let sep = distinct[0].dist(distinct[1]);
+        assert!(sep > 0.0, "{label}: groups coincided at round {round}");
+        assert!(
+            sep < previous_sep,
+            "{label}: separation did not shrink (convergence is allowed, \
+             escape is not)"
+        );
+        previous_sep = sep;
+    }
+    // Geometric decay, never zero: the signature of convergence-without-
+    // gathering.
+    assert!(previous_sep > initial_separation / 2.0_f64.powi(13));
+}
+
+#[test]
+fn bivalent_defeats_every_algorithm() {
+    // Lemma 5.2: under the symmetric adversary no anonymous deterministic
+    // algorithm escapes the bivalent trap — the split survives every round.
+    assert_stays_bivalent(WaitFreeGather::default(), "wait-free-gather");
+    assert_stays_bivalent(CenterOfGravity::new(), "center-of-gravity");
+    assert_stays_bivalent(AgmonPelegStyle::default(), "agmon-peleg");
+    assert_stays_bivalent(WeberOracle::default(), "weber-oracle");
+}
+
+#[test]
+fn wfg_handles_multi_multiplicity_starts_that_break_the_classics() {
+    // Arbitrary initial configurations: three stacks of robots (no unique
+    // max). The classic algorithms assume distinct starts; WFG must gather.
+    let heavy1 = Point::new(0.0, 0.0);
+    let heavy2 = Point::new(6.0, 0.0);
+    let heavy3 = Point::new(2.0, 5.0);
+    let pts = vec![heavy1, heavy1, heavy2, heavy2, heavy3, heavy3, Point::new(3.0, 1.0)];
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(2))
+        .motion(RandomStops::new(0.4, 3))
+        .crash_plan(RandomCrashes::new(2, 0.05, 9))
+        .build();
+    let outcome = engine.run(30_000);
+    assert!(outcome.gathered(), "{outcome:?}");
+    assert!(engine.violations().is_empty(), "{:?}", engine.violations());
+}
+
+#[test]
+fn center_of_gravity_stalls_under_adversarial_stops_longer_than_wfg() {
+    // CoG's target drifts with every partial move; WFG's per-class targets
+    // are invariant. Compare rounds-to-gather under the same adversary.
+    let pts = workloads::random_scatter(8, 8.0, 13);
+    let run = |alg: Box<dyn Algorithm>| {
+        let mut engine = Engine::builder(pts.clone())
+            .algorithm(alg)
+            .motion(AlwaysDelta)
+            .delta(0.05)
+            .check_invariants(false)
+            .build();
+        engine.run(200_000)
+    };
+    let wfg = run(Box::new(WaitFreeGather::default()));
+    let cog = run(Box::new(CenterOfGravity::new()));
+    assert!(wfg.gathered(), "WFG failed: {wfg:?}");
+    // CoG may or may not finish; if it does, it must not beat WFG by much —
+    // the qualitative claim is that WFG is competitive despite exactness.
+    if cog.gathered() {
+        assert!(
+            wfg.rounds() <= cog.rounds() * 20,
+            "WFG {} rounds vs CoG {} rounds",
+            wfg.rounds(),
+            cog.rounds()
+        );
+    }
+}
+
+#[test]
+fn unbalanced_two_point_split_is_gatherable() {
+    // The counterpart to the bivalent impossibility: a 5-vs-3 split over
+    // two points is class M and WFG gathers it even under the same
+    // symmetric adversary — only the *exactly equal* split is deadly,
+    // which is why strong multiplicity detection is necessary.
+    let a = Point::new(0.0, 0.0);
+    let b = Point::new(8.0, 0.0);
+    let mut pts = vec![a; 5];
+    pts.extend(vec![b; 3]);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .motion(SymmetricHalfStops)
+        .frames(FramePolicy::GlobalFrame)
+        .build();
+    let outcome = engine.run(10_000);
+    assert!(outcome.gathered(), "{outcome:?}");
+    assert!(engine.violations().is_empty(), "{:?}", engine.violations());
+}

@@ -1,0 +1,291 @@
+//! Invariant audits over full executions — the claims inside the paper's
+//! proofs, checked on every round of real runs:
+//!
+//! * Lemma 5.1 (wait-freeness): at most one occupied location may be
+//!   instructed to stay (monitored online by the engine);
+//! * Lemmas 5.3–5.9 (class-transition structure): `M` never leaves `M`,
+//!   `L1W → {M, L1W}`, `QR → {M, L1W, QR}`, `A → {M, L1W, QR, A}`,
+//!   `L2W` never transitions to `B`, and nothing ever enters `B`;
+//! * Lemma 5.6, Claim C2 (potential function): in class `A`, the pair
+//!   `φ = (max multiplicity ↑, Σ distances to the elected point ↓)`
+//!   improves whenever the configuration changes;
+//! * Weber-point invariance (Lemma 3.2): in `QR`/`L1W` runs the target
+//!   stays put while robots move toward it.
+
+use gather_config::{classify, Class, Configuration};
+use gather_geom::{Point, Tol};
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::{rules, WaitFreeGather};
+use std::collections::BTreeSet;
+
+/// The transition edges allowed by the paper's lemmas. `from == to` is
+/// always allowed and not listed.
+fn allowed(from: Class, to: Class) -> bool {
+    use Class::*;
+    match from {
+        Multiple => false,                                  // M is absorbing
+        Collinear1W => matches!(to, Multiple),              // L1W → M
+        QuasiRegular => matches!(to, Multiple | Collinear1W),
+        Asymmetric => matches!(to, Multiple | Collinear1W | QuasiRegular),
+        Collinear2W => to != Bivalent,                      // anything but B
+        Bivalent => to != Bivalent,                         // out of contract
+    }
+}
+
+fn run_and_collect(
+    pts: Vec<Point>,
+    f: usize,
+    seed: u64,
+) -> (Engine, RunOutcome) {
+    let n = pts.len();
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(2))
+        .motion(RandomStops::new(0.4, seed))
+        .crash_plan(RandomCrashes::new(f.min(n - 1), 0.08, seed))
+        .build();
+    let outcome = engine.run(60_000);
+    (engine, outcome)
+}
+
+#[test]
+fn class_transitions_respect_the_lemmas() {
+    for class in [
+        Class::Multiple,
+        Class::Collinear1W,
+        Class::Collinear2W,
+        Class::QuasiRegular,
+        Class::Asymmetric,
+    ] {
+        for seed in [3, 5, 9] {
+            let pts = workloads::of_class(class, 8, seed);
+            let (engine, outcome) = run_and_collect(pts, 3, seed);
+            assert!(outcome.gathered(), "{class} seed {seed}: {outcome:?}");
+            for ((from, to), count) in engine.trace().class_transitions() {
+                assert!(
+                    allowed(from, to),
+                    "{class} seed {seed}: illegal transition {from}→{to} (×{count})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn no_execution_ever_enters_bivalent() {
+    let mut starts: Vec<Vec<Point>> = Vec::new();
+    for seed in 0..6 {
+        starts.push(workloads::random_scatter(8, 8.0, seed));
+        starts.push(workloads::random_scatter(6, 8.0, seed + 100));
+    }
+    // Near-miss start: a 4-vs-3 split (class M, one robot away from B).
+    let a = Point::new(0.0, 0.0);
+    let b = Point::new(6.0, 0.0);
+    let mut near = vec![a; 4];
+    near.extend(vec![b; 3]);
+    starts.push(near);
+
+    for (i, pts) in starts.into_iter().enumerate() {
+        let (engine, outcome) = run_and_collect(pts, 4, i as u64);
+        assert!(outcome.gathered(), "start {i}: {outcome:?}");
+        for record in engine.trace().records() {
+            assert_ne!(
+                record.class,
+                Class::Bivalent,
+                "start {i} entered B at round {}",
+                record.round
+            );
+        }
+        assert!(engine.violations().is_empty(), "start {i}: {:?}", engine.violations());
+    }
+}
+
+#[test]
+fn engine_monitors_stay_silent_on_wfg() {
+    // The engine's own Lemma 5.1 + never-B monitors across a matrix of runs.
+    for class in [Class::Multiple, Class::QuasiRegular, Class::Asymmetric] {
+        for seed in [1, 4] {
+            let pts = workloads::of_class(class, 10, seed);
+            let (engine, outcome) = run_and_collect(pts, 5, seed);
+            assert!(outcome.gathered());
+            assert!(
+                engine.violations().is_empty(),
+                "{class} seed {seed}: {:?}",
+                engine.violations()
+            );
+        }
+    }
+}
+
+#[test]
+fn asymmetric_potential_function_improves() {
+    // Claim C2 of Lemma 5.6: while the execution stays in class A with
+    // every robot heading to the elected point, (max multiplicity) never
+    // decreases, and when it stays equal the sum of distances to the
+    // elected point never increases (strictly decreases when anything
+    // moved).
+    let tol = Tol::default();
+    let pts = workloads::asymmetric(9, 21);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(3))
+        .motion(RandomStops::new(0.3, 7))
+        .build();
+
+    let mut prev: Option<(usize, f64, Configuration)> = None;
+    for _ in 0..10_000 {
+        let config = engine.configuration();
+        let analysis = classify(&config, tol);
+        if analysis.class != Class::Asymmetric {
+            break;
+        }
+        let elected = rules::asymmetric::elected_point(&config, tol);
+        let mult = config.mult(elected, tol);
+        let sum: f64 = config.sum_of_distances(elected);
+        if let Some((pmult, psum, pconfig)) = &prev {
+            if *pconfig != config {
+                assert!(
+                    mult > *pmult || (mult == *pmult && sum < *psum + 1e-9),
+                    "φ worsened: mult {pmult}→{mult}, sum {psum}→{sum}"
+                );
+            }
+        }
+        prev = Some((mult, sum, config));
+        if engine.is_gathered() {
+            break;
+        }
+        engine.step();
+    }
+}
+
+#[test]
+fn weber_target_is_invariant_during_qr_runs() {
+    // Lemma 3.2 along a real execution: while the class stays QR, the
+    // classification target must not move (beyond numeric noise).
+    let tol = Tol::default();
+    let pts = workloads::biangular(4, 0.5, 2.0, 4.0);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(2))
+        .motion(RandomStops::new(0.3, 17))
+        .build();
+    let mut first_target: Option<Point> = None;
+    for _ in 0..5_000 {
+        let config = engine.configuration();
+        let analysis = classify(&config, tol);
+        if analysis.class != Class::QuasiRegular {
+            break;
+        }
+        let target = analysis.target.expect("QR target");
+        if let Some(t0) = first_target {
+            assert!(
+                target.dist(t0) < 1e-4,
+                "Weber target drifted: {t0} → {target}"
+            );
+        } else {
+            first_target = Some(target);
+        }
+        if engine.is_gathered() {
+            break;
+        }
+        engine.step();
+    }
+    assert!(first_target.is_some(), "run never classified as QR");
+}
+
+#[test]
+fn l1w_median_is_invariant_during_linear_runs() {
+    let tol = Tol::default();
+    let pts = workloads::collinear_1w(9, 33);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(SequentialSingle::new())
+        .motion(AlwaysDelta)
+        .delta(0.05)
+        .build();
+    let mut first_target: Option<Point> = None;
+    for _ in 0..20_000 {
+        let config = engine.configuration();
+        let analysis = classify(&config, tol);
+        if analysis.class != Class::Collinear1W {
+            break;
+        }
+        let target = analysis.target.expect("L1W target");
+        if let Some(t0) = first_target {
+            assert!(target.dist(t0) < 1e-6, "median drifted: {t0} → {target}");
+        } else {
+            first_target = Some(target);
+        }
+        if engine.is_gathered() {
+            break;
+        }
+        engine.step();
+    }
+    assert!(first_target.is_some());
+}
+
+#[test]
+fn multiplicity_point_is_stable_in_class_m() {
+    // Claim C1 of Lemma 5.3: once a unique max-multiplicity point exists,
+    // it remains THE max-multiplicity point for the rest of the run.
+    let tol = Tol::default();
+    let pts = workloads::multiple(10, 3, 13);
+    let target = Point::new(0.0, 0.0); // generator stacks at the origin
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(3))
+        .motion(RandomStops::new(0.2, 3))
+        .crash_plan(RandomCrashes::new(4, 0.05, 5))
+        .build();
+    for _ in 0..10_000 {
+        if engine.is_gathered() {
+            break;
+        }
+        engine.step();
+        let config = engine.configuration();
+        let (p, _) = config
+            .unique_max_multiplicity()
+            .expect("class M lost its unique maximum");
+        assert!(
+            p.within(target, tol.snap),
+            "max-multiplicity point moved to {p}"
+        );
+    }
+    assert!(engine.is_gathered());
+}
+
+#[test]
+fn no_accidental_merges_away_from_the_target_in_class_m() {
+    // The stronger statement inside Claim C1: robots at distinct locations
+    // never merge anywhere except at the target.
+    let pts = workloads::multiple(8, 2, 19);
+    let target = Point::new(0.0, 0.0);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .motion(RandomStops::new(0.5, 23))
+        .build();
+    let mut prev_distinct: BTreeSet<(i64, i64)> = BTreeSet::new();
+    for _ in 0..10_000 {
+        if engine.is_gathered() {
+            break;
+        }
+        engine.step();
+        let config = engine.configuration();
+        let distinct: Vec<(Point, usize)> = config.distinct();
+        // Any location (≠ target) with multiplicity ≥ 2 must have existed
+        // with that multiplicity before (merges only happen at the target).
+        let mut current = BTreeSet::new();
+        for (p, m) in &distinct {
+            if !p.within(target, 1e-6) && *m >= 2 {
+                let key = ((p.x * 1e6) as i64, (p.y * 1e6) as i64);
+                current.insert(key);
+                assert!(
+                    prev_distinct.contains(&key),
+                    "new multiplicity point appeared at {p} (mult {m})"
+                );
+            }
+        }
+        prev_distinct = current;
+    }
+}

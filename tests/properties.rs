@@ -1,0 +1,211 @@
+//! Property-based tests (proptest) over the public API: the paper's
+//! lemmas as universally-quantified statements on random configurations.
+
+use gather_config::{classify, rotational_symmetry, safe_points, Class, Configuration};
+use gather_geom::{
+    convex_hull, hull_contains, smallest_enclosing_circle, weber_objective,
+    weber_point_weiszfeld, Point, Similarity, Tol,
+};
+use gather_sim::{Algorithm, Snapshot};
+use gathering::WaitFreeGather;
+use proptest::prelude::*;
+
+/// Random point with coordinates on a centi-grid in [-10, 10] — the grid
+/// keeps configurations away from knife-edge classification boundaries,
+/// like every physical deployment would be.
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i32..1000, -1000i32..1000)
+        .prop_map(|(x, y)| Point::new(x as f64 / 100.0, y as f64 / 100.0))
+}
+
+/// A configuration of 3..=12 robots with possible co-location (multiset).
+fn arb_config() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), 3..=12)
+}
+
+/// A random orientation-preserving similarity with a benign scale range.
+fn arb_similarity() -> impl Strategy<Value = Similarity> {
+    (
+        0.0..std::f64::consts::TAU,
+        0.25f64..4.0,
+        arb_point(),
+    )
+        .prop_map(|(theta, scale, origin)| Similarity::new(theta, scale, origin))
+}
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn classification_is_total_and_deterministic(pts in arb_config()) {
+        let config = Configuration::canonical(pts, tol());
+        let a1 = classify(&config, tol());
+        let a2 = classify(&config, tol());
+        prop_assert_eq!(a1.class, a2.class);
+    }
+
+    #[test]
+    fn classification_is_similarity_invariant(
+        pts in arb_config(),
+        sim in arb_similarity(),
+    ) {
+        let config = Configuration::canonical(pts, tol());
+        let moved = Configuration::canonical(
+            config.points().iter().map(|p| sim.apply(*p)).collect(),
+            tol(),
+        );
+        let c1 = classify(&config, tol()).class;
+        let c2 = classify(&moved, tol()).class;
+        prop_assert_eq!(c1, c2, "{} became {} under similarity", c1, c2);
+    }
+
+    #[test]
+    fn symmetry_is_similarity_invariant(
+        pts in arb_config(),
+        sim in arb_similarity(),
+    ) {
+        let config = Configuration::canonical(pts, tol());
+        let moved = Configuration::canonical(
+            config.points().iter().map(|p| sim.apply(*p)).collect(),
+            tol(),
+        );
+        prop_assert_eq!(
+            rotational_symmetry(&config, tol()),
+            rotational_symmetry(&moved, tol())
+        );
+    }
+
+    #[test]
+    fn non_linear_configurations_have_safe_points(pts in arb_config()) {
+        // Lemma 4.2.
+        let config = Configuration::canonical(pts, tol());
+        if !config.is_linear(tol()) {
+            prop_assert!(!safe_points(&config, tol()).is_empty());
+        }
+    }
+
+    #[test]
+    fn bivalent_and_l2w_have_no_safe_points(pts in arb_config()) {
+        // Lemma 4.3 (on whatever random configs land in B or L2W).
+        let config = Configuration::canonical(pts, tol());
+        let class = classify(&config, tol()).class;
+        if class == Class::Bivalent || class == Class::Collinear2W {
+            prop_assert!(safe_points(&config, tol()).is_empty());
+        }
+    }
+
+    #[test]
+    fn wfg_destination_is_equivariant(
+        pts in arb_config(),
+        sim in arb_similarity(),
+    ) {
+        let config = Configuration::canonical(pts, tol());
+        let alg = WaitFreeGather::default();
+        for me in config.distinct_points() {
+            let d = alg.destination(&Snapshot::new(config.clone(), me));
+            let moved = config.map(|p| sim.apply(p));
+            let dm = alg.destination(&Snapshot::new(moved, sim.apply(me)));
+            // Allow noise proportional to the configuration extent.
+            let extent = config.sec().radius.max(1.0) * sim.scale();
+            prop_assert!(
+                sim.apply(d).dist(dm) <= 1e-4 * extent,
+                "equivariance violated at {}: {} vs {}",
+                me, sim.apply(d), dm
+            );
+        }
+    }
+
+    #[test]
+    fn wfg_moves_everyone_except_at_most_one_location(pts in arb_config()) {
+        // Lemma 5.1 (wait-freeness), on random configurations.
+        let config = Configuration::canonical(pts, tol());
+        let class = classify(&config, tol()).class;
+        if class == Class::Bivalent || config.is_gathered() {
+            return Ok(());
+        }
+        let alg = WaitFreeGather::default();
+        let mut staying = 0usize;
+        for p in config.distinct_points() {
+            let d = alg.destination(&Snapshot::new(config.clone(), p));
+            if d.within(p, tol().abs) {
+                staying += 1;
+            }
+        }
+        prop_assert!(staying <= 1, "{staying} staying locations");
+    }
+
+    #[test]
+    fn wfg_never_targets_outside_the_hull_by_far(pts in arb_config()) {
+        // Sanity: destinations stay within the configuration's geometric
+        // footprint (hull inflated by the side-step slack).
+        let config = Configuration::canonical(pts, tol());
+        let hull = convex_hull(&config.distinct_points());
+        let radius = config.sec().radius;
+        let alg = WaitFreeGather::default();
+        for p in config.distinct_points() {
+            let d = alg.destination(&Snapshot::new(config.clone(), p));
+            let inflated = Tol::new(1e-9, 1e-9, 2.0 * radius.max(1.0));
+            prop_assert!(
+                hull_contains(&hull, d, tol())
+                    || hull.iter().any(|h| d.within(*h, inflated.snap)),
+                "destination {d} far outside the configuration"
+            );
+        }
+    }
+
+    #[test]
+    fn sec_contains_all_points_and_is_snug(pts in arb_config()) {
+        let distinct = Configuration::canonical(pts, tol()).distinct_points();
+        let circle = smallest_enclosing_circle(&distinct);
+        for p in &distinct {
+            prop_assert!(circle.contains(*p, tol()));
+        }
+        // Some point is on (or very near) the boundary.
+        if distinct.len() > 1 {
+            let max_d = distinct
+                .iter()
+                .map(|p| circle.center.dist(*p))
+                .fold(0.0, f64::max);
+            prop_assert!((max_d - circle.radius).abs() <= 1e-6 * circle.radius.max(1.0));
+        }
+    }
+
+    #[test]
+    fn weiszfeld_beats_every_input_point(pts in arb_config()) {
+        let result = weber_point_weiszfeld(&pts, tol());
+        for p in &pts {
+            prop_assert!(
+                result.objective <= weber_objective(*p, &pts) + 1e-6,
+                "Weber objective {} worse than input point {} ({})",
+                result.objective, p, weber_objective(*p, &pts)
+            );
+        }
+    }
+
+    #[test]
+    fn weber_point_is_invariant_under_contraction(pts in arb_config()) {
+        // Lemma 3.2, numerically: move every point halfway to the Weber
+        // point; the Weber point stays (within solver noise).
+        let config = Configuration::canonical(pts, tol());
+        if config.is_linear(tol()) {
+            return Ok(()); // linear Weber sets may be intervals
+        }
+        let w = weber_point_weiszfeld(config.points(), tol()).point;
+        let moved: Vec<Point> = config.points().iter().map(|p| p.lerp(w, 0.5)).collect();
+        let w2 = weber_point_weiszfeld(&moved, tol()).point;
+        let scale = config.sec().radius.max(1.0);
+        prop_assert!(w.dist(w2) <= 1e-3 * scale, "Weber drifted {} → {}", w, w2);
+    }
+
+    #[test]
+    fn hull_contains_every_input_point(pts in arb_config()) {
+        let hull = convex_hull(&pts);
+        for p in &pts {
+            prop_assert!(hull_contains(&hull, *p, tol()));
+        }
+    }
+}

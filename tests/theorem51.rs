@@ -1,0 +1,225 @@
+//! Integration test of the paper's main result (Theorem 5.1): starting
+//! from any initial configuration except the bivalent one, WAIT-FREE-GATHER
+//! gathers all correct robots, for any `f ≤ n − 1` crash faults, under any
+//! fair scheduler and any motion adversary.
+//!
+//! The proof quantifies over all adversaries; the test samples the extreme
+//! points of the adversary space (fully synchronous / serialised / random
+//! activation × full / δ-only / random motion × crash patterns) across all
+//! five gatherable classes and several team sizes.
+
+use gather_config::Class;
+use gather_sim::prelude::*;
+use gather_workloads as workloads;
+use gathering::WaitFreeGather;
+
+const GATHERABLE: [Class; 5] = [
+    Class::Multiple,
+    Class::Collinear1W,
+    Class::Collinear2W,
+    Class::QuasiRegular,
+    Class::Asymmetric,
+];
+
+/// Builds an engine for one scenario; scheduler/motion are chosen by index
+/// so the matrix stays readable at call sites.
+fn run_scenario(
+    class: Class,
+    n: usize,
+    f: usize,
+    scheduler_id: usize,
+    motion_id: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> (RunOutcome, Vec<String>) {
+    let pts = workloads::of_class(class, n, seed);
+    let n_actual = pts.len();
+    let f = f.min(n_actual - 1);
+    let mut builder = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .crash_plan(CrashAtRounds::new(
+            (0..f).map(|i| (i as u64 * 3, i)).collect(),
+        ))
+        .frames(FramePolicy::RandomPerActivation { seed });
+    builder = match scheduler_id {
+        0 => builder.scheduler(EveryRobot),
+        1 => builder.scheduler(RoundRobin::new(2)),
+        2 => builder.scheduler(SequentialSingle::new()),
+        _ => builder.scheduler(RandomSubsets::new(0.4, 4 * n_actual as u64, seed)),
+    };
+    builder = match motion_id {
+        0 => builder.motion(FullMotion),
+        1 => builder.motion(AlwaysDelta),
+        _ => builder.motion(RandomStops::new(0.3, seed)),
+    };
+    let mut engine = builder.delta(0.05).build();
+    let outcome = engine.run(max_rounds);
+    (outcome, engine.violations().to_vec())
+}
+
+#[test]
+fn gathers_from_every_class_fault_free() {
+    for class in GATHERABLE {
+        for seed in [1, 2] {
+            let (outcome, violations) = run_scenario(class, 8, 0, 0, 0, seed, 30_000);
+            assert!(outcome.gathered(), "{class} seed {seed}: {outcome:?}");
+            assert!(violations.is_empty(), "{class}: {violations:?}");
+        }
+    }
+}
+
+#[test]
+fn gathers_with_single_crash() {
+    for class in GATHERABLE {
+        let (outcome, violations) = run_scenario(class, 8, 1, 1, 2, 3, 30_000);
+        assert!(outcome.gathered(), "{class}: {outcome:?}");
+        assert!(violations.is_empty(), "{class}: {violations:?}");
+    }
+}
+
+#[test]
+fn gathers_with_half_crashed() {
+    for class in GATHERABLE {
+        let (outcome, violations) = run_scenario(class, 8, 4, 1, 2, 5, 30_000);
+        assert!(outcome.gathered(), "{class}: {outcome:?}");
+        assert!(violations.is_empty(), "{class}: {violations:?}");
+    }
+}
+
+#[test]
+fn gathers_with_all_but_one_crashed() {
+    for class in GATHERABLE {
+        for seed in [7, 8] {
+            let (outcome, violations) = run_scenario(class, 8, 7, 0, 2, seed, 30_000);
+            assert!(outcome.gathered(), "{class} seed {seed}: {outcome:?}");
+            assert!(violations.is_empty(), "{class}: {violations:?}");
+        }
+    }
+}
+
+#[test]
+fn gathers_under_serialised_scheduler() {
+    for class in GATHERABLE {
+        let (outcome, violations) = run_scenario(class, 6, 2, 2, 0, 11, 60_000);
+        assert!(outcome.gathered(), "{class}: {outcome:?}");
+        assert!(violations.is_empty(), "{class}: {violations:?}");
+    }
+}
+
+#[test]
+fn gathers_under_stingy_motion_adversary() {
+    // δ-only movement: progress is slow but guaranteed.
+    for class in GATHERABLE {
+        let (outcome, violations) = run_scenario(class, 6, 2, 0, 1, 13, 60_000);
+        assert!(outcome.gathered(), "{class}: {outcome:?}");
+        assert!(violations.is_empty(), "{class}: {violations:?}");
+    }
+}
+
+#[test]
+fn gathers_under_random_everything() {
+    for class in GATHERABLE {
+        for seed in [17, 23] {
+            let (outcome, violations) = run_scenario(class, 9, 3, 3, 2, seed, 60_000);
+            assert!(outcome.gathered(), "{class} seed {seed}: {outcome:?}");
+            assert!(violations.is_empty(), "{class}: {violations:?}");
+        }
+    }
+}
+
+#[test]
+fn gathers_various_team_sizes() {
+    for n in [4usize, 5, 12, 16] {
+        for class in GATHERABLE {
+            let (outcome, violations) = run_scenario(class, n, n / 2, 1, 2, 29, 60_000);
+            assert!(outcome.gathered(), "{class} n={n}: {outcome:?}");
+            assert!(violations.is_empty(), "{class} n={n}: {violations:?}");
+        }
+    }
+}
+
+#[test]
+fn gathers_from_generic_workloads() {
+    // Random scatter, clusters, grids — whatever class they land in.
+    let workloads: Vec<(&str, Vec<gather_geom::Point>)> = vec![
+        ("scatter-6", workloads::random_scatter(6, 8.0, 31)),
+        ("scatter-11", workloads::random_scatter(11, 8.0, 37)),
+        ("clusters", workloads::clusters(9, 3, 41)),
+        ("grid", workloads::grid(3, 3, 2.0)),
+        ("ring+center", workloads::ring_with_center(7, 1, 4.0)),
+        ("quasi", workloads::quasi_regular(3, 2, 43)),
+    ];
+    for (name, pts) in workloads {
+        let n = pts.len();
+        let mut engine = Engine::builder(pts)
+            .algorithm(WaitFreeGather::default())
+            .crash_plan(RandomCrashes::new(n / 3, 0.1, 47))
+            .scheduler(RoundRobin::new(3))
+            .motion(RandomStops::new(0.5, 53))
+            .build();
+        let outcome = engine.run(60_000);
+        assert!(outcome.gathered(), "workload {name}: {outcome:?}");
+        assert!(
+            engine.violations().is_empty(),
+            "workload {name}: {:?}",
+            engine.violations()
+        );
+    }
+}
+
+#[test]
+fn gathering_point_hosts_all_live_robots() {
+    let pts = workloads::of_class(Class::Asymmetric, 8, 61);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .crash_plan(CrashAtRounds::new(vec![(2, 0), (4, 1), (6, 2)]))
+        .build();
+    let outcome = engine.run(30_000);
+    let RunOutcome::Gathered { point, .. } = outcome else {
+        panic!("did not gather: {outcome:?}");
+    };
+    for (i, (p, alive)) in engine
+        .positions()
+        .iter()
+        .zip(engine.alive())
+        .enumerate()
+    {
+        if *alive {
+            assert!(p.within(point, 1e-6), "live robot {i} at {p}, not {point}");
+        }
+    }
+}
+
+#[test]
+fn crash_timing_targeting_the_elected_leader() {
+    // Adaptive adversary: whenever possible, crash a robot located at the
+    // current "attractor" (max multiplicity or safe-point winner) — the
+    // paper's algorithm must survive the leader dying repeatedly.
+    use gather_config::{classify, Configuration};
+    use gather_geom::Tol;
+    let pts = workloads::of_class(Class::Asymmetric, 9, 67);
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .crash_plan(TargetedCrashes::new("leader-killer", 6, |round, config: &Configuration, alive: &[bool]| {
+            if round % 4 != 0 {
+                return Vec::new();
+            }
+            let analysis = classify(config, Tol::default());
+            let Some(target) = analysis.target else {
+                return Vec::new();
+            };
+            config
+                .points()
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| alive[*i] && p.within(target, 1e-6))
+                .map(|(i, _)| i)
+                .take(1)
+                .collect()
+        }))
+        .scheduler(RoundRobin::new(2))
+        .build();
+    let outcome = engine.run(60_000);
+    assert!(outcome.gathered(), "{outcome:?}");
+    assert!(engine.violations().is_empty(), "{:?}", engine.violations());
+}
