@@ -43,9 +43,13 @@ fn bench_views(c: &mut Criterion) {
     for n in [8usize, 32, 128] {
         let config = Configuration::canonical(workloads::random_scatter(n, 8.0, 5), tol());
         let p = config.distinct_points()[0];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(config, p), |b, (config, p)| {
-            b.iter(|| view_of(black_box(config), *p, tol()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(config, p),
+            |b, (config, p)| {
+                b.iter(|| view_of(black_box(config), *p, tol()));
+            },
+        );
     }
     group.finish();
 }
@@ -86,15 +90,13 @@ fn bench_qr_detection(c: &mut Criterion) {
     }
     // The Lemma 3.4 occupied-centre test in isolation.
     for n in [8usize, 32] {
-        let config =
-            Configuration::canonical(workloads::ring_with_center(n - 1, 1, 4.0), tol());
+        let config = Configuration::canonical(workloads::ring_with_center(n - 1, 1, 4.0), tol());
         group.bench_with_input(BenchmarkId::new("lemma34", n), &config, |b, config| {
             b.iter(|| quasi_regular_with_center(black_box(config), Point::ORIGIN, tol()));
         });
     }
     group.finish();
 }
-
 
 /// Criterion configuration tuned so the whole suite runs in minutes: the
 /// measured functions are deterministic and microsecond-scale, so small
@@ -106,5 +108,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_classify, bench_views, bench_symmetry, bench_string_of_angles, bench_qr_detection}
+criterion_group! {name = benches; config = quick(); targets = bench_classify, bench_views, bench_symmetry, bench_string_of_angles, bench_qr_detection}
 criterion_main!(benches);

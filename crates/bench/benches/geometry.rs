@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gather_geom::{
-    convex_hull, smallest_enclosing_circle, weber::median_interval_on_line,
-    weber_point_weiszfeld, Tol,
+    convex_hull, smallest_enclosing_circle, weber::median_interval_on_line, weber_point_weiszfeld,
+    Tol,
 };
 use gather_workloads as workloads;
 use std::hint::black_box;
@@ -61,7 +61,6 @@ fn bench_median(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Criterion configuration tuned so the whole suite runs in minutes: the
 /// measured functions are deterministic and microsecond-scale, so small
 /// samples already give stable medians.
@@ -72,5 +71,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_sec, bench_hull, bench_weiszfeld, bench_median}
+criterion_group! {name = benches; config = quick(); targets = bench_sec, bench_hull, bench_weiszfeld, bench_median}
 criterion_main!(benches);

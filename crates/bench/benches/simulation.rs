@@ -59,28 +59,23 @@ fn bench_invariant_audit_overhead(c: &mut Criterion) {
     // Ablation: cost of the per-round Lemma 5.1 monitor.
     let mut group = c.benchmark_group("audit_overhead");
     for audit in [false, true] {
-        group.bench_with_input(
-            BenchmarkId::new("round_n16", audit),
-            &audit,
-            |b, &audit| {
-                b.iter_batched(
-                    || {
-                        Engine::builder(workloads::random_scatter(16, 8.0, 7))
-                            .algorithm(factory::algorithm("wait-free-gather"))
-                            .check_invariants(audit)
-                            .build()
-                    },
-                    |mut engine| {
-                        black_box(engine.step());
-                    },
-                    criterion::BatchSize::SmallInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("round_n16", audit), &audit, |b, &audit| {
+            b.iter_batched(
+                || {
+                    Engine::builder(workloads::random_scatter(16, 8.0, 7))
+                        .algorithm(factory::algorithm("wait-free-gather"))
+                        .check_invariants(audit)
+                        .build()
+                },
+                |mut engine| {
+                    black_box(engine.step());
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
     }
     group.finish();
 }
-
 
 /// Criterion configuration tuned so the whole suite runs in minutes: the
 /// measured functions are deterministic and microsecond-scale, so small
@@ -92,5 +87,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
 }
 
-criterion_group!{name = benches; config = quick(); targets = bench_single_round, bench_full_gather, bench_invariant_audit_overhead}
+criterion_group! {name = benches; config = quick(); targets = bench_single_round, bench_full_gather, bench_invariant_audit_overhead}
 criterion_main!(benches);

@@ -42,7 +42,11 @@ fn blocked_workload(seed: u64) -> Vec<Point> {
     let base = (seed as f64) * 0.37;
     for (k, ray) in [0.0_f64, 0.12, 0.24, 2.1].iter().enumerate() {
         let theta = base + ray;
-        let radii: &[f64] = if k % 2 == 0 { &[2.0, 4.0, 6.0] } else { &[3.0, 5.0] };
+        let radii: &[f64] = if k % 2 == 0 {
+            &[2.0, 4.0, 6.0]
+        } else {
+            &[3.0, 5.0]
+        };
         for r in radii {
             pts.push(Point::new(r * theta.cos(), r * theta.sin()));
         }
@@ -85,8 +89,8 @@ fn run_m_with_fraction(fraction: f64, seed: u64) -> (bool, u64, usize) {
                 if moved[i].intersects(&moved[j], tol) {
                     // Intersections at the target itself are the intended
                     // meeting point; anything else is the hazard.
-                    let shared_at_target = moved[i].b.within(target, 1e-6)
-                        && moved[j].b.within(target, 1e-6);
+                    let shared_at_target =
+                        moved[i].b.within(target, 1e-6) && moved[j].b.within(target, 1e-6);
                     if !shared_at_target {
                         crossings += 1;
                     }
@@ -100,7 +104,11 @@ fn run_m_with_fraction(fraction: f64, seed: u64) -> (bool, u64, usize) {
 
 fn sidestep_sweep(args: &Args) {
     let mut table = Table::new(&[
-        "fraction", "trials", "gathered", "rounds(mean)", "path crossings",
+        "fraction",
+        "trials",
+        "gathered",
+        "rounds(mean)",
+        "path crossings",
     ]);
     for fraction in [0.1, 1.0 / 3.0, 0.5, 0.9, 0.999] {
         let mut ok = 0;
@@ -181,11 +189,24 @@ fn candidate_sweep(args: &Args) {
     // Which candidate family detects which QR sub-family?
     let tol = Tol::default();
     let mut table = Table::new(&["family", "full detector", "occupied-only"]);
-    let families: [(&str, Box<dyn Fn(u64) -> Vec<Point>>); 4] = [
-        ("regular-polygon", Box::new(|s| workloads::regular_polygon(8, 3.0, s as f64 * 0.2))),
-        ("biangular", Box::new(|_| workloads::biangular(4, 0.5, 2.0, 4.0))),
-        ("ring+center", Box::new(|_| workloads::ring_with_center(7, 1, 3.0))),
-        ("radially-converged", Box::new(|s| workloads::quasi_regular(4, 2, s))),
+    type Family = Box<dyn Fn(u64) -> Vec<Point>>;
+    let families: [(&str, Family); 4] = [
+        (
+            "regular-polygon",
+            Box::new(|s| workloads::regular_polygon(8, 3.0, s as f64 * 0.2)),
+        ),
+        (
+            "biangular",
+            Box::new(|_| workloads::biangular(4, 0.5, 2.0, 4.0)),
+        ),
+        (
+            "ring+center",
+            Box::new(|_| workloads::ring_with_center(7, 1, 3.0)),
+        ),
+        (
+            "radially-converged",
+            Box::new(|s| workloads::quasi_regular(4, 2, s)),
+        ),
     ];
     for (name, generate) in &families {
         let mut full = 0usize;

@@ -45,7 +45,13 @@ fn main() {
     let metrics = parallel_map(scenarios, |s| s.run());
 
     let mut table = Table::new(&[
-        "class", "n", "f", "gathered", "rounds(mean)", "rounds(std)", "travel(mean)",
+        "class",
+        "n",
+        "f",
+        "gathered",
+        "rounds(mean)",
+        "rounds(std)",
+        "travel(mean)",
     ]);
     let mut idx = 0;
     for &class in &classes {
@@ -59,7 +65,11 @@ fn main() {
                 table.push(vec![
                     class.short_name().into(),
                     n.to_string(),
-                    if all_but_one { (n - 1).to_string() } else { "0".into() },
+                    if all_but_one {
+                        (n - 1).to_string()
+                    } else {
+                        "0".into()
+                    },
                     pct(ok, args.trials),
                     f(mean(&rounds), 1),
                     f(stddev(&rounds), 1),

@@ -39,7 +39,12 @@ fn main() {
     let metrics = parallel_map(scenarios, |s| s.run());
 
     let mut table = Table::new(&[
-        "motion", "delta", "gathered", "rounds(mean)", "rounds×delta", "travel(mean)",
+        "motion",
+        "delta",
+        "gathered",
+        "rounds(mean)",
+        "rounds×delta",
+        "travel(mean)",
     ]);
     let mut idx = 0;
     for &motion in &motions {

@@ -87,7 +87,12 @@ fn main() {
             engine.step();
         }
     }
-    println!("\nφ-monotonicity audit: {runs} asymmetric runs, {violations} violations (expected 0)");
+    println!(
+        "\nφ-monotonicity audit: {runs} asymmetric runs, {violations} violations (expected 0)"
+    );
     assert_eq!(violations, 0);
-    println!("wrote {}", args.out_dir.join("f4_potential_series.csv").display());
+    println!(
+        "wrote {}",
+        args.out_dir.join("f4_potential_series.csv").display()
+    );
 }

@@ -19,9 +19,7 @@ use gathering::WaitFreeGather;
 
 fn crash_plan(strategy: &str, fbudget: usize, seed: u64) -> Box<dyn CrashPlan> {
     match strategy {
-        "at-start" => Box::new(CrashAtRounds::new(
-            (0..fbudget).map(|i| (0, i)).collect(),
-        )),
+        "at-start" => Box::new(CrashAtRounds::new((0..fbudget).map(|i| (0, i)).collect())),
         "random" => Box::new(RandomCrashes::new(fbudget, 0.05, seed)),
         "leader" => Box::new(TargetedCrashes::new(
             "leader",
@@ -60,8 +58,7 @@ fn crash_plan(strategy: &str, fbudget: usize, seed: u64) -> Box<dyn CrashPlan> {
                     .iter()
                     .enumerate()
                     .filter(|(i, p)| {
-                        alive[*i]
-                            && (p.within(frame.lo, tol.snap) || p.within(frame.hi, tol.snap))
+                        alive[*i] && (p.within(frame.lo, tol.snap) || p.within(frame.hi, tol.snap))
                     })
                     .map(|(i, _)| i)
                     .collect()
@@ -84,7 +81,12 @@ fn main() {
     let fbudget = 4usize;
 
     let mut table = Table::new(&[
-        "strategy", "class", "trials", "gathered", "rounds(mean)", "crashed(mean)",
+        "strategy",
+        "class",
+        "trials",
+        "gathered",
+        "rounds(mean)",
+        "crashed(mean)",
     ]);
     for &strategy in &strategies {
         for &class in &classes {

@@ -28,7 +28,11 @@ use gathering::WaitFreeGather;
 
 fn main() {
     let args = Args::parse();
-    let delays: &[u64] = if args.quick { &[0, 4] } else { &[0, 1, 2, 4, 8, 16] };
+    let delays: &[u64] = if args.quick {
+        &[0, 4]
+    } else {
+        &[0, 1, 2, 4, 8, 16]
+    };
     let classes = [Class::Multiple, Class::QuasiRegular, Class::Asymmetric];
     let n = 8usize;
 

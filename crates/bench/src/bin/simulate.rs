@@ -58,7 +58,10 @@ fn parse() -> Options {
     let mut o = Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value\n{USAGE}"));
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value\n{USAGE}"))
+        };
         match a.as_str() {
             "--workload" => o.workload = value("--workload"),
             "--n" => o.n = value("--n").parse().expect("--n integer"),
@@ -112,7 +115,11 @@ fn main() {
         .algorithm(factory::algorithm(&o.algorithm))
         .scheduler(factory::scheduler(&o.scheduler, n, o.seed))
         .motion(factory::motion(&o.motion, o.seed + 1))
-        .crash_plan(RandomCrashes::new(o.crashes.min(n.saturating_sub(1)), 0.05, o.seed + 2))
+        .crash_plan(RandomCrashes::new(
+            o.crashes.min(n.saturating_sub(1)),
+            0.05,
+            o.seed + 2,
+        ))
         .delta(o.delta)
         .record_positions(o.svg.is_some())
         .check_invariants(o.algorithm == "wait-free-gather")
@@ -126,7 +133,9 @@ fn main() {
             };
         }
         if engine.round() >= o.rounds {
-            break RunOutcome::RoundLimit { rounds: engine.round() };
+            break RunOutcome::RoundLimit {
+                rounds: engine.round(),
+            };
         }
         let record = engine.step();
         if o.verbose {

@@ -34,8 +34,7 @@ fn main() {
         for &faults in &fault_levels {
             for &sched in schedulers {
                 for trial in 0..args.trials as u64 {
-                    let mut s =
-                        Scenario::new(workloads::of_class(class, n, trial), trial);
+                    let mut s = Scenario::new(workloads::of_class(class, n, trial), trial);
                     s.scheduler = sched;
                     s.motion = "random";
                     s.faults = faults;
@@ -49,7 +48,14 @@ fn main() {
     let metrics = parallel_map(scenarios, |(_, _, _, s)| s.run());
 
     let mut table = Table::new(&[
-        "class", "n", "f", "scheduler", "trials", "gathered", "rounds(mean)", "travel(mean)",
+        "class",
+        "n",
+        "f",
+        "scheduler",
+        "trials",
+        "gathered",
+        "rounds(mean)",
+        "travel(mean)",
     ]);
     let mut idx = 0;
     for &class in &classes {

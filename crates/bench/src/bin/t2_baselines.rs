@@ -52,7 +52,12 @@ fn main() {
     let metrics = parallel_map(scenarios, |s| s.run());
 
     let mut table = Table::new(&[
-        "algorithm", "workload", "f", "gathered", "rounds(median)", "rounds(mean)",
+        "algorithm",
+        "workload",
+        "f",
+        "gathered",
+        "rounds(median)",
+        "rounds(mean)",
     ]);
     let mut idx = 0;
     for &alg in &ALGORITHMS {

@@ -25,7 +25,13 @@ fn main() {
     let args = Args::parse();
     let n = 8usize;
     let mut table = Table::new(&[
-        "algorithm", "start", "rounds", "still B", "gathered", "sep start", "sep end",
+        "algorithm",
+        "start",
+        "rounds",
+        "still B",
+        "gathered",
+        "sep start",
+        "sep end",
     ]);
 
     for &alg in &ALGORITHMS {
@@ -34,10 +40,17 @@ fn main() {
         let half = n / 2;
         let mut engine = Engine::builder(pts)
             .algorithm(algorithm(alg))
-            .scheduler(FnScheduler::new("serialise-groups", move |round, alive: &[bool]| {
-                let range = if round % 2 == 0 { 0..half } else { half..alive.len() };
-                range.filter(|i| alive[*i]).collect()
-            }))
+            .scheduler(FnScheduler::new(
+                "serialise-groups",
+                move |round, alive: &[bool]| {
+                    let range = if round % 2 == 0 {
+                        0..half
+                    } else {
+                        half..alive.len()
+                    };
+                    range.filter(|i| alive[*i]).collect()
+                },
+            ))
             .frames(FramePolicy::GlobalFrame)
             .check_invariants(false)
             .build();
@@ -73,10 +86,13 @@ fn main() {
         pts.extend(vec![b; 3]);
         let mut engine = Engine::builder(pts)
             .algorithm(algorithm(alg))
-            .scheduler(FnScheduler::new("serialise-groups", move |round, alive: &[bool]| {
-                let range = if round % 2 == 0 { 0..5 } else { 5..alive.len() };
-                range.filter(|i| alive[*i]).collect()
-            }))
+            .scheduler(FnScheduler::new(
+                "serialise-groups",
+                move |round, alive: &[bool]| {
+                    let range = if round % 2 == 0 { 0..5 } else { 5..alive.len() };
+                    range.filter(|i| alive[*i]).collect()
+                },
+            ))
             .frames(FramePolicy::GlobalFrame)
             .check_invariants(false)
             .build();

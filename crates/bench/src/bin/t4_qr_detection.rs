@@ -73,7 +73,13 @@ fn main() {
     let tol = Tol::default();
 
     let mut table = Table::new(&[
-        "family", "n", "trials", "detected", "correct", "weber err(mean)", "latency µs(mean)",
+        "family",
+        "n",
+        "trials",
+        "detected",
+        "correct",
+        "weber err(mean)",
+        "latency µs(mean)",
     ]);
 
     for fam in &families {
@@ -91,11 +97,7 @@ fn main() {
             let detected = results.iter().filter(|(c, _)| c.is_some()).count();
             let correct = results
                 .iter()
-                .filter(|(c, _)| match (c, fam.expect_qr) {
-                    (Some(_), true) => true,
-                    (None, false) => true,
-                    _ => false,
-                })
+                .filter(|(c, _)| c.is_some() == fam.expect_qr)
                 .count();
             let errors: Vec<f64> = results
                 .iter()

@@ -30,7 +30,12 @@ fn main() {
     let tol = Tol::default();
 
     let mut table = Table::new(&[
-        "algorithm", "class", "configs", "max staying", "mean staying", "wait-free",
+        "algorithm",
+        "class",
+        "configs",
+        "max staying",
+        "mean staying",
+        "wait-free",
     ]);
 
     for &alg_name in &ALGORITHMS {

@@ -56,7 +56,8 @@ fn main() {
         let samples = trials * 10;
         let mut hist: BTreeMap<Class, usize> = BTreeMap::new();
         for seed in 0..samples as u64 {
-            let pts = workloads::random_scatter(n, 8.0, seed.wrapping_mul(31).wrapping_add(n as u64));
+            let pts =
+                workloads::random_scatter(n, 8.0, seed.wrapping_mul(31).wrapping_add(n as u64));
             let class = classify(&Configuration::canonical(pts, tol), tol).class;
             *hist.entry(class).or_insert(0) += 1;
         }

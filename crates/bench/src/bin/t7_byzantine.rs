@@ -15,9 +15,9 @@
 //! the scheduler*, which is outside this policy family (see
 //! EXPERIMENTS.md §T7 for the honest discussion).
 
+use gather_bench::runner::mean;
 use gather_bench::table::{f, pct, Table};
 use gather_bench::Args;
-use gather_bench::runner::mean;
 use gather_sim::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
 use gather_sim::prelude::*;
 use gather_workloads as workloads;
@@ -36,11 +36,20 @@ fn policy(name: &str, seed: u64) -> Box<dyn ByzantinePolicy> {
 fn main() {
     let args = Args::parse();
     let policies = ["statue", "wanderer", "fugitive", "stack-stalker"];
-    let sizes: &[usize] = if args.quick { &[4, 8] } else { &[3, 4, 6, 8, 12, 16] };
+    let sizes: &[usize] = if args.quick {
+        &[4, 8]
+    } else {
+        &[3, 4, 6, 8, 12, 16]
+    };
     let byz_counts = [1usize, 2];
 
     let mut table = Table::new(&[
-        "policy", "n", "byzantine", "trials", "gathered", "rounds(mean)",
+        "policy",
+        "n",
+        "byzantine",
+        "trials",
+        "gathered",
+        "rounds(mean)",
     ]);
     for &pol in &policies {
         for &n in sizes {

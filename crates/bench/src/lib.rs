@@ -12,7 +12,7 @@
 //!   `--quick`);
 //! * [`factory`] — algorithms/schedulers/motion adversaries by name, so
 //!   sweeps are data-driven;
-//! * [`runner`] — single-scenario execution and a crossbeam-based parallel
+//! * [`runner`] — single-scenario execution and a scoped-std-thread parallel
 //!   map for embarrassingly parallel trial matrices;
 //! * [`table`] — aligned text tables + CSV output.
 
@@ -66,9 +66,9 @@ impl Args {
                     out.quick = true;
                     out.trials = out.trials.min(3);
                 }
-                other => panic!(
-                    "unknown argument {other}; usage: [--trials N] [--out DIR] [--quick]"
-                ),
+                other => {
+                    panic!("unknown argument {other}; usage: [--trials N] [--out DIR] [--quick]")
+                }
             }
         }
         out

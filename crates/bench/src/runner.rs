@@ -78,38 +78,38 @@ impl Scenario {
     }
 }
 
-/// Runs `f` over every item on a small thread pool (crossbeam channels as
-/// the work queue) and returns results in input order.
+/// Runs `f` over every item on a small thread pool and returns results in
+/// input order. Pure `std`: scoped threads pull work by bumping a shared
+/// atomic index and deliver `(index, result)` over an `mpsc` channel, so no
+/// external channel crate is needed (hermetic-build policy, DESIGN.md §8).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let n = items.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(items.len().max(1));
-    let (tx_work, rx_work) = crossbeam::channel::unbounded::<(usize, &T)>();
-    let (tx_res, rx_res) = crossbeam::channel::unbounded::<(usize, R)>();
-    for pair in items.iter().enumerate() {
-        tx_work.send(pair).expect("queue open");
-    }
-    drop(tx_work);
-
-    let n = items.len();
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let (tx_res, rx_res) = mpsc::channel::<(usize, R)>();
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx_work.clone();
             let tx = tx_res.clone();
             let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, item)) = rx.recv() {
-                    let r = f(item);
-                    if tx.send((i, r)).is_err() {
-                        return;
-                    }
+            let next = &next;
+            let items = &items;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { return };
+                if tx.send((i, f(item))).is_err() {
+                    return;
                 }
             });
         }

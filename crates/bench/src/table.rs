@@ -100,7 +100,11 @@ impl Table {
         writeln!(
             f,
             "{}",
-            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(

@@ -1,0 +1,310 @@
+//! The shared per-round analysis layer.
+//!
+//! In the ATOM/SSYNC model every robot activated in a round LOOKs at the
+//! *same* start-of-round configuration, and the classification of Section IV
+//! (class, Weber target, symmetry) is a pure function of that configuration.
+//! Running [`classify`] once per robot — as a naive reading of the per-robot
+//! COMPUTE phase suggests — therefore recomputes an identical result `n`
+//! times per round, with the Weiszfeld iteration inside quasi-regularity
+//! detection dominating the bill.
+//!
+//! [`RoundAnalysis`] packages the per-round result computed **once**;
+//! [`AnalysisCache`] memoizes it across consecutive rounds in which the
+//! canonical configuration did not change (common under partial activation,
+//! stingy motion adversaries, and the audit-then-step pattern of the
+//! engine). The memo key is a 64-bit fingerprint of the exact point
+//! multiset used as a fast filter, always confirmed by an exact point
+//! comparison, so a fingerprint collision can never smuggle in a stale
+//! analysis.
+//!
+//! The engine threads a `RoundAnalysis` through each robot's snapshot after
+//! transforming the target into the robot's local frame; class, `n`,
+//! symmetry and `qreg` are invariant under the orientation-preserving
+//! similarities that relate robot frames, so they are shared verbatim. The
+//! equivalence of this shared path with a per-robot fresh classification is
+//! proven by the equivariance tests in the umbrella crate.
+
+use crate::classify::{classify, Analysis, Class};
+use crate::configuration::Configuration;
+use crate::symmetry::rotational_symmetry;
+use gather_geom::{Point, Tol};
+use gather_prng::mix64;
+
+/// Everything the round needs to know about one configuration, computed
+/// once: the Section-IV classification (with its movement target) plus the
+/// rotational symmetry `sym(C)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundAnalysis {
+    /// The classification (class, `n`, target, `qreg`).
+    pub analysis: Analysis,
+    /// Rotational symmetry `sym(C)` (Definition 3), when the class pins it
+    /// or the class makes it load-bearing; see [`RoundAnalysis::compute`]
+    /// for the policy and [`RoundAnalysis::symmetry`] for on-demand
+    /// computation of the `None` cases.
+    pub sym: Option<usize>,
+    /// Fingerprint of the analysed point multiset (see [`fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl RoundAnalysis {
+    /// Analyses `config` from scratch (one [`classify`] call plus the
+    /// symmetry policy below).
+    ///
+    /// `sym(C)` is *derived* from the classification wherever the
+    /// partition pins it, because the view-based computation costs as much
+    /// as several classifications and no movement rule consults it:
+    ///
+    /// * class `A` is by construction the `sym(C) = 1` remainder of
+    ///   Section IV.A (a symmetric configuration would have been caught by
+    ///   the quasi-regularity detector via its SEC centre);
+    /// * a gathered configuration trivially has `sym = 1`;
+    /// * class `B` always has `sym = 2` (the π-rotation about the midpoint
+    ///   exchanges the two equally-loaded points, so their views agree and
+    ///   the two locations form one equivalence class);
+    /// * class `QR` — the one class whose structure *is* its symmetry —
+    ///   pays for the full computation;
+    /// * `M`, `L1W`, `L2W` leave it `None`: nothing in the round consumes
+    ///   it, and callers that do want it use [`RoundAnalysis::symmetry`].
+    pub fn compute(config: &Configuration, tol: Tol) -> Self {
+        let analysis = classify(config, tol);
+        let sym = match analysis.class {
+            Class::Asymmetric => Some(1),
+            Class::Bivalent => Some(2),
+            Class::QuasiRegular => Some(rotational_symmetry(config, tol)),
+            Class::Multiple if config.distinct_points().len() == 1 => Some(1),
+            _ => None,
+        };
+        RoundAnalysis {
+            analysis,
+            sym,
+            fingerprint: fingerprint(config.points()),
+        }
+    }
+
+    /// The rotational symmetry `sym(C)`: the cached value when
+    /// [`RoundAnalysis::compute`] pinned it, the full view-based
+    /// computation otherwise. `config` must be the configuration this
+    /// analysis was computed from.
+    pub fn symmetry(&self, config: &Configuration, tol: Tol) -> usize {
+        self.sym.unwrap_or_else(|| rotational_symmetry(config, tol))
+    }
+
+    /// The analysis with its target mapped through `f` — the orientation-
+    /// preserving frame transform into a robot's local coordinates. Class,
+    /// `n`, `sym` and `qreg` are similarity-invariant and carried verbatim.
+    pub fn map_target(self, f: impl Fn(Point) -> Point) -> Self {
+        RoundAnalysis {
+            analysis: Analysis {
+                target: self.analysis.target.map(f),
+                ..self.analysis
+            },
+            ..self
+        }
+    }
+}
+
+/// Order-sensitive 64-bit fingerprint of a point sequence (configurations
+/// are canonical, so equal multisets have equal orderings). Built by mixing
+/// each coordinate's bit pattern with SplitMix64's finalizer; used only as
+/// a fast *filter* — the cache always confirms with an exact comparison.
+pub fn fingerprint(points: &[Point]) -> u64 {
+    let mut h = mix64(points.len() as u64);
+    for p in points {
+        h = mix64(h ^ p.x.to_bits());
+        h = mix64(h ^ p.y.to_bits());
+    }
+    h
+}
+
+/// Memoizes the [`RoundAnalysis`] of the most recent configuration.
+///
+/// One entry suffices: the engine analyses the current configuration at the
+/// start of each round and (with audits on) the post-move configuration at
+/// the end, which is exactly the next round's start-of-round configuration —
+/// so in steady state each distinct configuration is analysed once.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    entry: Option<Entry>,
+    computed: u64,
+    hits: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    fingerprint: u64,
+    points: Vec<Point>,
+    analysis: RoundAnalysis,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// The analysis of `config`: served from the memo when the point
+    /// sequence is identical to the previous call's, recomputed (and
+    /// memoized) otherwise.
+    pub fn analyse(&mut self, config: &Configuration, tol: Tol) -> RoundAnalysis {
+        let fp = fingerprint(config.points());
+        if let Some(e) = &self.entry {
+            // The fingerprint is a filter; equality of the actual points is
+            // what authorises reuse (a collision must not corrupt a run).
+            if e.fingerprint == fp && e.points == config.points() {
+                self.hits += 1;
+                return e.analysis;
+            }
+        }
+        let analysis = RoundAnalysis::compute(config, tol);
+        self.computed += 1;
+        self.entry = Some(Entry {
+            fingerprint: fp,
+            points: config.points().to_vec(),
+            analysis,
+        });
+        analysis
+    }
+
+    /// Number of full analyses computed (cache misses).
+    pub fn computed(&self) -> u64 {
+        self.computed
+    }
+
+    /// Number of calls served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Class;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn square() -> Configuration {
+        Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn compute_matches_fresh_classify() {
+        let c = square();
+        let ra = RoundAnalysis::compute(&c, t());
+        assert_eq!(ra.analysis, classify(&c, t()));
+        // QR is the class that pays for the full symmetry computation.
+        assert_eq!(ra.sym, Some(rotational_symmetry(&c, t())));
+        assert_eq!(ra.symmetry(&c, t()), rotational_symmetry(&c, t()));
+    }
+
+    #[test]
+    fn deferred_symmetry_is_computed_on_demand() {
+        // Class M with a symmetric support: sym is not precomputed (no
+        // rule consumes it) but the accessor returns the true value.
+        let heavy = Point::new(0.0, 0.0);
+        let mut pts = square().points().to_vec();
+        pts.push(heavy);
+        pts.push(heavy);
+        let c = Configuration::new(pts);
+        let ra = RoundAnalysis::compute(&c, t());
+        assert_eq!(ra.analysis.class, Class::Multiple);
+        assert_eq!(ra.sym, None);
+        assert_eq!(ra.symmetry(&c, t()), rotational_symmetry(&c, t()));
+    }
+
+    #[test]
+    fn bivalent_symmetry_is_two() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(3.0, 1.0);
+        let c = Configuration::new(vec![p, p, q, q]);
+        let ra = RoundAnalysis::compute(&c, t());
+        assert_eq!(ra.analysis.class, Class::Bivalent);
+        assert_eq!(ra.sym, Some(2));
+        assert_eq!(rotational_symmetry(&c, t()), 2);
+    }
+
+    #[test]
+    fn asymmetric_short_circuit_agrees_with_full_symmetry() {
+        // The partition argument behind the class-A fast path, checked
+        // against the view-based computation it replaces.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(1.1, 2.3),
+            Point::new(-0.7, 1.2),
+            Point::new(2.2, -1.4),
+        ];
+        let c = Configuration::new(pts);
+        let ra = RoundAnalysis::compute(&c, t());
+        assert_eq!(ra.analysis.class, Class::Asymmetric);
+        assert_eq!(ra.sym, Some(1));
+        assert_eq!(rotational_symmetry(&c, t()), 1);
+    }
+
+    #[test]
+    fn gathered_configuration_has_symmetry_one() {
+        let c = Configuration::new(vec![Point::new(2.0, -1.0); 4]);
+        let ra = RoundAnalysis::compute(&c, t());
+        assert_eq!(ra.sym, Some(1));
+    }
+
+    #[test]
+    fn repeated_configuration_hits_the_memo() {
+        let c = square();
+        let mut cache = AnalysisCache::new();
+        let a1 = cache.analyse(&c, t());
+        let a2 = cache.analyse(&c, t());
+        assert_eq!(a1, a2);
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn changed_configuration_recomputes() {
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyse(&square(), t());
+        let moved = square().map(|p| Point::new(p.x + 1.0, p.y));
+        let b = cache.analyse(&moved, t());
+        assert_eq!(cache.computed(), 2);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(a.analysis.class, b.analysis.class);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_value_sensitive() {
+        let a = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let b = [Point::new(1.0, 0.0), Point::new(0.0, 0.0)];
+        let c = [Point::new(0.0, 0.0), Point::new(1.0, 1e-12)];
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_eq!(fingerprint(&a), fingerprint(a.as_ref()));
+    }
+
+    #[test]
+    fn map_target_transforms_only_the_target() {
+        let c = square();
+        let ra = RoundAnalysis::compute(&c, t());
+        assert_eq!(ra.analysis.class, Class::QuasiRegular);
+        let shifted = ra.map_target(|p| Point::new(p.x + 5.0, p.y));
+        assert_eq!(shifted.analysis.class, ra.analysis.class);
+        assert_eq!(shifted.sym, ra.sym);
+        let t0 = ra.analysis.target.unwrap();
+        assert_eq!(shifted.analysis.target, Some(Point::new(t0.x + 5.0, t0.y)));
+    }
+
+    #[test]
+    fn counter_is_monotone_across_classify_calls() {
+        let before = crate::classify::classify_invocations();
+        let _ = classify(&square(), t());
+        let _ = classify(&square(), t());
+        assert_eq!(crate::classify::classify_invocations(), before + 2);
+    }
+}

@@ -93,11 +93,11 @@ impl StringOfAngles {
             return 1;
         }
         for block in 1..=n {
-            if n % block != 0 {
+            if !n.is_multiple_of(block) {
                 continue;
             }
-            let tiles = (block..n)
-                .all(|i| (self.entries[i] - self.entries[i - block]).abs() <= ANGLE_EPS);
+            let tiles =
+                (block..n).all(|i| (self.entries[i] - self.entries[i - block]).abs() <= ANGLE_EPS);
             if tiles {
                 return n / block;
             }
@@ -191,9 +191,7 @@ pub fn string_of_angles(config: &Configuration, center: Point, tol: Tol) -> Stri
     for i in 0..d {
         let (angle, count) = buckets[i];
         // Zero angles between co-directional robots.
-        for _ in 1..count {
-            entries.push(0.0);
-        }
+        entries.extend(std::iter::repeat_n(0.0, count - 1));
         // Clockwise gap to the next direction. Buckets are sorted by CCW
         // angle, so the clockwise successor direction is the *previous*
         // bucket; traversing buckets in ascending order while recording the
@@ -226,7 +224,7 @@ pub fn string_periodicity<T: PartialEq>(s: &[T]) -> usize {
     // Try block lengths ascending: the first block length that tiles the
     // string gives the largest k = n / block.
     for block in 1..=n {
-        if n % block != 0 {
+        if !n.is_multiple_of(block) {
             continue;
         }
         let tiles = (block..n).all(|i| s[i] == s[i - block]);

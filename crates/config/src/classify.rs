@@ -74,7 +74,10 @@ impl std::fmt::Display for Class {
 
 /// The result of classifying a configuration, with the artefacts the
 /// gathering algorithm needs for the class.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy` so a shared per-round analysis can be handed to every robot's
+/// snapshot without allocation (see [`crate::analysis`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Analysis {
     /// The configuration's class.
     pub class: Class,
@@ -82,10 +85,25 @@ pub struct Analysis {
     pub n: usize,
     /// The unique movement target, when the class defines one:
     /// the max-multiplicity point for `M`, the Weber point for `L1W`,
-    /// the centre of quasi-regularity for `QR`.
+    /// the centre of quasi-regularity for `QR`, the elected safe point
+    /// for `A`. `None` for `B` and `L2W`, whose rules are per-robot.
     pub target: Option<Point>,
     /// For `QR`: the quasi-regularity `qreg(C)`.
     pub qreg: Option<usize>,
+}
+
+thread_local! {
+    /// Number of [`classify`] invocations on this thread.
+    static CLASSIFY_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total number of [`classify`] invocations on the current thread since it
+/// started. Monotone; callers diff two readings to count the classifications
+/// a code region performed. Feeds the engine's per-round metrics and the
+/// "classify at most twice per round" acceptance test of the shared-analysis
+/// pipeline.
+pub fn classify_invocations() -> u64 {
+    CLASSIFY_CALLS.with(|c| c.get())
 }
 
 /// Classifies `config` into the paper's partition (Section IV.A) and
@@ -110,6 +128,7 @@ pub struct Analysis {
 /// assert_eq!(classify(&bivalent, Tol::default()).class, Class::Bivalent);
 /// ```
 pub fn classify(config: &Configuration, tol: Tol) -> Analysis {
+    CLASSIFY_CALLS.with(|c| c.set(c.get() + 1));
     assert!(!config.is_empty(), "cannot classify an empty configuration");
     let n = config.len();
     let distinct = config.distinct();
@@ -180,11 +199,15 @@ pub fn classify(config: &Configuration, tol: Tol) -> Analysis {
 
     // A: everything else. By the partition argument of Section IV.A any
     // remaining configuration has sym(C) = 1 (a symmetric one would have
-    // been caught by the QR detector via its SEC centre).
+    // been caught by the QR detector via its SEC centre). The class-A
+    // movement target — the elected safe point of Figure 2 line 17 — is a
+    // pure function of the configuration (every robot elects the same
+    // point), so it is part of the analysis; non-linear configurations
+    // always yield one (Lemma 4.2).
     Analysis {
         class: Class::Asymmetric,
         n,
-        target: None,
+        target: crate::safe::elected_point(config, tol),
         qreg: None,
     }
 }
@@ -344,10 +367,7 @@ mod tests {
         // each.
         let reps: Vec<(Configuration, Class)> = vec![
             (
-                Configuration::new(vec![
-                    Point::new(0.0, 0.0),
-                    Point::new(1.0, 0.0),
-                ]),
+                Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
                 Class::Bivalent,
             ),
             (

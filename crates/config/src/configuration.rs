@@ -1,9 +1,7 @@
 //! The multiset of robot positions (`C_R(τ)` in the paper) and strong
 //! multiplicity detection.
 
-use gather_geom::{
-    are_collinear, smallest_enclosing_circle, Circle, Point, Tol,
-};
+use gather_geom::{are_collinear, smallest_enclosing_circle, Circle, Point, Tol};
 
 /// A configuration of `n` robots: a *multiset* of points on the plane.
 ///
@@ -214,10 +212,10 @@ fn canonicalize(points: Vec<Point>, snap: f64) -> Vec<Point> {
     let mut sum_x = vec![0.0f64; n];
     let mut sum_y = vec![0.0f64; n];
     let mut count = vec![0usize; n];
-    for i in 0..n {
+    for (i, p) in points.iter().enumerate() {
         let r = find(&mut parent, i);
-        sum_x[r] += points[i].x;
-        sum_y[r] += points[i].y;
+        sum_x[r] += p.x;
+        sum_y[r] += p.y;
         count[r] += 1;
     }
     (0..n)
@@ -342,10 +340,7 @@ mod tests {
     #[test]
     fn sec_ignores_multiplicity() {
         // sec is over U(C): stacking robots on one point must not move it.
-        let base = Configuration::new(vec![
-            Point::new(-1.0, 0.0),
-            Point::new(1.0, 0.0),
-        ]);
+        let base = Configuration::new(vec![Point::new(-1.0, 0.0), Point::new(1.0, 0.0)]);
         let stacked = Configuration::new(vec![
             Point::new(-1.0, 0.0),
             Point::new(1.0, 0.0),

@@ -18,7 +18,10 @@
 //!   the paper's taxonomy, broken by chirality);
 //! * [`safe`] — Definition 8: safe points (Lemmas 4.2, 4.3);
 //! * [`mod@classify`] — Section IV: the partition of all configurations into
-//!   the classes `B`, `M`, `L1W`, `L2W`, `QR`, `A`.
+//!   the classes `B`, `M`, `L1W`, `L2W`, `QR`, `A`;
+//! * [`analysis`] — the shared per-round analysis: classification plus
+//!   symmetry computed once per configuration, memoized across unchanged
+//!   rounds ([`RoundAnalysis`], [`AnalysisCache`]).
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 //! assert_eq!(analysis.class, Class::Multiple);
 //! ```
 
+pub mod analysis;
 pub mod angles;
 pub mod axial;
 pub mod classify;
@@ -46,12 +50,13 @@ pub mod safe;
 pub mod symmetry;
 pub mod view;
 
+pub use analysis::{fingerprint, AnalysisCache, RoundAnalysis};
 pub use angles::{string_of_angles, string_periodicity, StringOfAngles};
 pub use axial::{detect_mirror_axis, is_mirror_axis};
-pub use classify::{classify, Analysis, Class};
+pub use classify::{classify, classify_invocations, Analysis, Class};
 pub use configuration::Configuration;
 pub use quasi::{detect_quasi_regularity, quasi_regular_with_center, QuasiRegularity};
 pub use regularity::{regularity_around, RegularityWitness};
-pub use safe::{is_safe_point, safe_points};
+pub use safe::{elected_point, is_safe_point, safe_points};
 pub use symmetry::{rotational_symmetry, symmetry_classes};
 pub use view::{view_of, View};

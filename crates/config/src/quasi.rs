@@ -75,11 +75,7 @@ fn circ_diff(a: f64, b: f64) -> f64 {
 /// let m = quasi_regular_with_center(&c, Point::new(0.0, 0.0), Tol::default());
 /// assert_eq!(m, Some(4));
 /// ```
-pub fn quasi_regular_with_center(
-    config: &Configuration,
-    p: Point,
-    tol: Tol,
-) -> Option<usize> {
+pub fn quasi_regular_with_center(config: &Configuration, p: Point, tol: Tol) -> Option<usize> {
     if config.mult(p, tol) == 0 {
         return None;
     }
@@ -87,11 +83,7 @@ pub fn quasi_regular_with_center(
     // robots the quasi-regular rule may move (or has just gathered), and
     // their directions from p are numerically meaningless.
     let zone = center_zone_radius(config, p, tol);
-    let mult_p = config
-        .points()
-        .iter()
-        .filter(|q| q.within(p, zone))
-        .count();
+    let mult_p = config.points().iter().filter(|q| q.within(p, zone)).count();
     let buckets = direction_buckets(config, p, tol);
     if buckets.is_empty() {
         return None; // all robots at p: gathered, not quasi-regular
@@ -182,7 +174,7 @@ pub fn detect_quasi_regularity(config: &Configuration, tol: Tol) -> Option<Quasi
             continue;
         }
         if let Some(m) = quasi_regular_with_center(config, p, tol) {
-            if best.map_or(true, |b| m > b.m) {
+            if best.is_none_or(|b| m > b.m) {
                 best = Some(QuasiRegularity {
                     center: p,
                     m,
@@ -200,7 +192,7 @@ pub fn detect_quasi_regularity(config: &Configuration, tol: Tol) -> Option<Quasi
             continue; // occupied candidates already handled exactly
         }
         let m = regularity_around(config, c, tol);
-        if m > 1 && best.map_or(true, |b| m > b.m) {
+        if m > 1 && best.is_none_or(|b| m > b.m) {
             best = Some(QuasiRegularity {
                 center: c,
                 m,
@@ -339,10 +331,7 @@ mod tests {
         let obj = weber_objective(qr.center, c.points());
         for dir in 0..8 {
             let th = TAU * dir as f64 / 8.0;
-            let probe = Point::new(
-                qr.center.x + 0.05 * th.cos(),
-                qr.center.y + 0.05 * th.sin(),
-            );
+            let probe = Point::new(qr.center.x + 0.05 * th.cos(), qr.center.y + 0.05 * th.sin());
             assert!(weber_objective(probe, c.points()) >= obj - 1e-12);
         }
     }

@@ -76,7 +76,7 @@ pub fn detect_regularity(config: &Configuration, tol: Tol) -> Option<RegularityW
     let mut best: Option<RegularityWitness> = None;
     for c in candidate_centers(config, tol) {
         let m = regularity_around(config, c, tol);
-        if m > 1 && best.map_or(true, |b| m > b.m) {
+        if m > 1 && best.is_none_or(|b| m > b.m) {
             best = Some(RegularityWitness { center: c, m });
         }
     }

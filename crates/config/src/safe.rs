@@ -14,6 +14,7 @@
 
 use crate::angles::direction_buckets;
 use crate::configuration::Configuration;
+use crate::view::view_of;
 use gather_geom::{Point, Tol};
 
 /// Is `p` a safe point of `config` (Definition 8)?
@@ -68,6 +69,34 @@ pub fn safe_points(config: &Configuration, tol: Tol) -> Vec<Point> {
         .collect()
 }
 
+/// The elected gathering point of the configuration (line 17 of the
+/// paper's Figure 2): the best safe point by `(multiplicity ↑,
+/// Σ distances ↓, view ↑)`, or `None` when the configuration has no safe
+/// point (impossible for class `A` — non-linear configurations always
+/// have one by Lemma 4.2).
+///
+/// The election is a pure function of the configuration — every robot
+/// computes the same point — and each criterion is invariant under the
+/// orientation-preserving similarities relating robot frames
+/// (multiplicities and views verbatim; distance sums scale by a common
+/// positive ratio, preserving the order), so the result is equivariant:
+/// electing in a transformed frame yields the transformed point. This is
+/// what lets the shared round analysis carry it as the class-`A` target.
+pub fn elected_point(config: &Configuration, tol: Tol) -> Option<Point> {
+    safe_points(config, tol).into_iter().max_by(|p, q| {
+        config
+            .mult(*p, tol)
+            .cmp(&config.mult(*q, tol))
+            // smaller sum of distances is better → reversed comparison
+            .then_with(|| {
+                config
+                    .sum_of_distances(*q)
+                    .total_cmp(&config.sum_of_distances(*p))
+            })
+            .then_with(|| view_of(config, *p, tol).cmp(&view_of(config, *q, tol)))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,10 +144,7 @@ mod tests {
             ]),
         ];
         for c in &gallery {
-            assert!(
-                !safe_points(c, t()).is_empty(),
-                "no safe point in {c}"
-            );
+            assert!(!safe_points(c, t()).is_empty(), "no safe point in {c}");
         }
     }
 

@@ -36,10 +36,7 @@ fn assert_lemma31(config: &Configuration, expected_sym: usize) {
             );
         }
         // …equally spaced angles…
-        let mut angles: Vec<f64> = off_center
-            .iter()
-            .map(|p| (*p - center).angle())
-            .collect();
+        let mut angles: Vec<f64> = off_center.iter().map(|p| (*p - center).angle()).collect();
         angles.sort_by(f64::total_cmp);
         for w in 0..angles.len() {
             let gap = if w + 1 < angles.len() {

@@ -1,3 +1,9 @@
+//! **Gated behind `--features external-deps`** (hermetic-build policy,
+//! DESIGN.md §8): this suite needs the external `proptest` package, which
+//! the default offline profile does not resolve. The same properties are
+//! covered by the in-tree seeded-loop tests in `seeded_properties.rs`.
+#![cfg(feature = "external-deps")]
+
 //! Property-based tests of the configuration-analysis layer.
 
 use gather_config::{
@@ -88,10 +94,10 @@ proptest! {
     fn class_targets_exist_when_required(config in arb_config()) {
         let a = classify(&config, tol());
         match a.class {
-            Class::Multiple | Class::Collinear1W | Class::QuasiRegular => {
+            Class::Multiple | Class::Collinear1W | Class::QuasiRegular | Class::Asymmetric => {
                 prop_assert!(a.target.is_some(), "{} lacks a target", a.class)
             }
-            Class::Bivalent | Class::Collinear2W | Class::Asymmetric => {
+            Class::Bivalent | Class::Collinear2W => {
                 prop_assert!(a.target.is_none(), "{} has an unexpected target", a.class)
             }
         }

@@ -1,0 +1,208 @@
+//! Seeded-loop ports of the configuration property suite (hermetic-build
+//! policy, DESIGN.md §8): the same statements as `proptest_config.rs`,
+//! driven by the in-tree PRNG so they run in the default offline build.
+
+use gather_config::{
+    classify, detect_quasi_regularity, is_safe_point, regularity_around, safe_points,
+    string_of_angles, view_of, Class, Configuration,
+};
+use gather_geom::{Point, Similarity, Tol};
+use gather_prng::Rng;
+use std::f64::consts::TAU;
+
+const CASES: usize = 96;
+
+fn point(rng: &mut Rng) -> Point {
+    Point::new(
+        rng.random_range(-800i32..800) as f64 / 80.0,
+        rng.random_range(-800i32..800) as f64 / 80.0,
+    )
+}
+
+fn config(rng: &mut Rng) -> Configuration {
+    let n = rng.random_range(3usize..11);
+    Configuration::canonical((0..n).map(|_| point(rng)).collect(), tol())
+}
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+#[test]
+fn distinct_multiplicities_sum_to_n() {
+    let mut rng = Rng::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let total: usize = c.distinct().iter().map(|(_, m)| m).sum();
+        assert_eq!(total, c.len());
+    }
+}
+
+#[test]
+fn views_are_stable_on_recomputation() {
+    let mut rng = Rng::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        for p in c.distinct_points() {
+            assert_eq!(view_of(&c, p, tol()), view_of(&c, p, tol()));
+        }
+    }
+}
+
+#[test]
+fn string_of_angles_sums_to_full_turn_with_dividing_periodicity() {
+    let mut rng = Rng::seed_from_u64(0xC003);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let center = point(&mut rng);
+        let sa = string_of_angles(&c, center, tol());
+        if sa.is_empty() {
+            continue;
+        }
+        let total: f64 = sa.entries().iter().sum();
+        assert!((total - TAU).abs() < 1e-6, "angles sum to {total}");
+        assert_eq!(
+            sa.len() % sa.periodicity(),
+            0,
+            "periodicity must divide length"
+        );
+    }
+}
+
+#[test]
+fn regularity_is_rotation_invariant() {
+    let mut rng = Rng::seed_from_u64(0xC004);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let theta = rng.random_range(0.0..TAU);
+        let sim = Similarity::new(theta, 1.0, Point::ORIGIN);
+        let moved = c.map(|p| sim.apply(p));
+        let probe = Point::new(0.1, 0.2);
+        assert_eq!(
+            regularity_around(&c, probe, tol()),
+            regularity_around(&moved, sim.apply(probe), tol())
+        );
+    }
+}
+
+#[test]
+fn safe_points_are_a_subset_of_occupied() {
+    let mut rng = Rng::seed_from_u64(0xC005);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let occupied = c.distinct_points();
+        for p in safe_points(&c, tol()) {
+            assert!(occupied.contains(&p), "safe point {p} is unoccupied");
+            assert!(is_safe_point(&c, p, tol()));
+        }
+    }
+}
+
+#[test]
+fn gathered_configs_classify_multiple() {
+    let mut rng = Rng::seed_from_u64(0xC006);
+    for _ in 0..CASES {
+        let p = point(&mut rng);
+        let n = rng.random_range(1usize..8);
+        let a = classify(&Configuration::new(vec![p; n]), tol());
+        assert_eq!(a.class, Class::Multiple);
+        assert_eq!(a.target, Some(p));
+    }
+}
+
+#[test]
+fn class_targets_exist_when_required() {
+    // M, L1W, QR and A carry their global movement target in the analysis
+    // (for A it is the elected safe point, present whenever the class is
+    // reachable — Lemma 4.2); B and L2W have per-robot rules and no target.
+    let mut rng = Rng::seed_from_u64(0xC007);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let a = classify(&c, tol());
+        match a.class {
+            Class::Multiple | Class::Collinear1W | Class::QuasiRegular | Class::Asymmetric => {
+                assert!(a.target.is_some(), "{} lacks a target on {c}", a.class)
+            }
+            Class::Bivalent | Class::Collinear2W => {
+                assert!(a.target.is_none(), "{} has an unexpected target", a.class)
+            }
+        }
+    }
+}
+
+#[test]
+fn qr_detection_is_translation_invariant() {
+    let mut rng = Rng::seed_from_u64(0xC008);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let shift = gather_geom::Vec2::new(
+            rng.random_range(-50i32..50) as f64 / 5.0,
+            rng.random_range(-50i32..50) as f64 / 5.0,
+        );
+        let moved = c.map(|p| p + shift);
+        assert_eq!(
+            detect_quasi_regularity(&c, tol()).is_some(),
+            detect_quasi_regularity(&moved, tol()).is_some()
+        );
+    }
+}
+
+#[test]
+fn qr_center_is_stable_under_contraction() {
+    let mut rng = Rng::seed_from_u64(0xC009);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        if c.is_linear(tol()) {
+            continue;
+        }
+        if let Some(qr) = detect_quasi_regularity(&c, tol()) {
+            let moved = c.map(|p| p.lerp(qr.center, 0.3));
+            let again = detect_quasi_regularity(&moved, tol());
+            assert!(again.is_some(), "QR lost under contraction of {c}");
+            let scale = c.sec().radius.max(1.0);
+            assert!(
+                again.unwrap().center.dist(qr.center) < 1e-3 * scale,
+                "centre drifted under contraction"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_class_survives_partial_move_to_target() {
+    // Claim C1 of Lemma 5.3, random form: moving any single robot halfway
+    // toward the class-M target keeps the target the unique maximum.
+    let mut rng = Rng::seed_from_u64(0xC00A);
+    for _ in 0..CASES {
+        let c = config(&mut rng);
+        let a = classify(&c, tol());
+        if a.class != Class::Multiple || c.is_gathered() {
+            continue;
+        }
+        let target = a.target.unwrap();
+        for idx in 0..c.len() {
+            let halfway = c.points()[idx].lerp(target, 0.5);
+            // The side-step rule exists precisely to avoid landing on
+            // another robot; the straight-line claim only applies to
+            // unobstructed moves.
+            let lands_on_robot = c
+                .distinct_points()
+                .iter()
+                .any(|q| !q.within(target, tol().snap) && halfway.within(*q, tol().snap));
+            if lands_on_robot {
+                continue;
+            }
+            let moved = Configuration::canonical(
+                c.points()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| if i == idx { halfway } else { *p })
+                    .collect(),
+                tol(),
+            );
+            let b = classify(&moved, tol());
+            assert_eq!(b.class, Class::Multiple);
+            assert!(b.target.unwrap().within(target, 1e-6));
+        }
+    }
+}

@@ -27,15 +27,9 @@ use gather_geom::{Point, Tol};
 use gather_sim::{Algorithm, Snapshot};
 
 /// Agmon–Peleg-style 1-crash-tolerant gathering (reconstruction).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AgmonPelegStyle {
     tol: Tol,
-}
-
-impl Default for AgmonPelegStyle {
-    fn default() -> Self {
-        AgmonPelegStyle { tol: Tol::default() }
-    }
 }
 
 impl AgmonPelegStyle {

@@ -17,15 +17,9 @@ use gather_geom::{Point, Tol};
 use gather_sim::{Algorithm, Snapshot};
 
 /// The classic "one robot walks, everyone waits" gathering rule.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OrderedMarch {
     tol: Tol,
-}
-
-impl Default for OrderedMarch {
-    fn default() -> Self {
-        OrderedMarch { tol: Tol::default() }
-    }
 }
 
 impl OrderedMarch {
@@ -88,7 +82,10 @@ mod tests {
         let pts = vec![heavy, heavy, Point::new(2.0, 0.0), Point::new(5.0, 0.5)];
         let alg = OrderedMarch::default();
         // The robot at distance 2 is designated.
-        assert_eq!(alg.destination(&snap(pts.clone(), Point::new(2.0, 0.0))), heavy);
+        assert_eq!(
+            alg.destination(&snap(pts.clone(), Point::new(2.0, 0.0))),
+            heavy
+        );
         // The farther robot waits.
         assert_eq!(
             alg.destination(&snap(pts.clone(), Point::new(5.0, 0.5))),

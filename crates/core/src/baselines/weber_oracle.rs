@@ -16,15 +16,9 @@ use gather_geom::{weber_point_weiszfeld, Point, Tol};
 use gather_sim::{Algorithm, Snapshot};
 
 /// Move-to-the-(numeric)-Weber-point oracle.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct WeberOracle {
     tol: Tol,
-}
-
-impl Default for WeberOracle {
-    fn default() -> Self {
-        WeberOracle { tol: Tol::default() }
-    }
 }
 
 impl WeberOracle {

@@ -12,38 +12,22 @@
 //! whenever anything moves (Claim C2), so the execution converges to `M`
 //! or to a gathered configuration.
 
-use gather_config::{safe_points, view_of, Configuration};
+use gather_config::Configuration;
 use gather_geom::{Point, Tol};
 
 /// The elected gathering point of an asymmetric configuration: the best
-/// safe point by `(multiplicity ↑, Σ distances ↓, view ↑)`.
+/// safe point by `(multiplicity ↑, Σ distances ↓, view ↑)`. The election
+/// itself lives in [`gather_config::elected_point`] so the engine's shared
+/// round analysis can carry the result as the class-`A` target; this
+/// wrapper adds the class-`A` precondition.
 ///
 /// # Panics
 ///
 /// Panics if the configuration has no safe point — impossible for class
 /// `A` inputs (they are non-linear; Lemma 4.2).
 pub fn elected_point(config: &Configuration, tol: Tol) -> Point {
-    let candidates = safe_points(config, tol);
-    assert!(
-        !candidates.is_empty(),
-        "class-A configuration without a safe point: {config}"
-    );
-    candidates
-        .into_iter()
-        .max_by(|p, q| {
-            let mult_p = config.mult(*p, tol);
-            let mult_q = config.mult(*q, tol);
-            mult_p
-                .cmp(&mult_q)
-                // smaller sum of distances is better → reversed comparison
-                .then_with(|| {
-                    config
-                        .sum_of_distances(*q)
-                        .total_cmp(&config.sum_of_distances(*p))
-                })
-                .then_with(|| view_of(config, *p, tol).cmp(&view_of(config, *q, tol)))
-        })
-        .expect("non-empty candidate set")
+    gather_config::elected_point(config, tol)
+        .unwrap_or_else(|| panic!("class-A configuration without a safe point: {config}"))
 }
 
 /// Destination for class `A`: every robot moves straight to the elected
@@ -115,7 +99,8 @@ mod tests {
         // over the multiplicity-1 points if one is safe.
         let e = elected_point(&cfg, t());
         assert!(
-            cfg.mult(e, t()) == 2 || !is_safe_point(&cfg, heavy, t()) && !is_safe_point(&cfg, other, t()),
+            cfg.mult(e, t()) == 2
+                || !is_safe_point(&cfg, heavy, t()) && !is_safe_point(&cfg, other, t()),
             "elected {e} with mult {}",
             cfg.mult(e, t())
         );

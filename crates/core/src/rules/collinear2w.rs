@@ -113,8 +113,14 @@ mod tests {
     #[test]
     fn interior_robots_head_to_center() {
         let cfg = l2w();
-        assert_eq!(destination(&cfg, Point::new(1.0, 0.0), t()), Point::new(4.0, 0.0));
-        assert_eq!(destination(&cfg, Point::new(3.0, 0.0), t()), Point::new(4.0, 0.0));
+        assert_eq!(
+            destination(&cfg, Point::new(1.0, 0.0), t()),
+            Point::new(4.0, 0.0)
+        );
+        assert_eq!(
+            destination(&cfg, Point::new(3.0, 0.0), t()),
+            Point::new(4.0, 0.0)
+        );
     }
 
     #[test]
@@ -124,10 +130,7 @@ mod tests {
         for e in [Point::new(0.0, 0.0), Point::new(8.0, 0.0)] {
             let d = destination(&cfg, e, t());
             assert!(
-                !are_collinear(
-                    &[line_pts[0], line_pts[3], d],
-                    t()
-                ),
+                !are_collinear(&[line_pts[0], line_pts[3], d], t()),
                 "endpoint destination {d} still on the line"
             );
             // Radius around the centre is preserved.

@@ -167,12 +167,7 @@ mod tests {
     fn all_rays_shared_still_side_steps() {
         // Everything on one ray: blocked robot side-steps by π/3 at most.
         let c = Point::new(0.0, 0.0);
-        let cfg = Configuration::new(vec![
-            c,
-            c,
-            Point::new(2.0, 0.0),
-            Point::new(5.0, 0.0),
-        ]);
+        let cfg = Configuration::new(vec![c, c, Point::new(2.0, 0.0), Point::new(5.0, 0.0)]);
         let me = Point::new(5.0, 0.0);
         let d = destination(&cfg, me, c, t());
         assert_ne!(d, me);

@@ -75,7 +75,14 @@ impl Algorithm for WaitFreeGather {
         let config = snap.config();
         let me = snap.me();
         let tol = self.tol;
-        let analysis = classify(config, tol);
+        // Prefer the snapshot's precomputed analysis (the engine's shared
+        // per-round classification, target already in this frame); classify
+        // from scratch for hand-built snapshots. Identical by construction:
+        // the analysis is a pure function of the observed configuration.
+        let analysis = match snap.analysis() {
+            Some(a) => *a,
+            None => classify(config, tol),
+        };
         match analysis.class {
             Class::Multiple => {
                 let target = analysis.target.expect("class M has a target");
@@ -91,7 +98,15 @@ impl Algorithm for WaitFreeGather {
                 let target = analysis.target.expect("QR/L1W have a Weber target");
                 rules::weberward::destination(target)
             }
-            Class::Asymmetric => rules::asymmetric::destination(config, me, tol),
+            // The elected safe point is part of the analysis (classify runs
+            // the Figure-2 line-17 election), so the shared pipeline pays
+            // for it once per round; the per-robot rule is the fallback for
+            // analyses predating the election (none today) and keeps the
+            // explicit no-safe-point panic.
+            Class::Asymmetric => match analysis.target {
+                Some(t) => t,
+                None => rules::asymmetric::destination(config, me, tol),
+            },
             Class::Collinear2W => rules::collinear2w::destination(config, me, tol),
             Class::Bivalent => rules::bivalent::destination(config, me, tol),
         }

@@ -151,7 +151,9 @@ mod tests {
 
     #[test]
     fn hull_of_collinear_set_is_two_endpoints() {
-        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, i as f64 * 2.0)).collect();
+        let pts: Vec<Point> = (0..7)
+            .map(|i| Point::new(i as f64, i as f64 * 2.0))
+            .collect();
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 2);
         assert!(hull.contains(&Point::new(0.0, 0.0)));
@@ -163,7 +165,11 @@ mod tests {
         assert!(convex_hull(&[]).is_empty());
         let single = convex_hull(&[Point::new(1.0, 1.0); 4]);
         assert_eq!(single, vec![Point::new(1.0, 1.0)]);
-        let pair = convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 0.0)]);
+        let pair = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 0.0),
+        ]);
         assert_eq!(pair.len(), 2);
     }
 
@@ -200,9 +206,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut state: u64 = 42;
         for _ in 0..100 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 16) % 1000) as f64 / 100.0;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((state >> 16) % 1000) as f64 / 100.0;
             pts.push(Point::new(x, y));
         }

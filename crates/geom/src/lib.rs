@@ -53,4 +53,4 @@ pub use predicates::{are_collinear, is_between, orient2d, Orientation};
 pub use sec::{smallest_enclosing_circle, Circle};
 pub use tol::Tol;
 pub use transform::Similarity;
-pub use weber::{weber_objective, weber_point_weiszfeld, WeberResult};
+pub use weber::{weber_objective, weber_point_weiszfeld, weiszfeld_iterations, WeberResult};

@@ -289,7 +289,10 @@ mod tests {
     #[test]
     fn segment_closest_point_clamps() {
         let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
-        assert_eq!(s.closest_point_to(Point::new(2.0, 5.0)), Point::new(2.0, 0.0));
+        assert_eq!(
+            s.closest_point_to(Point::new(2.0, 5.0)),
+            Point::new(2.0, 0.0)
+        );
         assert_eq!(s.closest_point_to(Point::new(-3.0, 1.0)), s.a);
         assert_eq!(s.closest_point_to(Point::new(9.0, -2.0)), s.b);
         assert!((s.distance_to(Point::new(2.0, 5.0)) - 5.0).abs() < 1e-12);

@@ -182,8 +182,14 @@ mod tests {
     fn orientation_basic() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(2.0, 0.0);
-        assert_eq!(orient2d(a, b, Point::new(1.0, 3.0)), Orientation::CounterClockwise);
-        assert_eq!(orient2d(a, b, Point::new(1.0, -3.0)), Orientation::Clockwise);
+        assert_eq!(
+            orient2d(a, b, Point::new(1.0, 3.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(a, b, Point::new(1.0, -3.0)),
+            Orientation::Clockwise
+        );
         assert_eq!(orient2d(a, b, Point::new(7.0, 0.0)), Orientation::Collinear);
     }
 
@@ -252,7 +258,9 @@ mod tests {
 
     #[test]
     fn collinearity_of_sets() {
-        let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let line: Vec<Point> = (0..10)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
         assert!(are_collinear(&line, t()));
         let mut bent = line.clone();
         bent.push(Point::new(1.0, 5.0));
@@ -263,7 +271,10 @@ mod tests {
     fn collinearity_degenerate_inputs() {
         assert!(are_collinear(&[], t()));
         assert!(are_collinear(&[Point::new(1.0, 1.0)], t()));
-        assert!(are_collinear(&[Point::new(1.0, 1.0), Point::new(2.0, 5.0)], t()));
+        assert!(are_collinear(
+            &[Point::new(1.0, 1.0), Point::new(2.0, 5.0)],
+            t()
+        ));
         let same = [Point::new(3.0, 3.0); 5];
         assert!(are_collinear(&same, t()));
     }

@@ -247,7 +247,9 @@ mod tests {
 
     #[test]
     fn collinear_points() {
-        let pts: Vec<Point> = (0..9).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Point> = (0..9)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
         let c = smallest_enclosing_circle(&pts);
         let expect_center = Point::new(4.0, 8.0);
         assert!(c.center.dist(expect_center) < 1e-9);

@@ -42,13 +42,21 @@ impl Default for Tol {
     /// The default policy used across the whole test and experiment suite:
     /// `abs = 1e-9`, `rel = 1e-9`, `snap = 1e-6`.
     fn default() -> Self {
-        Tol { abs: 1e-9, rel: 1e-9, snap: 1e-6 }
+        Tol {
+            abs: 1e-9,
+            rel: 1e-9,
+            snap: 1e-6,
+        }
     }
 }
 
 impl fmt::Display for Tol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tol(abs={:.1e}, rel={:.1e}, snap={:.1e})", self.abs, self.rel, self.snap)
+        write!(
+            f,
+            "Tol(abs={:.1e}, rel={:.1e}, snap={:.1e})",
+            self.abs, self.rel, self.snap
+        )
     }
 }
 
@@ -61,12 +69,20 @@ impl Tol {
 
     /// A stricter policy (useful in tests on exactly-constructed inputs).
     pub fn strict() -> Self {
-        Tol { abs: 1e-12, rel: 1e-12, snap: 1e-9 }
+        Tol {
+            abs: 1e-12,
+            rel: 1e-12,
+            snap: 1e-9,
+        }
     }
 
     /// A looser policy, for heavily perturbed inputs.
     pub fn loose() -> Self {
-        Tol { abs: 1e-6, rel: 1e-6, snap: 1e-4 }
+        Tol {
+            abs: 1e-6,
+            rel: 1e-6,
+            snap: 1e-4,
+        }
     }
 
     /// Approximate scalar equality.

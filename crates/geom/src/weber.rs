@@ -51,6 +51,19 @@ pub struct WeberResult {
 /// Maximum Weiszfeld iterations before giving up.
 const MAX_ITERS: usize = 10_000;
 
+thread_local! {
+    /// Total Weiszfeld iterations performed on this thread.
+    static WEISZFELD_ITERS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total Weiszfeld iterations performed on the current thread since it
+/// started. Monotone; callers diff two readings to attribute solver work to
+/// a code region (the simulation engine reports the per-round delta in its
+/// trace, making the shared-analysis cache's savings observable).
+pub fn weiszfeld_iterations() -> u64 {
+    WEISZFELD_ITERS.with(|c| c.get())
+}
+
 /// Numerically computes the Weber point of `points` with the Weiszfeld
 /// iteration, using the Vardi–Zhang rule to step off input points (plain
 /// Weiszfeld is undefined when an iterate lands exactly on an input point,
@@ -110,9 +123,7 @@ pub fn weber_point_weiszfeld(points: &[Point], tol: Tol) -> WeberResult {
         .iter()
         .copied()
         .chain(std::iter::once(centroid))
-        .min_by(|a, b| {
-            weber_objective(*a, points).total_cmp(&weber_objective(*b, points))
-        })
+        .min_by(|a, b| weber_objective(*a, points).total_cmp(&weber_objective(*b, points)))
         .expect("non-empty");
 
     // Distinct input locations (bitwise groups) with multiplicities, plus
@@ -211,6 +222,7 @@ pub fn weber_point_weiszfeld(points: &[Point], tol: Tol) -> WeberResult {
         }
     }
 
+    WEISZFELD_ITERS.with(|c| c.set(c.get() + iterations as u64));
     WeberResult {
         point: x,
         objective: weber_objective(x, points),

@@ -1,17 +1,22 @@
+//! **Gated behind `--features external-deps`** (hermetic-build policy,
+//! DESIGN.md §8): this suite needs the external `proptest` package, which
+//! the default offline profile does not resolve. The same properties are
+//! covered by the in-tree seeded-loop tests in `seeded_properties.rs`.
+#![cfg(feature = "external-deps")]
+
 //! Property-based tests of the geometry kernel.
 
 use gather_geom::angle::{cw_angle, normalize_tau, rotate_ccw_around, rotate_cw_around};
 use gather_geom::predicates::{is_between, orient2d, Orientation};
 use gather_geom::{
-    convex_hull, smallest_enclosing_circle, weber_objective,
-    weber_point_weiszfeld, Point, Segment, Similarity, Tol, Vec2,
+    convex_hull, smallest_enclosing_circle, weber_objective, weber_point_weiszfeld, Point, Segment,
+    Similarity, Tol, Vec2,
 };
 use proptest::prelude::*;
 use std::f64::consts::TAU;
 
 fn arb_point() -> impl Strategy<Value = Point> {
-    (-1000i32..1000, -1000i32..1000)
-        .prop_map(|(x, y)| Point::new(x as f64 / 50.0, y as f64 / 50.0))
+    (-1000i32..1000, -1000i32..1000).prop_map(|(x, y)| Point::new(x as f64 / 50.0, y as f64 / 50.0))
 }
 
 fn arb_points(lo: usize, hi: usize) -> impl Strategy<Value = Vec<Point>> {

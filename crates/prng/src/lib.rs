@@ -1,0 +1,312 @@
+//! In-tree deterministic pseudo-random numbers for the gathering suite.
+//!
+//! The simulator's adversaries (schedulers, motion, crash plans, frames)
+//! and the workload generators need *seeded, reproducible* randomness —
+//! nothing cryptographic, nothing platform-dependent, and critically
+//! nothing that requires fetching a crates-io package: the suite's hermetic
+//! build policy (DESIGN.md §8) forbids external dependencies in the default
+//! profile.
+//!
+//! The generator is [xoshiro256++][xo] seeded through [SplitMix64][sm],
+//! the standard pairing recommended by the xoshiro authors: SplitMix64
+//! fans a single `u64` seed out into a well-mixed 256-bit state, and
+//! xoshiro256++ then delivers fast, high-quality 64-bit outputs. Both are
+//! public-domain algorithms implemented here from their reference
+//! descriptions.
+//!
+//! The API mirrors the small slice of `rand` the suite previously used, so
+//! call sites read identically:
+//!
+//! ```
+//! use gather_prng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let x = rng.random_range(-10.0..10.0); // f64 in [-10, 10)
+//! let i = rng.random_range(0..6usize);   // usize in [0, 6)
+//! let b = rng.random_bool(0.5);          // Bernoulli(1/2)
+//! assert!((-10.0..10.0).contains(&x));
+//! assert!(i < 6);
+//! let _ = b;
+//! ```
+//!
+//! Identical seeds produce identical sequences on every platform — the
+//! whole simulation stack's determinism guarantee rests on this.
+//!
+//! [xo]: https://prng.di.unimi.it/xoshiro256plusplus.c
+//! [sm]: https://prng.di.unimi.it/splitmix64.c
+
+/// The SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seed expansion; also handy on its own for cheap stateless
+/// hashing (see [`mix64`]).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A single SplitMix64 mix of `x`: a fast, high-quality 64-bit bit mixer
+/// (the finalizer of SplitMix64). Useful for fingerprinting.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
+/// A seedable deterministic generator (xoshiro256++).
+///
+/// Not cryptographically secure — it drives simulations, not secrets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose sequence is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with the standard 53-bit construction.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (half-open, like `rand`'s
+    /// `random_range`). Implemented for `f64` and the integer types the
+    /// suite uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// A uniform `u64` in `[0, bound)` by rejection from the top of the
+    /// range (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 needs a positive bound");
+        // Accept only below the largest multiple of `bound`, so every
+        // residue is equally likely; at most `bound` values are rejected.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty range {}..{}",
+            self.start,
+            self.end
+        );
+        let span = self.end - self.start;
+        assert!(span.is_finite(), "range span must be finite");
+        // next_f64 < 1, so the result stays below `end` for finite spans.
+        self.start + rng.next_f64() * span
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range {}..{}", self.start, self.end);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs of splitmix64 for state 0, from the public-domain
+    /// reference implementation.
+    #[test]
+    fn splitmix64_known_answers() {
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220A8397B1DCDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E789E6AA1B965F4);
+        assert_eq!(splitmix64(&mut s), 0x06C45D188009454F);
+    }
+
+    #[test]
+    fn identical_seeds_identical_sequences() {
+        let mut a = Rng::seed_from_u64(12345);
+        let mut b = Rng::seed_from_u64(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "{same} collisions in 64 draws");
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} outside [0, 1)");
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x), "{x} outside range");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "not all values hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability_roughly() {
+        let mut rng = Rng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        let mut rng = Rng::seed_from_u64(5);
+        assert!(!rng.random_bool(0.0));
+        let mut rng = Rng::seed_from_u64(5);
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn random_bool_validates_probability() {
+        let _ = Rng::seed_from_u64(0).random_bool(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_float_range_panics() {
+        let _ = Rng::seed_from_u64(0).random_range(1.0..1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_int_range_panics() {
+        let _ = Rng::seed_from_u64(0).random_range(3..3u32);
+    }
+
+    #[test]
+    fn bounded_u64_is_unbiased_over_small_bound() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.bounded_u64(3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn mix64_spreads_nearby_inputs() {
+        // Sequential inputs must not produce correlated outputs.
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10, "poor avalanche: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = Rng::seed_from_u64(77);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -14,8 +14,7 @@
 
 use gather_config::Configuration;
 use gather_geom::{centroid, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gather_prng::Rng;
 
 /// Chooses destinations for a byzantine robot.
 ///
@@ -25,13 +24,8 @@ use rand::{Rng, SeedableRng};
 /// (straight-line motion, the δ rule, the motion adversary).
 pub trait ByzantinePolicy {
     /// Destination for byzantine `robot` at `me` in `round`.
-    fn destination(
-        &mut self,
-        round: u64,
-        robot: usize,
-        config: &Configuration,
-        me: Point,
-    ) -> Point;
+    fn destination(&mut self, round: u64, robot: usize, config: &Configuration, me: Point)
+        -> Point;
 
     /// Short identifier used in experiment tables.
     fn name(&self) -> &'static str {
@@ -60,7 +54,13 @@ impl<B: ByzantinePolicy + ?Sized> ByzantinePolicy for Box<B> {
 pub struct Statue;
 
 impl ByzantinePolicy for Statue {
-    fn destination(&mut self, _round: u64, _robot: usize, _config: &Configuration, me: Point) -> Point {
+    fn destination(
+        &mut self,
+        _round: u64,
+        _robot: usize,
+        _config: &Configuration,
+        me: Point,
+    ) -> Point {
         me
     }
     fn name(&self) -> &'static str {
@@ -72,7 +72,7 @@ impl ByzantinePolicy for Statue {
 /// maximal noise injection.
 #[derive(Debug, Clone)]
 pub struct Wanderer {
-    rng: StdRng,
+    rng: Rng,
     /// Half-side of the wandering box, centred on the configuration
     /// centroid.
     extent: f64,
@@ -82,14 +82,20 @@ impl Wanderer {
     /// A wanderer confined to a `2·extent` box around the centroid.
     pub fn new(extent: f64, seed: u64) -> Self {
         Wanderer {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             extent,
         }
     }
 }
 
 impl ByzantinePolicy for Wanderer {
-    fn destination(&mut self, _round: u64, _robot: usize, config: &Configuration, _me: Point) -> Point {
+    fn destination(
+        &mut self,
+        _round: u64,
+        _robot: usize,
+        config: &Configuration,
+        _me: Point,
+    ) -> Point {
         let c = centroid(config.points());
         Point::new(
             c.x + self.rng.random_range(-self.extent..self.extent),
@@ -108,7 +114,13 @@ impl ByzantinePolicy for Wanderer {
 pub struct Fugitive;
 
 impl ByzantinePolicy for Fugitive {
-    fn destination(&mut self, _round: u64, _robot: usize, config: &Configuration, me: Point) -> Point {
+    fn destination(
+        &mut self,
+        _round: u64,
+        _robot: usize,
+        config: &Configuration,
+        me: Point,
+    ) -> Point {
         let (_, maxima) = config.max_multiplicity();
         let anchor = maxima
             .first()
@@ -133,7 +145,13 @@ impl ByzantinePolicy for Fugitive {
 pub struct StackStalker;
 
 impl ByzantinePolicy for StackStalker {
-    fn destination(&mut self, round: u64, _robot: usize, config: &Configuration, me: Point) -> Point {
+    fn destination(
+        &mut self,
+        round: u64,
+        _robot: usize,
+        config: &Configuration,
+        me: Point,
+    ) -> Point {
         let (_, maxima) = config.max_multiplicity();
         let target = maxima
             .first()

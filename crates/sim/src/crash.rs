@@ -13,8 +13,7 @@
 //!   patterns used in the paper's proofs).
 
 use gather_config::Configuration;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gather_prng::Rng;
 
 /// Decides which robots crash at the start of each round.
 pub trait CrashPlan {
@@ -119,7 +118,7 @@ pub struct RandomCrashes {
     f: usize,
     p_per_round: f64,
     crashed_so_far: usize,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomCrashes {
@@ -138,7 +137,7 @@ impl RandomCrashes {
             f,
             p_per_round,
             crashed_so_far: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 }

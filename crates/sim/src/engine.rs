@@ -23,8 +23,10 @@ use crate::motion::{apply_motion, FullMotion, MotionAdversary};
 use crate::scheduler::{EveryRobot, Scheduler};
 use crate::snapshot::Snapshot;
 use crate::trace::{RoundRecord, Trace};
-use gather_config::{classify, Class, Configuration};
-use gather_geom::{Point, Tol};
+use gather_config::{
+    classify, classify_invocations, AnalysisCache, Class, Configuration, RoundAnalysis,
+};
+use gather_geom::{weiszfeld_iterations, Point, Tol};
 
 /// Result of running an engine until gathering or a round limit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +75,7 @@ pub struct EngineBuilder {
     look_delay: u64,
     record_positions: bool,
     check_invariants: bool,
+    shared_analysis: bool,
 }
 
 impl EngineBuilder {
@@ -143,6 +146,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables or disables the shared per-round analysis (default: on).
+    ///
+    /// When on, the engine classifies the start-of-round configuration
+    /// **once**, memoizes it across unchanged rounds, and attaches the
+    /// result (target frame-transformed) to every activated robot's
+    /// snapshot; algorithms and audits consume the shared result instead of
+    /// re-running `classify` per robot. Sound in the ATOM model because all
+    /// activated robots LOOK at the same configuration and the analysis is
+    /// a pure function of it. Off reproduces the naive per-robot
+    /// classification — kept for the B1 ablation that quantifies the
+    /// speedup.
+    pub fn shared_analysis(mut self, on: bool) -> Self {
+        self.shared_analysis = on;
+        self
+    }
+
     /// Records the full position log (one snapshot per round) for
     /// visualisation and post-hoc analysis (default: off — memory grows
     /// linearly with rounds × robots).
@@ -169,7 +188,9 @@ impl EngineBuilder {
     /// Panics if no algorithm was set or the initial configuration is
     /// empty.
     pub fn build(self) -> Engine {
-        let algorithm = self.algorithm.expect("EngineBuilder: algorithm is required");
+        let algorithm = self
+            .algorithm
+            .expect("EngineBuilder: algorithm is required");
         assert!(
             !self.initial.is_empty(),
             "EngineBuilder: initial configuration must be non-empty"
@@ -181,8 +202,7 @@ impl EngineBuilder {
         let positions_clone = positions.clone();
         let started_bivalent =
             classify(&Configuration::new(positions.clone()), self.tol).class == Class::Bivalent;
-        let mut byzantine: Vec<Option<Box<dyn ByzantinePolicy>>> =
-            (0..n).map(|_| None).collect();
+        let mut byzantine: Vec<Option<Box<dyn ByzantinePolicy>>> = (0..n).map(|_| None).collect();
         for (robot, policy) in self.byzantine {
             assert!(robot < n, "byzantine robot index {robot} out of range");
             byzantine[robot] = Some(policy);
@@ -211,6 +231,8 @@ impl EngineBuilder {
             violations: Vec::new(),
             check_invariants: self.check_invariants,
             started_bivalent,
+            shared_analysis: self.shared_analysis,
+            analysis_cache: AnalysisCache::new(),
         }
     }
 }
@@ -256,6 +278,8 @@ pub struct Engine {
     violations: Vec<String>,
     check_invariants: bool,
     started_bivalent: bool,
+    shared_analysis: bool,
+    analysis_cache: AnalysisCache,
 }
 
 impl Engine {
@@ -274,6 +298,7 @@ impl Engine {
             look_delay: 0,
             record_positions: false,
             check_invariants: true,
+            shared_analysis: true,
         }
     }
 
@@ -305,7 +330,9 @@ impl Engine {
 
     /// Number of correct robots.
     pub fn correct_count(&self) -> usize {
-        (0..self.alive.len()).filter(|i| self.is_correct(*i)).count()
+        (0..self.alive.len())
+            .filter(|i| self.is_correct(*i))
+            .count()
     }
 
     /// The current configuration (all robots, crashed included).
@@ -342,7 +369,10 @@ impl Engine {
         let Some(&first) = live_positions.first() else {
             return false; // no live robots: vacuous, treated as failure
         };
-        if !live_positions.iter().all(|p| p.within(first, self.tol.snap)) {
+        if !live_positions
+            .iter()
+            .all(|p| p.within(first, self.tol.snap))
+        {
             return false;
         }
         let dest = self.global_destination_of(first);
@@ -350,17 +380,42 @@ impl Engine {
     }
 
     /// Destination the algorithm assigns to a robot at `at`, computed in
-    /// the global frame.
-    fn global_destination_of(&self, at: Point) -> Point {
-        let snap = Snapshot::new(self.configuration(), at);
+    /// the global frame. Reuses the shared analysis: between steps this is
+    /// a cache hit (the post-move configuration was analysed by the audit).
+    fn global_destination_of(&mut self, at: Point) -> Point {
+        let config = self.configuration();
+        let snap = if self.shared_analysis {
+            let ra = self.analysis_cache.analyse(&config, self.tol);
+            Snapshot::with_analysis(config, at, ra.analysis)
+        } else {
+            Snapshot::new(config, at)
+        };
         self.algorithm.destination(&snap)
+    }
+
+    /// Cumulative analysis-cache counters `(computed, hits)`.
+    pub fn analysis_cache_stats(&self) -> (u64, u64) {
+        (self.analysis_cache.computed(), self.analysis_cache.hits())
     }
 
     /// Executes one round and returns its record.
     pub fn step(&mut self) -> RoundRecord {
         let tol = self.tol;
+        let classify_before = classify_invocations();
+        let weiszfeld_before = weiszfeld_iterations();
+        let hits_before = self.analysis_cache.hits();
         let config = self.configuration();
-        let analysis = classify(&config, tol);
+        // The single shared analysis of the start-of-round configuration —
+        // every activated robot LOOKs at exactly this configuration (ATOM),
+        // so one classification serves them all. `None` in the ablation
+        // mode: each consumer then classifies for itself, as the seed did.
+        let shared: Option<RoundAnalysis> = self
+            .shared_analysis
+            .then(|| self.analysis_cache.analyse(&config, tol));
+        let class = match &shared {
+            Some(ra) => ra.analysis.class,
+            None => classify(&config, tol).class,
+        };
         let distinct = config.distinct();
 
         // Stale-view support: robots observe the configuration from
@@ -369,7 +424,11 @@ impl Engine {
         while self.history.len() > self.look_delay as usize + 1 {
             self.history.pop_front();
         }
-        let observed = self.history.front().cloned().unwrap_or_else(|| config.clone());
+        let observed = self
+            .history
+            .front()
+            .cloned()
+            .unwrap_or_else(|| config.clone());
 
         // 1. Crashes.
         let mut crashed_now = Vec::new();
@@ -409,12 +468,22 @@ impl Engine {
                 // were `look_delay` rounds ago.
                 let mut seen = observed.points().to_vec();
                 seen[i] = me;
-                let local_config =
-                    Configuration::new(seen).map(|p| frame.apply(p));
+                let local_config = Configuration::new(seen).map(|p| frame.apply(p));
                 let local_me = frame.apply(me);
-                let local_dest = self
-                    .algorithm
-                    .destination(&Snapshot::new(local_config, local_me));
+                // Attach the shared analysis with its target carried into
+                // the robot's frame — class, n and qreg are invariant under
+                // the orientation-preserving frame similarity. Only valid
+                // when the robot's view IS the analysed configuration, i.e.
+                // with fresh (non-stale) LOOKs.
+                let snap = match &shared {
+                    Some(ra) if self.look_delay == 0 => Snapshot::with_analysis(
+                        local_config,
+                        local_me,
+                        ra.map_target(|t| frame.apply(t)).analysis,
+                    ),
+                    _ => Snapshot::new(local_config, local_me),
+                };
+                let local_dest = self.algorithm.destination(&snap);
                 frame.inverse().apply(local_dest)
             };
             // "Destination == current position → do not move" (footnote 2
@@ -441,18 +510,21 @@ impl Engine {
 
         // 5. Invariant audit.
         if self.check_invariants {
-            self.audit_wait_freeness(&config, &distinct);
+            self.audit_wait_freeness(&config, &distinct, shared.as_ref());
             self.audit_never_bivalent();
         }
 
         let record = RoundRecord {
             round: self.round,
-            class: analysis.class,
+            class,
             distinct: distinct.len(),
             max_mult: distinct.iter().map(|(_, m)| *m).max().unwrap_or(0),
             activated,
             crashed: crashed_now,
             travel,
+            classifications: classify_invocations() - classify_before,
+            cache_hits: self.analysis_cache.hits() - hits_before,
+            weiszfeld_iters: weiszfeld_iterations() - weiszfeld_before,
         };
         self.trace.push(record.clone());
         self.round += 1;
@@ -485,17 +557,31 @@ impl Engine {
     /// Destinations are evaluated per distinct location in the global
     /// frame; by algorithm equivariance this matches what any robot at that
     /// location would compute in its own frame.
-    fn audit_wait_freeness(&mut self, config: &Configuration, distinct: &[(Point, usize)]) {
+    fn audit_wait_freeness(
+        &mut self,
+        config: &Configuration,
+        distinct: &[(Point, usize)],
+        shared: Option<&RoundAnalysis>,
+    ) {
         if config.is_gathered() {
             return;
         }
         // The bivalent class is outside the algorithm's contract.
-        if classify(config, self.tol).class == Class::Bivalent {
+        let class = match shared {
+            Some(ra) => ra.analysis.class,
+            None => classify(config, self.tol).class,
+        };
+        if class == Class::Bivalent {
             return;
         }
         let mut staying = 0usize;
         for (p, _) in distinct {
-            let snap = Snapshot::new(config.clone(), *p);
+            // The audit evaluates in the global frame, so the shared
+            // analysis applies verbatim (identity transform).
+            let snap = match shared {
+                Some(ra) => Snapshot::with_analysis(config.clone(), *p, ra.analysis),
+                None => Snapshot::new(config.clone(), *p),
+            };
             let dest = self.algorithm.destination(&snap);
             // Mirrors the engine's own "do not move" rule exactly.
             if dest.within(*p, self.tol.abs) {
@@ -516,7 +602,18 @@ impl Engine {
         if self.started_bivalent {
             return;
         }
-        let class = classify(&self.configuration(), self.tol).class;
+        // With the shared pipeline this analysis is memoized and becomes
+        // the next round's start-of-round cache hit, so the audit costs no
+        // extra steady-state classification.
+        let class = if self.shared_analysis {
+            let config = self.configuration();
+            self.analysis_cache
+                .analyse(&config, self.tol)
+                .analysis
+                .class
+        } else {
+            classify(&self.configuration(), self.tol).class
+        };
         if class == Class::Bivalent {
             self.violations.push(format!(
                 "round {}: execution entered the bivalent class",
@@ -617,12 +714,16 @@ mod tests {
 
     #[test]
     fn delta_floor_guarantees_progress_under_stingy_adversary() {
-        let mut e = Engine::builder(vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(10.0, 0.0)])
-            .algorithm(GoToCentroid)
-            .motion(AlwaysDelta)
-            .delta(0.5)
-            .check_invariants(false)
-            .build();
+        let mut e = Engine::builder(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        ])
+        .algorithm(GoToCentroid)
+        .motion(AlwaysDelta)
+        .delta(0.5)
+        .check_invariants(false)
+        .build();
         let r = e.step();
         assert!(r.travel > 0.0, "no progress under AlwaysDelta");
     }
@@ -699,6 +800,91 @@ mod tests {
         let l = RunOutcome::RoundLimit { rounds: 100 };
         assert!(!l.gathered());
         assert_eq!(l.rounds(), 100);
+    }
+
+    /// Consumes the snapshot's attached analysis when present, classifying
+    /// for itself otherwise — the same contract as the real algorithm.
+    struct ClassTarget;
+    impl Algorithm for ClassTarget {
+        fn name(&self) -> &'static str {
+            "class-target"
+        }
+        fn destination(&self, snap: &Snapshot) -> Point {
+            let analysis = match snap.analysis() {
+                Some(a) => *a,
+                None => classify(snap.config(), Tol::default()),
+            };
+            analysis.target.unwrap_or(snap.me())
+        }
+    }
+
+    /// A 32-robot scatter (deterministic spiral, far from collinear).
+    fn spiral(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let th = 0.7 * i as f64;
+                let r = 1.0 + 0.3 * i as f64;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_analysis_classifies_at_most_twice_per_round() {
+        // The acceptance bound of the shared pipeline: one classification
+        // for the round's shared analysis + at most one for the post-move
+        // audit, independent of the robot count.
+        let mut e = Engine::builder(spiral(32)).algorithm(ClassTarget).build();
+        for _ in 0..20 {
+            let rec = e.step();
+            assert!(
+                rec.classifications <= 2,
+                "round {} used {} classifications (n = 32)",
+                rec.round,
+                rec.classifications
+            );
+        }
+        let (computed, hits) = e.analysis_cache_stats();
+        assert!(computed > 0);
+        assert!(hits > 0, "audit-then-step reuse never hit the cache");
+    }
+
+    #[test]
+    fn ablation_mode_classifies_per_robot() {
+        // With the shared pipeline off every activated robot classifies for
+        // itself (plus the record and the audits) — the O(n) redundancy the
+        // refactor removes.
+        let mut e = Engine::builder(spiral(32))
+            .algorithm(ClassTarget)
+            .shared_analysis(false)
+            .build();
+        let rec = e.step();
+        assert!(
+            rec.classifications > 32,
+            "expected per-robot classification, saw {}",
+            rec.classifications
+        );
+        assert_eq!(e.analysis_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn shared_analysis_does_not_change_the_run() {
+        // Same seeds, shared analysis on vs off: identical traces of
+        // positions (the analysis is a pure function of the snapshot, so
+        // sharing it must be observationally equivalent).
+        let run = |shared: bool| {
+            let mut e = Engine::builder(spiral(12))
+                .algorithm(ClassTarget)
+                .frames(FramePolicy::GlobalFrame)
+                .shared_analysis(shared)
+                .check_invariants(false)
+                .build();
+            for _ in 0..40 {
+                e.step();
+            }
+            e.positions().to_vec()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

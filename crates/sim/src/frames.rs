@@ -9,8 +9,7 @@
 //! exactly this.
 
 use gather_geom::{Point, Similarity};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gather_prng::Rng;
 use std::f64::consts::TAU;
 
 /// How the engine chooses each robot's observation frame.
@@ -39,7 +38,7 @@ impl Default for FramePolicy {
 #[derive(Debug)]
 pub(crate) struct FrameSource {
     policy: FramePolicy,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl FrameSource {
@@ -50,7 +49,7 @@ impl FrameSource {
         };
         FrameSource {
             policy,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -112,7 +111,10 @@ mod tests {
         let collect = |seed| {
             let mut src = FrameSource::new(FramePolicy::RandomPerActivation { seed });
             (0..5)
-                .map(|i| src.frame_for(Point::new(i as f64, 0.0)).apply(Point::ORIGIN))
+                .map(|i| {
+                    src.frame_for(Point::new(i as f64, 0.0))
+                        .apply(Point::ORIGIN)
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(collect(9), collect(9));

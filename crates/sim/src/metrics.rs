@@ -20,6 +20,13 @@ pub struct RunMetrics {
     pub class_sequence: Vec<Class>,
     /// Class transitions observed (self-loops excluded).
     pub transitions: BTreeMap<(Class, Class), u64>,
+    /// Total `classify()` invocations over the run (shared-analysis
+    /// computes, algorithm fallbacks and audits combined).
+    pub classifications: u64,
+    /// Total analysis-cache hits over the run.
+    pub cache_hits: u64,
+    /// Total Weiszfeld solver iterations over the run.
+    pub weiszfeld_iters: u64,
 }
 
 /// Summarises an outcome and its trace into one metrics record.
@@ -46,6 +53,9 @@ pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
         class_rounds: trace.class_histogram(),
         class_sequence: trace.class_sequence(),
         transitions: trace.class_transitions(),
+        classifications: trace.total_classifications(),
+        cache_hits: trace.total_cache_hits(),
+        weiszfeld_iters: trace.total_weiszfeld_iters(),
     }
 }
 
@@ -54,7 +64,11 @@ impl std::fmt::Display for RunMetrics {
         write!(
             f,
             "{} in {} rounds, travel {:.3}, classes ",
-            if self.gathered { "gathered" } else { "NOT gathered" },
+            if self.gathered {
+                "gathered"
+            } else {
+                "NOT gathered"
+            },
             self.rounds,
             self.total_travel,
         )?;
@@ -86,6 +100,9 @@ mod tests {
                 activated: vec![0, 1],
                 crashed: vec![],
                 travel: 2.5,
+                classifications: 2,
+                cache_hits: 1,
+                weiszfeld_iters: 7,
             });
         }
         let m = summarize(
@@ -100,6 +117,9 @@ mod tests {
         assert_eq!(m.total_travel, 5.0);
         assert_eq!(m.class_sequence, vec![Class::Asymmetric, Class::Multiple]);
         assert_eq!(m.transitions[&(Class::Asymmetric, Class::Multiple)], 1);
+        assert_eq!(m.classifications, 4);
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.weiszfeld_iters, 14);
         let shown = format!("{m}");
         assert!(shown.contains("gathered"));
         assert!(shown.contains("A→M"));

@@ -8,8 +8,7 @@
 //! past the floor the robot actually stops.
 
 use gather_geom::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gather_prng::Rng;
 
 /// Chooses how far along `[from, to]` an activated robot travels.
 ///
@@ -68,7 +67,7 @@ impl MotionAdversary for AlwaysDelta {
 /// Stops every robot at a uniformly random fraction of its segment.
 #[derive(Debug, Clone)]
 pub struct RandomStops {
-    rng: StdRng,
+    rng: Rng,
     /// Probability that a move is allowed to complete outright.
     p_complete: f64,
 }
@@ -86,7 +85,7 @@ impl RandomStops {
             "completion probability must be in [0, 1]"
         );
         RandomStops {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             p_complete,
         }
     }

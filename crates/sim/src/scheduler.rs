@@ -17,8 +17,7 @@
 //! adversary that reads the configuration can be built with
 //! [`FnScheduler`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gather_prng::Rng;
 
 /// Chooses the set of robots to activate in each round.
 ///
@@ -137,7 +136,7 @@ impl Scheduler for SequentialSingle {
 pub struct RandomSubsets {
     p: f64,
     starvation_cap: u64,
-    rng: StdRng,
+    rng: Rng,
     last_active: Vec<u64>,
 }
 
@@ -150,11 +149,14 @@ impl RandomSubsets {
     ///
     /// Panics if `p` is not within `(0, 1]`.
     pub fn new(p: f64, starvation_cap: u64, seed: u64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "activation probability must be in (0, 1]"
+        );
         RandomSubsets {
             p,
             starvation_cap,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             last_active: Vec::new(),
         }
     }
@@ -280,7 +282,7 @@ mod tests {
     fn random_subsets_respects_starvation_cap() {
         let mut s = RandomSubsets::new(0.01, 5, 42);
         let alive = [true; 4];
-        let mut last = vec![0u64; 4];
+        let mut last = [0u64; 4];
         for round in 0..200 {
             for i in s.select(round, &alive) {
                 last[i] = round;

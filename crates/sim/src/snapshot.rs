@@ -1,6 +1,6 @@
 //! Snapshots: what a robot sees during its LOOK phase.
 
-use gather_config::Configuration;
+use gather_config::{Analysis, Configuration};
 use gather_geom::Point;
 
 /// The complete observation a robot obtains in its LOOK phase: the
@@ -11,10 +11,19 @@ use gather_geom::Point;
 /// Snapshots carry no identities, no velocities, no history and no global
 /// orientation: exactly the information the paper's model grants. The
 /// observer cannot tell which robots are crashed.
+///
+/// A snapshot may additionally carry the configuration's [`Analysis`]
+/// (class, `n`, movement target), already expressed in the snapshot's
+/// frame. This is a pure *performance* channel: the analysis is a function
+/// of the observed configuration, so carrying it grants the algorithm no
+/// information it could not compute itself — it only spares recomputing an
+/// identical classification once per robot per round (the engine computes
+/// it once and frame-transforms the target; see `gather_config::analysis`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     config: Configuration,
     me: Point,
+    analysis: Option<Analysis>,
 }
 
 impl Snapshot {
@@ -27,10 +36,34 @@ impl Snapshot {
     /// always sees itself.
     pub fn new(config: Configuration, me: Point) -> Self {
         assert!(
-            config.points().iter().any(|p| *p == me),
+            config.points().contains(&me),
             "observer position {me} not present in the observed configuration"
         );
-        Snapshot { config, me }
+        Snapshot {
+            config,
+            me,
+            analysis: None,
+        }
+    }
+
+    /// Creates a snapshot that carries a precomputed analysis of `config`,
+    /// expressed in the snapshot's own frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer is not in `config`, or if `analysis.n`
+    /// disagrees with the configuration size (the analysis must describe
+    /// *this* configuration).
+    pub fn with_analysis(config: Configuration, me: Point, analysis: Analysis) -> Self {
+        assert!(
+            analysis.n == config.len(),
+            "attached analysis describes {} robots, configuration has {}",
+            analysis.n,
+            config.len()
+        );
+        let mut snap = Snapshot::new(config, me);
+        snap.analysis = Some(analysis);
+        snap
     }
 
     /// The observed configuration (in the observer's frame).
@@ -47,6 +80,14 @@ impl Snapshot {
     pub fn n(&self) -> usize {
         self.config.len()
     }
+
+    /// The precomputed analysis of the observed configuration (in the
+    /// snapshot's frame), when the snapshot's producer attached one.
+    /// Algorithms fall back to classifying [`Self::config`] themselves when
+    /// absent — hand-built snapshots behave exactly as before.
+    pub fn analysis(&self) -> Option<&Analysis> {
+        self.analysis.as_ref()
+    }
 }
 
 impl std::fmt::Display for Snapshot {
@@ -58,6 +99,8 @@ impl std::fmt::Display for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gather_config::classify;
+    use gather_geom::Tol;
 
     #[test]
     fn snapshot_exposes_config_and_self() {
@@ -66,6 +109,7 @@ mod tests {
         assert_eq!(s.n(), 2);
         assert_eq!(s.me(), Point::new(1.0, 0.0));
         assert_eq!(s.config(), &c);
+        assert!(s.analysis().is_none());
     }
 
     #[test]
@@ -73,5 +117,26 @@ mod tests {
     fn observer_must_be_in_configuration() {
         let c = Configuration::new(vec![Point::new(0.0, 0.0)]);
         let _ = Snapshot::new(c, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn with_analysis_carries_the_analysis() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let a = classify(&c, Tol::default());
+        let s = Snapshot::with_analysis(c, Point::new(0.0, 0.0), a);
+        assert_eq!(s.analysis(), Some(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "attached analysis")]
+    fn with_analysis_rejects_mismatched_size() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let a = classify(&c, Tol::default());
+        let bigger = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]);
+        let _ = Snapshot::with_analysis(bigger, Point::new(0.0, 0.0), a);
     }
 }

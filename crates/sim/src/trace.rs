@@ -20,6 +20,14 @@ pub struct RoundRecord {
     pub crashed: Vec<usize>,
     /// Total distance travelled by robots this round.
     pub travel: f64,
+    /// `classify()` invocations performed during this round (shared
+    /// analysis, algorithm fallbacks, audits — everything on this thread).
+    pub classifications: u64,
+    /// Analysis-cache hits during this round (configuration unchanged since
+    /// the previous analysis, so the memoized result was reused).
+    pub cache_hits: u64,
+    /// Weiszfeld solver iterations spent during this round.
+    pub weiszfeld_iters: u64,
 }
 
 /// A complete execution trace.
@@ -83,6 +91,21 @@ impl Trace {
         self.records.iter().map(|r| r.travel).sum()
     }
 
+    /// Total `classify()` invocations over the execution.
+    pub fn total_classifications(&self) -> u64 {
+        self.records.iter().map(|r| r.classifications).sum()
+    }
+
+    /// Total analysis-cache hits over the execution.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.records.iter().map(|r| r.cache_hits).sum()
+    }
+
+    /// Total Weiszfeld iterations over the execution.
+    pub fn total_weiszfeld_iters(&self) -> u64 {
+        self.records.iter().map(|r| r.weiszfeld_iters).sum()
+    }
+
     /// The sequence of classes visited (consecutive duplicates collapsed).
     pub fn class_sequence(&self) -> Vec<Class> {
         let mut out: Vec<Class> = Vec::new();
@@ -108,6 +131,9 @@ mod tests {
             activated: vec![0],
             crashed: vec![],
             travel: 1.0,
+            classifications: 2,
+            cache_hits: 1,
+            weiszfeld_iters: 10,
         }
     }
 
@@ -160,6 +186,9 @@ mod tests {
         t.push(rec(0, Class::Multiple));
         t.push(rec(1, Class::Multiple));
         assert_eq!(t.total_travel(), 2.0);
+        assert_eq!(t.total_classifications(), 4);
+        assert_eq!(t.total_cache_hits(), 2);
+        assert_eq!(t.total_weiszfeld_iters(), 20);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert!(Trace::new().is_empty());

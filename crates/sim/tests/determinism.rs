@@ -60,6 +60,56 @@ fn different_seeds_diverge() {
 }
 
 #[test]
+fn random_subsets_activation_sequences_reproduce_from_the_seed() {
+    // The scheduler alone, outside any engine: two instances with the same
+    // seed must emit the same activation sets round for round, and the
+    // sequence must be non-trivial (different rounds activate different
+    // subsets — a constant sequence would satisfy equality vacuously).
+    let alive = vec![true; 12];
+    let mut s1 = RandomSubsets::new(0.5, 20, 99);
+    let mut s2 = RandomSubsets::new(0.5, 20, 99);
+    let seq1: Vec<Vec<usize>> = (0..200).map(|r| s1.select(r, &alive)).collect();
+    let seq2: Vec<Vec<usize>> = (0..200).map(|r| s2.select(r, &alive)).collect();
+    assert_eq!(seq1, seq2);
+    assert!(
+        seq1.windows(2).any(|w| w[0] != w[1]),
+        "activation sequence is constant — scheduler ignores its PRNG"
+    );
+    // A different seed gives a different sequence.
+    let mut s3 = RandomSubsets::new(0.5, 20, 100);
+    let seq3: Vec<Vec<usize>> = (0..200).map(|r| s3.select(r, &alive)).collect();
+    assert_ne!(seq1, seq3);
+}
+
+#[test]
+fn seeded_workloads_reproduce_their_configurations() {
+    // Seeded workload generators are pure functions of (shape, seed).
+    for seed in [0u64, 1, 42, 0xDEAD] {
+        assert_eq!(
+            gather_workloads::random_scatter(17, 10.0, seed),
+            gather_workloads::random_scatter(17, 10.0, seed)
+        );
+        assert_eq!(
+            gather_workloads::asymmetric(9, seed),
+            gather_workloads::asymmetric(9, seed)
+        );
+        assert_eq!(
+            gather_workloads::quasi_regular(5, 3, seed),
+            gather_workloads::quasi_regular(5, 3, seed)
+        );
+        assert_eq!(
+            gather_workloads::multiple(11, 4, seed),
+            gather_workloads::multiple(11, 4, seed)
+        );
+    }
+    // …and actually respond to the seed.
+    assert_ne!(
+        gather_workloads::random_scatter(17, 10.0, 1),
+        gather_workloads::random_scatter(17, 10.0, 2)
+    );
+}
+
+#[test]
 fn position_log_has_one_row_per_round_plus_initial() {
     let mut e = build(3);
     for _ in 0..10 {

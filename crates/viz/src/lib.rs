@@ -35,8 +35,8 @@ pub use trajectories::{render_trajectories, TrajectoryStyle};
 
 /// A categorical colour palette with good contrast on white.
 pub(crate) const PALETTE: [&str; 10] = [
-    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2",
-    "#ff9da6", "#9d755d", "#bab0ac", "#eeca3b",
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2", "#ff9da6", "#9d755d",
+    "#bab0ac", "#eeca3b",
 ];
 
 /// Picks a palette colour by index.

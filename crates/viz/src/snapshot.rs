@@ -44,7 +44,10 @@ pub fn render_configuration(config: &Configuration, tol: Tol, style: SnapshotSty
 
     if style.sec && distinct.len() > 1 {
         let (cx, cy) = vp.map(sec.center);
-        let (rx, _) = vp.map(gather_geom::Point::new(sec.center.x + sec.radius, sec.center.y));
+        let (rx, _) = vp.map(gather_geom::Point::new(
+            sec.center.x + sec.radius,
+            sec.center.y,
+        ));
         doc.circle_outline(cx, cy, rx - cx, "#bbbbbb", true);
     }
 

@@ -91,9 +91,21 @@ mod tests {
 
     fn demo_log() -> Vec<Vec<Point>> {
         vec![
-            vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0)],
-            vec![Point::new(1.0, 0.5), Point::new(3.0, 0.5), Point::new(2.0, 2.0)],
-            vec![Point::new(2.0, 1.0), Point::new(2.0, 1.0), Point::new(2.0, 1.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(2.0, 3.0),
+            ],
+            vec![
+                Point::new(1.0, 0.5),
+                Point::new(3.0, 0.5),
+                Point::new(2.0, 2.0),
+            ],
+            vec![
+                Point::new(2.0, 1.0),
+                Point::new(2.0, 1.0),
+                Point::new(2.0, 1.0),
+            ],
         ]
     }
 
@@ -113,8 +125,10 @@ mod tests {
     #[test]
     fn waypoints_add_circles() {
         let plain = render_trajectories(&demo_log(), &[], TrajectoryStyle::default());
-        let mut with = TrajectoryStyle::default();
-        with.waypoints = true;
+        let with = TrajectoryStyle {
+            waypoints: true,
+            ..Default::default()
+        };
         let dotted = render_trajectories(&demo_log(), &[], with);
         assert!(dotted.matches("<circle").count() > plain.matches("<circle").count());
     }

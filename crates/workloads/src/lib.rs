@@ -19,8 +19,7 @@
 
 use gather_config::{classify, Class, Configuration};
 use gather_geom::{Point, Tol};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gather_prng::Rng;
 use std::f64::consts::TAU;
 
 /// A bivalent configuration: `n/2` robots on each of two points.
@@ -29,7 +28,10 @@ use std::f64::consts::TAU;
 ///
 /// Panics if `n` is odd or `n < 2`.
 pub fn bivalent(n: usize, separation: f64) -> Vec<Point> {
-    assert!(n >= 2 && n % 2 == 0, "bivalent configurations need even n >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "bivalent configurations need even n >= 2"
+    );
     let a = Point::new(0.0, 0.0);
     let b = Point::new(separation, 0.0);
     let mut pts = vec![a; n / 2];
@@ -45,7 +47,7 @@ pub fn bivalent(n: usize, separation: f64) -> Vec<Point> {
 /// Panics if `stack < 2` or `stack >= n`.
 pub fn multiple(n: usize, stack: usize, seed: u64) -> Vec<Point> {
     assert!(stack >= 2 && stack < n, "need 2 <= stack < n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let heavy = Point::new(0.0, 0.0);
     let mut pts = vec![heavy; stack];
     while pts.len() < n {
@@ -66,7 +68,7 @@ pub fn multiple(n: usize, stack: usize, seed: u64) -> Vec<Point> {
 /// Panics if `n < 3` or `n` is even.
 pub fn collinear_1w(n: usize, seed: u64) -> Vec<Point> {
     assert!(n >= 3 && n % 2 == 1, "L1W generator wants odd n >= 3");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let dir = TAU * rng.random_range(0.0..1.0);
     let (s, c) = dir.sin_cos();
     let mut ts = std::collections::BTreeSet::new();
@@ -88,8 +90,11 @@ pub fn collinear_1w(n: usize, seed: u64) -> Vec<Point> {
 ///
 /// Panics if `n < 4` or `n` is odd.
 pub fn collinear_2w(n: usize, seed: u64) -> Vec<Point> {
-    assert!(n >= 4 && n % 2 == 0, "L2W generator wants even n >= 4");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "L2W generator wants even n >= 4"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
     let dir = TAU * rng.random_range(0.0..1.0);
     let (s, c) = dir.sin_cos();
     let mut ts = std::collections::BTreeSet::new();
@@ -121,7 +126,7 @@ pub fn regular_polygon(n: usize, radius: f64, phase: f64) -> Vec<Point> {
 /// (class `QR` with an occupied centre, exercising Lemma 3.4).
 pub fn ring_with_center(ring: usize, at_center: usize, radius: f64) -> Vec<Point> {
     let mut pts = regular_polygon(ring, radius, 0.37);
-    pts.extend(std::iter::repeat(Point::ORIGIN).take(at_center));
+    pts.extend(std::iter::repeat_n(Point::ORIGIN, at_center));
     pts
 }
 
@@ -152,7 +157,7 @@ pub fn biangular(k: usize, alpha: f64, r_even: f64, r_odd: f64) -> Vec<Point> {
 /// produces while driving class `QR` toward the Weber point.
 pub fn quasi_regular(m: usize, rings: usize, seed: u64) -> Vec<Point> {
     assert!(m >= 2, "quasi-regular symmetry must be at least 2");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut pts = Vec::new();
     for ring in 0..rings.max(1) {
         let base_r = 2.0 + 2.0 * ring as f64;
@@ -171,7 +176,7 @@ pub fn quasi_regular(m: usize, rings: usize, seed: u64) -> Vec<Point> {
 /// `n` robots uniformly scattered in a `2·extent`-sided square; positions
 /// are kept pairwise-distinct.
 pub fn random_scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut pts: Vec<Point> = Vec::with_capacity(n);
     while pts.len() < n {
         let p = Point::new(
@@ -189,7 +194,7 @@ pub fn random_scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
 /// multiplicities, possibly tied).
 pub fn clusters(n: usize, k: usize, seed: u64) -> Vec<Point> {
     assert!(k >= 1 && k <= n, "need 1 <= k <= n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let centers: Vec<Point> = (0..k)
         .map(|_| Point::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0)))
         .collect();
@@ -223,7 +228,7 @@ pub fn asymmetric(n: usize, seed: u64) -> Vec<Point> {
         let pts = if n == 4 {
             // Vertex-Weber construction: three satellites whose unit pull
             // at the origin stays below 1, at non-periodic angles.
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+            let mut rng = Rng::seed_from_u64(seed.wrapping_add(attempt));
             let jitter = rng.random_range(-5.0..5.0_f64).to_radians();
             let deg = |d: f64| d.to_radians() + jitter;
             vec![
@@ -268,7 +273,7 @@ pub fn near_bivalent(n: usize, separation: f64) -> Vec<Point> {
 /// circle — a useful stress case for view computation (every position is
 /// on the SEC boundary).
 pub fn co_circular(n: usize, radius: f64, seed: u64) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut angles: Vec<f64> = Vec::with_capacity(n);
     while angles.len() < n {
         let a = rng.random_range(0.0..TAU);
@@ -307,7 +312,7 @@ pub fn co_circular(n: usize, radius: f64, seed: u64) -> Vec<Point> {
 pub fn axially_symmetric(pairs: usize, on_axis: usize, seed: u64) -> Vec<Point> {
     assert!(pairs >= 2, "need at least two mirror pairs");
     for attempt in 0..1000 {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt * 7919));
+        let mut rng = Rng::seed_from_u64(seed.wrapping_add(attempt * 7919));
         let axis = rng.random_range(0.0..TAU);
         let (sin, cos) = axis.sin_cos();
         let mut pts = Vec::with_capacity(2 * pairs + on_axis);
@@ -344,10 +349,10 @@ pub fn of_class(class: Class, n: usize, seed: u64) -> Vec<Point> {
     let pts = match class {
         Class::Bivalent => bivalent(n - n % 2, 6.0),
         Class::Multiple => multiple(n, 2 + (seed as usize % (n - 2).max(1)).min(n - 2), seed),
-        Class::Collinear1W => collinear_1w(if n % 2 == 0 { n - 1 } else { n }, seed),
+        Class::Collinear1W => collinear_1w(if n.is_multiple_of(2) { n - 1 } else { n }, seed),
         Class::Collinear2W => collinear_2w(n - n % 2, seed),
         Class::QuasiRegular => {
-            if n % 2 == 0 && n >= 6 && seed % 2 == 0 {
+            if n.is_multiple_of(2) && n >= 6 && seed.is_multiple_of(2) {
                 biangular(n / 2, TAU / (n as f64), 2.0, 4.0)
             } else {
                 regular_polygon(n, 3.0, (seed as f64) * 0.1)
@@ -407,10 +412,7 @@ mod tests {
         // One robot at the centre keeps all multiplicities equal -> QR with
         // an occupied centre.
         assert_eq!(class_of(&ring_with_center(6, 1, 3.0)), Class::QuasiRegular);
-        assert_eq!(
-            class_of(&biangular(4, 0.5, 1.5, 3.0)),
-            Class::QuasiRegular
-        );
+        assert_eq!(class_of(&biangular(4, 0.5, 1.5, 3.0)), Class::QuasiRegular);
     }
 
     #[test]

@@ -92,10 +92,17 @@ fn bivalent_trap() {
     let half = pts.len() / 2;
     let mut engine = Engine::builder(pts)
         .algorithm(WaitFreeGather::default())
-        .scheduler(FnScheduler::new("serialise-groups", move |round, alive: &[bool]| {
-            let range = if round % 2 == 0 { 0..half } else { half..alive.len() };
-            range.filter(|i| alive[*i]).collect()
-        }))
+        .scheduler(FnScheduler::new(
+            "serialise-groups",
+            move |round, alive: &[bool]| {
+                let range = if round % 2 == 0 {
+                    0..half
+                } else {
+                    half..alive.len()
+                };
+                range.filter(|i| alive[*i]).collect()
+            },
+        ))
         .frames(FramePolicy::GlobalFrame)
         .check_invariants(false)
         .build();

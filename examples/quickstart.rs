@@ -50,8 +50,15 @@ fn main() {
             .map(|c| c.short_name())
             .collect::<Vec<_>>()
     );
-    println!("total distance travelled: {:.2}", engine.trace().total_travel());
-    println!("live robots at the end: {}/{}", engine.live_count(), engine.positions().len());
+    println!(
+        "total distance travelled: {:.2}",
+        engine.trace().total_travel()
+    );
+    println!(
+        "live robots at the end: {}/{}",
+        engine.live_count(),
+        engine.positions().len()
+    );
     assert!(outcome.gathered(), "WAIT-FREE-GATHER must gather here");
     assert!(engine.violations().is_empty());
 }

@@ -41,7 +41,10 @@ fn run(algorithm: Box<dyn Algorithm>, f: usize, seed: u64) -> (bool, u64, f64) {
 fn main() {
     println!("search-and-rescue rendezvous: n = {N} robots, seeded deployment");
     println!();
-    println!("{:>4} | {:^28} | {:^28}", "", "WAIT-FREE-GATHER", "ordered march (classic)");
+    println!(
+        "{:>4} | {:^28} | {:^28}",
+        "", "WAIT-FREE-GATHER", "ordered march (classic)"
+    );
     println!(
         "{:>4} | {:>9} {:>8} {:>9} | {:>9} {:>8} {:>9}",
         "f", "gathered", "rounds", "travel", "gathered", "rounds", "travel"

@@ -12,9 +12,7 @@
 //! cargo run --example symmetric_swarm
 //! ```
 
-use gather_config::{
-    classify, detect_quasi_regularity, rotational_symmetry, Configuration,
-};
+use gather_config::{classify, detect_quasi_regularity, rotational_symmetry, Configuration};
 use gather_geom::{Point, Tol};
 use gather_sim::prelude::*;
 use gather_workloads as workloads;
@@ -54,7 +52,10 @@ fn inspect(name: &str, pts: Vec<Point>) {
     match outcome {
         RunOutcome::Gathered { round, point } => println!(
             "{:<22} gathered in {round} rounds at ({:.3}, {:.3}); classes {}",
-            "", point.x, point.y, classes.join("→")
+            "",
+            point.x,
+            point.y,
+            classes.join("→")
         ),
         RunOutcome::RoundLimit { rounds } => {
             println!("{:<22} FAILED to gather in {rounds} rounds", "")
@@ -69,10 +70,7 @@ fn main() {
 
     inspect("pentagon", workloads::regular_polygon(5, 4.0, 0.2));
     inspect("hexagon + centre", workloads::ring_with_center(6, 1, 5.0));
-    inspect(
-        "biangular (k=4)",
-        workloads::biangular(4, 0.45, 2.0, 5.0),
-    );
+    inspect("biangular (k=4)", workloads::biangular(4, 0.45, 2.0, 5.0));
     inspect("two nested squares", {
         let mut pts = workloads::regular_polygon(4, 5.0, 0.0);
         pts.extend(workloads::regular_polygon(4, 2.0, 0.6));

@@ -78,10 +78,17 @@ fn render_bivalent_trap() {
     let half = pts.len() / 2;
     let mut engine = Engine::builder(pts)
         .algorithm(WaitFreeGather::default())
-        .scheduler(FnScheduler::new("serialise-groups", move |round, alive: &[bool]| {
-            let range = if round % 2 == 0 { 0..half } else { half..alive.len() };
-            range.filter(|i| alive[*i]).collect()
-        }))
+        .scheduler(FnScheduler::new(
+            "serialise-groups",
+            move |round, alive: &[bool]| {
+                let range = if round % 2 == 0 {
+                    0..half
+                } else {
+                    half..alive.len()
+                };
+                range.filter(|i| alive[*i]).collect()
+            },
+        ))
         .frames(FramePolicy::GlobalFrame)
         .record_positions(true)
         .check_invariants(false)

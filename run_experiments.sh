@@ -1,6 +1,11 @@
 #!/bin/sh
 # Regenerates every experiment table/figure CSV under results/.
+# Runs the offline build+test gate first so tables are never produced from
+# a broken tree; skip it with NO_CHECK=1 ./run_experiments.sh.
 set -e
+if [ -z "$NO_CHECK" ]; then
+  sh "$(dirname "$0")/scripts/check.sh"
+fi
 for bin in t1_theorem51 t2_baselines t3_bivalent t4_qr_detection t5_waitfree \
            t6_classification t7_byzantine f1_scaling f2_delta f3_transitions \
            f4_potential f5_crash_timing f6_staleness a1_ablations b1_throughput; do

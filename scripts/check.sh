@@ -1,0 +1,29 @@
+#!/bin/sh
+# Offline quality gate (hermetic-build policy, DESIGN.md §8): the default
+# dependency graph is path-only, so build and tests must pass with zero
+# network access. fmt and clippy run when the components are installed,
+# and are skipped (with a note) when they are not.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== build (offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "== fmt =="
+  cargo fmt --all --check
+else
+  echo "== fmt: rustfmt not installed, skipped =="
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "== clippy =="
+  cargo clippy --release --offline --workspace --all-targets -- -D warnings
+else
+  echo "== clippy: not installed, skipped =="
+fi
+
+echo "== check.sh: all gates passed =="

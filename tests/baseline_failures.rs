@@ -85,10 +85,17 @@ fn assert_stays_bivalent(algorithm: impl Algorithm + 'static, label: &str) {
     let half = pts.len() / 2;
     let mut engine = Engine::builder(pts)
         .algorithm(algorithm)
-        .scheduler(FnScheduler::new("alternate-groups", move |round, alive: &[bool]| {
-            let range = if round % 2 == 0 { 0..half } else { half..alive.len() };
-            range.filter(|i| alive[*i]).collect()
-        }))
+        .scheduler(FnScheduler::new(
+            "alternate-groups",
+            move |round, alive: &[bool]| {
+                let range = if round % 2 == 0 {
+                    0..half
+                } else {
+                    half..alive.len()
+                };
+                range.filter(|i| alive[*i]).collect()
+            },
+        ))
         .frames(FramePolicy::GlobalFrame)
         .check_invariants(false)
         .build();
@@ -135,7 +142,15 @@ fn wfg_handles_multi_multiplicity_starts_that_break_the_classics() {
     let heavy1 = Point::new(0.0, 0.0);
     let heavy2 = Point::new(6.0, 0.0);
     let heavy3 = Point::new(2.0, 5.0);
-    let pts = vec![heavy1, heavy1, heavy2, heavy2, heavy3, heavy3, Point::new(3.0, 1.0)];
+    let pts = vec![
+        heavy1,
+        heavy1,
+        heavy2,
+        heavy2,
+        heavy3,
+        heavy3,
+        Point::new(3.0, 1.0),
+    ];
     let mut engine = Engine::builder(pts)
         .algorithm(WaitFreeGather::default())
         .scheduler(RoundRobin::new(2))
@@ -161,7 +176,7 @@ fn center_of_gravity_stalls_under_adversarial_stops_longer_than_wfg() {
             .build();
         engine.run(200_000)
     };
-    let wfg = run(Box::new(WaitFreeGather::default()));
+    let wfg = run(Box::<WaitFreeGather>::default());
     let cog = run(Box::new(CenterOfGravity::new()));
     assert!(wfg.gathered(), "WFG failed: {wfg:?}");
     // CoG may or may not finish; if it does, it must not beat WFG by much —

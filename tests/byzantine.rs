@@ -69,7 +69,10 @@ fn byzantine_robot_is_excluded_from_the_gathered_predicate() {
             assert!(engine.positions()[i].within(point, 1e-6));
         }
     }
-    assert!(!engine.positions()[1].within(point, 1e-6), "fugitive joined?");
+    assert!(
+        !engine.positions()[1].within(point, 1e-6),
+        "fugitive joined?"
+    );
 }
 
 #[test]

@@ -24,20 +24,16 @@ use std::collections::BTreeSet;
 fn allowed(from: Class, to: Class) -> bool {
     use Class::*;
     match from {
-        Multiple => false,                                  // M is absorbing
-        Collinear1W => matches!(to, Multiple),              // L1W → M
+        Multiple => false,                     // M is absorbing
+        Collinear1W => matches!(to, Multiple), // L1W → M
         QuasiRegular => matches!(to, Multiple | Collinear1W),
         Asymmetric => matches!(to, Multiple | Collinear1W | QuasiRegular),
-        Collinear2W => to != Bivalent,                      // anything but B
-        Bivalent => to != Bivalent,                         // out of contract
+        Collinear2W => to != Bivalent, // anything but B
+        Bivalent => to != Bivalent,    // out of contract
     }
 }
 
-fn run_and_collect(
-    pts: Vec<Point>,
-    f: usize,
-    seed: u64,
-) -> (Engine, RunOutcome) {
+fn run_and_collect(pts: Vec<Point>, f: usize, seed: u64) -> (Engine, RunOutcome) {
     let n = pts.len();
     let mut engine = Engine::builder(pts)
         .algorithm(WaitFreeGather::default())
@@ -97,7 +93,11 @@ fn no_execution_ever_enters_bivalent() {
                 record.round
             );
         }
-        assert!(engine.violations().is_empty(), "start {i}: {:?}", engine.violations());
+        assert!(
+            engine.violations().is_empty(),
+            "start {i}: {:?}",
+            engine.violations()
+        );
     }
 }
 

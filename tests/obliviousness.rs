@@ -88,13 +88,16 @@ fn history_cannot_leak_through_the_engine() {
     let pts = workloads::of_class(Class::Multiple, 6, 11);
     let mut idle_first = Engine::builder(pts.clone())
         .algorithm(WaitFreeGather::default())
-        .scheduler(FnScheduler::new("idle-then-full", |round, alive: &[bool]| {
-            if round == 0 {
-                Vec::new() // nobody moves in round 0
-            } else {
-                (0..alive.len()).collect()
-            }
-        }))
+        .scheduler(FnScheduler::new(
+            "idle-then-full",
+            |round, alive: &[bool]| {
+                if round == 0 {
+                    Vec::new() // nobody moves in round 0
+                } else {
+                    (0..alive.len()).collect()
+                }
+            },
+        ))
         .frames(FramePolicy::GlobalFrame)
         .build();
     let mut direct = Engine::builder(pts)

@@ -1,10 +1,16 @@
+//! **Gated behind `--features external-deps`** (hermetic-build policy,
+//! DESIGN.md §8): this suite needs the external `proptest` package, which
+//! the default offline profile does not resolve. The same properties are
+//! covered by the in-tree seeded-loop tests in `seeded_properties.rs`.
+#![cfg(feature = "external-deps")]
+
 //! Property-based tests (proptest) over the public API: the paper's
 //! lemmas as universally-quantified statements on random configurations.
 
 use gather_config::{classify, rotational_symmetry, safe_points, Class, Configuration};
 use gather_geom::{
-    convex_hull, hull_contains, smallest_enclosing_circle, weber_objective,
-    weber_point_weiszfeld, Point, Similarity, Tol,
+    convex_hull, hull_contains, smallest_enclosing_circle, weber_objective, weber_point_weiszfeld,
+    Point, Similarity, Tol,
 };
 use gather_sim::{Algorithm, Snapshot};
 use gathering::WaitFreeGather;
@@ -25,11 +31,7 @@ fn arb_config() -> impl Strategy<Value = Vec<Point>> {
 
 /// A random orientation-preserving similarity with a benign scale range.
 fn arb_similarity() -> impl Strategy<Value = Similarity> {
-    (
-        0.0..std::f64::consts::TAU,
-        0.25f64..4.0,
-        arb_point(),
-    )
+    (0.0..std::f64::consts::TAU, 0.25f64..4.0, arb_point())
         .prop_map(|(theta, scale, origin)| Similarity::new(theta, scale, origin))
 }
 

@@ -1,0 +1,241 @@
+//! Seeded-loop ports of the cross-crate property suite (hermetic-build
+//! policy, DESIGN.md §8): the paper's lemmas as universally-quantified
+//! statements on random configurations, as in `properties.rs`, but driven
+//! by the in-tree PRNG so they run in the default offline build.
+
+use gather_config::{classify, rotational_symmetry, safe_points, Class, Configuration};
+use gather_geom::{
+    convex_hull, hull_contains, smallest_enclosing_circle, weber_objective, weber_point_weiszfeld,
+    Point, Similarity, Tol,
+};
+use gather_prng::Rng;
+use gather_sim::{Algorithm, Snapshot};
+use gathering::WaitFreeGather;
+use std::f64::consts::TAU;
+
+const CASES: usize = 64;
+
+/// Random point with coordinates on a centi-grid in [-10, 10] — the grid
+/// keeps configurations away from knife-edge classification boundaries,
+/// like every physical deployment would be.
+fn point(rng: &mut Rng) -> Point {
+    Point::new(
+        rng.random_range(-1000i32..1000) as f64 / 100.0,
+        rng.random_range(-1000i32..1000) as f64 / 100.0,
+    )
+}
+
+/// A configuration of 3..=12 robots with possible co-location (multiset).
+fn raw_points(rng: &mut Rng) -> Vec<Point> {
+    let n = rng.random_range(3usize..13);
+    (0..n).map(|_| point(rng)).collect()
+}
+
+/// A random orientation-preserving similarity with a benign scale range.
+fn similarity(rng: &mut Rng) -> Similarity {
+    Similarity::new(
+        rng.random_range(0.0..TAU),
+        rng.random_range(0.25f64..4.0),
+        point(rng),
+    )
+}
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+#[test]
+fn classification_is_total_and_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xF001);
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        assert_eq!(
+            classify(&config, tol()).class,
+            classify(&config, tol()).class
+        );
+    }
+}
+
+#[test]
+fn classification_and_symmetry_are_similarity_invariant() {
+    let mut rng = Rng::seed_from_u64(0xF002);
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        let sim = similarity(&mut rng);
+        let moved = Configuration::canonical(
+            config.points().iter().map(|p| sim.apply(*p)).collect(),
+            tol(),
+        );
+        assert_eq!(
+            classify(&config, tol()).class,
+            classify(&moved, tol()).class,
+            "class changed under similarity on {config}"
+        );
+        assert_eq!(
+            rotational_symmetry(&config, tol()),
+            rotational_symmetry(&moved, tol()),
+            "symmetry changed under similarity on {config}"
+        );
+    }
+}
+
+#[test]
+fn non_linear_configurations_have_safe_points() {
+    // Lemma 4.2.
+    let mut rng = Rng::seed_from_u64(0xF003);
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        if !config.is_linear(tol()) {
+            assert!(
+                !safe_points(&config, tol()).is_empty(),
+                "no safe point in non-linear {config}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bivalent_and_l2w_have_no_safe_points() {
+    // Lemma 4.3 (on whatever random configs land in B or L2W).
+    let mut rng = Rng::seed_from_u64(0xF004);
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        let class = classify(&config, tol()).class;
+        if class == Class::Bivalent || class == Class::Collinear2W {
+            assert!(safe_points(&config, tol()).is_empty());
+        }
+    }
+}
+
+#[test]
+fn wfg_destination_is_equivariant() {
+    let mut rng = Rng::seed_from_u64(0xF005);
+    let alg = WaitFreeGather::default();
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        let sim = similarity(&mut rng);
+        for me in config.distinct_points() {
+            let d = alg.destination(&Snapshot::new(config.clone(), me));
+            let moved = config.map(|p| sim.apply(p));
+            let dm = alg.destination(&Snapshot::new(moved, sim.apply(me)));
+            // Allow noise proportional to the configuration extent.
+            let extent = config.sec().radius.max(1.0) * sim.scale();
+            assert!(
+                sim.apply(d).dist(dm) <= 1e-4 * extent,
+                "equivariance violated at {me}: {} vs {dm}",
+                sim.apply(d)
+            );
+        }
+    }
+}
+
+#[test]
+fn wfg_moves_everyone_except_at_most_one_location() {
+    // Lemma 5.1 (wait-freeness), on random configurations.
+    let mut rng = Rng::seed_from_u64(0xF006);
+    let alg = WaitFreeGather::default();
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        let class = classify(&config, tol()).class;
+        if class == Class::Bivalent || config.is_gathered() {
+            continue;
+        }
+        let mut staying = 0usize;
+        for p in config.distinct_points() {
+            let d = alg.destination(&Snapshot::new(config.clone(), p));
+            if d.within(p, tol().abs) {
+                staying += 1;
+            }
+        }
+        assert!(staying <= 1, "{staying} staying locations in {config}");
+    }
+}
+
+#[test]
+fn wfg_never_targets_outside_the_hull_by_far() {
+    // Sanity: destinations stay within the configuration's geometric
+    // footprint (hull inflated by the side-step slack).
+    let mut rng = Rng::seed_from_u64(0xF007);
+    let alg = WaitFreeGather::default();
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        let hull = convex_hull(&config.distinct_points());
+        let radius = config.sec().radius;
+        for p in config.distinct_points() {
+            let d = alg.destination(&Snapshot::new(config.clone(), p));
+            let inflated = Tol::new(1e-9, 1e-9, 2.0 * radius.max(1.0));
+            assert!(
+                hull_contains(&hull, d, tol()) || hull.iter().any(|h| d.within(*h, inflated.snap)),
+                "destination {d} far outside the configuration {config}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sec_contains_all_points_and_is_snug() {
+    let mut rng = Rng::seed_from_u64(0xF008);
+    for _ in 0..CASES {
+        let distinct = Configuration::canonical(raw_points(&mut rng), tol()).distinct_points();
+        let circle = smallest_enclosing_circle(&distinct);
+        for p in &distinct {
+            assert!(circle.contains(*p, tol()));
+        }
+        if distinct.len() > 1 {
+            let max_d = distinct
+                .iter()
+                .map(|p| circle.center.dist(*p))
+                .fold(0.0, f64::max);
+            assert!(
+                (max_d - circle.radius).abs() <= 1e-6 * circle.radius.max(1.0),
+                "SEC is slack"
+            );
+        }
+    }
+}
+
+#[test]
+fn weiszfeld_beats_every_input_point() {
+    let mut rng = Rng::seed_from_u64(0xF009);
+    for _ in 0..CASES {
+        let pts = raw_points(&mut rng);
+        let result = weber_point_weiszfeld(&pts, tol());
+        for p in &pts {
+            assert!(
+                result.objective <= weber_objective(*p, &pts) + 1e-6,
+                "Weber objective {} worse than input point {p}",
+                result.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn weber_point_is_invariant_under_contraction() {
+    // Lemma 3.2, numerically: move every point halfway to the Weber point;
+    // the Weber point stays (within solver noise).
+    let mut rng = Rng::seed_from_u64(0xF00A);
+    for _ in 0..CASES {
+        let config = Configuration::canonical(raw_points(&mut rng), tol());
+        if config.is_linear(tol()) {
+            continue; // linear Weber sets may be intervals
+        }
+        let w = weber_point_weiszfeld(config.points(), tol()).point;
+        let moved: Vec<Point> = config.points().iter().map(|p| p.lerp(w, 0.5)).collect();
+        let w2 = weber_point_weiszfeld(&moved, tol()).point;
+        let scale = config.sec().radius.max(1.0);
+        assert!(w.dist(w2) <= 1e-3 * scale, "Weber drifted {w} → {w2}");
+    }
+}
+
+#[test]
+fn hull_contains_every_input_point() {
+    let mut rng = Rng::seed_from_u64(0xF00B);
+    for _ in 0..CASES {
+        let pts = raw_points(&mut rng);
+        let hull = convex_hull(&pts);
+        for p in &pts {
+            assert!(hull_contains(&hull, *p, tol()));
+        }
+    }
+}

@@ -178,12 +178,7 @@ fn gathering_point_hosts_all_live_robots() {
     let RunOutcome::Gathered { point, .. } = outcome else {
         panic!("did not gather: {outcome:?}");
     };
-    for (i, (p, alive)) in engine
-        .positions()
-        .iter()
-        .zip(engine.alive())
-        .enumerate()
-    {
+    for (i, (p, alive)) in engine.positions().iter().zip(engine.alive()).enumerate() {
         if *alive {
             assert!(p.within(point, 1e-6), "live robot {i} at {p}, not {point}");
         }
@@ -200,23 +195,27 @@ fn crash_timing_targeting_the_elected_leader() {
     let pts = workloads::of_class(Class::Asymmetric, 9, 67);
     let mut engine = Engine::builder(pts)
         .algorithm(WaitFreeGather::default())
-        .crash_plan(TargetedCrashes::new("leader-killer", 6, |round, config: &Configuration, alive: &[bool]| {
-            if round % 4 != 0 {
-                return Vec::new();
-            }
-            let analysis = classify(config, Tol::default());
-            let Some(target) = analysis.target else {
-                return Vec::new();
-            };
-            config
-                .points()
-                .iter()
-                .enumerate()
-                .filter(|(i, p)| alive[*i] && p.within(target, 1e-6))
-                .map(|(i, _)| i)
-                .take(1)
-                .collect()
-        }))
+        .crash_plan(TargetedCrashes::new(
+            "leader-killer",
+            6,
+            |round, config: &Configuration, alive: &[bool]| {
+                if round % 4 != 0 {
+                    return Vec::new();
+                }
+                let analysis = classify(config, Tol::default());
+                let Some(target) = analysis.target else {
+                    return Vec::new();
+                };
+                config
+                    .points()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| alive[*i] && p.within(target, 1e-6))
+                    .map(|(i, _)| i)
+                    .take(1)
+                    .collect()
+            },
+        ))
         .scheduler(RoundRobin::new(2))
         .build();
     let outcome = engine.run(60_000);
