@@ -3,23 +3,56 @@
 //!
 //! Measures rounds/second and LOOK-phase cost for team sizes up to 128,
 //! for the paper's algorithm and the cheapest baseline, with the invariant
-//! audit on and off — and, for the paper's algorithm, with the shared
-//! per-round analysis pipeline on (default) and off (the naive per-robot
-//! classification it replaced). The per-round metrics columns
-//! (classifications, cache-hit rate, Weiszfeld iterations) make the cache's
-//! work observable directly, not just through wall-clock. This is the "can
-//! a laptop run the whole evaluation" table backing the repro=5 banding.
+//! audit on and off — and, for the paper's algorithm, a four-way ablation.
 //!
-//! Besides the CSV, writes `BENCH_b1_throughput.json` in the working
-//! directory recording the shared-vs-naive rounds/sec ablation per team
-//! size.
+//! Two workloads, each matched to what it measures:
+//!
+//! * **throughput/allocation matrix** — a class-`M` start driven by the
+//!   `δ`-only motion adversary: the satellites creep toward the heavy
+//!   stack for the whole budget, so every measured round is the
+//!   algorithm's combinatorial steady state (class `M` never reaches the
+//!   Weiszfeld solver);
+//! * **Weiszfeld warm-start ablation** — a quasi-regular multi-ring with
+//!   an unoccupied centre, where every round re-detects regularity through
+//!   the numeric Weber candidate; this is the regime where Lemma 3.2's
+//!   warm start pays, reported as iterations/round warm vs cold.
+//!
+//! The four ablation variants:
+//!
+//! * `shared` — the default engine: shared per-round analysis, Weiszfeld
+//!   warm-started from the previous round's Weber point (Lemma 3.2), and
+//!   reusable scratch buffers (the zero-allocation round loop);
+//! * `cold-start` — shared analysis but every Weiszfeld run starts cold
+//!   from the centroid, quantifying the warm start's saving;
+//! * `clone-buffers` — shared analysis but fresh buffers every round (the
+//!   pre-scratch engine's allocation behaviour);
+//! * `per-robot` — the naive pipeline: every robot classifies for itself.
+//!
+//! Built with `--features alloc-audit`, a counting global allocator adds
+//! two columns: heap allocations per round over the whole run, and over
+//! the *steady state* (consecutive class-`M` rounds after the trace ring
+//! warmed up) — the scratch path must report exactly `0` there, and the
+//! run exits non-zero if it does not. Without the feature the columns read
+//! `n/a`.
+//!
+//! Besides the CSV, writes `BENCH_b1_throughput.json` recording the
+//! ablation per team size — unless `--baseline PATH` is given, in which
+//! case the fresh numbers are compared against the committed record and
+//! the run fails on a >20 % rounds/sec regression of the default engine
+//! (the JSON then goes to the `--out` directory instead of overwriting the
+//! baseline).
 
 use gather_bench::table::{f, Table};
-use gather_bench::Args;
+use gather_bench::{alloc_audit, Args};
+use gather_config::Class;
 use gather_sim::prelude::*;
 use gather_workloads as workloads;
 use gathering::{CenterOfGravity, WaitFreeGather};
 use std::time::Instant;
+
+/// Bounded trace: aggregates cover the whole run, the ring stops
+/// allocating once it holds this many records.
+const TRACE_CAP: usize = 64;
 
 struct Measurement {
     rounds_per_sec: f64,
@@ -27,7 +60,48 @@ struct Measurement {
     classify_per_round: f64,
     cache_hit_rate: f64,
     weiszfeld_per_round: f64,
+    /// Heap allocations per round over the whole measured loop
+    /// (`None` without the `alloc-audit` feature).
+    allocs_per_round: Option<f64>,
+    /// Heap allocations per steady-state round: consecutive class-`M`
+    /// rounds after the trace ring warmed up. `None` without the feature
+    /// or when the run never reached a steady window.
+    steady_allocs_per_round: Option<f64>,
 }
+
+/// Engine-pipeline ablation axes for the paper's algorithm.
+#[derive(Clone, Copy, PartialEq)]
+struct Variant {
+    label: &'static str,
+    shared: bool,
+    warm: bool,
+    reuse: bool,
+}
+
+const SHARED: Variant = Variant {
+    label: "shared",
+    shared: true,
+    warm: true,
+    reuse: true,
+};
+const COLD_START: Variant = Variant {
+    label: "cold-start",
+    shared: true,
+    warm: false,
+    reuse: true,
+};
+const CLONE_BUFFERS: Variant = Variant {
+    label: "clone-buffers",
+    shared: true,
+    warm: true,
+    reuse: false,
+};
+const PER_ROBOT: Variant = Variant {
+    label: "per-robot",
+    shared: false,
+    warm: true,
+    reuse: true,
+};
 
 /// Best of `trials` timed runs (the metrics columns are deterministic and
 /// identical across trials; wall-clock is not, and the minimum elapsed time
@@ -36,13 +110,13 @@ fn measure_best(
     n: usize,
     algorithm: &str,
     audit: bool,
-    shared: bool,
+    variant: Variant,
     rounds: u64,
     trials: usize,
 ) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..trials {
-        let m = measure(n, algorithm, audit, shared, rounds);
+        let m = measure(n, algorithm, audit, variant, rounds);
         best = match best {
             Some(b) if b.rounds_per_sec >= m.rounds_per_sec => Some(b),
             _ => Some(m),
@@ -51,31 +125,58 @@ fn measure_best(
     best.expect("at least one trial")
 }
 
-fn measure(n: usize, algorithm: &str, audit: bool, shared: bool, rounds: u64) -> Measurement {
-    let pts = workloads::random_scatter(n, 10.0, 7);
+fn measure(n: usize, algorithm: &str, audit: bool, variant: Variant, rounds: u64) -> Measurement {
+    // A class-M start under the stingiest motion adversary: satellites
+    // creep toward the heavy stack by δ per activation, so the run stays
+    // in the algorithm's steady state (class M, no Weiszfeld) for the
+    // whole budget instead of gathering after a couple dozen rounds.
+    let pts = workloads::multiple(n, 3, 7);
     let mut builder = Engine::builder(pts)
         .scheduler(RoundRobin::new(2.max(n / 4)))
-        .motion(RandomStops::new(0.3, 3))
+        .motion(AlwaysDelta)
         .check_invariants(audit)
-        .shared_analysis(shared);
+        .shared_analysis(variant.shared)
+        .warm_start(variant.warm)
+        .reuse_buffers(variant.reuse)
+        .trace_capacity(TRACE_CAP);
     builder = match algorithm {
         "wait-free-gather" => builder.algorithm(WaitFreeGather::default()),
         "center-of-gravity" => builder.algorithm(CenterOfGravity::new()),
         other => panic!("unknown algorithm {other}"),
     };
     let mut engine = builder.build();
+    let allocs_before = alloc_audit::heap_allocations();
     let start = Instant::now();
     let mut executed = 0u64;
+    // Steady-state alloc window: consecutive class-M rounds, opened only
+    // after the trace ring is warm (the first TRACE_CAP pushes grow it)
+    // and after one M round absorbed the one-off aggregate entries
+    // (histogram key, transition edge, collapsed-sequence push).
+    let mut m_streak = 0u64;
+    let mut steady_rounds = 0u64;
+    let mut steady_allocs_start = alloc_audit::heap_allocations();
     for _ in 0..rounds {
         if engine.is_gathered() {
             // Stop at the gathered fixed point to keep measuring
             // steady-state rounds.
             break;
         }
-        engine.step();
+        let class = engine.step().class;
         executed += 1;
+        if class == Class::Multiple {
+            m_streak += 1;
+        } else {
+            m_streak = 0;
+        }
+        if m_streak >= 2 && executed > TRACE_CAP as u64 {
+            steady_rounds += 1;
+        } else {
+            steady_rounds = 0;
+            steady_allocs_start = alloc_audit::heap_allocations();
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let allocs_after = alloc_audit::heap_allocations();
     if executed == 0 {
         return Measurement {
             rounds_per_sec: 0.0,
@@ -83,6 +184,8 @@ fn measure(n: usize, algorithm: &str, audit: bool, shared: bool, rounds: u64) ->
             classify_per_round: 0.0,
             cache_hit_rate: 0.0,
             weiszfeld_per_round: 0.0,
+            allocs_per_round: None,
+            steady_allocs_per_round: None,
         };
     }
     let trace = engine.trace();
@@ -99,7 +202,97 @@ fn measure(n: usize, algorithm: &str, audit: bool, shared: bool, rounds: u64) ->
             hits as f64 / served as f64
         },
         weiszfeld_per_round: trace.total_weiszfeld_iters() as f64 / executed as f64,
+        allocs_per_round: allocs_before
+            .zip(allocs_after)
+            .map(|(b, a)| (a - b) as f64 / executed as f64),
+        steady_allocs_per_round: if steady_rounds == 0 {
+            None
+        } else {
+            allocs_after
+                .zip(steady_allocs_start)
+                .map(|(a, s)| (a - s) as f64 / steady_rounds as f64)
+        },
     }
+}
+
+/// Weiszfeld iterations per round on a workload that actually exercises
+/// the numeric solver.
+///
+/// Classes `M`/`L1W`/`L2W` decide their targets combinatorially and never
+/// reach Weiszfeld (classification short-circuits before quasi-regularity
+/// detection), so the warm-start ablation is measured where the solver
+/// lives: a quasi-regular configuration with an *unoccupied* centre, whose
+/// every round re-detects regularity through the numeric Weber candidate.
+/// Robots creep toward the centre by δ per activation, so the
+/// configuration changes every round (cache miss) while staying in class
+/// `QR` for the whole budget — the regime Lemma 3.2's warm start targets.
+fn measure_weiszfeld(n: usize, variant: Variant, rounds: u64) -> f64 {
+    // `quasi_regular` yields 4·rings robots; ×5 scaling keeps every radius
+    // ≥ 2 so no robot reaches the centre within the budget (δ = 0.01).
+    assert!(n >= 8 && n.is_multiple_of(4), "QR workload wants 4 | n");
+    let pts: Vec<_> = workloads::quasi_regular(4, n / 4, 11)
+        .into_iter()
+        .map(|p| gather_geom::Point::new(p.x * 5.0, p.y * 5.0))
+        .collect();
+    let mut engine = Engine::builder(pts)
+        .algorithm(WaitFreeGather::default())
+        .scheduler(RoundRobin::new(2.max(n / 4)))
+        .motion(AlwaysDelta)
+        .check_invariants(false)
+        .shared_analysis(variant.shared)
+        .warm_start(variant.warm)
+        .reuse_buffers(variant.reuse)
+        .trace_capacity(TRACE_CAP)
+        .build();
+    let mut executed = 0u64;
+    for _ in 0..rounds {
+        let record = engine.step();
+        executed += 1;
+        debug_assert_eq!(record.class, Class::QuasiRegular);
+    }
+    engine.trace().total_weiszfeld_iters() as f64 / executed.max(1) as f64
+}
+
+fn opt(x: Option<f64>, digits: usize) -> String {
+    x.map(|v| f(v, digits)).unwrap_or_else(|| "n/a".into())
+}
+
+/// One ablation line of the JSON record.
+#[derive(Default)]
+struct AblationRow {
+    shared_rps: f64,
+    per_robot_rps: f64,
+    cold_rps: f64,
+    clone_rps: f64,
+    weiszfeld_warm: f64,
+    weiszfeld_cold: f64,
+    steady_allocs: Option<f64>,
+}
+
+/// Extracts the committed `(n, shared_analysis rounds/sec)` pairs from a
+/// baseline JSON by scanning for the two keys — enough structure for the
+/// file this binary itself writes, with no JSON dependency.
+fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(n) = extract_number(line, "\"n\":") else {
+            continue;
+        };
+        let Some(rps) = extract_number(line, "\"shared_analysis\":") else {
+            continue;
+        };
+        out.push((n as usize, rps));
+    }
+    out
+}
+
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn main() {
@@ -111,7 +304,7 @@ fn main() {
     };
     let mut table = Table::new(&[
         "algorithm",
-        "analysis",
+        "variant",
         "audit",
         "n",
         "rounds/s",
@@ -119,45 +312,68 @@ fn main() {
         "classify/rnd",
         "hit%",
         "weiszfeld/rnd",
+        "alloc/rnd",
+        "steady-alloc/rnd",
     ]);
-    // (algorithm, shared analysis, audit). The shared-vs-naive pair for the
-    // paper's algorithm is the ablation quantifying the pipeline's win.
+    // (algorithm, variant, audit). The four wait-free audit-off variants
+    // form the ablation quantifying the pipeline, warm-start and
+    // scratch-buffer wins in isolation.
     let combos = [
-        ("wait-free-gather", true, false),
-        ("wait-free-gather", true, true),
-        ("wait-free-gather", false, false),
-        ("wait-free-gather", false, true),
-        ("center-of-gravity", true, false),
+        ("wait-free-gather", SHARED, false),
+        ("wait-free-gather", COLD_START, false),
+        ("wait-free-gather", CLONE_BUFFERS, false),
+        ("wait-free-gather", PER_ROBOT, false),
+        ("wait-free-gather", SHARED, true),
+        ("wait-free-gather", PER_ROBOT, true),
+        ("center-of-gravity", SHARED, false),
     ];
-    // rounds/sec of the wait-free algorithm (audit off) per n, for the
-    // ablation JSON: (n, shared pipeline, naive per-robot).
-    let mut ablation: Vec<(usize, f64, f64)> = Vec::new();
-    for &(alg, shared, audit) in &combos {
+    // Untimed warm-up: lets the frequency governor and caches settle so
+    // the first timed combo is not systematically slow (which would skew
+    // both the ablation and the --baseline regression gate).
+    let _ = measure(32, "wait-free-gather", false, SHARED, 20_000);
+    let mut ablation: Vec<(usize, AblationRow)> =
+        sizes.iter().map(|&n| (n, AblationRow::default())).collect();
+    let mut failures: Vec<String> = Vec::new();
+    for &(alg, variant, audit) in &combos {
         for &n in sizes {
             // Enough rounds for a stable measurement, few enough to finish
             // fast at n = 128 (a naive round costs ~n classifications).
             let budget = if n <= 32 { 400 } else { 60 };
             let trials = if args.quick { 3 } else { 5 };
-            let m = measure_best(n, alg, audit, shared, budget, trials);
+            let m = measure_best(n, alg, audit, variant, budget, trials);
             if alg == "wait-free-gather" && !audit {
-                match ablation.iter_mut().find(|(sz, _, _)| *sz == n) {
-                    Some(row) => {
-                        if shared {
-                            row.1 = m.rounds_per_sec;
-                        } else {
-                            row.2 = m.rounds_per_sec;
+                let row = &mut ablation
+                    .iter_mut()
+                    .find(|(sz, _)| *sz == n)
+                    .expect("size row")
+                    .1;
+                match variant.label {
+                    "shared" => {
+                        row.shared_rps = m.rounds_per_sec;
+                        row.weiszfeld_warm = measure_weiszfeld(n, variant, budget);
+                        row.steady_allocs = m.steady_allocs_per_round;
+                        // The acceptance gate: the scratch path must not
+                        // touch the heap in steady state.
+                        if let Some(a) = m.steady_allocs_per_round {
+                            if a > 0.0 {
+                                failures.push(format!(
+                                    "n={n}: scratch path allocated {a:.2}/round in steady state"
+                                ));
+                            }
                         }
                     }
-                    None => ablation.push(if shared {
-                        (n, m.rounds_per_sec, 0.0)
-                    } else {
-                        (n, 0.0, m.rounds_per_sec)
-                    }),
+                    "cold-start" => {
+                        row.cold_rps = m.rounds_per_sec;
+                        row.weiszfeld_cold = measure_weiszfeld(n, variant, budget);
+                    }
+                    "clone-buffers" => row.clone_rps = m.rounds_per_sec,
+                    "per-robot" => row.per_robot_rps = m.rounds_per_sec,
+                    _ => unreachable!(),
                 }
             }
             table.push(vec![
                 alg.into(),
-                if shared { "shared" } else { "per-robot" }.into(),
+                variant.label.into(),
                 if audit { "on" } else { "off" }.into(),
                 n.to_string(),
                 f(m.rounds_per_sec, 0),
@@ -165,32 +381,111 @@ fn main() {
                 f(m.classify_per_round, 2),
                 f(m.cache_hit_rate * 100.0, 1),
                 f(m.weiszfeld_per_round, 1),
+                opt(m.allocs_per_round, 2),
+                opt(m.steady_allocs_per_round, 2),
             ]);
         }
     }
-    println!("B1 — simulator throughput (steady-state rounds before gathering)\n");
+    println!("B1 — simulator throughput (steady-state class-M rounds under δ-motion)\n");
     table.print();
+
+    // Warm-start ablation on the Weiszfeld-exercising QR workload (the
+    // class-M throughput workload never runs the solver — see DESIGN.md).
+    println!("\nWeiszfeld iterations/round, QR workload (warm vs cold start):\n");
+    let mut wz = Table::new(&["n", "warm", "cold", "cold/warm"]);
+    for (n, row) in &ablation {
+        let ratio = if row.weiszfeld_warm > 0.0 {
+            row.weiszfeld_cold / row.weiszfeld_warm
+        } else {
+            f64::INFINITY
+        };
+        wz.push(vec![
+            n.to_string(),
+            f(row.weiszfeld_warm, 2),
+            f(row.weiszfeld_cold, 2),
+            f(ratio, 2),
+        ]);
+        // Acceptance gate: the warm start must at least halve the solver
+        // work per round.
+        if row.weiszfeld_cold > 0.0 && row.weiszfeld_warm * 2.0 > row.weiszfeld_cold {
+            failures.push(format!(
+                "n={n}: warm-started Weiszfeld not >=2x cheaper ({:.2} warm vs {:.2} cold iters/round)",
+                row.weiszfeld_warm, row.weiszfeld_cold
+            ));
+        }
+    }
+    wz.print();
     let out = args.out_dir.join("b1_throughput.csv");
     table.write_csv(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 
-    // Ablation record: shared-analysis vs naive rounds/sec per n.
+    // Ablation record: per n, rounds/sec of the four engine variants plus
+    // the warm-vs-cold Weiszfeld iteration counts and the steady-state
+    // allocation audit (null when not measured).
     let mut json = String::from(
         "{\n  \"bench\": \"b1_throughput\",\n  \"metric\": \"rounds_per_second\",\n  \"algorithm\": \"wait-free-gather\",\n  \"audit\": false,\n  \"ablation\": [\n",
     );
-    for (i, (n, shared_rps, naive_rps)) in ablation.iter().enumerate() {
-        let speedup = if *naive_rps > 0.0 {
-            shared_rps / naive_rps
+    for (i, (n, row)) in ablation.iter().enumerate() {
+        let speedup = if row.per_robot_rps > 0.0 {
+            row.shared_rps / row.per_robot_rps
         } else {
             0.0
         };
+        let steady = row
+            .steady_allocs
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_else(|| "null".into());
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"shared_analysis\": {shared_rps:.1}, \"per_robot\": {naive_rps:.1}, \"speedup\": {speedup:.2}}}{}\n",
+            "    {{\"n\": {n}, \"shared_analysis\": {:.1}, \"per_robot\": {:.1}, \"cold_start\": {:.1}, \"clone_buffers\": {:.1}, \"speedup\": {speedup:.2}, \"weiszfeld_warm\": {:.2}, \"weiszfeld_cold\": {:.2}, \"steady_allocs_per_round\": {steady}}}{}\n",
+            row.shared_rps,
+            row.per_robot_rps,
+            row.cold_rps,
+            row.clone_rps,
+            row.weiszfeld_warm,
+            row.weiszfeld_cold,
             if i + 1 < ablation.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
-    let bench_out = std::path::Path::new("BENCH_b1_throughput.json");
-    std::fs::write(bench_out, &json).expect("write BENCH json");
-    println!("wrote {}", bench_out.display());
+
+    if let Some(baseline_path) = &args.baseline {
+        // Regression-check mode: compare against the committed record and
+        // keep it untouched (the fresh JSON goes to the out dir).
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "baseline {} contains no (n, shared_analysis) rows",
+            baseline_path.display()
+        );
+        for (n, base_rps) in baseline {
+            let Some((_, row)) = ablation.iter().find(|(sz, _)| *sz == n) else {
+                continue; // size not in this sweep (e.g. --quick)
+            };
+            let measured = row.shared_rps;
+            if measured < 0.8 * base_rps {
+                failures.push(format!(
+                    "n={n}: rounds/sec regressed >20% ({measured:.0} vs baseline {base_rps:.0})"
+                ));
+            } else {
+                println!("baseline n={n}: {measured:.0} rounds/s vs committed {base_rps:.0} — ok");
+            }
+        }
+        let fresh = args.out_dir.join("b1_throughput.json");
+        std::fs::write(&fresh, &json).expect("write fresh JSON");
+        println!("wrote {}", fresh.display());
+    } else {
+        let bench_out = std::path::Path::new("BENCH_b1_throughput.json");
+        std::fs::write(bench_out, &json).expect("write BENCH json");
+        println!("wrote {}", bench_out.display());
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nB1 FAILURES:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
 }

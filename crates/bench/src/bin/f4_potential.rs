@@ -26,7 +26,7 @@ fn main() {
         .scheduler(RoundRobin::new(3))
         .motion(RandomStops::new(0.3, 5))
         .build();
-    let mut series = Table::new(&["round", "class", "elected mult", "sum dist"]);
+    let mut series = Table::new(&["round", "class", "elected mult", "sum dist", "weiszfeld"]);
     for round in 0..10_000u64 {
         let config = engine.configuration();
         let analysis = classify(&config, tol);
@@ -34,16 +34,23 @@ fn main() {
             break;
         }
         let elected = rules::asymmetric::elected_point(&config, tol);
-        series.push(vec![
-            round.to_string(),
-            analysis.class.short_name().into(),
-            config.mult(elected, tol).to_string(),
-            f(config.sum_of_distances(elected), 4),
-        ]);
+        let mult = config.mult(elected, tol);
+        let sum = config.sum_of_distances(elected);
         if engine.is_gathered() {
             break;
         }
-        engine.step();
+        // Step first so the row can report the solver cost of the round it
+        // describes: φ is evaluated on the start-of-round configuration,
+        // the Weiszfeld count is what this round's (warm-started)
+        // classification spent on it.
+        let weiszfeld = engine.step().weiszfeld_iters;
+        series.push(vec![
+            round.to_string(),
+            analysis.class.short_name().into(),
+            mult.to_string(),
+            f(sum, 4),
+            weiszfeld.to_string(),
+        ]);
     }
     println!("F4 — φ time series in class A (single seeded run)\n");
     series.print();

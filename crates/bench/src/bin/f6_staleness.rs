@@ -54,27 +54,41 @@ fn main() {
             .look_delay(delay)
             .check_invariants(false)
             .build();
-        engine.run(30_000)
+        let outcome = engine.run(30_000);
+        let metrics = gather_sim::metrics::summarize(outcome, engine.trace());
+        (outcome, metrics.weiszfeld_per_round())
     });
 
-    let mut table = Table::new(&["class", "delay", "trials", "gathered", "rounds(mean)"]);
+    let mut table = Table::new(&[
+        "class",
+        "delay",
+        "trials",
+        "gathered",
+        "rounds(mean)",
+        "weiszfeld/rnd",
+    ]);
     let mut idx = 0;
     for &class in &classes {
         for &delay in delays {
             let cell: Vec<_> = (0..args.trials).map(|k| &outcomes[idx + k]).collect();
             idx += args.trials;
-            let ok = cell.iter().filter(|o| o.gathered()).count();
+            let ok = cell.iter().filter(|(o, _)| o.gathered()).count();
             let rounds: Vec<f64> = cell
                 .iter()
-                .filter(|o| o.gathered())
-                .map(|o| o.rounds() as f64)
+                .filter(|(o, _)| o.gathered())
+                .map(|(o, _)| o.rounds() as f64)
                 .collect();
+            // Solver cost per round: how much Weiszfeld work the warm-started
+            // pipeline spends as staleness grows (class QR is the only
+            // initial class whose rounds exercise the numeric solver).
+            let weiszfeld: Vec<f64> = cell.iter().map(|(_, w)| *w).collect();
             table.push(vec![
                 class.short_name().into(),
                 delay.to_string(),
                 args.trials.to_string(),
                 pct(ok, args.trials),
                 f(mean(&rounds), 1),
+                f(mean(&weiszfeld), 2),
             ]);
         }
     }

@@ -24,7 +24,7 @@
 //! equivalence of this shared path with a per-robot fresh classification is
 //! proven by the equivariance tests in the umbrella crate.
 
-use crate::classify::{classify, Analysis, Class};
+use crate::classify::{classify_hinted, Analysis, Class};
 use crate::configuration::Configuration;
 use crate::symmetry::rotational_symmetry;
 use gather_geom::{Point, Tol};
@@ -44,6 +44,11 @@ pub struct RoundAnalysis {
     pub sym: Option<usize>,
     /// Fingerprint of the analysed point multiset (see [`fingerprint`]).
     pub fingerprint: u64,
+    /// The numeric Weber point this analysis computed (or pinned, for
+    /// class `QR`), carried as the warm-start iterate for the next round's
+    /// Weiszfeld run (Lemma 3.2). `None` when the class never reached the
+    /// numeric Weber computation.
+    pub weber_hint: Option<Point>,
 }
 
 impl RoundAnalysis {
@@ -66,18 +71,38 @@ impl RoundAnalysis {
     /// * `M`, `L1W`, `L2W` leave it `None`: nothing in the round consumes
     ///   it, and callers that do want it use [`RoundAnalysis::symmetry`].
     pub fn compute(config: &Configuration, tol: Tol) -> Self {
-        let analysis = classify(config, tol);
+        Self::compute_hinted(config, tol, None)
+    }
+
+    /// [`RoundAnalysis::compute`] with an optional warm-start iterate for
+    /// the numeric Weber computation inside quasi-regularity detection —
+    /// the previous round's Weber point, which Lemma 3.2 keeps exact while
+    /// robots move toward it. The hint only seeds Weiszfeld's iteration;
+    /// classes that never compute a numeric Weber point ignore it.
+    pub fn compute_hinted(config: &Configuration, tol: Tol, hint: Option<Point>) -> Self {
+        let (analysis, weber_seen) = classify_hinted(config, tol, hint);
         let sym = match analysis.class {
             Class::Asymmetric => Some(1),
             Class::Bivalent => Some(2),
             Class::QuasiRegular => Some(rotational_symmetry(config, tol)),
-            Class::Multiple if config.distinct_points().len() == 1 => Some(1),
+            // All points bitwise equal ⇔ one distinct location (gathered);
+            // checked on the raw slice so steady-state M rounds stay
+            // allocation-free.
+            Class::Multiple if config.points().iter().all(|p| *p == config.points()[0]) => Some(1),
             _ => None,
         };
+        // For QR the centre of quasi-regularity *is* the Weber point
+        // (Lemma 3.3), so it doubles as a hint even when the occupied-centre
+        // test decided without running Weiszfeld.
+        let weber_hint = weber_seen.or(match analysis.class {
+            Class::QuasiRegular => analysis.target,
+            _ => None,
+        });
         RoundAnalysis {
             analysis,
             sym,
             fingerprint: fingerprint(config.points()),
+            weber_hint,
         }
     }
 
@@ -122,11 +147,29 @@ pub fn fingerprint(points: &[Point]) -> u64 {
 /// start of each round and (with audits on) the post-move configuration at
 /// the end, which is exactly the next round's start-of-round configuration —
 /// so in steady state each distinct configuration is analysed once.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AnalysisCache {
     entry: Option<Entry>,
     computed: u64,
     hits: u64,
+    /// Whether cache misses seed Weiszfeld with the last known Weber point.
+    warm_start: bool,
+    /// The most recent Weber point any analysis computed, surviving rounds
+    /// whose class skips the numeric computation (e.g. `A → M → A`
+    /// sequences keep their warmth through the `M` rounds).
+    last_weber: Option<Point>,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        AnalysisCache {
+            entry: None,
+            computed: 0,
+            hits: 0,
+            warm_start: true,
+            last_weber: None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -137,14 +180,22 @@ struct Entry {
 }
 
 impl AnalysisCache {
-    /// An empty cache.
+    /// An empty cache (warm starts enabled).
     pub fn new() -> Self {
         AnalysisCache::default()
     }
 
+    /// Enables or disables Weiszfeld warm starts on cache misses (enabled
+    /// by default; the cold path exists for ablation measurements).
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_start = enabled;
+    }
+
     /// The analysis of `config`: served from the memo when the point
     /// sequence is identical to the previous call's, recomputed (and
-    /// memoized) otherwise.
+    /// memoized) otherwise. Recomputation warm-starts the numeric Weber
+    /// iteration from the last known Weber point (Lemma 3.2) unless warm
+    /// starts are disabled.
     pub fn analyse(&mut self, config: &Configuration, tol: Tol) -> RoundAnalysis {
         let fp = fingerprint(config.points());
         if let Some(e) = &self.entry {
@@ -155,13 +206,33 @@ impl AnalysisCache {
                 return e.analysis;
             }
         }
-        let analysis = RoundAnalysis::compute(config, tol);
+        let hint = if self.warm_start {
+            self.last_weber
+        } else {
+            None
+        };
+        let analysis = RoundAnalysis::compute_hinted(config, tol, hint);
         self.computed += 1;
-        self.entry = Some(Entry {
-            fingerprint: fp,
-            points: config.points().to_vec(),
-            analysis,
-        });
+        if analysis.weber_hint.is_some() {
+            self.last_weber = analysis.weber_hint;
+        }
+        match &mut self.entry {
+            // Recycle the previous entry's point buffer: steady-state
+            // rounds then memoize without heap allocation.
+            Some(e) => {
+                e.fingerprint = fp;
+                e.points.clear();
+                e.points.extend_from_slice(config.points());
+                e.analysis = analysis;
+            }
+            entry @ None => {
+                *entry = Some(Entry {
+                    fingerprint: fp,
+                    points: config.points().to_vec(),
+                    analysis,
+                });
+            }
+        }
         analysis
     }
 
@@ -179,7 +250,7 @@ impl AnalysisCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::classify::Class;
+    use crate::classify::{classify, Class};
 
     fn t() -> Tol {
         Tol::default()

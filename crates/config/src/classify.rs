@@ -17,8 +17,8 @@
 //! (`B ∪ M ∪ L ∪ QR ∪ A = P`) is validated empirically by experiment T6.
 
 use crate::configuration::Configuration;
-use crate::quasi::detect_quasi_regularity;
-use gather_geom::{weber::median_interval_on_line, Point, Tol};
+use crate::quasi::detect_quasi_regularity_hinted;
+use gather_geom::{are_collinear, weber::median_interval_on_line, Point, Tol};
 
 /// The five configuration classes of the paper (`L` split into `L1W` and
 /// `L2W` as in Section IV.A).
@@ -128,87 +128,158 @@ pub fn classify_invocations() -> u64 {
 /// assert_eq!(classify(&bivalent, Tol::default()).class, Class::Bivalent);
 /// ```
 pub fn classify(config: &Configuration, tol: Tol) -> Analysis {
+    classify_hinted(config, tol, None).0
+}
+
+/// Scratch pair for [`classify`]: (multiplicity-grouped points, raw points).
+type ClassifyScratch = (Vec<(Point, usize)>, Vec<Point>);
+
+thread_local! {
+    /// Reusable buffers for the early (multiplicity/linearity) phase of
+    /// [`classify`], so steady-state class-M rounds classify without any
+    /// heap allocation. Safe as a thread-local because nothing called
+    /// while the borrow is held re-enters `classify`.
+    static CLASSIFY_SCRATCH: std::cell::RefCell<ClassifyScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Outcome of the allocation-free early phase of classification.
+enum Prefix {
+    Done(Analysis),
+    Linear,
+    Open,
+}
+
+/// [`classify`] with an optional warm-start iterate for the numeric Weber
+/// computation inside quasi-regularity detection (the previous round's
+/// Weber point — exact while robots move toward it, Lemma 3.2). Returns
+/// the analysis together with the Weber point the detector computed, if it
+/// ran, so callers (the [`crate::analysis::AnalysisCache`]) can carry it
+/// forward as the next round's hint. The hint only seeds the iteration;
+/// classes that never reach the numeric Weber computation (`B`, `M`, `L1W`,
+/// `L2W`, occupied-centre `QR`) ignore it, which is what makes the warm
+/// start safe across class changes.
+pub fn classify_hinted(
+    config: &Configuration,
+    tol: Tol,
+    weber_hint: Option<Point>,
+) -> (Analysis, Option<Point>) {
     CLASSIFY_CALLS.with(|c| c.set(c.get() + 1));
     assert!(!config.is_empty(), "cannot classify an empty configuration");
     let n = config.len();
-    let distinct = config.distinct();
 
-    // Gathered configurations are class M with the gathering point as
-    // target (the M rule keeps them gathered: the robot at the unique
-    // maximum does not move).
-    if distinct.len() == 1 {
-        return Analysis {
-            class: Class::Multiple,
-            n,
-            target: Some(distinct[0].0),
-            qreg: None,
-        };
-    }
+    let prefix = CLASSIFY_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let (distinct, pts) = (&mut scratch.0, &mut scratch.1);
+        config.distinct_into(distinct, pts);
 
-    // B: exactly two locations, each with n/2 robots.
-    if distinct.len() == 2 && distinct[0].1 == distinct[1].1 {
-        return Analysis {
-            class: Class::Bivalent,
-            n,
-            target: None,
-            qreg: None,
-        };
-    }
-
-    // M: unique point of maximum multiplicity.
-    if let Some((p, _)) = config.unique_max_multiplicity() {
-        return Analysis {
-            class: Class::Multiple,
-            n,
-            target: Some(p),
-            qreg: None,
-        };
-    }
-
-    // L: linear configurations, split by Weber-point uniqueness. Linearity
-    // was established on the distinct positions above; the median interval
-    // is computed by projection (no second collinearity test, which could
-    // disagree on near-coincident clusters).
-    if config.is_linear(tol) {
-        let (lo, hi) = median_interval_on_line(config.points(), tol);
-        if lo.dist(hi) <= tol.snap {
-            return Analysis {
-                class: Class::Collinear1W,
+        // Gathered configurations are class M with the gathering point as
+        // target (the M rule keeps them gathered: the robot at the unique
+        // maximum does not move).
+        if distinct.len() == 1 {
+            return Prefix::Done(Analysis {
+                class: Class::Multiple,
                 n,
-                target: Some(lo.midpoint(hi)),
+                target: Some(distinct[0].0),
                 qreg: None,
-            };
+            });
         }
-        return Analysis {
-            class: Class::Collinear2W,
-            n,
-            target: None,
-            qreg: None,
-        };
-    }
 
-    // QR: quasi-regular configurations.
-    if let Some(qr) = detect_quasi_regularity(config, tol) {
-        return Analysis {
-            class: Class::QuasiRegular,
-            n,
-            target: Some(qr.center),
-            qreg: Some(qr.m),
-        };
-    }
+        // B: exactly two locations, each with n/2 robots.
+        if distinct.len() == 2 && distinct[0].1 == distinct[1].1 {
+            return Prefix::Done(Analysis {
+                class: Class::Bivalent,
+                n,
+                target: None,
+                qreg: None,
+            });
+        }
 
-    // A: everything else. By the partition argument of Section IV.A any
-    // remaining configuration has sym(C) = 1 (a symmetric one would have
-    // been caught by the QR detector via its SEC centre). The class-A
-    // movement target — the elected safe point of Figure 2 line 17 — is a
-    // pure function of the configuration (every robot elects the same
-    // point), so it is part of the analysis; non-linear configurations
-    // always yield one (Lemma 4.2).
-    Analysis {
-        class: Class::Asymmetric,
-        n,
-        target: crate::safe::elected_point(config, tol),
-        qreg: None,
+        // M: unique point of maximum multiplicity.
+        let max = distinct.iter().map(|&(_, m)| m).max().expect("non-empty");
+        let mut attaining = distinct.iter().filter(|&&(_, m)| m == max);
+        let first = attaining.next().expect("max is attained");
+        if attaining.next().is_none() {
+            return Prefix::Done(Analysis {
+                class: Class::Multiple,
+                n,
+                target: Some(first.0),
+                qreg: None,
+            });
+        }
+
+        // L: linearity of the distinct positions.
+        pts.clear();
+        pts.extend(distinct.iter().map(|&(p, _)| p));
+        if are_collinear(pts, tol) {
+            Prefix::Linear
+        } else {
+            Prefix::Open
+        }
+    });
+
+    match prefix {
+        Prefix::Done(analysis) => (analysis, None),
+        // Linear configurations, split by Weber-point uniqueness. Linearity
+        // was established on the distinct positions above; the median
+        // interval is computed by projection (no second collinearity test,
+        // which could disagree on near-coincident clusters).
+        Prefix::Linear => {
+            let (lo, hi) = median_interval_on_line(config.points(), tol);
+            if lo.dist(hi) <= tol.snap {
+                return (
+                    Analysis {
+                        class: Class::Collinear1W,
+                        n,
+                        target: Some(lo.midpoint(hi)),
+                        qreg: None,
+                    },
+                    None,
+                );
+            }
+            (
+                Analysis {
+                    class: Class::Collinear2W,
+                    n,
+                    target: None,
+                    qreg: None,
+                },
+                None,
+            )
+        }
+        Prefix::Open => {
+            // QR: quasi-regular configurations.
+            let (qr, weber_seen) = detect_quasi_regularity_hinted(config, tol, weber_hint);
+            if let Some(qr) = qr {
+                return (
+                    Analysis {
+                        class: Class::QuasiRegular,
+                        n,
+                        target: Some(qr.center),
+                        qreg: Some(qr.m),
+                    },
+                    weber_seen,
+                );
+            }
+
+            // A: everything else. By the partition argument of Section IV.A
+            // any remaining configuration has sym(C) = 1 (a symmetric one
+            // would have been caught by the QR detector via its SEC centre).
+            // The class-A movement target — the elected safe point of
+            // Figure 2 line 17 — is a pure function of the configuration
+            // (every robot elects the same point), so it is part of the
+            // analysis; non-linear configurations always yield one
+            // (Lemma 4.2).
+            (
+                Analysis {
+                    class: Class::Asymmetric,
+                    n,
+                    target: crate::safe::elected_point(config, tol),
+                    qreg: None,
+                },
+                weber_seen,
+            )
+        }
     }
 }
 

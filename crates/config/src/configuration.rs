@@ -55,6 +55,36 @@ impl Configuration {
         }
     }
 
+    /// Overwrites this configuration with the contents of `other`, reusing
+    /// the existing point buffer (no allocation once capacity suffices).
+    pub fn copy_from(&mut self, other: &Configuration) {
+        self.points.clone_from(&other.points);
+    }
+
+    /// Overwrites this configuration with the given points, reusing the
+    /// existing buffer.
+    pub fn copy_from_slice(&mut self, points: &[Point]) {
+        self.points.clear();
+        self.points.extend_from_slice(points);
+    }
+
+    /// Replaces the position of robot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set_point(&mut self, i: usize, p: Point) {
+        self.points[i] = p;
+    }
+
+    /// Applies `f` to every robot position in place (the allocation-free
+    /// counterpart of [`Configuration::map`]).
+    pub fn map_in_place(&mut self, mut f: impl FnMut(Point) -> Point) {
+        for p in &mut self.points {
+            *p = f(*p);
+        }
+    }
+
     /// Number of robots `n`.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -76,16 +106,27 @@ impl Configuration {
     /// Positions are compared bitwise; build the configuration with
     /// [`Configuration::canonical`] if the input may contain noise.
     pub fn distinct(&self) -> Vec<(Point, usize)> {
-        let mut sorted: Vec<Point> = self.points.clone();
-        sorted.sort_by(|a, b| a.lex_cmp(*b));
-        let mut out: Vec<(Point, usize)> = Vec::new();
-        for p in sorted {
+        let mut out = Vec::new();
+        let mut sort_buf = Vec::new();
+        self.distinct_into(&mut out, &mut sort_buf);
+        out
+    }
+
+    /// Allocation-free form of [`Configuration::distinct`]: fills `out`
+    /// with the distinct locations and multiplicities, using `sort_buf` as
+    /// sorting scratch. Both buffers are cleared first and keep their
+    /// capacity across calls.
+    pub fn distinct_into(&self, out: &mut Vec<(Point, usize)>, sort_buf: &mut Vec<Point>) {
+        sort_buf.clear();
+        sort_buf.extend_from_slice(&self.points);
+        sort_buf.sort_by(|a, b| a.lex_cmp(*b));
+        out.clear();
+        for &p in sort_buf.iter() {
             match out.last_mut() {
                 Some((q, m)) if *q == p => *m += 1,
                 _ => out.push((p, 1)),
             }
         }
-        out
     }
 
     /// The distinct occupied locations without multiplicities.
@@ -185,8 +226,35 @@ impl std::fmt::Display for Configuration {
 /// Single-linkage clustering of points within `snap`, replacing each
 /// cluster by its centroid. O(n²) union-find; n is small (robot counts).
 fn canonicalize(points: Vec<Point>, snap: f64) -> Vec<Point> {
+    let mut out = Vec::with_capacity(points.len());
+    canonicalize_into(&points, snap, &mut CanonScratch::default(), &mut out);
+    out
+}
+
+/// Reusable working memory for [`canonicalize_into`]: the union-find parent
+/// array and the per-cluster centroid accumulators.
+#[derive(Debug, Default)]
+pub struct CanonScratch {
+    parent: Vec<usize>,
+    sum_x: Vec<f64>,
+    sum_y: Vec<f64>,
+    count: Vec<usize>,
+}
+
+/// Allocation-free canonicalization: snaps `points` exactly like
+/// [`Configuration::canonical`] and writes the result into `out` (cleared
+/// first). `scratch` keeps the union-find arrays alive between calls so the
+/// steady-state round loop performs no heap allocation here.
+pub fn canonicalize_into(
+    points: &[Point],
+    snap: f64,
+    scratch: &mut CanonScratch,
+    out: &mut Vec<Point>,
+) {
     let n = points.len();
-    let mut parent: Vec<usize> = (0..n).collect();
+    let parent = &mut scratch.parent;
+    parent.clear();
+    parent.extend(0..n);
 
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
         if parent[i] != i {
@@ -199,8 +267,8 @@ fn canonicalize(points: Vec<Point>, snap: f64) -> Vec<Point> {
     for i in 0..n {
         for j in (i + 1)..n {
             if points[i].within(points[j], snap) {
-                let ri = find(&mut parent, i);
-                let rj = find(&mut parent, j);
+                let ri = find(parent, i);
+                let rj = find(parent, j);
                 if ri != rj {
                     parent[ri] = rj;
                 }
@@ -209,21 +277,24 @@ fn canonicalize(points: Vec<Point>, snap: f64) -> Vec<Point> {
     }
 
     // Centroid per cluster.
-    let mut sum_x = vec![0.0f64; n];
-    let mut sum_y = vec![0.0f64; n];
-    let mut count = vec![0usize; n];
+    let (sum_x, sum_y, count) = (&mut scratch.sum_x, &mut scratch.sum_y, &mut scratch.count);
+    sum_x.clear();
+    sum_x.resize(n, 0.0);
+    sum_y.clear();
+    sum_y.resize(n, 0.0);
+    count.clear();
+    count.resize(n, 0);
     for (i, p) in points.iter().enumerate() {
-        let r = find(&mut parent, i);
+        let r = find(parent, i);
         sum_x[r] += p.x;
         sum_y[r] += p.y;
         count[r] += 1;
     }
-    (0..n)
-        .map(|i| {
-            let r = find(&mut parent, i);
-            Point::new(sum_x[r] / count[r] as f64, sum_y[r] / count[r] as f64)
-        })
-        .collect()
+    out.clear();
+    out.extend((0..n).map(|i| {
+        let r = find(parent, i);
+        Point::new(sum_x[r] / count[r] as f64, sum_y[r] / count[r] as f64)
+    }));
 }
 
 #[cfg(test)]

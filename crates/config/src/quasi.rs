@@ -24,7 +24,7 @@
 
 use crate::angles::{center_zone_radius, direction_buckets, ANGLE_EPS};
 use crate::configuration::Configuration;
-use crate::regularity::{candidate_centers, regularity_around};
+use crate::regularity::{candidate_centers_hinted, regularity_around};
 use gather_geom::{Point, Tol};
 use std::f64::consts::TAU;
 
@@ -147,8 +147,22 @@ pub fn quasi_regular_with_center(config: &Configuration, p: Point, tol: Tol) -> 
 /// point) with the string-of-angles periodicity. Occupied centres win ties
 /// because their test is exact.
 pub fn detect_quasi_regularity(config: &Configuration, tol: Tol) -> Option<QuasiRegularity> {
+    detect_quasi_regularity_hinted(config, tol, None).0
+}
+
+/// [`detect_quasi_regularity`] with an optional warm-start iterate for the
+/// numeric Weber candidate. Returns the detection result together with the
+/// Weber point the unoccupied-centre search computed (if it ran), so the
+/// caller can carry it forward as the next round's warm-start hint
+/// (Lemma 3.2 makes the previous round's Weber point an excellent iterate
+/// while robots move toward it).
+pub fn detect_quasi_regularity_hinted(
+    config: &Configuration,
+    tol: Tol,
+    hint: Option<Point>,
+) -> (Option<QuasiRegularity>, Option<Point>) {
     if config.len() < 2 || config.is_gathered() || config.is_linear(tol) {
-        return None;
+        return (None, None);
     }
     // Occupied centres: Lemma 3.4, prefiltered by the Weber subgradient
     // condition — by Lemma 3.3 the centre of quasi-regularity must be the
@@ -184,10 +198,11 @@ pub fn detect_quasi_regularity(config: &Configuration, tol: Tol) -> Option<Quasi
         }
     }
     if best.is_some() {
-        return best;
+        return (best, None);
     }
     // Unoccupied centres: C itself must be regular around the centre.
-    for c in candidate_centers(config, tol) {
+    let (candidates, weber) = candidate_centers_hinted(config, tol, hint);
+    for c in candidates {
         if config.mult(c, tol) > 0 {
             continue; // occupied candidates already handled exactly
         }
@@ -200,7 +215,7 @@ pub fn detect_quasi_regularity(config: &Configuration, tol: Tol) -> Option<Quasi
             });
         }
     }
-    best
+    (best, Some(weber))
 }
 
 #[cfg(test)]

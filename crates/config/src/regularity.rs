@@ -9,7 +9,7 @@
 
 use crate::angles::string_of_angles;
 use crate::configuration::Configuration;
-use gather_geom::{weber_point_weiszfeld, Point, Tol};
+use gather_geom::{weber_point_weiszfeld, weber_point_weiszfeld_from, Point, Tol};
 
 /// Evidence that a configuration is regular: the centre and the period.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,10 +56,26 @@ pub fn regularity_around(config: &Configuration, center: Point, tol: Tol) -> usi
 ///   configurations such as biangular ones, whose centre satisfies the
 ///   Weber first-order condition `Σ unit-vectors = 0`).
 pub(crate) fn candidate_centers(config: &Configuration, tol: Tol) -> Vec<Point> {
+    candidate_centers_hinted(config, tol, None).0
+}
+
+/// [`candidate_centers`] with an optional warm-start iterate for the numeric
+/// Weber candidate (the previous round's Weber point, see Lemma 3.2), and
+/// the computed Weber point returned alongside so callers can carry it
+/// forward as the next round's hint.
+pub(crate) fn candidate_centers_hinted(
+    config: &Configuration,
+    tol: Tol,
+    hint: Option<Point>,
+) -> (Vec<Point>, Point) {
     let mut candidates = config.distinct_points();
     candidates.push(config.sec().center);
-    candidates.push(weber_point_weiszfeld(config.points(), tol).point);
-    candidates
+    let weber = match hint {
+        Some(h) => weber_point_weiszfeld_from(h, config.points(), tol).point,
+        None => weber_point_weiszfeld(config.points(), tol).point,
+    };
+    candidates.push(weber);
+    (candidates, weber)
 }
 
 /// Searches for a centre of regularity among the candidate centres

@@ -66,7 +66,7 @@ impl Algorithm for AgmonPelegStyle {
 mod tests {
     use super::*;
 
-    fn snap(points: Vec<Point>, me: Point) -> Snapshot {
+    fn snap(points: Vec<Point>, me: Point) -> Snapshot<'static> {
         Snapshot::new(Configuration::new(points), me)
     }
 

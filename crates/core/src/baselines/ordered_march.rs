@@ -72,7 +72,7 @@ impl Algorithm for OrderedMarch {
 mod tests {
     use super::*;
 
-    fn snap(points: Vec<Point>, me: Point) -> Snapshot {
+    fn snap(points: Vec<Point>, me: Point) -> Snapshot<'static> {
         Snapshot::new(Configuration::new(points), me)
     }
 

@@ -43,10 +43,13 @@ pub fn destination_with_fraction(
         return target;
     }
 
+    // Raw points, not `distinct_points()`: duplicates change neither the
+    // `any` below nor the minimum gap, and the raw slice needs no
+    // allocation (this runs once per robot per round in class M).
     let blocked = config
-        .distinct_points()
-        .into_iter()
-        .any(|p| is_strictly_between(me, target, p, tol));
+        .points()
+        .iter()
+        .any(|p| is_strictly_between(me, target, *p, tol));
     if !blocked {
         return target;
     }
@@ -55,7 +58,7 @@ pub fn destination_with_fraction(
     // around the target.
     let my_angle = (me - target).angle();
     let mut gap = TAU;
-    for p in config.distinct_points() {
+    for &p in config.points() {
         if p.within(target, tol.snap) {
             continue;
         }

@@ -120,7 +120,7 @@ mod tests {
     use gather_geom::Similarity;
     use std::f64::consts::TAU;
 
-    fn snap_at(points: Vec<Point>, me: Point) -> Snapshot {
+    fn snap_at(points: Vec<Point>, me: Point) -> Snapshot<'static> {
         Snapshot::new(Configuration::new(points), me)
     }
 

@@ -53,4 +53,7 @@ pub use predicates::{are_collinear, is_between, orient2d, Orientation};
 pub use sec::{smallest_enclosing_circle, Circle};
 pub use tol::Tol;
 pub use transform::Similarity;
-pub use weber::{weber_objective, weber_point_weiszfeld, weiszfeld_iterations, WeberResult};
+pub use weber::{
+    weber_objective, weber_point_weiszfeld, weber_point_weiszfeld_from, weiszfeld_iterations,
+    WeberResult,
+};

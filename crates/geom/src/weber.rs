@@ -93,6 +93,30 @@ pub fn weiszfeld_iterations() -> u64 {
 /// assert!(w.converged);
 /// ```
 pub fn weber_point_weiszfeld(points: &[Point], tol: Tol) -> WeberResult {
+    weiszfeld_solve(points, tol, None)
+}
+
+/// [`weber_point_weiszfeld`] warm-started from `initial` instead of the
+/// cold-start scan over all input points and the centroid.
+///
+/// The intended caller holds the Weber point of the *previous* round's
+/// configuration: by Lemma 3.2 the Weber point is invariant while robots
+/// move straight toward it, so the previous iterate is a near-perfect (often
+/// exact) initial guess and the iteration converges in a handful of steps.
+/// Correctness does not depend on the quality of `initial` — the Weber
+/// objective is convex, so the damped iteration converges to the same
+/// optimum from any finite starting point; a non-finite `initial` falls
+/// back to the cold start. Degenerate inputs (single point, collinear) take
+/// the same exact short-circuits as the cold entry point.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn weber_point_weiszfeld_from(initial: Point, points: &[Point], tol: Tol) -> WeberResult {
+    weiszfeld_solve(points, tol, Some(initial))
+}
+
+fn weiszfeld_solve(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResult {
     assert!(!points.is_empty(), "Weber point of an empty configuration");
     let eps = tol.abs.max(1e-12);
 
@@ -117,14 +141,19 @@ pub fn weber_point_weiszfeld(points: &[Point], tol: Tol) -> WeberResult {
         };
     }
 
-    // Start from the best input point or the centroid, whichever is better.
     let centroid = crate::point::centroid(points);
-    let mut x = points
-        .iter()
-        .copied()
-        .chain(std::iter::once(centroid))
-        .min_by(|a, b| weber_objective(*a, points).total_cmp(&weber_objective(*b, points)))
-        .expect("non-empty");
+    // Warm path: trust the caller's iterate (Lemma 3.2 makes the previous
+    // round's Weber point exact while robots move toward it). Cold path:
+    // start from the best input point or the centroid, whichever is better.
+    let mut x = match warm {
+        Some(p) if p.x.is_finite() && p.y.is_finite() => p,
+        _ => points
+            .iter()
+            .copied()
+            .chain(std::iter::once(centroid))
+            .min_by(|a, b| weber_objective(*a, points).total_cmp(&weber_objective(*b, points)))
+            .expect("non-empty"),
+    };
 
     // Distinct input locations (bitwise groups) with multiplicities, plus
     // the configuration extent, for the vertex-capture test below.
@@ -165,7 +194,10 @@ pub fn weber_point_weiszfeld(points: &[Point], tol: Tol) -> WeberResult {
     let mut converged = false;
     while iterations < MAX_ITERS {
         iterations += 1;
-        if iterations % 16 == 0 {
+        // The first-iteration check lets a warm start that lands next to an
+        // optimal occupied point snap immediately instead of grinding
+        // through Weiszfeld's sublinear vertex regime until iteration 16.
+        if iterations == 1 || iterations % 16 == 0 {
             if let Some(p) = capture(x) {
                 x = p;
                 converged = true;
@@ -463,6 +495,80 @@ mod tests {
     fn weiszfeld_on_collinear_input_returns_median() {
         let pts = [0.0, 1.0, 2.0, 3.0, 50.0].map(|x| Point::new(x, 0.0));
         let r = weber_point_weiszfeld(&pts, t());
+        assert!(r.point.dist(Point::new(2.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_start() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 1.0),
+            Point::new(3.0, 9.0),
+            Point::new(-2.0, 4.0),
+            Point::new(5.0, 5.0),
+        ];
+        let cold = weber_point_weiszfeld(&pts, t());
+        for start in [
+            cold.point,
+            Point::new(100.0, -50.0),
+            Point::ORIGIN,
+            Point::new(3.0, 9.0), // an input point
+        ] {
+            let warm = weber_point_weiszfeld_from(start, &pts, t());
+            assert!(
+                warm.point.dist(cold.point) < 1e-6,
+                "warm start from {start} landed at {} vs cold {}",
+                warm.point,
+                cold.point
+            );
+            assert!(warm.converged);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_previous_weber_point_is_cheap() {
+        // Lemma 3.2 in action: after moving robots toward the Weber point,
+        // restarting the solver from the old iterate converges in far fewer
+        // iterations than a cold start does.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 1.0),
+            Point::new(4.0, 7.0),
+            Point::new(1.0, 5.0),
+            Point::new(6.0, 6.0),
+        ];
+        let w = weber_point_weiszfeld(&pts, t());
+        let moved: Vec<Point> = pts.iter().map(|p| p.lerp(w.point, 0.4)).collect();
+        let cold = weber_point_weiszfeld(&moved, t());
+        let warm = weber_point_weiszfeld_from(w.point, &moved, t());
+        assert!(warm.point.dist(cold.point) < 1e-6);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} > cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_with_non_finite_initial_falls_back_to_cold() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        let r = weber_point_weiszfeld_from(Point::new(f64::NAN, 0.0), &pts, t());
+        assert!(r.point.dist(Point::new(2.0, 2.0)) < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_degenerate_inputs_match_cold_shortcuts() {
+        let p = Point::new(2.0, 3.0);
+        let far = Point::new(50.0, 50.0);
+        assert_eq!(weber_point_weiszfeld_from(far, &[p], t()).point, p);
+        let line = [0.0, 1.0, 2.0, 3.0, 50.0].map(|x| Point::new(x, 0.0));
+        let r = weber_point_weiszfeld_from(far, &line, t());
         assert!(r.point.dist(Point::new(2.0, 0.0)) < 1e-9);
     }
 

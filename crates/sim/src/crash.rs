@@ -22,6 +22,21 @@ pub trait CrashPlan {
     /// crashed robots are ignored by the engine.
     fn crashes(&mut self, round: u64, config: &Configuration, alive: &[bool]) -> Vec<usize>;
 
+    /// Allocation-free form of [`CrashPlan::crashes`]: writes the victims
+    /// into `out` (cleared first, capacity kept). The default delegates to
+    /// `crashes`; [`NoCrashes`] overrides it so fault-free steady-state
+    /// rounds do not allocate.
+    fn crashes_into(
+        &mut self,
+        round: u64,
+        config: &Configuration,
+        alive: &[bool],
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.append(&mut self.crashes(round, config, alive));
+    }
+
     /// Short identifier used in experiment tables.
     fn name(&self) -> &'static str {
         "crash-plan"
@@ -36,6 +51,15 @@ pub trait CrashPlan {
 impl<C: CrashPlan + ?Sized> CrashPlan for Box<C> {
     fn crashes(&mut self, round: u64, config: &Configuration, alive: &[bool]) -> Vec<usize> {
         (**self).crashes(round, config, alive)
+    }
+    fn crashes_into(
+        &mut self,
+        round: u64,
+        config: &Configuration,
+        alive: &[bool],
+        out: &mut Vec<usize>,
+    ) {
+        (**self).crashes_into(round, config, alive, out)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -52,6 +76,15 @@ pub struct NoCrashes;
 impl CrashPlan for NoCrashes {
     fn crashes(&mut self, _round: u64, _config: &Configuration, _alive: &[bool]) -> Vec<usize> {
         Vec::new()
+    }
+    fn crashes_into(
+        &mut self,
+        _round: u64,
+        _config: &Configuration,
+        _alive: &[bool],
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
     }
     fn name(&self) -> &'static str {
         "none"

@@ -24,9 +24,40 @@ use crate::scheduler::{EveryRobot, Scheduler};
 use crate::snapshot::Snapshot;
 use crate::trace::{RoundRecord, Trace};
 use gather_config::{
-    classify, classify_invocations, AnalysisCache, Class, Configuration, RoundAnalysis,
+    canonicalize_into, classify, classify_invocations, AnalysisCache, CanonScratch, Class,
+    Configuration, RoundAnalysis,
 };
 use gather_geom::{weiszfeld_iterations, Point, Tol};
+
+/// Reusable working memory for the round loop. Cleared and refilled every
+/// round instead of re-`collect`ed, so the steady state allocates nothing.
+/// `std::mem::take`n at the top of [`Engine::step`] (sidestepping borrow
+/// conflicts between the buffers and the engine's trait objects) and put
+/// back before returning.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// The start-of-round configuration (what every robot LOOKs at).
+    config: Configuration,
+    /// A robot's local view: the observed configuration with the robot's
+    /// own entry refreshed, mapped into its frame.
+    local: Configuration,
+    /// Pending end-of-round positions, before canonicalisation.
+    new_positions: Vec<Point>,
+    /// Canonicalised end-of-round positions (swapped into `positions`).
+    canon_out: Vec<Point>,
+    /// Union-find arrays for canonicalisation.
+    canon: CanonScratch,
+    /// Robots activated this round.
+    activated: Vec<usize>,
+    /// Raw victim list from the crash plan (pre-liveness-filter).
+    crash_raw: Vec<usize>,
+    /// Robots that actually crashed this round.
+    crashed_now: Vec<usize>,
+    /// Distinct locations with multiplicities (`U(C)`).
+    distinct: Vec<(Point, usize)>,
+    /// Sorting scratch for `distinct_into`.
+    sort: Vec<Point>,
+}
 
 /// Result of running an engine until gathering or a round limit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +107,10 @@ pub struct EngineBuilder {
     record_positions: bool,
     check_invariants: bool,
     shared_analysis: bool,
+    warm_start: bool,
+    reuse_buffers: bool,
+    trace_capacity: Option<usize>,
+    position_log_capacity: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -162,9 +197,53 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables or disables warm-starting the Weiszfeld iteration inside the
+    /// shared analysis from the previous round's Weber point (default: on).
+    /// Lemma 3.2 keeps the Weber point invariant while robots move toward
+    /// it, so the previous target is a near-perfect initial iterate; the
+    /// cold path exists for the B1 ablation quantifying the saving.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Enables or disables round-loop scratch-buffer reuse (default: on).
+    /// When off, every round starts from fresh buffers — the allocation
+    /// behaviour of the pre-scratch engine, kept for the B1 ablation
+    /// (clone vs scratch).
+    pub fn reuse_buffers(mut self, on: bool) -> Self {
+        self.reuse_buffers = on;
+        self
+    }
+
+    /// Bounds how many per-round records the trace retains (a ring buffer;
+    /// default: unbounded). Aggregate statistics keep covering the whole
+    /// run; only the per-round records of evicted rounds are lost. Long
+    /// f1/f5-style runs use this to keep memory flat in the round count.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if `capacity == 0`.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Bounds how many per-round position snapshots the position log keeps
+    /// (a ring buffer over the most recent rounds; default: unbounded).
+    /// Only meaningful together with [`EngineBuilder::record_positions`].
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if `capacity == 0`.
+    pub fn position_log_capacity(mut self, capacity: usize) -> Self {
+        self.position_log_capacity = Some(capacity);
+        self
+    }
+
     /// Records the full position log (one snapshot per round) for
     /// visualisation and post-hoc analysis (default: off — memory grows
-    /// linearly with rounds × robots).
+    /// linearly with rounds × robots unless a capacity bound is set).
     pub fn record_positions(mut self, on: bool) -> Self {
         self.record_positions = on;
         self
@@ -200,12 +279,33 @@ impl EngineBuilder {
             .to_vec();
         let n = positions.len();
         let positions_clone = positions.clone();
-        let started_bivalent =
-            classify(&Configuration::new(positions.clone()), self.tol).class == Class::Bivalent;
+        let mut analysis_cache = AnalysisCache::new();
+        analysis_cache.set_warm_start(self.warm_start);
+        let mut scratch = Scratch::default();
+        scratch.config.copy_from_slice(&positions);
+        // The bivalent pre-check goes through the cache when the shared
+        // pipeline is on: round 1 analyses the same configuration and hits
+        // the memo instead of classifying a throwaway copy cold. The
+        // ablation mode keeps the cache untouched (its contract is that
+        // per-robot runs never consult it) and classifies directly.
+        let started_bivalent = if self.shared_analysis {
+            analysis_cache
+                .analyse(&scratch.config, self.tol)
+                .analysis
+                .class
+                == Class::Bivalent
+        } else {
+            classify(&scratch.config, self.tol).class == Class::Bivalent
+        };
         let mut byzantine: Vec<Option<Box<dyn ByzantinePolicy>>> = (0..n).map(|_| None).collect();
         for (robot, policy) in self.byzantine {
             assert!(robot < n, "byzantine robot index {robot} out of range");
             byzantine[robot] = Some(policy);
+        }
+        let mut trace = Trace::new();
+        trace.set_capacity(self.trace_capacity);
+        if let Some(cap) = self.position_log_capacity {
+            assert!(cap > 0, "position-log capacity must be positive");
         }
         Engine {
             positions,
@@ -227,12 +327,16 @@ impl EngineBuilder {
                 Vec::new()
             },
             record_positions: self.record_positions,
-            trace: Trace::new(),
+            position_log_capacity: self.position_log_capacity,
+            trace,
             violations: Vec::new(),
             check_invariants: self.check_invariants,
             started_bivalent,
             shared_analysis: self.shared_analysis,
-            analysis_cache: AnalysisCache::new(),
+            reuse_buffers: self.reuse_buffers,
+            analysis_cache,
+            scratch,
+            last_record: RoundRecord::default(),
         }
     }
 }
@@ -274,12 +378,16 @@ pub struct Engine {
     history: std::collections::VecDeque<Configuration>,
     position_log: Vec<Vec<Point>>,
     record_positions: bool,
+    position_log_capacity: Option<usize>,
     trace: Trace,
     violations: Vec<String>,
     check_invariants: bool,
     started_bivalent: bool,
     shared_analysis: bool,
+    reuse_buffers: bool,
     analysis_cache: AnalysisCache,
+    scratch: Scratch,
+    last_record: RoundRecord,
 }
 
 impl Engine {
@@ -299,6 +407,10 @@ impl Engine {
             record_positions: false,
             check_invariants: true,
             shared_analysis: true,
+            warm_start: true,
+            reuse_buffers: true,
+            trace_capacity: None,
+            position_log_capacity: None,
         }
     }
 
@@ -362,17 +474,16 @@ impl Engine {
     /// the full configuration (crashed robots included), does not instruct
     /// that location to move.
     pub fn is_gathered(&mut self) -> bool {
-        let live_positions: Vec<Point> = (0..self.positions.len())
-            .filter(|i| self.is_correct(*i))
+        let Some(first) = (0..self.positions.len())
+            .find(|i| self.is_correct(*i))
             .map(|i| self.positions[i])
-            .collect();
-        let Some(&first) = live_positions.first() else {
+        else {
             return false; // no live robots: vacuous, treated as failure
         };
-        if !live_positions
-            .iter()
-            .all(|p| p.within(first, self.tol.snap))
-        {
+        let all_together = (0..self.positions.len())
+            .filter(|i| self.is_correct(*i))
+            .all(|i| self.positions[i].within(first, self.tol.snap));
+        if !all_together {
             return false;
         }
         let dest = self.global_destination_of(first);
@@ -383,14 +494,19 @@ impl Engine {
     /// the global frame. Reuses the shared analysis: between steps this is
     /// a cache hit (the post-move configuration was analysed by the audit).
     fn global_destination_of(&mut self, at: Point) -> Point {
-        let config = self.configuration();
-        let snap = if self.shared_analysis {
-            let ra = self.analysis_cache.analyse(&config, self.tol);
-            Snapshot::with_analysis(config, at, ra.analysis)
-        } else {
-            Snapshot::new(config, at)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.config.copy_from_slice(&self.positions);
+        let dest = {
+            let snap = if self.shared_analysis {
+                let ra = self.analysis_cache.analyse(&scratch.config, self.tol);
+                Snapshot::with_analysis_borrowed(&scratch.config, at, ra.analysis)
+            } else {
+                Snapshot::borrowed(&scratch.config, at)
+            };
+            self.algorithm.destination(&snap)
         };
-        self.algorithm.destination(&snap)
+        self.scratch = scratch;
+        dest
     }
 
     /// Cumulative analysis-cache counters `(computed, hits)`.
@@ -398,67 +514,87 @@ impl Engine {
         (self.analysis_cache.computed(), self.analysis_cache.hits())
     }
 
-    /// Executes one round and returns its record.
-    pub fn step(&mut self) -> RoundRecord {
+    /// Executes one round and returns its record (borrowed from the
+    /// engine; also appended to the [`Trace`]).
+    pub fn step(&mut self) -> &RoundRecord {
         let tol = self.tol;
         let classify_before = classify_invocations();
         let weiszfeld_before = weiszfeld_iterations();
         let hits_before = self.analysis_cache.hits();
-        let config = self.configuration();
+        // The working buffers live outside `self` for the duration of the
+        // round so they can be lent to snapshots while the engine's trait
+        // objects run. `reuse_buffers(false)` is the ablation reproducing
+        // the pre-scratch allocation behaviour: every round starts cold.
+        let mut scratch = if self.reuse_buffers {
+            std::mem::take(&mut self.scratch)
+        } else {
+            Scratch::default()
+        };
+        scratch.config.copy_from_slice(&self.positions);
         // The single shared analysis of the start-of-round configuration —
         // every activated robot LOOKs at exactly this configuration (ATOM),
         // so one classification serves them all. `None` in the ablation
         // mode: each consumer then classifies for itself, as the seed did.
         let shared: Option<RoundAnalysis> = self
             .shared_analysis
-            .then(|| self.analysis_cache.analyse(&config, tol));
+            .then(|| self.analysis_cache.analyse(&scratch.config, tol));
         let class = match &shared {
             Some(ra) => ra.analysis.class,
-            None => classify(&config, tol).class,
+            None => classify(&scratch.config, tol).class,
         };
-        let distinct = config.distinct();
+        scratch
+            .config
+            .distinct_into(&mut scratch.distinct, &mut scratch.sort);
 
         // Stale-view support: robots observe the configuration from
-        // `look_delay` rounds ago (the front of the bounded history).
-        self.history.push_back(config.clone());
-        while self.history.len() > self.look_delay as usize + 1 {
-            self.history.pop_front();
+        // `look_delay` rounds ago (the front of the bounded history). With
+        // the default atomic LOOK the observed configuration *is* the
+        // start-of-round one, so no history is kept at all.
+        if self.look_delay > 0 {
+            if self.history.len() > self.look_delay as usize {
+                // Recycle the evicted entry's buffer instead of allocating.
+                let mut front = self.history.pop_front().expect("non-empty history");
+                front.copy_from(&scratch.config);
+                self.history.push_back(front);
+            } else {
+                self.history.push_back(scratch.config.clone());
+            }
         }
-        let observed = self
-            .history
-            .front()
-            .cloned()
-            .unwrap_or_else(|| config.clone());
 
         // 1. Crashes.
-        let mut crashed_now = Vec::new();
-        for victim in self.crash_plan.crashes(self.round, &config, &self.alive) {
+        self.crash_plan.crashes_into(
+            self.round,
+            &scratch.config,
+            &self.alive,
+            &mut scratch.crash_raw,
+        );
+        scratch.crashed_now.clear();
+        for &victim in &scratch.crash_raw {
             if self.alive.get(victim).copied().unwrap_or(false) {
                 self.alive[victim] = false;
-                crashed_now.push(victim);
+                scratch.crashed_now.push(victim);
             }
         }
 
         // 2. Activation.
-        let mut activated: Vec<usize> = self
-            .scheduler
-            .select(self.round, &self.alive)
-            .into_iter()
-            .filter(|i| *i < self.alive.len() && self.alive[*i])
-            .collect();
-        activated.sort_unstable();
-        activated.dedup();
+        self.scheduler
+            .select_into(self.round, &self.alive, &mut scratch.activated);
+        let alive = &self.alive;
+        scratch.activated.retain(|i| *i < alive.len() && alive[*i]);
+        scratch.activated.sort_unstable();
+        scratch.activated.dedup();
 
         // 3. Look–Compute–Move for every activated robot, from the same
         //    start-of-round configuration (ATOM atomicity).
-        let mut new_positions = self.positions.clone();
+        scratch.new_positions.clear();
+        scratch.new_positions.extend_from_slice(&self.positions);
         let mut travel = 0.0;
-        for &i in &activated {
+        for &i in &scratch.activated {
             let me = self.positions[i];
             let dest = if let Some(policy) = self.byzantine[i].as_mut() {
                 // Byzantine robots pick destinations omnisciently, in
                 // global coordinates, on the *current* configuration.
-                policy.destination(self.round, i, &config, me)
+                policy.destination(self.round, i, &scratch.config, me)
             } else {
                 let frame = self.frame_source.frame_for(me);
                 // The robot sees itself where it currently is (it is the
@@ -466,9 +602,10 @@ impl Engine {
                 // stale) observed configuration: its own entry is replaced
                 // by its true position, everyone else appears where they
                 // were `look_delay` rounds ago.
-                let mut seen = observed.points().to_vec();
-                seen[i] = me;
-                let local_config = Configuration::new(seen).map(|p| frame.apply(p));
+                let observed = self.history.front().unwrap_or(&scratch.config);
+                scratch.local.copy_from(observed);
+                scratch.local.set_point(i, me);
+                scratch.local.map_in_place(|p| frame.apply(p));
                 let local_me = frame.apply(me);
                 // Attach the shared analysis with its target carried into
                 // the robot's frame — class, n and qreg are invariant under
@@ -476,12 +613,12 @@ impl Engine {
                 // when the robot's view IS the analysed configuration, i.e.
                 // with fresh (non-stale) LOOKs.
                 let snap = match &shared {
-                    Some(ra) if self.look_delay == 0 => Snapshot::with_analysis(
-                        local_config,
+                    Some(ra) if self.look_delay == 0 => Snapshot::with_analysis_borrowed(
+                        &scratch.local,
                         local_me,
                         ra.map_target(|t| frame.apply(t)).analysis,
                     ),
-                    _ => Snapshot::new(local_config, local_me),
+                    _ => Snapshot::borrowed(&scratch.local, local_me),
                 };
                 let local_dest = self.algorithm.destination(&snap);
                 frame.inverse().apply(local_dest)
@@ -496,39 +633,59 @@ impl Engine {
             let fraction = self.motion.stop_fraction(self.round, i, me, dest);
             let reached = apply_motion(me, dest, fraction, self.delta);
             travel += me.dist(reached);
-            new_positions[i] = reached;
+            scratch.new_positions[i] = reached;
         }
 
-        // 4. Simultaneous application + canonicalisation.
-        self.positions = Configuration::canonical(new_positions, tol)
-            .points()
-            .to_vec();
+        // 4. Simultaneous application + canonicalisation (into the scratch
+        //    output buffer, then swapped with the engine's position vector —
+        //    last round's positions become next round's buffer).
+        canonicalize_into(
+            &scratch.new_positions,
+            tol.snap,
+            &mut scratch.canon,
+            &mut scratch.canon_out,
+        );
+        std::mem::swap(&mut self.positions, &mut scratch.canon_out);
 
         if self.record_positions {
-            self.position_log.push(self.positions.clone());
+            match self.position_log_capacity {
+                Some(cap) if self.position_log.len() >= cap => {
+                    self.position_log.rotate_left(1);
+                    self.position_log
+                        .last_mut()
+                        .expect("capacity > 0")
+                        .clone_from(&self.positions);
+                }
+                _ => self.position_log.push(self.positions.clone()),
+            }
         }
 
         // 5. Invariant audit.
         if self.check_invariants {
-            self.audit_wait_freeness(&config, &distinct, shared.as_ref());
-            self.audit_never_bivalent();
+            self.audit_wait_freeness(&scratch.config, &scratch.distinct, shared.as_ref());
+            // The wait-freeness audit needed the start-of-round
+            // configuration; recycle its buffer for the post-move one.
+            scratch.config.copy_from_slice(&self.positions);
+            self.audit_never_bivalent(&scratch.config);
         }
 
-        let record = RoundRecord {
-            round: self.round,
-            class,
-            distinct: distinct.len(),
-            max_mult: distinct.iter().map(|(_, m)| *m).max().unwrap_or(0),
-            activated,
-            crashed: crashed_now,
-            travel,
-            classifications: classify_invocations() - classify_before,
-            cache_hits: self.analysis_cache.hits() - hits_before,
-            weiszfeld_iters: weiszfeld_iterations() - weiszfeld_before,
-        };
-        self.trace.push(record.clone());
+        let record = &mut self.last_record;
+        record.round = self.round;
+        record.class = class;
+        record.distinct = scratch.distinct.len();
+        record.max_mult = scratch.distinct.iter().map(|(_, m)| *m).max().unwrap_or(0);
+        record.activated.clone_from(&scratch.activated);
+        record.crashed.clone_from(&scratch.crashed_now);
+        record.travel = travel;
+        record.classifications = classify_invocations() - classify_before;
+        record.cache_hits = self.analysis_cache.hits() - hits_before;
+        record.weiszfeld_iters = weiszfeld_iterations() - weiszfeld_before;
+        self.trace.push_cloned(&self.last_record);
         self.round += 1;
-        record
+        if self.reuse_buffers {
+            self.scratch = scratch;
+        }
+        &self.last_record
     }
 
     /// Runs until the `GATHERED` predicate holds or `max_rounds` rounds
@@ -563,8 +720,8 @@ impl Engine {
         distinct: &[(Point, usize)],
         shared: Option<&RoundAnalysis>,
     ) {
-        if config.is_gathered() {
-            return;
+        if distinct.len() <= 1 {
+            return; // gathered — `Configuration::is_gathered` would allocate
         }
         // The bivalent class is outside the algorithm's contract.
         let class = match shared {
@@ -577,10 +734,11 @@ impl Engine {
         let mut staying = 0usize;
         for (p, _) in distinct {
             // The audit evaluates in the global frame, so the shared
-            // analysis applies verbatim (identity transform).
+            // analysis applies verbatim (identity transform) and the
+            // configuration is lent, not cloned, per location.
             let snap = match shared {
-                Some(ra) => Snapshot::with_analysis(config.clone(), *p, ra.analysis),
-                None => Snapshot::new(config.clone(), *p),
+                Some(ra) => Snapshot::with_analysis_borrowed(config, *p, ra.analysis),
+                None => Snapshot::borrowed(config, *p),
             };
             let dest = self.algorithm.destination(&snap);
             // Mirrors the engine's own "do not move" rule exactly.
@@ -597,8 +755,9 @@ impl Engine {
     }
 
     /// Nothing may ever transition *into* the bivalent class (Lemmas 5.6
-    /// C1, 5.7) unless the execution started there.
-    fn audit_never_bivalent(&mut self) {
+    /// C1, 5.7) unless the execution started there. `post` is the
+    /// post-move configuration of the round being audited.
+    fn audit_never_bivalent(&mut self, post: &Configuration) {
         if self.started_bivalent {
             return;
         }
@@ -606,13 +765,9 @@ impl Engine {
         // the next round's start-of-round cache hit, so the audit costs no
         // extra steady-state classification.
         let class = if self.shared_analysis {
-            let config = self.configuration();
-            self.analysis_cache
-                .analyse(&config, self.tol)
-                .analysis
-                .class
+            self.analysis_cache.analyse(post, self.tol).analysis.class
         } else {
-            classify(&self.configuration(), self.tol).class
+            classify(post, self.tol).class
         };
         if class == Class::Bivalent {
             self.violations.push(format!(

@@ -59,6 +59,21 @@ pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
     }
 }
 
+impl RunMetrics {
+    /// Mean Weiszfeld solver iterations per executed round — the
+    /// convergence-cost curve the F4/F6 runners plot (0 for a run with no
+    /// rounds). Per-round values live in the trace's [`RoundRecord`]s.
+    ///
+    /// [`RoundRecord`]: crate::trace::RoundRecord
+    pub fn weiszfeld_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.weiszfeld_iters as f64 / self.rounds as f64
+        }
+    }
+}
+
 impl std::fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -120,6 +135,7 @@ mod tests {
         assert_eq!(m.classifications, 4);
         assert_eq!(m.cache_hits, 2);
         assert_eq!(m.weiszfeld_iters, 14);
+        assert_eq!(m.weiszfeld_per_round(), 7.0);
         let shown = format!("{m}");
         assert!(shown.contains("gathered"));
         assert!(shown.contains("A→M"));

@@ -29,6 +29,15 @@ pub trait Scheduler {
     /// Robots to activate in `round` (0-based), given liveness flags.
     fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize>;
 
+    /// Allocation-free form of [`Scheduler::select`]: writes the selection
+    /// into `out` (cleared first, capacity kept). The default delegates to
+    /// `select`; the engine's built-in schedulers override it so the
+    /// steady-state round loop does not allocate.
+    fn select_into(&mut self, round: u64, alive: &[bool], out: &mut Vec<usize>) {
+        out.clear();
+        out.append(&mut self.select(round, alive));
+    }
+
     /// Short identifier used in experiment tables.
     fn name(&self) -> &'static str {
         "scheduler"
@@ -38,6 +47,9 @@ pub trait Scheduler {
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize> {
         (**self).select(round, alive)
+    }
+    fn select_into(&mut self, round: u64, alive: &[bool], out: &mut Vec<usize>) {
+        (**self).select_into(round, alive, out)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -51,6 +63,10 @@ pub struct EveryRobot;
 impl Scheduler for EveryRobot {
     fn select(&mut self, _round: u64, alive: &[bool]) -> Vec<usize> {
         (0..alive.len()).collect()
+    }
+    fn select_into(&mut self, _round: u64, alive: &[bool], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..alive.len());
     }
     fn name(&self) -> &'static str {
         "full"
@@ -77,21 +93,31 @@ impl RoundRobin {
 }
 
 impl Scheduler for RoundRobin {
-    fn select(&mut self, _round: u64, alive: &[bool]) -> Vec<usize> {
-        let n = alive.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let live: Vec<usize> = (0..n).filter(|i| alive[*i]).collect();
-        if live.is_empty() {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(self.k.min(live.len()));
-        for j in 0..self.k.min(live.len()) {
-            out.push(live[(self.next + j) % live.len()]);
-        }
-        self.next = (self.next + self.k) % live.len();
+    fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.select_into(round, alive, &mut out);
         out
+    }
+    fn select_into(&mut self, _round: u64, alive: &[bool], out: &mut Vec<usize>) {
+        out.clear();
+        let live_count = alive.iter().filter(|a| **a).count();
+        if live_count == 0 {
+            return;
+        }
+        // The j-th pick is the ((next + j) mod live)-th live robot, found by
+        // rank scan — O(k·n) but allocation-free, and n is a robot count.
+        for j in 0..self.k.min(live_count) {
+            let rank = (self.next + j) % live_count;
+            let idx = alive
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a)
+                .nth(rank)
+                .map(|(i, _)| i)
+                .expect("rank < live_count");
+            out.push(idx);
+        }
+        self.next = (self.next + self.k) % live_count;
     }
     fn name(&self) -> &'static str {
         "round-robin"
@@ -113,16 +139,22 @@ impl SequentialSingle {
 }
 
 impl Scheduler for SequentialSingle {
-    fn select(&mut self, _round: u64, alive: &[bool]) -> Vec<usize> {
+    fn select(&mut self, round: u64, alive: &[bool]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.select_into(round, alive, &mut out);
+        out
+    }
+    fn select_into(&mut self, _round: u64, alive: &[bool], out: &mut Vec<usize>) {
+        out.clear();
         let n = alive.len();
         for _ in 0..n {
             let i = self.next % n.max(1);
             self.next = (self.next + 1) % n.max(1);
             if alive.get(i).copied().unwrap_or(false) {
-                return vec![i];
+                out.push(i);
+                return;
             }
         }
-        Vec::new()
     }
     fn name(&self) -> &'static str {
         "single"
@@ -241,6 +273,34 @@ mod tests {
         assert_eq!(r1, vec![2, 3]);
         let r2 = s.select(2, &alive);
         assert_eq!(r2, vec![0, 1]);
+    }
+
+    #[test]
+    fn select_into_matches_select() {
+        let alive = [true, false, true, true, true];
+        let mut buf = Vec::new();
+        let (mut a, mut b) = (RoundRobin::new(2), RoundRobin::new(2));
+        for r in 0..10 {
+            let v = a.select(r, &alive);
+            b.select_into(r, &alive, &mut buf);
+            assert_eq!(v, buf, "round-robin diverged at round {r}");
+        }
+        let (mut a, mut b) = (SequentialSingle::new(), SequentialSingle::new());
+        for r in 0..10 {
+            let v = a.select(r, &alive);
+            b.select_into(r, &alive, &mut buf);
+            assert_eq!(v, buf, "sequential diverged at round {r}");
+        }
+        // Schedulers without an override fall back to select.
+        let (mut a, mut b) = (
+            RandomSubsets::new(0.5, 10, 3),
+            RandomSubsets::new(0.5, 10, 3),
+        );
+        for r in 0..10 {
+            let v = a.select(r, &alive);
+            b.select_into(r, &alive, &mut buf);
+            assert_eq!(v, buf, "random diverged at round {r}");
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use gather_config::{Analysis, Configuration};
 use gather_geom::Point;
+use std::borrow::Cow;
 
 /// The complete observation a robot obtains in its LOOK phase: the
 /// positions of all robots (with strong multiplicity — co-located robots
@@ -12,6 +13,12 @@ use gather_geom::Point;
 /// orientation: exactly the information the paper's model grants. The
 /// observer cannot tell which robots are crashed.
 ///
+/// The configuration is held copy-on-write: the engine's round loop lends
+/// its scratch buffers out as borrowed snapshots (no deep clone per robot
+/// per round), while hand-built snapshots own their configuration as
+/// before. Algorithms only ever read through [`Snapshot::config`], so the
+/// two are indistinguishable to them.
+///
 /// A snapshot may additionally carry the configuration's [`Analysis`]
 /// (class, `n`, movement target), already expressed in the snapshot's
 /// frame. This is a pure *performance* channel: the analysis is a function
@@ -20,13 +27,13 @@ use gather_geom::Point;
 /// identical classification once per robot per round (the engine computes
 /// it once and frame-transforms the target; see `gather_config::analysis`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Snapshot {
-    config: Configuration,
+pub struct Snapshot<'a> {
+    config: Cow<'a, Configuration>,
     me: Point,
     analysis: Option<Analysis>,
 }
 
-impl Snapshot {
+impl<'a> Snapshot<'a> {
     /// Creates a snapshot from an observed configuration and the observer's
     /// own position within it.
     ///
@@ -34,13 +41,31 @@ impl Snapshot {
     ///
     /// Panics if no robot of `config` is located at `me` — the observer
     /// always sees itself.
-    pub fn new(config: Configuration, me: Point) -> Self {
+    pub fn new(config: Configuration, me: Point) -> Snapshot<'static> {
         assert!(
             config.points().contains(&me),
             "observer position {me} not present in the observed configuration"
         );
         Snapshot {
-            config,
+            config: Cow::Owned(config),
+            me,
+            analysis: None,
+        }
+    }
+
+    /// Creates a snapshot *borrowing* the observed configuration — the
+    /// engine's allocation-free path. Same contract as [`Snapshot::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no robot of `config` is located at `me`.
+    pub fn borrowed(config: &'a Configuration, me: Point) -> Snapshot<'a> {
+        assert!(
+            config.points().contains(&me),
+            "observer position {me} not present in the observed configuration"
+        );
+        Snapshot {
+            config: Cow::Borrowed(config),
             me,
             analysis: None,
         }
@@ -54,7 +79,11 @@ impl Snapshot {
     /// Panics if the observer is not in `config`, or if `analysis.n`
     /// disagrees with the configuration size (the analysis must describe
     /// *this* configuration).
-    pub fn with_analysis(config: Configuration, me: Point, analysis: Analysis) -> Self {
+    pub fn with_analysis(
+        config: Configuration,
+        me: Point,
+        analysis: Analysis,
+    ) -> Snapshot<'static> {
         assert!(
             analysis.n == config.len(),
             "attached analysis describes {} robots, configuration has {}",
@@ -62,6 +91,24 @@ impl Snapshot {
             config.len()
         );
         let mut snap = Snapshot::new(config, me);
+        snap.analysis = Some(analysis);
+        snap
+    }
+
+    /// [`Snapshot::with_analysis`] over a *borrowed* configuration — the
+    /// engine's allocation-free path. Same panics.
+    pub fn with_analysis_borrowed(
+        config: &'a Configuration,
+        me: Point,
+        analysis: Analysis,
+    ) -> Snapshot<'a> {
+        assert!(
+            analysis.n == config.len(),
+            "attached analysis describes {} robots, configuration has {}",
+            analysis.n,
+            config.len()
+        );
+        let mut snap = Snapshot::borrowed(config, me);
         snap.analysis = Some(analysis);
         snap
     }
@@ -90,7 +137,7 @@ impl Snapshot {
     }
 }
 
-impl std::fmt::Display for Snapshot {
+impl std::fmt::Display for Snapshot<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Snapshot {{ me: {}, {} }}", self.me, self.config)
     }
@@ -113,6 +160,16 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_snapshot_matches_owned() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let owned = Snapshot::new(c.clone(), Point::new(0.0, 0.0));
+        let borrowed = Snapshot::borrowed(&c, Point::new(0.0, 0.0));
+        assert_eq!(owned, borrowed);
+        assert_eq!(borrowed.config(), &c);
+        assert_eq!(borrowed.n(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "not present")]
     fn observer_must_be_in_configuration() {
         let c = Configuration::new(vec![Point::new(0.0, 0.0)]);
@@ -120,11 +177,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not present")]
+    fn borrowed_observer_must_be_in_configuration() {
+        let c = Configuration::new(vec![Point::new(0.0, 0.0)]);
+        let _ = Snapshot::borrowed(&c, Point::new(5.0, 5.0));
+    }
+
+    #[test]
     fn with_analysis_carries_the_analysis() {
         let c = Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
         let a = classify(&c, Tol::default());
-        let s = Snapshot::with_analysis(c, Point::new(0.0, 0.0), a);
+        let s = Snapshot::with_analysis(c.clone(), Point::new(0.0, 0.0), a);
         assert_eq!(s.analysis(), Some(&a));
+        let b = Snapshot::with_analysis_borrowed(&c, Point::new(0.0, 0.0), a);
+        assert_eq!(b.analysis(), Some(&a));
     }
 
     #[test]

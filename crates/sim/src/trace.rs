@@ -4,7 +4,7 @@ use gather_config::Class;
 use std::collections::BTreeMap;
 
 /// What happened in one simulated round.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: u64,
@@ -30,10 +30,67 @@ pub struct RoundRecord {
     pub weiszfeld_iters: u64,
 }
 
+impl Default for RoundRecord {
+    fn default() -> Self {
+        RoundRecord {
+            round: 0,
+            class: Class::Multiple,
+            distinct: 0,
+            max_mult: 0,
+            activated: Vec::new(),
+            crashed: Vec::new(),
+            travel: 0.0,
+            classifications: 0,
+            cache_hits: 0,
+            weiszfeld_iters: 0,
+        }
+    }
+}
+
+impl Clone for RoundRecord {
+    fn clone(&self) -> Self {
+        let mut out = RoundRecord::default();
+        out.clone_from(self);
+        out
+    }
+
+    /// Field-wise copy that reuses the destination's vector capacity — the
+    /// engine's bounded trace recycles evicted records through this, so
+    /// steady-state rounds record without heap allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.round = source.round;
+        self.class = source.class;
+        self.distinct = source.distinct;
+        self.max_mult = source.max_mult;
+        self.activated.clone_from(&source.activated);
+        self.crashed.clone_from(&source.crashed);
+        self.travel = source.travel;
+        self.classifications = source.classifications;
+        self.cache_hits = source.cache_hits;
+        self.weiszfeld_iters = source.weiszfeld_iters;
+    }
+}
+
 /// A complete execution trace.
+///
+/// Aggregates (class histogram, transition counts, totals) are maintained
+/// incrementally on push, so they stay exact even when the trace is
+/// *bounded*: with [`Trace::set_capacity`] only the most recent records are
+/// retained (a ring over a `Vec`, keeping [`Trace::records`] a plain
+/// ordered slice) while every aggregate still covers the full execution.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     records: Vec<RoundRecord>,
+    capacity: Option<usize>,
+    dropped: u64,
+    total_travel: f64,
+    total_classifications: u64,
+    total_cache_hits: u64,
+    total_weiszfeld_iters: u64,
+    histogram: BTreeMap<Class, u64>,
+    transitions: BTreeMap<(Class, Class), u64>,
+    sequence: Vec<Class>,
+    rounds_seen: u64,
 }
 
 impl Trace {
@@ -42,33 +99,99 @@ impl Trace {
         Trace::default()
     }
 
-    /// Appends one round's record.
-    pub fn push(&mut self, record: RoundRecord) {
-        self.records.push(record);
+    /// Bounds the number of *retained* records: once more than `capacity`
+    /// rounds are pushed, the oldest records are evicted (their memory is
+    /// recycled, see [`RoundRecord::clone_from`]). Aggregates keep covering
+    /// every round ever pushed. `None` (the default) retains everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)` — a trace that can hold nothing
+    /// cannot satisfy `records()` callers.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        if let Some(cap) = capacity {
+            assert!(cap > 0, "trace capacity must be positive");
+            if self.records.len() > cap {
+                self.dropped += (self.records.len() - cap) as u64;
+                self.records.drain(..self.records.len() - cap);
+            }
+        }
+        self.capacity = capacity;
     }
 
-    /// All recorded rounds, in order.
+    /// Folds one record into the running aggregates.
+    fn absorb(&mut self, record: &RoundRecord) {
+        self.total_travel += record.travel;
+        self.total_classifications += record.classifications;
+        self.total_cache_hits += record.cache_hits;
+        self.total_weiszfeld_iters += record.weiszfeld_iters;
+        *self.histogram.entry(record.class).or_insert(0) += 1;
+        match self.sequence.last() {
+            Some(&last) if last == record.class => {}
+            Some(&last) => {
+                *self.transitions.entry((last, record.class)).or_insert(0) += 1;
+                self.sequence.push(record.class);
+            }
+            None => self.sequence.push(record.class),
+        }
+        self.rounds_seen += 1;
+    }
+
+    /// Appends one round's record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.absorb(&record);
+        match self.capacity {
+            Some(cap) if self.records.len() >= cap => {
+                self.records.rotate_left(1);
+                *self.records.last_mut().expect("capacity > 0") = record;
+                self.dropped += 1;
+            }
+            _ => self.records.push(record),
+        }
+    }
+
+    /// Appends a round's record by reference; with a bounded trace the
+    /// evicted record's buffers are reused, so no allocation happens once
+    /// the ring is warm.
+    pub fn push_cloned(&mut self, record: &RoundRecord) {
+        self.absorb(record);
+        match self.capacity {
+            Some(cap) if self.records.len() >= cap => {
+                self.records.rotate_left(1);
+                self.records
+                    .last_mut()
+                    .expect("capacity > 0")
+                    .clone_from(record);
+                self.dropped += 1;
+            }
+            _ => self.records.push(record.clone()),
+        }
+    }
+
+    /// The retained records, oldest first. The full execution unless a
+    /// capacity bound evicted early rounds (see [`Trace::dropped`]).
     pub fn records(&self) -> &[RoundRecord] {
         &self.records
     }
 
-    /// Number of recorded rounds.
+    /// Number of rounds ever pushed (evicted rounds included).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.rounds_seen as usize
     }
 
     /// Is the trace empty?
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.rounds_seen == 0
+    }
+
+    /// Number of records evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Rounds spent in each configuration class.
     pub fn class_histogram(&self) -> BTreeMap<Class, u64> {
-        let mut hist = BTreeMap::new();
-        for r in &self.records {
-            *hist.entry(r.class).or_insert(0) += 1;
-        }
-        hist
+        self.histogram.clone()
     }
 
     /// The observed class transitions `(from, to) → count`, counting only
@@ -77,44 +200,32 @@ impl Trace {
     /// Experiment F3 compares this against the transition edges allowed by
     /// Lemmas 5.3–5.9 (e.g. `M` never leaves `M`; nothing enters `B`).
     pub fn class_transitions(&self) -> BTreeMap<(Class, Class), u64> {
-        let mut out = BTreeMap::new();
-        for w in self.records.windows(2) {
-            if w[0].class != w[1].class {
-                *out.entry((w[0].class, w[1].class)).or_insert(0) += 1;
-            }
-        }
-        out
+        self.transitions.clone()
     }
 
     /// Total distance travelled by all robots over the execution.
     pub fn total_travel(&self) -> f64 {
-        self.records.iter().map(|r| r.travel).sum()
+        self.total_travel
     }
 
     /// Total `classify()` invocations over the execution.
     pub fn total_classifications(&self) -> u64 {
-        self.records.iter().map(|r| r.classifications).sum()
+        self.total_classifications
     }
 
     /// Total analysis-cache hits over the execution.
     pub fn total_cache_hits(&self) -> u64 {
-        self.records.iter().map(|r| r.cache_hits).sum()
+        self.total_cache_hits
     }
 
     /// Total Weiszfeld iterations over the execution.
     pub fn total_weiszfeld_iters(&self) -> u64 {
-        self.records.iter().map(|r| r.weiszfeld_iters).sum()
+        self.total_weiszfeld_iters
     }
 
     /// The sequence of classes visited (consecutive duplicates collapsed).
     pub fn class_sequence(&self) -> Vec<Class> {
-        let mut out: Vec<Class> = Vec::new();
-        for r in &self.records {
-            if out.last() != Some(&r.class) {
-                out.push(r.class);
-            }
-        }
-        out
+        self.sequence.clone()
     }
 }
 
@@ -192,5 +303,66 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_keeps_recent_records_and_full_aggregates() {
+        let mut t = Trace::new();
+        t.set_capacity(Some(3));
+        for i in 0..10 {
+            let class = if i < 5 {
+                Class::Asymmetric
+            } else {
+                Class::Multiple
+            };
+            t.push_cloned(&rec(i, class));
+        }
+        // Only the 3 most recent records survive, in order.
+        let rounds: Vec<u64> = t.records().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![7, 8, 9]);
+        assert_eq!(t.dropped(), 7);
+        // Aggregates still cover all 10 rounds.
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.total_travel(), 10.0);
+        assert_eq!(t.class_histogram()[&Class::Asymmetric], 5);
+        assert_eq!(t.class_histogram()[&Class::Multiple], 5);
+        assert_eq!(
+            t.class_transitions()[&(Class::Asymmetric, Class::Multiple)],
+            1
+        );
+        assert_eq!(t.class_sequence(), vec![Class::Asymmetric, Class::Multiple]);
+    }
+
+    #[test]
+    fn set_capacity_trims_existing_records() {
+        let mut t = Trace::new();
+        for i in 0..5 {
+            t.push(rec(i, Class::Multiple));
+        }
+        t.set_capacity(Some(2));
+        let rounds: Vec<u64> = t.records().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![3, 4]);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let mut t = Trace::new();
+        t.set_capacity(Some(0));
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers_and_copies_fields() {
+        let source = rec(42, Class::QuasiRegular);
+        let mut dest = RoundRecord {
+            activated: Vec::with_capacity(8),
+            ..RoundRecord::default()
+        };
+        let ptr = dest.activated.as_ptr();
+        dest.clone_from(&source);
+        assert_eq!(dest, source);
+        assert_eq!(dest.activated.as_ptr(), ptr, "buffer was reallocated");
     }
 }

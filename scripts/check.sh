@@ -26,4 +26,15 @@ else
   echo "== clippy: not installed, skipped =="
 fi
 
+echo "== bench-smoke (B1 vs committed baseline) =="
+# Tiny B1 matrix under the counting allocator: fails on any steady-state
+# heap allocation in the scratch path, a warm-started Weiszfeld that is
+# not >=2x cheaper than cold, or a >20% rounds/sec regression of the
+# default engine against the committed record.
+smoke_out="$(mktemp -d)"
+cargo run --release --offline -p gather-bench --features alloc-audit \
+  --bin b1_throughput -- --quick --baseline BENCH_b1_throughput.json \
+  --out "$smoke_out"
+rm -rf "$smoke_out"
+
 echo "== check.sh: all gates passed =="

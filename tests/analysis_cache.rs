@@ -84,8 +84,35 @@ fn cache_is_transparent_over_a_perturbation_walk() {
         let second = cache.analyse(&config, tol());
         assert_eq!(cache.hits(), hits_before + 1, "step {step}: no memo hit");
         let fresh = RoundAnalysis::compute(&config, tol());
-        assert_eq!(first, fresh, "step {step}: cached != fresh");
-        assert_eq!(second, fresh, "step {step}: memo served a stale entry");
+        for (label, got) in [("cached", first), ("memo", second)] {
+            // The semantic payload must match a cold computation exactly.
+            assert_eq!(
+                got.analysis, fresh.analysis,
+                "step {step}: {label} analysis != fresh"
+            );
+            assert_eq!(got.sym, fresh.sym, "step {step}: {label} sym != fresh");
+            assert_eq!(
+                got.fingerprint, fresh.fingerprint,
+                "step {step}: {label} fingerprint != fresh"
+            );
+            // `weber_hint` is the raw Weiszfeld iterate: the cache warm-
+            // starts it from the previous round's Weber point (Lemma 3.2)
+            // while the fresh computation runs cold, so the two solves may
+            // land on different iterates of the same minimum. They must
+            // still agree to solver tolerance — the warm-vs-cold
+            // equivalence the warm start relies on.
+            match (got.weber_hint, fresh.weber_hint) {
+                (Some(w), Some(c)) => assert!(
+                    w.dist(c) <= 1e-6,
+                    "step {step}: {label} warm Weber {w} strayed from cold {c}"
+                ),
+                (w, c) => assert_eq!(
+                    w.is_some(),
+                    c.is_some(),
+                    "step {step}: {label} and fresh disagree on hint presence"
+                ),
+            }
+        }
         // Perturb one robot; the cache must notice and recompute.
         let i = rng.random_range(0..pts.len());
         pts[i] = Point::new(

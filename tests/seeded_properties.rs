@@ -6,7 +6,7 @@
 use gather_config::{classify, rotational_symmetry, safe_points, Class, Configuration};
 use gather_geom::{
     convex_hull, hull_contains, smallest_enclosing_circle, weber_objective, weber_point_weiszfeld,
-    Point, Similarity, Tol,
+    weber_point_weiszfeld_from, Point, Similarity, Tol,
 };
 use gather_prng::Rng;
 use gather_sim::{Algorithm, Snapshot};
@@ -236,6 +236,50 @@ fn hull_contains_every_input_point() {
         let hull = convex_hull(&pts);
         for p in &pts {
             assert!(hull_contains(&hull, *p, tol()));
+        }
+    }
+}
+
+#[test]
+fn warm_started_weiszfeld_agrees_with_cold_across_all_classes() {
+    // Satellite of the zero-allocation PR: the warm-started solver entry
+    // point (`weber_point_weiszfeld_from`, the Lemma 3.2 carry-over used
+    // by `AnalysisCache`) must land on the same Weber point as a cold
+    // solve on every configuration class, no matter where the hint comes
+    // from. Classes B and L2W take the collinear median shortcut and
+    // ignore the hint entirely; the test still exercises them to pin that
+    // the shortcut is hint-independent.
+    let mut rng = Rng::seed_from_u64(0xF00C);
+    for class in Class::all() {
+        for seed in 0..8u64 {
+            let pts = gather_workloads::of_class(class, 8, seed);
+            let cold = weber_point_weiszfeld(&pts, tol());
+            let hints = [
+                cold.point,                                           // perfect hint
+                point(&mut rng),                                      // arbitrary hint
+                Point::new(cold.point.x + 0.37, cold.point.y - 0.19), // near-miss
+            ];
+            for hint in hints {
+                let warm = weber_point_weiszfeld_from(hint, &pts, tol());
+                assert!(
+                    warm.point.dist(cold.point) <= 1e-6,
+                    "{class} seed {seed}: warm start from {hint} landed on \
+                     {} instead of {}",
+                    warm.point,
+                    cold.point
+                );
+            }
+
+            // Lemma 3.2 in the warm-start role it plays inside the engine:
+            // after robots move toward the Weber point, last round's
+            // iterate is a valid (and nearly converged) starting point.
+            let contracted: Vec<Point> = pts.iter().map(|p| p.lerp(cold.point, 0.5)).collect();
+            let warm = weber_point_weiszfeld_from(cold.point, &contracted, tol());
+            let fresh = weber_point_weiszfeld(&contracted, tol());
+            assert!(
+                warm.point.dist(fresh.point) <= 1e-6,
+                "{class} seed {seed}: warm start diverged after contraction"
+            );
         }
     }
 }
