@@ -36,11 +36,12 @@
 //! `n/a`.
 //!
 //! Besides the CSV, writes `BENCH_b1_throughput.json` recording the
-//! ablation per team size — unless `--baseline PATH` is given, in which
-//! case the fresh numbers are compared against the committed record and
-//! the run fails on a >20 % rounds/sec regression of the default engine
-//! (the JSON then goes to the `--out` directory instead of overwriting the
-//! baseline).
+//! ablation per team size — unless `--baseline PATH` or `--quick` is
+//! given, in which case the JSON goes to the `--out` directory instead (a
+//! reduced or regression-check run never overwrites the committed
+//! record). With `--baseline` the fresh numbers are additionally compared
+//! against the committed record and the run fails on a >20 % rounds/sec
+//! regression of the default engine.
 
 use gather_bench::table::{f, Table};
 use gather_bench::{alloc_audit, Args};
@@ -253,6 +254,71 @@ fn measure_weiszfeld(n: usize, variant: Variant, rounds: u64) -> f64 {
     engine.trace().total_weiszfeld_iters() as f64 / executed.max(1) as f64
 }
 
+/// Worst steady-state allocations/round over sweep items `2..=items`, each
+/// item executed as its own batch on a single persistent pool worker with
+/// engine-parts recycling — the pooled-path counterpart of the in-run
+/// audit. From the second item on, the worker's engine is rebuilt from
+/// recycled [`EngineParts`], so this proves recycling across sweep-item
+/// boundaries does not reintroduce heap traffic into the round loop.
+///
+/// Returns `None` without the `alloc-audit` feature or when no item after
+/// the first reached a steady window.
+fn measure_pooled_recycled_steady(n: usize, items: usize, rounds: u64) -> Option<f64> {
+    use gather_bench::pool::WorkerPool;
+    use std::sync::Mutex;
+
+    let pool = WorkerPool::new(1);
+    let parts_cell: Mutex<Option<EngineParts>> = Mutex::new(None);
+    let worst: Mutex<Option<f64>> = Mutex::new(None);
+    for item in 0..items {
+        pool.run_batch(1, &|_| {
+            let parts = parts_cell.lock().unwrap().take().unwrap_or_default();
+            let pts = workloads::multiple(n, 3, 7 + item as u64);
+            let mut engine = Engine::builder(pts)
+                .algorithm(WaitFreeGather::default())
+                .scheduler(RoundRobin::new(2.max(n / 4)))
+                .motion(AlwaysDelta)
+                .check_invariants(false)
+                .trace_capacity(TRACE_CAP)
+                .recycle(parts)
+                .build();
+            let mut m_streak = 0u64;
+            let mut steady_rounds = 0u64;
+            let mut steady_start = alloc_audit::heap_allocations();
+            let mut executed = 0u64;
+            for _ in 0..rounds {
+                if engine.is_gathered() {
+                    break;
+                }
+                let class = engine.step().class;
+                executed += 1;
+                if class == Class::Multiple {
+                    m_streak += 1;
+                } else {
+                    m_streak = 0;
+                }
+                if m_streak >= 2 && executed > TRACE_CAP as u64 {
+                    steady_rounds += 1;
+                } else {
+                    steady_rounds = 0;
+                    steady_start = alloc_audit::heap_allocations();
+                }
+            }
+            let end = alloc_audit::heap_allocations();
+            if item >= 1 && steady_rounds > 0 {
+                if let Some((s, e)) = steady_start.zip(end) {
+                    let per_round = (e - s) as f64 / steady_rounds as f64;
+                    let mut w = worst.lock().unwrap();
+                    *w = Some(w.map_or(per_round, |x: f64| x.max(per_round)));
+                }
+            }
+            *parts_cell.lock().unwrap() = Some(engine.into_parts());
+        });
+    }
+    let result = *worst.lock().unwrap();
+    result
+}
+
 fn opt(x: Option<f64>, digits: usize) -> String {
     x.map(|v| f(v, digits)).unwrap_or_else(|| "n/a".into())
 }
@@ -338,7 +404,12 @@ fn main() {
         for &n in sizes {
             // Enough rounds for a stable measurement, few enough to finish
             // fast at n = 128 (a naive round costs ~n classifications).
-            let budget = if n <= 32 { 400 } else { 60 };
+            // The large-n budget must exceed TRACE_CAP by a comfortable
+            // margin: the steady-state allocation window only opens after
+            // the trace ring warmed up (`executed > TRACE_CAP`), so the old
+            // 60-round budget could never audit n = 64/128 and reported
+            // `null`.
+            let budget = if n <= 32 { 400 } else { 160 };
             let trials = if args.quick { 3 } else { 5 };
             let m = measure_best(n, alg, audit, variant, budget, trials);
             if alg == "wait-free-gather" && !audit {
@@ -353,13 +424,18 @@ fn main() {
                         row.weiszfeld_warm = measure_weiszfeld(n, variant, budget);
                         row.steady_allocs = m.steady_allocs_per_round;
                         // The acceptance gate: the scratch path must not
-                        // touch the heap in steady state.
-                        if let Some(a) = m.steady_allocs_per_round {
-                            if a > 0.0 {
-                                failures.push(format!(
-                                    "n={n}: scratch path allocated {a:.2}/round in steady state"
-                                ));
-                            }
+                        // touch the heap in steady state — and with the
+                        // audit compiled in, every size must actually be
+                        // measured (a window that never opens is a silent
+                        // audit hole, the bug the 60-round budget had).
+                        match m.steady_allocs_per_round {
+                            Some(a) if a > 0.0 => failures.push(format!(
+                                "n={n}: scratch path allocated {a:.2}/round in steady state"
+                            )),
+                            None if alloc_audit::enabled() => failures.push(format!(
+                                "n={n}: steady-state window never opened — budget too small to audit"
+                            )),
+                            _ => {}
                         }
                     }
                     "cold-start" => {
@@ -415,15 +491,41 @@ fn main() {
         }
     }
     wz.print();
+
+    // Pooled-path audit: sweep items executed back-to-back on one
+    // persistent worker, engines rebuilt from recycled parts between items.
+    let recycled_steady = measure_pooled_recycled_steady(32, 4, 400);
+    println!(
+        "\npooled recycle audit (worst steady-alloc/round, items 2..4 on one worker): {}",
+        opt(recycled_steady, 2)
+    );
+    if alloc_audit::enabled() {
+        match recycled_steady {
+            Some(a) if a > 0.0 => failures.push(format!(
+                "pooled recycle: {a:.2} allocs/round in steady state after an engine recycle"
+            )),
+            None => failures
+                .push("pooled recycle: steady window never opened across sweep items".to_string()),
+            _ => {}
+        }
+    }
+
     let out = args.out_dir.join("b1_throughput.csv");
     table.write_csv(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 
     // Ablation record: per n, rounds/sec of the four engine variants plus
     // the warm-vs-cold Weiszfeld iteration counts and the steady-state
-    // allocation audit (null when not measured).
-    let mut json = String::from(
-        "{\n  \"bench\": \"b1_throughput\",\n  \"metric\": \"rounds_per_second\",\n  \"algorithm\": \"wait-free-gather\",\n  \"audit\": false,\n  \"ablation\": [\n",
+    // allocation audit (an explicit "skipped: …" string when not measured,
+    // never a silent null).
+    let audit_skip_reason = "\"skipped: built without the alloc-audit feature\"";
+    let recycled_json = match recycled_steady {
+        Some(a) => format!("{a:.2}"),
+        None if !alloc_audit::enabled() => audit_skip_reason.to_string(),
+        None => "\"skipped: steady window never opened\"".to_string(),
+    };
+    let mut json = format!(
+        "{{\n  \"bench\": \"b1_throughput\",\n  \"metric\": \"rounds_per_second\",\n  \"algorithm\": \"wait-free-gather\",\n  \"audit\": false,\n  \"recycled_steady_allocs_per_round\": {recycled_json},\n  \"ablation\": [\n",
     );
     for (i, (n, row)) in ablation.iter().enumerate() {
         let speedup = if row.per_robot_rps > 0.0 {
@@ -431,10 +533,11 @@ fn main() {
         } else {
             0.0
         };
-        let steady = row
-            .steady_allocs
-            .map(|a| format!("{a:.2}"))
-            .unwrap_or_else(|| "null".into());
+        let steady = match row.steady_allocs {
+            Some(a) => format!("{a:.2}"),
+            None if !alloc_audit::enabled() => audit_skip_reason.to_string(),
+            None => "\"skipped: steady window never opened\"".to_string(),
+        };
         json.push_str(&format!(
             "    {{\"n\": {n}, \"shared_analysis\": {:.1}, \"per_robot\": {:.1}, \"cold_start\": {:.1}, \"clone_buffers\": {:.1}, \"speedup\": {speedup:.2}, \"weiszfeld_warm\": {:.2}, \"weiszfeld_cold\": {:.2}, \"steady_allocs_per_round\": {steady}}}{}\n",
             row.shared_rps,
@@ -475,6 +578,15 @@ fn main() {
         let fresh = args.out_dir.join("b1_throughput.json");
         std::fs::write(&fresh, &json).expect("write fresh JSON");
         println!("wrote {}", fresh.display());
+    } else if args.quick {
+        // A reduced sweep must never become the committed record — quick
+        // data goes to the out dir like the baseline-check mode.
+        let fresh = args.out_dir.join("b1_throughput.json");
+        std::fs::write(&fresh, &json).expect("write fresh JSON");
+        println!(
+            "wrote {} (quick run; BENCH_b1_throughput.json left untouched)",
+            fresh.display()
+        );
     } else {
         let bench_out = std::path::Path::new("BENCH_b1_throughput.json");
         std::fs::write(bench_out, &json).expect("write BENCH json");

@@ -12,13 +12,16 @@
 //!   `--quick`);
 //! * [`factory`] — algorithms/schedulers/motion adversaries by name, so
 //!   sweeps are data-driven;
-//! * [`runner`] — single-scenario execution and a scoped-std-thread parallel
-//!   map for embarrassingly parallel trial matrices;
+//! * [`runner`] — single-scenario execution with per-thread engine
+//!   recycling, plus a parallel map over the persistent worker pool;
+//! * [`pool`] — the long-lived worker pool behind `runner::parallel_map`
+//!   (worker count from `GATHER_THREADS` or available parallelism);
 //! * [`table`] — aligned text tables + CSV output.
 
 use std::path::PathBuf;
 
 pub mod factory;
+pub mod pool;
 pub mod runner;
 pub mod table;
 

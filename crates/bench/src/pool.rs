@@ -1,0 +1,355 @@
+//! Persistent worker pool for sweep execution.
+//!
+//! [`super::runner::parallel_map`] used to spawn a fresh set of scoped
+//! threads per call, which meant every sweep paid thread start-up costs and
+//! — more importantly for the zero-allocation story — every worker started
+//! with cold [`gather_sim::EngineParts`]. The pool here is created once
+//! (per process via [`global`], or explicitly via [`WorkerPool::new`] for
+//! benchmarks that compare thread counts) and its workers live for the
+//! pool's lifetime, so thread-local engine scratch survives across batch
+//! boundaries and a steady-state sweep performs no per-item allocation.
+//!
+//! Determinism contract (DESIGN.md §10): results are collected into a slot
+//! per *input index*, and each scenario is a pure function of its own
+//! `Scenario` value, so the returned `Vec` is bit-identical regardless of
+//! how many workers the pool has or how indices interleave. The
+//! thread-matrix tests in `tests/pool_determinism.rs` pin this down.
+//!
+//! Pure `std` only (hermetic-build policy, DESIGN.md §8): a `Mutex` +
+//! `Condvar` pair hands batches to workers, and an atomic cursor inside the
+//! batch lets workers claim indices without holding the lock.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One submitted batch: a borrowed job (erased to a raw pointer — see the
+/// safety argument in [`WorkerPool::run_batch`]) plus the claim cursor.
+struct Batch {
+    job: *const (dyn Fn(usize) + Sync),
+    len: usize,
+    next: AtomicUsize,
+}
+
+// SAFETY: `job` points at a `Sync` closure that the submitting thread keeps
+// alive until every index is completed (enforced by `run_batch` blocking on
+// `completed == len` before returning), and `next`/`len` are `Send + Sync`
+// on their own.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+struct State {
+    batch: Option<Arc<Batch>>,
+    /// Bumped once per batch so sleeping workers can tell "new batch" from
+    /// a spurious wake-up on the same (exhausted) batch.
+    generation: u64,
+    completed: usize,
+    panicked: Option<String>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    batch_done: Condvar,
+    /// Serialises `run_batch` callers so `completed`/`panicked` always
+    /// refer to exactly one in-flight batch.
+    submission: Mutex<()>,
+}
+
+/// A fixed-size pool of long-lived worker threads executing index batches.
+///
+/// Workers persist across [`WorkerPool::map`] calls, so per-thread state
+/// (notably the recycled engine parts in `runner::Scenario::run`) is reused
+/// from one sweep item — and one sweep — to the next.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        // Wait for a batch newer than the last one this worker drained.
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen_generation {
+                    if let Some(b) = &st.batch {
+                        seen_generation = st.generation;
+                        break Arc::clone(b);
+                    }
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        // Claim and run indices without holding the lock.
+        let mut done = 0usize;
+        let mut panic_msg: Option<String> = None;
+        loop {
+            let i = batch.next.fetch_add(1, Ordering::Relaxed);
+            if i >= batch.len {
+                break;
+            }
+            // SAFETY: `i < len`, so the submitter is still blocked in
+            // `run_batch` and the borrowed job is alive.
+            let job = unsafe { &*batch.job };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(i))) {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                // First message wins; keep draining so `completed` still
+                // reaches `len` and the submitter wakes up.
+                panic_msg.get_or_insert(msg);
+            }
+            done += 1;
+        }
+        if done > 0 {
+            let mut st = shared.state.lock().unwrap();
+            st.completed += done;
+            if let Some(msg) = panic_msg {
+                st.panicked.get_or_insert(msg);
+            }
+            if st.completed >= batch.len {
+                shared.batch_done.notify_all();
+            }
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                batch: None,
+                generation: 0,
+                completed: 0,
+                panicked: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+            submission: Mutex::new(()),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gather-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `job(i)` for every `i in 0..len` on the pool and blocks until
+    /// all indices completed.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the calling thread if any job panicked (after the whole
+    /// batch has drained, so the pool stays usable).
+    pub fn run_batch(&self, len: usize, job: &(dyn Fn(usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        // A prior batch that re-panicked below has poisoned this mutex;
+        // that is fine — the batch still drained fully, so the pool state
+        // is consistent and the lock stays usable.
+        let submission = self
+            .shared
+            .submission
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // SAFETY of the lifetime erasure: workers dereference `job` only for
+        // indices `< len`, every index is claimed exactly once, and we block
+        // below until `completed == len` — so no dereference can outlive
+        // this stack frame. Late wake-ups after that see `next >= len` and
+        // never touch the pointer again.
+        let job: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
+        let batch = Arc::new(Batch {
+            job,
+            len,
+            next: AtomicUsize::new(0),
+        });
+        let mut st = self.shared.state.lock().unwrap();
+        st.batch = Some(Arc::clone(&batch));
+        st.generation += 1;
+        st.completed = 0;
+        st.panicked = None;
+        self.shared.work_ready.notify_all();
+        while st.completed < len {
+            st = self.shared.batch_done.wait(st).unwrap();
+        }
+        st.batch = None;
+        let panicked = st.panicked.take();
+        drop(st);
+        drop(submission);
+        if let Some(msg) = panicked {
+            panic!("pool worker panicked: {msg}");
+        }
+    }
+
+    /// Applies `f` to every item on the pool, returning results in input
+    /// order (independent of worker count and scheduling — each result goes
+    /// into the slot of its input index).
+    ///
+    /// # Panics
+    ///
+    /// Re-panics if `f` panicked on any item.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.run_batch(items.len(), &|i| {
+            let result = f(&items[i]);
+            *slots[i].lock().unwrap() = Some(result);
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker delivered every result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker count for the process-wide pool: `GATHER_THREADS` if set, else
+/// the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics if `GATHER_THREADS` is set to anything but a positive integer.
+pub fn default_threads() -> usize {
+    match std::env::var("GATHER_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("GATHER_THREADS must be a positive integer, got {v:?}")),
+        Err(_) => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+    }
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The process-wide pool used by [`super::runner::parallel_map`]; created
+/// on first use with [`default_threads`] workers and kept for the life of
+/// the process so engine scratch persists across sweeps.
+pub fn global() -> &'static WorkerPool {
+    GLOBAL.get_or_init(|| WorkerPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 5] {
+            let pool = WorkerPool::new(threads);
+            let items: Vec<u64> = (0..97).collect();
+            let out = pool.map(&items, |x| x * 3 + 1);
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..20u64 {
+            let items: Vec<u64> = (0..11).collect();
+            let out = pool.map(&items, |x| x + round);
+            assert_eq!(out, items.iter().map(|x| x + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u64> = pool.map(&Vec::<u64>::new(), |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counts: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run_batch(counts.len(), &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u64> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |x| {
+                assert!(*x != 5, "boom at five");
+                *x
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool must still process a clean follow-up batch.
+        let out = pool.map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_threads_env_controls_default() {
+        // `default_threads` reads the env var on every call, so exercising
+        // it here is safe as long as we restore the prior value.
+        let prior = std::env::var("GATHER_THREADS").ok();
+        std::env::set_var("GATHER_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        match prior {
+            Some(v) => std::env::set_var("GATHER_THREADS", v),
+            None => std::env::remove_var("GATHER_THREADS"),
+        }
+    }
+}

@@ -4,6 +4,17 @@ use crate::factory;
 use gather_geom::Point;
 use gather_sim::metrics::{summarize, RunMetrics};
 use gather_sim::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Engine scratch recycled across every [`Scenario::run`] on this
+    /// thread. Pool workers are long-lived (see [`crate::pool`]), so after
+    /// each worker's first scenario the steady-state sweep loop performs no
+    /// per-item engine allocation. `AnalysisCache::reset` guarantees the
+    /// recycling is observationally invisible, so results stay independent
+    /// of which worker ran which scenario.
+    static ENGINE_PARTS: RefCell<Option<EngineParts>> = const { RefCell::new(None) };
+}
 
 /// One fully specified simulation scenario (a single cell × seed of an
 /// experiment matrix).
@@ -43,8 +54,22 @@ impl Scenario {
         }
     }
 
-    /// Runs the scenario to completion and summarises it.
+    /// Runs the scenario to completion and summarises it, recycling this
+    /// thread's engine scratch across calls.
     pub fn run(&self) -> RunMetrics {
+        let parts = ENGINE_PARTS
+            .with(|cell| cell.borrow_mut().take())
+            .unwrap_or_default();
+        let (metrics, parts) = self.run_with(parts);
+        ENGINE_PARTS.with(|cell| *cell.borrow_mut() = Some(parts));
+        metrics
+    }
+
+    /// Runs the scenario with explicitly supplied recycled engine parts and
+    /// hands them back for the next run. Exposed so benchmarks can audit
+    /// allocation behaviour across sweep-item boundaries without the
+    /// thread-local indirection.
+    pub fn run_with(&self, parts: EngineParts) -> (RunMetrics, EngineParts) {
         let n = self.initial.len();
         let wait_free = self.algorithm == "wait-free-gather";
         let mut engine = Engine::builder(self.initial.clone())
@@ -63,6 +88,7 @@ impl Scenario {
             // Invariant monitors are part of the experiment only for the
             // wait-free algorithm; baselines violate them by design.
             .check_invariants(wait_free)
+            .recycle(parts)
             .build();
         let outcome = engine.run(self.max_rounds);
         let metrics = summarize(outcome, engine.trace());
@@ -74,54 +100,22 @@ impl Scenario {
                 engine.violations()
             );
         }
-        metrics
+        (metrics, engine.into_parts())
     }
 }
 
-/// Runs `f` over every item on a small thread pool and returns results in
-/// input order. Pure `std`: scoped threads pull work by bumping a shared
-/// atomic index and deliver `(index, result)` over an `mpsc` channel, so no
-/// external channel crate is needed (hermetic-build policy, DESIGN.md §8).
+/// Runs `f` over every item on the process-wide persistent worker pool
+/// (see [`crate::pool`]) and returns results in input order, independent of
+/// worker count. Replaces the old per-call scoped-thread map: workers — and
+/// with them the per-thread recycled engine scratch — now live for the
+/// whole process instead of one call.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
-
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let (tx_res, rx_res) = mpsc::channel::<(usize, R)>();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx_res.clone();
-            let f = &f;
-            let next = &next;
-            let items = &items;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { return };
-                if tx.send((i, f(item))).is_err() {
-                    return;
-                }
-            });
-        }
-        drop(tx_res);
-        while let Ok((i, r)) = rx_res.recv() {
-            results[i] = Some(r);
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("worker delivered every result"))
-        .collect()
+    crate::pool::global().map(&items, f)
 }
 
 /// Mean of a slice (0 for empty input).

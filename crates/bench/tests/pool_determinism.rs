@@ -1,0 +1,64 @@
+//! Worker-pool determinism: a sweep executed through [`WorkerPool::map`]
+//! must yield bit-identical `RunMetrics`, in input order, for every thread
+//! count — and must match a plain sequential loop over the same scenarios.
+//!
+//! This pins the DESIGN.md §10 contract: per-thread engine recycling
+//! (`EngineParts` + `AnalysisCache::reset`) is observationally invisible,
+//! and results never depend on which worker ran which scenario or how
+//! indices interleaved.
+
+use gather_bench::pool::WorkerPool;
+use gather_bench::runner::Scenario;
+use gather_sim::metrics::RunMetrics;
+use gather_workloads as workloads;
+
+/// A small but class-diverse sweep (every paper class × 2 seeds, n = 8,
+/// with a couple of fault/scheduler variations mixed in).
+fn sweep() -> Vec<Scenario> {
+    workloads::class_sweep(8, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_class, seed, initial))| {
+            let mut s = Scenario::new(initial, seed);
+            s.max_rounds = 400;
+            if i % 3 == 1 {
+                s.faults = 1;
+            }
+            if i % 4 == 2 {
+                s.scheduler = "round-robin";
+            }
+            s
+        })
+        .collect()
+}
+
+fn run_sequential(scenarios: &[Scenario]) -> Vec<RunMetrics> {
+    scenarios.iter().map(Scenario::run).collect()
+}
+
+#[test]
+fn pool_results_are_bit_identical_across_thread_counts() {
+    let scenarios = sweep();
+    let reference = run_sequential(&scenarios);
+    for threads in [1, 2, 8] {
+        let pool = WorkerPool::new(threads);
+        let pooled = pool.map(&scenarios, Scenario::run);
+        assert_eq!(
+            pooled, reference,
+            "pooled sweep at {threads} threads diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn repeated_pooled_sweeps_on_one_pool_are_stable() {
+    // Recycled engine parts accumulate across batches on the same workers;
+    // results must not drift from the first batch to the fifth.
+    let scenarios = sweep();
+    let pool = WorkerPool::new(2);
+    let first = pool.map(&scenarios, Scenario::run);
+    for round in 1..5 {
+        let again = pool.map(&scenarios, Scenario::run);
+        assert_eq!(again, first, "pooled sweep drifted at round {round}");
+    }
+}

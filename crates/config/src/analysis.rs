@@ -236,6 +236,30 @@ impl AnalysisCache {
         analysis
     }
 
+    /// Returns the cache to its initial state — no memo entry, no warm-start
+    /// iterate, zeroed counters — while keeping the entry's point buffer
+    /// allocated for reuse.
+    ///
+    /// This is the determinism contract of engine recycling: a worker that
+    /// reuses one cache across sweep items must observe, on every item, the
+    /// same per-round hit/miss and Weiszfeld-iteration sequence as a fresh
+    /// cache would, regardless of what the worker processed before. A stale
+    /// memo (or a stale warm-start hint) would alter those per-round trace
+    /// counters and break bit-identical results across thread counts.
+    pub fn reset(&mut self) {
+        if let Some(e) = &mut self.entry {
+            // An empty point list can never equal a non-empty configuration,
+            // so the stale analysis is unreachable; the buffer's capacity
+            // survives for the next item.
+            e.fingerprint = 0;
+            e.points.clear();
+        }
+        self.computed = 0;
+        self.hits = 0;
+        self.warm_start = true;
+        self.last_weber = None;
+    }
+
     /// Number of full analyses computed (cache misses).
     pub fn computed(&self) -> u64 {
         self.computed
@@ -347,6 +371,27 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(a.analysis.class, b.analysis.class);
         assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn reset_restores_fresh_cache_behaviour() {
+        let c = square();
+        let mut fresh = AnalysisCache::new();
+        let expect = fresh.analyse(&c, t());
+
+        let mut recycled = AnalysisCache::new();
+        recycled.set_warm_start(false);
+        let _ = recycled.analyse(&c, t());
+        let _ = recycled.analyse(&square().map(|p| Point::new(p.x + 1.0, p.y)), t());
+        recycled.reset();
+        assert_eq!(recycled.computed(), 0);
+        assert_eq!(recycled.hits(), 0);
+        // Same analysis, and a *miss* (not a hit on the stale memo), exactly
+        // as a fresh cache behaves.
+        let again = recycled.analyse(&c, t());
+        assert_eq!(again, expect);
+        assert_eq!(recycled.computed(), 1);
+        assert_eq!(recycled.hits(), 0);
     }
 
     #[test]

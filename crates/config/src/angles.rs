@@ -13,7 +13,7 @@
 //! therefore buckets robots by direction and compares angular gaps.
 
 use crate::configuration::Configuration;
-use gather_geom::{angle::normalize_tau, Point, Tol};
+use gather_geom::{angle::normalize_tau, soa, Point, Tol};
 use std::f64::consts::TAU;
 
 /// Angular tolerance for direction comparisons (bucket merging, rotation
@@ -45,11 +45,11 @@ pub const CENTER_ZONE_REL: f64 = 1e-3;
 /// all movement purposes). Excluding the zone keeps the direction noise of
 /// every *counted* robot below [`ANGLE_EPS`].
 pub fn center_zone_radius(config: &Configuration, center: Point, tol: Tol) -> f64 {
-    let extent = config
-        .points()
-        .iter()
-        .map(|p| p.dist(center))
-        .fold(0.0, f64::max);
+    let extent = if config.is_empty() {
+        0.0
+    } else {
+        soa::max_dist2(config.soa(), center).1.sqrt()
+    };
     (2.0 * tol.snap).max(CENTER_ZONE_REL * extent)
 }
 
@@ -119,26 +119,31 @@ impl std::fmt::Display for StringOfAngles {
     }
 }
 
+thread_local! {
+    /// Reusable angle-key buffer for [`direction_buckets`]: the kernel
+    /// fills it, the bucket merge consumes it, and the capacity survives
+    /// across calls so steady-state classification does not allocate here.
+    static ANGLE_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Robots of `config` bucketed by their direction angle from `center`
 /// (robots at the centre excluded): returns `(ccw angle in [0, 2π), count)`
 /// pairs sorted by angle ascending, with buckets merged within
-/// [`ANGLE_EPS`]-scale tolerance.
+/// [`ANGLE_EPS`]-scale tolerance. The angle keys come from the
+/// `gather_geom::soa::angle_keys_into` batch kernel over the
+/// configuration's SoA mirror.
 pub(crate) fn direction_buckets(
     config: &Configuration,
     center: Point,
     tol: Tol,
 ) -> Vec<(f64, usize)> {
     let zone = center_zone_radius(config, center, tol);
-    let mut angles: Vec<f64> = config
-        .points()
-        .iter()
-        .filter(|p| !p.within(center, zone))
-        .map(|p| normalize_tau((*p - center).angle()))
-        .collect();
+    let mut angles = ANGLE_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    soa::angle_keys_into(config.soa(), center, zone, &mut angles);
     angles.sort_by(f64::total_cmp);
     let eps = ANGLE_EPS;
     let mut buckets: Vec<(f64, usize)> = Vec::new();
-    for a in angles {
+    for &a in &angles {
         match buckets.last_mut() {
             Some((b, m)) if (a - *b).abs() <= eps => {
                 // Running mean keeps the representative centred.
@@ -148,6 +153,7 @@ pub(crate) fn direction_buckets(
             _ => buckets.push((a, 1)),
         }
     }
+    ANGLE_SCRATCH.with(|c| *c.borrow_mut() = angles);
     // The first and last buckets may be the same direction across the 0/2π
     // seam.
     if buckets.len() > 1 {

@@ -1,7 +1,9 @@
 //! The multiset of robot positions (`C_R(τ)` in the paper) and strong
 //! multiplicity detection.
 
-use gather_geom::{are_collinear, smallest_enclosing_circle, Circle, Point, Tol};
+use gather_geom::{
+    are_collinear, smallest_enclosing_circle_soa, soa, Circle, Point, PointBuffer, Tol,
+};
 
 /// A configuration of `n` robots: a *multiset* of points on the plane.
 ///
@@ -33,15 +35,31 @@ use gather_geom::{are_collinear, smallest_enclosing_circle, Circle, Point, Tol};
 /// assert_eq!(c.distinct().len(), 2);
 /// assert_eq!(c.mult(Point::new(0.0, 0.0), Tol::default()), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Configuration {
     points: Vec<Point>,
+    /// Structure-of-arrays mirror of `points`, kept in sync by every
+    /// mutator (the `points` field is private, so mutation cannot bypass
+    /// the mirror). The geometry batch kernels — distance sums, SEC, angle
+    /// keys, the quasi-regularity prefilter — read this instead of
+    /// re-transposing per call, and the `copy_from*` resyncs reuse its
+    /// capacity so the round loop stays allocation-free.
+    soa: PointBuffer,
+}
+
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        // The mirror is a function of `points`; comparing it would be
+        // redundant work.
+        self.points == other.points
+    }
 }
 
 impl Configuration {
     /// Creates a configuration from robot positions as given (no snapping).
     pub fn new(points: Vec<Point>) -> Self {
-        Configuration { points }
+        let soa = PointBuffer::from_points(&points);
+        Configuration { points, soa }
     }
 
     /// Creates a configuration, snapping together all points within
@@ -50,15 +68,14 @@ impl Configuration {
     /// Clustering is transitive (single-linkage): a chain of nearby points
     /// collapses into one location, represented by the cluster centroid.
     pub fn canonical(points: Vec<Point>, tol: Tol) -> Self {
-        Configuration {
-            points: canonicalize(points, tol.snap),
-        }
+        Configuration::new(canonicalize(points, tol.snap))
     }
 
     /// Overwrites this configuration with the contents of `other`, reusing
     /// the existing point buffer (no allocation once capacity suffices).
     pub fn copy_from(&mut self, other: &Configuration) {
         self.points.clone_from(&other.points);
+        self.soa.copy_from_points(&self.points);
     }
 
     /// Overwrites this configuration with the given points, reusing the
@@ -66,6 +83,7 @@ impl Configuration {
     pub fn copy_from_slice(&mut self, points: &[Point]) {
         self.points.clear();
         self.points.extend_from_slice(points);
+        self.soa.copy_from_points(points);
     }
 
     /// Replaces the position of robot `i`.
@@ -75,13 +93,15 @@ impl Configuration {
     /// Panics if `i` is out of bounds.
     pub fn set_point(&mut self, i: usize, p: Point) {
         self.points[i] = p;
+        self.soa.set(i, p);
     }
 
     /// Applies `f` to every robot position in place (the allocation-free
     /// counterpart of [`Configuration::map`]).
     pub fn map_in_place(&mut self, mut f: impl FnMut(Point) -> Point) {
-        for p in &mut self.points {
+        for (i, p) in self.points.iter_mut().enumerate() {
             *p = f(*p);
+            self.soa.set(i, *p);
         }
     }
 
@@ -98,6 +118,13 @@ impl Configuration {
     /// The positions of all robots, one entry per robot.
     pub fn points(&self) -> &[Point] {
         &self.points
+    }
+
+    /// The structure-of-arrays mirror of [`Configuration::points`], for the
+    /// batch kernels in `gather_geom::soa`. Always in sync with the
+    /// array-of-structs view.
+    pub fn soa(&self) -> &PointBuffer {
+        &self.soa
     }
 
     /// The paper's `U(C)`: distinct occupied locations, each with its
@@ -176,24 +203,28 @@ impl Configuration {
         self.distinct().len() <= 1
     }
 
-    /// The smallest enclosing circle of the distinct locations
+    /// The smallest enclosing circle of the occupied locations
     /// (`sec(U(C))` in the paper).
+    ///
+    /// Computed over the full multiset via the SoA mirror — the smallest
+    /// enclosing circle of a multiset equals that of its support, and
+    /// Welzl's dedup handles repeated points, so no distinct-point set is
+    /// materialised.
     pub fn sec(&self) -> Circle {
-        smallest_enclosing_circle(&self.distinct_points())
+        smallest_enclosing_circle_soa(&self.soa)
     }
 
     /// Sum of distances from `x` to every robot (with multiplicity) — the
-    /// Weber objective over the configuration.
+    /// Weber objective over the configuration, as a batch kernel over the
+    /// SoA mirror.
     pub fn sum_of_distances(&self, x: Point) -> f64 {
-        self.points.iter().map(|p| x.dist(*p)).sum()
+        soa::sum_distances(&self.soa, x)
     }
 
     /// Applies `f` to every robot position, producing a new configuration.
     /// Useful for expressing global transforms in tests.
     pub fn map(&self, mut f: impl FnMut(Point) -> Point) -> Configuration {
-        Configuration {
-            points: self.points.iter().map(|p| f(*p)).collect(),
-        }
+        Configuration::new(self.points.iter().map(|p| f(*p)).collect())
     }
 }
 
@@ -205,7 +236,10 @@ impl FromIterator<Point> for Configuration {
 
 impl Extend<Point> for Configuration {
     fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
-        self.points.extend(iter);
+        for p in iter {
+            self.points.push(p);
+            self.soa.push(p);
+        }
     }
 }
 
@@ -444,6 +478,34 @@ mod tests {
         let c = Configuration::new(vec![Point::new(1.0, 2.0)]);
         let moved = c.map(|p| Point::new(p.x + 1.0, p.y));
         assert_eq!(moved.points()[0], Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn soa_mirror_tracks_every_mutator() {
+        fn assert_synced(c: &Configuration) {
+            assert_eq!(c.soa().len(), c.len());
+            for (i, p) in c.points().iter().enumerate() {
+                assert_eq!(c.soa().get(i), *p, "mirror out of sync at {i}");
+            }
+        }
+
+        let mut c = Configuration::new(vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        assert_synced(&c);
+        c.set_point(1, Point::new(-1.0, -1.0));
+        assert_synced(&c);
+        c.map_in_place(|p| Point::new(p.x + 1.0, p.y));
+        assert_synced(&c);
+        c.extend([Point::new(7.0, 8.0)]);
+        assert_synced(&c);
+        c.copy_from_slice(&[Point::new(0.5, 0.5)]);
+        assert_synced(&c);
+        let other = Configuration::canonical(vec![Point::new(9.0, 9.0); 3], t());
+        c.copy_from(&other);
+        assert_synced(&c);
+        assert_synced(&c.clone());
+        assert_synced(&c.map(|p| Point::new(-p.x, p.y)));
+        let collected: Configuration = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_synced(&collected);
     }
 
     #[test]

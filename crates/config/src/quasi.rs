@@ -83,7 +83,7 @@ pub fn quasi_regular_with_center(config: &Configuration, p: Point, tol: Tol) -> 
     // robots the quasi-regular rule may move (or has just gathered), and
     // their directions from p are numerically meaningless.
     let zone = center_zone_radius(config, p, tol);
-    let mult_p = config.points().iter().filter(|q| q.within(p, zone)).count();
+    let mult_p = gather_geom::soa::radial_pull(config.soa(), p, zone).1;
     let buckets = direction_buckets(config, p, tol);
     if buckets.is_empty() {
         return None; // all robots at p: gathered, not quasi-regular
@@ -173,15 +173,7 @@ pub fn detect_quasi_regularity_hinted(
     let mut best: Option<QuasiRegularity> = None;
     for (p, _mult) in config.distinct() {
         let zone = center_zone_radius(config, p, tol);
-        let mut pull = gather_geom::Vec2::ZERO;
-        let mut zone_mult = 0usize;
-        for q in config.points() {
-            if q.within(p, zone) {
-                zone_mult += 1;
-            } else {
-                pull += (*q - p).normalized();
-            }
-        }
+        let (pull, zone_mult) = gather_geom::soa::radial_pull(config.soa(), p, zone);
         // Generous slack: direction noise contributes at most ANGLE_EPS
         // per robot to the residual; a false pass only costs time.
         if pull.norm() > zone_mult as f64 + 0.1 + ANGLE_EPS * config.len() as f64 {

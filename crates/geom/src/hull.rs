@@ -8,6 +8,7 @@
 
 use crate::point::Point;
 use crate::predicates::{orient2d, Orientation};
+use crate::soa::PointBuffer;
 use crate::tol::Tol;
 
 /// Convex hull of a point set, as the vertices of the hull polygon in
@@ -31,42 +32,77 @@ use crate::tol::Tol;
 /// assert!(!hull.contains(&Point::new(1.0, 1.0)));
 /// ```
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
-    let mut pts: Vec<Point> = points.to_vec();
+    let mut hull = Vec::new();
+    HULL_SCRATCH.with(|c| {
+        let mut sort = std::mem::take(&mut *c.borrow_mut());
+        sort.clear();
+        sort.extend_from_slice(points);
+        convex_hull_into(&mut sort, &mut hull);
+        *c.borrow_mut() = sort;
+    });
+    hull
+}
+
+/// [`convex_hull`] of the points of a [`PointBuffer`] — the SoA mirror of a
+/// configuration feeds the monotone chain without an intermediate
+/// array-of-structs copy per call. Agrees bitwise with the slice entry
+/// point on identical point sequences.
+pub fn convex_hull_soa(buf: &PointBuffer) -> Vec<Point> {
+    let mut hull = Vec::new();
+    HULL_SCRATCH.with(|c| {
+        let mut sort = std::mem::take(&mut *c.borrow_mut());
+        buf.gather_into(&mut sort);
+        convex_hull_into(&mut sort, &mut hull);
+        *c.borrow_mut() = sort;
+    });
+    hull
+}
+
+thread_local! {
+    /// Reusable sort buffer for the allocating hull entry points.
+    static HULL_SCRATCH: std::cell::RefCell<Vec<Point>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Allocation-free core of [`convex_hull`]: sorts and dedups `pts` in place
+/// (destroying its order), then writes the hull vertices into `out`
+/// (cleared first, capacity reused). Callers on hot paths hold both buffers
+/// across rounds so the steady state performs no allocation.
+pub fn convex_hull_into(pts: &mut Vec<Point>, out: &mut Vec<Point>) {
+    out.clear();
     pts.sort_by(|a, b| a.lex_cmp(*b));
     pts.dedup_by(|a, b| a == b);
     let n = pts.len();
     if n <= 2 {
-        return pts;
+        out.extend_from_slice(pts);
+        return;
     }
 
-    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    out.reserve(2 * n);
     // Lower hull.
-    for &p in &pts {
-        while hull.len() >= 2
-            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
-                != Orientation::CounterClockwise
+    for &p in pts.iter() {
+        while out.len() >= 2
+            && orient2d(out[out.len() - 2], out[out.len() - 1], p) != Orientation::CounterClockwise
         {
-            hull.pop();
+            out.pop();
         }
-        hull.push(p);
+        out.push(p);
     }
     // Upper hull.
-    let lower_len = hull.len() + 1;
+    let lower_len = out.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
-                != Orientation::CounterClockwise
+        while out.len() >= lower_len
+            && orient2d(out[out.len() - 2], out[out.len() - 1], p) != Orientation::CounterClockwise
         {
-            hull.pop();
+            out.pop();
         }
-        hull.push(p);
+        out.push(p);
     }
-    hull.pop(); // last point equals the first
-    if hull.is_empty() {
+    out.pop(); // last point equals the first
+    if out.is_empty() {
         // All points collinear: monotone chain collapses; return extremes.
-        return vec![pts[0], pts[n - 1]];
+        out.push(pts[0]);
+        out.push(pts[n - 1]);
     }
-    hull
 }
 
 /// Is `p` inside or on the boundary of the convex hull `hull` (vertices in
@@ -221,5 +257,39 @@ mod tests {
         for p in &pts {
             assert!(hull_contains(&hull, *p, tol), "point {p} escaped its hull");
         }
+    }
+
+    #[test]
+    fn soa_entry_point_matches_slice_path_bitwise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 4.0),
+            Point::new(-1.0, 2.0),
+            Point::new(1.0, 1.0),
+        ];
+        let buf = PointBuffer::from_points(&pts);
+        assert_eq!(convex_hull_soa(&buf), convex_hull(&pts));
+        assert!(convex_hull_soa(&PointBuffer::new()).is_empty());
+    }
+
+    #[test]
+    fn hull_into_reuses_buffers() {
+        let mut sort = Vec::new();
+        let mut out = Vec::new();
+        let square = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        sort.extend_from_slice(&square);
+        convex_hull_into(&mut sort, &mut out);
+        assert_eq!(out.len(), 4);
+        // Second use with a collinear set: buffers recycled, extremes out.
+        sort.clear();
+        sort.extend((0..5).map(|i| Point::new(i as f64, 0.0)));
+        convex_hull_into(&mut sort, &mut out);
+        assert_eq!(out, vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)]);
     }
 }

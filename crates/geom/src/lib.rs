@@ -16,6 +16,8 @@
 //! * [`mod@line`] — lines, rays (the paper's half-lines `HF(u, v)`), segments;
 //! * [`hull`] — convex hulls (`CH(Q)` in the paper);
 //! * [`sec`] — smallest enclosing circles (`sec(C)` in the paper);
+//! * [`soa`] — structure-of-arrays point storage ([`PointBuffer`]) and the
+//!   chunked batch kernels the hot loops compile down to;
 //! * [`weber`] — Weber points: the exact medians of collinear configurations
 //!   and the Weiszfeld iteration for general position;
 //! * [`transform`] — orientation-preserving similarity transforms, used by
@@ -41,16 +43,18 @@ pub mod line;
 pub mod point;
 pub mod predicates;
 pub mod sec;
+pub mod soa;
 pub mod tol;
 pub mod transform;
 pub mod weber;
 
 pub use angle::{ccw_angle, cw_angle, polar_angle, Angle};
-pub use hull::{convex_hull, hull_contains};
+pub use hull::{convex_hull, convex_hull_into, convex_hull_soa, hull_contains};
 pub use line::{Line, Ray, Segment};
 pub use point::{centroid, Point, Vec2};
 pub use predicates::{are_collinear, is_between, orient2d, Orientation};
-pub use sec::{smallest_enclosing_circle, Circle};
+pub use sec::{smallest_enclosing_circle, smallest_enclosing_circle_soa, Circle};
+pub use soa::{PointBuffer, WeiszfeldSums};
 pub use tol::Tol;
 pub use transform::Similarity;
 pub use weber::{

@@ -8,6 +8,7 @@
 //! same expected O(n) behaviour reproducibly).
 
 use crate::point::Point;
+use crate::soa::PointBuffer;
 use crate::tol::Tol;
 
 /// A circle on the plane.
@@ -100,9 +101,35 @@ fn trivial(boundary: &[Point]) -> Circle {
 /// Slack used when testing containment inside Welzl's recursion.
 const WELZL_EPS: f64 = 1e-10;
 
-fn welzl(pts: &mut [Point], boundary: &mut Vec<Point>) -> Circle {
-    if pts.is_empty() || boundary.len() == 3 {
-        return trivial(boundary);
+/// The ≤ 3-point support set of Welzl's recursion, on the stack instead of
+/// a heap-allocated `Vec`.
+struct Boundary<'a> {
+    buf: &'a mut [Point; 3],
+    len: usize,
+}
+
+impl<'a> Boundary<'a> {
+    fn new(buf: &'a mut [Point; 3]) -> Self {
+        Boundary { buf, len: 0 }
+    }
+
+    fn push(&mut self, p: Point) {
+        self.buf[self.len] = p;
+        self.len += 1;
+    }
+
+    fn pop(&mut self) {
+        self.len -= 1;
+    }
+
+    fn as_slice(&self) -> &[Point] {
+        &self.buf[..self.len]
+    }
+}
+
+fn welzl(pts: &mut [Point], boundary: &mut Boundary<'_>) -> Circle {
+    if pts.is_empty() || boundary.len == 3 {
+        return trivial(boundary.as_slice());
     }
     let p = pts[pts.len() - 1];
     let n = pts.len() - 1;
@@ -133,7 +160,41 @@ fn welzl(pts: &mut [Point], boundary: &mut Vec<Point>) -> Circle {
 /// assert!((c.radius - 1.0).abs() < 1e-9);
 /// ```
 pub fn smallest_enclosing_circle(points: &[Point]) -> Circle {
-    let mut pts: Vec<Point> = points.to_vec();
+    SEC_SCRATCH.with(|c| {
+        let mut pts = std::mem::take(&mut *c.borrow_mut());
+        pts.clear();
+        pts.extend_from_slice(points);
+        let circle = sec_in_place(&mut pts);
+        *c.borrow_mut() = pts;
+        circle
+    })
+}
+
+/// [`smallest_enclosing_circle`] of the points of a [`PointBuffer`]: the
+/// SoA mirror of a configuration feeds Welzl directly, without materialising
+/// an array-of-structs copy per call. Algorithmically identical to the
+/// slice entry point (same dedup, same deterministic shuffle, same
+/// recursion), so the two agree bitwise on identical point sequences.
+pub fn smallest_enclosing_circle_soa(buf: &PointBuffer) -> Circle {
+    SEC_SCRATCH.with(|c| {
+        let mut pts = std::mem::take(&mut *c.borrow_mut());
+        buf.gather_into(&mut pts);
+        let circle = sec_in_place(&mut pts);
+        *c.borrow_mut() = pts;
+        circle
+    })
+}
+
+thread_local! {
+    /// Reusable working copy of the input for the Welzl entry points: the
+    /// simulator calls `sec` every round, so the copy must not allocate in
+    /// the steady state.
+    static SEC_SCRATCH: std::cell::RefCell<Vec<Point>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Shared core of the two public entry points: dedups and deterministically
+/// shuffles the working copy, then runs Welzl's recursion over it.
+fn sec_in_place(pts: &mut Vec<Point>) -> Circle {
     pts.dedup_by(|a, b| a == b);
     // Deterministic shuffle (LCG) for expected-linear Welzl behaviour.
     let mut state: u64 = 0x9E3779B97F4A7C15;
@@ -145,8 +206,8 @@ pub fn smallest_enclosing_circle(points: &[Point]) -> Circle {
         pts.swap(i, j);
     }
     let n = pts.len();
-    let mut boundary = Vec::with_capacity(3);
-    welzl(&mut pts[..n], &mut boundary)
+    let mut boundary = [Point::ORIGIN; 3];
+    welzl(&mut pts[..n], &mut Boundary::new(&mut boundary))
 }
 
 #[cfg(test)]
@@ -295,5 +356,24 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn negative_radius_panics() {
         let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn soa_entry_point_matches_slice_path_bitwise() {
+        let pts: Vec<Point> = (0..20)
+            .map(|k| {
+                let th = TAU * k as f64 / 20.0;
+                Point::new((1.5 + 0.1 * k as f64) * th.cos(), 2.0 * th.sin())
+            })
+            .collect();
+        let buf = PointBuffer::from_points(&pts);
+        assert_eq!(
+            smallest_enclosing_circle_soa(&buf),
+            smallest_enclosing_circle(&pts)
+        );
+        assert_eq!(
+            smallest_enclosing_circle_soa(&PointBuffer::new()),
+            smallest_enclosing_circle(&[])
+        );
     }
 }

@@ -16,8 +16,9 @@
 //!   which the numeric solver doubles as a cross-check.
 
 use crate::line::Line;
-use crate::point::{Point, Vec2};
+use crate::point::Point;
 use crate::predicates::are_collinear;
+use crate::soa::{self, PointBuffer};
 use crate::tol::Tol;
 
 /// Sum of Euclidean distances from `x` to every point of `points`
@@ -54,6 +55,21 @@ const MAX_ITERS: usize = 10_000;
 thread_local! {
     /// Total Weiszfeld iterations performed on this thread.
     static WEISZFELD_ITERS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Reusable per-thread solver state: the SoA transpose of the input and the
+/// distinct-location table. Taken at the top of [`weiszfeld_solve`] and put
+/// back on exit, so repeated solves on one thread (every round of a
+/// simulation run, every sweep item on a pool worker) allocate nothing once
+/// the buffers have grown to the configuration size.
+#[derive(Default)]
+struct SolverScratch {
+    buf: PointBuffer,
+    distinct: Vec<(Point, usize)>,
+}
+
+thread_local! {
+    static SOLVER_SCRATCH: std::cell::RefCell<SolverScratch> = Default::default();
 }
 
 /// Total Weiszfeld iterations performed on the current thread since it
@@ -141,34 +157,48 @@ fn weiszfeld_solve(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResu
         };
     }
 
-    let centroid = crate::point::centroid(points);
+    // All remaining work runs over the per-thread SoA scratch: transpose
+    // once, then every distance scan below is a batch kernel.
+    let mut scratch = SOLVER_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    scratch.buf.copy_from_points(points);
+    // Distinct input locations (bitwise groups) with multiplicities for the
+    // vertex-capture test below.
+    scratch.distinct.clear();
+    for p in points {
+        match scratch.distinct.iter_mut().find(|(q, _)| q == p) {
+            Some((_, m)) => *m += 1,
+            None => scratch.distinct.push((*p, 1)),
+        }
+    }
+    let buf = &scratch.buf;
+    let distinct = &scratch.distinct;
+
+    let centroid = soa::centroid(buf);
     // Warm path: trust the caller's iterate (Lemma 3.2 makes the previous
     // round's Weber point exact while robots move toward it). Cold path:
     // start from the best input point or the centroid, whichever is better.
     let mut x = match warm {
         Some(p) if p.x.is_finite() && p.y.is_finite() => p,
-        _ => points
-            .iter()
-            .copied()
-            .chain(std::iter::once(centroid))
-            .min_by(|a, b| weber_objective(*a, points).total_cmp(&weber_objective(*b, points)))
-            .expect("non-empty"),
+        _ => {
+            let mut best = buf.get(0);
+            let mut best_obj = soa::sum_distances(buf, best);
+            for i in 1..buf.len() {
+                let p = buf.get(i);
+                let obj = soa::sum_distances(buf, p);
+                if obj < best_obj {
+                    best = p;
+                    best_obj = obj;
+                }
+            }
+            let centroid_obj = soa::sum_distances(buf, centroid);
+            if centroid_obj < best_obj {
+                best = centroid;
+            }
+            best
+        }
     };
 
-    // Distinct input locations (bitwise groups) with multiplicities, plus
-    // the configuration extent, for the vertex-capture test below.
-    let mut distinct: Vec<(Point, usize)> = Vec::new();
-    for p in points {
-        match distinct.iter_mut().find(|(q, _)| q == p) {
-            Some((_, m)) => *m += 1,
-            None => distinct.push((*p, 1)),
-        }
-    }
-    let extent = points
-        .iter()
-        .map(|p| centroid.dist(*p))
-        .fold(0.0, f64::max)
-        .max(1e-12);
+    let extent = soa::max_dist2(buf, centroid).1.sqrt().max(1e-12);
     // If the iterate hovers near an input point, test that point's exact
     // optimality (the subgradient condition |Σ unit vectors| ≤ mult) and
     // snap to it — Weiszfeld converges sublinearly exactly in this regime,
@@ -181,12 +211,9 @@ fn weiszfeld_solve(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResu
         if x.dist(p) > 1e-3 * extent {
             return None;
         }
-        let mut pull = Vec2::ZERO;
-        for q in points {
-            if *q != p {
-                pull += (*q - p) / q.dist(p);
-            }
-        }
+        // With threshold 0 the kernel's "far" set is exactly the points not
+        // bitwise-equal to `p`, so its pull is the subgradient at `p`.
+        let pull = soa::weiszfeld_sums(buf, p, 0.0).pull();
         (pull.norm() <= m as f64 + 1e-9).then_some(p)
     };
 
@@ -206,34 +233,21 @@ fn weiszfeld_solve(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResu
         }
         // T(x) = Σ p_i / d_i / Σ 1/d_i over points not coincident with x;
         // Vardi–Zhang correction accounts for coincident points' weight.
-        let mut num = Vec2::ZERO;
-        let mut denom = 0.0;
-        let mut coincident = 0usize;
-        let mut pull = Vec2::ZERO; // R(x): subgradient of the far points
-        for p in points {
-            let d = x.dist(*p);
-            if d <= eps {
-                coincident += 1;
-                continue;
-            }
-            num += (p.to_vec()) / d;
-            denom += 1.0 / d;
-            pull += (*p - x) / d;
-        }
-        if denom == 0.0 {
+        let sums = soa::weiszfeld_sums(buf, x, eps);
+        if sums.denom == 0.0 {
             // All points coincide with x: x is the Weber point.
             converged = true;
             break;
         }
-        let t = (num / denom).to_point();
-        let next = if coincident == 0 {
+        let t = sums.target();
+        let next = if sums.coincident == 0 {
             t
         } else {
             // Vardi–Zhang: if the pull of the far points does not exceed the
             // weight of the coincident ones, x is optimal; otherwise step
             // toward T with damping 1 - m/|R|.
-            let r = pull.norm();
-            let m = coincident as f64;
+            let r = sums.pull().norm();
+            let m = sums.coincident as f64;
             if r <= m {
                 converged = true;
                 break;
@@ -254,10 +268,12 @@ fn weiszfeld_solve(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResu
         }
     }
 
+    let objective = soa::sum_distances(buf, x);
+    SOLVER_SCRATCH.with(|c| *c.borrow_mut() = scratch);
     WEISZFELD_ITERS.with(|c| c.set(c.get() + iterations as u64));
     WeberResult {
         point: x,
-        objective: weber_objective(x, points),
+        objective,
         iterations,
         converged,
     }
@@ -341,6 +357,7 @@ pub fn unique_collinear_weber_point(points: &[Point], tol: Tol) -> Option<Point>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::point::Vec2;
     use std::f64::consts::TAU;
 
     fn t() -> Tol {

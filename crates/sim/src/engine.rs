@@ -59,6 +59,24 @@ struct Scratch {
     sort: Vec<Point>,
 }
 
+/// The reusable heap-backed innards of a retired [`Engine`]: the round-loop
+/// scratch buffers and the analysis cache. Extracted with
+/// [`Engine::into_parts`] and fed to [`EngineBuilder::recycle`], so a worker
+/// that runs many simulations back to back (a sweep) keeps one warm set of
+/// buffers instead of re-growing them per run — the steady-state
+/// zero-allocation property then holds across sweep-item boundaries, not
+/// just within one run.
+///
+/// Recycling is observationally invisible: `build` resets the analysis
+/// cache (memo, warm-start iterate, counters) and every scratch buffer is
+/// cleared before use, so a recycled engine produces bit-identical traces
+/// and metrics to a fresh one.
+#[derive(Debug, Default)]
+pub struct EngineParts {
+    scratch: Scratch,
+    analysis_cache: AnalysisCache,
+}
+
 /// Result of running an engine until gathering or a round limit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RunOutcome {
@@ -111,6 +129,7 @@ pub struct EngineBuilder {
     reuse_buffers: bool,
     trace_capacity: Option<usize>,
     position_log_capacity: Option<usize>,
+    recycled: Option<EngineParts>,
 }
 
 impl EngineBuilder {
@@ -249,6 +268,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Seeds the engine with the buffers of a previous engine (from
+    /// [`Engine::into_parts`]) instead of fresh allocations. The analysis
+    /// cache is fully reset and every buffer is cleared before use, so the
+    /// run's results are bit-identical to a fresh engine's — only the heap
+    /// capacity survives. Sweep workers use this to stay allocation-free
+    /// across run boundaries.
+    pub fn recycle(mut self, parts: EngineParts) -> Self {
+        self.recycled = Some(parts);
+        self
+    }
+
     /// Makes every LOOK observe the configuration from `delay` rounds ago
     /// (default `0` — the paper's atomic ATOM semantics).
     ///
@@ -279,9 +309,15 @@ impl EngineBuilder {
             .to_vec();
         let n = positions.len();
         let positions_clone = positions.clone();
-        let mut analysis_cache = AnalysisCache::new();
+        let EngineParts {
+            mut scratch,
+            mut analysis_cache,
+        } = self.recycled.unwrap_or_default();
+        // A recycled cache must behave exactly like a fresh one (stale memos
+        // or warm-start hints would leak one run's state into the next);
+        // reset keeps only the heap capacity.
+        analysis_cache.reset();
         analysis_cache.set_warm_start(self.warm_start);
-        let mut scratch = Scratch::default();
         scratch.config.copy_from_slice(&positions);
         // The bivalent pre-check goes through the cache when the shared
         // pipeline is on: round 1 analyses the same configuration and hits
@@ -411,6 +447,16 @@ impl Engine {
             reuse_buffers: true,
             trace_capacity: None,
             position_log_capacity: None,
+            recycled: None,
+        }
+    }
+
+    /// Retires the engine and hands back its reusable buffers for the next
+    /// engine to [`EngineBuilder::recycle`].
+    pub fn into_parts(self) -> EngineParts {
+        EngineParts {
+            scratch: self.scratch,
+            analysis_cache: self.analysis_cache,
         }
     }
 
@@ -1040,6 +1086,37 @@ mod tests {
             e.positions().to_vec()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn recycled_engine_is_bit_identical_to_fresh() {
+        let build = |parts: Option<EngineParts>| {
+            let mut b = Engine::builder(spiral(10))
+                .algorithm(ClassTarget)
+                .frames(FramePolicy::GlobalFrame);
+            if let Some(p) = parts {
+                b = b.recycle(p);
+            }
+            b.build()
+        };
+        let run = |mut e: Engine| {
+            let outcome = e.run(60);
+            let metrics = crate::metrics::summarize(outcome, e.trace());
+            let positions = e.positions().to_vec();
+            (metrics, positions, e.into_parts())
+        };
+
+        let (fresh_metrics, fresh_pos, parts) = run(build(None));
+        // Pollute the recycled state with a different run before reuse.
+        let mut other = Engine::builder(triangle())
+            .algorithm(GoToCentroid)
+            .check_invariants(false)
+            .recycle(parts)
+            .build();
+        other.run(50);
+        let (recycled_metrics, recycled_pos, _) = run(build(Some(other.into_parts())));
+        assert_eq!(fresh_metrics, recycled_metrics);
+        assert_eq!(fresh_pos, recycled_pos);
     }
 
     #[test]

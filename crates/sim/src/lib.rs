@@ -62,7 +62,7 @@ pub mod trace;
 pub use algorithm::Algorithm;
 pub use byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
 pub use crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
-pub use engine::{Engine, EngineBuilder, RunOutcome};
+pub use engine::{Engine, EngineBuilder, EngineParts, RunOutcome};
 pub use frames::FramePolicy;
 pub use motion::{AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops};
 pub use scheduler::{
@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::algorithm::Algorithm;
     pub use crate::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
     pub use crate::crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
-    pub use crate::engine::{Engine, EngineBuilder, RunOutcome};
+    pub use crate::engine::{Engine, EngineBuilder, EngineParts, RunOutcome};
     pub use crate::frames::FramePolicy;
     pub use crate::motion::{
         AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops,

@@ -368,6 +368,27 @@ pub fn of_class(class: Class, n: usize, seed: u64) -> Vec<Point> {
     pts
 }
 
+/// The full class × seed cross product at size `n`: one configuration per
+/// pair, in deterministic `(Class::all(), 0..seeds)` order.
+///
+/// This is the shared input set for the thread-scaling benchmark
+/// (`b7_scaling`), the pool determinism test and the SoA kernel property
+/// test — they must agree on the exact same configurations, so the cross
+/// product lives here rather than being re-derived in each harness.
+///
+/// # Panics
+///
+/// Panics if `n < 4` (see [`of_class`]).
+pub fn class_sweep(n: usize, seeds: u64) -> Vec<(Class, u64, Vec<Point>)> {
+    let mut out = Vec::with_capacity(Class::all().len() * seeds as usize);
+    for class in Class::all() {
+        for seed in 0..seeds {
+            out.push((class, seed, of_class(class, n, seed)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -527,6 +548,21 @@ mod tests {
         let pts = clusters(10, 3, 4);
         let cfg = Configuration::new(pts);
         assert_eq!(cfg.distinct().len(), 3);
+    }
+
+    #[test]
+    fn class_sweep_covers_every_class_deterministically() {
+        let sweep = class_sweep(10, 2);
+        assert_eq!(sweep.len(), 12);
+        for (class, seed, pts) in &sweep {
+            assert_eq!(class_of(pts), *class, "class {class} seed {seed}");
+        }
+        // Deterministic: a second call yields bit-identical configurations.
+        let again = class_sweep(10, 2);
+        for ((c1, s1, p1), (c2, s2, p2)) in sweep.iter().zip(&again) {
+            assert_eq!((c1, s1), (c2, s2));
+            assert_eq!(p1, p2);
+        }
     }
 
     #[test]

@@ -2,14 +2,51 @@
 # Regenerates every experiment table/figure CSV under results/.
 # Runs the offline build+test gate first so tables are never produced from
 # a broken tree; skip it with NO_CHECK=1 ./run_experiments.sh.
+#
+# The harness is built exactly once up front and each runner binary is then
+# invoked directly from target/release — per-binary `cargo run` used to pay
+# a cargo lock + freshness check for all 16 runners. Set JOBS=N to run up
+# to N runner binaries concurrently (they write disjoint results/ files and
+# each scales its own worker pool via GATHER_THREADS, so parallel waves are
+# safe; default is sequential, which is what a 1-core box wants).
 set -e
+cd "$(dirname "$0")"
 if [ -z "$NO_CHECK" ]; then
-  sh "$(dirname "$0")/scripts/check.sh"
+  sh scripts/check.sh
 fi
-for bin in t1_theorem51 t2_baselines t3_bivalent t4_qr_detection t5_waitfree \
-           t6_classification t7_byzantine f1_scaling f2_delta f3_transitions \
-           f4_potential f5_crash_timing f6_staleness a1_ablations b1_throughput; do
+
+echo "== build (once) =="
+cargo build --release -q -p gather-bench
+
+BINS="t1_theorem51 t2_baselines t3_bivalent t4_qr_detection t5_waitfree \
+      t6_classification t7_byzantine f1_scaling f2_delta f3_transitions \
+      f4_potential f5_crash_timing f6_staleness a1_ablations b1_throughput \
+      b7_scaling"
+JOBS="${JOBS:-1}"
+
+# run_one BIN [extra args forwarded to the binary]
+run_one() {
+  bin="$1"
+  shift
   echo "== $bin =="
-  cargo run --release -q -p gather-bench --bin "$bin" -- --out results "$@" \
-    | tee "results/$bin.txt"
-done
+  "target/release/$bin" --out results "$@" | tee "results/$bin.txt"
+}
+
+if [ "$JOBS" -gt 1 ]; then
+  # Parallel waves of $JOBS binaries, draining each wave before starting
+  # the next so at most $JOBS runners compete for the machine at a time.
+  active=0
+  for bin in $BINS; do
+    run_one "$bin" "$@" &
+    active=$((active + 1))
+    if [ "$active" -ge "$JOBS" ]; then
+      wait
+      active=0
+    fi
+  done
+  wait
+else
+  for bin in $BINS; do
+    run_one "$bin" "$@"
+  done
+fi

@@ -35,6 +35,18 @@ smoke_out="$(mktemp -d)"
 cargo run --release --offline -p gather-bench --features alloc-audit \
   --bin b1_throughput -- --quick --baseline BENCH_b1_throughput.json \
   --out "$smoke_out"
+
+echo "== bench-smoke (B7 vs committed baseline, thread matrix) =="
+# Quick B7 run against the committed record: exercises the persistent
+# worker pool at 1, 2 and 4 workers over a class-diverse sweep (the
+# thread-matrix smoke), cross-checks result determinism across pool sizes,
+# and fails on a SoA kernel that fell behind its scalar reference or a
+# >20% single-worker throughput regression. The 3x-at-4-workers gate
+# enforces itself only on machines with >= 4 cores (the JSON records an
+# explicit skip reason otherwise).
+cargo run --release --offline -p gather-bench \
+  --bin b7_scaling -- --quick --baseline BENCH_b7_scaling.json \
+  --out "$smoke_out"
 rm -rf "$smoke_out"
 
 echo "== check.sh: all gates passed =="

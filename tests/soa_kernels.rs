@@ -1,0 +1,160 @@
+//! SoA kernel ↔ scalar reference agreement (DESIGN.md §10).
+//!
+//! Every chunked structure-of-arrays kernel in `gather_geom::soa` must
+//! agree with its scalar array-of-structs reference (`soa::reference`) to
+//! within 1e-12 relative error on configurations drawn from **all six**
+//! paper classes — the kernels are a performance refactor, not a semantic
+//! change. Angle keys and the SEC/hull entry points are held to the
+//! stronger standard of bitwise equality, because classification and the
+//! zone geometry consume them verbatim.
+
+use gather_config::Class;
+use gather_geom::{
+    convex_hull, smallest_enclosing_circle, smallest_enclosing_circle_soa,
+    soa::{self, reference, PointBuffer},
+    Point,
+};
+use gather_prng::Rng;
+use gather_workloads as workloads;
+
+const SEEDS: u64 = 4;
+const SIZES: [usize; 3] = [6, 13, 32];
+
+/// Maximum tolerated relative error between kernel and reference.
+const TOL: f64 = 1e-12;
+
+fn close(kernel: f64, reference: f64, what: &str, ctx: &str) {
+    let scale = reference.abs().max(1.0);
+    assert!(
+        (kernel - reference).abs() <= TOL * scale,
+        "{what} diverged for {ctx}: kernel {kernel} vs reference {reference}"
+    );
+}
+
+/// Every (class, seed, size) configuration plus a few query points drawn
+/// around it: the current centroid, an off-centre point, and each of the
+/// first few configuration points (exercising the coincident branch).
+fn for_each_case(mut check: impl FnMut(&str, &[Point], Point)) {
+    for n in SIZES {
+        for (class, seed, pts) in workloads::class_sweep(n, SEEDS) {
+            let ctx = format!("class {class} seed {seed} n {n}");
+            let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(n as u64));
+            let centroid = reference::centroid(&pts);
+            let jitter = Point::new(
+                centroid.x + rng.random_range(-300i32..300) as f64 / 100.0,
+                centroid.y + rng.random_range(-300i32..300) as f64 / 100.0,
+            );
+            let mut queries = vec![centroid, jitter];
+            queries.extend(pts.iter().take(3).copied());
+            for q in queries {
+                check(&ctx, &pts, q);
+            }
+        }
+    }
+}
+
+#[test]
+fn sum_distances_matches_reference() {
+    for_each_case(|ctx, pts, q| {
+        let buf = PointBuffer::from_points(pts);
+        close(
+            soa::sum_distances(&buf, q),
+            reference::sum_distances(pts, q),
+            "sum_distances",
+            ctx,
+        );
+    });
+}
+
+#[test]
+fn weiszfeld_sums_match_reference() {
+    for eps in [0.0, 1e-9] {
+        for_each_case(|ctx, pts, q| {
+            let buf = PointBuffer::from_points(pts);
+            let k = soa::weiszfeld_sums(&buf, q, eps);
+            let r = reference::weiszfeld_sums(pts, q, eps);
+            assert_eq!(k.coincident, r.coincident, "coincident count for {ctx}");
+            close(k.denom, r.denom, "weiszfeld denom", ctx);
+            if k.denom > 0.0 {
+                let kt = k.target();
+                let rt = r.target();
+                close(kt.x, rt.x, "weiszfeld target.x", ctx);
+                close(kt.y, rt.y, "weiszfeld target.y", ctx);
+            }
+            let (kp, rp) = (k.pull(), r.pull());
+            close(kp.x, rp.x, "weiszfeld pull.x", ctx);
+            close(kp.y, rp.y, "weiszfeld pull.y", ctx);
+        });
+    }
+}
+
+#[test]
+fn centroid_and_max_dist_match_reference() {
+    for_each_case(|ctx, pts, q| {
+        let buf = PointBuffer::from_points(pts);
+        let kc = soa::centroid(&buf);
+        let rc = reference::centroid(pts);
+        close(kc.x, rc.x, "centroid.x", ctx);
+        close(kc.y, rc.y, "centroid.y", ctx);
+        let (ki, kd) = soa::max_dist2(&buf, q);
+        let (ri, rd) = reference::max_dist2(pts, q);
+        assert_eq!(ki, ri, "max_dist2 argmax index for {ctx}");
+        close(kd, rd, "max_dist2 distance²", ctx);
+    });
+}
+
+#[test]
+fn radial_pull_matches_reference() {
+    for zone in [0.0, 0.5, 2.0] {
+        for_each_case(|ctx, pts, q| {
+            let buf = PointBuffer::from_points(pts);
+            let (kv, km) = soa::radial_pull(&buf, q, zone);
+            let (rv, rm) = reference::radial_pull(pts, q, zone);
+            assert_eq!(km, rm, "radial_pull zone count for {ctx} zone {zone}");
+            close(kv.x, rv.x, "radial_pull.x", ctx);
+            close(kv.y, rv.y, "radial_pull.y", ctx);
+        });
+    }
+}
+
+#[test]
+fn angle_keys_are_bitwise_identical_to_reference() {
+    for zone in [0.0, 1.0] {
+        for_each_case(|ctx, pts, q| {
+            let buf = PointBuffer::from_points(pts);
+            let (mut kernel, mut scalar) = (Vec::new(), Vec::new());
+            soa::angle_keys_into(&buf, q, zone, &mut kernel);
+            reference::angle_keys_into(pts, q, zone, &mut scalar);
+            assert_eq!(kernel, scalar, "angle keys for {ctx} zone {zone}");
+        });
+    }
+}
+
+#[test]
+fn sec_and_hull_soa_entry_points_are_bitwise_identical() {
+    for_each_case(|ctx, pts, _q| {
+        let buf = PointBuffer::from_points(pts);
+        assert_eq!(
+            smallest_enclosing_circle_soa(&buf),
+            smallest_enclosing_circle(pts),
+            "SEC for {ctx}"
+        );
+        assert_eq!(
+            gather_geom::convex_hull_soa(&buf),
+            convex_hull(pts),
+            "hull for {ctx}"
+        );
+    });
+}
+
+#[test]
+fn kernels_cover_every_class() {
+    // Guard the premise of this file: the sweep really visits all six
+    // classes, so a regression in a generator can't silently shrink the
+    // coverage above.
+    let classes: std::collections::BTreeSet<Class> = workloads::class_sweep(8, 1)
+        .into_iter()
+        .map(|(c, _, _)| c)
+        .collect();
+    assert_eq!(classes.len(), Class::all().len());
+}
