@@ -272,7 +272,16 @@ fn measure_pooled_recycled_steady(n: usize, items: usize, rounds: u64) -> Option
     let worst: Mutex<Option<f64>> = Mutex::new(None);
     for item in 0..items {
         pool.run_batch(1, &|_| {
-            let parts = parts_cell.lock().unwrap().take().unwrap_or_default();
+            // Poison recovery: a panicking sweep item must surface as its
+            // own panic (re-raised by `run_batch`), not cascade into a
+            // misleading mutex-poison failure on the next item's lock. The
+            // cells hold plain data that is never left half-updated by a
+            // panic, so a poisoned value is safe to reuse.
+            let parts = parts_cell
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .unwrap_or_default();
             let pts = workloads::multiple(n, 3, 7 + item as u64);
             let mut engine = Engine::builder(pts)
                 .algorithm(WaitFreeGather::default())
@@ -308,14 +317,14 @@ fn measure_pooled_recycled_steady(n: usize, items: usize, rounds: u64) -> Option
             if item >= 1 && steady_rounds > 0 {
                 if let Some((s, e)) = steady_start.zip(end) {
                     let per_round = (e - s) as f64 / steady_rounds as f64;
-                    let mut w = worst.lock().unwrap();
+                    let mut w = worst.lock().unwrap_or_else(|e| e.into_inner());
                     *w = Some(w.map_or(per_round, |x: f64| x.max(per_round)));
                 }
             }
-            *parts_cell.lock().unwrap() = Some(engine.into_parts());
+            *parts_cell.lock().unwrap_or_else(|e| e.into_inner()) = Some(engine.into_parts());
         });
     }
-    let result = *worst.lock().unwrap();
+    let result = *worst.lock().unwrap_or_else(|e| e.into_inner());
     result
 }
 

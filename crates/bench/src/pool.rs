@@ -72,17 +72,22 @@ fn worker_loop(shared: &Shared) {
     let mut seen_generation = 0u64;
     loop {
         // Wait for a batch newer than the last one this worker drained.
+        // An undrained batch takes priority over shutdown: `shutdown` can
+        // race with a submission that already passed its shutdown check
+        // (both happen under the state mutex), and the submitter blocks
+        // until `completed == len` — so workers must finish an in-flight
+        // batch before exiting or that submitter would hang forever.
         let batch = {
             let mut st = shared.state.lock().unwrap();
             loop {
-                if st.shutdown {
-                    return;
-                }
                 if st.generation > seen_generation {
                     if let Some(b) = &st.batch {
                         seen_generation = st.generation;
                         break Arc::clone(b);
                     }
+                }
+                if st.shutdown {
+                    return;
                 }
                 st = shared.work_ready.wait(st).unwrap();
             }
@@ -160,13 +165,32 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Initiates a graceful shutdown without consuming the pool: workers
+    /// finish draining any in-flight batch (its `run_batch` caller returns
+    /// normally, panics still propagate to it), then exit. Idempotent.
+    ///
+    /// After shutdown, submitting a new batch panics — the serving layer
+    /// relies on this to guarantee no work sneaks in behind a drain.
+    /// Dropping the pool afterwards joins the (already exiting) workers.
+    pub fn shutdown(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.shutdown = true;
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Has [`WorkerPool::shutdown`] been called?
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.state.lock().unwrap().shutdown
+    }
+
     /// Runs `job(i)` for every `i in 0..len` on the pool and blocks until
     /// all indices completed.
     ///
     /// # Panics
     ///
     /// Re-panics on the calling thread if any job panicked (after the whole
-    /// batch has drained, so the pool stays usable).
+    /// batch has drained, so the pool stays usable). Also panics if the
+    /// pool was [`shutdown`](WorkerPool::shutdown) before submission.
     pub fn run_batch(&self, len: usize, job: &(dyn Fn(usize) + Sync)) {
         if len == 0 {
             return;
@@ -192,6 +216,13 @@ impl WorkerPool {
             next: AtomicUsize::new(0),
         });
         let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            // Panic with no locks held so this refusal cannot poison the
+            // pool state for a later drop.
+            drop(st);
+            drop(submission);
+            panic!("batch submitted to a shut-down WorkerPool (shutdown() was called)");
+        }
         st.batch = Some(Arc::clone(&batch));
         st.generation += 1;
         st.completed = 0;
@@ -240,11 +271,7 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().unwrap();
-            st.shutdown = true;
-            self.shared.work_ready.notify_all();
-        }
+        self.shutdown();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }

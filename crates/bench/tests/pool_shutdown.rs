@@ -1,0 +1,104 @@
+//! Shutdown-under-load behaviour of the persistent [`WorkerPool`].
+//!
+//! The serving layer (`gather-serve`) shuts the pool down while requests
+//! may still be in flight; these tests pin the contract it relies on:
+//!
+//! * an in-flight batch drains completely — its `run_batch` caller
+//!   returns normally and every index ran exactly once;
+//! * panics raised by jobs during the drain still propagate;
+//! * a batch submitted after `shutdown()` panics instead of hanging;
+//! * workers join cleanly on drop with no leaked threads.
+
+use gather_bench::pool::WorkerPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Thread count of this process as reported by the kernel, when the
+/// platform exposes it (`None` elsewhere — the leak check then degrades to
+/// "drop did not hang", which the test exercises anyway by returning).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn shutdown_mid_flight_drains_the_batch_and_joins_cleanly() {
+    let threads_before = os_thread_count();
+    let pool = Arc::new(WorkerPool::new(2));
+    let counts: Arc<Vec<AtomicUsize>> = Arc::new((0..32).map(|_| AtomicUsize::new(0)).collect());
+    let submitter = {
+        let pool = Arc::clone(&pool);
+        let counts = Arc::clone(&counts);
+        std::thread::spawn(move || {
+            pool.run_batch(counts.len(), &|i| {
+                // Slow jobs keep the batch in flight while the main thread
+                // calls `shutdown` (32 × 5 ms over 2 workers ≈ 80 ms).
+                std::thread::sleep(Duration::from_millis(5));
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    pool.shutdown();
+    pool.shutdown(); // idempotent
+    assert!(pool.is_shut_down());
+
+    // The submitter must return normally: shutdown drains in-flight work.
+    submitter.join().expect("run_batch must survive shutdown");
+    for (i, c) in counts.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} ran != 1 times");
+    }
+
+    // New work after shutdown is refused loudly (a silent hang would
+    // deadlock the serving layer's drain path).
+    let refused = catch_unwind(AssertUnwindSafe(|| pool.run_batch(1, &|_| {})));
+    assert!(refused.is_err(), "run_batch after shutdown must panic");
+
+    // Dropping the last handle joins the workers; if any worker leaked the
+    // kernel thread count would stay elevated.
+    let pool = Arc::try_unwrap(pool).ok().expect("last Arc");
+    drop(pool);
+    if let (Some(before), Some(after)) = (threads_before, os_thread_count()) {
+        assert!(
+            after <= before,
+            "worker threads leaked: {after} alive after drop vs {before} before spawn"
+        );
+    }
+}
+
+#[test]
+fn panics_still_propagate_when_shutdown_races_the_batch() {
+    let pool = Arc::new(WorkerPool::new(2));
+    let submitter = {
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            catch_unwind(AssertUnwindSafe(|| {
+                pool.run_batch(16, &|i| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    assert!(i != 9, "boom at nine");
+                });
+            }))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(10));
+    pool.shutdown();
+    let result = submitter.join().expect("submitter thread must not die");
+    assert!(
+        result.is_err(),
+        "the job panic must reach the run_batch caller even during shutdown"
+    );
+}
+
+#[test]
+fn shutdown_with_idle_pool_is_immediate() {
+    let pool = WorkerPool::new(3);
+    let out = pool.map(&[1u64, 2, 3], |x| x * 2);
+    assert_eq!(out, vec![2, 4, 6]);
+    pool.shutdown();
+    drop(pool); // joins without hanging
+}

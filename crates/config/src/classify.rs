@@ -53,6 +53,14 @@ impl Class {
         }
     }
 
+    /// The class whose [`short_name`](Class::short_name) is `name`
+    /// (`None` for anything else). Inverse of `short_name`; used by the
+    /// serialization layers (`RunMetrics` JSONL, the serving API) to parse
+    /// classes back out of their wire form.
+    pub fn from_short_name(name: &str) -> Option<Class> {
+        Class::all().into_iter().find(|c| c.short_name() == name)
+    }
+
     /// All classes, in the paper's priority order.
     pub fn all() -> [Class; 6] {
         [
@@ -492,5 +500,14 @@ mod tests {
         let names: Vec<&str> = Class::all().iter().map(|c| c.short_name()).collect();
         assert_eq!(names, vec!["B", "M", "L1W", "L2W", "QR", "A"]);
         assert_eq!(format!("{}", Class::QuasiRegular), "QR");
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for class in Class::all() {
+            assert_eq!(Class::from_short_name(class.short_name()), Some(class));
+        }
+        assert_eq!(Class::from_short_name("X"), None);
+        assert_eq!(Class::from_short_name(""), None);
     }
 }

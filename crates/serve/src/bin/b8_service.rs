@@ -1,0 +1,365 @@
+//! B8 — scenario-service load generation.
+//!
+//! Starts an in-process [`Server`] and drives it over real TCP:
+//!
+//! 1. **Bit-identity gate** (always on, also the point of the exercise):
+//!    for every configuration class B/M/L1W/L2W/QR/A, the bytes served by
+//!    `POST /run` must equal the bytes of the same spec run in-process
+//!    and serialised with `RunMetrics::to_jsonl` — the service adds
+//!    transport, not behaviour.
+//! 2. **Capacity probe**: sequential requests measure the service rate μ.
+//! 3. **Open-loop sweep**: offered rates 0.5×/1×/2×/4× μ, one client
+//!    thread per request fired at its scheduled arrival time regardless
+//!    of completions (open loop — arrivals never slow down because the
+//!    server is struggling). Records throughput, p50/p99 latency and the
+//!    429 rejection rate per offered rate: the backpressure curve.
+//!
+//! The server runs with a deliberately small admission queue so the sweep
+//! exercises the 429 path at super-capacity rates instead of buffering
+//! its way through.
+//!
+//! Writes `BENCH_b8_service.json` (committed record) in full mode; with
+//! `--quick` or `--baseline` the fresh JSON goes to `--out` and the
+//! committed record is left untouched. `--smoke` runs the check.sh gate:
+//! one scenario request, one malformed request, a `/metrics` scrape and a
+//! graceful shutdown, all asserted, in well under a second.
+
+use gather_bench::runner::percentile;
+use gather_bench::Args;
+use gather_config::Class;
+use gather_serve::{Client, ScenarioSpec, ServeConfig, Server};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The sweep's unit of work: a 16-robot scatter under the δ-motion
+/// adversary with a tiny δ cannot gather within 50 rounds, so every
+/// request burns exactly its round budget (~15 ms) — a deterministic
+/// service time that does not depend on how the sweep interleaves.
+fn load_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        workload: "scatter".to_string(),
+        class: None,
+        n: 16,
+        seed: 11,
+        delta: 0.001,
+        motion: "delta",
+        max_rounds: 50,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn bench_server(queue_capacity: usize) -> Server {
+    Server::start(ServeConfig {
+        queue_capacity,
+        ..ServeConfig::default()
+    })
+    .expect("start in-process server")
+}
+
+/// Gate 1: served bytes == in-process bytes, for all six classes.
+fn bit_identity(addr: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut client = Client::connect(addr).expect("connect");
+    for class in Class::all() {
+        let spec = ScenarioSpec {
+            class: Some(class),
+            seed: 7,
+            faults: 1,
+            max_rounds: 3_000,
+            ..ScenarioSpec::default()
+        };
+        let local = format!(
+            "{}\n",
+            spec.to_scenario().expect("spec maps").run().to_jsonl()
+        );
+        let served = client.post_run(&spec.to_json()).expect("POST /run");
+        if served.status != 200 {
+            failures.push(format!(
+                "class {}: status {} ({})",
+                class.short_name(),
+                served.status,
+                served.text().trim()
+            ));
+            continue;
+        }
+        if served.body != local.as_bytes() {
+            failures.push(format!(
+                "class {}: served bytes differ from in-process run\n  served: {}\n  local:  {}",
+                class.short_name(),
+                served.text().trim(),
+                local.trim()
+            ));
+        } else {
+            println!(
+                "  class {:<3} bit-identical ({} bytes)",
+                class.short_name(),
+                served.body.len()
+            );
+        }
+    }
+    failures
+}
+
+/// Gate 2: sequential requests → service rate μ in requests/second.
+fn measure_capacity(addr: &str, probes: usize) -> f64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let body = load_spec().to_json();
+    // Warm-up: first request pays thread-local engine construction.
+    assert_eq!(client.post_run(&body).expect("warm-up").status, 200);
+    let started = Instant::now();
+    for _ in 0..probes {
+        assert_eq!(client.post_run(&body).expect("probe").status, 200);
+    }
+    probes as f64 / started.elapsed().as_secs_f64()
+}
+
+struct SweepRow {
+    offered_rps: f64,
+    achieved_rps: f64,
+    requests: usize,
+    completed: usize,
+    rejected: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One open-loop run: `requests` arrivals at `offered_rps`, one thread
+/// per arrival so a slow server cannot slow the arrival process down.
+fn open_loop(addr: &str, offered_rps: f64, requests: usize) -> SweepRow {
+    let start = Instant::now() + Duration::from_millis(50);
+    let completed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let errored = Arc::new(AtomicU64::new(0));
+    let body = Arc::new(load_spec().to_json());
+    let handles: Vec<_> = (0..requests)
+        .map(|i| {
+            let addr = addr.to_string();
+            let body = Arc::clone(&body);
+            let completed = Arc::clone(&completed);
+            let rejected = Arc::clone(&rejected);
+            let errored = Arc::clone(&errored);
+            std::thread::spawn(move || -> Option<f64> {
+                let due = start + Duration::from_secs_f64(i as f64 / offered_rps);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let sent = Instant::now();
+                let response = Client::connect(&addr).and_then(|mut c| c.post_run(&body));
+                match response {
+                    Ok(r) if r.status == 200 => {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        Some(sent.elapsed().as_secs_f64() * 1000.0)
+                    }
+                    Ok(r) if r.status == 429 => {
+                        assert_eq!(
+                            r.header("retry-after"),
+                            Some("1"),
+                            "429 must carry Retry-After"
+                        );
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                    Ok(r) => {
+                        eprintln!("unexpected status {} ({})", r.status, r.text().trim());
+                        errored.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                    Err(e) => {
+                        eprintln!("transport error: {e}");
+                        errored.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .filter_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed = (Instant::now() - start).as_secs_f64();
+    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    assert_eq!(
+        errored.load(Ordering::Relaxed),
+        0,
+        "open-loop clients saw non-200/429 responses"
+    );
+    let completed = completed.load(Ordering::Relaxed) as usize;
+    SweepRow {
+        offered_rps,
+        achieved_rps: completed as f64 / elapsed,
+        requests,
+        completed,
+        rejected: rejected.load(Ordering::Relaxed) as usize,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
+fn smoke() {
+    let server = Server::start(ServeConfig {
+        queue_capacity: 4,
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let health = client.get("/healthz").expect("GET /healthz");
+    assert_eq!(health.status, 200, "healthz: {}", health.text());
+
+    // One real scenario request, checked against the in-process run.
+    let spec = ScenarioSpec {
+        seed: 3,
+        max_rounds: 2_000,
+        ..ScenarioSpec::default()
+    };
+    let expected = format!("{}\n", spec.to_scenario().expect("spec").run().to_jsonl());
+    let run = client.post_run(&spec.to_json()).expect("POST /run");
+    assert_eq!(run.status, 200, "run: {}", run.text());
+    assert_eq!(
+        run.body,
+        expected.as_bytes(),
+        "served bytes must match the in-process run"
+    );
+
+    // One malformed request must be a 400, not a hang or a 500.
+    let bad = client.post_run("{\"classs\":\"QR\"}").expect("POST bad");
+    assert_eq!(bad.status, 400, "malformed spec: {}", bad.text());
+    assert!(bad.text().contains("unknown spec field"), "{}", bad.text());
+
+    // The scrape must reflect both requests on the same keep-alive
+    // connection.
+    let metrics = client.get("/metrics").expect("GET /metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    for needle in [
+        "gather_requests_accepted_total 1\n",
+        "gather_requests_completed_total 1\n",
+        "gather_requests_rejected_malformed_total 1\n",
+        "gather_scenarios_run_total 1\n",
+        "gather_queue_capacity 4\n",
+    ] {
+        assert!(text.contains(needle), "metrics missing {needle:?}:\n{text}");
+    }
+
+    // Graceful shutdown: drains, joins, and the port stops answering.
+    server.shutdown();
+    assert!(
+        Client::connect(&addr)
+            .and_then(|mut c| c.get("/healthz"))
+            .is_err(),
+        "server still answering after shutdown"
+    );
+    println!("b8 smoke: OK (run + 400 + metrics + shutdown)");
+}
+
+fn f(x: f64, places: usize) -> String {
+    format!("{x:.places$}")
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let args = Args::parse();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Small queue on purpose: the sweep should hit the 429 path well
+    // before memory does.
+    let server = bench_server(8);
+    let addr = server.addr();
+
+    println!("B8 — scenario service over TCP ({addr})\n");
+    println!("bit-identity across configuration classes:");
+    let identity_failures = bit_identity(&addr);
+    let bit_identical = identity_failures.is_empty();
+    failures.extend(identity_failures);
+
+    let probes = if args.quick { 8 } else { 24 };
+    let capacity = measure_capacity(&addr, probes);
+    println!("\nmeasured capacity: {capacity:.1} req/s (sequential, {probes} probes)");
+
+    let per_rate = if args.quick { 24 } else { 80 };
+    let mut rows = Vec::new();
+    for factor in [0.5, 1.0, 2.0, 4.0] {
+        rows.push(open_loop(&addr, factor * capacity, per_rate));
+    }
+
+    println!("\nopen-loop sweep ({per_rate} requests per rate, queue capacity 8):\n");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "offered r/s", "achieved r/s", "completed", "rejected", "reject %", "p50 ms", "p99 ms"
+    );
+    for row in &rows {
+        println!(
+            "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            f(row.offered_rps, 1),
+            f(row.achieved_rps, 1),
+            row.completed,
+            row.rejected,
+            f(100.0 * row.rejected as f64 / row.requests as f64, 1),
+            f(row.p50_ms, 1),
+            f(row.p99_ms, 1),
+        );
+        if row.completed + row.rejected != row.requests {
+            failures.push(format!(
+                "open loop at {:.1} r/s: {} + {} != {} (lost requests)",
+                row.offered_rps, row.completed, row.rejected, row.requests
+            ));
+        }
+    }
+
+    // Every request must be answered — completed or explicitly rejected —
+    // and the served results must be the in-process results.
+    let scrape = Client::connect(&addr)
+        .and_then(|mut c| c.get("/metrics"))
+        .expect("final scrape");
+    assert_eq!(scrape.status, 200);
+    server.shutdown();
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"b8_service\",\n  \"bit_identical_across_classes\": {bit_identical},\n  \"capacity_req_per_sec\": {:.1},\n  \"queue_capacity\": 8,\n  \"requests_per_rate\": {per_rate},\n  \"open_loop\": [\n",
+        capacity
+    );
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \"completed\": {}, \"rejected\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}{}\n",
+            row.offered_rps,
+            row.achieved_rps,
+            row.completed,
+            row.rejected,
+            row.p50_ms,
+            row.p99_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    if args.quick || args.baseline.is_some() {
+        // A reduced or comparison run must never become the committed
+        // record.
+        let fresh = args.out_dir.join("b8_service.json");
+        std::fs::write(&fresh, &json).expect("write fresh JSON");
+        println!(
+            "\nwrote {} (BENCH_b8_service.json left untouched)",
+            fresh.display()
+        );
+    } else {
+        let bench_out = std::path::Path::new("BENCH_b8_service.json");
+        std::fs::write(bench_out, &json).expect("write BENCH json");
+        println!("\nwrote {}", bench_out.display());
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nB8 FAILURES:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}

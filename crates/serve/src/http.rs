@@ -1,0 +1,365 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! Only what the scenario service needs: request parsing with hard limits
+//! (request-line/header size, header count, body size), `Content-Length`
+//! bodies, keep-alive semantics, and response writing. No chunked
+//! transfer, no multipart, no TLS — the service speaks plain HTTP/1.1 so
+//! any client (curl included) can drive it, while the implementation
+//! stays pure std per the hermetic-build policy (DESIGN.md §8).
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on one request-line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Hard cap on the number of headers per request.
+const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure (including read timeouts) — close the connection.
+    Io(io::Error),
+    /// The bytes were not a well-formed request — answer 400 and close.
+    Malformed(String),
+    /// A limit was exceeded — answer 413 and close.
+    TooLarge(&'static str),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Should the connection stay open after the response?
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Err(HttpError::Malformed("connection closed mid-line".into()));
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            break;
+        }
+        buf.extend_from_slice(chunk);
+        let len = chunk.len();
+        reader.consume(len);
+        if buf.len() > MAX_LINE {
+            return Err(HttpError::TooLarge("header line too long"));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    if buf.len() > MAX_LINE {
+        return Err(HttpError::TooLarge("header line too long"));
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` on a clean EOF *before the first byte* — the normal
+/// end of a keep-alive connection. A caller that wants to idle-poll (e.g.
+/// to notice shutdown) should `fill_buf` with a read timeout first and
+/// call this only once bytes are available.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for protocol violations (answer 400),
+/// [`HttpError::TooLarge`] for exceeded limits (answer 413),
+/// [`HttpError::Io`] for transport failures (close silently).
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    // Clean-EOF detection: peek before committing to a request.
+    if reader.fill_buf()?.is_empty() {
+        return Ok(None);
+    }
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing version".into()))?;
+    if parts.next().is_some() || !(version == "HTTP/1.1" || version == "HTTP/1.0") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported request line {request_line:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        keep_alive: version == "HTTP/1.1",
+    };
+    if let Some(conn) = request.header("connection") {
+        match conn.to_ascii_lowercase().as_str() {
+            "close" => request.keep_alive = false,
+            "keep-alive" => request.keep_alive = true,
+            _ => {}
+        }
+    }
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {len:?}")))?;
+        if len > max_body {
+            return Err(HttpError::TooLarge("body exceeds the configured limit"));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// A response ready to serialise.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (e.g. 200).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Emit `Retry-After: N` (the 429 backpressure hint).
+    pub retry_after: Option<u64>,
+    /// Emit `Connection: close` and let the caller drop the connection.
+    pub close: bool,
+}
+
+impl Response {
+    /// A response with the given status, content type and body.
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A `{"error": "..."}` JSON response.
+    pub fn json_error(status: u16, message: &str) -> Response {
+        Response::new(
+            status,
+            "application/json",
+            format!("{{\"error\":\"{}\"}}\n", crate::json::escape(message)),
+        )
+    }
+
+    /// The standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Response",
+        }
+    }
+
+    /// Serialises status line, headers and body onto `w` (flushes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "retry-after: {secs}\r\n")?;
+        }
+        if self.close {
+            write!(w, "connection: close\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /run?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET / HTTP/2\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HTT",
+        ] {
+            assert!(
+                matches!(
+                    parse(bad),
+                    Err(HttpError::Malformed(_)) | Err(HttpError::Io(_))
+                ),
+                "{:?} should be rejected",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let body_too_big = b"POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        assert!(matches!(parse(body_too_big), Err(HttpError::TooLarge(_))));
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert!(matches!(
+            parse(long_line.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(
+            parse(many.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_serialisation() {
+        let mut resp = Response::new(200, "text/plain", "hi");
+        resp.retry_after = Some(2);
+        resp.close = true;
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let resp = Response::json_error(429, "queue full");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.reason(), "Too Many Requests");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(body, "{\"error\":\"queue full\"}\n");
+    }
+
+    #[test]
+    fn keep_alive_parses_two_requests_from_one_stream() {
+        let bytes = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&bytes[..]);
+        let a = read_request(&mut reader, 64).unwrap().unwrap();
+        let b = read_request(&mut reader, 64).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(read_request(&mut reader, 64).unwrap().is_none());
+    }
+}

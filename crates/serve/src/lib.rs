@@ -1,0 +1,42 @@
+//! gather-serve: a pure-std batch scenario service over the simulator.
+//!
+//! Exposes the crash-fault gathering simulator (`gather-sim` +
+//! `gather-workloads`, fanned out over `gather-bench`'s persistent
+//! [`WorkerPool`]) as a multi-threaded TCP service speaking minimal
+//! HTTP/1.1. The design mirrors the paper's wait-free stance at the
+//! serving layer: admission is immediate-or-rejected (bounded queue,
+//! 429 + `Retry-After` backpressure), never unbounded buffering, and
+//! graceful shutdown drains every admitted job before the last thread
+//! exits.
+//!
+//! Module map:
+//!
+//! * [`json`] — dependency-free JSON value parser used by the request path;
+//! * [`http`] — HTTP/1.1 request framing and response writing with limits;
+//! * [`spec`] — the scenario-spec request model, strictly validated and
+//!   mapped onto `gather-workloads` / `gather-bench::factory` names;
+//! * [`queue`] — the bounded wait-free-admission queue;
+//! * [`metrics`] — server counters, run aggregates and the `/metrics`
+//!   text exposition;
+//! * [`server`] — acceptor / handlers / dispatcher and shutdown sequencing;
+//! * [`client`] — a tiny blocking client shared by the bench, the smoke
+//!   gate and the tests.
+//!
+//! Determinism contract: `POST /run` responses are byte-identical to
+//! serialising the same scenario specs run in-process (see
+//! `crates/serve/tests/service_roundtrip.rs` and the `b8_service` bench,
+//! which both assert it).
+//!
+//! [`WorkerPool`]: gather_bench::pool::WorkerPool
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod spec;
+
+pub use client::{Client, ClientResponse};
+pub use server::{ServeConfig, Server};
+pub use spec::{RunRequest, ScenarioSpec};

@@ -1,0 +1,241 @@
+//! Server counters and `RunMetrics` aggregates for the `/metrics`
+//! endpoint.
+//!
+//! Counters are relaxed atomics (monotonic, scrape-consistent enough for
+//! operational use); request latencies go into a fixed-size ring so the
+//! p50/p99 gauges reflect recent behaviour without unbounded memory. The
+//! exposition format is the Prometheus text convention (`name value`
+//! lines, `{quantile="..."}` labels) rendered by hand — no external
+//! dependencies.
+
+use gather_sim::metrics::RunMetrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latencies kept for the quantile gauges (newest overwrite oldest).
+const LATENCY_RING: usize = 1024;
+
+/// Shared counters for one server instance.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused with 429 (queue full).
+    pub rejected_full: AtomicU64,
+    /// Requests refused with 400/413 (malformed or oversized).
+    pub rejected_malformed: AtomicU64,
+    /// Requests refused with 503 (shutting down).
+    pub rejected_shutdown: AtomicU64,
+    /// Requests answered 200.
+    pub completed: AtomicU64,
+    /// Requests discarded unrun because their deadline passed in-queue.
+    pub expired: AtomicU64,
+    /// Requests answered 500 (a scenario panicked).
+    pub failed: AtomicU64,
+    /// Scenario runs executed (a batch request counts each scenario).
+    pub scenarios_run: AtomicU64,
+    /// Runs that gathered.
+    pub runs_gathered: AtomicU64,
+    /// Total simulated rounds across all runs.
+    pub rounds_total: AtomicU64,
+    /// Total Weiszfeld iterations across all runs.
+    pub weiszfeld_iters_total: AtomicU64,
+    /// Total `classify()` invocations across all runs.
+    pub classifications_total: AtomicU64,
+    /// Total analysis-cache hits across all runs.
+    pub cache_hits_total: AtomicU64,
+    /// Total distance travelled, accumulated as f64 bits under a CAS loop.
+    travel_total_bits: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    micros: Vec<u64>,
+    next: usize,
+}
+
+impl ServerMetrics {
+    /// Folds one run's metrics into the aggregates.
+    pub fn record_run(&self, m: &RunMetrics) {
+        self.scenarios_run.fetch_add(1, Ordering::Relaxed);
+        if m.gathered {
+            self.runs_gathered.fetch_add(1, Ordering::Relaxed);
+        }
+        self.rounds_total.fetch_add(m.rounds, Ordering::Relaxed);
+        self.weiszfeld_iters_total
+            .fetch_add(m.weiszfeld_iters, Ordering::Relaxed);
+        self.classifications_total
+            .fetch_add(m.classifications, Ordering::Relaxed);
+        self.cache_hits_total
+            .fetch_add(m.cache_hits, Ordering::Relaxed);
+        let mut current = self.travel_total_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + m.total_travel).to_bits();
+            match self.travel_total_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Records one completed request's admission-to-response latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let mut ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        if ring.micros.len() < LATENCY_RING {
+            ring.micros.push(micros);
+        } else {
+            let at = ring.next;
+            ring.micros[at] = micros;
+        }
+        ring.next = (ring.next + 1) % LATENCY_RING;
+    }
+
+    /// Total distance travelled across all served runs.
+    pub fn travel_total(&self) -> f64 {
+        f64::from_bits(self.travel_total_bits.load(Ordering::Relaxed))
+    }
+
+    /// Latency quantile `q` in `[0, 1]` over the retained ring, in
+    /// milliseconds (`None` before the first completed request).
+    pub fn latency_quantile_ms(&self, q: f64) -> Option<f64> {
+        let ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.micros.is_empty() {
+            return None;
+        }
+        let mut sorted = ring.micros.clone();
+        drop(ring);
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank] as f64 / 1000.0)
+    }
+
+    /// Renders the text exposition (`queue_depth` and `queue_capacity` are
+    /// gauges owned by the admission queue, passed in by the server).
+    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        out.push_str("# gather-serve metrics, text exposition v1\n");
+        let counters: [(&str, &AtomicU64); 13] = [
+            ("gather_requests_accepted_total", &self.accepted),
+            ("gather_requests_rejected_full_total", &self.rejected_full),
+            (
+                "gather_requests_rejected_malformed_total",
+                &self.rejected_malformed,
+            ),
+            (
+                "gather_requests_rejected_shutdown_total",
+                &self.rejected_shutdown,
+            ),
+            ("gather_requests_completed_total", &self.completed),
+            ("gather_requests_expired_total", &self.expired),
+            ("gather_requests_failed_total", &self.failed),
+            ("gather_scenarios_run_total", &self.scenarios_run),
+            ("gather_runs_gathered_total", &self.runs_gathered),
+            ("gather_sim_rounds_total", &self.rounds_total),
+            (
+                "gather_sim_weiszfeld_iters_total",
+                &self.weiszfeld_iters_total,
+            ),
+            (
+                "gather_sim_classifications_total",
+                &self.classifications_total,
+            ),
+            ("gather_sim_cache_hits_total", &self.cache_hits_total),
+        ];
+        for (name, counter) in counters {
+            writeln!(out, "{name} {}", counter.load(Ordering::Relaxed)).expect("write to String");
+        }
+        writeln!(out, "gather_sim_travel_total {:?}", self.travel_total())
+            .expect("write to String");
+        writeln!(out, "gather_queue_depth {queue_depth}").expect("write to String");
+        writeln!(out, "gather_queue_capacity {queue_capacity}").expect("write to String");
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            if let Some(ms) = self.latency_quantile_ms(q) {
+                writeln!(
+                    out,
+                    "gather_request_latency_ms{{quantile=\"{label}\"}} {ms:.3}"
+                )
+                .expect("write to String");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(travel: f64, gathered: bool) -> RunMetrics {
+        RunMetrics {
+            gathered,
+            rounds: 10,
+            total_travel: travel,
+            class_rounds: Default::default(),
+            class_sequence: vec![],
+            transitions: Default::default(),
+            classifications: 4,
+            cache_hits: 2,
+            weiszfeld_iters: 3,
+        }
+    }
+
+    #[test]
+    fn aggregates_runs() {
+        let m = ServerMetrics::default();
+        m.record_run(&run(1.5, true));
+        m.record_run(&run(2.25, false));
+        assert_eq!(m.scenarios_run.load(Ordering::Relaxed), 2);
+        assert_eq!(m.runs_gathered.load(Ordering::Relaxed), 1);
+        assert_eq!(m.rounds_total.load(Ordering::Relaxed), 20);
+        assert_eq!(m.weiszfeld_iters_total.load(Ordering::Relaxed), 6);
+        assert!((m.travel_total() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let m = ServerMetrics::default();
+        assert_eq!(m.latency_quantile_ms(0.5), None);
+        for ms in 1..=100u64 {
+            m.record_latency(Duration::from_millis(ms));
+        }
+        let p50 = m.latency_quantile_ms(0.5).unwrap();
+        let p99 = m.latency_quantile_ms(0.99).unwrap();
+        assert!((49.0..=52.0).contains(&p50), "p50 = {p50}");
+        assert!((98.0..=100.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn ring_keeps_only_recent_latencies() {
+        let m = ServerMetrics::default();
+        for _ in 0..LATENCY_RING {
+            m.record_latency(Duration::from_millis(1));
+        }
+        for _ in 0..LATENCY_RING {
+            m.record_latency(Duration::from_millis(100));
+        }
+        assert!(m.latency_quantile_ms(0.5).unwrap() > 50.0);
+    }
+
+    #[test]
+    fn render_exposes_every_counter() {
+        let m = ServerMetrics::default();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.record_run(&run(0.5, true));
+        m.record_latency(Duration::from_millis(7));
+        let text = m.render(2, 32);
+        assert!(text.contains("gather_requests_accepted_total 3\n"));
+        assert!(text.contains("gather_queue_depth 2\n"));
+        assert!(text.contains("gather_queue_capacity 32\n"));
+        assert!(text.contains("gather_sim_travel_total 0.5\n"));
+        assert!(text.contains("gather_request_latency_ms{quantile=\"0.99\"}"));
+    }
+}

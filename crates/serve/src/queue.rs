@@ -1,0 +1,178 @@
+//! Bounded admission queue with wait-free admission.
+//!
+//! The serving layer mirrors the paper's wait-free design point at the
+//! admission boundary: a request is admitted or rejected *immediately* —
+//! [`Bounded::try_push`] never blocks on queue space, so no client ever
+//! waits behind an unbounded buffer (backpressure surfaces as HTTP 429
+//! instead). Only the consuming side blocks: the dispatcher parks in
+//! [`Bounded::pop`] until work or shutdown arrives.
+//!
+//! [`Bounded::close`] flips the queue into drain mode: further pushes are
+//! refused, pops keep returning queued items until the queue is empty and
+//! only then report exhaustion — exactly the graceful-shutdown semantics
+//! the server needs (admitted work always completes).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Bounded::try_push`] refused an item (the item is handed back so
+/// the caller can answer the client without cloning).
+#[derive(Debug)]
+pub enum Rejected<T> {
+    /// The queue was at capacity — backpressure (HTTP 429).
+    Full(T),
+    /// The queue was closed — shutdown in progress (HTTP 503).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer queue with blocking consumption and
+/// drain-on-close semantics.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Admits `item` if there is room, without ever waiting for space.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Full`] at capacity, [`Rejected::Closed`] after
+    /// [`close`](Bounded::close); both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), Rejected<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(Rejected::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(Rejected::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: subsequent pushes are refused, pops drain what is
+    /// already queued. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (a snapshot — the `/metrics` queue-depth
+    /// gauge).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Is the queue empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects_immediately() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(Rejected::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop is reusable");
+    }
+
+    #[test]
+    fn close_drains_then_reports_exhaustion() {
+        let q = Bounded::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        q.close(); // idempotent
+        match q.try_push("c") {
+            Err(Rejected::Closed(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_and_close_wakes_sleepers() {
+        let q = Arc::new(Bounded::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let first = q.pop();
+                let second = q.pop();
+                (first, second)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7u64).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let (first, second) = consumer.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(Rejected::Full(2))));
+    }
+}

@@ -1,0 +1,479 @@
+//! The batch scenario server: acceptor, connection handlers, admission
+//! queue and dispatcher.
+//!
+//! Thread architecture (all pure std):
+//!
+//! * **acceptor** — one thread on a non-blocking listener; spawns a
+//!   handler thread per connection, capped at
+//!   [`ServeConfig::max_connections`] (beyond the cap connections get an
+//!   immediate 503, never an unbounded thread herd);
+//! * **handlers** — parse HTTP/1.1 requests (keep-alive supported),
+//!   validate specs, and *admit or reject immediately*: if the bounded
+//!   queue is full the answer is 429 + `Retry-After` now, mirroring the
+//!   paper's wait-free design point at the serving layer — no request
+//!   ever waits on an unbounded buffer;
+//! * **dispatcher** — one thread draining the queue; each job's scenario
+//!   batch fans out over the server's persistent [`WorkerPool`], whose
+//!   long-lived workers recycle [`EngineParts`] across requests via the
+//!   runner's thread-local scratch (`runner::Scenario::run`);
+//! * **shutdown** — [`Server::shutdown`] stops the acceptor, closes the
+//!   queue (pushes refused, queued jobs drained), joins the dispatcher,
+//!   shuts the pool down, and joins every handler. Admitted work always
+//!   completes; idle keep-alive connections notice within the poll
+//!   interval and close.
+//!
+//! Determinism contract (DESIGN.md §11): a `200` response body is the
+//! concatenated [`RunMetrics::to_jsonl`] lines of the batch, in request
+//! order. Scenario execution is a pure function of the spec, worker
+//! recycling is observationally invisible, and the JSONL encoding is
+//! byte-exact — so the response for a given body is bit-identical to
+//! serialising the same scenarios run in-process, regardless of worker
+//! count, interleaving, or server uptime.
+//!
+//! [`EngineParts`]: gather_sim::EngineParts
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::metrics::ServerMetrics;
+use crate::queue::{Bounded, Rejected};
+use crate::spec::RunRequest;
+use gather_bench::pool::{self, WorkerPool};
+use gather_bench::runner::Scenario;
+use std::io::{self, BufRead, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often an idle keep-alive handler wakes to check for shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Transport budget for reading one request once its first byte arrived
+/// (slow-client guard; also bounds how long shutdown waits on a stuck
+/// handler).
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Pause between accept attempts on the non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker-pool threads (0 = `GATHER_THREADS` / available cores).
+    pub workers: usize,
+    /// Admission-queue capacity — the only buffering between admission
+    /// and execution; beyond it requests are rejected with 429.
+    pub queue_capacity: usize,
+    /// Scenarios allowed per request.
+    pub max_batch: usize,
+    /// Request-body size limit in bytes.
+    pub max_body_bytes: usize,
+    /// Queue-wait deadline applied when a request carries none.
+    pub default_deadline_ms: u64,
+    /// Concurrent connections before new ones get an immediate 503.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 32,
+            max_batch: 64,
+            max_body_bytes: 1 << 20,
+            default_deadline_ms: 30_000,
+            max_connections: 128,
+        }
+    }
+}
+
+/// The dispatcher's answer to one admitted request.
+enum Reply {
+    /// 200: the concatenated JSONL body.
+    Done(Vec<u8>),
+    /// 504: the queue-wait deadline passed before execution started.
+    Expired,
+    /// 500: a scenario panicked (message included).
+    Failed(String),
+}
+
+/// One admitted request.
+struct Job {
+    scenarios: Vec<Scenario>,
+    /// Queue-wait deadline: checked when the dispatcher *pops* the job; a
+    /// job that starts executing is never aborted mid-run.
+    deadline: Instant,
+    reply: mpsc::SyncSender<Reply>,
+}
+
+struct Inner {
+    config: ServeConfig,
+    queue: Bounded<Job>,
+    pool: WorkerPool,
+    metrics: ServerMetrics,
+    shutting_down: AtomicBool,
+}
+
+/// A running scenario service. Dropping (or calling
+/// [`shutdown`](Server::shutdown)) performs the full graceful-drain
+/// sequence.
+pub struct Server {
+    inner: Arc<Inner>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    port: u16,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let port = listener.local_addr()?.port();
+        let workers = if config.workers == 0 {
+            pool::default_threads()
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            queue: Bounded::new(config.queue_capacity),
+            pool: WorkerPool::new(workers),
+            metrics: ServerMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            config,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gather-serve-dispatch".to_string())
+                .spawn(move || dispatcher_loop(&inner))?
+        };
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("gather-serve-accept".to_string())
+                .spawn(move || acceptor_loop(&inner, &listener, &conns))?
+        };
+        Ok(Server {
+            inner,
+            conns,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+            port,
+        })
+    }
+
+    /// The bound port (useful with an ephemeral bind).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// `host:port` of the listening socket.
+    pub fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.port)
+    }
+
+    /// The server's counters (also served at `GET /metrics`).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.inner.metrics
+    }
+
+    /// Gracefully shuts down: refuse new work, drain admitted work, join
+    /// every thread. Blocks until the drain completes.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Ordering matters: flag first (new POSTs answer 503 and idle
+        // handlers begin closing), then stop accepting, then close the
+        // queue so the dispatcher drains admitted jobs and exits, then the
+        // pool (nothing submits to it once the dispatcher is gone), and
+        // only then join handlers — they all unblock once their replies
+        // arrive.
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.inner.queue.close();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        self.inner.pool.shutdown();
+        let handlers = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn dispatcher_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        if Instant::now() >= job.deadline {
+            inner.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Reply::Expired);
+            continue;
+        }
+        // A panicking scenario (an invariant violation, which validated
+        // specs should never trigger) must cost that request a 500, not
+        // the whole service — `run_batch` re-panics here after draining,
+        // and the pool stays usable for the next job.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            inner.pool.map(&job.scenarios, |s| s.run())
+        }));
+        let reply = match outcome {
+            Ok(runs) => {
+                let mut body = String::with_capacity(runs.len() * 256);
+                for metrics in &runs {
+                    inner.metrics.record_run(metrics);
+                    body.push_str(&metrics.to_jsonl());
+                    body.push('\n');
+                }
+                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                Reply::Done(body.into_bytes())
+            }
+            Err(payload) => {
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Reply::Failed(panic_message(payload))
+            }
+        };
+        // A handler that gave up is gone with its receiver; nothing to do.
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn acceptor_loop(
+    inner: &Arc<Inner>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let active = Arc::new(AtomicUsize::new(0));
+    while !inner.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if active.load(Ordering::Relaxed) >= inner.config.max_connections {
+                    let mut refused = Response::json_error(503, "connection limit reached");
+                    refused.close = true;
+                    let mut stream = stream;
+                    let _ = refused.write_to(&mut stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let handler = {
+                    let inner = Arc::clone(inner);
+                    let active = Arc::clone(&active);
+                    std::thread::Builder::new()
+                        .name("gather-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = connection_loop(&inner, stream);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        })
+                };
+                if let Ok(handle) = handler {
+                    let mut guard = conns.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.retain(|h| !h.is_finished());
+                    guard.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn connection_loop(inner: &Inner, stream: TcpStream) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    loop {
+        // Idle-poll between requests: wait for the first byte with a short
+        // timeout so shutdown closes idle keep-alive connections promptly.
+        // `fill_buf` consumes nothing, so a timeout here loses no data.
+        loop {
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // clean EOF
+                Ok(_) => break,
+                Err(e) if is_timeout(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // A request has begun: switch to the slow-client budget for the
+        // rest of its bytes.
+        stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT))?;
+        let outcome = http::read_request(&mut reader, inner.config.max_body_bytes);
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        let (mut response, keep_alive) = match outcome {
+            Ok(None) => return Ok(()),
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive;
+                (route(inner, &request), keep_alive)
+            }
+            Err(HttpError::Malformed(msg)) => {
+                inner
+                    .metrics
+                    .rejected_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                (Response::json_error(400, &msg), false)
+            }
+            Err(HttpError::TooLarge(what)) => {
+                inner
+                    .metrics
+                    .rejected_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                (Response::json_error(413, what), false)
+            }
+            Err(HttpError::Io(e)) => return Err(e),
+        };
+        if !keep_alive {
+            response.close = true;
+        }
+        response.write_to(&mut writer)?;
+        if response.close {
+            return Ok(());
+        }
+    }
+}
+
+fn route(inner: &Inner, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::new(200, "text/plain", "ok\n"),
+        ("GET", "/metrics") => Response::new(
+            200,
+            "text/plain; version=0.0.4",
+            inner
+                .metrics
+                .render(inner.queue.len(), inner.queue.capacity()),
+        ),
+        ("POST", "/run") => run_route(inner, request),
+        (_, "/run") | (_, "/metrics") | (_, "/healthz") => {
+            Response::json_error(405, "method not allowed (scenarios go to POST /run)")
+        }
+        _ => Response::json_error(
+            404,
+            "unknown path; try POST /run, GET /metrics, GET /healthz",
+        ),
+    }
+}
+
+fn run_route(inner: &Inner, request: &Request) -> Response {
+    let started = Instant::now();
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        inner
+            .metrics
+            .rejected_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::json_error(503, "server is shutting down");
+    }
+    let reject = |msg: &str| {
+        inner
+            .metrics
+            .rejected_malformed
+            .fetch_add(1, Ordering::Relaxed);
+        Response::json_error(400, msg)
+    };
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return reject("body is not UTF-8"),
+    };
+    let parsed = match RunRequest::parse(body, inner.config.max_batch) {
+        Ok(parsed) => parsed,
+        Err(e) => return reject(&e),
+    };
+    let scenarios: Vec<Scenario> = match parsed
+        .scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.to_scenario().map_err(|e| format!("scenario[{i}]: {e}")))
+        .collect()
+    {
+        Ok(scenarios) => scenarios,
+        Err(e) => return reject(&e),
+    };
+    let deadline_ms = parsed
+        .deadline_ms
+        .unwrap_or(inner.config.default_deadline_ms);
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = Job {
+        scenarios,
+        deadline: started + Duration::from_millis(deadline_ms),
+        reply: tx,
+    };
+    match inner.queue.try_push(job) {
+        Err(Rejected::Full(_)) => {
+            // Wait-free admission: the queue is the only buffer, and it is
+            // full — reject *now* instead of queueing unboundedly.
+            inner.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
+            let mut response = Response::json_error(429, "admission queue is full");
+            response.retry_after = Some(1);
+            response
+        }
+        Err(Rejected::Closed(_)) => {
+            inner
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            Response::json_error(503, "server is shutting down")
+        }
+        Ok(()) => {
+            inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            // The dispatcher replies to every admitted job (drain
+            // semantics), so a plain recv is safe; a dead dispatcher
+            // surfaces as a channel disconnect, not a hang.
+            match rx.recv() {
+                Ok(Reply::Done(body)) => {
+                    inner.metrics.record_latency(started.elapsed());
+                    Response::new(200, "application/x-ndjson", body)
+                }
+                Ok(Reply::Expired) => Response::json_error(
+                    504,
+                    "queue-wait deadline exceeded before execution started",
+                ),
+                Ok(Reply::Failed(msg)) => {
+                    Response::json_error(500, &format!("scenario execution panicked: {msg}"))
+                }
+                Err(_) => Response::json_error(500, "dispatcher unavailable"),
+            }
+        }
+    }
+}

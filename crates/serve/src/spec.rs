@@ -1,0 +1,438 @@
+//! The wire-level request model: JSON scenario specs, validated and
+//! mapped onto [`gather_bench::runner::Scenario`].
+//!
+//! A spec is pure data — `(workload, class, n, seed, faults, algorithm,
+//! scheduler, motion, delta, max_rounds)` — and the mapping to an initial
+//! configuration goes through `gather_workloads::by_name`, so a served
+//! run is *defined* to be the same pure function of its spec as an
+//! in-process experiment run. That definition is what the bit-identity
+//! contract (DESIGN.md §11) tests against.
+//!
+//! Validation is strict and total: unknown fields are rejected (a typoed
+//! `"classs"` must not silently fall back to a default), every numeric
+//! range is checked, and all failures surface as `Err` strings for the
+//! server to turn into HTTP 400 — a malformed spec can never panic a
+//! worker.
+
+use crate::json::Json;
+use gather_bench::factory;
+use gather_bench::runner::Scenario;
+use gather_config::Class;
+use gather_workloads as workloads;
+
+/// Largest admissible team size (a LOOK is Θ(n log n); this caps the cost
+/// any single spec can demand from a worker).
+pub const MAX_N: usize = 512;
+/// Largest admissible round budget per scenario.
+pub const MAX_ROUNDS: u64 = 500_000;
+/// Longest admissible per-request deadline.
+pub const MAX_DEADLINE_MS: u64 = 600_000;
+
+/// The JSON fields a spec may carry.
+const SPEC_FIELDS: [&str; 10] = [
+    "workload",
+    "class",
+    "n",
+    "seed",
+    "faults",
+    "algorithm",
+    "scheduler",
+    "motion",
+    "delta",
+    "max_rounds",
+];
+
+/// One validated scenario specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Workload family (see [`workloads::WORKLOAD_NAMES`]).
+    pub workload: String,
+    /// Target class for the `"class"` workload.
+    pub class: Option<Class>,
+    /// Team size.
+    pub n: usize,
+    /// Seed for every randomised component.
+    pub seed: u64,
+    /// Crash faults to inject.
+    pub faults: usize,
+    /// Algorithm name (validated against [`factory::ALGORITHMS`]).
+    pub algorithm: &'static str,
+    /// Scheduler name (validated against [`factory::SCHEDULERS`]).
+    pub scheduler: &'static str,
+    /// Motion-adversary name (validated against [`factory::MOTIONS`]).
+    pub motion: &'static str,
+    /// Minimum movement step δ.
+    pub delta: f64,
+    /// Round budget.
+    pub max_rounds: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        // Mirrors `Scenario::new`'s harness defaults.
+        ScenarioSpec {
+            workload: "class".to_string(),
+            class: Some(Class::Asymmetric),
+            n: 8,
+            seed: 0,
+            faults: 0,
+            algorithm: "wait-free-gather",
+            scheduler: "full",
+            motion: "full",
+            delta: 0.05,
+            max_rounds: 60_000,
+        }
+    }
+}
+
+/// Finds `name` in a static name table, returning the table's `'static`
+/// entry (so [`Scenario`]'s `&'static str` fields can be populated from
+/// owned JSON strings).
+fn lookup(kind: &str, name: &str, table: &[&'static str]) -> Result<&'static str, String> {
+    table
+        .iter()
+        .find(|&&t| t == name)
+        .copied()
+        .ok_or_else(|| format!("unknown {kind} {name:?}; known: {}", table.join(", ")))
+}
+
+fn field_u64(v: &Json, key: &str, max: u64) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => {
+            let x = x
+                .as_u64()
+                .ok_or_else(|| format!("{key:?} must be a non-negative integer"))?;
+            if x > max {
+                return Err(format!("{key:?} must be <= {max}, got {x}"));
+            }
+            Ok(Some(x))
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Parses and validates one spec object.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint (unknown field, missing or
+    /// out-of-range value, unknown name).
+    pub fn from_json(v: &Json) -> Result<ScenarioSpec, String> {
+        if !v.is_object() {
+            return Err("a scenario spec must be a JSON object".to_string());
+        }
+        if let Json::Obj(members) = v {
+            for (key, _) in members {
+                if !SPEC_FIELDS.contains(&key.as_str()) {
+                    return Err(format!(
+                        "unknown spec field {key:?}; known: {}",
+                        SPEC_FIELDS.join(", ")
+                    ));
+                }
+            }
+        }
+        let mut spec = ScenarioSpec::default();
+        if let Some(w) = v.get("workload") {
+            spec.workload = w
+                .as_str()
+                .ok_or("\"workload\" must be a string")?
+                .to_string();
+            if !workloads::WORKLOAD_NAMES.contains(&spec.workload.as_str()) {
+                return Err(format!(
+                    "unknown workload {:?}; known: {}",
+                    spec.workload,
+                    workloads::WORKLOAD_NAMES.join(", ")
+                ));
+            }
+            if spec.workload != "class" {
+                spec.class = None;
+            }
+        }
+        if let Some(c) = v.get("class") {
+            let name = c.as_str().ok_or("\"class\" must be a string")?;
+            spec.class =
+                Some(Class::from_short_name(name).ok_or_else(|| {
+                    format!("unknown class {name:?} (use B, M, L1W, L2W, QR, A)")
+                })?);
+        }
+        if let Some(n) = field_u64(v, "n", MAX_N as u64)? {
+            spec.n = n as usize;
+        }
+        if spec.n < 4 {
+            return Err(format!("\"n\" must be in 4..={MAX_N}, got {}", spec.n));
+        }
+        if let Some(seed) = field_u64(v, "seed", u64::MAX)? {
+            spec.seed = seed;
+        }
+        if let Some(faults) = field_u64(v, "faults", MAX_N as u64)? {
+            spec.faults = faults as usize;
+        }
+        if spec.faults >= spec.n {
+            return Err(format!(
+                "\"faults\" must be < n (crashing everyone forfeits gathering), got {} of {}",
+                spec.faults, spec.n
+            ));
+        }
+        if let Some(a) = v.get("algorithm") {
+            let name = a.as_str().ok_or("\"algorithm\" must be a string")?;
+            spec.algorithm = lookup("algorithm", name, &factory::ALGORITHMS)?;
+        }
+        if let Some(s) = v.get("scheduler") {
+            let name = s.as_str().ok_or("\"scheduler\" must be a string")?;
+            spec.scheduler = lookup("scheduler", name, &factory::SCHEDULERS)?;
+        }
+        if let Some(m) = v.get("motion") {
+            let name = m.as_str().ok_or("\"motion\" must be a string")?;
+            spec.motion = lookup("motion", name, &factory::MOTIONS)?;
+        }
+        if let Some(d) = v.get("delta") {
+            let d = d.as_f64().ok_or("\"delta\" must be a number")?;
+            if !(d > 0.0 && d <= 10.0) {
+                return Err(format!("\"delta\" must be in (0, 10], got {d}"));
+            }
+            spec.delta = d;
+        }
+        if let Some(r) = field_u64(v, "max_rounds", MAX_ROUNDS)? {
+            if r == 0 {
+                return Err("\"max_rounds\" must be >= 1".to_string());
+            }
+            spec.max_rounds = r;
+        }
+        Ok(spec)
+    }
+
+    /// Materialises the spec into a runnable [`Scenario`] (generating the
+    /// initial configuration from the workload family).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-constraint violations (e.g. class `B` with odd
+    /// `n`) — still a client error, still HTTP 400.
+    pub fn to_scenario(&self) -> Result<Scenario, String> {
+        let initial = workloads::by_name(&self.workload, self.class, self.n, self.seed)?;
+        Ok(Scenario {
+            initial,
+            algorithm: self.algorithm,
+            scheduler: self.scheduler,
+            motion: self.motion,
+            faults: self.faults,
+            delta: self.delta,
+            max_rounds: self.max_rounds,
+            seed: self.seed,
+        })
+    }
+
+    /// The spec as its canonical JSON object (inverse of
+    /// [`ScenarioSpec::from_json`]; used by the load generator to build
+    /// request bodies).
+    pub fn to_json(&self) -> String {
+        let class = match self.class {
+            Some(c) => format!("\"class\":\"{}\",", c.short_name()),
+            None => String::new(),
+        };
+        format!(
+            "{{\"workload\":\"{}\",{class}\"n\":{},\"seed\":{},\"faults\":{},\
+             \"algorithm\":\"{}\",\"scheduler\":\"{}\",\"motion\":\"{}\",\
+             \"delta\":{:?},\"max_rounds\":{}}}",
+            self.workload,
+            self.n,
+            self.seed,
+            self.faults,
+            self.algorithm,
+            self.scheduler,
+            self.motion,
+            self.delta,
+            self.max_rounds
+        )
+    }
+}
+
+/// A validated `POST /run` body: one or many scenario specs plus an
+/// optional queue-wait deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// The scenarios to execute, in order.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Milliseconds this request may wait in the admission queue before
+    /// the dispatcher discards it (server default when absent).
+    pub deadline_ms: Option<u64>,
+}
+
+impl RunRequest {
+    /// Parses a request body: either a single bare spec object or
+    /// `{"scenarios": [spec, ...], "deadline_ms": N}`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntactic or semantic violation (HTTP 400).
+    pub fn parse(body: &str, max_batch: usize) -> Result<RunRequest, String> {
+        let v = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let (specs_json, deadline_ms): (Vec<&Json>, Option<u64>) = if v.get("scenarios").is_some() {
+            let arr = v
+                .get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or("\"scenarios\" must be an array")?;
+            if let Json::Obj(members) = &v {
+                for (key, _) in members {
+                    if key != "scenarios" && key != "deadline_ms" {
+                        return Err(format!("unknown request field {key:?}"));
+                    }
+                }
+            }
+            let deadline = field_u64(&v, "deadline_ms", MAX_DEADLINE_MS)?;
+            (arr.iter().collect(), deadline)
+        } else {
+            (vec![&v], None)
+        };
+        if specs_json.is_empty() {
+            return Err("\"scenarios\" must not be empty".to_string());
+        }
+        if specs_json.len() > max_batch {
+            return Err(format!(
+                "batch of {} scenarios exceeds the per-request limit of {max_batch}",
+                specs_json.len()
+            ));
+        }
+        let scenarios = specs_json
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| ScenarioSpec::from_json(s).map_err(|e| format!("scenario[{i}]: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunRequest {
+            scenarios,
+            deadline_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_the_harness() {
+        let spec = ScenarioSpec::from_json(&Json::parse("{}").unwrap()).unwrap();
+        assert_eq!(spec, ScenarioSpec::default());
+        let scenario = spec.to_scenario().unwrap();
+        assert_eq!(scenario.algorithm, "wait-free-gather");
+        assert_eq!(scenario.delta, 0.05);
+        assert_eq!(scenario.max_rounds, 60_000);
+        assert_eq!(scenario.initial.len(), 8);
+    }
+
+    #[test]
+    fn full_spec_parses_and_maps() {
+        let body = r#"{"workload":"class","class":"QR","n":12,"seed":9,"faults":2,
+                       "algorithm":"center-of-gravity","scheduler":"round-robin",
+                       "motion":"delta","delta":0.1,"max_rounds":500}"#;
+        let spec = ScenarioSpec::from_json(&Json::parse(body).unwrap()).unwrap();
+        assert_eq!(spec.class, Some(Class::QuasiRegular));
+        assert_eq!(spec.n, 12);
+        assert_eq!(spec.faults, 2);
+        let scenario = spec.to_scenario().unwrap();
+        assert_eq!(scenario.initial.len(), 12);
+        assert_eq!(scenario.scheduler, "round-robin");
+        // The scenario is reproducible: same spec, same configuration.
+        assert_eq!(scenario.initial, spec.to_scenario().unwrap().initial);
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = ScenarioSpec {
+            n: 16,
+            seed: 42,
+            delta: 0.125,
+            ..ScenarioSpec::default()
+        };
+        let parsed = ScenarioSpec::from_json(&Json::parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        let scatter = ScenarioSpec {
+            workload: "scatter".to_string(),
+            class: None,
+            n: 6,
+            ..ScenarioSpec::default()
+        };
+        let parsed = ScenarioSpec::from_json(&Json::parse(&scatter.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, scatter);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (body, needle) in [
+            (r#"{"classs":"QR"}"#, "unknown spec field"),
+            (r#"{"n":3}"#, "must be in 4"),
+            (r#"{"n":100000}"#, "must be <="),
+            (r#"{"n":8,"faults":8}"#, "faults"),
+            (r#"{"class":"Z"}"#, "unknown class"),
+            (r#"{"workload":"warp"}"#, "unknown workload"),
+            (r#"{"algorithm":"magic"}"#, "unknown algorithm"),
+            (r#"{"scheduler":"magic"}"#, "unknown scheduler"),
+            (r#"{"motion":"magic"}"#, "unknown motion"),
+            (r#"{"delta":0}"#, "delta"),
+            (r#"{"delta":-1}"#, "delta"),
+            (r#"{"max_rounds":0}"#, ">= 1"),
+            (r#"{"max_rounds":1e12}"#, "must be <="),
+            (r#"{"n":"eight"}"#, "integer"),
+            (r#"[1,2]"#, "object"),
+        ] {
+            let err = Json::parse(body)
+                .map_err(|e| e.to_string())
+                .and_then(|v| ScenarioSpec::from_json(&v).map(|_| ()));
+            match err {
+                Err(e) => assert!(
+                    e.contains(needle),
+                    "{body}: error {e:?} should mention {needle:?}"
+                ),
+                Ok(()) => panic!("{body} should be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_request_accepts_bare_and_batched_bodies() {
+        let bare = RunRequest::parse(r#"{"n":8,"seed":1}"#, 4).unwrap();
+        assert_eq!(bare.scenarios.len(), 1);
+        assert_eq!(bare.deadline_ms, None);
+        let batch = RunRequest::parse(
+            r#"{"scenarios":[{"n":8},{"n":9,"seed":2}],"deadline_ms":1000}"#,
+            4,
+        )
+        .unwrap();
+        assert_eq!(batch.scenarios.len(), 2);
+        assert_eq!(batch.scenarios[1].n, 9);
+        assert_eq!(batch.deadline_ms, Some(1000));
+    }
+
+    #[test]
+    fn run_request_rejects_bad_batches() {
+        assert!(RunRequest::parse("not json", 4)
+            .unwrap_err()
+            .contains("JSON"));
+        assert!(RunRequest::parse(r#"{"scenarios":[]}"#, 4)
+            .unwrap_err()
+            .contains("empty"));
+        assert!(RunRequest::parse(r#"{"scenarios":[{},{},{}]}"#, 2)
+            .unwrap_err()
+            .contains("limit"));
+        assert!(RunRequest::parse(r#"{"scenarios":[{"n":1}]}"#, 4)
+            .unwrap_err()
+            .contains("scenario[0]"));
+        assert!(RunRequest::parse(r#"{"scenarios":[{}],"extra":1}"#, 4)
+            .unwrap_err()
+            .contains("unknown request field"));
+        assert!(RunRequest::parse(r#"{"scenarios":{}}"#, 4)
+            .unwrap_err()
+            .contains("array"));
+    }
+
+    #[test]
+    fn class_b_odd_n_is_a_client_error_not_a_panic() {
+        let spec = ScenarioSpec {
+            class: Some(Class::Bivalent),
+            n: 7,
+            ..ScenarioSpec::default()
+        };
+        assert!(spec.to_scenario().unwrap_err().contains("even"));
+    }
+}

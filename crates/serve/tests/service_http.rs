@@ -1,0 +1,247 @@
+//! HTTP behaviour of the service: status codes, backpressure, deadlines,
+//! keep-alive, metrics and graceful shutdown — all over real TCP.
+
+use gather_serve::{Client, ScenarioSpec, ServeConfig, Server};
+use std::time::Duration;
+
+/// A deterministic slow job: a 64-robot scatter under the δ-motion
+/// adversary with a tiny δ needs ~13k rounds to gather, so any smaller
+/// round cap burns its whole budget at a stable ~4 ms/round — long
+/// enough to hold the dispatcher while a test fills the queue behind it.
+fn slow_spec(rounds: u64) -> String {
+    ScenarioSpec {
+        workload: "scatter".to_string(),
+        class: None,
+        n: 64,
+        delta: 0.001,
+        motion: "delta",
+        max_rounds: rounds,
+        ..ScenarioSpec::default()
+    }
+    .to_json()
+}
+
+fn quick_spec() -> String {
+    ScenarioSpec {
+        max_rounds: 500,
+        ..ScenarioSpec::default()
+    }
+    .to_json()
+}
+
+#[test]
+fn health_metrics_and_errors() {
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.request("PUT", "/run", b"{}").unwrap().status, 405);
+    assert_eq!(
+        client.request("POST", "/run", b"not json").unwrap().status,
+        400
+    );
+    assert_eq!(
+        client.post_run("{\"n\":3}").unwrap().status,
+        400,
+        "out-of-range spec"
+    );
+    assert_eq!(
+        client.post_run("{\"class\":\"B\",\"n\":9}").unwrap().status,
+        400,
+        "class B needs even n — a client error, not a worker panic"
+    );
+
+    let ok = client.post_run(&quick_spec()).unwrap();
+    assert_eq!(ok.status, 200);
+
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(
+        metrics.contains("gather_requests_completed_total 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("gather_requests_rejected_malformed_total 3\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("gather_request_latency_ms{quantile=\"0.5\"}"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let server = Server::start(ServeConfig {
+        max_body_bytes: 256,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let big = format!("{{\"pad\":\"{}\"}}", "x".repeat(1024));
+    let response = client.request("POST", "/run", big.as_bytes()).unwrap();
+    assert_eq!(response.status, 413);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let mut bodies = Vec::new();
+    for _ in 0..3 {
+        let response = client.post_run(&quick_spec()).unwrap();
+        assert_eq!(response.status, 200);
+        bodies.push(response.body);
+    }
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[1], bodies[2]);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_429_and_retry_after() {
+    // One worker, capacity-1 queue: one slow job executing, one queued —
+    // the third must bounce with 429 immediately.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // Stagger the slow jobs so the first is executing and the second is
+    // the queue's sole slot before the probe fires.
+    let slow = slow_spec(600);
+    let mut busy = Vec::new();
+    for _ in 0..2 {
+        let addr = addr.clone();
+        let slow = slow.clone();
+        busy.push(std::thread::spawn(move || {
+            Client::connect(&addr)
+                .unwrap()
+                .post_run(&slow)
+                .unwrap()
+                .status
+        }));
+        std::thread::sleep(Duration::from_millis(300));
+    }
+
+    let mut probe = Client::connect(&addr).expect("connect");
+    let rejected = probe.post_run(&quick_spec()).unwrap();
+    assert_eq!(rejected.status, 429, "{}", rejected.text());
+    assert_eq!(
+        rejected.header("retry-after"),
+        Some("1"),
+        "backpressure must carry a retry hint"
+    );
+
+    for handle in busy {
+        assert_eq!(handle.join().unwrap(), 200, "admitted slow jobs complete");
+    }
+    let metrics = probe.get("/metrics").unwrap().text();
+    assert!(
+        metrics.contains("gather_requests_rejected_full_total"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_gets_504_without_running() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // Hold the dispatcher with a slow job...
+    let slow = slow_spec(300);
+    let busy = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            Client::connect(&addr)
+                .unwrap()
+                .post_run(&slow)
+                .unwrap()
+                .status
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // ...then queue a request whose deadline expires while it waits.
+    let impatient = format!("{{\"scenarios\":[{}],\"deadline_ms\":1}}", quick_spec());
+    let response = Client::connect(&addr)
+        .unwrap()
+        .post_run(&impatient)
+        .unwrap();
+    assert_eq!(response.status, 504, "{}", response.text());
+
+    assert_eq!(busy.join().unwrap(), 200);
+    let metrics = Client::connect(&addr)
+        .unwrap()
+        .get("/metrics")
+        .unwrap()
+        .text();
+    assert!(
+        metrics.contains("gather_requests_expired_total 1\n"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_work_and_stops_answering() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // Admit a job slow enough that shutdown provably overlaps it.
+    let slow = slow_spec(300);
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || Client::connect(&addr).unwrap().post_run(&slow).unwrap())
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    server.shutdown();
+
+    // The admitted request was drained, not dropped.
+    let response = in_flight.join().unwrap();
+    assert_eq!(response.status, 200, "admitted work survives shutdown");
+    assert!(!response.body.is_empty());
+
+    // And the listener is gone.
+    assert!(
+        Client::connect(&addr)
+            .and_then(|mut c| c.get("/healthz"))
+            .is_err(),
+        "port must stop answering after shutdown"
+    );
+}
+
+#[test]
+fn shutdown_with_idle_keep_alive_connections_does_not_hang() {
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let addr = server.addr();
+    // Three idle keep-alive connections (one did a request first).
+    let mut first = Client::connect(&addr).unwrap();
+    assert_eq!(first.get("/healthz").unwrap().status, 200);
+    let _second = Client::connect(&addr).unwrap();
+    let _third = Client::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait on idle connections ({}ms)",
+        started.elapsed().as_millis()
+    );
+}

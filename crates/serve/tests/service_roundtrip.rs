@@ -1,0 +1,119 @@
+//! The determinism contract, end to end: `POST /run` over real TCP must
+//! return bytes identical to running the same specs in-process and
+//! serialising with `RunMetrics::to_jsonl` — for every configuration
+//! class, for batches, and repeatably across requests.
+
+use gather_config::Class;
+use gather_serve::{Client, ScenarioSpec, ServeConfig, Server};
+
+fn test_server() -> Server {
+    Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start server on an ephemeral port")
+}
+
+fn local_jsonl(spec: &ScenarioSpec) -> String {
+    format!(
+        "{}\n",
+        spec.to_scenario().expect("valid spec").run().to_jsonl()
+    )
+}
+
+#[test]
+fn served_bytes_match_in_process_runs_for_all_six_classes() {
+    let server = test_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    for class in Class::all() {
+        let spec = ScenarioSpec {
+            class: Some(class),
+            seed: 13,
+            faults: 1,
+            max_rounds: 2_000,
+            ..ScenarioSpec::default()
+        };
+        let expected = local_jsonl(&spec);
+        let response = client.post_run(&spec.to_json()).expect("POST /run");
+        assert_eq!(
+            response.status,
+            200,
+            "class {}: {}",
+            class.short_name(),
+            response.text()
+        );
+        assert_eq!(
+            response.header("content-type"),
+            Some("application/x-ndjson")
+        );
+        assert_eq!(
+            response.body,
+            expected.as_bytes(),
+            "class {}: served bytes != in-process bytes",
+            class.short_name()
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn batched_scenarios_come_back_in_request_order_bit_identical() {
+    let server = test_server();
+    let specs: Vec<ScenarioSpec> = (0..5)
+        .map(|i| ScenarioSpec {
+            seed: 100 + i,
+            faults: (i % 3) as usize,
+            max_rounds: 1_500,
+            ..ScenarioSpec::default()
+        })
+        .collect();
+    let expected: String = specs.iter().map(local_jsonl).collect();
+    let body = format!(
+        "{{\"scenarios\":[{}]}}",
+        specs
+            .iter()
+            .map(ScenarioSpec::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let response = client.post_run(&body).expect("POST /run");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(response.body, expected.as_bytes());
+    // The pool fans the batch out across workers; order and bytes must
+    // nevertheless be reproducible on a second request.
+    let again = client.post_run(&body).expect("second POST /run");
+    assert_eq!(again.body, response.body);
+    server.shutdown();
+}
+
+#[test]
+fn workload_families_are_served_identically_too() {
+    let server = test_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    for workload in [
+        "scatter",
+        "clusters",
+        "co-circular",
+        "near-bivalent",
+        "axial",
+    ] {
+        let spec = ScenarioSpec {
+            workload: workload.to_string(),
+            class: None,
+            n: 9,
+            seed: 21,
+            max_rounds: 1_000,
+            ..ScenarioSpec::default()
+        };
+        let expected = local_jsonl(&spec);
+        let response = client.post_run(&spec.to_json()).expect("POST /run");
+        assert_eq!(response.status, 200, "{workload}: {}", response.text());
+        assert_eq!(
+            response.body,
+            expected.as_bytes(),
+            "{workload}: served bytes != in-process bytes"
+        );
+    }
+    server.shutdown();
+}

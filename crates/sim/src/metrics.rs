@@ -59,7 +59,201 @@ pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
     }
 }
 
+/// Fixed-order cursor over a JSONL line; the grammar is exactly the output
+/// of [`RunMetrics::to_jsonl`], so parsing needs no generic JSON machinery.
+struct Cursor<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn eat(&mut self, tok: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(tok) {
+            self.i += tok.len();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {tok:?} at byte {} of {:?}",
+                self.i, self.s
+            ))
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.s[self.i..].chars().next()
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let rest = &self.s[self.i..];
+        let end = rest.find(|c| !pred(c)).unwrap_or(rest.len());
+        self.i += end;
+        &rest[..end]
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        if self.eat("true").is_ok() {
+            Ok(true)
+        } else if self.eat("false").is_ok() {
+            Ok(false)
+        } else {
+            Err(format!("expected a bool at byte {}", self.i))
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let digits = self.take_while(|c| c.is_ascii_digit());
+        digits
+            .parse()
+            .map_err(|e| format!("bad integer {digits:?}: {e}"))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let num = self.take_while(|c| c.is_ascii_digit() || "+-.eE".contains(c));
+        num.parse().map_err(|e| format!("bad number {num:?}: {e}"))
+    }
+
+    fn class(&mut self) -> Result<Class, String> {
+        self.eat("\"")?;
+        let name = self.take_while(|c| c != '"');
+        let class =
+            Class::from_short_name(name).ok_or_else(|| format!("unknown class {name:?}"))?;
+        self.eat("\"")?;
+        Ok(class)
+    }
+}
+
 impl RunMetrics {
+    /// Serialises the record as one JSON line (no interior newline) — the
+    /// JSONL row format shared by the experiment tooling and the serving
+    /// layer's response/metrics endpoints.
+    ///
+    /// The encoding is **deterministic and byte-exact**: map entries are
+    /// emitted in `BTreeMap` (class-priority) order and floats use Rust's
+    /// shortest round-trip formatting, so equal metrics always produce
+    /// identical bytes and [`RunMetrics::from_jsonl`] recovers the value
+    /// bit-for-bit. The serving layer's bit-identical-response contract
+    /// (DESIGN.md §11) rests on this.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(256);
+        write!(
+            s,
+            "{{\"gathered\":{},\"rounds\":{},\"total_travel\":{:?}",
+            self.gathered, self.rounds, self.total_travel
+        )
+        .expect("write to String");
+        s.push_str(",\"class_rounds\":{");
+        for (i, (class, rounds)) in self.class_rounds.iter().enumerate() {
+            write!(
+                s,
+                "{}\"{}\":{}",
+                if i > 0 { "," } else { "" },
+                class.short_name(),
+                rounds
+            )
+            .expect("write to String");
+        }
+        s.push_str("},\"class_sequence\":[");
+        for (i, class) in self.class_sequence.iter().enumerate() {
+            write!(
+                s,
+                "{}\"{}\"",
+                if i > 0 { "," } else { "" },
+                class.short_name()
+            )
+            .expect("write to String");
+        }
+        s.push_str("],\"transitions\":[");
+        for (i, ((from, to), count)) in self.transitions.iter().enumerate() {
+            write!(
+                s,
+                "{}[\"{}\",\"{}\",{}]",
+                if i > 0 { "," } else { "" },
+                from.short_name(),
+                to.short_name(),
+                count
+            )
+            .expect("write to String");
+        }
+        write!(
+            s,
+            "],\"classifications\":{},\"cache_hits\":{},\"weiszfeld_iters\":{}}}",
+            self.classifications, self.cache_hits, self.weiszfeld_iters
+        )
+        .expect("write to String");
+        s
+    }
+
+    /// Parses a line produced by [`RunMetrics::to_jsonl`] (trailing
+    /// whitespace tolerated).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first deviation from the JSONL grammar.
+    pub fn from_jsonl(line: &str) -> Result<RunMetrics, String> {
+        let mut c = Cursor { s: line, i: 0 };
+        c.eat("{\"gathered\":")?;
+        let gathered = c.bool()?;
+        c.eat(",\"rounds\":")?;
+        let rounds = c.u64()?;
+        c.eat(",\"total_travel\":")?;
+        let total_travel = c.f64()?;
+        c.eat(",\"class_rounds\":{")?;
+        let mut class_rounds = BTreeMap::new();
+        while c.peek() != Some('}') {
+            if !class_rounds.is_empty() {
+                c.eat(",")?;
+            }
+            let class = c.class()?;
+            c.eat(":")?;
+            class_rounds.insert(class, c.u64()?);
+        }
+        c.eat("},\"class_sequence\":[")?;
+        let mut class_sequence = Vec::new();
+        while c.peek() != Some(']') {
+            if !class_sequence.is_empty() {
+                c.eat(",")?;
+            }
+            class_sequence.push(c.class()?);
+        }
+        c.eat("],\"transitions\":[")?;
+        let mut transitions = BTreeMap::new();
+        while c.peek() != Some(']') {
+            if !transitions.is_empty() {
+                c.eat(",")?;
+            }
+            c.eat("[")?;
+            let from = c.class()?;
+            c.eat(",")?;
+            let to = c.class()?;
+            c.eat(",")?;
+            let count = c.u64()?;
+            c.eat("]")?;
+            transitions.insert((from, to), count);
+        }
+        c.eat("],\"classifications\":")?;
+        let classifications = c.u64()?;
+        c.eat(",\"cache_hits\":")?;
+        let cache_hits = c.u64()?;
+        c.eat(",\"weiszfeld_iters\":")?;
+        let weiszfeld_iters = c.u64()?;
+        c.eat("}")?;
+        if !c.s[c.i..].trim().is_empty() {
+            return Err(format!("trailing content after record: {:?}", &c.s[c.i..]));
+        }
+        Ok(RunMetrics {
+            gathered,
+            rounds,
+            total_travel,
+            class_rounds,
+            class_sequence,
+            transitions,
+            classifications,
+            cache_hits,
+            weiszfeld_iters,
+        })
+    }
+
     /// Mean Weiszfeld solver iterations per executed round — the
     /// convergence-cost curve the F4/F6 runners plot (0 for a run with no
     /// rounds). Per-round values live in the trace's [`RoundRecord`]s.
@@ -147,5 +341,66 @@ mod tests {
         assert!(!m.gathered);
         assert_eq!(m.rounds, 50);
         assert!(format!("{m}").contains("NOT gathered"));
+    }
+
+    fn sample_metrics() -> RunMetrics {
+        let mut class_rounds = BTreeMap::new();
+        class_rounds.insert(Class::Asymmetric, 5);
+        class_rounds.insert(Class::Multiple, 7);
+        let mut transitions = BTreeMap::new();
+        transitions.insert((Class::Asymmetric, Class::Multiple), 1);
+        transitions.insert((Class::Multiple, Class::QuasiRegular), 2);
+        RunMetrics {
+            gathered: true,
+            rounds: 12,
+            // An awkward float: 0.1 + 0.2 has no short decimal form, so it
+            // exercises the shortest-round-trip serialisation for real.
+            total_travel: 0.1 + 0.2,
+            class_rounds,
+            class_sequence: vec![Class::Asymmetric, Class::Multiple, Class::QuasiRegular],
+            transitions,
+            classifications: 24,
+            cache_hits: 10,
+            weiszfeld_iters: 33,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_bit_exactly() {
+        let m = sample_metrics();
+        let line = m.to_jsonl();
+        assert!(!line.contains('\n'), "JSONL rows must be single lines");
+        let back = RunMetrics::from_jsonl(&line).expect("parse own output");
+        assert_eq!(back, m);
+        assert_eq!(back.total_travel.to_bits(), m.total_travel.to_bits());
+        // Byte-determinism: re-serialising the parsed value is identical.
+        assert_eq!(back.to_jsonl(), line);
+    }
+
+    #[test]
+    fn jsonl_round_trips_empty_aggregates() {
+        let m = summarize(RunOutcome::RoundLimit { rounds: 0 }, &Trace::new());
+        let line = m.to_jsonl();
+        assert_eq!(RunMetrics::from_jsonl(&line).expect("parse"), m);
+        assert_eq!(
+            line,
+            "{\"gathered\":false,\"rounds\":0,\"total_travel\":0.0,\
+             \"class_rounds\":{},\"class_sequence\":[],\"transitions\":[],\
+             \"classifications\":0,\"cache_hits\":0,\"weiszfeld_iters\":0}"
+        );
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(RunMetrics::from_jsonl("").is_err());
+        assert!(RunMetrics::from_jsonl("{}").is_err());
+        assert!(RunMetrics::from_jsonl("{\"gathered\":maybe").is_err());
+        let good = sample_metrics().to_jsonl();
+        assert!(RunMetrics::from_jsonl(&good[..good.len() - 1]).is_err());
+        assert!(RunMetrics::from_jsonl(&format!("{good}x")).is_err());
+        let bad_class = good.replace("\"QR\"", "\"ZZ\"");
+        assert!(RunMetrics::from_jsonl(&bad_class).is_err());
+        // Trailing whitespace (a newline from a JSONL file) is tolerated.
+        assert!(RunMetrics::from_jsonl(&format!("{good}\n")).is_ok());
     }
 }

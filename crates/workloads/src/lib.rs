@@ -368,6 +368,63 @@ pub fn of_class(class: Class, n: usize, seed: u64) -> Vec<Point> {
     pts
 }
 
+/// Workload family names accepted by [`by_name`], in documentation order.
+/// `"class"` additionally needs a [`Class`]; the rest ignore it.
+pub const WORKLOAD_NAMES: [&str; 6] = [
+    "class",
+    "scatter",
+    "clusters",
+    "co-circular",
+    "near-bivalent",
+    "axial",
+];
+
+/// Name-indexed workload construction — the spec→configuration mapping
+/// used by the serving layer (`gather-serve`) and any other tooling that
+/// receives workload choices as data rather than code.
+///
+/// Unlike the individual generators this never panics on bad input: every
+/// constraint (unknown name, missing class, `n` out of range) comes back
+/// as an `Err` describing the violation, so a network-facing caller can
+/// turn it into a 400 instead of a crashed worker. Like the generators it
+/// wraps, the result is a pure function of `(workload, class, n, seed)`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violated constraint.
+pub fn by_name(
+    workload: &str,
+    class: Option<Class>,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<Point>, String> {
+    if n < 4 {
+        return Err(format!("workload {workload:?} needs n >= 4, got {n}"));
+    }
+    match workload {
+        "class" => {
+            let class = class.ok_or_else(|| {
+                "workload \"class\" needs a class (one of B, M, L1W, L2W, QR, A)".to_string()
+            })?;
+            if class == Class::Bivalent && !n.is_multiple_of(2) {
+                // `of_class` would silently shrink to n - 1; a served
+                // request should get exactly what it asked for or an error.
+                return Err(format!("class B needs even n, got {n}"));
+            }
+            Ok(of_class(class, n, seed))
+        }
+        "scatter" => Ok(random_scatter(n, 10.0, seed)),
+        "clusters" => Ok(clusters(n, (n / 3).max(2).min(n), seed)),
+        "co-circular" => Ok(co_circular(n, 5.0, seed)),
+        "near-bivalent" => Ok(near_bivalent(n, 6.0)),
+        "axial" => Ok(axially_symmetric(n / 2, n % 2, seed)),
+        other => Err(format!(
+            "unknown workload {other:?}; known: {}",
+            WORKLOAD_NAMES.join(", ")
+        )),
+    }
+}
+
 /// The full class × seed cross product at size `n`: one configuration per
 /// pair, in deterministic `(Class::all(), 0..seeds)` order.
 ///
@@ -563,6 +620,31 @@ mod tests {
             assert_eq!((c1, s1), (c2, s2));
             assert_eq!(p1, p2);
         }
+    }
+
+    #[test]
+    fn by_name_covers_every_family_and_class() {
+        for name in WORKLOAD_NAMES {
+            let class = (name == "class").then_some(Class::QuasiRegular);
+            let pts = by_name(name, class, 8, 3).expect(name);
+            assert_eq!(pts.len(), 8, "workload {name}");
+            // Deterministic in (name, class, n, seed).
+            assert_eq!(by_name(name, class, 8, 3).unwrap(), pts);
+        }
+        for class in Class::all() {
+            let pts = by_name("class", Some(class), 8, 1).expect("class workload");
+            assert_eq!(class_of(&pts), class);
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_bad_specs_without_panicking() {
+        assert!(by_name("warp", None, 8, 0).unwrap_err().contains("unknown"));
+        assert!(by_name("class", None, 8, 0).unwrap_err().contains("class"));
+        assert!(by_name("scatter", None, 3, 0).unwrap_err().contains(">= 4"));
+        assert!(by_name("class", Some(Class::Bivalent), 7, 0)
+            .unwrap_err()
+            .contains("even"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ if [ -z "$NO_CHECK" ]; then
 fi
 
 echo "== build (once) =="
-cargo build --release -q -p gather-bench
+cargo build --release -q -p gather-bench -p gather-serve
 
 BINS="t1_theorem51 t2_baselines t3_bivalent t4_qr_detection t5_waitfree \
       t6_classification t7_byzantine f1_scaling f2_delta f3_transitions \
@@ -50,3 +50,8 @@ else
     run_one "$bin" "$@"
   done
 fi
+
+# The service load bench runs last and always in quick mode: the committed
+# BENCH_b8_service.json record is regenerated deliberately (full run, by
+# hand), not as a side effect of refreshing the result tables.
+run_one b8_service --quick "$@"

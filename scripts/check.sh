@@ -49,4 +49,12 @@ cargo run --release --offline -p gather-bench \
   --out "$smoke_out"
 rm -rf "$smoke_out"
 
+echo "== service-smoke (gather-serve over TCP) =="
+# Boots the scenario service on an ephemeral port and drives it with the
+# pure-Rust client over a real socket: one scenario request (response
+# asserted bit-identical to the in-process run), one malformed request
+# (must be 400, not a hang or 500), a /metrics scrape with counter
+# assertions, and a graceful shutdown that must leave the port dead.
+cargo run --release --offline -p gather-serve --bin b8_service -- --smoke
+
 echo "== check.sh: all gates passed =="
