@@ -15,7 +15,7 @@ use gather_bench::table::{f as fmt, Table};
 use gather_bench::Args;
 use gather_config::{Class, Configuration};
 use gather_geom::Tol;
-use gather_sim::Snapshot;
+use gather_sim::prelude::Snapshot;
 use gather_workloads as workloads;
 
 fn main() {

@@ -18,8 +18,8 @@
 use gather_bench::runner::mean;
 use gather_bench::table::{f, pct, Table};
 use gather_bench::Args;
-use gather_sim::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
 use gather_sim::prelude::*;
+use gather_sim::prelude::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
 use gather_workloads as workloads;
 use gathering::WaitFreeGather;
 

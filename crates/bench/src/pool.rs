@@ -19,10 +19,27 @@
 //! `Condvar` pair hands batches to workers, and an atomic cursor inside the
 //! batch lets workers claim indices without holding the lock.
 
+use gather_obs::Histogram;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-job pool instrumentation: concurrent histograms fed by every worker
+/// of an instrumented pool ([`WorkerPool::new_instrumented`]).
+///
+/// Recording is a few relaxed atomic increments per job (see
+/// [`Histogram::record`]) and happens only on pools that were given a
+/// handle — the default pools ([`WorkerPool::new`], [`global`]) skip all
+/// clock reads.
+#[derive(Debug, Default)]
+pub struct PoolObs {
+    /// Nanoseconds from batch submission to a worker claiming the job.
+    pub queue_wait: Histogram,
+    /// Nanoseconds a worker spent executing the job.
+    pub run_time: Histogram,
+}
 
 /// One submitted batch: a borrowed job (erased to a raw pointer — see the
 /// safety argument in [`WorkerPool::run_batch`]) plus the claim cursor.
@@ -30,6 +47,9 @@ struct Batch {
     job: *const (dyn Fn(usize) + Sync),
     len: usize,
     next: AtomicUsize,
+    /// When the batch entered the pool; per-job queue wait is measured
+    /// from here to the claiming worker's clock read.
+    submitted: Instant,
 }
 
 // SAFETY: `job` points at a `Sync` closure that the submitting thread keeps
@@ -56,6 +76,8 @@ struct Shared {
     /// Serialises `run_batch` callers so `completed`/`panicked` always
     /// refer to exactly one in-flight batch.
     submission: Mutex<()>,
+    /// Per-job histograms, when this pool is instrumented.
+    obs: Option<Arc<PoolObs>>,
 }
 
 /// A fixed-size pool of long-lived worker threads executing index batches.
@@ -100,6 +122,14 @@ fn worker_loop(shared: &Shared) {
             if i >= batch.len {
                 break;
             }
+            // Instrumented pools time each job; plain pools never read the
+            // clock here (one `Option` check per claim).
+            let claimed = shared.obs.as_deref().map(|obs| {
+                let now = Instant::now();
+                obs.queue_wait
+                    .record(now.duration_since(batch.submitted).as_nanos() as u64);
+                now
+            });
             // SAFETY: `i < len`, so the submitter is still blocked in
             // `run_batch` and the borrowed job is alive.
             let job = unsafe { &*batch.job };
@@ -112,6 +142,9 @@ fn worker_loop(shared: &Shared) {
                 // First message wins; keep draining so `completed` still
                 // reaches `len` and the submitter wakes up.
                 panic_msg.get_or_insert(msg);
+            }
+            if let (Some(obs), Some(claimed)) = (shared.obs.as_deref(), claimed) {
+                obs.run_time.record(claimed.elapsed().as_nanos() as u64);
             }
             done += 1;
         }
@@ -135,6 +168,21 @@ impl WorkerPool {
     ///
     /// Panics if the OS refuses to spawn a thread.
     pub fn new(threads: usize) -> Self {
+        Self::spawn(threads, None)
+    }
+
+    /// Spawns an *instrumented* pool: every job's queue wait and run time
+    /// is recorded into `obs` (shared with the caller, who reads quantiles
+    /// from it — the serving layer exposes them on `/v1/metrics`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    pub fn new_instrumented(threads: usize, obs: Arc<PoolObs>) -> Self {
+        Self::spawn(threads, Some(obs))
+    }
+
+    fn spawn(threads: usize, obs: Option<Arc<PoolObs>>) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -147,6 +195,7 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             batch_done: Condvar::new(),
             submission: Mutex::new(()),
+            obs,
         });
         let workers = (0..threads)
             .map(|i| {
@@ -214,6 +263,7 @@ impl WorkerPool {
             job,
             len,
             next: AtomicUsize::new(0),
+            submitted: Instant::now(),
         });
         let mut st = self.shared.state.lock().unwrap();
         if st.shutdown {
@@ -365,6 +415,25 @@ mod tests {
         // The pool must still process a clean follow-up batch.
         let out = pool.map(&items, |x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn instrumented_pool_times_every_job() {
+        let obs = Arc::new(PoolObs::default());
+        let pool = WorkerPool::new_instrumented(2, Arc::clone(&obs));
+        let items: Vec<u64> = (0..37).collect();
+        let out = pool.map(&items, |x| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            x + 1
+        });
+        assert_eq!(out.len(), 37);
+        assert_eq!(obs.queue_wait.count(), 37, "one wait sample per job");
+        assert_eq!(obs.run_time.count(), 37, "one run sample per job");
+        assert!(
+            obs.run_time.quantile(0.5) >= 50_000,
+            "jobs slept >= 50us: {:?}",
+            obs.run_time
+        );
     }
 
     #[test]

@@ -70,9 +70,43 @@ impl Scenario {
     /// allocation behaviour across sweep-item boundaries without the
     /// thread-local indirection.
     pub fn run_with(&self, parts: EngineParts) -> (RunMetrics, EngineParts) {
+        let mut engine = self.build_engine(parts, None);
+        let metrics = self.complete(&mut engine);
+        (metrics, engine.into_parts())
+    }
+
+    /// Runs the scenario with an attached observability handle and returns
+    /// the handle alongside the metrics. When the handle is *enabled* the
+    /// metrics carry per-phase wall-clock columns ([`RunMetrics::phase_ns`]);
+    /// a [`EngineObs::disabled`] handle measures the cost of carrying the
+    /// instrumentation without reading the clock.
+    pub fn run_observed(&self, obs: EngineObs) -> (RunMetrics, EngineObs) {
+        let mut engine = self.build_engine(EngineParts::default(), Some(obs));
+        let mut metrics = self.complete(&mut engine);
+        metrics.phase_ns = engine.phase_nanos();
+        let obs = engine
+            .take_observability()
+            .expect("engine keeps the handle it was built with");
+        (metrics, obs)
+    }
+
+    /// Runs the scenario with an *unbounded* trace and returns the metrics
+    /// plus the full per-round NDJSON stream ([`Trace::to_jsonl`]). This is
+    /// the in-process twin of the service's `GET /v1/trace` endpoint: the
+    /// returned string is byte-identical to the streamed response body.
+    pub fn run_traced(&self) -> (RunMetrics, String) {
+        let mut engine = self.build_engine(EngineParts::default(), None);
+        let metrics = self.complete(&mut engine);
+        (metrics, engine.trace().to_jsonl())
+    }
+
+    /// Builds the engine for this scenario. All `run*` entry points funnel
+    /// through here so instrumented and traced runs are configured
+    /// identically to plain ones.
+    fn build_engine(&self, parts: EngineParts, obs: Option<EngineObs>) -> Engine {
         let n = self.initial.len();
         let wait_free = self.algorithm == "wait-free-gather";
-        let mut engine = Engine::builder(self.initial.clone())
+        let mut builder = Engine::builder(self.initial.clone())
             .algorithm(factory::algorithm(self.algorithm))
             .scheduler(factory::scheduler(self.scheduler, n, self.seed))
             .motion(factory::motion(self.motion, self.seed.wrapping_add(1)))
@@ -88,11 +122,19 @@ impl Scenario {
             // Invariant monitors are part of the experiment only for the
             // wait-free algorithm; baselines violate them by design.
             .check_invariants(wait_free)
-            .recycle(parts)
-            .build();
+            .recycle(parts);
+        if let Some(obs) = obs {
+            builder = builder.observe(obs);
+        }
+        builder.build()
+    }
+
+    /// Drives a built engine to completion and summarises it, asserting the
+    /// invariant monitors stayed quiet for the paper's algorithm.
+    fn complete(&self, engine: &mut Engine) -> RunMetrics {
         let outcome = engine.run(self.max_rounds);
         let metrics = summarize(outcome, engine.trace());
-        if wait_free {
+        if self.algorithm == "wait-free-gather" {
             assert!(
                 engine.violations().is_empty(),
                 "invariant violations in {:?}: {:?}",
@@ -100,7 +142,7 @@ impl Scenario {
                 engine.violations()
             );
         }
-        (metrics, engine.into_parts())
+        metrics
     }
 }
 
@@ -175,6 +217,55 @@ mod tests {
         let s = Scenario::new(workloads::random_scatter(5, 5.0, 3), 3);
         let m = s.run();
         assert!(m.gathered);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_times_phases() {
+        let s = Scenario::new(workloads::random_scatter(5, 5.0, 3), 3);
+        let plain = s.run();
+        let (observed, obs) = s.run_observed(EngineObs::new(64));
+        assert!(observed.phase_ns.is_some(), "enabled handle times phases");
+        assert!(obs.totals().total() > 0);
+        assert!(!obs.rounds().is_empty());
+        // Identical behaviour modulo the timing columns.
+        let mut untimed = observed.clone();
+        untimed.phase_ns = None;
+        assert_eq!(plain.to_jsonl(), untimed.to_jsonl());
+
+        let (disabled, _) = s.run_observed(EngineObs::disabled());
+        assert!(disabled.phase_ns.is_none(), "disabled handle stays silent");
+    }
+
+    #[test]
+    fn weiszfeld_time_is_carved_out_of_classify() {
+        // The B1 warm-start workload: a quasi-regular ring set with an
+        // unoccupied centre, δ-creep motion — every round re-detects
+        // regularity through the numeric Weber candidate, so the solver
+        // runs and its time must land in the weiszfeld span.
+        let initial: Vec<_> = workloads::quasi_regular(4, 3, 11)
+            .into_iter()
+            .map(|p| gather_geom::Point::new(p.x * 5.0, p.y * 5.0))
+            .collect();
+        let mut s = Scenario::new(initial, 11);
+        s.scheduler = "round-robin";
+        s.motion = "delta";
+        s.delta = 0.01;
+        s.max_rounds = 200;
+        let (m, obs) = s.run_observed(EngineObs::new(64));
+        assert!(m.weiszfeld_iters > 0, "QR scenario exercises Weiszfeld");
+        assert!(
+            obs.totals().get(gather_obs::Phase::Weiszfeld) > 0,
+            "solver iterations must be charged to the weiszfeld phase: {:?}",
+            obs.totals()
+        );
+    }
+
+    #[test]
+    fn traced_run_streams_every_round() {
+        let s = Scenario::new(workloads::random_scatter(4, 4.0, 7), 7);
+        let (metrics, jsonl) = s.run_traced();
+        assert_eq!(jsonl.lines().count() as u64, metrics.rounds);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"round\":")));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use gather_config::Configuration;
 use gather_geom::{Point, Tol};
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 
 /// Agmon–Peleg-style 1-crash-tolerant gathering (reconstruction).
 #[derive(Debug, Clone, Copy, Default)]

@@ -10,7 +10,7 @@
 //! experiments report its round counts against the paper's algorithm.
 
 use gather_geom::{centroid, Point};
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 
 /// The gravitational (centre-of-gravity) convergence rule.
 #[derive(Debug, Clone, Copy, Default)]

@@ -14,7 +14,7 @@
 
 use gather_config::{view_of, Configuration};
 use gather_geom::{Point, Tol};
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 
 /// The classic "one robot walks, everyone waits" gathering rule.
 #[derive(Debug, Clone, Copy, Default)]

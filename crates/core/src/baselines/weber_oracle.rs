@@ -13,7 +13,7 @@
 //! around it elsewhere.
 
 use gather_geom::{weber_point_weiszfeld, Point, Tol};
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 
 /// Move-to-the-(numeric)-Weber-point oracle.
 #[derive(Debug, Clone, Copy, Default)]

@@ -3,7 +3,7 @@
 use crate::rules;
 use gather_config::{classify, Class};
 use gather_geom::{Point, Tol};
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 
 /// The paper's algorithm: crash-tolerant deterministic gathering in the
 /// ATOM model with strong multiplicity detection and chirality.

@@ -80,6 +80,22 @@ pub fn weiszfeld_iterations() -> u64 {
     WEISZFELD_ITERS.with(|c| c.get())
 }
 
+thread_local! {
+    /// Total nanoseconds this thread has spent inside the Weiszfeld solver.
+    static WEISZFELD_NANOS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total wall-clock nanoseconds the current thread has spent inside the
+/// Weiszfeld solver since it started. Monotone, like
+/// [`weiszfeld_iterations`]; callers diff two readings to attribute solver
+/// time to a code region — the engine's phase spans carve the per-round
+/// delta out of the classification phase. The counter is always on (the
+/// solver runs at most a few times per round, so the two clock reads per
+/// solve are noise next to the iteration itself).
+pub fn weiszfeld_nanos() -> u64 {
+    WEISZFELD_NANOS.with(|c| c.get())
+}
+
 /// Numerically computes the Weber point of `points` with the Weiszfeld
 /// iteration, using the Vardi–Zhang rule to step off input points (plain
 /// Weiszfeld is undefined when an iterate lands exactly on an input point,
@@ -132,7 +148,16 @@ pub fn weber_point_weiszfeld_from(initial: Point, points: &[Point], tol: Tol) ->
     weiszfeld_solve(points, tol, Some(initial))
 }
 
+/// Timing shim over [`weiszfeld_solve_inner`]: charges the solve's wall
+/// time to this thread's [`weiszfeld_nanos`] counter.
 fn weiszfeld_solve(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResult {
+    let started = std::time::Instant::now();
+    let result = weiszfeld_solve_inner(points, tol, warm);
+    WEISZFELD_NANOS.with(|c| c.set(c.get().saturating_add(started.elapsed().as_nanos() as u64)));
+    result
+}
+
+fn weiszfeld_solve_inner(points: &[Point], tol: Tol, warm: Option<Point>) -> WeberResult {
     assert!(!points.is_empty(), "Weber point of an empty configuration");
     let eps = tol.abs.max(1e-12);
 

@@ -1,0 +1,293 @@
+//! Log-bucketed concurrent histogram (HDR-style) over `u64` samples.
+//!
+//! Values below [`SUB_BUCKETS`] are counted exactly; every larger value
+//! lands in one of [`SUB_BUCKETS`] sub-buckets of its power-of-two
+//! octave, so the bucket lower bound under-estimates a recorded value by
+//! at most one sub-bucket width — a relative error of `1/SUB_BUCKETS`
+//! (6.25%). That resolution over the full `u64` range costs a fixed
+//! [`BUCKETS`] (= 976) atomic counters, allocated once at construction;
+//! recording is a few relaxed atomic RMWs and never allocates, so a
+//! histogram can sit on the serving or worker-pool hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-bucket count per octave.
+pub const SUB_BITS: u32 = 4;
+/// Sub-buckets per power-of-two octave (and the exact-count threshold).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Octave groups: values `< SUB_BUCKETS` plus one group per leading-bit
+/// position from `SUB_BITS` to 63 inclusive.
+pub const OCTAVES: usize = 64 - SUB_BITS as usize + 1;
+/// Total bucket count.
+pub const BUCKETS: usize = SUB_BUCKETS * OCTAVES;
+
+/// Bucket index of a value. Exact below [`SUB_BUCKETS`]; logarithmic
+/// with [`SUB_BUCKETS`] linear sub-buckets per octave above.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros(); // >= SUB_BITS
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((value >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (octave + 1) * SUB_BUCKETS + sub
+}
+
+/// Smallest value mapping to bucket `index` — the inverse of
+/// [`bucket_index`] on bucket lower bounds.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = index / SUB_BUCKETS - 1;
+    let sub = (index % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << octave
+}
+
+/// A concurrent log-bucketed histogram.
+///
+/// All methods take `&self`; ordering is relaxed throughout, so reads
+/// concurrent with writes see *some* recent state, which is all a
+/// metrics exposition needs.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The only allocation this type ever performs.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array from a vec.
+        let buckets: Box<[AtomicU64]> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = buckets.try_into().expect("BUCKETS-sized allocation");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free and allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower bound clamped
+    /// to the recorded `[min, max]`, so the 6.25% bucket error never
+    /// reports a value outside the observed range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_lower_bound(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; min/max
+    /// and sum/count folded in).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n > 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+            self.sum
+                .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.min
+                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max
+                .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn lower_bound_inverts_index_on_bucket_boundaries() {
+        for i in 0..BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "bucket {i} lower bound {lb}");
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_bounded() {
+        let mut prev = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 2 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(i < BUCKETS);
+            prev = i;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut v = SUB_BUCKETS as u64;
+        while v < u64::MAX / 3 {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v);
+            let err = (v - lb) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-12, "err {err} at {v}");
+            v = v.saturating_mul(7) / 3 + 13;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((450..=500).contains(&p50), "p50 {p50}");
+        assert!((920..=990).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) <= 1000);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(1);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.sum(), 1_000_106);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.min(), 0);
+        assert!(h.max() >= 30_000);
+    }
+}

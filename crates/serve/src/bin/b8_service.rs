@@ -4,7 +4,7 @@
 //!
 //! 1. **Bit-identity gate** (always on, also the point of the exercise):
 //!    for every configuration class B/M/L1W/L2W/QR/A, the bytes served by
-//!    `POST /run` must equal the bytes of the same spec run in-process
+//!    `POST /v1/run` must equal the bytes of the same spec run in-process
 //!    and serialised with `RunMetrics::to_jsonl` — the service adds
 //!    transport, not behaviour.
 //! 2. **Capacity probe**: sequential requests measure the service rate μ.
@@ -21,8 +21,8 @@
 //! Writes `BENCH_b8_service.json` (committed record) in full mode; with
 //! `--quick` or `--baseline` the fresh JSON goes to `--out` and the
 //! committed record is left untouched. `--smoke` runs the check.sh gate:
-//! one scenario request, one malformed request, a `/metrics` scrape and a
-//! graceful shutdown, all asserted, in well under a second.
+//! one scenario request, one streamed trace, one malformed request, a
+//! `/v1/metrics` scrape and a graceful shutdown, all asserted.
 
 use gather_bench::runner::percentile;
 use gather_bench::Args;
@@ -207,7 +207,7 @@ fn smoke() {
     let addr = server.addr();
     let mut client = Client::connect(&addr).expect("connect");
 
-    let health = client.get("/healthz").expect("GET /healthz");
+    let health = client.get("/v1/healthz").expect("GET /v1/healthz");
     assert_eq!(health.status, 200, "healthz: {}", health.text());
 
     // One real scenario request, checked against the in-process run.
@@ -225,22 +225,41 @@ fn smoke() {
         "served bytes must match the in-process run"
     );
 
+    // The streamed trace must be the in-process trace, byte for byte.
+    let traced = spec.to_scenario().expect("spec").run_traced().1;
+    let trace = client
+        .get_trace("seed=3&max_rounds=2000")
+        .expect("GET /v1/trace");
+    assert_eq!(trace.status, 200, "trace: {}", trace.text());
+    assert_eq!(
+        trace.body,
+        traced.as_bytes(),
+        "streamed trace must match the in-process trace"
+    );
+
     // One malformed request must be a 400, not a hang or a 500.
     let bad = client.post_run("{\"classs\":\"QR\"}").expect("POST bad");
     assert_eq!(bad.status, 400, "malformed spec: {}", bad.text());
     assert!(bad.text().contains("unknown spec field"), "{}", bad.text());
+    assert!(
+        bad.text().contains("\"code\":\"bad_spec\""),
+        "errors are structured JSON: {}",
+        bad.text()
+    );
 
     // The scrape must reflect both requests on the same keep-alive
     // connection.
-    let metrics = client.get("/metrics").expect("GET /metrics");
+    let metrics = client.get("/v1/metrics").expect("GET /v1/metrics");
     assert_eq!(metrics.status, 200);
     let text = metrics.text();
     for needle in [
-        "gather_requests_accepted_total 1\n",
-        "gather_requests_completed_total 1\n",
+        "gather_requests_accepted_total 2\n",
+        "gather_requests_completed_total 2\n",
         "gather_requests_rejected_malformed_total 1\n",
-        "gather_scenarios_run_total 1\n",
+        "gather_scenarios_run_total 2\n",
         "gather_queue_capacity 4\n",
+        "gather_request_phase_execute_ns_count 2\n",
+        "gather_pool_job_run_time_ns_count",
     ] {
         assert!(text.contains(needle), "metrics missing {needle:?}:\n{text}");
     }
@@ -249,11 +268,11 @@ fn smoke() {
     server.shutdown();
     assert!(
         Client::connect(&addr)
-            .and_then(|mut c| c.get("/healthz"))
+            .and_then(|mut c| c.get("/v1/healthz"))
             .is_err(),
         "server still answering after shutdown"
     );
-    println!("b8 smoke: OK (run + 400 + metrics + shutdown)");
+    println!("b8 smoke: OK (run + trace + 400 + metrics + shutdown)");
 }
 
 fn f(x: f64, places: usize) -> String {
@@ -316,7 +335,7 @@ fn main() {
     // Every request must be answered — completed or explicitly rejected —
     // and the served results must be the in-process results.
     let scrape = Client::connect(&addr)
-        .and_then(|mut c| c.get("/metrics"))
+        .and_then(|mut c| c.get("/v1/metrics"))
         .expect("final scrape");
     assert_eq!(scrape.status, 200);
     server.shutdown();

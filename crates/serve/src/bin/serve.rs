@@ -54,7 +54,7 @@ fn main() {
         }
     };
     println!("gather-serve listening on http://{}", server.addr());
-    println!("routes: POST /run, GET /metrics, GET /healthz");
+    println!("routes: POST /v1/run, GET /v1/trace, GET /v1/metrics, GET /v1/healthz");
     println!("close stdin (Ctrl-D) to drain and shut down");
 
     // Park until stdin EOF.

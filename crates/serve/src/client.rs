@@ -84,13 +84,28 @@ impl Client {
         self.request("GET", path, b"")
     }
 
-    /// Convenience: `POST /run` with a JSON body.
+    /// Convenience: `POST /v1/run` with a JSON body.
     ///
     /// # Errors
     ///
     /// Same as [`request`](Client::request).
     pub fn post_run(&mut self, json_body: &str) -> io::Result<ClientResponse> {
-        self.request("POST", "/run", json_body.as_bytes())
+        self.request("POST", "/v1/run", json_body.as_bytes())
+    }
+
+    /// Convenience: `GET /v1/trace` with query-string spec parameters
+    /// (e.g. `n=8&seed=1`). The chunked NDJSON response arrives fully
+    /// decoded in [`ClientResponse::body`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`request`](Client::request).
+    pub fn get_trace(&mut self, query: &str) -> io::Result<ClientResponse> {
+        if query.is_empty() {
+            self.request("GET", "/v1/trace", b"")
+        } else {
+            self.request("GET", &format!("/v1/trace?{query}"), b"")
+        }
     }
 
     fn read_line(&mut self) -> io::Result<String> {
@@ -134,6 +149,13 @@ impl Client {
             headers,
             body: Vec::new(),
         };
+        if response
+            .header("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            let body = self.read_chunked_body()?;
+            return Ok(ClientResponse { body, ..response });
+        }
         let len: usize = response
             .header("content-length")
             .and_then(|v| v.parse().ok())
@@ -146,5 +168,38 @@ impl Client {
         let mut body = vec![0u8; len];
         self.reader.read_exact(&mut body)?;
         Ok(ClientResponse { body, ..response })
+    }
+
+    /// Decodes a chunked body: hex size line, that many bytes, CRLF,
+    /// repeated until the `0` chunk and its trailing blank line.
+    fn read_chunked_body(&mut self) -> io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let size_line = self.read_line()?;
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad chunk size line {size_line:?}"),
+                )
+            })?;
+            if size == 0 {
+                // Trailer section: blank line terminates the response.
+                loop {
+                    if self.read_line()?.is_empty() {
+                        return Ok(body);
+                    }
+                }
+            }
+            let at = body.len();
+            body.resize(at + size, 0);
+            self.reader.read_exact(&mut body[at..])?;
+            let crlf = self.read_line()?;
+            if !crlf.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "chunk data not followed by CRLF",
+                ));
+            }
+        }
     }
 }

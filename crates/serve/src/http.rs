@@ -38,6 +38,8 @@ pub struct Request {
     pub method: String,
     /// Path without the query string.
     pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
     /// Headers in arrival order, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The body (empty without `Content-Length`).
@@ -122,7 +124,10 @@ pub fn read_request<R: BufRead>(
             "unsupported request line {request_line:?}"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -142,6 +147,7 @@ pub fn read_request<R: BufRead>(
     let mut request = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
         keep_alive: version == "HTTP/1.1",
@@ -172,6 +178,9 @@ pub fn read_request<R: BufRead>(
     Ok(Some(request))
 }
 
+/// Maximum payload of a single chunk in chunked transfer encoding.
+const CHUNK_SIZE: usize = 16 * 1024;
+
 /// A response ready to serialise.
 #[derive(Debug)]
 pub struct Response {
@@ -183,6 +192,11 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Emit `Retry-After: N` (the 429 backpressure hint).
     pub retry_after: Option<u64>,
+    /// Emit `Deprecation: true` (answering on a pre-`/v1` legacy alias).
+    pub deprecation: bool,
+    /// Serialise the body with chunked transfer encoding instead of
+    /// `Content-Length` (streaming endpoints).
+    pub chunked: bool,
     /// Emit `Connection: close` and let the caller drop the connection.
     pub close: bool,
 }
@@ -195,16 +209,26 @@ impl Response {
             content_type,
             body: body.into(),
             retry_after: None,
+            deprecation: false,
+            chunked: false,
             close: false,
         }
     }
 
-    /// A `{"error": "..."}` JSON response.
-    pub fn json_error(status: u16, message: &str) -> Response {
+    /// A structured `{"code","message","retryable"}` JSON error — the one
+    /// error shape every endpoint answers with. `retryable` is derived
+    /// from the status: timeouts and backpressure (408/429/503/504) are
+    /// worth retrying, client and server bugs are not.
+    pub fn error(status: u16, code: &str, message: &str) -> Response {
+        let retryable = matches!(status, 408 | 429 | 503 | 504);
         Response::new(
             status,
             "application/json",
-            format!("{{\"error\":\"{}\"}}\n", crate::json::escape(message)),
+            format!(
+                "{{\"code\":\"{}\",\"message\":\"{}\",\"retryable\":{retryable}}}\n",
+                crate::json::escape(code),
+                crate::json::escape(message),
+            ),
         )
     }
 
@@ -227,26 +251,47 @@ impl Response {
 
     /// Serialises status line, headers and body onto `w` (flushes).
     ///
+    /// With `chunked` set the body goes out as chunked transfer encoding
+    /// (chunks of at most 16 KiB, closed by a `0\r\n\r\n` terminator);
+    /// otherwise as a `Content-Length` body. The payload bytes are
+    /// identical either way — chunking is pure framing.
+    ///
     /// # Errors
     ///
     /// Propagates transport errors.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
         )?;
+        if self.chunked {
+            write!(w, "transfer-encoding: chunked\r\n")?;
+        } else {
+            write!(w, "content-length: {}\r\n", self.body.len())?;
+        }
         if let Some(secs) = self.retry_after {
             write!(w, "retry-after: {secs}\r\n")?;
+        }
+        if self.deprecation {
+            write!(w, "deprecation: true\r\n")?;
         }
         if self.close {
             write!(w, "connection: close\r\n")?;
         }
         w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        if self.chunked {
+            for chunk in self.body.chunks(CHUNK_SIZE) {
+                write!(w, "{:x}\r\n", chunk.len())?;
+                w.write_all(chunk)?;
+                w.write_all(b"\r\n")?;
+            }
+            w.write_all(b"0\r\n\r\n")?;
+        } else {
+            w.write_all(&self.body)?;
+        }
         w.flush()
     }
 }
@@ -267,6 +312,7 @@ mod tests {
             .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/run");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"body");
         assert!(req.keep_alive);
@@ -345,12 +391,52 @@ mod tests {
     }
 
     #[test]
-    fn error_bodies_are_json() {
-        let resp = Response::json_error(429, "queue full");
+    fn error_bodies_are_structured_json() {
+        let resp = Response::error(429, "queue_full", "admission queue is full");
         assert_eq!(resp.status, 429);
         assert_eq!(resp.reason(), "Too Many Requests");
         let body = String::from_utf8(resp.body).unwrap();
-        assert_eq!(body, "{\"error\":\"queue full\"}\n");
+        assert_eq!(
+            body,
+            "{\"code\":\"queue_full\",\"message\":\"admission queue is full\",\"retryable\":true}\n"
+        );
+        let resp = Response::error(400, "bad_spec", "x");
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"retryable\":false"));
+    }
+
+    #[test]
+    fn chunked_serialisation_frames_the_same_bytes() {
+        let payload = vec![b'x'; CHUNK_SIZE + 5];
+        let mut resp = Response::new(200, "application/x-ndjson", payload.clone());
+        resp.chunked = true;
+        resp.deprecation = true;
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("deprecation: true\r\n"));
+        assert!(!text.contains("content-length"));
+        // One full 16 KiB chunk, one 5-byte chunk, then the terminator.
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        assert!(body.starts_with("4000\r\n"));
+        assert!(body.ends_with("5\r\nxxxxx\r\n0\r\n\r\n"));
+        let decoded: Vec<u8> = body
+            .split("\r\n")
+            .scan(true, |is_size, part| {
+                let take = if *is_size {
+                    None
+                } else {
+                    Some(part.as_bytes())
+                };
+                *is_size = !*is_size;
+                Some(take)
+            })
+            .flatten()
+            .flat_map(|b| b.iter().copied())
+            .collect();
+        assert_eq!(decoded, payload);
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub mod server;
 pub mod spec;
 
 pub use client::{Client, ClientResponse};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, TRACE_MAX_ROUNDS};
 pub use spec::{RunRequest, ScenarioSpec};

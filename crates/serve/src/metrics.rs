@@ -8,6 +8,8 @@
 //! lines, `{quantile="..."}` labels) rendered by hand — no external
 //! dependencies.
 
+use gather_bench::pool::PoolObs;
+use gather_obs::Histogram;
 use gather_sim::metrics::RunMetrics;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -15,6 +17,20 @@ use std::time::Duration;
 
 /// Latencies kept for the quantile gauges (newest overwrite oldest).
 const LATENCY_RING: usize = 1024;
+
+/// Per-request phase timings (log-bucketed, lock-free): how long request
+/// handling spent parsing/validating, waiting in the admission queue, and
+/// executing on the pool. The serving-layer counterpart of the engine's
+/// per-round phase spans.
+#[derive(Debug, Default)]
+pub struct RequestPhases {
+    /// Parse + validation time, admission-path only (ns).
+    pub parse: Histogram,
+    /// Admission-to-dispatch queue wait (ns).
+    pub queue_wait: Histogram,
+    /// Pool execution time of the whole batch (ns).
+    pub execute: Histogram,
+}
 
 /// Shared counters for one server instance.
 #[derive(Debug, Default)]
@@ -47,6 +63,8 @@ pub struct ServerMetrics {
     pub cache_hits_total: AtomicU64,
     /// Total distance travelled, accumulated as f64 bits under a CAS loop.
     travel_total_bits: AtomicU64,
+    /// Per-request phase histograms (parse / queue wait / execute).
+    pub phases: RequestPhases,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -118,8 +136,14 @@ impl ServerMetrics {
     }
 
     /// Renders the text exposition (`queue_depth` and `queue_capacity` are
-    /// gauges owned by the admission queue, passed in by the server).
-    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> String {
+    /// gauges owned by the admission queue, `pool` the worker pool's
+    /// queue-wait/run-time histograms — both passed in by the server).
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        pool: Option<&PoolObs>,
+    ) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(1024);
         out.push_str("# gather-serve metrics, text exposition v1\n");
@@ -166,7 +190,40 @@ impl ServerMetrics {
                 .expect("write to String");
             }
         }
+        write_histogram(
+            &mut out,
+            "gather_request_phase_parse_ns",
+            &self.phases.parse,
+        );
+        write_histogram(
+            &mut out,
+            "gather_request_phase_queue_wait_ns",
+            &self.phases.queue_wait,
+        );
+        write_histogram(
+            &mut out,
+            "gather_request_phase_execute_ns",
+            &self.phases.execute,
+        );
+        if let Some(pool) = pool {
+            write_histogram(&mut out, "gather_pool_job_queue_wait_ns", &pool.queue_wait);
+            write_histogram(&mut out, "gather_pool_job_run_time_ns", &pool.run_time);
+        }
         out
+    }
+}
+
+/// Emits one histogram as a count plus p50/p99/max quantile gauges (skipped
+/// entirely while empty, matching the latency-gauge convention above).
+fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
+    use std::fmt::Write;
+    let count = h.count();
+    if count == 0 {
+        return;
+    }
+    writeln!(out, "{name}_count {count}").expect("write to String");
+    for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("1", 1.0)] {
+        writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q)).expect("write to String");
     }
 }
 
@@ -185,6 +242,7 @@ mod tests {
             classifications: 4,
             cache_hits: 2,
             weiszfeld_iters: 3,
+            phase_ns: None,
         }
     }
 
@@ -231,11 +289,32 @@ mod tests {
         m.accepted.fetch_add(3, Ordering::Relaxed);
         m.record_run(&run(0.5, true));
         m.record_latency(Duration::from_millis(7));
-        let text = m.render(2, 32);
+        let text = m.render(2, 32, None);
         assert!(text.contains("gather_requests_accepted_total 3\n"));
         assert!(text.contains("gather_queue_depth 2\n"));
         assert!(text.contains("gather_queue_capacity 32\n"));
         assert!(text.contains("gather_sim_travel_total 0.5\n"));
         assert!(text.contains("gather_request_latency_ms{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn render_exposes_phase_and_pool_histograms() {
+        let m = ServerMetrics::default();
+        // Empty histograms are omitted from the exposition.
+        assert!(!m
+            .render(0, 32, None)
+            .contains("gather_request_phase_parse_ns"));
+        m.phases.parse.record(1_000);
+        m.phases.queue_wait.record(2_000);
+        m.phases.execute.record(3_000);
+        let pool = PoolObs::default();
+        pool.queue_wait.record(10);
+        pool.run_time.record(20);
+        let text = m.render(0, 32, Some(&pool));
+        assert!(text.contains("gather_request_phase_parse_ns_count 1\n"));
+        assert!(text.contains("gather_request_phase_queue_wait_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("gather_request_phase_execute_ns{quantile=\"1\"}"));
+        assert!(text.contains("gather_pool_job_queue_wait_ns_count 1\n"));
+        assert!(text.contains("gather_pool_job_run_time_ns_count 1\n"));
     }
 }

@@ -35,8 +35,8 @@
 use crate::http::{self, HttpError, Request, Response};
 use crate::metrics::ServerMetrics;
 use crate::queue::{Bounded, Rejected};
-use crate::spec::RunRequest;
-use gather_bench::pool::{self, WorkerPool};
+use crate::spec::{RunRequest, ScenarioSpec};
+use gather_bench::pool::{self, PoolObs, WorkerPool};
 use gather_bench::runner::Scenario;
 use std::io::{self, BufRead, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
@@ -54,6 +54,10 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Pause between accept attempts on the non-blocking listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Round-budget ceiling for `GET /v1/trace` — every round becomes one
+/// response line, so traced runs get a tighter cap than `/v1/run`'s
+/// [`crate::spec::MAX_ROUNDS`].
+pub const TRACE_MAX_ROUNDS: u64 = 100_000;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -99,12 +103,23 @@ enum Reply {
     Failed(String),
 }
 
+/// What the dispatcher executes for one admitted request.
+enum Work {
+    /// `POST /v1/run`: a scenario batch, answered with summary JSONL.
+    Run(Vec<Scenario>),
+    /// `GET /v1/trace`: one scenario, answered with its full per-round
+    /// NDJSON trace.
+    Trace(Scenario),
+}
+
 /// One admitted request.
 struct Job {
-    scenarios: Vec<Scenario>,
+    work: Work,
     /// Queue-wait deadline: checked when the dispatcher *pops* the job; a
     /// job that starts executing is never aborted mid-run.
     deadline: Instant,
+    /// Admission time, feeding the queue-wait phase histogram.
+    admitted: Instant,
     reply: mpsc::SyncSender<Reply>,
 }
 
@@ -112,6 +127,9 @@ struct Inner {
     config: ServeConfig,
     queue: Bounded<Job>,
     pool: WorkerPool,
+    /// Per-job pool histograms (the pool is built instrumented; recording
+    /// is a few relaxed atomic increments per job).
+    pool_obs: Arc<PoolObs>,
     metrics: ServerMetrics,
     shutting_down: AtomicBool,
 }
@@ -141,9 +159,11 @@ impl Server {
         } else {
             config.workers
         };
+        let pool_obs = Arc::new(PoolObs::default());
         let inner = Arc::new(Inner {
             queue: Bounded::new(config.queue_capacity),
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::new_instrumented(workers, Arc::clone(&pool_obs)),
+            pool_obs,
             metrics: ServerMetrics::default(),
             shutting_down: AtomicBool::new(false),
             config,
@@ -229,8 +249,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// Nanoseconds since `since`, saturated into a histogram-friendly `u64`.
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 fn dispatcher_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
+        inner
+            .metrics
+            .phases
+            .queue_wait
+            .record(elapsed_ns(job.admitted));
         if Instant::now() >= job.deadline {
             inner.metrics.expired.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(Reply::Expired);
@@ -240,19 +270,13 @@ fn dispatcher_loop(inner: &Inner) {
         // specs should never trigger) must cost that request a 500, not
         // the whole service — `run_batch` re-panics here after draining,
         // and the pool stays usable for the next job.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            inner.pool.map(&job.scenarios, |s| s.run())
-        }));
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, &job.work)));
+        inner.metrics.phases.execute.record(elapsed_ns(started));
         let reply = match outcome {
-            Ok(runs) => {
-                let mut body = String::with_capacity(runs.len() * 256);
-                for metrics in &runs {
-                    inner.metrics.record_run(metrics);
-                    body.push_str(&metrics.to_jsonl());
-                    body.push('\n');
-                }
+            Ok(body) => {
                 inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                Reply::Done(body.into_bytes())
+                Reply::Done(body)
             }
             Err(payload) => {
                 inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
@@ -261,6 +285,34 @@ fn dispatcher_loop(inner: &Inner) {
         };
         // A handler that gave up is gone with its receiver; nothing to do.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// Runs one job's work on the pool and renders the 200 body.
+fn execute(inner: &Inner, work: &Work) -> Vec<u8> {
+    match work {
+        Work::Run(scenarios) => {
+            let runs = inner.pool.map(scenarios, |s| s.run());
+            let mut body = String::with_capacity(runs.len() * 256);
+            for metrics in &runs {
+                inner.metrics.record_run(metrics);
+                body.push_str(&metrics.to_jsonl());
+                body.push('\n');
+            }
+            body.into_bytes()
+        }
+        Work::Trace(scenario) => {
+            // A single-item batch on the pool, so a traced run recycles
+            // worker-thread engine scratch exactly like a summarised one.
+            // The body is `Trace::to_jsonl` verbatim — the bit-identity
+            // contract extends to streamed traces (DESIGN.md §11).
+            let mut results = inner
+                .pool
+                .map(std::slice::from_ref(scenario), |s| s.run_traced());
+            let (metrics, jsonl) = results.pop().expect("one traced scenario in, one out");
+            inner.metrics.record_run(&metrics);
+            jsonl.into_bytes()
+        }
     }
 }
 
@@ -280,7 +332,8 @@ fn acceptor_loop(
                     continue;
                 }
                 if active.load(Ordering::Relaxed) >= inner.config.max_connections {
-                    let mut refused = Response::json_error(503, "connection limit reached");
+                    let mut refused =
+                        Response::error(503, "connection_limit", "connection limit reached");
                     refused.close = true;
                     let mut stream = stream;
                     let _ = refused.write_to(&mut stream);
@@ -354,14 +407,14 @@ fn connection_loop(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                     .metrics
                     .rejected_malformed
                     .fetch_add(1, Ordering::Relaxed);
-                (Response::json_error(400, &msg), false)
+                (Response::error(400, "malformed_request", &msg), false)
             }
             Err(HttpError::TooLarge(what)) => {
                 inner
                     .metrics
                     .rejected_malformed
                     .fetch_add(1, Ordering::Relaxed);
-                (Response::json_error(413, what), false)
+                (Response::error(413, "too_large", what), false)
             }
             Err(HttpError::Io(e)) => return Err(e),
         };
@@ -376,24 +429,45 @@ fn connection_loop(inner: &Inner, stream: TcpStream) -> io::Result<()> {
 }
 
 fn route(inner: &Inner, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    // `/v1/...` is the versioned surface; the un-prefixed paths predate it
+    // and remain as aliases that answer with a `Deprecation` header.
+    let (path, legacy) = match request.path.strip_prefix("/v1") {
+        Some(rest) => (rest, false),
+        None => (request.path.as_str(), true),
+    };
+    let mut response = match (request.method.as_str(), path) {
         ("GET", "/healthz") => Response::new(200, "text/plain", "ok\n"),
         ("GET", "/metrics") => Response::new(
             200,
             "text/plain; version=0.0.4",
-            inner
-                .metrics
-                .render(inner.queue.len(), inner.queue.capacity()),
+            inner.metrics.render(
+                inner.queue.len(),
+                inner.queue.capacity(),
+                Some(&inner.pool_obs),
+            ),
         ),
         ("POST", "/run") => run_route(inner, request),
-        (_, "/run") | (_, "/metrics") | (_, "/healthz") => {
-            Response::json_error(405, "method not allowed (scenarios go to POST /run)")
-        }
-        _ => Response::json_error(
-            404,
-            "unknown path; try POST /run, GET /metrics, GET /healthz",
+        ("GET", "/trace") if !legacy => trace_route(inner, request),
+        (_, "/trace") if !legacy => Response::error(
+            405,
+            "method_not_allowed",
+            "method not allowed (traces come from GET /v1/trace)",
         ),
+        (_, "/run") | (_, "/metrics") | (_, "/healthz") => Response::error(
+            405,
+            "method_not_allowed",
+            "method not allowed (scenarios go to POST /v1/run)",
+        ),
+        _ => Response::error(
+            404,
+            "not_found",
+            "unknown path; try POST /v1/run, GET /v1/trace, GET /v1/metrics, GET /v1/healthz",
+        ),
+    };
+    if legacy && matches!(path, "/run" | "/metrics" | "/healthz") {
+        response.deprecation = true;
     }
+    response
 }
 
 fn run_route(inner: &Inner, request: &Request) -> Response {
@@ -403,14 +477,14 @@ fn run_route(inner: &Inner, request: &Request) -> Response {
             .metrics
             .rejected_shutdown
             .fetch_add(1, Ordering::Relaxed);
-        return Response::json_error(503, "server is shutting down");
+        return Response::error(503, "shutting_down", "server is shutting down");
     }
     let reject = |msg: &str| {
         inner
             .metrics
             .rejected_malformed
             .fetch_add(1, Ordering::Relaxed);
-        Response::json_error(400, msg)
+        Response::error(400, "bad_spec", msg)
     };
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
@@ -433,18 +507,65 @@ fn run_route(inner: &Inner, request: &Request) -> Response {
     let deadline_ms = parsed
         .deadline_ms
         .unwrap_or(inner.config.default_deadline_ms);
+    admit(inner, started, Work::Run(scenarios), deadline_ms, false)
+}
+
+fn trace_route(inner: &Inner, request: &Request) -> Response {
+    let started = Instant::now();
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        inner
+            .metrics
+            .rejected_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::error(503, "shutting_down", "server is shutting down");
+    }
+    let reject = |msg: &str| {
+        inner
+            .metrics
+            .rejected_malformed
+            .fetch_add(1, Ordering::Relaxed);
+        Response::error(400, "bad_spec", msg)
+    };
+    let spec = match ScenarioSpec::from_query(&request.query) {
+        Ok(spec) => spec,
+        Err(e) => return reject(&e),
+    };
+    if spec.max_rounds > TRACE_MAX_ROUNDS {
+        return reject(&format!(
+            "\"max_rounds\" must be <= {TRACE_MAX_ROUNDS} for a traced run \
+             (every round becomes a response line), got {}",
+            spec.max_rounds
+        ));
+    }
+    let scenario = match spec.to_scenario() {
+        Ok(scenario) => scenario,
+        Err(e) => return reject(&e),
+    };
+    admit(
+        inner,
+        started,
+        Work::Trace(scenario),
+        inner.config.default_deadline_ms,
+        true,
+    )
+}
+
+/// Shared admission tail of `run_route`/`trace_route`: record the parse
+/// phase, push the job (wait-free: a full queue answers 429 *now* instead
+/// of buffering unboundedly), and block on the dispatcher's reply.
+fn admit(inner: &Inner, started: Instant, work: Work, deadline_ms: u64, chunked: bool) -> Response {
+    inner.metrics.phases.parse.record(elapsed_ns(started));
     let (tx, rx) = mpsc::sync_channel(1);
     let job = Job {
-        scenarios,
+        work,
         deadline: started + Duration::from_millis(deadline_ms),
+        admitted: Instant::now(),
         reply: tx,
     };
     match inner.queue.try_push(job) {
         Err(Rejected::Full(_)) => {
-            // Wait-free admission: the queue is the only buffer, and it is
-            // full — reject *now* instead of queueing unboundedly.
             inner.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
-            let mut response = Response::json_error(429, "admission queue is full");
+            let mut response = Response::error(429, "queue_full", "admission queue is full");
             response.retry_after = Some(1);
             response
         }
@@ -453,7 +574,7 @@ fn run_route(inner: &Inner, request: &Request) -> Response {
                 .metrics
                 .rejected_shutdown
                 .fetch_add(1, Ordering::Relaxed);
-            Response::json_error(503, "server is shutting down")
+            Response::error(503, "shutting_down", "server is shutting down")
         }
         Ok(()) => {
             inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
@@ -463,16 +584,21 @@ fn run_route(inner: &Inner, request: &Request) -> Response {
             match rx.recv() {
                 Ok(Reply::Done(body)) => {
                     inner.metrics.record_latency(started.elapsed());
-                    Response::new(200, "application/x-ndjson", body)
+                    let mut response = Response::new(200, "application/x-ndjson", body);
+                    response.chunked = chunked;
+                    response
                 }
-                Ok(Reply::Expired) => Response::json_error(
+                Ok(Reply::Expired) => Response::error(
                     504,
+                    "deadline_exceeded",
                     "queue-wait deadline exceeded before execution started",
                 ),
-                Ok(Reply::Failed(msg)) => {
-                    Response::json_error(500, &format!("scenario execution panicked: {msg}"))
-                }
-                Err(_) => Response::json_error(500, "dispatcher unavailable"),
+                Ok(Reply::Failed(msg)) => Response::error(
+                    500,
+                    "execution_panicked",
+                    &format!("scenario execution panicked: {msg}"),
+                ),
+                Err(_) => Response::error(500, "dispatcher_unavailable", "dispatcher unavailable"),
             }
         }
     }

@@ -202,6 +202,49 @@ impl ScenarioSpec {
         Ok(spec)
     }
 
+    /// Parses a spec from URL query parameters (`n=12&class=QR&seed=3`) —
+    /// the `GET /v1/trace` form of a spec. The query is rewritten as a
+    /// JSON object and fed through [`ScenarioSpec::from_json`], so both
+    /// wire forms share one validator; an empty query yields the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed pair or violated spec constraint.
+    pub fn from_query(query: &str) -> Result<ScenarioSpec, String> {
+        const STRING_FIELDS: [&str; 5] = ["workload", "class", "algorithm", "scheduler", "motion"];
+        use std::fmt::Write;
+        let mut body = String::from("{");
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("query parameter {pair:?} is not key=value"))?;
+            if !SPEC_FIELDS.contains(&key) {
+                return Err(format!(
+                    "unknown spec field {key:?}; known: {}",
+                    SPEC_FIELDS.join(", ")
+                ));
+            }
+            if body.len() > 1 {
+                body.push(',');
+            }
+            if STRING_FIELDS.contains(&key) {
+                write!(
+                    body,
+                    "\"{}\":\"{}\"",
+                    crate::json::escape(key),
+                    crate::json::escape(value)
+                )
+                .expect("write to String");
+            } else {
+                // Numeric fields go in raw; garbage fails JSON parsing.
+                write!(body, "\"{}\":{value}", crate::json::escape(key)).expect("write to String");
+            }
+        }
+        body.push('}');
+        let v = Json::parse(&body).map_err(|e| format!("invalid query value: {e}"))?;
+        ScenarioSpec::from_json(&v)
+    }
+
     /// Materialises the spec into a runnable [`Scenario`] (generating the
     /// initial configuration from the workload family).
     ///
@@ -386,6 +429,33 @@ mod tests {
                 ),
                 Ok(()) => panic!("{body} should be rejected"),
             }
+        }
+    }
+
+    #[test]
+    fn query_specs_share_the_json_validator() {
+        let spec =
+            ScenarioSpec::from_query("workload=class&class=QR&n=12&seed=9&delta=0.1").unwrap();
+        assert_eq!(spec.class, Some(Class::QuasiRegular));
+        assert_eq!(spec.n, 12);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.delta, 0.1);
+        assert_eq!(
+            ScenarioSpec::from_query("").unwrap(),
+            ScenarioSpec::default()
+        );
+        for (query, needle) in [
+            ("n", "key=value"),
+            ("n=three", "invalid query value"),
+            ("classs=QR", "unknown spec field"),
+            ("n=3", "must be in 4"),
+            ("class=Z", "unknown class"),
+        ] {
+            let err = ScenarioSpec::from_query(query).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{query}: {err:?} should mention {needle:?}"
+            );
         }
     }
 

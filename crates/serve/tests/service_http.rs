@@ -34,12 +34,18 @@ fn health_metrics_and_errors() {
     let server = Server::start(ServeConfig::default()).expect("start");
     let mut client = Client::connect(&server.addr()).expect("connect");
 
-    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/v1/healthz").unwrap().status, 200);
     assert_eq!(client.get("/nope").unwrap().status, 404);
-    assert_eq!(client.request("PUT", "/run", b"{}").unwrap().status, 405);
-    assert_eq!(
-        client.request("POST", "/run", b"not json").unwrap().status,
-        400
+    assert_eq!(client.get("/v1/nope").unwrap().status, 404);
+    assert_eq!(client.request("PUT", "/v1/run", b"{}").unwrap().status, 405);
+    let bad_json = client.request("POST", "/v1/run", b"not json").unwrap();
+    assert_eq!(bad_json.status, 400);
+    let text = bad_json.text();
+    assert!(
+        text.contains("\"code\":\"bad_spec\"")
+            && text.contains("\"message\":")
+            && text.contains("\"retryable\":false"),
+        "errors must be structured JSON: {text}"
     );
     assert_eq!(
         client.post_run("{\"n\":3}").unwrap().status,
@@ -55,7 +61,7 @@ fn health_metrics_and_errors() {
     let ok = client.post_run(&quick_spec()).unwrap();
     assert_eq!(ok.status, 200);
 
-    let metrics = client.get("/metrics").unwrap().text();
+    let metrics = client.get("/v1/metrics").unwrap().text();
     assert!(
         metrics.contains("gather_requests_completed_total 1\n"),
         "{metrics}"
@@ -68,6 +74,44 @@ fn health_metrics_and_errors() {
         metrics.contains("gather_request_latency_ms{quantile=\"0.5\"}"),
         "{metrics}"
     );
+    assert!(
+        metrics.contains("gather_request_phase_parse_ns_count")
+            && metrics.contains("gather_request_phase_queue_wait_ns_count")
+            && metrics.contains("gather_request_phase_execute_ns_count")
+            && metrics.contains("gather_pool_job_run_time_ns_count"),
+        "request-phase and pool histograms must be exposed: {metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn legacy_paths_alias_v1_with_a_deprecation_header() {
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    for path in ["/healthz", "/metrics"] {
+        let legacy = client.get(path).unwrap();
+        assert_eq!(legacy.status, 200, "{path}");
+        assert_eq!(legacy.header("deprecation"), Some("true"), "{path}");
+        let v1 = client.get(&format!("/v1{path}")).unwrap();
+        assert_eq!(v1.status, 200, "/v1{path}");
+        assert_eq!(v1.header("deprecation"), None, "/v1{path}");
+    }
+    let legacy_run = client
+        .request("POST", "/run", quick_spec().as_bytes())
+        .unwrap();
+    assert_eq!(legacy_run.status, 200);
+    assert_eq!(legacy_run.header("deprecation"), Some("true"));
+    let v1_run = client.post_run(&quick_spec()).unwrap();
+    assert_eq!(v1_run.status, 200);
+    assert_eq!(v1_run.header("deprecation"), None);
+    assert_eq!(
+        legacy_run.body, v1_run.body,
+        "the alias serves bit-identical bodies"
+    );
+    // `/trace` is new under /v1; it never existed un-prefixed, so there
+    // is no legacy alias to keep.
+    assert_eq!(client.get("/trace?n=8").unwrap().status, 404);
     server.shutdown();
 }
 
@@ -136,6 +180,12 @@ fn full_queue_rejects_with_429_and_retry_after() {
         rejected.header("retry-after"),
         Some("1"),
         "backpressure must carry a retry hint"
+    );
+    assert!(
+        rejected.text().contains("\"code\":\"queue_full\"")
+            && rejected.text().contains("\"retryable\":true"),
+        "a 429 is retryable by definition: {}",
+        rejected.text()
     );
 
     for handle in busy {

@@ -1,0 +1,94 @@
+//! `GET /v1/trace` streaming contract: the chunked NDJSON body a client
+//! decodes is byte-identical to the in-process per-round trace of the
+//! same spec ([`Scenario::run_traced`]) — the bit-identity contract of
+//! DESIGN.md §11 extended from summaries to full traces.
+
+use gather_config::Class;
+use gather_serve::{Client, ScenarioSpec, ServeConfig, Server};
+
+fn query(class: Class, n: usize, seed: u64) -> String {
+    format!(
+        "workload=class&class={}&n={n}&seed={seed}&max_rounds=2000",
+        class.short_name()
+    )
+}
+
+#[test]
+fn streamed_traces_are_byte_identical_to_in_process_runs() {
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    for (class, n) in [
+        (Class::Bivalent, 8),
+        (Class::Multiple, 9),
+        (Class::Collinear1W, 8),
+        (Class::Collinear2W, 8),
+        (Class::QuasiRegular, 9),
+        (Class::Asymmetric, 8),
+    ] {
+        let spec = ScenarioSpec::from_query(&query(class, n, 7)).expect("query spec");
+        let (metrics, expected) = spec.to_scenario().expect("scenario").run_traced();
+
+        let response = client.get_trace(&query(class, n, 7)).unwrap();
+        assert_eq!(response.status, 200, "{class:?}: {}", response.text());
+        assert_eq!(
+            response.header("transfer-encoding"),
+            Some("chunked"),
+            "{class:?}: traces stream chunked"
+        );
+        assert_eq!(
+            response.header("content-type"),
+            Some("application/x-ndjson"),
+            "{class:?}"
+        );
+        assert_eq!(
+            response.body,
+            expected.as_bytes(),
+            "{class:?}: streamed trace must match the in-process trace"
+        );
+        assert_eq!(
+            response.text().lines().count() as u64,
+            metrics.rounds,
+            "{class:?}: one line per simulated round"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn trace_requests_are_validated_and_counted() {
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    let bad = client.get_trace("n=3").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.text().contains("\"code\":\"bad_spec\""),
+        "{}",
+        bad.text()
+    );
+
+    let over = client
+        .get_trace(&format!(
+            "n=8&max_rounds={}",
+            gather_serve::TRACE_MAX_ROUNDS + 1
+        ))
+        .unwrap();
+    assert_eq!(over.status, 400, "{}", over.text());
+    assert!(over.text().contains("max_rounds"), "{}", over.text());
+
+    assert_eq!(
+        client.request("POST", "/v1/trace", b"{}").unwrap().status,
+        405
+    );
+
+    // A defaulted trace (empty query) runs the default spec.
+    let ok = client.get_trace("class=A&n=8&max_rounds=2000").unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    let metrics = client.get("/v1/metrics").unwrap().text();
+    assert!(
+        metrics.contains("gather_requests_completed_total 1\n"),
+        "{metrics}"
+    );
+    server.shutdown();
+}

@@ -23,7 +23,7 @@ use gather_geom::Point;
 /// # Example
 ///
 /// ```
-/// use gather_sim::{Algorithm, Snapshot};
+/// use gather_sim::prelude::{Algorithm, Snapshot};
 /// use gather_geom::Point;
 ///
 /// /// Always stay put.

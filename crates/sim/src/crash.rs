@@ -99,7 +99,7 @@ impl CrashPlan for NoCrashes {
 /// # Example
 ///
 /// ```
-/// use gather_sim::{CrashAtRounds, CrashPlan};
+/// use gather_sim::prelude::{CrashAtRounds, CrashPlan};
 /// use gather_config::Configuration;
 /// use gather_geom::Point;
 ///

@@ -27,7 +27,8 @@ use gather_config::{
     canonicalize_into, classify, classify_invocations, AnalysisCache, CanonScratch, Class,
     Configuration, RoundAnalysis,
 };
-use gather_geom::{weiszfeld_iterations, Point, Tol};
+use gather_geom::{weiszfeld_iterations, weiszfeld_nanos, Point, Tol};
+use gather_obs::{EngineObs, Phase, PhaseNanos, PhaseTimer};
 
 /// Reusable working memory for the round loop. Cleared and refilled every
 /// round instead of re-`collect`ed, so the steady state allocates nothing.
@@ -130,6 +131,7 @@ pub struct EngineBuilder {
     trace_capacity: Option<usize>,
     position_log_capacity: Option<usize>,
     recycled: Option<EngineParts>,
+    obs: Option<EngineObs>,
 }
 
 impl EngineBuilder {
@@ -279,6 +281,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches an observability handle (default: none). With an enabled
+    /// [`EngineObs`] every round is timed phase by phase
+    /// (snapshot / classify / weiszfeld / move / invariants — see
+    /// [`Phase`]); totals surface through [`Engine::phase_nanos`] and the
+    /// per-round spans through [`Engine::observability`]. A handle built
+    /// with [`EngineObs::disabled`] is carried but never read the clock —
+    /// the state the ≤2% overhead budget of `b9_obs` is measured against.
+    /// Timings are wall-clock and therefore non-deterministic; they live
+    /// beside, never inside, the deterministic trace.
+    pub fn observe(mut self, obs: EngineObs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Makes every LOOK observe the configuration from `delay` rounds ago
     /// (default `0` — the paper's atomic ATOM semantics).
     ///
@@ -373,6 +389,7 @@ impl EngineBuilder {
             analysis_cache,
             scratch,
             last_record: RoundRecord::default(),
+            obs: self.obs,
         }
     }
 }
@@ -424,6 +441,7 @@ pub struct Engine {
     analysis_cache: AnalysisCache,
     scratch: Scratch,
     last_record: RoundRecord,
+    obs: Option<EngineObs>,
 }
 
 impl Engine {
@@ -448,6 +466,7 @@ impl Engine {
             trace_capacity: None,
             position_log_capacity: None,
             recycled: None,
+            obs: None,
         }
     }
 
@@ -560,6 +579,32 @@ impl Engine {
         (self.analysis_cache.computed(), self.analysis_cache.hits())
     }
 
+    /// The attached observability handle, when one was set with
+    /// [`EngineBuilder::observe`] — totals, per-round span ring and JSONL
+    /// export live there.
+    pub fn observability(&self) -> Option<&EngineObs> {
+        self.obs.as_ref()
+    }
+
+    /// Accumulated per-phase nanoseconds across all executed rounds, when
+    /// an *enabled* observability handle is attached; `None` otherwise
+    /// (absent or disabled instrumentation), so metrics built from an
+    /// untimed run serialize without phase columns and stay byte-identical
+    /// to the pre-observability format.
+    pub fn phase_nanos(&self) -> Option<PhaseNanos> {
+        self.obs
+            .as_ref()
+            .filter(|o| o.is_enabled())
+            .map(|o| o.totals())
+    }
+
+    /// Detaches and returns the observability handle, so callers can keep
+    /// the collected spans after the engine (or its recycled parts) moves
+    /// on. Subsequent rounds run uninstrumented.
+    pub fn take_observability(&mut self) -> Option<EngineObs> {
+        self.obs.take()
+    }
+
     /// Executes one round and returns its record (borrowed from the
     /// engine; also appended to the [`Trace`]).
     pub fn step(&mut self) -> &RoundRecord {
@@ -567,6 +612,14 @@ impl Engine {
         let classify_before = classify_invocations();
         let weiszfeld_before = weiszfeld_iterations();
         let hits_before = self.analysis_cache.hits();
+        // Phase attribution. With instrumentation absent or disabled the
+        // timer holds no `Instant` and every lap below is one branch — the
+        // whole disabled cost of the round, keeping the ≤2% overhead
+        // budget and the zero-allocation audit intact (laps neither
+        // allocate nor format).
+        let timing = self.obs.as_ref().is_some_and(|o| o.is_enabled());
+        let mut timer = PhaseTimer::start(timing);
+        let solver_nanos_before = if timing { weiszfeld_nanos() } else { 0 };
         // The working buffers live outside `self` for the duration of the
         // round so they can be lent to snapshots while the engine's trait
         // objects run. `reuse_buffers(false)` is the ablation reproducing
@@ -577,6 +630,7 @@ impl Engine {
             Scratch::default()
         };
         scratch.config.copy_from_slice(&self.positions);
+        timer.lap(Phase::Snapshot);
         // The single shared analysis of the start-of-round configuration —
         // every activated robot LOOKs at exactly this configuration (ATOM),
         // so one classification serves them all. `None` in the ablation
@@ -588,6 +642,7 @@ impl Engine {
             Some(ra) => ra.analysis.class,
             None => classify(&scratch.config, tol).class,
         };
+        timer.lap(Phase::Classify);
         scratch
             .config
             .distinct_into(&mut scratch.distinct, &mut scratch.sort);
@@ -606,6 +661,7 @@ impl Engine {
                 self.history.push_back(scratch.config.clone());
             }
         }
+        timer.lap(Phase::Snapshot);
 
         // 1. Crashes.
         self.crash_plan.crashes_into(
@@ -705,6 +761,7 @@ impl Engine {
                 _ => self.position_log.push(self.positions.clone()),
             }
         }
+        timer.lap(Phase::Move);
 
         // 5. Invariant audit.
         if self.check_invariants {
@@ -714,6 +771,7 @@ impl Engine {
             scratch.config.copy_from_slice(&self.positions);
             self.audit_never_bivalent(&scratch.config);
         }
+        timer.lap(Phase::Invariants);
 
         let record = &mut self.last_record;
         record.round = self.round;
@@ -727,6 +785,21 @@ impl Engine {
         record.cache_hits = self.analysis_cache.hits() - hits_before;
         record.weiszfeld_iters = weiszfeld_iterations() - weiszfeld_before;
         self.trace.push_cloned(&self.last_record);
+        if timing {
+            // Carve the solver's own wall time (thread-local counter in
+            // gather-geom) out of the classification lap it ran inside;
+            // `transfer` clamps, so solver time spent in the audits phase
+            // can never drive classify negative. Then bank the round.
+            timer.transfer(
+                Phase::Classify,
+                Phase::Weiszfeld,
+                weiszfeld_nanos() - solver_nanos_before,
+            );
+            let nanos = timer.finish();
+            if let Some(obs) = self.obs.as_mut() {
+                obs.record_round(self.round, nanos);
+            }
+        }
         self.round += 1;
         if self.reuse_buffers {
             self.scratch = scratch;
@@ -1117,6 +1190,68 @@ mod tests {
         let (recycled_metrics, recycled_pos, _) = run(build(Some(other.into_parts())));
         assert_eq!(fresh_metrics, recycled_metrics);
         assert_eq!(fresh_pos, recycled_pos);
+    }
+
+    #[test]
+    fn observability_attributes_phase_time_per_round() {
+        let mut e = Engine::builder(spiral(16))
+            .algorithm(ClassTarget)
+            .observe(EngineObs::new(8))
+            .build();
+        for _ in 0..12 {
+            e.step();
+        }
+        let totals = e.phase_nanos().expect("enabled obs yields totals");
+        assert!(totals.total() > 0, "rounds took time");
+        assert!(
+            totals.get(Phase::Classify) + totals.get(Phase::Weiszfeld) > 0,
+            "classification is on the timed path"
+        );
+        let obs = e.observability().expect("handle attached");
+        assert_eq!(obs.rounds().len(), 8, "ring capped at capacity");
+        assert_eq!(obs.rounds().dropped(), 4);
+        let rounds: Vec<u64> = obs.rounds().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, (4..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn disabled_observability_times_nothing() {
+        let mut e = Engine::builder(spiral(8))
+            .algorithm(ClassTarget)
+            .observe(EngineObs::disabled())
+            .build();
+        e.step();
+        assert!(e.phase_nanos().is_none(), "disabled handle reports None");
+        let obs = e.observability().expect("handle still attached");
+        assert_eq!(obs.totals(), PhaseNanos::default());
+        assert!(obs.rounds().is_empty());
+        // And an untimed engine has no handle at all.
+        let mut plain = Engine::builder(spiral(8)).algorithm(ClassTarget).build();
+        plain.step();
+        assert!(plain.observability().is_none());
+        assert!(plain.phase_nanos().is_none());
+    }
+
+    #[test]
+    fn observability_does_not_change_the_run() {
+        let run = |obs: Option<EngineObs>| {
+            let mut b = Engine::builder(spiral(12))
+                .algorithm(ClassTarget)
+                .frames(FramePolicy::GlobalFrame);
+            if let Some(obs) = obs {
+                b = b.observe(obs);
+            }
+            let mut e = b.build();
+            for _ in 0..40 {
+                e.step();
+            }
+            (
+                e.positions().to_vec(),
+                crate::metrics::summarize(RunOutcome::RoundLimit { rounds: 40 }, e.trace()),
+            )
+        };
+        assert_eq!(run(None), run(Some(EngineObs::new(64))));
+        assert_eq!(run(None), run(Some(EngineObs::disabled())));
     }
 
     #[test]

@@ -59,25 +59,52 @@ pub mod scheduler;
 pub mod snapshot;
 pub mod trace;
 
+// Deprecated top-level re-exports. The one-stop import surface is
+// [`prelude`]; these duplicates survive for source compatibility but new
+// code should spell `use gather_sim::prelude::…` (or the defining module).
+// Doc-comments rather than `#[deprecated]` attributes: a pub-use chain
+// would propagate the warning to the prelude itself.
+
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use algorithm::Algorithm;
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use engine::{Engine, EngineBuilder, EngineParts, RunOutcome};
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use frames::FramePolicy;
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use motion::{AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops};
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use scheduler::{
     EveryRobot, FnScheduler, RandomSubsets, RoundRobin, Scheduler, SequentialSingle,
 };
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use snapshot::Snapshot;
+/// Deprecated duplicate re-export — import from [`prelude`] instead.
 pub use trace::{RoundRecord, Trace};
 
-/// Convenient glob import for simulator users.
+/// The one-stop import surface for simulator users: algorithms, the
+/// engine (with its recyclable [`EngineParts`]), every adversary knob
+/// ([`CrashPlan`], [`Scheduler`], [`MotionAdversary`], [`ByzantinePolicy`],
+/// [`FramePolicy`]), traces/metrics, and the observability handles
+/// re-exported from `gather-obs`.
+///
+/// [`EngineParts`]: crate::engine::EngineParts
+/// [`CrashPlan`]: crate::crash::CrashPlan
+/// [`Scheduler`]: crate::scheduler::Scheduler
+/// [`MotionAdversary`]: crate::motion::MotionAdversary
+/// [`ByzantinePolicy`]: crate::byzantine::ByzantinePolicy
+/// [`FramePolicy`]: crate::frames::FramePolicy
 pub mod prelude {
     pub use crate::algorithm::Algorithm;
     pub use crate::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
     pub use crate::crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
     pub use crate::engine::{Engine, EngineBuilder, EngineParts, RunOutcome};
     pub use crate::frames::FramePolicy;
+    pub use crate::metrics::{summarize, RunMetrics};
     pub use crate::motion::{
         AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops,
     };
@@ -86,4 +113,7 @@ pub mod prelude {
     };
     pub use crate::snapshot::Snapshot;
     pub use crate::trace::{RoundRecord, Trace};
+    // Observability handles, so instrumented callers need no direct
+    // gather-obs dependency for the common cases.
+    pub use gather_obs::{EngineObs, Phase, PhaseNanos, RoundSpans, SpanSink};
 }

@@ -3,6 +3,7 @@
 use crate::engine::RunOutcome;
 use crate::trace::Trace;
 use gather_config::Class;
+use gather_obs::{Phase, PhaseNanos};
 use std::collections::BTreeMap;
 
 /// Aggregated metrics of one simulation run.
@@ -27,6 +28,12 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Total Weiszfeld solver iterations over the run.
     pub weiszfeld_iters: u64,
+    /// Accumulated per-phase wall-clock nanoseconds, when the run's engine
+    /// carried an *enabled* observability handle (`Engine::phase_nanos`);
+    /// `None` for untimed runs. Serialized only when present, so untimed
+    /// metrics keep the exact pre-observability byte format — the serving
+    /// layer's bit-identity contract is unaffected by this column.
+    pub phase_ns: Option<PhaseNanos>,
 }
 
 /// Summarises an outcome and its trace into one metrics record.
@@ -35,7 +42,7 @@ pub struct RunMetrics {
 ///
 /// ```
 /// use gather_sim::metrics::summarize;
-/// use gather_sim::{RunOutcome, Trace};
+/// use gather_sim::prelude::{RunOutcome, Trace};
 /// use gather_geom::Point;
 ///
 /// let m = summarize(
@@ -56,6 +63,7 @@ pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
         classifications: trace.total_classifications(),
         cache_hits: trace.total_cache_hits(),
         weiszfeld_iters: trace.total_weiszfeld_iters(),
+        phase_ns: None,
     }
 }
 
@@ -177,10 +185,18 @@ impl RunMetrics {
         }
         write!(
             s,
-            "],\"classifications\":{},\"cache_hits\":{},\"weiszfeld_iters\":{}}}",
+            "],\"classifications\":{},\"cache_hits\":{},\"weiszfeld_iters\":{}",
             self.classifications, self.cache_hits, self.weiszfeld_iters
         )
         .expect("write to String");
+        // Optional phase-timing column: present only for instrumented runs
+        // (non-deterministic wall-clock data never enters the byte-exact
+        // default format).
+        if let Some(phase_ns) = &self.phase_ns {
+            s.push_str(",\"phase_ns\":");
+            phase_ns.write_json(&mut s);
+        }
+        s.push('}');
         s
     }
 
@@ -237,6 +253,21 @@ impl RunMetrics {
         let cache_hits = c.u64()?;
         c.eat(",\"weiszfeld_iters\":")?;
         let weiszfeld_iters = c.u64()?;
+        let phase_ns = if c.peek() == Some(',') {
+            c.eat(",\"phase_ns\":{")?;
+            let mut nanos = PhaseNanos::default();
+            for (i, phase) in Phase::all().iter().enumerate() {
+                if i > 0 {
+                    c.eat(",")?;
+                }
+                c.eat(&format!("\"{}\":", phase.name()))?;
+                nanos.add(*phase, c.u64()?);
+            }
+            c.eat("}")?;
+            Some(nanos)
+        } else {
+            None
+        };
         c.eat("}")?;
         if !c.s[c.i..].trim().is_empty() {
             return Err(format!("trailing content after record: {:?}", &c.s[c.i..]));
@@ -251,6 +282,7 @@ impl RunMetrics {
             classifications,
             cache_hits,
             weiszfeld_iters,
+            phase_ns,
         })
     }
 
@@ -362,6 +394,7 @@ mod tests {
             classifications: 24,
             cache_hits: 10,
             weiszfeld_iters: 33,
+            phase_ns: None,
         }
     }
 
@@ -388,6 +421,32 @@ mod tests {
              \"class_rounds\":{},\"class_sequence\":[],\"transitions\":[],\
              \"classifications\":0,\"cache_hits\":0,\"weiszfeld_iters\":0}"
         );
+    }
+
+    #[test]
+    fn jsonl_round_trips_phase_timings_when_present() {
+        let mut m = sample_metrics();
+        let mut nanos = PhaseNanos::default();
+        for (i, phase) in Phase::all().iter().enumerate() {
+            nanos.add(*phase, (i as u64 + 1) * 1000);
+        }
+        m.phase_ns = Some(nanos);
+        let line = m.to_jsonl();
+        assert!(
+            line.ends_with(
+                ",\"phase_ns\":{\"snapshot\":1000,\"classify\":2000,\
+                 \"weiszfeld\":3000,\"move\":4000,\"invariants\":5000}}"
+            ),
+            "{line}"
+        );
+        let back = RunMetrics::from_jsonl(&line).expect("parse timed row");
+        assert_eq!(back, m);
+        assert_eq!(back.to_jsonl(), line);
+        // And the untimed serialisation of the same metrics is a strict
+        // prefix: the column is purely additive.
+        m.phase_ns = None;
+        let untimed = m.to_jsonl();
+        assert!(line.starts_with(&untimed[..untimed.len() - 1]));
     }
 
     #[test]

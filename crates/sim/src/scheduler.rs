@@ -222,7 +222,7 @@ impl Scheduler for RandomSubsets {
 /// # Example
 ///
 /// ```
-/// use gather_sim::{FnScheduler, Scheduler};
+/// use gather_sim::prelude::{FnScheduler, Scheduler};
 /// // Activate only even-indexed robots on even rounds, odd on odd rounds.
 /// let mut s = FnScheduler::new("parity", |round, alive: &[bool]| {
 ///     (0..alive.len())

@@ -30,6 +30,57 @@ pub struct RoundRecord {
     pub weiszfeld_iters: u64,
 }
 
+impl RoundRecord {
+    /// Serialises the record as one NDJSON line (newline excluded), in the
+    /// fixed field order
+    /// `round, class, distinct, max_mult, activated, crashed, travel,
+    /// classifications, cache_hits, weiszfeld_iters`.
+    ///
+    /// Like `RunMetrics::to_jsonl` the encoding is deterministic and
+    /// byte-exact (floats use shortest round-trip formatting), which is
+    /// what lets the service's streaming `GET /v1/trace` endpoint promise
+    /// byte-identity with the in-process trace. The schema is pinned by
+    /// `crates/sim/tests/trace_schema.rs` — changing field names or order
+    /// is a breaking API change.
+    pub fn write_jsonl(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"round\":{},\"class\":\"{}\",\"distinct\":{},\"max_mult\":{}",
+            self.round,
+            self.class.short_name(),
+            self.distinct,
+            self.max_mult
+        );
+        out.push_str(",\"activated\":[");
+        for (i, robot) in self.activated.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{robot}");
+        }
+        out.push_str("],\"crashed\":[");
+        for (i, robot) in self.crashed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{robot}");
+        }
+        let _ = write!(
+            out,
+            "],\"travel\":{:?},\"classifications\":{},\"cache_hits\":{},\"weiszfeld_iters\":{}}}",
+            self.travel, self.classifications, self.cache_hits, self.weiszfeld_iters
+        );
+    }
+
+    /// [`RoundRecord::write_jsonl`] into a fresh `String`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write_jsonl(&mut out);
+        out
+    }
+}
+
 impl Default for RoundRecord {
     fn default() -> Self {
         RoundRecord {
@@ -227,6 +278,19 @@ impl Trace {
     pub fn class_sequence(&self) -> Vec<Class> {
         self.sequence.clone()
     }
+
+    /// Serialises every *retained* record as NDJSON — one
+    /// [`RoundRecord::write_jsonl`] line per round, each terminated by
+    /// `\n`. With an unbounded trace this is the full execution, and it is
+    /// the exact byte stream `GET /v1/trace` serves.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 128);
+        for record in &self.records {
+            record.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +415,30 @@ mod tests {
     fn zero_capacity_is_rejected() {
         let mut t = Trace::new();
         t.set_capacity(Some(0));
+    }
+
+    #[test]
+    fn round_record_jsonl_is_deterministic() {
+        let r = rec(3, Class::QuasiRegular);
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"round\":3,\"class\":\"QR\",\"distinct\":3,\"max_mult\":1,\
+             \"activated\":[0],\"crashed\":[],\"travel\":1.0,\
+             \"classifications\":2,\"cache_hits\":1,\"weiszfeld_iters\":10}"
+        );
+        let mut t = Trace::new();
+        t.push(rec(0, Class::Multiple));
+        t.push(rec(1, Class::Multiple));
+        let ndjson = t.to_jsonl();
+        assert_eq!(ndjson.lines().count(), 2);
+        assert!(ndjson.ends_with("}\n"));
+        assert_eq!(
+            ndjson,
+            t.records()
+                .iter()
+                .map(|r| format!("{}\n", r.to_jsonl()))
+                .collect::<String>()
+        );
     }
 
     #[test]

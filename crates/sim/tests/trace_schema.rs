@@ -1,0 +1,108 @@
+//! Golden pin of the per-round NDJSON trace schema.
+//!
+//! The trace line format is an external contract: it is what
+//! `GET /v1/trace` streams to clients and what `b9_obs` audits, so its
+//! key set, key order and encoding must not drift silently. A change
+//! here is an API change — update the consumers (service docs, b9_obs'
+//! `TRACE_SCHEMA`) in the same commit, never casually.
+
+use gather_config::Class;
+use gather_sim::prelude::*;
+use gather_sim::trace::RoundRecord;
+
+/// The pinned depth-1 key sequence of one trace line.
+const TRACE_SCHEMA: [&str; 10] = [
+    "round",
+    "class",
+    "distinct",
+    "max_mult",
+    "activated",
+    "crashed",
+    "travel",
+    "classifications",
+    "cache_hits",
+    "weiszfeld_iters",
+];
+
+/// Depth-1 object keys of a JSON line, in order (string-aware scanner —
+/// keys inside nested arrays/objects are skipped).
+fn json_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut depth = 0usize;
+    let mut chars = line.char_indices().peekable();
+    while let Some((at, c)) = chars.next() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth = depth.saturating_sub(1),
+            '"' => {
+                let start = at + 1;
+                let mut end = start;
+                for (j, cj) in chars.by_ref() {
+                    if cj == '"' {
+                        end = j;
+                        break;
+                    }
+                }
+                if depth == 1 && matches!(chars.peek(), Some((_, ':'))) {
+                    keys.push(line[start..end].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    keys
+}
+
+#[test]
+fn golden_line_is_byte_exact() {
+    let record = RoundRecord {
+        round: 3,
+        class: Class::QuasiRegular,
+        distinct: 5,
+        max_mult: 2,
+        activated: vec![0, 2, 4],
+        crashed: vec![1],
+        travel: 0.25,
+        classifications: 7,
+        cache_hits: 4,
+        weiszfeld_iters: 11,
+    };
+    assert_eq!(
+        record.to_jsonl(),
+        "{\"round\":3,\"class\":\"QR\",\"distinct\":5,\"max_mult\":2,\
+         \"activated\":[0,2,4],\"crashed\":[1],\"travel\":0.25,\
+         \"classifications\":7,\"cache_hits\":4,\"weiszfeld_iters\":11}"
+    );
+}
+
+struct GoToCentroid;
+impl Algorithm for GoToCentroid {
+    fn name(&self) -> &'static str {
+        "centroid"
+    }
+    fn destination(&self, snap: &Snapshot) -> gather_geom::Point {
+        gather_geom::centroid(snap.config().points())
+    }
+}
+
+#[test]
+fn every_streamed_line_matches_the_pinned_schema() {
+    let initial = gather_workloads::of_class(Class::Asymmetric, 8, 5);
+    let mut engine = Engine::builder(initial)
+        .algorithm(GoToCentroid)
+        .scheduler(RandomSubsets::new(0.5, 20, 5))
+        .crash_plan(RandomCrashes::new(1, 0.05, 7))
+        .check_invariants(false)
+        .build();
+    let outcome = engine.run(500);
+    assert!(outcome.rounds() > 0);
+    let jsonl = engine.trace().to_jsonl();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        assert_eq!(
+            json_keys(line),
+            TRACE_SCHEMA.to_vec(),
+            "trace schema drift in {line:?}"
+        );
+    }
+}

@@ -51,7 +51,9 @@ else
   done
 fi
 
-# The service load bench runs last and always in quick mode: the committed
-# BENCH_b8_service.json record is regenerated deliberately (full run, by
+# The service load bench and the observability-overhead bench run last and
+# always in quick mode: the committed BENCH_b8_service.json /
+# BENCH_b9_obs.json records are regenerated deliberately (full run, by
 # hand), not as a side effect of refreshing the result tables.
 run_one b8_service --quick "$@"
+run_one b9_obs --quick "$@"

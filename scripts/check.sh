@@ -47,6 +47,16 @@ echo "== bench-smoke (B7 vs committed baseline, thread matrix) =="
 cargo run --release --offline -p gather-bench \
   --bin b7_scaling -- --quick --baseline BENCH_b7_scaling.json \
   --out "$smoke_out"
+
+echo "== obs-smoke (B9 vs committed baseline) =="
+# Quick B9 run: absent/disabled/enabled engine observability over a
+# class-diverse sweep. Fails if carrying a disabled handle costs >2% vs
+# no handle at all, if enabling instrumentation changes any simulation
+# result bit (timing must never steer behaviour), or if the streamed
+# trace schema drifted from the pinned key set in the committed record.
+cargo run --release --offline -p gather-bench \
+  --bin b9_obs -- --quick --baseline BENCH_b9_obs.json \
+  --out "$smoke_out"
 rm -rf "$smoke_out"
 
 echo "== service-smoke (gather-serve over TCP) =="

@@ -15,7 +15,7 @@
 use gather_config::{classify, AnalysisCache, Class, Configuration, RoundAnalysis};
 use gather_geom::{Point, Similarity, Tol};
 use gather_prng::Rng;
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 use gather_workloads as workloads;
 use gathering::WaitFreeGather;
 

@@ -12,7 +12,7 @@ use gather_geom::{
     convex_hull, hull_contains, smallest_enclosing_circle, weber_objective, weber_point_weiszfeld,
     Point, Similarity, Tol,
 };
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 use gathering::WaitFreeGather;
 use proptest::prelude::*;
 

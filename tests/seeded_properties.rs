@@ -9,7 +9,7 @@ use gather_geom::{
     weber_point_weiszfeld_from, Point, Similarity, Tol,
 };
 use gather_prng::Rng;
-use gather_sim::{Algorithm, Snapshot};
+use gather_sim::prelude::{Algorithm, Snapshot};
 use gathering::WaitFreeGather;
 use std::f64::consts::TAU;
 
