@@ -43,6 +43,7 @@
 //! against the committed record and the run fails on a >20 % rounds/sec
 //! regression of the default engine.
 
+use gather_bench::report::{self, extract_number};
 use gather_bench::table::{f, Table};
 use gather_bench::{alloc_audit, Args};
 use gather_config::Class;
@@ -365,15 +366,6 @@ fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
     out
 }
 
-fn extract_number(line: &str, key: &str) -> Option<f64> {
-    let start = line.find(key)? + key.len();
-    let rest = line[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
     let args = Args::parse();
     let sizes: &[usize] = if args.quick {
@@ -584,9 +576,7 @@ fn main() {
     if let Some(baseline_path) = &args.baseline {
         // Regression-check mode: compare against the committed record and
         // keep it untouched (the fresh JSON goes to the out dir).
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
-        let baseline = parse_baseline(&text);
+        let baseline = parse_baseline(&report::read_baseline(baseline_path));
         assert!(
             !baseline.is_empty(),
             "baseline {} contains no (n, shared_analysis) rows",
@@ -608,29 +598,13 @@ fn main() {
                 println!("baseline n={n}: {measured:.0} rounds/s vs committed {base_rps:.0} — ok");
             }
         }
-        let fresh = args.out_dir.join("b1_throughput.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!("wrote {}", fresh.display());
-    } else if args.quick {
-        // A reduced sweep must never become the committed record — quick
-        // data goes to the out dir like the baseline-check mode.
-        let fresh = args.out_dir.join("b1_throughput.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!(
-            "wrote {} (quick run; BENCH_b1_throughput.json left untouched)",
-            fresh.display()
-        );
-    } else {
-        let bench_out = std::path::Path::new("BENCH_b1_throughput.json");
-        std::fs::write(bench_out, &json).expect("write BENCH json");
-        println!("wrote {}", bench_out.display());
     }
-
-    if !failures.is_empty() {
-        eprintln!("\nB1 FAILURES:");
-        for failure in &failures {
-            eprintln!("  {failure}");
-        }
-        std::process::exit(1);
-    }
+    report::emit_record(
+        "b1_throughput",
+        &json,
+        &args.out_dir,
+        args.quick,
+        args.baseline.is_some(),
+    );
+    report::fail_if_any("B1", &failures);
 }

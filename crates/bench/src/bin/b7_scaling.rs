@@ -27,6 +27,7 @@
 //! `GATHER_THREADS` caps the "all cores" pool like every other runner.
 
 use gather_bench::pool::{self, WorkerPool};
+use gather_bench::report::{self, parse_pairs};
 use gather_bench::runner::Scenario;
 use gather_bench::table::{f, Table};
 use gather_bench::Args;
@@ -130,23 +131,6 @@ fn thread_scaling(scenarios: &[Scenario], trials: usize) -> (Vec<ThreadRow>, Vec
         results.push(metrics);
     }
     (rows, results)
-}
-
-/// Extracts `(key1, key2)` number pairs from lines of the committed JSON
-/// (same dependency-free scheme as the B1 baseline gate).
-fn parse_pairs(text: &str, key1: &str, key2: &str) -> Vec<(f64, f64)> {
-    text.lines()
-        .filter_map(|line| extract_number(line, key1).zip(extract_number(line, key2)))
-        .collect()
-}
-
-fn extract_number(line: &str, key: &str) -> Option<f64> {
-    let start = line.find(key)? + key.len();
-    let rest = line[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn main() {
@@ -270,8 +254,7 @@ fn main() {
         // untouched, fresh JSON goes to the out dir, and the run fails on
         // a >20 % single-worker throughput regression or a kernel that
         // fell behind its scalar reference.
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+        let text = report::read_baseline(baseline_path);
         let base_threads = parse_pairs(&text, "\"threads\":", "\"runs_per_sec\":");
         assert!(
             !base_threads.is_empty(),
@@ -292,28 +275,13 @@ fn main() {
                 );
             }
         }
-        let fresh = args.out_dir.join("b7_scaling.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!("wrote {}", fresh.display());
-    } else if args.quick {
-        // A reduced-trial run must never become the committed record.
-        let fresh = args.out_dir.join("b7_scaling.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!(
-            "wrote {} (quick run; BENCH_b7_scaling.json left untouched)",
-            fresh.display()
-        );
-    } else {
-        let bench_out = std::path::Path::new("BENCH_b7_scaling.json");
-        std::fs::write(bench_out, &json).expect("write BENCH json");
-        println!("wrote {}", bench_out.display());
     }
-
-    if !failures.is_empty() {
-        eprintln!("\nB7 FAILURES:");
-        for failure in &failures {
-            eprintln!("  {failure}");
-        }
-        std::process::exit(1);
-    }
+    report::emit_record(
+        "b7_scaling",
+        &json,
+        &args.out_dir,
+        args.quick,
+        args.baseline.is_some(),
+    );
+    report::fail_if_any("B7", &failures);
 }

@@ -28,6 +28,7 @@
 //! regression check runs only in full mode, since quick reduces the sweep.
 
 use gather_bench::pool::{self, PoolObs, WorkerPool};
+use gather_bench::report;
 use gather_bench::runner::{self, Scenario};
 use gather_bench::table::{f, Table};
 use gather_bench::Args;
@@ -403,8 +404,7 @@ fn main() {
         // committed record always fails; throughput comparison only runs
         // in full mode (quick shrinks the sweep, so runs/s are not
         // comparable to the committed full-size record).
-        let text = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+        let text = report::read_baseline(baseline_path);
         let base_schema_line = text
             .lines()
             .find(|l| l.contains("\"trace_schema\":"))
@@ -435,15 +435,7 @@ fn main() {
             let base_absent = text
                 .lines()
                 .find(|l| l.contains("\"absent\""))
-                .and_then(|l| {
-                    let key = "\"runs_per_sec\":";
-                    let start = l.find(key)? + key.len();
-                    l[start..]
-                        .trim_start()
-                        .trim_end_matches(['}', ',', ' '])
-                        .parse::<f64>()
-                        .ok()
-                })
+                .and_then(|l| report::extract_number(l, "\"runs_per_sec\":"))
                 .unwrap_or_else(|| {
                     panic!("baseline {} has no absent row", baseline_path.display())
                 });
@@ -457,28 +449,13 @@ fn main() {
             format!("enforced: {fresh:.1} vs committed {base_absent:.1} runs/s")
         };
         println!("throughput gate: \"{throughput_gate}\"");
-        let fresh = args.out_dir.join("b9_obs.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!("wrote {}", fresh.display());
-    } else if args.quick {
-        // A reduced run must never become the committed record.
-        let fresh = args.out_dir.join("b9_obs.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!(
-            "wrote {} (quick run; BENCH_b9_obs.json left untouched)",
-            fresh.display()
-        );
-    } else {
-        let bench_out = std::path::Path::new("BENCH_b9_obs.json");
-        std::fs::write(bench_out, &json).expect("write BENCH json");
-        println!("wrote {}", bench_out.display());
     }
-
-    if !failures.is_empty() {
-        eprintln!("\nB9 FAILURES:");
-        for failure in &failures {
-            eprintln!("  {failure}");
-        }
-        std::process::exit(1);
-    }
+    report::emit_record(
+        "b9_obs",
+        &json,
+        &args.out_dir,
+        args.quick,
+        args.baseline.is_some(),
+    );
+    report::fail_if_any("B9", &failures);
 }

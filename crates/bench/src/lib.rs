@@ -22,7 +22,9 @@ use std::path::PathBuf;
 
 pub mod factory;
 pub mod pool;
+pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 /// Allocation auditing (feature `alloc-audit`).

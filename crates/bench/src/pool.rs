@@ -436,16 +436,64 @@ mod tests {
         );
     }
 
+    /// Serialises the tests that mutate `GATHER_THREADS`: the test harness
+    /// runs tests on parallel threads but the environment is process-wide.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `body` with `GATHER_THREADS` set to `value` (unset for `None`),
+    /// restoring the prior value afterwards even if `body` panics.
+    fn with_gather_threads<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = std::env::var("GATHER_THREADS").ok();
+        match value {
+            Some(v) => std::env::set_var("GATHER_THREADS", v),
+            None => std::env::remove_var("GATHER_THREADS"),
+        }
+        let result = catch_unwind(AssertUnwindSafe(body));
+        match prior {
+            Some(v) => std::env::set_var("GATHER_THREADS", v),
+            None => std::env::remove_var("GATHER_THREADS"),
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
     #[test]
     fn gather_threads_env_controls_default() {
         // `default_threads` reads the env var on every call, so exercising
         // it here is safe as long as we restore the prior value.
-        let prior = std::env::var("GATHER_THREADS").ok();
-        std::env::set_var("GATHER_THREADS", "3");
-        assert_eq!(default_threads(), 3);
-        match prior {
-            Some(v) => std::env::set_var("GATHER_THREADS", v),
-            None => std::env::remove_var("GATHER_THREADS"),
+        with_gather_threads(Some("3"), || assert_eq!(default_threads(), 3));
+        // Leading/trailing whitespace is tolerated (a quoted shell export).
+        with_gather_threads(Some(" 2 "), || assert_eq!(default_threads(), 2));
+        // Unset falls back to the machine's parallelism: some positive count.
+        with_gather_threads(None, || assert!(default_threads() >= 1));
+    }
+
+    #[test]
+    fn gather_threads_invalid_values_panic_with_contract_message() {
+        // The documented contract: anything but a positive integer is a
+        // configuration error, reported loudly instead of silently
+        // defaulting — a typo'd `GATHER_THREADS=auto` must not quietly pin
+        // a benchmark to the wrong worker count.
+        for bad in ["0", "-1", "auto", "2.5", "", "1x"] {
+            let caught = with_gather_threads(Some(bad), || {
+                catch_unwind(AssertUnwindSafe(default_threads))
+            });
+            let payload = caught.expect_err(&format!("GATHER_THREADS={bad:?} must panic"));
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("GATHER_THREADS must be a positive integer"),
+                "GATHER_THREADS={bad:?}: unexpected panic message {msg:?}"
+            );
+            assert!(
+                msg.contains(&format!("{bad:?}")),
+                "panic message must echo the offending value: {msg:?}"
+            );
         }
     }
 }

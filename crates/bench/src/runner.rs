@@ -36,6 +36,12 @@ pub struct Scenario {
     pub max_rounds: u64,
     /// RNG seed for every randomised component.
     pub seed: u64,
+    /// Run the per-round invariant audits (default on). Only meaningful
+    /// for the paper's algorithm — baselines never audit. Sweeps that
+    /// measure raw scenario throughput turn this off; the audit costs the
+    /// bulk of round time (see `BENCH_b9_obs.json`) and the b10 contract
+    /// compares batch and sequential execution with identical settings.
+    pub audit: bool,
 }
 
 impl Scenario {
@@ -51,17 +57,16 @@ impl Scenario {
             delta: 0.05,
             max_rounds: 60_000,
             seed,
+            audit: true,
         }
     }
 
     /// Runs the scenario to completion and summarises it, recycling this
     /// thread's engine scratch across calls.
     pub fn run(&self) -> RunMetrics {
-        let parts = ENGINE_PARTS
-            .with(|cell| cell.borrow_mut().take())
-            .unwrap_or_default();
+        let parts = take_thread_parts();
         let (metrics, parts) = self.run_with(parts);
-        ENGINE_PARTS.with(|cell| *cell.borrow_mut() = Some(parts));
+        put_thread_parts(parts);
         metrics
     }
 
@@ -105,7 +110,7 @@ impl Scenario {
     /// identically to plain ones.
     fn build_engine(&self, parts: EngineParts, obs: Option<EngineObs>) -> Engine {
         let n = self.initial.len();
-        let wait_free = self.algorithm == "wait-free-gather";
+        let wait_free = self.algorithm == "wait-free-gather" && self.audit;
         let mut builder = Engine::builder(self.initial.clone())
             .algorithm(factory::algorithm(self.algorithm))
             .scheduler(factory::scheduler(self.scheduler, n, self.seed))
@@ -134,7 +139,7 @@ impl Scenario {
     fn complete(&self, engine: &mut Engine) -> RunMetrics {
         let outcome = engine.run(self.max_rounds);
         let metrics = summarize(outcome, engine.trace());
-        if self.algorithm == "wait-free-gather" {
+        if self.algorithm == "wait-free-gather" && self.audit {
             assert!(
                 engine.violations().is_empty(),
                 "invariant violations in {:?}: {:?}",
@@ -144,6 +149,21 @@ impl Scenario {
         }
         metrics
     }
+}
+
+/// Takes this thread's recycled engine parts (fresh ones on the thread's
+/// first use). Pair with [`put_thread_parts`]: the batch sweep runner uses
+/// the same per-worker arena contract as [`Scenario::run`], so sequential
+/// and batch execution on one pool share warm buffers.
+pub fn take_thread_parts() -> EngineParts {
+    ENGINE_PARTS
+        .with(|cell| cell.borrow_mut().take())
+        .unwrap_or_default()
+}
+
+/// Returns recycled engine parts to this thread's slot for the next run.
+pub fn put_thread_parts(parts: EngineParts) {
+    ENGINE_PARTS.with(|cell| *cell.borrow_mut() = Some(parts));
 }
 
 /// Runs `f` over every item on the process-wide persistent worker pool

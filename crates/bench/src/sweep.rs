@@ -1,0 +1,142 @@
+//! Columnar mega-sweep: lockstep batch execution of scenario grids.
+//!
+//! [`crate::runner::Scenario::run`] drives one engine per scenario; a
+//! parameter-space sweep instead hands *chunks* of consecutive scenarios to
+//! each pool worker and advances every chunk as a [`BatchEngine`] — one
+//! scratch arena, columnar between-round state, and per-lane retirement so
+//! short runs free their slot for the next admission. The batch path is
+//! bit-identical to the sequential one for every `(spec, seed)` (see
+//! `tests/batch_identity.rs` and the `sweep-smoke` gate in
+//! `scripts/check.sh`), so the only observable difference is throughput.
+//!
+//! Chunk ordering matters for warmth: grids should emit scenarios that
+//! share an initial configuration consecutively (same class/n/trial, inner
+//! loops over scheduler, `δ`, faults) so the batch admission memo skips the
+//! cold classification for every grid cell after the first.
+
+use crate::factory;
+use crate::pool::WorkerPool;
+use crate::runner::{put_thread_parts, take_thread_parts, Scenario};
+use gather_geom::Tol;
+use gather_sim::metrics::RunMetrics;
+use gather_sim::prelude::*;
+
+/// Consecutive scenarios handed to each pool job. Large enough that the
+/// per-job overhead (slot scan, parts hand-off) amortises to nothing, small
+/// enough that a grid of a few thousand cells still load-balances across
+/// the pool.
+pub const CHUNK: usize = 128;
+
+/// Translates a [`Scenario`] into the equivalent [`LaneSpec`].
+///
+/// This mirrors `Scenario::build_engine` field for field (same factory
+/// boxes, same derived seeds, same audit gating), which is what makes
+/// [`run_batched_on`] interchangeable with `Scenario::run`: identical
+/// configuration in, bit-identical [`RunMetrics`] out.
+pub fn lane_spec(s: &Scenario) -> LaneSpec {
+    let n = s.initial.len();
+    let wait_free = s.algorithm == "wait-free-gather" && s.audit;
+    LaneSpec {
+        initial: s.initial.clone(),
+        algorithm: factory::algorithm(s.algorithm),
+        scheduler: factory::scheduler(s.scheduler, n, s.seed),
+        crash_plan: Box::new(RandomCrashes::new(
+            s.faults.min(n.saturating_sub(1)),
+            0.05,
+            s.seed.wrapping_add(2),
+        )),
+        motion: factory::motion(s.motion, s.seed.wrapping_add(1)),
+        frames: FramePolicy::RandomPerActivation {
+            seed: s.seed.wrapping_add(3),
+        },
+        tol: Tol::default(),
+        delta: s.delta,
+        check_invariants: wait_free,
+        shared_analysis: true,
+        warm_start: true,
+        max_rounds: s.max_rounds,
+    }
+}
+
+/// Runs every scenario on `pool` via lockstep batches of `width` lanes and
+/// returns the metrics in input order.
+///
+/// Each worker recycles the same thread-local [`EngineParts`] slot that
+/// `Scenario::run` uses, so interleaving batched sweeps with sequential
+/// runs on one pool keeps a single warm arena per thread. Like
+/// `Scenario::run`, this asserts the invariant monitors stayed quiet for
+/// audited wait-free scenarios.
+pub fn run_batched_on(pool: &WorkerPool, scenarios: &[Scenario], width: usize) -> Vec<RunMetrics> {
+    assert!(width > 0, "batch width must be positive");
+    let chunks: Vec<&[Scenario]> = scenarios.chunks(CHUNK).collect();
+    let per_chunk = pool.map(&chunks, |chunk| {
+        let parts = take_thread_parts();
+        let mut batch = BatchEngine::new(width, parts);
+        let results = batch.run(chunk.iter().map(lane_spec).collect());
+        put_thread_parts(batch.into_parts());
+        chunk
+            .iter()
+            .zip(results)
+            .map(|(s, lane)| {
+                if s.algorithm == "wait-free-gather" && s.audit {
+                    assert!(
+                        lane.violations.is_empty(),
+                        "scenario (seed {}) violated invariants: {:?}",
+                        s.seed,
+                        lane.violations
+                    );
+                }
+                lane.metrics
+            })
+            .collect::<Vec<_>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::Class;
+    use gather_workloads::of_class;
+
+    fn grid() -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        let classes = [Class::Multiple, Class::Asymmetric, Class::QuasiRegular];
+        for (ci, &class) in classes.iter().enumerate() {
+            let initial = of_class(class, 6, 42 + ci as u64);
+            for (si, scheduler) in ["full", "round-robin"].iter().enumerate() {
+                for faults in [0usize, 2] {
+                    let mut s = Scenario::new(initial.clone(), 1000 + (ci * 10 + si) as u64);
+                    s.scheduler = scheduler;
+                    s.faults = faults;
+                    s.max_rounds = 400;
+                    scenarios.push(s);
+                }
+            }
+        }
+        scenarios
+    }
+
+    #[test]
+    fn batched_sweep_matches_sequential_scenario_runs() {
+        let pool = WorkerPool::new(2);
+        let scenarios = grid();
+        let sequential: Vec<RunMetrics> = scenarios.iter().map(|s| s.run()).collect();
+        for width in [1, 4] {
+            let batched = run_batched_on(&pool, &scenarios, width);
+            assert_eq!(batched, sequential, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn audit_off_scenarios_also_match() {
+        let pool = WorkerPool::new(1);
+        let mut scenarios = grid();
+        for s in &mut scenarios {
+            s.audit = false;
+        }
+        let sequential: Vec<RunMetrics> = scenarios.iter().map(|s| s.run()).collect();
+        let batched = run_batched_on(&pool, &scenarios, 8);
+        assert_eq!(batched, sequential);
+    }
+}

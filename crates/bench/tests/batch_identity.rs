@@ -1,0 +1,122 @@
+//! The mega-sweep bit-identity contract: [`run_batched_on`] must produce
+//! byte-for-byte the same `RunMetrics` as the sequential
+//! [`Scenario::run`] path, for every configuration class, batch width, and
+//! pool size.
+//!
+//! This is the hard contract behind the B10 benchmark and the `sweep`
+//! phase-cartography driver (DESIGN.md §14): the lockstep [`BatchEngine`]
+//! shares its stage code (`StepCore`) with the per-scenario `Engine`, so
+//! batching may only ever change *throughput*, never a single counter —
+//! including the observability-ish ones (`weiszfeld_iters`,
+//! `classifications`, `cache_hits`) that would drift first if the batch
+//! path reordered or deduplicated per-round work it must not.
+
+use gather_bench::pool::WorkerPool;
+use gather_bench::runner::Scenario;
+use gather_bench::sweep::{run_batched_on, CHUNK};
+use gather_config::Class;
+use gather_sim::metrics::RunMetrics;
+use gather_workloads as workloads;
+
+/// Every configuration class of the paper's taxonomy, crossed with all
+/// four schedulers, two motion floors, and crash counts {0, 3}, under the
+/// stingy `random` motion adversary. `max_rounds` is tight enough that
+/// slow corners hit the round limit, so lane retirement and compaction are
+/// exercised alongside normal gathering.
+fn all_class_grid(audit: bool) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for class in Class::all() {
+        for (t, &sched) in ["full", "round-robin", "single", "random"]
+            .iter()
+            .enumerate()
+        {
+            let initial = workloads::of_class(class, 8, t as u64);
+            for delta in [0.05, 0.2] {
+                for faults in [0usize, 3] {
+                    let mut s = Scenario::new(initial.clone(), t as u64);
+                    s.scheduler = sched;
+                    s.motion = "random";
+                    s.delta = delta;
+                    s.faults = faults;
+                    s.max_rounds = 60;
+                    s.audit = audit;
+                    scenarios.push(s);
+                }
+            }
+        }
+    }
+    scenarios
+}
+
+fn run_sequential(scenarios: &[Scenario]) -> Vec<RunMetrics> {
+    scenarios.iter().map(Scenario::run).collect()
+}
+
+#[test]
+fn batched_execution_is_bit_identical_across_widths() {
+    let scenarios = all_class_grid(true);
+    let reference = run_sequential(&scenarios);
+    let pool = WorkerPool::new(2);
+    for width in [1usize, 3, 16] {
+        let batched = run_batched_on(&pool, &scenarios, width);
+        assert_eq!(
+            batched, reference,
+            "batched sweep at width {width} diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn batched_execution_is_bit_identical_across_pool_sizes() {
+    let scenarios = all_class_grid(true);
+    let reference = run_sequential(&scenarios);
+    for threads in [1usize, 2, 8] {
+        let pool = WorkerPool::new(threads);
+        let batched = run_batched_on(&pool, &scenarios, 16);
+        assert_eq!(
+            batched, reference,
+            "batched sweep at {threads} threads diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn audit_off_grid_matches_too() {
+    // The sweep drivers run with audits off; the identity must not depend
+    // on the invariant monitors being wired in.
+    let scenarios = all_class_grid(false);
+    let reference = run_sequential(&scenarios);
+    let pool = WorkerPool::new(2);
+    let batched = run_batched_on(&pool, &scenarios, 8);
+    assert_eq!(batched, reference, "audit-off grid diverged");
+}
+
+#[test]
+fn grids_longer_than_one_chunk_stay_in_input_order() {
+    // Force multiple pool jobs (scenario count > CHUNK) by repeating the
+    // grid; results must come back flattened in input order regardless of
+    // which worker drained which chunk.
+    let mut scenarios = Vec::new();
+    while scenarios.len() <= CHUNK {
+        scenarios.extend(all_class_grid(true));
+    }
+    let reference = run_sequential(&scenarios);
+    let pool = WorkerPool::new(2);
+    let batched = run_batched_on(&pool, &scenarios, 16);
+    assert_eq!(batched, reference, "multi-chunk sweep diverged");
+}
+
+#[test]
+fn interleaving_batched_and_sequential_runs_on_one_pool_is_stable() {
+    // Both paths recycle the same per-worker `EngineParts` slot; alternating
+    // them on one pool must not let state leak across the boundary.
+    let scenarios = all_class_grid(true);
+    let pool = WorkerPool::new(2);
+    let first = run_batched_on(&pool, &scenarios, 16);
+    for round in 1..4 {
+        let sequential = pool.map(&scenarios, Scenario::run);
+        let batched = run_batched_on(&pool, &scenarios, 16);
+        assert_eq!(batched, sequential, "paths diverged at round {round}");
+        assert_eq!(batched, first, "batched results drifted at round {round}");
+    }
+}

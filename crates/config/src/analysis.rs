@@ -236,6 +236,36 @@ impl AnalysisCache {
         analysis
     }
 
+    /// Installs an externally computed analysis as the memo entry, exactly
+    /// as a miss of [`AnalysisCache::analyse`] on `points` would have —
+    /// entry updated (reusing its point buffer), warm-start iterate carried
+    /// forward, `computed` incremented. `analysis` must be the analysis of
+    /// `points` at the tolerance this cache is used with; a batch admission
+    /// layer that classifies many identical initial configurations can then
+    /// share one computation across caches without perturbing any later
+    /// hit/miss or Weiszfeld-iteration sequence.
+    pub fn seed(&mut self, points: &[Point], analysis: RoundAnalysis) {
+        self.computed += 1;
+        if analysis.weber_hint.is_some() {
+            self.last_weber = analysis.weber_hint;
+        }
+        match &mut self.entry {
+            Some(e) => {
+                e.fingerprint = analysis.fingerprint;
+                e.points.clear();
+                e.points.extend_from_slice(points);
+                e.analysis = analysis;
+            }
+            entry @ None => {
+                *entry = Some(Entry {
+                    fingerprint: analysis.fingerprint,
+                    points: points.to_vec(),
+                    analysis,
+                });
+            }
+        }
+    }
+
     /// Returns the cache to its initial state — no memo entry, no warm-start
     /// iterate, zeroed counters — while keeping the entry's point buffer
     /// allocated for reuse.
@@ -392,6 +422,29 @@ mod tests {
         assert_eq!(again, expect);
         assert_eq!(recycled.computed(), 1);
         assert_eq!(recycled.hits(), 0);
+    }
+
+    #[test]
+    fn seeded_cache_behaves_like_a_cache_that_analysed() {
+        let c = square();
+        let mut analysed = AnalysisCache::new();
+        let expect = analysed.analyse(&c, t());
+
+        let mut seeded = AnalysisCache::new();
+        seeded.seed(c.points(), RoundAnalysis::compute(&c, t()));
+        assert_eq!(seeded.computed(), analysed.computed());
+        assert_eq!(seeded.hits(), 0);
+        // The seeded entry serves the next identical configuration as a hit,
+        // exactly like the cache that ran analyse() itself.
+        let again = seeded.analyse(&c, t());
+        assert_eq!(again, expect);
+        assert_eq!(seeded.hits(), 1);
+        assert_eq!(seeded.computed(), 1);
+
+        // And a different configuration misses on both, with the same
+        // warm-start state carried from the seeded analysis.
+        let moved = square().map(|p| Point::new(p.x + 1.0, p.y));
+        assert_eq!(seeded.analyse(&moved, t()), analysed.analyse(&moved, t()));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! one scenario request, one streamed trace, one malformed request, a
 //! `/v1/metrics` scrape and a graceful shutdown, all asserted.
 
+use gather_bench::report;
 use gather_bench::runner::percentile;
 use gather_bench::Args;
 use gather_config::Class;
@@ -358,27 +359,13 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
-    if args.quick || args.baseline.is_some() {
-        // A reduced or comparison run must never become the committed
-        // record.
-        let fresh = args.out_dir.join("b8_service.json");
-        std::fs::write(&fresh, &json).expect("write fresh JSON");
-        println!(
-            "\nwrote {} (BENCH_b8_service.json left untouched)",
-            fresh.display()
-        );
-    } else {
-        let bench_out = std::path::Path::new("BENCH_b8_service.json");
-        std::fs::write(bench_out, &json).expect("write BENCH json");
-        println!("\nwrote {}", bench_out.display());
-    }
-
-    if !failures.is_empty() {
-        eprintln!("\nB8 FAILURES:");
-        for failure in &failures {
-            eprintln!("  {failure}");
-        }
-        std::process::exit(1);
-    }
+    println!();
+    report::emit_record(
+        "b8_service",
+        &json,
+        &args.out_dir,
+        args.quick,
+        args.baseline.is_some(),
+    );
+    report::fail_if_any("B8", &failures);
 }

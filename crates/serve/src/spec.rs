@@ -263,6 +263,7 @@ impl ScenarioSpec {
             delta: self.delta,
             max_rounds: self.max_rounds,
             seed: self.seed,
+            audit: true,
         })
     }
 

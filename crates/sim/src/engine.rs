@@ -36,28 +36,28 @@ use gather_obs::{EngineObs, Phase, PhaseNanos, PhaseTimer};
 /// conflicts between the buffers and the engine's trait objects) and put
 /// back before returning.
 #[derive(Debug, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// The start-of-round configuration (what every robot LOOKs at).
-    config: Configuration,
+    pub(crate) config: Configuration,
     /// A robot's local view: the observed configuration with the robot's
     /// own entry refreshed, mapped into its frame.
-    local: Configuration,
+    pub(crate) local: Configuration,
     /// Pending end-of-round positions, before canonicalisation.
-    new_positions: Vec<Point>,
+    pub(crate) new_positions: Vec<Point>,
     /// Canonicalised end-of-round positions (swapped into `positions`).
-    canon_out: Vec<Point>,
+    pub(crate) canon_out: Vec<Point>,
     /// Union-find arrays for canonicalisation.
-    canon: CanonScratch,
+    pub(crate) canon: CanonScratch,
     /// Robots activated this round.
-    activated: Vec<usize>,
+    pub(crate) activated: Vec<usize>,
     /// Raw victim list from the crash plan (pre-liveness-filter).
-    crash_raw: Vec<usize>,
+    pub(crate) crash_raw: Vec<usize>,
     /// Robots that actually crashed this round.
-    crashed_now: Vec<usize>,
+    pub(crate) crashed_now: Vec<usize>,
     /// Distinct locations with multiplicities (`U(C)`).
-    distinct: Vec<(Point, usize)>,
+    pub(crate) distinct: Vec<(Point, usize)>,
     /// Sorting scratch for `distinct_into`.
-    sort: Vec<Point>,
+    pub(crate) sort: Vec<Point>,
 }
 
 /// The reusable heap-backed innards of a retired [`Engine`]: the round-loop
@@ -74,8 +74,328 @@ struct Scratch {
 /// and metrics to a fresh one.
 #[derive(Debug, Default)]
 pub struct EngineParts {
-    scratch: Scratch,
-    analysis_cache: AnalysisCache,
+    pub(crate) scratch: Scratch,
+    pub(crate) analysis_cache: AnalysisCache,
+}
+
+/// The reusable stepping core: one scenario's adversaries, algorithm and
+/// analysis state, with the per-round loop factored into callable stages
+/// over *borrowed* mutable state (positions, liveness flags, scratch
+/// buffers supplied by the caller).
+///
+/// [`Engine`] recomposes the stages — in the exact order and with the
+/// exact operations of the original monolithic loop — around its own
+/// history ring, position log, trace and phase timers. The lockstep
+/// [`crate::batch::BatchEngine`] drives the *same* stage code over
+/// scenario-major columnar state, which is what makes batch execution
+/// bit-identical to sequential runs by construction rather than by
+/// re-implementation.
+///
+/// Stage methods take `round`, state slices and a [`Scratch`] explicitly
+/// instead of owning them: one scratch arena can then serve many cores
+/// (the batch engine lends its single per-worker arena to whichever lane
+/// is stepping), and the borrows stay disjoint from the trait objects
+/// stored here.
+pub(crate) struct StepCore {
+    pub(crate) algorithm: Box<dyn Algorithm>,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) crash_plan: Box<dyn CrashPlan>,
+    pub(crate) motion: Box<dyn MotionAdversary>,
+    pub(crate) frame_source: FrameSource,
+    pub(crate) tol: Tol,
+    pub(crate) delta: f64,
+    pub(crate) shared_analysis: bool,
+    pub(crate) check_invariants: bool,
+    pub(crate) started_bivalent: bool,
+    pub(crate) analysis_cache: AnalysisCache,
+}
+
+impl StepCore {
+    /// The single shared analysis of the start-of-round configuration
+    /// (already loaded into `scratch.config`) and the round's class. `None`
+    /// analysis in the ablation mode: each consumer then classifies for
+    /// itself, as the seed did.
+    pub(crate) fn stage_classify(&mut self, scratch: &Scratch) -> (Option<RoundAnalysis>, Class) {
+        let shared: Option<RoundAnalysis> = self
+            .shared_analysis
+            .then(|| self.analysis_cache.analyse(&scratch.config, self.tol));
+        let class = match &shared {
+            Some(ra) => ra.analysis.class,
+            None => classify(&scratch.config, self.tol).class,
+        };
+        (shared, class)
+    }
+
+    /// Computes the distinct occupied locations (`U(C)`) of the
+    /// start-of-round configuration into `scratch.distinct`.
+    pub(crate) fn stage_distinct(&self, scratch: &mut Scratch) {
+        let Scratch {
+            config,
+            distinct,
+            sort,
+            ..
+        } = scratch;
+        config.distinct_into(distinct, sort);
+    }
+
+    /// Crash stage: asks the plan for this round's victims (on the
+    /// start-of-round configuration in `scratch.config`), kills the ones
+    /// still alive, and records them in `scratch.crashed_now`.
+    pub(crate) fn stage_crashes(&mut self, round: u64, alive: &mut [bool], scratch: &mut Scratch) {
+        self.crash_plan
+            .crashes_into(round, &scratch.config, alive, &mut scratch.crash_raw);
+        scratch.crashed_now.clear();
+        for &victim in &scratch.crash_raw {
+            if alive.get(victim).copied().unwrap_or(false) {
+                alive[victim] = false;
+                scratch.crashed_now.push(victim);
+            }
+        }
+    }
+
+    /// Activation stage: scheduler selection filtered to live in-range
+    /// robots, sorted and deduplicated, into `scratch.activated`.
+    pub(crate) fn stage_activate(&mut self, round: u64, alive: &[bool], scratch: &mut Scratch) {
+        self.scheduler
+            .select_into(round, alive, &mut scratch.activated);
+        scratch.activated.retain(|i| *i < alive.len() && alive[*i]);
+        scratch.activated.sort_unstable();
+        scratch.activated.dedup();
+    }
+
+    /// Look–Compute–Move stage for every activated robot, from the same
+    /// start-of-round configuration (ATOM atomicity). Pending end-of-round
+    /// positions land in `scratch.new_positions`; the return value is the
+    /// round's total travel.
+    ///
+    /// `history_front` is the stale observed configuration when a positive
+    /// look delay is in force (`None` means robots observe
+    /// `scratch.config`); `fresh_look` says whether the observed
+    /// configuration IS the analysed one, which is what licenses attaching
+    /// the shared analysis to robot snapshots. `byzantine` may be shorter
+    /// than the robot count (the batch path passes an empty slice: lanes
+    /// never carry byzantine robots); missing entries mean "not byzantine".
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn stage_moves(
+        &mut self,
+        round: u64,
+        positions: &[Point],
+        byzantine: &mut [Option<Box<dyn ByzantinePolicy>>],
+        history_front: Option<&Configuration>,
+        shared: Option<&RoundAnalysis>,
+        fresh_look: bool,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        scratch.new_positions.clear();
+        scratch.new_positions.extend_from_slice(positions);
+        let mut travel = 0.0;
+        for &i in &scratch.activated {
+            let me = positions[i];
+            let dest = if let Some(policy) = byzantine.get_mut(i).and_then(|p| p.as_mut()) {
+                // Byzantine robots pick destinations omnisciently, in
+                // global coordinates, on the *current* configuration.
+                policy.destination(round, i, &scratch.config, me)
+            } else {
+                let frame = self.frame_source.frame_for(me);
+                // The robot sees itself where it currently is (it is the
+                // origin of its own frame), embedded in the (possibly
+                // stale) observed configuration: its own entry is replaced
+                // by its true position, everyone else appears where they
+                // were `look_delay` rounds ago.
+                let observed = history_front.unwrap_or(&scratch.config);
+                scratch.local.copy_from(observed);
+                scratch.local.set_point(i, me);
+                scratch.local.map_in_place(|p| frame.apply(p));
+                let local_me = frame.apply(me);
+                // Attach the shared analysis with its target carried into
+                // the robot's frame — class, n and qreg are invariant under
+                // the orientation-preserving frame similarity. Only valid
+                // when the robot's view IS the analysed configuration, i.e.
+                // with fresh (non-stale) LOOKs.
+                let snap = match shared {
+                    Some(ra) if fresh_look => Snapshot::with_analysis_borrowed(
+                        &scratch.local,
+                        local_me,
+                        ra.map_target(|t| frame.apply(t)).analysis,
+                    ),
+                    _ => Snapshot::borrowed(&scratch.local, local_me),
+                };
+                let local_dest = self.algorithm.destination(&snap);
+                frame.inverse().apply(local_dest)
+            };
+            // "Destination == current position → do not move" (footnote 2
+            // of the paper). The threshold only absorbs frame round-trip
+            // noise (~1e-13); genuine short moves are completed exactly by
+            // the δ rule, letting nearby robots actually coincide.
+            if dest.within(me, self.tol.abs) {
+                continue;
+            }
+            let fraction = self.motion.stop_fraction(round, i, me, dest);
+            let reached = apply_motion(me, dest, fraction, self.delta);
+            travel += me.dist(reached);
+            scratch.new_positions[i] = reached;
+        }
+        travel
+    }
+
+    /// Simultaneous application: canonicalises `scratch.new_positions`
+    /// into `scratch.canon_out` (the caller swaps or copies it into its
+    /// own position storage).
+    pub(crate) fn stage_apply(&self, scratch: &mut Scratch) {
+        canonicalize_into(
+            &scratch.new_positions,
+            self.tol.snap,
+            &mut scratch.canon,
+            &mut scratch.canon_out,
+        );
+    }
+
+    /// Invariant-audit stage over the completed round: wait-freeness on the
+    /// start-of-round configuration (still in `scratch.config`), then the
+    /// never-enter-`B` check on the post-move `post` (which overwrites
+    /// `scratch.config` — the start-of-round one is no longer needed).
+    pub(crate) fn stage_audits(
+        &mut self,
+        round: u64,
+        post: &[Point],
+        shared: Option<&RoundAnalysis>,
+        scratch: &mut Scratch,
+        violations: &mut Vec<String>,
+    ) {
+        self.audit_wait_freeness(
+            round,
+            &scratch.config,
+            &scratch.distinct,
+            shared,
+            violations,
+        );
+        // The wait-freeness audit needed the start-of-round
+        // configuration; recycle its buffer for the post-move one.
+        scratch.config.copy_from_slice(post);
+        self.audit_never_bivalent(round, &scratch.config, violations);
+    }
+
+    /// Destination the algorithm assigns to a robot at `at` over
+    /// `positions`, computed in the global frame. Reuses the shared
+    /// analysis: between steps this is a cache hit (the post-move
+    /// configuration was analysed by the audit).
+    pub(crate) fn destination_at(
+        &mut self,
+        positions: &[Point],
+        at: Point,
+        scratch: &mut Scratch,
+    ) -> Point {
+        scratch.config.copy_from_slice(positions);
+        let snap = if self.shared_analysis {
+            let ra = self.analysis_cache.analyse(&scratch.config, self.tol);
+            Snapshot::with_analysis_borrowed(&scratch.config, at, ra.analysis)
+        } else {
+            Snapshot::borrowed(&scratch.config, at)
+        };
+        self.algorithm.destination(&snap)
+    }
+
+    /// The `GATHERED` predicate (Definition 9) over borrowed state: all
+    /// robots with a `true` mask entry occupy one location *and* the
+    /// algorithm, applied to the full configuration, does not instruct
+    /// that location to move. Returns the gathering location when it
+    /// holds. The mask marks the *correct* robots (live and
+    /// non-byzantine); a batch lane's mask is its alive column.
+    pub(crate) fn gathered_point(
+        &mut self,
+        positions: &[Point],
+        correct: &[bool],
+        scratch: &mut Scratch,
+    ) -> Option<Point> {
+        let first = positions
+            .iter()
+            .zip(correct)
+            .find(|(_, c)| **c)
+            .map(|(p, _)| *p)?;
+        let all_together = positions
+            .iter()
+            .zip(correct)
+            .filter(|(_, c)| **c)
+            .all(|(p, _)| p.within(first, self.tol.snap));
+        if !all_together {
+            return None;
+        }
+        let dest = self.destination_at(positions, first, scratch);
+        dest.within(first, self.tol.snap).then_some(first)
+    }
+
+    /// Lemma 5.1 audit: at most one occupied location may be told to stay.
+    ///
+    /// Destinations are evaluated per distinct location in the global
+    /// frame; by algorithm equivariance this matches what any robot at that
+    /// location would compute in its own frame.
+    fn audit_wait_freeness(
+        &mut self,
+        round: u64,
+        config: &Configuration,
+        distinct: &[(Point, usize)],
+        shared: Option<&RoundAnalysis>,
+        violations: &mut Vec<String>,
+    ) {
+        if distinct.len() <= 1 {
+            return; // gathered — `Configuration::is_gathered` would allocate
+        }
+        // The bivalent class is outside the algorithm's contract.
+        let class = match shared {
+            Some(ra) => ra.analysis.class,
+            None => classify(config, self.tol).class,
+        };
+        if class == Class::Bivalent {
+            return;
+        }
+        let mut staying = 0usize;
+        for (p, _) in distinct {
+            // The audit evaluates in the global frame, so the shared
+            // analysis applies verbatim (identity transform) and the
+            // configuration is lent, not cloned, per location.
+            let snap = match shared {
+                Some(ra) => Snapshot::with_analysis_borrowed(config, *p, ra.analysis),
+                None => Snapshot::borrowed(config, *p),
+            };
+            let dest = self.algorithm.destination(&snap);
+            // Mirrors the engine's own "do not move" rule exactly.
+            if dest.within(*p, self.tol.abs) {
+                staying += 1;
+            }
+        }
+        if staying > 1 {
+            violations.push(format!(
+                "round {round}: wait-freeness violated: {staying} locations told to stay in {config}"
+            ));
+        }
+    }
+
+    /// Nothing may ever transition *into* the bivalent class (Lemmas 5.6
+    /// C1, 5.7) unless the execution started there. `post` is the
+    /// post-move configuration of the round being audited.
+    fn audit_never_bivalent(
+        &mut self,
+        round: u64,
+        post: &Configuration,
+        violations: &mut Vec<String>,
+    ) {
+        if self.started_bivalent {
+            return;
+        }
+        // With the shared pipeline this analysis is memoized and becomes
+        // the next round's start-of-round cache hit, so the audit costs no
+        // extra steady-state classification.
+        let class = if self.shared_analysis {
+            self.analysis_cache.analyse(post, self.tol).analysis.class
+        } else {
+            classify(post, self.tol).class
+        };
+        if class == Class::Bivalent {
+            violations.push(format!(
+                "round {round}: execution entered the bivalent class"
+            ));
+        }
+    }
 }
 
 /// Result of running an engine until gathering or a round limit.
@@ -364,13 +684,19 @@ impl EngineBuilder {
             alive: vec![true; n],
             byzantine,
             round: 0,
-            algorithm,
-            scheduler: self.scheduler,
-            crash_plan: self.crash_plan,
-            motion: self.motion,
-            frame_source: FrameSource::new(self.frames),
-            tol: self.tol,
-            delta: self.delta,
+            core: StepCore {
+                algorithm,
+                scheduler: self.scheduler,
+                crash_plan: self.crash_plan,
+                motion: self.motion,
+                frame_source: FrameSource::new(self.frames),
+                tol: self.tol,
+                delta: self.delta,
+                shared_analysis: self.shared_analysis,
+                check_invariants: self.check_invariants,
+                started_bivalent,
+                analysis_cache,
+            },
             look_delay: self.look_delay,
             history: std::collections::VecDeque::new(),
             position_log: if self.record_positions {
@@ -382,11 +708,7 @@ impl EngineBuilder {
             position_log_capacity: self.position_log_capacity,
             trace,
             violations: Vec::new(),
-            check_invariants: self.check_invariants,
-            started_bivalent,
-            shared_analysis: self.shared_analysis,
             reuse_buffers: self.reuse_buffers,
-            analysis_cache,
             scratch,
             last_record: RoundRecord::default(),
             obs: self.obs,
@@ -420,13 +742,7 @@ pub struct Engine {
     alive: Vec<bool>,
     byzantine: Vec<Option<Box<dyn ByzantinePolicy>>>,
     round: u64,
-    algorithm: Box<dyn Algorithm>,
-    scheduler: Box<dyn Scheduler>,
-    crash_plan: Box<dyn CrashPlan>,
-    motion: Box<dyn MotionAdversary>,
-    frame_source: FrameSource,
-    tol: Tol,
-    delta: f64,
+    core: StepCore,
     look_delay: u64,
     history: std::collections::VecDeque<Configuration>,
     position_log: Vec<Vec<Point>>,
@@ -434,11 +750,7 @@ pub struct Engine {
     position_log_capacity: Option<usize>,
     trace: Trace,
     violations: Vec<String>,
-    check_invariants: bool,
-    started_bivalent: bool,
-    shared_analysis: bool,
     reuse_buffers: bool,
-    analysis_cache: AnalysisCache,
     scratch: Scratch,
     last_record: RoundRecord,
     obs: Option<EngineObs>,
@@ -475,7 +787,7 @@ impl Engine {
     pub fn into_parts(self) -> EngineParts {
         EngineParts {
             scratch: self.scratch,
-            analysis_cache: self.analysis_cache,
+            analysis_cache: self.core.analysis_cache,
         }
     }
 
@@ -539,6 +851,7 @@ impl Engine {
     /// the full configuration (crashed robots included), does not instruct
     /// that location to move.
     pub fn is_gathered(&mut self) -> bool {
+        let tol = self.core.tol;
         let Some(first) = (0..self.positions.len())
             .find(|i| self.is_correct(*i))
             .map(|i| self.positions[i])
@@ -547,36 +860,22 @@ impl Engine {
         };
         let all_together = (0..self.positions.len())
             .filter(|i| self.is_correct(*i))
-            .all(|i| self.positions[i].within(first, self.tol.snap));
+            .all(|i| self.positions[i].within(first, tol.snap));
         if !all_together {
             return false;
         }
-        let dest = self.global_destination_of(first);
-        dest.within(first, self.tol.snap)
-    }
-
-    /// Destination the algorithm assigns to a robot at `at`, computed in
-    /// the global frame. Reuses the shared analysis: between steps this is
-    /// a cache hit (the post-move configuration was analysed by the audit).
-    fn global_destination_of(&mut self, at: Point) -> Point {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.config.copy_from_slice(&self.positions);
-        let dest = {
-            let snap = if self.shared_analysis {
-                let ra = self.analysis_cache.analyse(&scratch.config, self.tol);
-                Snapshot::with_analysis_borrowed(&scratch.config, at, ra.analysis)
-            } else {
-                Snapshot::borrowed(&scratch.config, at)
-            };
-            self.algorithm.destination(&snap)
-        };
-        self.scratch = scratch;
-        dest
+        let dest = self
+            .core
+            .destination_at(&self.positions, first, &mut self.scratch);
+        dest.within(first, tol.snap)
     }
 
     /// Cumulative analysis-cache counters `(computed, hits)`.
     pub fn analysis_cache_stats(&self) -> (u64, u64) {
-        (self.analysis_cache.computed(), self.analysis_cache.hits())
+        (
+            self.core.analysis_cache.computed(),
+            self.core.analysis_cache.hits(),
+        )
     }
 
     /// The attached observability handle, when one was set with
@@ -608,10 +907,9 @@ impl Engine {
     /// Executes one round and returns its record (borrowed from the
     /// engine; also appended to the [`Trace`]).
     pub fn step(&mut self) -> &RoundRecord {
-        let tol = self.tol;
         let classify_before = classify_invocations();
         let weiszfeld_before = weiszfeld_iterations();
-        let hits_before = self.analysis_cache.hits();
+        let hits_before = self.core.analysis_cache.hits();
         // Phase attribution. With instrumentation absent or disabled the
         // timer holds no `Instant` and every lap below is one branch — the
         // whole disabled cost of the round, keeping the ≤2% overhead
@@ -633,19 +931,10 @@ impl Engine {
         timer.lap(Phase::Snapshot);
         // The single shared analysis of the start-of-round configuration —
         // every activated robot LOOKs at exactly this configuration (ATOM),
-        // so one classification serves them all. `None` in the ablation
-        // mode: each consumer then classifies for itself, as the seed did.
-        let shared: Option<RoundAnalysis> = self
-            .shared_analysis
-            .then(|| self.analysis_cache.analyse(&scratch.config, tol));
-        let class = match &shared {
-            Some(ra) => ra.analysis.class,
-            None => classify(&scratch.config, tol).class,
-        };
+        // so one classification serves them all.
+        let (shared, class) = self.core.stage_classify(&scratch);
         timer.lap(Phase::Classify);
-        scratch
-            .config
-            .distinct_into(&mut scratch.distinct, &mut scratch.sort);
+        self.core.stage_distinct(&mut scratch);
 
         // Stale-view support: robots observe the configuration from
         // `look_delay` rounds ago (the front of the bounded history). With
@@ -664,89 +953,29 @@ impl Engine {
         timer.lap(Phase::Snapshot);
 
         // 1. Crashes.
-        self.crash_plan.crashes_into(
-            self.round,
-            &scratch.config,
-            &self.alive,
-            &mut scratch.crash_raw,
-        );
-        scratch.crashed_now.clear();
-        for &victim in &scratch.crash_raw {
-            if self.alive.get(victim).copied().unwrap_or(false) {
-                self.alive[victim] = false;
-                scratch.crashed_now.push(victim);
-            }
-        }
+        self.core
+            .stage_crashes(self.round, &mut self.alive, &mut scratch);
 
         // 2. Activation.
-        self.scheduler
-            .select_into(self.round, &self.alive, &mut scratch.activated);
-        let alive = &self.alive;
-        scratch.activated.retain(|i| *i < alive.len() && alive[*i]);
-        scratch.activated.sort_unstable();
-        scratch.activated.dedup();
+        self.core
+            .stage_activate(self.round, &self.alive, &mut scratch);
 
         // 3. Look–Compute–Move for every activated robot, from the same
         //    start-of-round configuration (ATOM atomicity).
-        scratch.new_positions.clear();
-        scratch.new_positions.extend_from_slice(&self.positions);
-        let mut travel = 0.0;
-        for &i in &scratch.activated {
-            let me = self.positions[i];
-            let dest = if let Some(policy) = self.byzantine[i].as_mut() {
-                // Byzantine robots pick destinations omnisciently, in
-                // global coordinates, on the *current* configuration.
-                policy.destination(self.round, i, &scratch.config, me)
-            } else {
-                let frame = self.frame_source.frame_for(me);
-                // The robot sees itself where it currently is (it is the
-                // origin of its own frame), embedded in the (possibly
-                // stale) observed configuration: its own entry is replaced
-                // by its true position, everyone else appears where they
-                // were `look_delay` rounds ago.
-                let observed = self.history.front().unwrap_or(&scratch.config);
-                scratch.local.copy_from(observed);
-                scratch.local.set_point(i, me);
-                scratch.local.map_in_place(|p| frame.apply(p));
-                let local_me = frame.apply(me);
-                // Attach the shared analysis with its target carried into
-                // the robot's frame — class, n and qreg are invariant under
-                // the orientation-preserving frame similarity. Only valid
-                // when the robot's view IS the analysed configuration, i.e.
-                // with fresh (non-stale) LOOKs.
-                let snap = match &shared {
-                    Some(ra) if self.look_delay == 0 => Snapshot::with_analysis_borrowed(
-                        &scratch.local,
-                        local_me,
-                        ra.map_target(|t| frame.apply(t)).analysis,
-                    ),
-                    _ => Snapshot::borrowed(&scratch.local, local_me),
-                };
-                let local_dest = self.algorithm.destination(&snap);
-                frame.inverse().apply(local_dest)
-            };
-            // "Destination == current position → do not move" (footnote 2
-            // of the paper). The threshold only absorbs frame round-trip
-            // noise (~1e-13); genuine short moves are completed exactly by
-            // the δ rule, letting nearby robots actually coincide.
-            if dest.within(me, tol.abs) {
-                continue;
-            }
-            let fraction = self.motion.stop_fraction(self.round, i, me, dest);
-            let reached = apply_motion(me, dest, fraction, self.delta);
-            travel += me.dist(reached);
-            scratch.new_positions[i] = reached;
-        }
+        let travel = self.core.stage_moves(
+            self.round,
+            &self.positions,
+            &mut self.byzantine,
+            self.history.front(),
+            shared.as_ref(),
+            self.look_delay == 0,
+            &mut scratch,
+        );
 
         // 4. Simultaneous application + canonicalisation (into the scratch
         //    output buffer, then swapped with the engine's position vector —
         //    last round's positions become next round's buffer).
-        canonicalize_into(
-            &scratch.new_positions,
-            tol.snap,
-            &mut scratch.canon,
-            &mut scratch.canon_out,
-        );
+        self.core.stage_apply(&mut scratch);
         std::mem::swap(&mut self.positions, &mut scratch.canon_out);
 
         if self.record_positions {
@@ -764,12 +993,14 @@ impl Engine {
         timer.lap(Phase::Move);
 
         // 5. Invariant audit.
-        if self.check_invariants {
-            self.audit_wait_freeness(&scratch.config, &scratch.distinct, shared.as_ref());
-            // The wait-freeness audit needed the start-of-round
-            // configuration; recycle its buffer for the post-move one.
-            scratch.config.copy_from_slice(&self.positions);
-            self.audit_never_bivalent(&scratch.config);
+        if self.core.check_invariants {
+            self.core.stage_audits(
+                self.round,
+                &self.positions,
+                shared.as_ref(),
+                &mut scratch,
+                &mut self.violations,
+            );
         }
         timer.lap(Phase::Invariants);
 
@@ -782,7 +1013,7 @@ impl Engine {
         record.crashed.clone_from(&scratch.crashed_now);
         record.travel = travel;
         record.classifications = classify_invocations() - classify_before;
-        record.cache_hits = self.analysis_cache.hits() - hits_before;
+        record.cache_hits = self.core.analysis_cache.hits() - hits_before;
         record.weiszfeld_iters = weiszfeld_iterations() - weiszfeld_before;
         self.trace.push_cloned(&self.last_record);
         if timing {
@@ -825,74 +1056,6 @@ impl Engine {
                 return RunOutcome::RoundLimit { rounds: self.round };
             }
             self.step();
-        }
-    }
-
-    /// Lemma 5.1 audit: at most one occupied location may be told to stay.
-    ///
-    /// Destinations are evaluated per distinct location in the global
-    /// frame; by algorithm equivariance this matches what any robot at that
-    /// location would compute in its own frame.
-    fn audit_wait_freeness(
-        &mut self,
-        config: &Configuration,
-        distinct: &[(Point, usize)],
-        shared: Option<&RoundAnalysis>,
-    ) {
-        if distinct.len() <= 1 {
-            return; // gathered — `Configuration::is_gathered` would allocate
-        }
-        // The bivalent class is outside the algorithm's contract.
-        let class = match shared {
-            Some(ra) => ra.analysis.class,
-            None => classify(config, self.tol).class,
-        };
-        if class == Class::Bivalent {
-            return;
-        }
-        let mut staying = 0usize;
-        for (p, _) in distinct {
-            // The audit evaluates in the global frame, so the shared
-            // analysis applies verbatim (identity transform) and the
-            // configuration is lent, not cloned, per location.
-            let snap = match shared {
-                Some(ra) => Snapshot::with_analysis_borrowed(config, *p, ra.analysis),
-                None => Snapshot::borrowed(config, *p),
-            };
-            let dest = self.algorithm.destination(&snap);
-            // Mirrors the engine's own "do not move" rule exactly.
-            if dest.within(*p, self.tol.abs) {
-                staying += 1;
-            }
-        }
-        if staying > 1 {
-            self.violations.push(format!(
-                "round {}: wait-freeness violated: {} locations told to stay in {}",
-                self.round, staying, config
-            ));
-        }
-    }
-
-    /// Nothing may ever transition *into* the bivalent class (Lemmas 5.6
-    /// C1, 5.7) unless the execution started there. `post` is the
-    /// post-move configuration of the round being audited.
-    fn audit_never_bivalent(&mut self, post: &Configuration) {
-        if self.started_bivalent {
-            return;
-        }
-        // With the shared pipeline this analysis is memoized and becomes
-        // the next round's start-of-round cache hit, so the audit costs no
-        // extra steady-state classification.
-        let class = if self.shared_analysis {
-            self.analysis_cache.analyse(post, self.tol).analysis.class
-        } else {
-            classify(post, self.tol).class
-        };
-        if class == Class::Bivalent {
-            self.violations.push(format!(
-                "round {}: execution entered the bivalent class",
-                self.round
-            ));
         }
     }
 }

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod algorithm;
+pub mod batch;
 pub mod byzantine;
 pub mod crash;
 pub mod engine;
@@ -100,6 +101,7 @@ pub use trace::{RoundRecord, Trace};
 /// [`FramePolicy`]: crate::frames::FramePolicy
 pub mod prelude {
     pub use crate::algorithm::Algorithm;
+    pub use crate::batch::{BatchEngine, LaneResult, LaneSpec};
     pub use crate::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
     pub use crate::crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
     pub use crate::engine::{Engine, EngineBuilder, EngineParts, RunOutcome};

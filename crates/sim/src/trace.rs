@@ -219,6 +219,24 @@ impl Trace {
         }
     }
 
+    /// Returns the trace to the empty state while keeping its capacity
+    /// bound and the retained records' buffers for reuse — the recycling
+    /// contract batch execution relies on: a lane slot that finished one
+    /// scenario hands its trace to the next scenario, which must observe
+    /// exactly what a fresh `Trace` (with the same capacity) would.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+        self.total_travel = 0.0;
+        self.total_classifications = 0;
+        self.total_cache_hits = 0;
+        self.total_weiszfeld_iters = 0;
+        self.histogram.clear();
+        self.transitions.clear();
+        self.sequence.clear();
+        self.rounds_seen = 0;
+    }
+
     /// The retained records, oldest first. The full execution unless a
     /// capacity bound evicted early rounds (see [`Trace::dropped`]).
     pub fn records(&self) -> &[RoundRecord] {
@@ -408,6 +426,32 @@ mod tests {
         assert_eq!(rounds, vec![3, 4]);
         assert_eq!(t.dropped(), 3);
         assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn reset_restores_fresh_trace_behaviour() {
+        let mut recycled = Trace::new();
+        recycled.set_capacity(Some(2));
+        for i in 0..6 {
+            recycled.push_cloned(&rec(i, Class::Asymmetric));
+        }
+        recycled.reset();
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.dropped(), 0);
+
+        let mut fresh = Trace::new();
+        fresh.set_capacity(Some(2));
+        for i in 0..4 {
+            recycled.push_cloned(&rec(i, Class::Multiple));
+            fresh.push_cloned(&rec(i, Class::Multiple));
+        }
+        assert_eq!(recycled.records(), fresh.records());
+        assert_eq!(recycled.dropped(), fresh.dropped());
+        assert_eq!(recycled.len(), fresh.len());
+        assert_eq!(recycled.total_travel(), fresh.total_travel());
+        assert_eq!(recycled.class_histogram(), fresh.class_histogram());
+        assert_eq!(recycled.class_transitions(), fresh.class_transitions());
+        assert_eq!(recycled.class_sequence(), fresh.class_sequence());
     }
 
     #[test]

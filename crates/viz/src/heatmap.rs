@@ -1,0 +1,282 @@
+//! Multi-panel heatmap sheets for parameter-space cartography.
+//!
+//! The mega-sweep driver (`gather-bench`'s `sweep` binary) produces a
+//! dense grid of per-cell aggregates over *five* axes (class × scheduler ×
+//! `n` × `f` × `δ`); a heatmap sheet projects that onto a lattice of
+//! small panels — one panel per (row-group, column-group) pair, each panel
+//! an x × y grid of colour-mapped cells — which is the standard way to
+//! read a phase diagram at a glance.
+
+use crate::svg::SvgDoc;
+
+/// One panel of a [`render_heatmap_sheet`] call: a `y_ticks.len()` ×
+/// `x_ticks.len()` grid of optional values (`None` renders as a hatch-grey
+/// "no data" cell).
+#[derive(Debug, Clone)]
+pub struct HeatmapPanel {
+    /// Panel title, drawn above the cell grid.
+    pub title: String,
+    /// `cells[y][x]`; row 0 is drawn at the *top* of the panel.
+    pub cells: Vec<Vec<Option<f64>>>,
+}
+
+/// Layout and colour-scale knobs for a heatmap sheet.
+#[derive(Debug, Clone)]
+pub struct HeatmapStyle {
+    /// Pixel size of one cell.
+    pub cell: f64,
+    /// Panels per sheet row.
+    pub columns: usize,
+    /// Explicit value range for the colour scale; `None` = min/max over
+    /// every finite cell of every panel (one shared scale for the sheet).
+    pub range: Option<(f64, f64)>,
+    /// Legend label for the colour scale.
+    pub scale_label: String,
+}
+
+impl Default for HeatmapStyle {
+    fn default() -> Self {
+        HeatmapStyle {
+            cell: 16.0,
+            columns: 4,
+            range: None,
+            scale_label: String::new(),
+        }
+    }
+}
+
+/// Linear white→blue ramp (low → high), matching the repo palette's
+/// primary hue; `t` is clamped to `[0, 1]`.
+fn ramp(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // #f7fbff (near-white) → #08306b (deep blue)
+    let lerp = |a: f64, b: f64| a + (b - a) * t;
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(0xf7 as f64, 0x08 as f64) as u8,
+        lerp(0xfb as f64, 0x30 as f64) as u8,
+        lerp(0xff as f64, 0x6b as f64) as u8
+    )
+}
+
+/// Renders panels as a sheet: a lattice of heatmap panels sharing one
+/// colour scale, x tick labels under the bottom row of panels, y tick
+/// labels beside the leftmost column, and a horizontal colour legend at
+/// the bottom.
+///
+/// Every panel must have `y_ticks.len()` rows of `x_ticks.len()` cells.
+///
+/// # Panics
+///
+/// Panics if `panels` is empty, `style.columns` is zero, or a panel's
+/// cell grid does not match the tick dimensions.
+pub fn render_heatmap_sheet(
+    panels: &[HeatmapPanel],
+    x_ticks: &[String],
+    y_ticks: &[String],
+    style: &HeatmapStyle,
+) -> String {
+    assert!(!panels.is_empty(), "heatmap sheet needs at least one panel");
+    assert!(style.columns > 0, "heatmap sheet needs at least one column");
+    for p in panels {
+        assert_eq!(p.cells.len(), y_ticks.len(), "panel {}: row count", p.title);
+        for row in &p.cells {
+            assert_eq!(row.len(), x_ticks.len(), "panel {}: column count", p.title);
+        }
+    }
+
+    let (lo, hi) = style.range.unwrap_or_else(|| {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in panels
+            .iter()
+            .flat_map(|p| p.cells.iter().flatten().flatten())
+        {
+            if v.is_finite() {
+                lo = lo.min(*v);
+                hi = hi.max(*v);
+            }
+        }
+        if lo > hi {
+            (0.0, 1.0)
+        } else if hi - lo < 1e-12 {
+            (lo, lo + 1.0)
+        } else {
+            (lo, hi)
+        }
+    });
+
+    let cell = style.cell;
+    let title_h = 14.0;
+    let left = 64.0; // y tick labels
+    let top = 8.0;
+    let panel_w = x_ticks.len() as f64 * cell;
+    let panel_h = y_ticks.len() as f64 * cell + title_h;
+    let gap = 14.0;
+    let cols = style.columns.min(panels.len());
+    let rows = panels.len().div_ceil(cols);
+    let x_tick_h = 30.0;
+    let legend_h = 42.0;
+    let width = left + cols as f64 * (panel_w + gap) + gap;
+    let height = top + rows as f64 * (panel_h + gap) + x_tick_h + legend_h;
+
+    let mut doc = SvgDoc::new_wh(width, height);
+    doc.rect_background("#ffffff");
+
+    for (i, panel) in panels.iter().enumerate() {
+        let px = left + (i % cols) as f64 * (panel_w + gap) + gap;
+        let py = top + (i / cols) as f64 * (panel_h + gap);
+        doc.text(px, py + 10.0, 10.0, &panel.title, "#333333");
+        let grid_y = py + title_h;
+        for (yi, row) in panel.cells.iter().enumerate() {
+            for (xi, value) in row.iter().enumerate() {
+                let fill = match value {
+                    Some(v) if v.is_finite() => ramp((v - lo) / (hi - lo)),
+                    _ => "#dddddd".to_string(),
+                };
+                doc.rect(
+                    px + xi as f64 * cell,
+                    grid_y + yi as f64 * cell,
+                    cell - 0.5,
+                    cell - 0.5,
+                    &fill,
+                );
+            }
+        }
+        // y tick labels beside the leftmost panel column only.
+        if i % cols == 0 {
+            for (yi, tick) in y_ticks.iter().enumerate() {
+                doc.text(
+                    4.0,
+                    grid_y + yi as f64 * cell + cell * 0.7,
+                    8.0,
+                    tick,
+                    "#555555",
+                );
+            }
+        }
+        // x tick labels under the bottom row of panels.
+        if i / cols == rows - 1 || i + cols >= panels.len() {
+            for (xi, tick) in x_ticks.iter().enumerate() {
+                doc.text(
+                    px + xi as f64 * cell + 1.0,
+                    top + rows as f64 * (panel_h + gap) + 10.0,
+                    8.0,
+                    tick,
+                    "#555555",
+                );
+            }
+        }
+    }
+
+    // Horizontal colour legend: a ramp strip with min/max labels.
+    let ly = height - legend_h + 10.0;
+    let steps = 48usize;
+    let strip_w = 192.0;
+    for i in 0..steps {
+        let t = i as f64 / (steps - 1) as f64;
+        doc.rect(
+            left + gap + t * (strip_w - strip_w / steps as f64),
+            ly,
+            strip_w / steps as f64 + 0.5,
+            10.0,
+            &ramp(t),
+        );
+    }
+    doc.text(left + gap, ly + 22.0, 9.0, &format!("{lo:.3}"), "#333333");
+    doc.text(
+        left + gap + strip_w - 24.0,
+        ly + 22.0,
+        9.0,
+        &format!("{hi:.3}"),
+        "#333333",
+    );
+    if !style.scale_label.is_empty() {
+        doc.text(
+            left + gap + strip_w + 16.0,
+            ly + 9.0,
+            10.0,
+            &style.scale_label,
+            "#333333",
+        );
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sheet_renders_every_cell_and_a_legend() {
+        let panels = vec![
+            HeatmapPanel {
+                title: "QR / full".into(),
+                cells: vec![vec![Some(1.0), Some(2.0)], vec![None, Some(4.0)]],
+            },
+            HeatmapPanel {
+                title: "A / single".into(),
+                cells: vec![vec![Some(0.5), None], vec![Some(3.0), Some(1.5)]],
+            },
+        ];
+        let svg = render_heatmap_sheet(
+            &panels,
+            &ticks(&["0", "1"]),
+            &ticks(&["0.01", "0.5"]),
+            &HeatmapStyle::default(),
+        );
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.contains("QR / full") && svg.contains("A / single"));
+        // 8 value cells (2 hatched) + background + 48 legend steps.
+        assert_eq!(svg.matches("<rect").count(), 1 + 8 + 48);
+        assert!(svg.contains("#dddddd"), "no-data cells hatch grey");
+    }
+
+    #[test]
+    fn shared_scale_spans_all_panels() {
+        let panels = vec![
+            HeatmapPanel {
+                title: "lo".into(),
+                cells: vec![vec![Some(0.0)]],
+            },
+            HeatmapPanel {
+                title: "hi".into(),
+                cells: vec![vec![Some(10.0)]],
+            },
+        ];
+        let svg = render_heatmap_sheet(
+            &panels,
+            &ticks(&["x"]),
+            &ticks(&["y"]),
+            &HeatmapStyle::default(),
+        );
+        assert!(svg.contains("0.000") && svg.contains("10.000"));
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_clamped() {
+        assert_eq!(ramp(-1.0), ramp(0.0));
+        assert_eq!(ramp(2.0), ramp(1.0));
+        assert_eq!(ramp(0.0), "#f7fbff");
+        assert_eq!(ramp(1.0), "#08306b");
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn mismatched_panel_dimensions_are_rejected() {
+        let panels = vec![HeatmapPanel {
+            title: "bad".into(),
+            cells: vec![vec![Some(1.0)]],
+        }];
+        render_heatmap_sheet(
+            &panels,
+            &ticks(&["x"]),
+            &ticks(&["y", "z"]),
+            &HeatmapStyle::default(),
+        );
+    }
+}

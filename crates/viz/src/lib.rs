@@ -8,7 +8,9 @@
 //!   gathering point;
 //! * [`render_configuration`] — one configuration snapshot with
 //!   multiplicity labels, the smallest enclosing circle, and the
-//!   classification target.
+//!   classification target;
+//! * [`render_heatmap_sheet`] — multi-panel phase-diagram heatmaps for
+//!   the mega-sweep's parameter-space cartography.
 //!
 //! # Example
 //!
@@ -26,10 +28,12 @@
 //! assert!(svg.contains("polyline"));
 //! ```
 
+mod heatmap;
 mod snapshot;
 mod svg;
 mod trajectories;
 
+pub use heatmap::{render_heatmap_sheet, HeatmapPanel, HeatmapStyle};
 pub use snapshot::{render_configuration, SnapshotStyle};
 pub use trajectories::{render_trajectories, TrajectoryStyle};
 

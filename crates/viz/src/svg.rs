@@ -56,21 +56,36 @@ impl Viewport {
 #[derive(Debug, Clone)]
 pub(crate) struct SvgDoc {
     body: String,
-    size: f64,
+    width: f64,
+    height: f64,
 }
 
 impl SvgDoc {
     pub fn new(size: f64) -> Self {
+        SvgDoc::new_wh(size, size)
+    }
+
+    /// A document with an explicit width × height viewport (heatmap
+    /// sheets are rarely square).
+    pub fn new_wh(width: f64, height: f64) -> Self {
         SvgDoc {
             body: String::new(),
-            size,
+            width,
+            height,
         }
     }
 
     pub fn rect_background(&mut self, fill: &str) {
         self.body.push_str(&format!(
-            r#"<rect width="{s}" height="{s}" fill="{fill}"/>"#,
-            s = self.size
+            r#"<rect width="{w}" height="{h}" fill="{fill}"/>"#,
+            w = self.width,
+            h = self.height
+        ));
+    }
+
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        self.body.push_str(&format!(
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
         ));
     }
 
@@ -121,9 +136,10 @@ impl SvgDoc {
 
     pub fn finish(self) -> String {
         format!(
-            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" viewBox="0 0 {s} {s}">{}</svg>"#,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">{}</svg>"#,
             self.body,
-            s = self.size
+            w = self.width,
+            h = self.height
         )
     }
 }

@@ -51,9 +51,13 @@ else
   done
 fi
 
-# The service load bench and the observability-overhead bench run last and
-# always in quick mode: the committed BENCH_b8_service.json /
-# BENCH_b9_obs.json records are regenerated deliberately (full run, by
-# hand), not as a side effect of refreshing the result tables.
+# The service load bench, the observability-overhead bench and the
+# mega-sweep bench run last and always in quick mode: the committed
+# BENCH_b8_service.json / BENCH_b9_obs.json / BENCH_b10_sweep.json records
+# and the results/sweep_phase.* phase diagram are regenerated deliberately
+# (full run, by hand), not as a side effect of refreshing the result
+# tables.
 run_one b8_service --quick "$@"
 run_one b9_obs --quick "$@"
+run_one b10_sweep --quick "$@"
+run_one sweep --quick "$@"

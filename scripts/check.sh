@@ -57,6 +57,19 @@ echo "== obs-smoke (B9 vs committed baseline) =="
 cargo run --release --offline -p gather-bench \
   --bin b9_obs -- --quick --baseline BENCH_b9_obs.json \
   --out "$smoke_out"
+
+echo "== sweep-smoke (B10 vs committed baseline, batch vs sequential) =="
+# Quick B10 run: the columnar mega-sweep engine against the
+# one-engine-per-scenario map path. Always fails if batched RunMetrics
+# are not bit-identical to the sequential path at any pool size (the
+# identity pass covers all six configuration classes), if the batched
+# path drops below 2x scenarios/sec at 1 worker, or on a >30% 1-worker
+# batched-throughput regression vs the committed record. Multi-worker
+# rows auto-skip with a recorded reason on machines with < 4 cores
+# (the B7 convention).
+cargo run --release --offline -p gather-bench \
+  --bin b10_sweep -- --quick --baseline BENCH_b10_sweep.json \
+  --out "$smoke_out"
 rm -rf "$smoke_out"
 
 echo "== service-smoke (gather-serve over TCP) =="
