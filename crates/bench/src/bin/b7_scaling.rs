@@ -14,7 +14,12 @@
 //!
 //! The 3× speedup gate at 4 threads is enforced only when the machine
 //! actually has ≥ 4 cores; otherwise the JSON records an explicit skip
-//! reason instead of silently passing (or failing) on a small box.
+//! reason instead of silently passing (or failing) on a small box. The
+//! same policy applies per row: pool sizes that oversubscribe the
+//! machine (`threads > cores`) run only the determinism cross-check —
+//! their timed trials are skipped and the JSON row carries the core
+//! count plus a skip reason, so a baseline captured on a starved runner
+//! never records thrash as throughput.
 //!
 //! Writes `BENCH_b7_scaling.json` — unless `--baseline PATH` or `--quick`
 //! is given, in which case the JSON goes to `--out` instead (a reduced or
@@ -48,7 +53,11 @@ struct KernelRow {
 
 struct ThreadRow {
     threads: usize,
-    runs_per_sec: f64,
+    /// `None` when the pool is oversubscribed (`threads > cores`): a timed
+    /// row there measures scheduler thrash, not scaling, and a baseline
+    /// captured on a wide machine would flake forever on a starved runner.
+    /// The determinism cross-check still runs for the skipped sizes.
+    runs_per_sec: Option<f64>,
 }
 
 /// Minimum ns/call over `trials` timed loops of `reps` calls each.
@@ -107,7 +116,11 @@ fn sweep() -> Vec<Scenario> {
         .collect()
 }
 
-fn thread_scaling(scenarios: &[Scenario], trials: usize) -> (Vec<ThreadRow>, Vec<Vec<RunMetrics>>) {
+fn thread_scaling(
+    scenarios: &[Scenario],
+    trials: usize,
+    cores: usize,
+) -> (Vec<ThreadRow>, Vec<Vec<RunMetrics>>) {
     let mut counts = vec![1usize, 2, 4, pool::default_threads()];
     counts.sort_unstable();
     counts.dedup();
@@ -116,17 +129,22 @@ fn thread_scaling(scenarios: &[Scenario], trials: usize) -> (Vec<ThreadRow>, Vec
     for &threads in &counts {
         let pool = WorkerPool::new(threads);
         // Warm-up pass: populates each worker's recycled engine parts so
-        // the timed passes measure the steady state.
+        // the timed passes measure the steady state. It doubles as the
+        // determinism sample for oversubscribed pool sizes, whose timed
+        // trials are skipped (see [`ThreadRow::runs_per_sec`]).
         let mut metrics = pool.map(scenarios, Scenario::run);
-        let mut best = f64::INFINITY;
-        for _ in 0..trials {
-            let start = Instant::now();
-            metrics = pool.map(scenarios, Scenario::run);
-            best = best.min(start.elapsed().as_secs_f64());
-        }
+        let runs_per_sec = (threads <= cores).then(|| {
+            let mut best = f64::INFINITY;
+            for _ in 0..trials {
+                let start = Instant::now();
+                metrics = pool.map(scenarios, Scenario::run);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            scenarios.len() as f64 / best
+        });
         rows.push(ThreadRow {
             threads,
-            runs_per_sec: scenarios.len() as f64 / best,
+            runs_per_sec,
         });
         results.push(metrics);
     }
@@ -164,7 +182,10 @@ fn main() {
     // trial count identical in quick mode for a comparable baseline gate.
     let scenarios = sweep();
     let trials = 6;
-    let (threads_rows, pooled_results) = thread_scaling(&scenarios, trials);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (threads_rows, pooled_results) = thread_scaling(&scenarios, trials, cores);
     let sequential: Vec<RunMetrics> = scenarios.iter().map(Scenario::run).collect();
     let deterministic = pooled_results.iter().all(|r| *r == sequential);
     if !deterministic {
@@ -172,18 +193,20 @@ fn main() {
             "pooled sweep results diverged across thread counts (determinism contract)".to_string(),
         );
     }
+    // The 1-worker row is always timed (1 <= cores on any machine), so the
+    // baseline gate and the speedup column have their anchor everywhere.
     let single = threads_rows
         .iter()
         .find(|r| r.threads == 1)
         .expect("1-worker row")
-        .runs_per_sec;
+        .runs_per_sec
+        .expect("1 worker is never oversubscribed");
     let mut tt = Table::new(&["threads", "runs/s", "speedup vs 1"]);
     for row in &threads_rows {
-        tt.push(vec![
-            row.threads.to_string(),
-            f(row.runs_per_sec, 1),
-            f(row.runs_per_sec / single, 2),
-        ]);
+        match row.runs_per_sec {
+            Some(rps) => tt.push(vec![row.threads.to_string(), f(rps, 1), f(rps / single, 2)]),
+            None => tt.push(vec![row.threads.to_string(), "skipped".into(), "-".into()]),
+        }
     }
     println!(
         "\nsweep throughput vs pool size ({} scenarios, deterministic: {})\n",
@@ -193,14 +216,12 @@ fn main() {
     tt.print();
 
     // --- 3x-at-4-threads gate ----------------------------------------
-    let cores = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
     let gate = if cores >= 4 {
         let at4 = threads_rows
             .iter()
             .find(|r| r.threads == 4)
-            .map(|r| r.runs_per_sec / single)
+            .and_then(|r| r.runs_per_sec)
+            .map(|rps| rps / single)
             .unwrap_or(0.0);
         if at4 < 3.0 {
             failures.push(format!(
@@ -231,11 +252,25 @@ fn main() {
     }
     json.push_str("  ],\n  \"thread_scaling\": [\n");
     for (i, row) in threads_rows.iter().enumerate() {
+        // Every row records the core count it was measured under, so a
+        // baseline captured on a wide machine is self-describing when a
+        // narrow runner reads it back. Oversubscribed rows carry a skip
+        // reason instead of a number: `parse_pairs` drops non-numeric
+        // rows, so skipped sizes can never pollute a future baseline
+        // comparison.
+        let measurement = match row.runs_per_sec {
+            Some(rps) => format!(
+                "\"runs_per_sec\": {rps:.1}, \"speedup_vs_1\": {:.2}",
+                rps / single
+            ),
+            None => format!(
+                "\"runs_per_sec\": \"skipped: {} workers oversubscribe {cores} core(s)\"",
+                row.threads
+            ),
+        };
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"runs_per_sec\": {:.1}, \"speedup_vs_1\": {:.2}}}{}\n",
+            "    {{\"threads\": {}, \"cores\": {cores}, {measurement}}}{}\n",
             row.threads,
-            row.runs_per_sec,
-            row.runs_per_sec / single,
             if i + 1 < threads_rows.len() { "," } else { "" }
         ));
     }
@@ -243,7 +278,11 @@ fn main() {
 
     let mut csv = Table::new(&["threads", "runs_per_sec"]);
     for row in &threads_rows {
-        csv.push(vec![row.threads.to_string(), f(row.runs_per_sec, 1)]);
+        let rps = match row.runs_per_sec {
+            Some(rps) => f(rps, 1),
+            None => "skipped".into(),
+        };
+        csv.push(vec![row.threads.to_string(), rps]);
     }
     let out = args.out_dir.join("b7_scaling.csv");
     csv.write_csv(&out).expect("write CSV");

@@ -2,7 +2,7 @@
 
 use crate::factory;
 use gather_geom::Point;
-use gather_sim::metrics::{summarize, RunMetrics};
+use gather_sim::metrics::{summarize, CacheStats, RunMetrics};
 use gather_sim::prelude::*;
 use std::cell::RefCell;
 
@@ -138,7 +138,13 @@ impl Scenario {
     /// invariant monitors stayed quiet for the paper's algorithm.
     fn complete(&self, engine: &mut Engine) -> RunMetrics {
         let outcome = engine.run(self.max_rounds);
-        let metrics = summarize(outcome, engine.trace());
+        let mut metrics = summarize(outcome, engine.trace());
+        let (computed, hits, dirty_skips) = engine.analysis_cache_stats();
+        metrics.analysis_cache = Some(CacheStats {
+            computed,
+            hits,
+            dirty_skips,
+        });
         if self.algorithm == "wait-free-gather" && self.audit {
             assert!(
                 engine.violations().is_empty(),

@@ -54,6 +54,7 @@ pub fn lane_spec(s: &Scenario) -> LaneSpec {
         check_invariants: wait_free,
         shared_analysis: true,
         warm_start: true,
+        incremental: false,
         max_rounds: s.max_rounds,
     }
 }

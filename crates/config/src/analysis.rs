@@ -24,7 +24,7 @@
 //! equivalence of this shared path with a per-robot fresh classification is
 //! proven by the equivariance tests in the umbrella crate.
 
-use crate::classify::{classify_hinted, Analysis, Class};
+use crate::classify::{classify_hinted, classify_hinted_with_distinct, Analysis, Class};
 use crate::configuration::Configuration;
 use crate::symmetry::rotational_symmetry;
 use gather_geom::{Point, Tol};
@@ -81,6 +81,19 @@ impl RoundAnalysis {
     /// classes that never compute a numeric Weber point ignore it.
     pub fn compute_hinted(config: &Configuration, tol: Tol, hint: Option<Point>) -> Self {
         let (analysis, weber_seen) = classify_hinted(config, tol, hint);
+        RoundAnalysis::from_classification(config, tol, analysis, weber_seen)
+    }
+
+    /// The symmetry/warm-start policy shared by the full and incremental
+    /// analysis paths: applied to a classification however it was obtained,
+    /// so both paths derive `sym`, the Weber hint and the fingerprint
+    /// through identical code.
+    fn from_classification(
+        config: &Configuration,
+        tol: Tol,
+        analysis: Analysis,
+        weber_seen: Option<Point>,
+    ) -> Self {
         let sym = match analysis.class {
             Class::Asymmetric => Some(1),
             Class::Bivalent => Some(2),
@@ -152,12 +165,17 @@ pub struct AnalysisCache {
     entry: Option<Entry>,
     computed: u64,
     hits: u64,
+    /// Memo hits served by [`AnalysisCache::analyse_dirty`] purely from
+    /// the empty dirty set, i.e. without hashing or comparing any point.
+    dirty_skips: u64,
     /// Whether cache misses seed Weiszfeld with the last known Weber point.
     warm_start: bool,
     /// The most recent Weber point any analysis computed, surviving rounds
     /// whose class skips the numeric computation (e.g. `A → M → A`
     /// sequences keep their warmth through the `M` rounds).
     last_weber: Option<Point>,
+    /// Sorting scratch for rebuilding the entry's distinct multiset.
+    sort_buf: Vec<Point>,
 }
 
 impl Default for AnalysisCache {
@@ -166,8 +184,10 @@ impl Default for AnalysisCache {
             entry: None,
             computed: 0,
             hits: 0,
+            dirty_skips: 0,
             warm_start: true,
             last_weber: None,
+            sort_buf: Vec::new(),
         }
     }
 }
@@ -177,6 +197,32 @@ struct Entry {
     fingerprint: u64,
     points: Vec<Point>,
     analysis: RoundAnalysis,
+    /// The distinct-location multiset of `points` in
+    /// [`Configuration::distinct_into`] order, maintained incrementally by
+    /// [`AnalysisCache::analyse_dirty`]. Only meaningful when
+    /// `distinct_valid` holds; the plain [`AnalysisCache::analyse`] miss
+    /// path just invalidates it (lazy rebuild on the next dirty patch).
+    distinct: Vec<(Point, usize)>,
+    distinct_valid: bool,
+}
+
+impl Entry {
+    /// Rebuilds `distinct` from `points` exactly as
+    /// [`Configuration::distinct_into`] would: lexicographic sort, then
+    /// run-length grouping of equal values.
+    fn rebuild_distinct(&mut self, sort_buf: &mut Vec<Point>) {
+        sort_buf.clear();
+        sort_buf.extend_from_slice(&self.points);
+        sort_buf.sort_by(|a, b| a.lex_cmp(*b));
+        self.distinct.clear();
+        for &p in sort_buf.iter() {
+            match self.distinct.last_mut() {
+                Some((q, m)) if *q == p => *m += 1,
+                _ => self.distinct.push((p, 1)),
+            }
+        }
+        self.distinct_valid = true;
+    }
 }
 
 impl AnalysisCache {
@@ -224,16 +270,129 @@ impl AnalysisCache {
                 e.points.clear();
                 e.points.extend_from_slice(config.points());
                 e.analysis = analysis;
+                e.distinct_valid = false;
             }
             entry @ None => {
                 *entry = Some(Entry {
                     fingerprint: fp,
                     points: config.points().to_vec(),
                     analysis,
+                    distinct: Vec::new(),
+                    distinct_valid: false,
                 });
             }
         }
         analysis
+    }
+
+    /// [`AnalysisCache::analyse`] for the incremental engine path: `dirty`
+    /// lists the indices at which `config` differs (bitwise) from the
+    /// configuration of the previous call on this cache.
+    ///
+    /// * Empty dirty set — the previous analysis is returned without
+    ///   hashing or comparing a single point (counted as a hit, like the
+    ///   fingerprint-checked memo hit the reference path records, plus a
+    ///   `dirty_skips` tick).
+    /// * Non-empty — the memoized distinct-location multiset is patched at
+    ///   the dirty indices (O(|dirty|·log n) instead of an O(n log n)
+    ///   re-sort) and classification resumes from it via
+    ///   [`classify_hinted_with_distinct`], with the same warm-start hint
+    ///   policy as a plain miss; `computed`/`hits` and the classify and
+    ///   Weiszfeld invocation counters advance exactly as the reference
+    ///   path's miss would, so traces stay bit-identical.
+    /// * No entry, or an entry of a different length — falls back to the
+    ///   plain path and builds the distinct multiset for later patching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dirty index is out of bounds, or if the dirty set lies
+    /// about the previous configuration (a listed index whose old value is
+    /// missing from the memoized multiset).
+    pub fn analyse_dirty(
+        &mut self,
+        config: &Configuration,
+        tol: Tol,
+        dirty: &[usize],
+    ) -> RoundAnalysis {
+        let usable = self
+            .entry
+            .as_ref()
+            .is_some_and(|e| !e.points.is_empty() && e.points.len() == config.len());
+        if !usable {
+            let analysis = self.analyse(config, tol);
+            if let Some(e) = &mut self.entry {
+                e.rebuild_distinct(&mut self.sort_buf);
+            }
+            return analysis;
+        }
+        if dirty.is_empty() {
+            let e = self.entry.as_ref().expect("usable entry");
+            debug_assert_eq!(
+                e.points,
+                config.points(),
+                "empty dirty set but the configuration changed"
+            );
+            self.hits += 1;
+            self.dirty_skips += 1;
+            return e.analysis;
+        }
+
+        let hint = if self.warm_start {
+            self.last_weber
+        } else {
+            None
+        };
+        {
+            let e = self.entry.as_mut().expect("usable entry");
+            if !e.distinct_valid {
+                e.rebuild_distinct(&mut self.sort_buf);
+            }
+            for &i in dirty {
+                let old = e.points[i];
+                let new = config.points()[i];
+                if old.x.to_bits() == new.x.to_bits() && old.y.to_bits() == new.y.to_bits() {
+                    continue;
+                }
+                match e.distinct.binary_search_by(|probe| probe.0.lex_cmp(old)) {
+                    Ok(pos) => {
+                        if e.distinct[pos].1 == 1 {
+                            e.distinct.remove(pos);
+                        } else {
+                            e.distinct[pos].1 -= 1;
+                        }
+                    }
+                    Err(_) => panic!("stale dirty set: old position of robot {i} not memoized"),
+                }
+                match e.distinct.binary_search_by(|probe| probe.0.lex_cmp(new)) {
+                    Ok(pos) => e.distinct[pos].1 += 1,
+                    Err(pos) => e.distinct.insert(pos, (new, 1)),
+                }
+                e.points[i] = new;
+            }
+        }
+        let e = self.entry.as_ref().expect("usable entry");
+        let (analysis, weber_seen) = classify_hinted_with_distinct(config, tol, hint, &e.distinct);
+        let analysis = RoundAnalysis::from_classification(config, tol, analysis, weber_seen);
+        self.computed += 1;
+        if analysis.weber_hint.is_some() {
+            self.last_weber = analysis.weber_hint;
+        }
+        let e = self.entry.as_mut().expect("usable entry");
+        e.fingerprint = analysis.fingerprint;
+        e.analysis = analysis;
+        analysis
+    }
+
+    /// The memoized distinct-location multiset (in
+    /// [`Configuration::distinct_into`] order), when it is valid — i.e.
+    /// immediately after an [`AnalysisCache::analyse_dirty`] call synced
+    /// the entry to the caller's configuration. The caller must only
+    /// consume it for that same configuration.
+    pub fn distinct_cached(&self) -> Option<&[(Point, usize)]> {
+        match &self.entry {
+            Some(e) if e.distinct_valid => Some(&e.distinct),
+            _ => None,
+        }
     }
 
     /// Installs an externally computed analysis as the memo entry, exactly
@@ -255,12 +414,15 @@ impl AnalysisCache {
                 e.points.clear();
                 e.points.extend_from_slice(points);
                 e.analysis = analysis;
+                e.distinct_valid = false;
             }
             entry @ None => {
                 *entry = Some(Entry {
                     fingerprint: analysis.fingerprint,
                     points: points.to_vec(),
                     analysis,
+                    distinct: Vec::new(),
+                    distinct_valid: false,
                 });
             }
         }
@@ -283,9 +445,12 @@ impl AnalysisCache {
             // survives for the next item.
             e.fingerprint = 0;
             e.points.clear();
+            e.distinct.clear();
+            e.distinct_valid = false;
         }
         self.computed = 0;
         self.hits = 0;
+        self.dirty_skips = 0;
         self.warm_start = true;
         self.last_weber = None;
     }
@@ -298,6 +463,12 @@ impl AnalysisCache {
     /// Number of calls served from the memo.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Number of [`AnalysisCache::analyse_dirty`] hits served purely from
+    /// an empty dirty set (a subset of [`AnalysisCache::hits`]).
+    pub fn dirty_skips(&self) -> u64 {
+        self.dirty_skips
     }
 }
 
@@ -445,6 +616,143 @@ mod tests {
         // warm-start state carried from the seeded analysis.
         let moved = square().map(|p| Point::new(p.x + 1.0, p.y));
         assert_eq!(seeded.analyse(&moved, t()), analysed.analyse(&moved, t()));
+    }
+
+    /// Drives a reference cache (plain `analyse`) and an incremental cache
+    /// (`analyse_dirty` with exact bitwise diffs) through the same
+    /// configuration sequence and asserts identical analyses and identical
+    /// `computed`/`hits` trajectories.
+    fn assert_dirty_tracks_reference(sequence: &[Configuration]) {
+        let mut reference = AnalysisCache::new();
+        let mut dirty_cache = AnalysisCache::new();
+        let mut prev: Option<Configuration> = None;
+        for (step, c) in sequence.iter().enumerate() {
+            let dirty: Vec<usize> = match &prev {
+                Some(p) if p.len() == c.len() => (0..c.len())
+                    .filter(|&i| {
+                        let (a, b) = (p.points()[i], c.points()[i]);
+                        a.x.to_bits() != b.x.to_bits() || a.y.to_bits() != b.y.to_bits()
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let expect = reference.analyse(c, t());
+            let got = dirty_cache.analyse_dirty(c, t(), &dirty);
+            assert_eq!(got, expect, "analyses diverged at step {step}");
+            assert_eq!(
+                dirty_cache.computed(),
+                reference.computed(),
+                "computed diverged at step {step}"
+            );
+            assert_eq!(
+                dirty_cache.hits(),
+                reference.hits(),
+                "hits diverged at step {step}"
+            );
+            // The patched multiset must equal a fresh distinct computation.
+            assert_eq!(
+                dirty_cache
+                    .distinct_cached()
+                    .expect("valid after analyse_dirty"),
+                c.distinct().as_slice(),
+                "distinct multiset diverged at step {step}"
+            );
+            prev = Some(c.clone());
+        }
+    }
+
+    #[test]
+    fn dirty_analysis_tracks_the_reference_cache() {
+        let mut seq = Vec::new();
+        // Start from a square (QR), repeat it (static round), move one
+        // corner (A or QR), collapse two robots onto one point (M), then
+        // everything onto one point (gathered M).
+        let c0 = square();
+        seq.push(c0.clone());
+        seq.push(c0.clone());
+        let mut c1 = c0.clone();
+        c1.set_point(2, Point::new(2.7, 1.3));
+        seq.push(c1.clone());
+        let mut c2 = c1.clone();
+        c2.set_point(2, Point::new(0.0, 0.0));
+        seq.push(c2.clone());
+        seq.push(c2.clone());
+        let gathered = Configuration::new(vec![Point::new(0.0, 0.0); 4]);
+        seq.push(gathered);
+        assert_dirty_tracks_reference(&seq);
+    }
+
+    #[test]
+    fn dirty_analysis_handles_linear_and_bivalent_transitions() {
+        let line = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+        ]);
+        let mut off_line = line.clone();
+        off_line.set_point(3, Point::new(9.0, 4.0));
+        let mut bivalent = line.clone();
+        bivalent.set_point(1, Point::new(0.0, 0.0));
+        bivalent.set_point(3, Point::new(5.0, 0.0));
+        assert_dirty_tracks_reference(&[line.clone(), off_line, line, bivalent]);
+    }
+
+    #[test]
+    fn dirty_skip_counts_static_rounds_only() {
+        let c = square();
+        let mut cache = AnalysisCache::new();
+        let first = cache.analyse_dirty(&c, t(), &[]); // no entry: fallback
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.dirty_skips(), 0);
+        let again = cache.analyse_dirty(&c, t(), &[]);
+        assert_eq!(again, first);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.dirty_skips(), 1);
+        cache.reset();
+        assert_eq!(cache.dirty_skips(), 0);
+        assert_eq!(cache.distinct_cached(), None);
+    }
+
+    #[test]
+    fn length_change_falls_back_to_the_plain_path() {
+        let mut cache = AnalysisCache::new();
+        let _ = cache.analyse_dirty(&square(), t(), &[]);
+        let grown = Configuration::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0),
+        ]);
+        let got = cache.analyse_dirty(&grown, t(), &[]);
+        assert_eq!(got, RoundAnalysis::compute(&grown, t()));
+        assert_eq!(cache.computed(), 2);
+        assert_eq!(
+            cache.distinct_cached().unwrap(),
+            grown.distinct().as_slice()
+        );
+    }
+
+    #[test]
+    fn duplicate_and_noop_dirty_indices_are_harmless() {
+        // A conservative dirty superset (indices that did not actually
+        // move, or listed twice) must not perturb the result.
+        let mut reference = AnalysisCache::new();
+        let mut cache = AnalysisCache::new();
+        let a = square();
+        assert_eq!(
+            cache.analyse_dirty(&a, t(), &[]),
+            reference.analyse(&a, t())
+        );
+        let mut b = a.clone();
+        b.set_point(2, Point::new(3.0, 1.0));
+        assert_eq!(
+            cache.analyse_dirty(&b, t(), &[0, 2, 2, 3]),
+            reference.analyse(&b, t())
+        );
+        assert_eq!(cache.distinct_cached().unwrap(), b.distinct().as_slice());
+        assert_eq!(cache.computed(), reference.computed());
     }
 
     #[test]

@@ -219,6 +219,52 @@ pub fn string_of_angles(config: &Configuration, center: Point, tol: Tol) -> Stri
     StringOfAngles { entries }
 }
 
+/// Maintains an ascending direction-key list across a round in which only
+/// the `dirty` robots moved: the keys of their old directions are removed
+/// and the keys of their new directions merge-inserted, both computed with
+/// the `soa::angle_keys_gather_into` dirty-gather kernel. Costs
+/// O(|dirty|·(log n + n)) against a full O(n log n) rebuild, and produces
+/// a list bitwise equal to rebuilding from scratch (same `atan2` inputs,
+/// and a sorted f64 multiset has a unique value sequence).
+///
+/// Preconditions: `keys` is the ascending key list of `old` around
+/// `center` with exclusion radius `zone` (i.e. `soa::angle_keys_into`
+/// output, sorted by `f64::total_cmp`); `old` and `new` differ only at the
+/// `dirty` indices; and `zone` is valid for both — the zone depends on the
+/// configuration's extent via [`center_zone_radius`], so a caller must
+/// fall back to a rebuild whenever a move changes the extent. `scratch`
+/// holds the per-call key buffer so steady-state patching allocates
+/// nothing.
+///
+/// # Panics
+///
+/// Panics if a dirty robot's old key is missing from `keys` (a stale
+/// cache), or if any dirty index is out of bounds.
+pub fn patch_sorted_angle_keys(
+    keys: &mut Vec<f64>,
+    old: &gather_geom::PointBuffer,
+    new: &gather_geom::PointBuffer,
+    dirty: &[usize],
+    center: Point,
+    zone: f64,
+    scratch: &mut Vec<f64>,
+) {
+    soa::angle_keys_gather_into(old, dirty, center, zone, scratch);
+    for &k in scratch.iter() {
+        let at = keys.partition_point(|&x| f64::total_cmp(&x, &k).is_lt());
+        assert!(
+            at < keys.len() && keys[at].to_bits() == k.to_bits(),
+            "stale angle-key cache: old key {k} not present"
+        );
+        keys.remove(at);
+    }
+    soa::angle_keys_gather_into(new, dirty, center, zone, scratch);
+    for &k in scratch.iter() {
+        let at = keys.partition_point(|&x| f64::total_cmp(&x, &k).is_lt());
+        keys.insert(at, k);
+    }
+}
+
 /// The greatest `k` such that the cyclic string `s` equals `x^k` for some
 /// block `x` (i.e. `k` divides `len` and rotating by `len/k` fixes the
 /// string). Empty strings have periodicity 1.
@@ -392,6 +438,63 @@ mod tests {
         let p2 = string_of_angles(&rotated, Point::ORIGIN, t()).periodicity();
         assert_eq!(p1, p2);
         assert_eq!(p1, 6);
+    }
+
+    #[test]
+    fn patched_angle_keys_match_a_full_rebuild_bitwise() {
+        use gather_geom::PointBuffer;
+        let mut pts: Vec<Point> = (0..17)
+            .map(|k| {
+                let th = 0.37 * k as f64 + 0.1;
+                let r = 1.0 + 0.2 * k as f64;
+                Point::new(r * th.cos(), r * th.sin())
+            })
+            .collect();
+        pts.push(Point::new(1e-9, 0.0)); // inside the zone below
+        let old = PointBuffer::from_points(&pts);
+        let zone = 0.5;
+        let center = Point::ORIGIN;
+        let mut keys = Vec::new();
+        soa::angle_keys_into(&old, center, zone, &mut keys);
+        keys.sort_by(f64::total_cmp);
+
+        // Move a few robots (one of them into the zone, one out of it).
+        let dirty = vec![2usize, 7, 11, 17];
+        pts[2] = Point::new(-2.0, 0.4);
+        pts[7] = Point::new(0.1, 0.0); // moves inside the zone
+        pts[11] = Point::new(3.0, -3.0);
+        pts[17] = Point::new(0.0, 2.0); // leaves the zone
+        let new = PointBuffer::from_points(&pts);
+        let mut scratch = Vec::new();
+        patch_sorted_angle_keys(&mut keys, &old, &new, &dirty, center, zone, &mut scratch);
+
+        let mut fresh = Vec::new();
+        soa::angle_keys_into(&new, center, zone, &mut fresh);
+        fresh.sort_by(f64::total_cmp);
+        assert_eq!(keys, fresh);
+
+        // Empty dirty set is a no-op.
+        patch_sorted_angle_keys(&mut keys, &new, &new, &[], center, zone, &mut scratch);
+        assert_eq!(keys, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale angle-key cache")]
+    fn patching_with_a_stale_key_list_panics() {
+        use gather_geom::PointBuffer;
+        let old = PointBuffer::from_points(&[Point::new(2.0, 0.0), Point::new(0.0, 2.0)]);
+        let new = PointBuffer::from_points(&[Point::new(-2.0, 0.0), Point::new(0.0, 2.0)]);
+        let mut keys = vec![1.0, 2.0]; // not the keys of `old`
+        let mut scratch = Vec::new();
+        patch_sorted_angle_keys(
+            &mut keys,
+            &old,
+            &new,
+            &[0],
+            Point::ORIGIN,
+            0.1,
+            &mut scratch,
+        );
     }
 
     #[test]

@@ -180,52 +180,111 @@ pub fn classify_hinted(
         let scratch = &mut *cell.borrow_mut();
         let (distinct, pts) = (&mut scratch.0, &mut scratch.1);
         config.distinct_into(distinct, pts);
-
-        // Gathered configurations are class M with the gathering point as
-        // target (the M rule keeps them gathered: the robot at the unique
-        // maximum does not move).
-        if distinct.len() == 1 {
-            return Prefix::Done(Analysis {
-                class: Class::Multiple,
-                n,
-                target: Some(distinct[0].0),
-                qreg: None,
-            });
-        }
-
-        // B: exactly two locations, each with n/2 robots.
-        if distinct.len() == 2 && distinct[0].1 == distinct[1].1 {
-            return Prefix::Done(Analysis {
-                class: Class::Bivalent,
-                n,
-                target: None,
-                qreg: None,
-            });
-        }
-
-        // M: unique point of maximum multiplicity.
-        let max = distinct.iter().map(|&(_, m)| m).max().expect("non-empty");
-        let mut attaining = distinct.iter().filter(|&&(_, m)| m == max);
-        let first = attaining.next().expect("max is attained");
-        if attaining.next().is_none() {
-            return Prefix::Done(Analysis {
-                class: Class::Multiple,
-                n,
-                target: Some(first.0),
-                qreg: None,
-            });
-        }
-
-        // L: linearity of the distinct positions.
-        pts.clear();
-        pts.extend(distinct.iter().map(|&(p, _)| p));
-        if are_collinear(pts, tol) {
-            Prefix::Linear
-        } else {
-            Prefix::Open
-        }
+        classify_prefix(distinct, pts, n, tol)
     });
 
+    classify_tail(prefix, config, tol, weber_hint, n)
+}
+
+/// [`classify_hinted`] with the distinct-location multiset already in hand
+/// (in [`Configuration::distinct_into`]'s lexicographic order) — the entry
+/// point of the incremental analysis path, which maintains the multiset by
+/// patching instead of re-sorting the whole configuration each round.
+/// Identical in every observable way to [`classify_hinted`], including the
+/// invocation counter, when `distinct` equals what `distinct_into` would
+/// produce for `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration is empty.
+pub fn classify_hinted_with_distinct(
+    config: &Configuration,
+    tol: Tol,
+    weber_hint: Option<Point>,
+    distinct: &[(Point, usize)],
+) -> (Analysis, Option<Point>) {
+    CLASSIFY_CALLS.with(|c| c.set(c.get() + 1));
+    assert!(!config.is_empty(), "cannot classify an empty configuration");
+    let n = config.len();
+    debug_assert_eq!(
+        distinct.iter().map(|&(_, m)| m).sum::<usize>(),
+        n,
+        "distinct multiset does not cover the configuration"
+    );
+
+    let prefix = CLASSIFY_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        classify_prefix(distinct, &mut scratch.1, n, tol)
+    });
+
+    classify_tail(prefix, config, tol, weber_hint, n)
+}
+
+/// The allocation-free early phase shared by [`classify_hinted`] and
+/// [`classify_hinted_with_distinct`]: multiplicity-driven classes (`M`,
+/// `B`) and the linearity split, decided purely from the distinct-location
+/// multiset. `pts` is sorting-free scratch for the collinearity test.
+fn classify_prefix(
+    distinct: &[(Point, usize)],
+    pts: &mut Vec<Point>,
+    n: usize,
+    tol: Tol,
+) -> Prefix {
+    // Gathered configurations are class M with the gathering point as
+    // target (the M rule keeps them gathered: the robot at the unique
+    // maximum does not move).
+    if distinct.len() == 1 {
+        return Prefix::Done(Analysis {
+            class: Class::Multiple,
+            n,
+            target: Some(distinct[0].0),
+            qreg: None,
+        });
+    }
+
+    // B: exactly two locations, each with n/2 robots.
+    if distinct.len() == 2 && distinct[0].1 == distinct[1].1 {
+        return Prefix::Done(Analysis {
+            class: Class::Bivalent,
+            n,
+            target: None,
+            qreg: None,
+        });
+    }
+
+    // M: unique point of maximum multiplicity.
+    let max = distinct.iter().map(|&(_, m)| m).max().expect("non-empty");
+    let mut attaining = distinct.iter().filter(|&&(_, m)| m == max);
+    let first = attaining.next().expect("max is attained");
+    if attaining.next().is_none() {
+        return Prefix::Done(Analysis {
+            class: Class::Multiple,
+            n,
+            target: Some(first.0),
+            qreg: None,
+        });
+    }
+
+    // L: linearity of the distinct positions.
+    pts.clear();
+    pts.extend(distinct.iter().map(|&(p, _)| p));
+    if are_collinear(pts, tol) {
+        Prefix::Linear
+    } else {
+        Prefix::Open
+    }
+}
+
+/// The class-specific completion shared by both classification entry
+/// points: linear median split, quasi-regularity detection, safe-point
+/// election.
+fn classify_tail(
+    prefix: Prefix,
+    config: &Configuration,
+    tol: Tol,
+    weber_hint: Option<Point>,
+    n: usize,
+) -> (Analysis, Option<Point>) {
     match prefix {
         Prefix::Done(analysis) => (analysis, None),
         // Linear configurations, split by Weber-point uniqueness. Linearity
@@ -493,6 +552,44 @@ mod tests {
         let a = classify(&c, t());
         assert_eq!(a.class, Class::QuasiRegular);
         assert!(a.target.unwrap().dist(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn classify_with_distinct_matches_classify_hinted() {
+        let configs = vec![
+            Configuration::new(vec![Point::new(1.0, 2.0); 7]),
+            Configuration::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            Configuration::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+            ]),
+            Configuration::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(4.0, 4.0),
+            ]),
+            Configuration::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(3.0, 0.0),
+                Point::new(7.0, 0.0),
+            ]),
+            Configuration::new(ngon(5, 2.0)),
+            asymmetric4(),
+        ];
+        for c in &configs {
+            let distinct = c.distinct();
+            let before = classify_invocations();
+            let plain = classify_hinted(c, t(), None);
+            let mid = classify_invocations();
+            let with = classify_hinted_with_distinct(c, t(), None, &distinct);
+            let after = classify_invocations();
+            assert_eq!(plain, with, "config {c}");
+            // Both entry points bump the invocation counter exactly once.
+            assert_eq!(mid - before, 1);
+            assert_eq!(after - mid, 1);
+        }
     }
 
     #[test]

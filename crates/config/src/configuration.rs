@@ -265,14 +265,29 @@ fn canonicalize(points: Vec<Point>, snap: f64) -> Vec<Point> {
     out
 }
 
-/// Reusable working memory for [`canonicalize_into`]: the union-find parent
-/// array and the per-cluster centroid accumulators.
+/// Reusable working memory for [`canonicalize_into`] and
+/// [`canonicalize_dirty_into`]: the union-find parent array, the
+/// per-cluster centroid accumulators, and the index/dedup buffers of the
+/// dirty path.
 #[derive(Debug, Default)]
 pub struct CanonScratch {
     parent: Vec<usize>,
     sum_x: Vec<f64>,
     sum_y: Vec<f64>,
     count: Vec<usize>,
+    idx: Vec<usize>,
+    mask: Vec<bool>,
+    uniq: Vec<Point>,
+}
+
+/// Union-find root lookup with recursive path compression, shared by the
+/// full and dirty canonicalization passes.
+fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+    if parent[i] != i {
+        let root = find(parent, parent[i]);
+        parent[i] = root;
+    }
+    parent[i]
 }
 
 /// Allocation-free canonicalization: snaps `points` exactly like
@@ -290,14 +305,6 @@ pub fn canonicalize_into(
     parent.clear();
     parent.extend(0..n);
 
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let root = find(parent, parent[i]);
-            parent[i] = root;
-        }
-        parent[i]
-    }
-
     for i in 0..n {
         for j in (i + 1)..n {
             if points[i].within(points[j], snap) {
@@ -310,7 +317,16 @@ pub fn canonicalize_into(
         }
     }
 
-    // Centroid per cluster.
+    emit_centroids(points, scratch, out);
+}
+
+/// The centroid-per-cluster emission phase shared by the full and dirty
+/// canonicalization passes: per-cluster sums accumulated in index order
+/// (so the output depends only on the partition, never on which member
+/// became the union-find root), then `out[i] = centroid(cluster of i)`.
+fn emit_centroids(points: &[Point], scratch: &mut CanonScratch, out: &mut Vec<Point>) {
+    let n = points.len();
+    let parent = &mut scratch.parent;
     let (sum_x, sum_y, count) = (&mut scratch.sum_x, &mut scratch.sum_y, &mut scratch.count);
     sum_x.clear();
     sum_x.resize(n, 0.0);
@@ -329,6 +345,100 @@ pub fn canonicalize_into(
         let r = find(parent, i);
         Point::new(sum_x[r] / count[r] as f64, sum_y[r] / count[r] as f64)
     }));
+}
+
+/// [`canonicalize_into`] in O(|dirty|·n + n log n) instead of O(n²), valid
+/// only under the incremental engine's separation invariant.
+///
+/// `dirty` lists the indices whose coordinates may have changed since a
+/// previous canonical output; every other ("clean") point must be a value
+/// from that output, and that output must satisfy [`snap_separated`] —
+/// i.e. any two clean points are either bitwise equal or farther than
+/// `snap` apart. Under that precondition the single-linkage partition is
+/// reproduced exactly from two cheap edge families: bitwise-equality runs
+/// among the clean points (found by one lexicographic index sort) and every
+/// dirty-vs-all pair. The centroid emission is shared with the full pass,
+/// so the result is bitwise identical to [`canonicalize_into`].
+///
+/// # Panics
+///
+/// Panics if any dirty index is out of bounds.
+pub fn canonicalize_dirty_into(
+    points: &[Point],
+    snap: f64,
+    dirty: &[usize],
+    scratch: &mut CanonScratch,
+    out: &mut Vec<Point>,
+) {
+    let n = points.len();
+    let parent = &mut scratch.parent;
+    parent.clear();
+    parent.extend(0..n);
+
+    let mask = &mut scratch.mask;
+    mask.clear();
+    mask.resize(n, false);
+    for &d in dirty {
+        mask[d] = true;
+    }
+
+    // Clean-clean edges: by the separation precondition, two clean points
+    // within snap are bitwise equal, so one lexicographic sort exposes all
+    // such pairs as adjacent runs.
+    let idx = &mut scratch.idx;
+    idx.clear();
+    idx.extend((0..n).filter(|&i| !mask[i]));
+    idx.sort_by(|&a, &b| points[a].lex_cmp(points[b]));
+    for w in 1..idx.len() {
+        let (i, j) = (idx[w - 1], idx[w]);
+        if points[i] == points[j] {
+            let ri = find(parent, i);
+            let rj = find(parent, j);
+            if ri != rj {
+                parent[ri] = rj;
+            }
+        }
+    }
+
+    // Dirty-vs-all edges: a moved point may snap to anything.
+    for &i in dirty {
+        for j in 0..n {
+            if j != i && points[i].within(points[j], snap) {
+                let ri = find(parent, i);
+                let rj = find(parent, j);
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    emit_centroids(points, scratch, out);
+}
+
+/// Is every pair of *distinct* values in `points` farther than `snap`
+/// apart? This is the invariant [`canonicalize_dirty_into`] requires of
+/// the clean points; the incremental engine re-verifies it on each
+/// canonical output and falls back to the full pass when it fails.
+/// Bitwise duplicates are deduplicated first, so stacked multiplicities
+/// cost O(n log n), not O(n²).
+pub fn snap_separated(points: &[Point], snap: f64, scratch: &mut CanonScratch) -> bool {
+    let uniq = &mut scratch.uniq;
+    uniq.clear();
+    uniq.extend_from_slice(points);
+    uniq.sort_by(|a, b| a.lex_cmp(*b));
+    uniq.dedup();
+    for i in 0..uniq.len() {
+        for j in (i + 1)..uniq.len() {
+            if uniq[j].x - uniq[i].x > snap {
+                break;
+            }
+            if uniq[i].within(uniq[j], snap) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -506,6 +616,87 @@ mod tests {
         assert_synced(&c.map(|p| Point::new(-p.x, p.y)));
         let collected: Configuration = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
         assert_synced(&collected);
+    }
+
+    /// Simulates the incremental round loop: start from a canonical
+    /// separated output, move the `dirty` indices, and check the dirty pass
+    /// reproduces the full pass bitwise.
+    fn assert_dirty_matches_full(points: &[Point], dirty: &[usize], snap: f64) {
+        let mut scratch = CanonScratch::default();
+        let (mut full, mut incr) = (Vec::new(), Vec::new());
+        canonicalize_into(points, snap, &mut scratch, &mut full);
+        canonicalize_dirty_into(points, snap, dirty, &mut scratch, &mut incr);
+        assert_eq!(
+            full.len(),
+            incr.len(),
+            "dirty canonicalization changed the length"
+        );
+        for (i, (a, b)) in full.iter().zip(&incr).enumerate() {
+            assert!(
+                a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                "dirty canonicalization diverged at {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_canonicalization_matches_full_pass() {
+        let snap = 1e-6;
+        // Clean points: a canonical separated output — stacked multiplicity
+        // at the origin plus spread satellites (all pairwise > snap).
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(-2.0, 4.0),
+            Point::new(5.0, -5.0),
+        ];
+        // No movement: empty dirty set must still reproduce the stacks.
+        assert_dirty_matches_full(&pts, &[], snap);
+        // One satellite moves near another (snaps into a fresh cluster).
+        pts[3] = Point::new(-2.0, 4.0 + 0.5e-6);
+        assert_dirty_matches_full(&pts, &[3], snap);
+        // A robot leaves the stack; the stack stays a clean bitwise group.
+        pts[2] = Point::new(1.0, 1.0);
+        assert_dirty_matches_full(&pts, &[2, 3], snap);
+        // A dirty robot lands bitwise on the stack.
+        pts[2] = Point::new(0.0, 0.0);
+        assert_dirty_matches_full(&pts, &[2, 3], snap);
+        // Chain through a dirty point: clean at 0 and 1.6e-6 (> snap apart),
+        // dirty lands between and merges all three transitively.
+        let chain = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.6e-6, 0.0),
+            Point::new(0.8e-6, 0.0),
+            Point::new(9.0, 9.0),
+        ];
+        assert_dirty_matches_full(&chain, &[2], snap);
+        // All-dirty degenerates to the full pass.
+        assert_dirty_matches_full(&chain, &[0, 1, 2, 3], snap);
+    }
+
+    #[test]
+    fn snap_separated_detects_close_distinct_pairs() {
+        let snap = 1e-6;
+        let mut scratch = CanonScratch::default();
+        let sep = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0), // bitwise duplicate: fine
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        assert!(snap_separated(&sep, snap, &mut scratch));
+        let close = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5e-6, 0.0), // distinct value within snap
+            Point::new(1.0, 0.0),
+        ];
+        assert!(!snap_separated(&close, snap, &mut scratch));
+        // Same x, close y: caught despite the x-window early break.
+        let close_y = vec![Point::new(2.0, 0.0), Point::new(2.0, 0.5e-6)];
+        assert!(!snap_separated(&close_y, snap, &mut scratch));
+        assert!(snap_separated(&[], snap, &mut scratch));
     }
 
     #[test]

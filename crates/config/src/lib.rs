@@ -51,15 +51,19 @@ pub mod symmetry;
 pub mod view;
 
 pub use analysis::{fingerprint, AnalysisCache, RoundAnalysis};
-pub use angles::{string_of_angles, string_periodicity, StringOfAngles};
+pub use angles::{patch_sorted_angle_keys, string_of_angles, string_periodicity, StringOfAngles};
 pub use axial::{detect_mirror_axis, is_mirror_axis};
-pub use classify::{classify, classify_hinted, classify_invocations, Analysis, Class};
-pub use configuration::{canonicalize_into, CanonScratch, Configuration};
+pub use classify::{
+    classify, classify_hinted, classify_hinted_with_distinct, classify_invocations, Analysis, Class,
+};
+pub use configuration::{
+    canonicalize_dirty_into, canonicalize_into, snap_separated, CanonScratch, Configuration,
+};
 pub use quasi::{
     detect_quasi_regularity, detect_quasi_regularity_hinted, quasi_regular_with_center,
     QuasiRegularity,
 };
 pub use regularity::{regularity_around, RegularityWitness};
 pub use safe::{elected_point, is_safe_point, safe_points};
-pub use symmetry::{rotational_symmetry, symmetry_classes};
+pub use symmetry::{rotational_symmetry, rotational_symmetry_dirty, symmetry_classes};
 pub use view::{view_of, View};

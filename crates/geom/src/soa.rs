@@ -474,6 +474,146 @@ pub fn angle_keys_into(buf: &PointBuffer, center: Point, zone: f64, out: &mut Ve
     }
 }
 
+/// Indices at which `before` and `after` differ *bitwise*, appended to
+/// `out` (cleared first, capacity reused) — the dirty-set extraction the
+/// incremental re-analysis path runs after canonicalisation. Bitwise (not
+/// tolerance) comparison is deliberate: the analysis memo keys on exact
+/// coordinates, so any representational change, however small, must mark
+/// the robot dirty.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn diff_indices(before: &[Point], after: &[Point], out: &mut Vec<usize>) {
+    assert_eq!(before.len(), after.len(), "point slices of unequal length");
+    out.clear();
+    for i in 0..before.len() {
+        if before[i].x.to_bits() != after[i].x.to_bits()
+            || before[i].y.to_bits() != after[i].y.to_bits()
+        {
+            out.push(i);
+        }
+    }
+}
+
+/// [`weiszfeld_sums`] restricted to the points at `idx` — the dirty-gather
+/// form used when only a subset of robots needs re-accumulation. Chunked
+/// over the index list with the same fixed-order lane reduction as the
+/// dense kernel.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn weiszfeld_sums_gather(
+    buf: &PointBuffer,
+    idx: &[usize],
+    at: Point,
+    eps: f64,
+) -> WeiszfeldSums {
+    let (xs, ys) = buf.as_slices();
+    let mut num_x = [0.0f64; LANES];
+    let mut num_y = [0.0f64; LANES];
+    let mut den = [0.0f64; LANES];
+    let mut pull_x = [0.0f64; LANES];
+    let mut pull_y = [0.0f64; LANES];
+    let mut coincident = 0usize;
+    let chunks = idx.len() / LANES * LANES;
+    for base in (0..chunks).step_by(LANES) {
+        for lane in 0..LANES {
+            let i = idx[base + lane];
+            let px = xs[i];
+            let py = ys[i];
+            let dx = px - at.x;
+            let dy = py - at.y;
+            let d = (dx * dx + dy * dy).sqrt();
+            let far = d > eps;
+            let w = if far { d.recip() } else { 0.0 };
+            coincident += usize::from(!far);
+            num_x[lane] += px * w;
+            num_y[lane] += py * w;
+            den[lane] += w;
+            pull_x[lane] += dx * w;
+            pull_y[lane] += dy * w;
+        }
+    }
+    let mut sums = WeiszfeldSums {
+        num_x: reduce(num_x),
+        num_y: reduce(num_y),
+        denom: reduce(den),
+        pull_x: reduce(pull_x),
+        pull_y: reduce(pull_y),
+        coincident,
+    };
+    for &i in &idx[chunks..] {
+        let px = xs[i];
+        let py = ys[i];
+        let dx = px - at.x;
+        let dy = py - at.y;
+        let d = (dx * dx + dy * dy).sqrt();
+        if d > eps {
+            let w = d.recip();
+            sums.num_x += px * w;
+            sums.num_y += py * w;
+            sums.denom += w;
+            sums.pull_x += dx * w;
+            sums.pull_y += dy * w;
+        } else {
+            sums.coincident += 1;
+        }
+    }
+    sums
+}
+
+/// [`max_dist2`] restricted to the points at `idx`: the original point
+/// index and squared distance of the farthest gathered point. Ties resolve
+/// to the earliest position in `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx` is empty or any index is out of bounds.
+pub fn max_dist2_gather(buf: &PointBuffer, idx: &[usize], from: Point) -> (usize, f64) {
+    assert!(!idx.is_empty(), "farthest-point scan over an empty set");
+    let (xs, ys) = buf.as_slices();
+    let mut best = idx[0];
+    let mut best_d2 = f64::NEG_INFINITY;
+    for &i in idx {
+        let dx = xs[i] - from.x;
+        let dy = ys[i] - from.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 > best_d2 {
+            best = i;
+            best_d2 = d2;
+        }
+    }
+    (best, best_d2)
+}
+
+/// [`angle_keys_into`] restricted to the points at `idx`, in `idx` order —
+/// the dirty-gather form of the angle-sort key computation, used to
+/// recompute keys for moved robots only.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn angle_keys_gather_into(
+    buf: &PointBuffer,
+    idx: &[usize],
+    center: Point,
+    zone: f64,
+    out: &mut Vec<f64>,
+) {
+    let (xs, ys) = buf.as_slices();
+    out.clear();
+    let zone2 = zone * zone;
+    for &i in idx {
+        let dx = xs[i] - center.x;
+        let dy = ys[i] - center.y;
+        if dx * dx + dy * dy > zone2 {
+            out.push(crate::angle::normalize_tau(dy.atan2(dx)));
+        }
+    }
+}
+
 /// Scalar array-of-structs reference implementations of every kernel in
 /// this module — the code the kernels replaced, kept callable for the
 /// seeded agreement property tests and the `b7_scaling` SoA-vs-AoS
@@ -567,6 +707,62 @@ pub mod reference {
                 .iter()
                 .filter(|p| !p.within(center, zone))
                 .map(|p| crate::angle::normalize_tau((*p - center).angle())),
+        );
+    }
+
+    /// Scalar counterpart of [`super::diff_indices`].
+    pub fn diff_indices(before: &[Point], after: &[Point], out: &mut Vec<usize>) {
+        assert_eq!(before.len(), after.len(), "point slices of unequal length");
+        out.clear();
+        out.extend((0..before.len()).filter(|&i| {
+            before[i].x.to_bits() != after[i].x.to_bits()
+                || before[i].y.to_bits() != after[i].y.to_bits()
+        }));
+    }
+
+    /// Scalar counterpart of [`super::weiszfeld_sums_gather`]: the dense
+    /// scalar loop over the gathered subset.
+    pub fn weiszfeld_sums_gather(
+        points: &[Point],
+        idx: &[usize],
+        at: Point,
+        eps: f64,
+    ) -> WeiszfeldSums {
+        let subset: Vec<Point> = idx.iter().map(|&i| points[i]).collect();
+        weiszfeld_sums(&subset, at, eps)
+    }
+
+    /// Scalar counterpart of [`super::max_dist2_gather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty.
+    pub fn max_dist2_gather(points: &[Point], idx: &[usize], from: Point) -> (usize, f64) {
+        assert!(!idx.is_empty(), "farthest-point scan over an empty set");
+        let mut best = (idx[0], f64::NEG_INFINITY);
+        for &i in idx {
+            let d2 = from.dist2(points[i]);
+            if d2 > best.1 {
+                best = (i, d2);
+            }
+        }
+        best
+    }
+
+    /// Scalar counterpart of [`super::angle_keys_gather_into`].
+    pub fn angle_keys_gather_into(
+        points: &[Point],
+        idx: &[usize],
+        center: Point,
+        zone: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(
+            idx.iter()
+                .map(|&i| points[i])
+                .filter(|p| !p.within(center, zone))
+                .map(|p| crate::angle::normalize_tau((p - center).angle())),
         );
     }
 }
@@ -736,6 +932,107 @@ mod tests {
         reference::angle_keys_into(&pts, center, 0.4, &mut scalar);
         // Same filter, same per-element ops: bitwise identical.
         assert_eq!(batch, scalar);
+    }
+
+    /// A deterministic index subset of `0..n`, roughly every third index,
+    /// plus the endpoints when present.
+    fn subset(n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).filter(|i| i % 3 != 1).collect();
+        if n > 0 && !idx.contains(&(n - 1)) {
+            idx.push(n - 1);
+        }
+        idx
+    }
+
+    #[test]
+    fn diff_indices_finds_bitwise_changes_only() {
+        let before = scatter(12, 9);
+        let mut after = before.clone();
+        after[3] = Point::new(f64::from_bits(after[3].x.to_bits() ^ 1), after[3].y);
+        after[7] = Point::new(after[7].x, -after[7].y);
+        let mut got = Vec::new();
+        diff_indices(&before, &after, &mut got);
+        assert_eq!(got, vec![3, 7]);
+        let mut scalar = Vec::new();
+        reference::diff_indices(&before, &after, &mut scalar);
+        assert_eq!(got, scalar);
+        // Identical slices: empty diff, buffer reused.
+        diff_indices(&before, &before, &mut got);
+        assert!(got.is_empty());
+        // -0.0 differs from 0.0 bitwise and must be reported.
+        let a = [Point::new(0.0, 1.0)];
+        let b = [Point::new(-0.0, 1.0)];
+        diff_indices(&a, &b, &mut got);
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn weiszfeld_sums_gather_matches_reference() {
+        for n in [0usize, 1, 4, 7, 19, 40] {
+            let mut pts = scatter(n, 51 + n as u64);
+            if n > 0 {
+                let at = pts[0];
+                pts.push(at); // coincident mass inside the subset
+            }
+            let idx = subset(pts.len());
+            let buf = PointBuffer::from_points(&pts);
+            let at = if pts.is_empty() {
+                Point::ORIGIN
+            } else {
+                pts[0]
+            };
+            let batch = weiszfeld_sums_gather(&buf, &idx, at, 1e-9);
+            let scalar = reference::weiszfeld_sums_gather(&pts, &idx, at, 1e-9);
+            assert_eq!(batch.coincident, scalar.coincident, "n={n}");
+            for (a, b) in [
+                (batch.num_x, scalar.num_x),
+                (batch.num_y, scalar.num_y),
+                (batch.denom, scalar.denom),
+                (batch.pull_x, scalar.pull_x),
+                (batch.pull_y, scalar.pull_y),
+            ] {
+                assert!(
+                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                    "n={n}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_dist2_gather_matches_reference_and_full_scan() {
+        for n in [1usize, 2, 5, 9, 33] {
+            let pts = scatter(n, 61 + n as u64);
+            let buf = PointBuffer::from_points(&pts);
+            let from = Point::new(0.2, -0.9);
+            let idx = subset(n);
+            assert_eq!(
+                max_dist2_gather(&buf, &idx, from),
+                reference::max_dist2_gather(&pts, &idx, from),
+                "n={n}"
+            );
+            // The all-indices gather is the dense scan.
+            let all: Vec<usize> = (0..n).collect();
+            assert_eq!(max_dist2_gather(&buf, &all, from), max_dist2(&buf, from));
+        }
+    }
+
+    #[test]
+    fn angle_keys_gather_matches_reference_bitwise() {
+        let pts = scatter(25, 321);
+        let buf = PointBuffer::from_points(&pts);
+        let center = Point::new(0.5, 0.5);
+        let idx = subset(pts.len());
+        let (mut batch, mut scalar) = (Vec::new(), Vec::new());
+        angle_keys_gather_into(&buf, &idx, center, 0.4, &mut batch);
+        reference::angle_keys_gather_into(&pts, &idx, center, 0.4, &mut scalar);
+        assert_eq!(batch, scalar);
+        // The all-indices gather is the dense kernel, bitwise.
+        let all: Vec<usize> = (0..pts.len()).collect();
+        let mut dense = Vec::new();
+        angle_keys_into(&buf, center, 0.4, &mut dense);
+        angle_keys_gather_into(&buf, &all, center, 0.4, &mut batch);
+        assert_eq!(batch, dense);
     }
 
     #[test]

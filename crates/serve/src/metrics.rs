@@ -61,6 +61,12 @@ pub struct ServerMetrics {
     pub classifications_total: AtomicU64,
     /// Total analysis-cache hits across all runs.
     pub cache_hits_total: AtomicU64,
+    /// Total analyses computed (from scratch or by patching), summed from
+    /// runs that attached cache stats ([`RunMetrics::analysis_cache`]).
+    pub cache_computed_total: AtomicU64,
+    /// Total dirty-skip cache hits (incremental path, no robot moved),
+    /// summed from runs that attached cache stats.
+    pub cache_dirty_skips_total: AtomicU64,
     /// Total distance travelled, accumulated as f64 bits under a CAS loop.
     travel_total_bits: AtomicU64,
     /// Per-request phase histograms (parse / queue wait / execute).
@@ -88,6 +94,12 @@ impl ServerMetrics {
             .fetch_add(m.classifications, Ordering::Relaxed);
         self.cache_hits_total
             .fetch_add(m.cache_hits, Ordering::Relaxed);
+        if let Some(cs) = &m.analysis_cache {
+            self.cache_computed_total
+                .fetch_add(cs.computed, Ordering::Relaxed);
+            self.cache_dirty_skips_total
+                .fetch_add(cs.dirty_skips, Ordering::Relaxed);
+        }
         let mut current = self.travel_total_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + m.total_travel).to_bits();
@@ -147,7 +159,7 @@ impl ServerMetrics {
         use std::fmt::Write;
         let mut out = String::with_capacity(1024);
         out.push_str("# gather-serve metrics, text exposition v1\n");
-        let counters: [(&str, &AtomicU64); 13] = [
+        let counters: [(&str, &AtomicU64); 15] = [
             ("gather_requests_accepted_total", &self.accepted),
             ("gather_requests_rejected_full_total", &self.rejected_full),
             (
@@ -173,6 +185,14 @@ impl ServerMetrics {
                 &self.classifications_total,
             ),
             ("gather_sim_cache_hits_total", &self.cache_hits_total),
+            (
+                "gather_sim_cache_computed_total",
+                &self.cache_computed_total,
+            ),
+            (
+                "gather_sim_cache_dirty_skips_total",
+                &self.cache_dirty_skips_total,
+            ),
         ];
         for (name, counter) in counters {
             writeln!(out, "{name} {}", counter.load(Ordering::Relaxed)).expect("write to String");
@@ -242,6 +262,11 @@ mod tests {
             classifications: 4,
             cache_hits: 2,
             weiszfeld_iters: 3,
+            analysis_cache: Some(gather_sim::metrics::CacheStats {
+                computed: 3,
+                hits: 2,
+                dirty_skips: 1,
+            }),
             phase_ns: None,
         }
     }
@@ -255,6 +280,8 @@ mod tests {
         assert_eq!(m.runs_gathered.load(Ordering::Relaxed), 1);
         assert_eq!(m.rounds_total.load(Ordering::Relaxed), 20);
         assert_eq!(m.weiszfeld_iters_total.load(Ordering::Relaxed), 6);
+        assert_eq!(m.cache_computed_total.load(Ordering::Relaxed), 6);
+        assert_eq!(m.cache_dirty_skips_total.load(Ordering::Relaxed), 2);
         assert!((m.travel_total() - 3.75).abs() < 1e-12);
     }
 
@@ -294,6 +321,8 @@ mod tests {
         assert!(text.contains("gather_queue_depth 2\n"));
         assert!(text.contains("gather_queue_capacity 32\n"));
         assert!(text.contains("gather_sim_travel_total 0.5\n"));
+        assert!(text.contains("gather_sim_cache_computed_total 3\n"));
+        assert!(text.contains("gather_sim_cache_dirty_skips_total 1\n"));
         assert!(text.contains("gather_request_latency_ms{quantile=\"0.99\"}"));
     }
 

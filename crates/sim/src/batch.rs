@@ -32,7 +32,7 @@ use crate::algorithm::Algorithm;
 use crate::crash::{CrashPlan, NoCrashes};
 use crate::engine::{EngineParts, RunOutcome, Scratch, StepCore};
 use crate::frames::{FramePolicy, FrameSource};
-use crate::metrics::{summarize, RunMetrics};
+use crate::metrics::{summarize, CacheStats, RunMetrics};
 use crate::motion::{FullMotion, MotionAdversary};
 use crate::scheduler::{EveryRobot, Scheduler};
 use crate::trace::{RoundRecord, Trace};
@@ -75,6 +75,10 @@ pub struct LaneSpec {
     pub shared_analysis: bool,
     /// Warm-start Weiszfeld from the previous Weber point (default on).
     pub warm_start: bool,
+    /// Incremental dirty-tracked re-analysis (default off — the
+    /// full-recompute reference path), matching
+    /// [`EngineBuilder::incremental`](crate::engine::EngineBuilder::incremental).
+    pub incremental: bool,
     /// Round limit: the lane retires `RoundLimit` when it steps this many
     /// rounds without gathering (default 10 000).
     pub max_rounds: u64,
@@ -97,6 +101,7 @@ impl LaneSpec {
             check_invariants: true,
             shared_analysis: true,
             warm_start: true,
+            incremental: false,
             max_rounds: 10_000,
         }
     }
@@ -356,6 +361,9 @@ impl BatchEngine {
                 shared_analysis: spec.shared_analysis,
                 check_invariants: spec.check_invariants,
                 started_bivalent,
+                incremental: spec.incremental,
+                pending_dirty: Vec::new(),
+                sep_ok: false,
                 analysis_cache: cache,
             },
             slot,
@@ -416,9 +424,15 @@ impl BatchEngine {
             self.aos.clear();
             self.aos
                 .extend(xs.iter().zip(ys).map(|(&x, &y)| Point::new(x, y)));
+            let mut metrics = summarize(outcome, &lane.trace);
+            metrics.analysis_cache = Some(CacheStats {
+                computed: lane.core.analysis_cache.computed(),
+                hits: lane.core.analysis_cache.hits(),
+                dirty_skips: lane.core.analysis_cache.dirty_skips(),
+            });
             let result = LaneResult {
                 outcome,
-                metrics: summarize(outcome, &lane.trace),
+                metrics,
                 violations: std::mem::take(&mut lane.violations),
                 positions: self.aos.clone(),
             };
@@ -457,7 +471,7 @@ impl BatchEngine {
             true,
             &mut self.scratch,
         );
-        lane.core.stage_apply(&mut self.scratch);
+        lane.core.stage_apply(&self.aos, &mut self.scratch);
         // Scatter the canonicalised positions back into the columns (the
         // sequential engine swaps vectors instead; same values).
         self.aos.clear();
@@ -545,11 +559,19 @@ mod tests {
             .check_invariants(s.check_invariants)
             .shared_analysis(s.shared_analysis)
             .warm_start(s.warm_start)
+            .incremental(s.incremental)
             .build();
         let outcome = e.run(s.max_rounds);
+        let mut metrics = summarize(outcome, e.trace());
+        let (computed, hits, dirty_skips) = e.analysis_cache_stats();
+        metrics.analysis_cache = Some(CacheStats {
+            computed,
+            hits,
+            dirty_skips,
+        });
         LaneResult {
             outcome,
-            metrics: summarize(outcome, e.trace()),
+            metrics,
             violations: e.violations().to_vec(),
             positions: e.positions().to_vec(),
         }
@@ -604,6 +626,41 @@ mod tests {
         let expect = sequential(mk());
         let got = BatchEngine::new(4, EngineParts::default()).run(vec![mk()]);
         assert_eq!(got[0], expect);
+    }
+
+    #[test]
+    fn incremental_lanes_match_sequential_and_reference() {
+        let mk = |incremental: bool, audits: bool| {
+            let mut s = spec(9, 1.7, 300);
+            s.scheduler = Box::new(RoundRobin::new(2));
+            s.check_invariants = audits;
+            s.incremental = incremental;
+            s
+        };
+        for audits in [false, true] {
+            let reference = sequential(mk(false, audits));
+            let mut seq_inc = sequential(mk(true, audits));
+            let got = BatchEngine::new(2, EngineParts::default())
+                .run(vec![mk(true, audits), mk(false, audits)]);
+            // Batch lanes ≡ their sequential twins, exactly.
+            assert_eq!(
+                got[0], seq_inc,
+                "audits={audits}: incremental lane diverged"
+            );
+            assert_eq!(
+                got[1], reference,
+                "audits={audits}: reference lane diverged"
+            );
+            // Incremental ≡ reference up to the dirty-skip counter, which
+            // only the incremental path reports (a subset of its hits).
+            let inc_stats = seq_inc.metrics.analysis_cache.expect("stats attached");
+            let ref_stats = reference.metrics.analysis_cache.expect("stats attached");
+            assert_eq!(inc_stats.computed, ref_stats.computed);
+            assert_eq!(inc_stats.hits, ref_stats.hits);
+            assert_eq!(ref_stats.dirty_skips, 0, "reference never dirty-skips");
+            seq_inc.metrics.analysis_cache = reference.metrics.analysis_cache;
+            assert_eq!(seq_inc, reference, "audits={audits}: sequential diverged");
+        }
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub(crate) struct Scratch {
     pub(crate) distinct: Vec<(Point, usize)>,
     /// Sorting scratch for `distinct_into`.
     pub(crate) sort: Vec<Point>,
+    /// Indices whose pending position differs bitwise from the previous
+    /// canonical one (the incremental path's per-round dirty set).
+    pub(crate) dirty: Vec<usize>,
 }
 
 /// The reusable heap-backed innards of a retired [`Engine`]: the round-loop
@@ -107,6 +110,19 @@ pub(crate) struct StepCore {
     pub(crate) shared_analysis: bool,
     pub(crate) check_invariants: bool,
     pub(crate) started_bivalent: bool,
+    pub(crate) incremental: bool,
+    /// Bitwise diff between the analysis cache's memoized configuration
+    /// and the configuration the *next* analysis will see. Set by
+    /// [`StepCore::stage_apply`] after canonicalisation, consumed (and
+    /// cleared) by every [`AnalysisCache::analyse_dirty`] call — after
+    /// which the memo equals the analysed configuration again, so an empty
+    /// pending set means "nothing moved since the memo".
+    pub(crate) pending_dirty: Vec<usize>,
+    /// Whether the current canonical positions are pairwise snap-separated
+    /// (distinct values > `tol.snap` apart). Licenses the O(dirty·n)
+    /// canonicalisation: clean points then cannot merge with each other.
+    /// Starts `false` (unverified), re-established after every apply.
+    pub(crate) sep_ok: bool,
     pub(crate) analysis_cache: AnalysisCache,
 }
 
@@ -116,9 +132,11 @@ impl StepCore {
     /// analysis in the ablation mode: each consumer then classifies for
     /// itself, as the seed did.
     pub(crate) fn stage_classify(&mut self, scratch: &Scratch) -> (Option<RoundAnalysis>, Class) {
-        let shared: Option<RoundAnalysis> = self
-            .shared_analysis
-            .then(|| self.analysis_cache.analyse(&scratch.config, self.tol));
+        let shared: Option<RoundAnalysis> = if self.shared_analysis {
+            Some(self.analyse_shared(&scratch.config))
+        } else {
+            None
+        };
         let class = match &shared {
             Some(ra) => ra.analysis.class,
             None => classify(&scratch.config, self.tol).class,
@@ -126,9 +144,36 @@ impl StepCore {
         (shared, class)
     }
 
+    /// The one shared-analysis entry point: the incremental path routes
+    /// through [`AnalysisCache::analyse_dirty`] with the pending dirty set
+    /// (cleared afterwards — the memo now equals `config`), the reference
+    /// path through the plain full-recompute [`AnalysisCache::analyse`].
+    fn analyse_shared(&mut self, config: &Configuration) -> RoundAnalysis {
+        if self.incremental {
+            let ra = self
+                .analysis_cache
+                .analyse_dirty(config, self.tol, &self.pending_dirty);
+            self.pending_dirty.clear();
+            ra
+        } else {
+            self.analysis_cache.analyse(config, self.tol)
+        }
+    }
+
     /// Computes the distinct occupied locations (`U(C)`) of the
     /// start-of-round configuration into `scratch.distinct`.
     pub(crate) fn stage_distinct(&self, scratch: &mut Scratch) {
+        // The incremental cache maintains the distinct multiset of its
+        // memoized configuration — which `stage_classify` just made equal
+        // to `scratch.config` — so a valid cached copy replaces the
+        // O(n log n) sort with an O(|U(C)|) copy.
+        if self.incremental && self.shared_analysis {
+            if let Some(d) = self.analysis_cache.distinct_cached() {
+                scratch.distinct.clear();
+                scratch.distinct.extend_from_slice(d);
+                return;
+            }
+        }
         let Scratch {
             config,
             distinct,
@@ -240,14 +285,50 @@ impl StepCore {
 
     /// Simultaneous application: canonicalises `scratch.new_positions`
     /// into `scratch.canon_out` (the caller swaps or copies it into its
-    /// own position storage).
-    pub(crate) fn stage_apply(&self, scratch: &mut Scratch) {
-        canonicalize_into(
-            &scratch.new_positions,
-            self.tol.snap,
-            &mut scratch.canon,
-            &mut scratch.canon_out,
-        );
+    /// own position storage). `prev` is the start-of-round canonical
+    /// position vector the pending positions were derived from.
+    ///
+    /// The incremental path diffs `prev` against the pending positions to
+    /// find the robots that actually moved, canonicalises in
+    /// O(dirty · n) when the previous round's output was snap-separated
+    /// (clean points then cannot merge with each other — see
+    /// `canonicalize_dirty_into`), and records the post-canonicalisation
+    /// diff as the analysis cache's pending dirty set for the next
+    /// `analyse_dirty` call.
+    pub(crate) fn stage_apply(&mut self, prev: &[Point], scratch: &mut Scratch) {
+        if !self.incremental {
+            canonicalize_into(
+                &scratch.new_positions,
+                self.tol.snap,
+                &mut scratch.canon,
+                &mut scratch.canon_out,
+            );
+            return;
+        }
+        // With the shared pipeline on, `stage_classify` consumed the
+        // previous round's pending set earlier this round; overwriting an
+        // unconsumed one would desynchronise the cache memo.
+        debug_assert!(!self.shared_analysis || self.pending_dirty.is_empty());
+        gather_geom::soa::diff_indices(prev, &scratch.new_positions, &mut scratch.dirty);
+        if self.sep_ok {
+            gather_config::canonicalize_dirty_into(
+                &scratch.new_positions,
+                self.tol.snap,
+                &scratch.dirty,
+                &mut scratch.canon,
+                &mut scratch.canon_out,
+            );
+        } else {
+            canonicalize_into(
+                &scratch.new_positions,
+                self.tol.snap,
+                &mut scratch.canon,
+                &mut scratch.canon_out,
+            );
+        }
+        self.sep_ok =
+            gather_config::snap_separated(&scratch.canon_out, self.tol.snap, &mut scratch.canon);
+        gather_geom::soa::diff_indices(prev, &scratch.canon_out, &mut self.pending_dirty);
     }
 
     /// Invariant-audit stage over the completed round: wait-freeness on the
@@ -287,7 +368,7 @@ impl StepCore {
     ) -> Point {
         scratch.config.copy_from_slice(positions);
         let snap = if self.shared_analysis {
-            let ra = self.analysis_cache.analyse(&scratch.config, self.tol);
+            let ra = self.analyse_shared(&scratch.config);
             Snapshot::with_analysis_borrowed(&scratch.config, at, ra.analysis)
         } else {
             Snapshot::borrowed(&scratch.config, at)
@@ -386,7 +467,7 @@ impl StepCore {
         // the next round's start-of-round cache hit, so the audit costs no
         // extra steady-state classification.
         let class = if self.shared_analysis {
-            self.analysis_cache.analyse(post, self.tol).analysis.class
+            self.analyse_shared(post).analysis.class
         } else {
             classify(post, self.tol).class
         };
@@ -447,6 +528,7 @@ pub struct EngineBuilder {
     check_invariants: bool,
     shared_analysis: bool,
     warm_start: bool,
+    incremental: bool,
     reuse_buffers: bool,
     trace_capacity: Option<usize>,
     position_log_capacity: Option<usize>,
@@ -545,6 +627,25 @@ impl EngineBuilder {
     /// cold path exists for the B1 ablation quantifying the saving.
     pub fn warm_start(mut self, on: bool) -> Self {
         self.warm_start = on;
+        self
+    }
+
+    /// Enables or disables incremental dirty-tracked re-analysis
+    /// (default: off — the full-recompute reference path).
+    ///
+    /// When on, the engine tracks which robots moved each round (a bitwise
+    /// positional diff) and patches the previous round's work instead of
+    /// rebuilding it: canonicalisation only re-clusters dirty robots when
+    /// the previous output was snap-separated, the distinct multiset
+    /// `U(C)` is maintained by per-index edits inside the analysis cache,
+    /// rounds where no robot moved skip classification entirely, and the
+    /// Weiszfeld solve keeps its warm start. Crashed robots stop moving
+    /// and so drop out of the dirty set on their own — no special casing.
+    /// Bit-identical to the reference path by construction; the
+    /// `incremental_analysis` property suite and `b11_largen` enforce it.
+    /// See DESIGN.md §15 for the cacheability invariants.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
         self
     }
 
@@ -695,6 +796,9 @@ impl EngineBuilder {
                 shared_analysis: self.shared_analysis,
                 check_invariants: self.check_invariants,
                 started_bivalent,
+                incremental: self.incremental,
+                pending_dirty: Vec::new(),
+                sep_ok: false,
                 analysis_cache,
             },
             look_delay: self.look_delay,
@@ -774,6 +878,7 @@ impl Engine {
             check_invariants: true,
             shared_analysis: true,
             warm_start: true,
+            incremental: false,
             reuse_buffers: true,
             trace_capacity: None,
             position_log_capacity: None,
@@ -870,11 +975,15 @@ impl Engine {
         dest.within(first, tol.snap)
     }
 
-    /// Cumulative analysis-cache counters `(computed, hits)`.
-    pub fn analysis_cache_stats(&self) -> (u64, u64) {
+    /// Cumulative analysis-cache counters `(computed, hits, dirty_skips)`.
+    /// `dirty_skips` counts the hits served by an empty dirty set on the
+    /// incremental path (a subset of `hits`; always `0` on the reference
+    /// path).
+    pub fn analysis_cache_stats(&self) -> (u64, u64, u64) {
         (
             self.core.analysis_cache.computed(),
             self.core.analysis_cache.hits(),
+            self.core.analysis_cache.dirty_skips(),
         )
     }
 
@@ -975,7 +1084,7 @@ impl Engine {
         // 4. Simultaneous application + canonicalisation (into the scratch
         //    output buffer, then swapped with the engine's position vector —
         //    last round's positions become next round's buffer).
-        self.core.stage_apply(&mut scratch);
+        self.core.stage_apply(&self.positions, &mut scratch);
         std::mem::swap(&mut self.positions, &mut scratch.canon_out);
 
         if self.record_positions {
@@ -1281,9 +1390,10 @@ mod tests {
                 rec.classifications
             );
         }
-        let (computed, hits) = e.analysis_cache_stats();
+        let (computed, hits, dirty_skips) = e.analysis_cache_stats();
         assert!(computed > 0);
         assert!(hits > 0, "audit-then-step reuse never hit the cache");
+        assert_eq!(dirty_skips, 0, "reference path never dirty-skips");
     }
 
     #[test]
@@ -1301,7 +1411,7 @@ mod tests {
             "expected per-robot classification, saw {}",
             rec.classifications
         );
-        assert_eq!(e.analysis_cache_stats(), (0, 0));
+        assert_eq!(e.analysis_cache_stats(), (0, 0, 0));
     }
 
     #[test]
@@ -1415,6 +1525,55 @@ mod tests {
         };
         assert_eq!(run(None), run(Some(EngineObs::new(64))));
         assert_eq!(run(None), run(Some(EngineObs::disabled())));
+    }
+
+    #[test]
+    fn incremental_path_is_bit_identical_to_reference() {
+        // Same run, incremental dirty tracking on vs off: identical
+        // position trajectories, traces and violations. Crashes freeze
+        // robots (exercising the dirty set shrinking), the sequential
+        // scheduler keeps most robots static every round (exercising the
+        // patch path), and audits exercise the post-move analyse.
+        let run = |incremental: bool| {
+            let mut e = Engine::builder(spiral(14))
+                .algorithm(ClassTarget)
+                .frames(FramePolicy::GlobalFrame)
+                .scheduler(SequentialSingle::new())
+                .crash_plan(CrashAtRounds::at_start([2, 9]))
+                .incremental(incremental)
+                .build();
+            let mut log = Vec::new();
+            for _ in 0..80 {
+                let rec = e.step().clone();
+                log.push((e.positions().to_vec(), rec));
+            }
+            (log, e.violations().to_vec())
+        };
+        let (reference, ref_viol) = run(false);
+        let (incremental, inc_viol) = run(true);
+        for (r, i) in reference.iter().zip(&incremental) {
+            assert_eq!(r.1.round, i.1.round);
+            assert_eq!(r.0, i.0, "positions diverged at round {}", r.1.round);
+            assert_eq!(r.1, i.1, "record diverged at round {}", r.1.round);
+        }
+        assert_eq!(ref_viol, inc_viol);
+    }
+
+    #[test]
+    fn incremental_static_rounds_skip_classification() {
+        // Nobody ever moves under Stay, so after the first round every
+        // shared analysis is served by the empty dirty set.
+        let mut e = Engine::builder(spiral(16))
+            .algorithm(Stay)
+            .check_invariants(false)
+            .incremental(true)
+            .build();
+        for _ in 0..10 {
+            e.step();
+        }
+        let (computed, _, dirty_skips) = e.analysis_cache_stats();
+        assert_eq!(computed, 1, "only the builder pre-check computes");
+        assert!(dirty_skips >= 9, "static rounds must dirty-skip");
     }
 
     #[test]

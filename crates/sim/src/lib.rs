@@ -106,7 +106,7 @@ pub mod prelude {
     pub use crate::crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
     pub use crate::engine::{Engine, EngineBuilder, EngineParts, RunOutcome};
     pub use crate::frames::FramePolicy;
-    pub use crate::metrics::{summarize, RunMetrics};
+    pub use crate::metrics::{summarize, CacheStats, RunMetrics};
     pub use crate::motion::{
         AlwaysDelta, FullMotion, MotionAdversary, RandomStops, SymmetricHalfStops,
     };

@@ -6,6 +6,20 @@ use gather_config::Class;
 use gather_obs::{Phase, PhaseNanos};
 use std::collections::BTreeMap;
 
+/// Cumulative analysis-cache counters of one run's engine: full
+/// computations, memo hits, and the subset of hits served by an empty
+/// dirty set on the incremental path (`dirty_skips <= hits`; always `0`
+/// on the full-recompute reference path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Analyses computed from scratch or by patching.
+    pub computed: u64,
+    /// Analyses served from the memo.
+    pub hits: u64,
+    /// Memo hits proven valid by an empty dirty set (no robot moved).
+    pub dirty_skips: u64,
+}
+
 /// Aggregated metrics of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
@@ -28,6 +42,11 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Total Weiszfeld solver iterations over the run.
     pub weiszfeld_iters: u64,
+    /// End-of-run analysis-cache counters, when the producer attached them
+    /// (the runner and the batch lanes do; a bare [`summarize`] leaves
+    /// `None`). Like `phase_ns`, the column is serialized only when
+    /// present, so pre-existing rows keep their exact byte format.
+    pub analysis_cache: Option<CacheStats>,
     /// Accumulated per-phase wall-clock nanoseconds, when the run's engine
     /// carried an *enabled* observability handle (`Engine::phase_nanos`);
     /// `None` for untimed runs. Serialized only when present, so untimed
@@ -63,6 +82,7 @@ pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
         classifications: trace.total_classifications(),
         cache_hits: trace.total_cache_hits(),
         weiszfeld_iters: trace.total_weiszfeld_iters(),
+        analysis_cache: None,
         phase_ns: None,
     }
 }
@@ -189,6 +209,16 @@ impl RunMetrics {
             self.classifications, self.cache_hits, self.weiszfeld_iters
         )
         .expect("write to String");
+        // Optional cache-counter column: present only when the producer
+        // attached end-of-run cache stats.
+        if let Some(cs) = &self.analysis_cache {
+            write!(
+                s,
+                ",\"analysis_cache\":{{\"computed\":{},\"hits\":{},\"dirty_skips\":{}}}",
+                cs.computed, cs.hits, cs.dirty_skips
+            )
+            .expect("write to String");
+        }
         // Optional phase-timing column: present only for instrumented runs
         // (non-deterministic wall-clock data never enters the byte-exact
         // default format).
@@ -253,6 +283,24 @@ impl RunMetrics {
         let cache_hits = c.u64()?;
         c.eat(",\"weiszfeld_iters\":")?;
         let weiszfeld_iters = c.u64()?;
+        // The optional trailing columns are keyed, in fixed order; a comma
+        // alone no longer identifies which one follows.
+        let analysis_cache = if c.s[c.i..].starts_with(",\"analysis_cache\":") {
+            c.eat(",\"analysis_cache\":{\"computed\":")?;
+            let computed = c.u64()?;
+            c.eat(",\"hits\":")?;
+            let hits = c.u64()?;
+            c.eat(",\"dirty_skips\":")?;
+            let dirty_skips = c.u64()?;
+            c.eat("}")?;
+            Some(CacheStats {
+                computed,
+                hits,
+                dirty_skips,
+            })
+        } else {
+            None
+        };
         let phase_ns = if c.peek() == Some(',') {
             c.eat(",\"phase_ns\":{")?;
             let mut nanos = PhaseNanos::default();
@@ -282,6 +330,7 @@ impl RunMetrics {
             classifications,
             cache_hits,
             weiszfeld_iters,
+            analysis_cache,
             phase_ns,
         })
     }
@@ -394,6 +443,7 @@ mod tests {
             classifications: 24,
             cache_hits: 10,
             weiszfeld_iters: 33,
+            analysis_cache: None,
             phase_ns: None,
         }
     }
@@ -447,6 +497,38 @@ mod tests {
         m.phase_ns = None;
         let untimed = m.to_jsonl();
         assert!(line.starts_with(&untimed[..untimed.len() - 1]));
+    }
+
+    #[test]
+    fn jsonl_round_trips_cache_stats_when_present() {
+        let mut m = sample_metrics();
+        m.analysis_cache = Some(CacheStats {
+            computed: 4,
+            hits: 20,
+            dirty_skips: 17,
+        });
+        let line = m.to_jsonl();
+        assert!(
+            line.ends_with(",\"analysis_cache\":{\"computed\":4,\"hits\":20,\"dirty_skips\":17}}"),
+            "{line}"
+        );
+        let back = RunMetrics::from_jsonl(&line).expect("parse cache row");
+        assert_eq!(back, m);
+        assert_eq!(back.to_jsonl(), line);
+        // Both optional columns together, in fixed order.
+        let mut nanos = PhaseNanos::default();
+        nanos.add(Phase::Classify, 42);
+        m.phase_ns = Some(nanos);
+        let both = m.to_jsonl();
+        assert!(both.contains("\"analysis_cache\":{"));
+        assert!(both.contains("\"phase_ns\":{"));
+        assert!(
+            both.find("\"analysis_cache\"").unwrap() < both.find("\"phase_ns\"").unwrap(),
+            "cache column must precede the phase column: {both}"
+        );
+        let back = RunMetrics::from_jsonl(&both).expect("parse combined row");
+        assert_eq!(back, m);
+        assert_eq!(back.to_jsonl(), both);
     }
 
     #[test]

@@ -70,6 +70,19 @@ echo "== sweep-smoke (B10 vs committed baseline, batch vs sequential) =="
 cargo run --release --offline -p gather-bench \
   --bin b10_sweep -- --quick --baseline BENCH_b10_sweep.json \
   --out "$smoke_out"
+
+echo "== largen-smoke (B11 incremental vs full recompute) =="
+# Quick B11 run: the incremental dirty-tracked analysis path against the
+# full-recompute reference at n in {1024, 4096}. Always fails if the two
+# modes are not bit-identical (positions and cache counters) or if the
+# incremental speedup drops below 3x at n = 4096 — both gates compare
+# the modes against each other on the same box, so they hold on any
+# machine. The absolute rounds/s regression check against the committed
+# record auto-skips with a recorded reason on machines with < 2 cores
+# (the B7 convention: starved-runner wall clock is noise, not signal).
+cargo run --release --offline -p gather-bench \
+  --bin b11_largen -- --quick --baseline BENCH_b11_largen.json \
+  --out "$smoke_out"
 rm -rf "$smoke_out"
 
 echo "== service-smoke (gather-serve over TCP) =="
