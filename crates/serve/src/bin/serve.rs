@@ -14,11 +14,18 @@ use std::io::BufRead;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+        "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20            [--dispatchers N] [--shards N] [--no-epoll]\n\
          \n\
          --addr HOST:PORT  bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
          --workers N       simulation worker threads (default: available cores)\n\
-         --queue N         admission-queue capacity (default 32)"
+         --queue N         admission-queue capacity (default 32)\n\
+         --cache N         result-cache entries (default GATHER_CACHE_ENTRIES or 4096;\n\
+         \x20                0 disables caching)\n\
+         --dispatchers N   dispatcher lanes (default: one per worker)\n\
+         --shards N        event-loop shards (default: min(cores, 4))\n\
+         --no-epoll        force the thread-per-connection engine\n\
+         \x20                (GATHER_NO_EPOLL=1 does the same)"
     );
     std::process::exit(2)
 }
@@ -42,6 +49,16 @@ fn main() {
             "--queue" => {
                 config.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
             }
+            "--cache" => {
+                config.cache_entries = Some(value("--cache").parse().unwrap_or_else(|_| usage()))
+            }
+            "--dispatchers" => {
+                config.dispatchers = value("--dispatchers").parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => {
+                config.loop_shards = value("--shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-epoll" => config.event_loop = false,
             _ => usage(),
         }
     }
@@ -53,8 +70,14 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("gather-serve listening on http://{}", server.addr());
-    println!("routes: POST /v1/run, GET /v1/trace, GET /v1/metrics, GET /v1/healthz");
+    println!(
+        "gather-serve listening on http://{} (engine: {})",
+        server.addr(),
+        server.engine()
+    );
+    println!(
+        "routes: POST /v1/run, POST /v1/batch, GET /v1/trace, GET /v1/metrics, GET /v1/healthz"
+    );
     println!("close stdin (Ctrl-D) to drain and shut down");
 
     // Park until stdin EOF.

@@ -93,6 +93,16 @@ impl Client {
         self.request("POST", "/v1/run", json_body.as_bytes())
     }
 
+    /// Convenience: `POST /v1/batch` (the amortised mega-batch endpoint)
+    /// with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`request`](Client::request).
+    pub fn post_batch(&mut self, json_body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", "/v1/batch", json_body.as_bytes())
+    }
+
     /// Convenience: `GET /v1/trace` with query-string spec parameters
     /// (e.g. `n=8&seed=1`). The chunked NDJSON response arrives fully
     /// decoded in [`ClientResponse::body`].

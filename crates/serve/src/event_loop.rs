@@ -1,0 +1,704 @@
+//! Readiness-driven serving engine: sharded epoll event loops
+//! (Linux only; the threaded engine in [`crate::server`] covers every
+//! other platform).
+//!
+//! Each shard is one thread owning one `epoll` instance and a slab of
+//! connection state machines. The acceptor hands sockets round-robin to
+//! the shards; from then on a connection's entire lifecycle — incremental
+//! request parsing ([`crate::http::try_parse`]), routing, reply delivery,
+//! vectored writes, timeouts — happens on its shard thread, so no
+//! per-connection locks exist. Cross-thread input (new sockets from the
+//! acceptor, replies from dispatcher lanes) arrives through a mutexed
+//! inbox drained at the top of every loop iteration, with an `eventfd`
+//! waking the shard out of `epoll_wait`.
+//!
+//! Interest is level-triggered, managed per state:
+//!
+//! * **reading** (`EPOLLIN | EPOLLRDHUP`) — bytes accumulate in `rbuf`
+//!   until `try_parse` yields a request;
+//! * **busy** (`EPOLLRDHUP` only) — a request was admitted to the
+//!   dispatcher queue; `EPOLLIN` is dropped so the level-triggered loop
+//!   does not spin on pipelined bytes we will not parse until the reply
+//!   lands (kernel-buffer backpressure does the flow control);
+//! * **flushing** (`… | EPOLLOUT`) — a vectored write hit `WouldBlock`;
+//!   `EPOLLOUT` stays armed until the output queue drains.
+//!
+//! Responses are queued as byte segments — [`Response::head_bytes`]
+//! first, then the body either copied (owned) or zero-copy as
+//! `Arc`-shared cache slices — and written with `write_vectored`. The
+//! segment layout mirrors [`Response::write_to`] exactly (same head
+//! bytes, same 16 KiB chunked framing), which is what keeps the two
+//! engines byte-identical on the wire (DESIGN.md §16).
+//!
+//! The only FFI this module needs is four raw syscall bindings
+//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `eventfd`); the fds
+//! themselves live in [`OwnedFd`]/[`File`] wrappers so std handles
+//! lifetime and close.
+
+use crate::http::{self, Body, Response, CHUNK_SIZE};
+use crate::server::{
+    http_error_response, reply_to_response, route, Inner, Pending, Replier, Reply, Routed,
+    IDLE_POLL,
+};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Raw syscall surface. `std` exposes no epoll API and the `libc` crate
+/// is not a dependency, so the four functions are declared directly; the
+/// constants are kernel ABI (stable since Linux 2.6).
+mod sys {
+    /// Mirrors `struct epoll_event`. The kernel packs it on x86-64
+    /// (12 bytes); other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub token: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLL_CLOEXEC: i32 = 0x80000;
+    pub const EFD_CLOEXEC: i32 = 0x80000;
+    pub const EFD_NONBLOCK: i32 = 0x800;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+    }
+}
+
+/// Token reserved for the shard's wake `eventfd` (connection slots use
+/// their slab index, which can never reach this).
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Upper bound on events consumed per `epoll_wait`.
+const EVENT_BATCH: usize = 64;
+/// Stack read buffer; one syscall's worth of request bytes.
+const READ_BUF: usize = 16 * 1024;
+/// At most this many segments per vectored write.
+const WRITE_VECTORS: usize = 8;
+
+/// An `epoll` instance behind an [`OwnedFd`] (closed on drop).
+struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = sys::EpollEvent { events, token };
+        let rc = unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn delete(&self, fd: RawFd) {
+        // The event argument is ignored for DEL on any kernel we can run
+        // on; errors (fd already gone) are moot.
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Waits up to `timeout_ms`; `EINTR` is reported as zero events.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> usize {
+        let rc = unsafe {
+            sys::epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            return 0;
+        }
+        rc as usize
+    }
+}
+
+/// A nonblocking `eventfd` wrapped in [`File`] for std I/O and close.
+struct EventFd(File);
+
+impl EventFd {
+    fn new() -> io::Result<EventFd> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd(File::from(unsafe { OwnedFd::from_raw_fd(fd) })))
+    }
+
+    /// Wakes the shard. A `WouldBlock` (counter saturated) still wakes
+    /// it, so errors are ignored.
+    fn signal(&self) {
+        let _ = (&self.0).write(&1u64.to_ne_bytes());
+    }
+
+    /// Resets the counter so level-triggered `EPOLLIN` stops firing.
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = (&self.0).read(&mut buf);
+    }
+}
+
+/// Cross-thread input for one shard: sockets from the acceptor, replies
+/// from the dispatcher lanes.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    replies: Vec<(usize, u64, Reply)>,
+}
+
+/// A shard's public face: push work into the inbox, kick the `eventfd`.
+pub(crate) struct ShardHandle {
+    wake: EventFd,
+    inbox: Mutex<Inbox>,
+}
+
+impl ShardHandle {
+    pub(crate) fn push_conn(&self, stream: TcpStream) {
+        self.lock().conns.push(stream);
+        self.wake.signal();
+    }
+
+    /// Delivers a dispatcher reply to connection `slot`. The generation
+    /// guards against the slot having been reused for a new connection
+    /// after the original closed mid-flight.
+    pub(crate) fn push_reply(&self, slot: usize, generation: u64, reply: Reply) {
+        self.lock().replies.push((slot, generation, reply));
+        self.wake.signal();
+    }
+
+    /// Wakes the shard with no payload (shutdown nudge).
+    pub(crate) fn wake_now(&self) {
+        self.wake.signal();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inbox> {
+        self.inbox.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One queued output segment. `Shared` segments serve cache payloads
+/// zero-copy straight out of the result cache's `Arc`s.
+enum OutBuf {
+    Own(Vec<u8>),
+    Shared(Arc<Vec<u8>>, usize, usize),
+}
+
+impl OutBuf {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            OutBuf::Own(v) => v,
+            OutBuf::Shared(arc, start, end) => &arc[*start..*end],
+        }
+    }
+}
+
+/// An admitted request awaiting its dispatcher reply.
+struct Busy {
+    pending: Pending,
+    keep_alive: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Slot-reuse guard, checked against reply deliveries.
+    generation: u64,
+    /// Unparsed request bytes.
+    rbuf: Vec<u8>,
+    /// Pending output segments; `out_pos` is the write offset into the
+    /// front segment.
+    out: VecDeque<OutBuf>,
+    out_pos: usize,
+    busy: Option<Busy>,
+    close_after_flush: bool,
+    /// Peer half-closed its write side (EOF on read / `EPOLLRDHUP`).
+    peer_eof: bool,
+    last_activity: Instant,
+    /// When the first byte of a not-yet-complete request arrived; drives
+    /// the 408 read deadline.
+    head_started: Option<Instant>,
+    /// Currently registered epoll interest.
+    interest: u32,
+}
+
+/// Spawns `count` shard threads; any syscall failure tears down what was
+/// built and reports the error so the server can fall back to the
+/// threaded engine.
+pub(crate) fn spawn_shards(
+    inner: &Arc<Inner>,
+    count: usize,
+    active: &Arc<AtomicUsize>,
+) -> io::Result<Vec<(Arc<ShardHandle>, JoinHandle<()>)>> {
+    let count = count.max(1);
+    let mut shards = Vec::with_capacity(count);
+    for i in 0..count {
+        let epoll = Epoll::new()?;
+        let wake = EventFd::new()?;
+        epoll.add(wake.0.as_raw_fd(), sys::EPOLLIN, WAKE_TOKEN)?;
+        let handle = Arc::new(ShardHandle {
+            wake,
+            inbox: Mutex::new(Inbox::default()),
+        });
+        let shard = Shard {
+            inner: Arc::clone(inner),
+            handle: Arc::clone(&handle),
+            epoll,
+            active: Arc::clone(active),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("gather-serve-loop-{i}"))
+            .spawn(move || shard.run())?;
+        shards.push((handle, join));
+    }
+    Ok(shards)
+}
+
+struct Shard {
+    inner: Arc<Inner>,
+    handle: Arc<ShardHandle>,
+    epoll: Epoll,
+    active: Arc<AtomicUsize>,
+    /// Connection slab; freed indices are recycled via `free`.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_generation: u64,
+}
+
+impl Shard {
+    fn run(mut self) {
+        let mut events = vec![
+            sys::EpollEvent {
+                events: 0,
+                token: 0,
+            };
+            EVENT_BATCH
+        ];
+        let mut last_scan = Instant::now();
+        loop {
+            let n = self.epoll.wait(&mut events, IDLE_POLL.as_millis() as i32);
+            let (new_conns, replies) = {
+                let mut inbox = self.handle.lock();
+                (
+                    std::mem::take(&mut inbox.conns),
+                    std::mem::take(&mut inbox.replies),
+                )
+            };
+            for stream in new_conns {
+                self.register(stream);
+            }
+            for (slot, generation, reply) in replies {
+                self.deliver(slot, generation, reply);
+            }
+            for &event in &events[..n] {
+                // Copy fields out of the (packed) event before use.
+                let token = event.token;
+                let flags = event.events;
+                if token == WAKE_TOKEN {
+                    self.handle.wake.drain();
+                    continue;
+                }
+                let slot = token as usize;
+                if flags & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                    self.close_slot(slot);
+                    continue;
+                }
+                if flags & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+                    self.handle_readable(slot);
+                }
+                if flags & sys::EPOLLOUT != 0 {
+                    self.settle(slot);
+                }
+            }
+            let shutting_down = self.inner.is_shutting_down();
+            if shutting_down || last_scan.elapsed() >= IDLE_POLL {
+                self.scan();
+                last_scan = Instant::now();
+            }
+            if shutting_down && self.conns.iter().all(Option::is_none) {
+                return;
+            }
+        }
+    }
+
+    /// Places an accepted socket into a slab slot and registers it for
+    /// reads. Slot generations make stale dispatcher replies harmless.
+    fn register(&mut self, stream: TcpStream) {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_generation += 1;
+        let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if self
+            .epoll
+            .add(stream.as_raw_fd(), interest, slot as u64)
+            .is_err()
+        {
+            self.free.push(slot);
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            stream,
+            generation: self.next_generation,
+            rbuf: Vec::new(),
+            out: VecDeque::new(),
+            out_pos: 0,
+            busy: None,
+            close_after_flush: false,
+            peer_eof: false,
+            last_activity: Instant::now(),
+            head_started: None,
+            interest,
+        });
+    }
+
+    fn close_slot(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            self.epoll.delete(conn.stream.as_raw_fd());
+            self.free.push(slot);
+            self.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads until `WouldBlock`, then parses and routes what arrived.
+    fn handle_readable(&mut self, slot: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            let mut buf = [0u8; READ_BUF];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_slot(slot);
+            return;
+        }
+        self.process(slot);
+        self.settle(slot);
+    }
+
+    /// Parses and routes as many complete pipelined requests as the read
+    /// buffer holds, stopping at a partial request, an admission (one
+    /// in-flight job per connection), or a close-worthy error.
+    fn process(&mut self, slot: usize) {
+        let inner = Arc::clone(&self.inner);
+        let handle = Arc::clone(&self.handle);
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.busy.is_some() || conn.close_after_flush {
+                return;
+            }
+            match http::try_parse(&conn.rbuf, inner.config.max_body_bytes) {
+                Ok(None) => {
+                    // Partial request: arm (or keep) the read deadline;
+                    // an empty buffer means we are idle between requests.
+                    if conn.rbuf.is_empty() {
+                        conn.head_started = None;
+                    } else if conn.head_started.is_none() {
+                        conn.head_started = Some(Instant::now());
+                    }
+                    return;
+                }
+                Ok(Some(parsed)) => {
+                    conn.rbuf.drain(..parsed.consumed);
+                    conn.head_started = None;
+                    let keep_alive = parsed.request.keep_alive;
+                    let replier = Replier::Event {
+                        shard: Arc::clone(&handle),
+                        slot,
+                        generation: conn.generation,
+                    };
+                    match route(&inner, &parsed.request, replier) {
+                        Routed::Now(mut response) => {
+                            if !keep_alive || inner.is_shutting_down() {
+                                response.close = true;
+                            }
+                            if response.close {
+                                conn.close_after_flush = true;
+                            }
+                            queue_response(conn, response);
+                        }
+                        Routed::Queued(pending) => {
+                            conn.busy = Some(Busy {
+                                pending,
+                                keep_alive,
+                            });
+                        }
+                    }
+                }
+                Err(err) => {
+                    // `try_parse` does no I/O, so this is always a
+                    // protocol error with a response; close after it.
+                    if let Some(mut response) = http_error_response(&inner, &err) {
+                        response.close = true;
+                        queue_response(conn, response);
+                    }
+                    conn.close_after_flush = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Delivers a dispatcher reply: build the response, resume parsing
+    /// any pipelined requests buffered while busy, flush.
+    fn deliver(&mut self, slot: usize, generation: u64, reply: Reply) {
+        let inner = Arc::clone(&self.inner);
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.generation != generation {
+                return;
+            }
+            let Some(busy) = conn.busy.take() else {
+                return;
+            };
+            let mut response = reply_to_response(&inner, &busy.pending, reply);
+            if !busy.keep_alive || inner.is_shutting_down() {
+                response.close = true;
+            }
+            if response.close {
+                conn.close_after_flush = true;
+            }
+            queue_response(conn, response);
+        }
+        self.process(slot);
+        self.settle(slot);
+    }
+
+    /// Flushes pending output, closes the connection if its time has
+    /// come, and re-syncs epoll interest with the connection state.
+    fn settle(&mut self, slot: usize) {
+        let close = {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            let dead = flush_out(conn).is_err();
+            let drained = conn.out.is_empty();
+            if dead
+                || (drained && conn.close_after_flush)
+                || (drained && conn.peer_eof && conn.busy.is_none())
+            {
+                true
+            } else {
+                sync_interest(&self.epoll, conn, slot);
+                false
+            }
+        };
+        if close {
+            self.close_slot(slot);
+        }
+    }
+
+    /// Periodic timeout sweep: 408 stalled request reads, close idle
+    /// keep-alive connections (all of them during shutdown), bound
+    /// write stalls during shutdown so the drain cannot hang.
+    fn scan(&mut self) {
+        let now = Instant::now();
+        let idle = Duration::from_millis(self.inner.config.idle_timeout_ms);
+        let read = Duration::from_millis(self.inner.config.read_timeout_ms);
+        let shutting_down = self.inner.is_shutting_down();
+        for slot in 0..self.conns.len() {
+            enum Action {
+                Keep,
+                Close,
+                Timeout,
+            }
+            let action = {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                if conn.busy.is_some() {
+                    // Admitted work always completes; the reply path
+                    // closes the connection on shutdown.
+                    Action::Keep
+                } else if !conn.out.is_empty() {
+                    if shutting_down && now.duration_since(conn.last_activity) >= read {
+                        Action::Close
+                    } else {
+                        Action::Keep
+                    }
+                } else if let Some(started) = conn.head_started {
+                    if now.duration_since(started) >= read {
+                        Action::Timeout
+                    } else {
+                        Action::Keep
+                    }
+                } else if shutting_down || now.duration_since(conn.last_activity) >= idle {
+                    Action::Close
+                } else {
+                    Action::Keep
+                }
+            };
+            match action {
+                Action::Keep => {}
+                Action::Close => self.close_slot(slot),
+                Action::Timeout => {
+                    if let Some(conn) = self.conns[slot].as_mut() {
+                        let mut response =
+                            Response::error(408, "read_timeout", "request read deadline exceeded");
+                        response.close = true;
+                        conn.close_after_flush = true;
+                        queue_response(conn, response);
+                    }
+                    self.settle(slot);
+                }
+            }
+        }
+    }
+}
+
+/// Serialises a response into output segments, mirroring
+/// [`Response::write_to`] byte for byte: head, then either a plain body
+/// or 16 KiB chunked frames. Cache-shared bodies are queued as `Arc`
+/// slices — no copy.
+fn queue_response(conn: &mut Conn, response: Response) {
+    conn.out.push_back(OutBuf::Own(response.head_bytes()));
+    let chunked = response.chunked;
+    let body = response.body;
+    if chunked {
+        let len = body.len();
+        let mut offset = 0;
+        while offset < len {
+            let end = (offset + CHUNK_SIZE).min(len);
+            conn.out
+                .push_back(OutBuf::Own(format!("{:x}\r\n", end - offset).into_bytes()));
+            match &body {
+                Body::Shared(arc) => {
+                    conn.out
+                        .push_back(OutBuf::Shared(Arc::clone(arc), offset, end));
+                }
+                Body::Owned(v) => conn.out.push_back(OutBuf::Own(v[offset..end].to_vec())),
+            }
+            conn.out.push_back(OutBuf::Own(b"\r\n".to_vec()));
+            offset = end;
+        }
+        conn.out.push_back(OutBuf::Own(b"0\r\n\r\n".to_vec()));
+    } else if !body.is_empty() {
+        match body {
+            Body::Owned(v) => conn.out.push_back(OutBuf::Own(v)),
+            Body::Shared(arc) => {
+                let len = arc.len();
+                conn.out.push_back(OutBuf::Shared(arc, 0, len));
+            }
+        }
+    }
+}
+
+/// Writes as much pending output as the socket accepts (vectored, up to
+/// [`WRITE_VECTORS`] segments per call). `Err` means the transport died.
+fn flush_out(conn: &mut Conn) -> Result<(), ()> {
+    loop {
+        if conn.out.is_empty() {
+            return Ok(());
+        }
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(WRITE_VECTORS);
+        for (i, seg) in conn.out.iter().take(WRITE_VECTORS).enumerate() {
+            let bytes = seg.bytes();
+            let start = if i == 0 { conn.out_pos } else { 0 };
+            slices.push(IoSlice::new(&bytes[start..]));
+        }
+        match conn.stream.write_vectored(&slices) {
+            Ok(0) => return Err(()),
+            Ok(mut n) => {
+                conn.last_activity = Instant::now();
+                while n > 0 {
+                    let front_len = conn.out.front().map_or(0, |seg| seg.bytes().len());
+                    let remaining = front_len - conn.out_pos;
+                    if n >= remaining {
+                        n -= remaining;
+                        conn.out.pop_front();
+                        conn.out_pos = 0;
+                    } else {
+                        conn.out_pos += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Re-registers the connection's epoll interest to match its state:
+/// reads wanted unless busy/closing, writes wanted while output pends.
+fn sync_interest(epoll: &Epoll, conn: &mut Conn, slot: usize) {
+    let mut desired = sys::EPOLLRDHUP;
+    if conn.busy.is_none() && !conn.close_after_flush {
+        desired |= sys::EPOLLIN;
+    }
+    if !conn.out.is_empty() {
+        desired |= sys::EPOLLOUT;
+    }
+    if desired != conn.interest
+        && epoll
+            .modify(conn.stream.as_raw_fd(), desired, slot as u64)
+            .is_ok()
+    {
+        conn.interest = desired;
+    }
+}

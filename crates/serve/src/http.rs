@@ -1,18 +1,36 @@
-//! Minimal HTTP/1.1 framing over `std::io` streams.
+//! Minimal HTTP/1.1 framing over `std::io` streams and byte buffers.
 //!
 //! Only what the scenario service needs: request parsing with hard limits
-//! (request-line/header size, header count, body size), `Content-Length`
-//! bodies, keep-alive semantics, and response writing. No chunked
-//! transfer, no multipart, no TLS — the service speaks plain HTTP/1.1 so
+//! (request-line/header size, header count, total header bytes, body
+//! size), `Content-Length` bodies, keep-alive semantics, and response
+//! writing. No multipart, no TLS — the service speaks plain HTTP/1.1 so
 //! any client (curl included) can drive it, while the implementation
 //! stays pure std per the hermetic-build policy (DESIGN.md §8).
+//!
+//! Two request-parsing entry points share one head parser:
+//!
+//! * [`read_request`] — blocking, over a [`BufRead`] stream; used by the
+//!   thread-per-connection fallback server and by tests;
+//! * [`try_parse`] — incremental, over a byte buffer that may hold a
+//!   partial request (or several pipelined ones); used by the epoll event
+//!   loop, which appends readable bytes and re-parses until a complete
+//!   request is available.
+//!
+//! Responses carry either an owned body or an [`Arc`]-shared one
+//! ([`Body`]): the deterministic result cache hands out shared payloads,
+//! so a cache hit is served without copying the stored bytes.
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 /// Hard cap on one request-line or header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
 /// Hard cap on the number of headers per request.
 const MAX_HEADERS: usize = 64;
+/// Hard cap on the whole head (request line + headers + separators), in
+/// bytes. Exceeding it answers 431 — a slow-loris client dribbling header
+/// bytes can hold at most this much buffer per connection.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Why a request could not be read.
 #[derive(Debug)]
@@ -23,6 +41,8 @@ pub enum HttpError {
     Malformed(String),
     /// A limit was exceeded — answer 413 and close.
     TooLarge(&'static str),
+    /// The head exceeded [`MAX_HEAD_BYTES`] — answer 431 and close.
+    HeadersTooLarge,
 }
 
 impl From<io::Error> for HttpError {
@@ -86,27 +106,13 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
     String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
 }
 
-/// Reads one request from the stream.
-///
-/// Returns `Ok(None)` on a clean EOF *before the first byte* — the normal
-/// end of a keep-alive connection. A caller that wants to idle-poll (e.g.
-/// to notice shutdown) should `fill_buf` with a read timeout first and
-/// call this only once bytes are available.
-///
-/// # Errors
-///
-/// [`HttpError::Malformed`] for protocol violations (answer 400),
-/// [`HttpError::TooLarge`] for exceeded limits (answer 413),
-/// [`HttpError::Io`] for transport failures (close silently).
-pub fn read_request<R: BufRead>(
-    reader: &mut R,
-    max_body: usize,
-) -> Result<Option<Request>, HttpError> {
-    // Clean-EOF detection: peek before committing to a request.
-    if reader.fill_buf()?.is_empty() {
-        return Ok(None);
-    }
-    let request_line = read_line(reader)?;
+/// Builds a bodyless [`Request`] from the head lines (request line first,
+/// then header lines, terminator already stripped). Shared by the blocking
+/// and the incremental parser so both enforce identical rules.
+fn build_head(lines: &[String]) -> Result<Request, HttpError> {
+    let request_line = lines
+        .first()
+        .ok_or_else(|| HttpError::Malformed("empty request head".into()))?;
     let mut parts = request_line.split(' ');
     let method = parts
         .next()
@@ -130,11 +136,7 @@ pub fn read_request<R: BufRead>(
     };
 
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            break;
-        }
+    for line in &lines[1..] {
         if headers.len() >= MAX_HEADERS {
             return Err(HttpError::TooLarge("too many headers"));
         }
@@ -164,13 +166,65 @@ pub fn read_request<R: BufRead>(
             "chunked transfer encoding is not supported".into(),
         ));
     }
-    if let Some(len) = request.header("content-length") {
-        let len: usize = len
-            .parse()
-            .map_err(|_| HttpError::Malformed(format!("bad content-length {len:?}")))?;
-        if len > max_body {
-            return Err(HttpError::TooLarge("body exceeds the configured limit"));
+    Ok(request)
+}
+
+/// Validated `Content-Length` of a parsed head (0 when absent).
+fn content_length(request: &Request, max_body: usize) -> Result<usize, HttpError> {
+    match request.header("content-length") {
+        None => Ok(0),
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {len:?}")))?;
+            if len > max_body {
+                return Err(HttpError::TooLarge("body exceeds the configured limit"));
+            }
+            Ok(len)
         }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` on a clean EOF *before the first byte* — the normal
+/// end of a keep-alive connection. A caller that wants to idle-poll (e.g.
+/// to notice shutdown) should `fill_buf` with a read timeout first and
+/// call this only once bytes are available.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for protocol violations (answer 400),
+/// [`HttpError::TooLarge`] for exceeded limits (answer 413),
+/// [`HttpError::HeadersTooLarge`] past [`MAX_HEAD_BYTES`] (answer 431),
+/// [`HttpError::Io`] for transport failures.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    // Clean-EOF detection: peek before committing to a request.
+    if reader.fill_buf()?.is_empty() {
+        return Ok(None);
+    }
+    let mut lines = Vec::new();
+    let mut head_bytes = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if line.is_empty() {
+            if lines.is_empty() {
+                return Err(HttpError::Malformed("empty request line".into()));
+            }
+            break;
+        }
+        lines.push(line);
+    }
+    let mut request = build_head(&lines)?;
+    let len = content_length(&request, max_body)?;
+    if len > 0 {
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body)?;
         request.body = body;
@@ -178,8 +232,135 @@ pub fn read_request<R: BufRead>(
     Ok(Some(request))
 }
 
+/// One complete request parsed out of a byte buffer.
+#[derive(Debug)]
+pub struct Parsed {
+    /// The request, body included.
+    pub request: Request,
+    /// Bytes consumed from the front of the buffer (head + body); the
+    /// caller drains them, leaving any pipelined follow-up request behind.
+    pub consumed: usize,
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a partial request — the
+/// caller should read more bytes and retry. This is the event loop's
+/// parser: connections append whatever was readable and call this until a
+/// full request (head and `Content-Length` body) is available. Pipelined
+/// requests parse one at a time, each consuming its own prefix.
+///
+/// # Errors
+///
+/// Same taxonomy as [`read_request`]; limit violations are detected as
+/// early as the partial bytes allow (an over-long head answers 431 before
+/// the terminating blank line ever arrives).
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<Option<Parsed>, HttpError> {
+    let mut lines = Vec::new();
+    let mut pos = 0usize;
+    let head_end = loop {
+        let Some(rel) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // Incomplete head: bound what a dribbling client can buffer.
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            if buf.len() - pos > MAX_LINE {
+                return Err(HttpError::TooLarge("header line too long"));
+            }
+            return Ok(None);
+        };
+        let mut line = &buf[pos..pos + rel];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE {
+            return Err(HttpError::TooLarge("header line too long"));
+        }
+        let next = pos + rel + 1;
+        if next > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if line.is_empty() {
+            if lines.is_empty() {
+                return Err(HttpError::Malformed("empty request line".into()));
+            }
+            break next;
+        }
+        lines.push(
+            String::from_utf8(line.to_vec())
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?,
+        );
+        pos = next;
+    };
+    let mut request = build_head(&lines)?;
+    let len = content_length(&request, max_body)?;
+    if buf.len() < head_end + len {
+        return Ok(None); // body still in flight
+    }
+    request.body = buf[head_end..head_end + len].to_vec();
+    Ok(Some(Parsed {
+        request,
+        consumed: head_end + len,
+    }))
+}
+
 /// Maximum payload of a single chunk in chunked transfer encoding.
-const CHUNK_SIZE: usize = 16 * 1024;
+pub(crate) const CHUNK_SIZE: usize = 16 * 1024;
+
+/// A response body: owned bytes, or a shared reference into the result
+/// cache (served without copying the stored payload).
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Bytes owned by this response.
+    Owned(Vec<u8>),
+    /// Bytes shared with the cache (and possibly other in-flight
+    /// responses).
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Body {
+    /// The body bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Is the body empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Owned(s.into_bytes())
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::Owned(s.as_bytes().to_vec())
+    }
+}
+
+impl From<Arc<Vec<u8>>> for Body {
+    fn from(a: Arc<Vec<u8>>) -> Body {
+        Body::Shared(a)
+    }
+}
 
 /// A response ready to serialise.
 #[derive(Debug)]
@@ -188,12 +369,18 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body.
-    pub body: Vec<u8>,
+    /// Response body (owned or cache-shared).
+    pub body: Body,
     /// Emit `Retry-After: N` (the 429 backpressure hint).
     pub retry_after: Option<u64>,
     /// Emit `Deprecation: true` (answering on a pre-`/v1` legacy alias).
     pub deprecation: bool,
+    /// Emit `x-gather-cache: hit|miss` (result-cache disposition of a
+    /// simulation endpoint; `None` for everything else).
+    pub cache: Option<&'static str>,
+    /// Emit `Age: N` — whole seconds the payload has spent in the result
+    /// cache (hits only).
+    pub age: Option<u64>,
     /// Serialise the body with chunked transfer encoding instead of
     /// `Content-Length` (streaming endpoints).
     pub chunked: bool,
@@ -203,13 +390,15 @@ pub struct Response {
 
 impl Response {
     /// A response with the given status, content type and body.
-    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Body>) -> Response {
         Response {
             status,
             content_type,
             body: body.into(),
             retry_after: None,
             deprecation: false,
+            cache: None,
+            age: None,
             chunked: false,
             close: false,
         }
@@ -242,11 +431,51 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             504 => "Gateway Timeout",
             _ => "Response",
         }
+    }
+
+    /// Serialises the status line and headers (terminating blank line
+    /// included, body excluded). The event loop queues these bytes ahead
+    /// of the (possibly cache-shared) body and writes both with one
+    /// vectored write; [`write_to`](Response::write_to) uses the same
+    /// bytes, so the two paths frame identically.
+    pub fn head_bytes(&self) -> Vec<u8> {
+        use std::io::Write as _;
+        let mut head = Vec::with_capacity(160);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+        );
+        if self.chunked {
+            let _ = write!(head, "transfer-encoding: chunked\r\n");
+        } else {
+            let _ = write!(head, "content-length: {}\r\n", self.body.len());
+        }
+        if let Some(secs) = self.retry_after {
+            let _ = write!(head, "retry-after: {secs}\r\n");
+        }
+        if self.deprecation {
+            let _ = write!(head, "deprecation: true\r\n");
+        }
+        if let Some(disposition) = self.cache {
+            let _ = write!(head, "x-gather-cache: {disposition}\r\n");
+        }
+        if let Some(secs) = self.age {
+            let _ = write!(head, "age: {secs}\r\n");
+        }
+        if self.close {
+            let _ = write!(head, "connection: close\r\n");
+        }
+        head.extend_from_slice(b"\r\n");
+        head
     }
 
     /// Serialises status line, headers and body onto `w` (flushes).
@@ -260,37 +489,16 @@ impl Response {
     ///
     /// Propagates transport errors.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
-            self.status,
-            self.reason(),
-            self.content_type,
-        )?;
+        w.write_all(&self.head_bytes())?;
         if self.chunked {
-            write!(w, "transfer-encoding: chunked\r\n")?;
-        } else {
-            write!(w, "content-length: {}\r\n", self.body.len())?;
-        }
-        if let Some(secs) = self.retry_after {
-            write!(w, "retry-after: {secs}\r\n")?;
-        }
-        if self.deprecation {
-            write!(w, "deprecation: true\r\n")?;
-        }
-        if self.close {
-            write!(w, "connection: close\r\n")?;
-        }
-        w.write_all(b"\r\n")?;
-        if self.chunked {
-            for chunk in self.body.chunks(CHUNK_SIZE) {
+            for chunk in self.body.as_slice().chunks(CHUNK_SIZE) {
                 write!(w, "{:x}\r\n", chunk.len())?;
                 w.write_all(chunk)?;
                 w.write_all(b"\r\n")?;
             }
             w.write_all(b"0\r\n\r\n")?;
         } else {
-            w.write_all(&self.body)?;
+            w.write_all(self.body.as_slice())?;
         }
         w.flush()
     }
@@ -376,6 +584,64 @@ mod tests {
     }
 
     #[test]
+    fn total_header_bytes_are_capped_with_431() {
+        // Each header line stays under MAX_LINE, but together they blow
+        // the whole-head cap — the slow-loris shape.
+        let mut head = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..10 {
+            head.push_str(&format!("h{i}: {}\r\n", "v".repeat(4 * 1024)));
+        }
+        head.push_str("\r\n");
+        assert!(matches!(
+            parse(head.as_bytes()),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        // The incremental parser flags it even before the head terminates.
+        let partial = &head.as_bytes()[..MAX_HEAD_BYTES + 10];
+        assert!(matches!(
+            try_parse(partial, 1024),
+            Err(HttpError::HeadersTooLarge)
+        ));
+    }
+
+    #[test]
+    fn try_parse_handles_partial_and_pipelined_requests() {
+        let wire = b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /next HTTP/1.1\r\n\r\n";
+        // Byte-at-a-time: no prefix short of the full first request parses.
+        let first_len = wire.iter().collect::<Vec<_>>().len() - b"GET /next HTTP/1.1\r\n\r\n".len();
+        for cut in 0..first_len {
+            assert!(
+                try_parse(&wire[..cut], 1024).unwrap().is_none(),
+                "cut at {cut} should be incomplete"
+            );
+        }
+        let parsed = try_parse(wire, 1024).unwrap().unwrap();
+        assert_eq!(parsed.request.path, "/run");
+        assert_eq!(parsed.request.body, b"body");
+        assert_eq!(parsed.consumed, first_len);
+        // The pipelined follow-up parses from the remaining bytes.
+        let rest = try_parse(&wire[parsed.consumed..], 1024).unwrap().unwrap();
+        assert_eq!(rest.request.path, "/next");
+        assert_eq!(parsed.consumed + rest.consumed, wire.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_what_read_request_rejects() {
+        assert!(matches!(
+            try_parse(b"GET / HTTP/2\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            try_parse(b"POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n", 1024),
+            Err(HttpError::TooLarge(_))
+        ));
+        assert!(matches!(
+            try_parse(b"\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn response_serialisation() {
         let mut resp = Response::new(200, "text/plain", "hi");
         resp.retry_after = Some(2);
@@ -391,19 +657,52 @@ mod tests {
     }
 
     #[test]
+    fn cache_headers_serialise() {
+        let mut resp = Response::new(200, "application/x-ndjson", "line\n");
+        resp.cache = Some("hit");
+        resp.age = Some(3);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.contains("x-gather-cache: hit\r\n"));
+        assert!(text.contains("age: 3\r\n"));
+        // A shared body serialises to the same bytes as an owned one.
+        let shared = Response {
+            body: Body::Shared(Arc::new(b"line\n".to_vec())),
+            ..Response::new(200, "application/x-ndjson", "")
+        };
+        let mut out2 = Vec::new();
+        let with_headers = Response {
+            cache: Some("hit"),
+            age: Some(3),
+            ..shared
+        };
+        with_headers.write_to(&mut out2).unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
     fn error_bodies_are_structured_json() {
         let resp = Response::error(429, "queue_full", "admission queue is full");
         assert_eq!(resp.status, 429);
         assert_eq!(resp.reason(), "Too Many Requests");
-        let body = String::from_utf8(resp.body).unwrap();
+        let body = String::from_utf8(resp.body.as_slice().to_vec()).unwrap();
         assert_eq!(
             body,
             "{\"code\":\"queue_full\",\"message\":\"admission queue is full\",\"retryable\":true}\n"
         );
         let resp = Response::error(400, "bad_spec", "x");
-        assert!(String::from_utf8(resp.body)
+        assert!(String::from_utf8(resp.body.as_slice().to_vec())
             .unwrap()
             .contains("\"retryable\":false"));
+        assert_eq!(
+            Response::error(431, "headers_too_large", "x").reason(),
+            "Request Header Fields Too Large"
+        );
+        assert_eq!(
+            Response::error(408, "read_timeout", "x").reason(),
+            "Request Timeout"
+        );
     }
 
     #[test]

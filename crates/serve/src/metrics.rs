@@ -149,12 +149,14 @@ impl ServerMetrics {
 
     /// Renders the text exposition (`queue_depth` and `queue_capacity` are
     /// gauges owned by the admission queue, `pool` the worker pool's
-    /// queue-wait/run-time histograms — both passed in by the server).
+    /// queue-wait/run-time histograms, `cache` the result cache's counter
+    /// snapshot — all passed in by the server).
     pub fn render(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         pool: Option<&PoolObs>,
+        cache: Option<&crate::cache::CacheCounters>,
     ) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(1024);
@@ -228,6 +230,14 @@ impl ServerMetrics {
         if let Some(pool) = pool {
             write_histogram(&mut out, "gather_pool_job_queue_wait_ns", &pool.queue_wait);
             write_histogram(&mut out, "gather_pool_job_run_time_ns", &pool.run_time);
+        }
+        if let Some(c) = cache {
+            writeln!(out, "gather_cache_hits_total {}", c.hits).expect("write to String");
+            writeln!(out, "gather_cache_misses_total {}", c.misses).expect("write to String");
+            writeln!(out, "gather_cache_evictions_total {}", c.evictions).expect("write to String");
+            writeln!(out, "gather_cache_entries {}", c.entries).expect("write to String");
+            writeln!(out, "gather_cache_capacity {}", c.capacity).expect("write to String");
+            writeln!(out, "gather_cache_hit_ratio {:.6}", c.hit_ratio()).expect("write to String");
         }
         out
     }
@@ -316,7 +326,7 @@ mod tests {
         m.accepted.fetch_add(3, Ordering::Relaxed);
         m.record_run(&run(0.5, true));
         m.record_latency(Duration::from_millis(7));
-        let text = m.render(2, 32, None);
+        let text = m.render(2, 32, None, None);
         assert!(text.contains("gather_requests_accepted_total 3\n"));
         assert!(text.contains("gather_queue_depth 2\n"));
         assert!(text.contains("gather_queue_capacity 32\n"));
@@ -324,6 +334,27 @@ mod tests {
         assert!(text.contains("gather_sim_cache_computed_total 3\n"));
         assert!(text.contains("gather_sim_cache_dirty_skips_total 1\n"));
         assert!(text.contains("gather_request_latency_ms{quantile=\"0.99\"}"));
+        // No result cache passed in -> no cache gauges.
+        assert!(!text.contains("gather_cache_hits_total"));
+    }
+
+    #[test]
+    fn render_exposes_result_cache_counters() {
+        let m = ServerMetrics::default();
+        let c = crate::cache::CacheCounters {
+            hits: 3,
+            misses: 1,
+            evictions: 2,
+            entries: 5,
+            capacity: 64,
+        };
+        let text = m.render(0, 32, None, Some(&c));
+        assert!(text.contains("gather_cache_hits_total 3\n"));
+        assert!(text.contains("gather_cache_misses_total 1\n"));
+        assert!(text.contains("gather_cache_evictions_total 2\n"));
+        assert!(text.contains("gather_cache_entries 5\n"));
+        assert!(text.contains("gather_cache_capacity 64\n"));
+        assert!(text.contains("gather_cache_hit_ratio 0.750000\n"));
     }
 
     #[test]
@@ -331,7 +362,7 @@ mod tests {
         let m = ServerMetrics::default();
         // Empty histograms are omitted from the exposition.
         assert!(!m
-            .render(0, 32, None)
+            .render(0, 32, None, None)
             .contains("gather_request_phase_parse_ns"));
         m.phases.parse.record(1_000);
         m.phases.queue_wait.record(2_000);
@@ -339,7 +370,7 @@ mod tests {
         let pool = PoolObs::default();
         pool.queue_wait.record(10);
         pool.run_time.record(20);
-        let text = m.render(0, 32, Some(&pool));
+        let text = m.render(0, 32, Some(&pool), None);
         assert!(text.contains("gather_request_phase_parse_ns_count 1\n"));
         assert!(text.contains("gather_request_phase_queue_wait_ns{quantile=\"0.5\"}"));
         assert!(text.contains("gather_request_phase_execute_ns{quantile=\"1\"}"));

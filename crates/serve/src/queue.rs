@@ -112,6 +112,91 @@ impl<T> Bounded<T> {
     }
 }
 
+/// N independent [`Bounded`] lanes behind one admission front: producers
+/// rotate across lanes with an atomic cursor (the [`WorkerPool`] claim
+/// idiom), each dispatcher thread drains exactly one lane. Sharding keeps
+/// admission wait-free while removing the single-queue serialization the
+/// one-dispatcher design had — under load, producers contend on N mutexes
+/// instead of one, and a slow job stalls only its own lane.
+///
+/// [`WorkerPool`]: gather_bench::pool::WorkerPool
+pub struct Sharded<T> {
+    lanes: Vec<Bounded<T>>,
+    cursor: std::sync::atomic::AtomicUsize,
+}
+
+impl<T> Sharded<T> {
+    /// `lanes` lanes (clamped to ≥ 1) sharing `capacity` total slots; each
+    /// lane gets `ceil(capacity / lanes)` so the configured total is a
+    /// floor, never undercut by rounding.
+    pub fn new(lanes: usize, capacity: usize) -> Sharded<T> {
+        let lanes = lanes.max(1);
+        let per_lane = capacity.max(1).div_ceil(lanes);
+        Sharded {
+            lanes: (0..lanes).map(|_| Bounded::new(per_lane)).collect(),
+            cursor: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of lanes (== dispatcher threads to spawn).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Admits `item` to the next lane in rotation, falling through to the
+    /// other lanes if that one is full. Wait-free like
+    /// [`Bounded::try_push`]: refused only when *every* lane is full (or
+    /// the queue is closed).
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Full`] when all lanes are at capacity,
+    /// [`Rejected::Closed`] after [`close`](Sharded::close).
+    pub fn try_push(&self, item: T) -> Result<(), Rejected<T>> {
+        let start = self
+            .cursor
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let n = self.lanes.len();
+        let mut item = item;
+        for i in 0..n {
+            match self.lanes[(start + i) % n].try_push(item) {
+                Ok(()) => return Ok(()),
+                Err(Rejected::Closed(it)) => return Err(Rejected::Closed(it)),
+                Err(Rejected::Full(it)) => item = it,
+            }
+        }
+        Err(Rejected::Full(item))
+    }
+
+    /// Blocks on lane `lane` until an item or close-and-drained; the
+    /// per-dispatcher consumption side of [`Bounded::pop`].
+    pub fn pop(&self, lane: usize) -> Option<T> {
+        self.lanes[lane].pop()
+    }
+
+    /// Closes every lane (drain-on-close semantics per lane). Idempotent.
+    pub fn close(&self) {
+        for lane in &self.lanes {
+            lane.close();
+        }
+    }
+
+    /// Items queued across all lanes (the `/metrics` depth gauge).
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(Bounded::len).sum()
+    }
+
+    /// Is every lane empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across lanes (≥ the constructor's `capacity`).
+    pub fn capacity(&self) -> usize {
+        self.lanes.iter().map(Bounded::capacity).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +259,114 @@ mod tests {
         assert_eq!(q.capacity(), 1);
         assert!(q.try_push(1).is_ok());
         assert!(matches!(q.try_push(2), Err(Rejected::Full(2))));
+    }
+
+    #[test]
+    fn sharded_splits_capacity_and_rotates() {
+        let q: Sharded<u32> = Sharded::new(4, 10);
+        assert_eq!(q.lanes(), 4);
+        // ceil(10/4) = 3 per lane.
+        assert_eq!(q.capacity(), 12);
+        for i in 0..12 {
+            assert!(q.try_push(i).is_ok(), "push {i} within total capacity");
+        }
+        assert!(matches!(q.try_push(99), Err(Rejected::Full(99))));
+        // Rotation spread the items evenly: every lane holds exactly 3.
+        for lane in 0..4 {
+            let mut got = 0;
+            while let Some(_item) = {
+                // Drain without blocking: each lane is full, so 3 pops
+                // succeed; close afterwards makes further pops return None.
+                if got < 3 {
+                    q.pop(lane)
+                } else {
+                    None
+                }
+            } {
+                got += 1;
+            }
+            assert_eq!(got, 3, "lane {lane} should hold its even share");
+        }
+    }
+
+    #[test]
+    fn sharded_falls_through_full_lanes() {
+        let q: Sharded<u32> = Sharded::new(2, 2); // 1 slot per lane
+        q.try_push(1).unwrap(); // lane 0
+        q.try_push(2).unwrap(); // lane 1
+        assert_eq!(q.len(), 2);
+        // Free lane 1 only; the rotating cursor points at lane 0 next, but
+        // push must fall through to the lane with room.
+        assert_eq!(q.pop(1), Some(2));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(1), Some(3));
+    }
+
+    #[test]
+    fn sharded_close_is_closed_on_every_lane() {
+        let q: Sharded<&str> = Sharded::new(3, 6);
+        q.try_push("a").unwrap();
+        q.close();
+        assert!(matches!(q.try_push("b"), Err(Rejected::Closed("b"))));
+        // Drain-on-close still holds per lane.
+        let drained: Vec<_> = (0..3).filter_map(|lane| q.pop(lane)).collect();
+        assert_eq!(drained, vec!["a"]);
+        for lane in 0..3 {
+            assert_eq!(q.pop(lane), None);
+        }
+    }
+
+    #[test]
+    fn sharded_stress_no_lost_or_duplicated_jobs() {
+        // 8 producers push 500 tagged jobs each across 4 lanes while 4
+        // consumers drain concurrently; every job must arrive exactly once.
+        const PRODUCERS: u64 = 8;
+        const PER_PRODUCER: u64 = 500;
+        let q: Arc<Sharded<u64>> = Arc::new(Sharded::new(4, 64));
+        let consumers: Vec<_> = (0..4)
+            .map(|lane| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(job) = q.pop(lane) {
+                        seen.push(job);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let job = p * PER_PRODUCER + i;
+                        // Spin on Full: the stress point is correctness
+                        // under contention, not admission policy.
+                        loop {
+                            match q.try_push(job) {
+                                Ok(()) => break,
+                                Err(Rejected::Full(_)) => std::thread::yield_now(),
+                                Err(Rejected::Closed(_)) => panic!("closed mid-produce"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(
+            all, expect,
+            "every job exactly once, none lost or duplicated"
+        );
     }
 }

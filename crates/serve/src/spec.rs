@@ -267,6 +267,41 @@ impl ScenarioSpec {
         })
     }
 
+    /// Canonical byte encoding of the spec's *typed* fields, the input to
+    /// the result-cache key ([`crate::cache::spec_key`]).
+    ///
+    /// Canonicalisation happens in [`ScenarioSpec::from_json`], not here:
+    /// parsing collapses JSON-level degrees of freedom (member order,
+    /// whitespace, number spellings like `1e1` vs `10`, defaulted vs
+    /// explicit fields) into one typed value, so two bodies describing the
+    /// same scenario encode to the same bytes. Every field that influences
+    /// the run is included — strings NUL-terminated (self-delimiting
+    /// against concatenation collisions), integers little-endian, `delta`
+    /// by its exact bit pattern (the engine is a pure function of bits,
+    /// not of approximate values).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(self.workload.as_bytes());
+        out.push(0);
+        match self.class {
+            Some(c) => out.extend_from_slice(c.short_name().as_bytes()),
+            None => out.push(b'-'),
+        }
+        out.push(0);
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.faults as u64).to_le_bytes());
+        out.extend_from_slice(self.algorithm.as_bytes());
+        out.push(0);
+        out.extend_from_slice(self.scheduler.as_bytes());
+        out.push(0);
+        out.extend_from_slice(self.motion.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.delta.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max_rounds.to_le_bytes());
+        out
+    }
+
     /// The spec as its canonical JSON object (inverse of
     /// [`ScenarioSpec::from_json`]; used by the load generator to build
     /// request bodies).

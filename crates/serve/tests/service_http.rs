@@ -58,7 +58,20 @@ fn health_metrics_and_errors() {
         "class B needs even n — a client error, not a worker panic"
     );
 
-    let ok = client.post_run(&quick_spec()).unwrap();
+    // Two scenarios in one request: single-scenario jobs run inline on
+    // their dispatcher lane, so only a multi-scenario job exercises the
+    // worker pool (whose histograms are asserted below).
+    let two = format!(
+        "{{\"scenarios\":[{},{}]}}",
+        quick_spec(),
+        ScenarioSpec {
+            seed: 7,
+            max_rounds: 500,
+            ..ScenarioSpec::default()
+        }
+        .to_json()
+    );
+    let ok = client.post_run(&two).unwrap();
     assert_eq!(ok.status, 200);
 
     let metrics = client.get("/v1/metrics").unwrap().text();
@@ -127,6 +140,99 @@ fn oversized_bodies_get_413() {
     let response = client.request("POST", "/run", big.as_bytes()).unwrap();
     assert_eq!(response.status, 413);
     server.shutdown();
+}
+
+#[test]
+fn oversized_request_heads_get_431() {
+    use std::io::{Read, Write};
+    let server = Server::start(ServeConfig::default()).expect("start");
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    // Each header line stays under the per-line cap; the total crosses
+    // the 16 KiB head budget.
+    let pad = "x".repeat(7000);
+    write!(stream, "GET /v1/healthz HTTP/1.1\r\n").unwrap();
+    for i in 0..3 {
+        write!(stream, "h{i}: {pad}\r\n").unwrap();
+    }
+    write!(stream, "\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 431 "),
+        "oversized heads must get 431, got: {}",
+        raw.lines().next().unwrap_or("")
+    );
+    assert!(raw.contains("\"code\":\"headers_too_large\""), "{raw}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_request_reads_get_408() {
+    use std::io::{Read, Write};
+    let server = Server::start(ServeConfig {
+        read_timeout_ms: 300,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    // Head promises a body that never arrives: the per-request read
+    // deadline must answer 408 and close, not hold the slot forever.
+    write!(
+        stream,
+        "POST /v1/run HTTP/1.1\r\ncontent-length: 100\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 408 "),
+        "stalled reads must get 408, got: {}",
+        raw.lines().next().unwrap_or("")
+    );
+    assert!(raw.contains("\"code\":\"read_timeout\""), "{raw}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_bounded() {
+    let server = Server::start(ServeConfig {
+        idle_timeout_ms: 300,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    assert_eq!(client.get("/v1/healthz").unwrap().status, 200);
+    std::thread::sleep(Duration::from_millis(800));
+    assert!(
+        client.get("/v1/healthz").is_err(),
+        "the server must have closed the idle connection"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn threaded_engine_serves_identical_bytes() {
+    let threaded = Server::start(ServeConfig {
+        event_loop: false,
+        ..ServeConfig::default()
+    })
+    .expect("start threaded");
+    assert_eq!(threaded.engine(), "threaded");
+    let default_engine = Server::start(ServeConfig::default()).expect("start default");
+
+    let mut a = Client::connect(&threaded.addr()).expect("connect");
+    let mut b = Client::connect(&default_engine.addr()).expect("connect");
+    let ra = a.post_run(&quick_spec()).unwrap();
+    let rb = b.post_run(&quick_spec()).unwrap();
+    assert_eq!(ra.status, 200);
+    assert_eq!(rb.status, 200);
+    assert_eq!(
+        ra.body, rb.body,
+        "both engines must serve bit-identical payloads"
+    );
+    threaded.shutdown();
+    default_engine.shutdown();
 }
 
 #[test]

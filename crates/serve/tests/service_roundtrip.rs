@@ -88,6 +88,42 @@ fn batched_scenarios_come_back_in_request_order_bit_identical() {
 }
 
 #[test]
+fn mega_batch_endpoint_is_bit_identical_to_run_and_in_process() {
+    let server = test_server();
+    let specs: Vec<ScenarioSpec> = (0..6)
+        .map(|i| ScenarioSpec {
+            seed: 300 + i,
+            faults: (i % 3) as usize,
+            max_rounds: 1_200,
+            ..ScenarioSpec::default()
+        })
+        .collect();
+    let expected: String = specs.iter().map(local_jsonl).collect();
+    let body = format!(
+        "{{\"scenarios\":[{}]}}",
+        specs
+            .iter()
+            .map(ScenarioSpec::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let batched = client.post_batch(&body).expect("POST /v1/batch");
+    assert_eq!(batched.status, 200, "{}", batched.text());
+    assert_eq!(
+        batched.body,
+        expected.as_bytes(),
+        "/v1/batch (columnar lanes) must serve in-process bytes"
+    );
+    // There is no legacy alias for the mega-batch endpoint.
+    let legacy = client
+        .request("POST", "/batch", body.as_bytes())
+        .expect("POST /batch");
+    assert_eq!(legacy.status, 404);
+    server.shutdown();
+}
+
+#[test]
 fn workload_families_are_served_identically_too() {
     let server = test_server();
     let mut client = Client::connect(&server.addr()).expect("connect");

@@ -56,7 +56,9 @@ fi
 # BENCH_b8_service.json / BENCH_b9_obs.json / BENCH_b10_sweep.json records
 # and the results/sweep_phase.* phase diagram are regenerated deliberately
 # (full run, by hand), not as a side effect of refreshing the result
-# tables.
+# tables. b8's quick mode covers the full new surface — cold open-loop
+# sweep, cache-hit closed-loop sweep and the /v1/batch amortisation
+# curve — at reduced request counts.
 run_one b8_service --quick "$@"
 run_one b9_obs --quick "$@"
 run_one b10_sweep --quick "$@"

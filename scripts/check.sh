@@ -93,4 +93,13 @@ echo "== service-smoke (gather-serve over TCP) =="
 # assertions, and a graceful shutdown that must leave the port dead.
 cargo run --release --offline -p gather-serve --bin b8_service -- --smoke
 
+echo "== serve-cache-smoke (event loop + deterministic result cache) =="
+# Boots the service on its default (epoll) engine and asserts the result
+# cache end to end: cold-miss/hot-hit disposition headers, cache-hit
+# payloads bit-identical to in-process runs, a >= 0.9 hit-rate on a
+# ~200-request probe, and /v1/batch identity through the same cache.
+# Auto-skips (with the reason printed) where the epoll engine is
+# unavailable — non-Linux hosts or GATHER_NO_EPOLL=1.
+cargo run --release --offline -p gather-serve --bin b8_service -- --cache-smoke
+
 echo "== check.sh: all gates passed =="
