@@ -1,0 +1,381 @@
+//! F7 — boundary maps for the related-work scenario families on the
+//! event-heap ASYNC engine: where does gathering succeed *under the
+//! stronger model predicate*, and where does it fail once the execution
+//! leaves the paper's model?
+//!
+//! Two families, each a `f × rigidity × speed-skew` grid with several
+//! seeds per cell (DESIGN.md §17, EXPERIMENTS.md):
+//!
+//! * **Grid-constrained gathering** (Bose et al., arXiv:1709.00877) —
+//!   robots on ℤ² under the grid rule with the grid model's common
+//!   compass. Success is `GATHERED` *and* zero resting-off-lattice
+//!   violations over the whole execution
+//!   ([`gather_workloads::checkers::grid_resting_violations`], sampled
+//!   every tick against the engine's flight state; crashed robots are
+//!   exempt — a casualty strands wherever it died). The expected
+//!   boundary: rigid columns are clean, non-rigid columns fail — the
+//!   adversary stops robots mid-edge, and a robot *resting* between
+//!   lattice points is exactly the state the grid model forbids.
+//! * **Stand-up indulgent gathering** (Bramas et al., arXiv:2302.03466) —
+//!   robot 0 is the designated casualty, crashed at tick 0 (extra `f-1`
+//!   crashes hit the next-lowest indices). Success is
+//!   [`gather_workloads::checkers::standup_success`]: every correct robot
+//!   co-located with the *casualty*, not merely with each other. Two
+//!   placements map the boundary: `at-weber` seats the casualty on the
+//!   Weber point of a ring (the paper's algorithm gathers there, so it
+//!   stands up "by accident"), `scattered` places it randomly — the
+//!   Weber-seeking algorithm then gathers *away* from the casualty and
+//!   fails the predicate even though plain `GATHERED` holds. That failure
+//!   regime is the point: crash-tolerant gathering à la Bouzid-Das-Tixeuil
+//!   does not solve stand-up indulgent gathering.
+//!
+//! Full runs commit `results/grid_boundary.{json,svg}` and
+//! `results/standup_boundary.{json,svg}`; `--quick` writes reduced
+//! `*_quick.*` grids into `--out` and leaves the committed maps untouched.
+
+use gather_bench::table::{f as fmt_f, Table};
+use gather_bench::Args;
+use gather_geom::{Point, Tol};
+use gather_sim::prelude::*;
+use gather_viz::{render_heatmap_sheet, HeatmapPanel, HeatmapStyle};
+use gather_workloads::checkers;
+use gather_workloads::{lattice_scatter, random_scatter, ring_with_center};
+use gathering::{GridMarch, WaitFreeGather};
+
+/// Tick budget per run (a tick is one event batch, ~one robot phase).
+const MAX_TICKS: u64 = 60_000;
+/// Speed-skew axis: uniform, mild spread, severe spread.
+const SKEWS: [f64; 3] = [0.0, 0.5, 2.0];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Rig {
+    Rigid,
+    NonRigid,
+}
+
+impl Rig {
+    fn label(self) -> &'static str {
+        match self {
+            Rig::Rigid => "rigid",
+            Rig::NonRigid => "non-rigid",
+        }
+    }
+    fn to_engine(self, seed: u64) -> Rigidity {
+        match self {
+            Rig::Rigid => Rigidity::Rigid,
+            Rig::NonRigid => Rigidity::NonRigid {
+                stop_prob: 0.25,
+                seed: seed.wrapping_add(6),
+            },
+        }
+    }
+}
+
+const RIGS: [Rig; 2] = [Rig::Rigid, Rig::NonRigid];
+
+struct AsyncSpec<'a> {
+    initial: &'a [Point],
+    seed: u64,
+    rig: Rig,
+    skew: f64,
+}
+
+fn phased_builder(spec: &AsyncSpec, frames: FramePolicy) -> AsyncEngineBuilder {
+    let mut b = AsyncEngine::builder(spec.initial.to_vec())
+        .timing(Timing::Phased {
+            compute_time: 0.25,
+            speed: 1.0,
+        })
+        .pacing(Pacing::Exponential {
+            rate: 1.0,
+            seed: spec.seed.wrapping_add(4),
+        })
+        .rigidity(spec.rig.to_engine(spec.seed))
+        .frames(frames)
+        .check_invariants(false);
+    if spec.skew > 0.0 {
+        b = b.speed_skew(spec.skew, spec.seed.wrapping_add(5));
+    }
+    b
+}
+
+/// One grid-family run: `GATHERED` plus a per-tick audit that no *live*
+/// robot ever rests off the lattice. Returns `(success, violations)`.
+fn run_grid(spec: &AsyncSpec, faults: usize) -> (bool, u64) {
+    let n = spec.initial.len();
+    let mut engine = phased_builder(spec, FramePolicy::GlobalFrame)
+        .algorithm(GridMarch::new())
+        .crash_plan(RandomCrashes::new(
+            faults.min(n - 1),
+            0.05,
+            spec.seed.wrapping_add(2),
+        ))
+        .build();
+    let tol = Tol::default();
+    let mut violations = 0u64;
+    let mut gathered = false;
+    let mut at_rest = vec![false; n];
+    for _ in 0..MAX_TICKS {
+        if engine.is_gathered() {
+            gathered = true;
+            break;
+        }
+        if engine.step().is_none() {
+            break;
+        }
+        for (i, rest) in at_rest.iter_mut().enumerate() {
+            // Crashed robots are excused: a casualty rests wherever it
+            // died, which may legitimately be mid-edge.
+            *rest = engine.alive()[i] && engine.at_rest(i);
+        }
+        violations +=
+            checkers::grid_resting_violations(engine.positions(), &at_rest, tol).len() as u64;
+    }
+    (gathered && violations == 0, violations)
+}
+
+/// One stand-up run: robot 0 (and the next `f-1` indices) crash at tick 0;
+/// success is every correct robot standing at robot 0's position.
+fn run_standup(spec: &AsyncSpec, faults: usize) -> bool {
+    let crash_at = spec.initial[0];
+    let mut engine = phased_builder(
+        spec,
+        FramePolicy::RandomPerActivation {
+            seed: spec.seed.wrapping_add(3),
+        },
+    )
+    .algorithm(WaitFreeGather::default())
+    .crash_plan(CrashAtRounds::at_start(0..faults))
+    .build();
+    let outcome = engine.run(MAX_TICKS);
+    outcome.gathered()
+        && checkers::standup_success(engine.positions(), engine.alive(), crash_at, Tol::default())
+}
+
+/// `cells[rigidity][f-index]` success fractions for one panel.
+type Panel = Vec<Vec<Option<f64>>>;
+
+fn main() {
+    let args = Args::parse();
+    let seeds: u64 = if args.quick { 1 } else { 3 };
+
+    // --- Grid family -----------------------------------------------------
+    let grid_n = 12;
+    let grid_faults: Vec<usize> = if args.quick {
+        vec![0, 4]
+    } else {
+        vec![0, 2, 4, 6]
+    };
+    let mut grid_panels: Vec<HeatmapPanel> = Vec::new();
+    let mut grid_rows = Vec::new();
+    for &skew in &SKEWS {
+        let mut cells: Panel = Vec::new();
+        for &rig in &RIGS {
+            let mut row = Vec::new();
+            for &faults in &grid_faults {
+                let mut ok = 0u64;
+                let mut viol = 0u64;
+                for seed in 0..seeds {
+                    // Casualty index 0 is the "ring with centre" centre in
+                    // the stand-up family; here seeds just vary the lattice.
+                    let initial = lattice_scatter(grid_n, 10, 100 + seed);
+                    let spec = AsyncSpec {
+                        initial: &initial,
+                        seed: 40 + seed,
+                        rig,
+                        skew,
+                    };
+                    let (success, violations) = run_grid(&spec, faults);
+                    ok += success as u64;
+                    viol += violations;
+                }
+                let frac = ok as f64 / seeds as f64;
+                grid_rows.push((skew, rig, faults, frac, viol));
+                row.push(Some(frac));
+            }
+            cells.push(row);
+        }
+        grid_panels.push(HeatmapPanel {
+            title: format!("skew={skew}"),
+            cells,
+        });
+    }
+
+    // --- Stand-up family -------------------------------------------------
+    let standup_faults: Vec<usize> = if args.quick {
+        vec![1, 3]
+    } else {
+        vec![1, 2, 3, 4]
+    };
+    let placements: [&str; 2] = ["at-weber", "scattered"];
+    let standup_initial = |placement: &str, seed: u64| -> Vec<Point> {
+        match placement {
+            // Casualty on the Weber point of a 7-ring: `ring_with_center`
+            // appends the centre robot last, so rotate it to index 0 (the
+            // designated casualty slot).
+            "at-weber" => {
+                let mut pts = ring_with_center(7, 1, 5.0);
+                pts.rotate_right(1);
+                pts
+            }
+            _ => random_scatter(8, 10.0, 200 + seed),
+        }
+    };
+    let mut standup_panels: Vec<HeatmapPanel> = Vec::new();
+    let mut standup_rows = Vec::new();
+    for placement in placements {
+        for &skew in &SKEWS {
+            let mut cells: Panel = Vec::new();
+            for &rig in &RIGS {
+                let mut row = Vec::new();
+                for &faults in &standup_faults {
+                    let mut ok = 0u64;
+                    for seed in 0..seeds {
+                        let initial = standup_initial(placement, seed);
+                        let spec = AsyncSpec {
+                            initial: &initial,
+                            seed: 70 + seed,
+                            rig,
+                            skew,
+                        };
+                        ok += run_standup(&spec, faults) as u64;
+                    }
+                    let frac = ok as f64 / seeds as f64;
+                    standup_rows.push((placement, skew, rig, faults, frac));
+                    row.push(Some(frac));
+                }
+                cells.push(row);
+            }
+            standup_panels.push(HeatmapPanel {
+                title: format!("{placement} skew={skew}"),
+                cells,
+            });
+        }
+    }
+
+    // --- Console digest --------------------------------------------------
+    let mut t = Table::new(&["family", "cell", "success"]);
+    for (skew, rig, faults, frac, viol) in &grid_rows {
+        t.push(vec![
+            "grid".into(),
+            format!("f={faults} {} skew={skew} (viol {viol})", rig.label()),
+            fmt_f(*frac, 2),
+        ]);
+    }
+    for (placement, skew, rig, faults, frac) in &standup_rows {
+        t.push(vec![
+            "standup".into(),
+            format!("f={faults} {} skew={skew} {placement}", rig.label()),
+            fmt_f(*frac, 2),
+        ]);
+    }
+    println!("F7 — related-work family boundary maps (async engine)\n");
+    t.print();
+
+    // --- Emit ------------------------------------------------------------
+    let y_ticks: Vec<String> = RIGS.iter().map(|r| r.label().to_string()).collect();
+    let style = |label: &str, columns: usize| HeatmapStyle {
+        columns,
+        range: Some((0.0, 1.0)),
+        scale_label: label.into(),
+        ..HeatmapStyle::default()
+    };
+
+    let grid_x: Vec<String> = grid_faults.iter().map(|f| format!("f={f}")).collect();
+    let grid_svg = render_heatmap_sheet(
+        &grid_panels,
+        &grid_x,
+        &y_ticks,
+        &style(
+            "grid-model success fraction (gathered, never resting off-lattice)",
+            3,
+        ),
+    );
+    let mut grid_json = format!(
+        "{{\n  \"experiment\": \"grid_boundary\",\n  \"model\": \"Bose et al. 1709.00877 (Z^2, axis moves)\",\n  \"n\": {grid_n},\n  \"seeds\": {seeds},\n  \"max_ticks\": {MAX_TICKS},\n  \"cells\": [\n"
+    );
+    for (i, (skew, rig, faults, frac, viol)) in grid_rows.iter().enumerate() {
+        grid_json.push_str(&format!(
+            "    {{\"f\": {faults}, \"rigidity\": \"{}\", \"speed_skew\": {skew}, \"success\": {frac:.3}, \"resting_violations\": {viol}}}{}\n",
+            rig.label(),
+            if i + 1 < grid_rows.len() { "," } else { "" }
+        ));
+    }
+    grid_json.push_str("  ]\n}\n");
+
+    let standup_x: Vec<String> = standup_faults.iter().map(|f| format!("f={f}")).collect();
+    let standup_svg = render_heatmap_sheet(
+        &standup_panels,
+        &standup_x,
+        &y_ticks,
+        &style(
+            "stand-up success fraction (all correct robots at the casualty)",
+            3,
+        ),
+    );
+    let mut standup_json = format!(
+        "{{\n  \"experiment\": \"standup_boundary\",\n  \"model\": \"Bramas et al. 2302.03466 (stand-up indulgent)\",\n  \"n\": 8,\n  \"seeds\": {seeds},\n  \"max_ticks\": {MAX_TICKS},\n  \"cells\": [\n"
+    );
+    for (i, (placement, skew, rig, faults, frac)) in standup_rows.iter().enumerate() {
+        standup_json.push_str(&format!(
+            "    {{\"placement\": \"{placement}\", \"f\": {faults}, \"rigidity\": \"{}\", \"speed_skew\": {skew}, \"success\": {frac:.3}}}{}\n",
+            rig.label(),
+            if i + 1 < standup_rows.len() { "," } else { "" }
+        ));
+    }
+    standup_json.push_str("  ]\n}\n");
+
+    let (dir, suffix) = if args.quick {
+        (args.out_dir.clone(), "_quick")
+    } else {
+        (std::path::PathBuf::from("results"), "")
+    };
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for (base, json, svg) in [
+        ("grid_boundary", &grid_json, &grid_svg),
+        ("standup_boundary", &standup_json, &standup_svg),
+    ] {
+        let json_path = dir.join(format!("{base}{suffix}.json"));
+        std::fs::write(&json_path, json).expect("write boundary JSON");
+        let svg_path = dir.join(format!("{base}{suffix}.svg"));
+        std::fs::write(&svg_path, svg).expect("write boundary SVG");
+        println!("wrote {}", json_path.display());
+        println!("wrote {}", svg_path.display());
+    }
+    if args.quick {
+        println!("(quick run; committed results/*_boundary.* left untouched)");
+    }
+
+    // The maps only earn their keep if they show a boundary: the grid
+    // family must have a clean rigid regime AND a failing non-rigid one,
+    // and the stand-up family must fail for scattered casualties while
+    // succeeding for a casualty on the Weber point.
+    let grid_clean = grid_rows
+        .iter()
+        .any(|(_, rig, _, frac, _)| *rig == Rig::Rigid && *frac >= 1.0);
+    let grid_broken = grid_rows
+        .iter()
+        .any(|(_, rig, _, frac, _)| *rig == Rig::NonRigid && *frac < 1.0);
+    let standup_ok = standup_rows
+        .iter()
+        .any(|(p, _, _, _, frac)| *p == "at-weber" && *frac >= 1.0);
+    let standup_fail = standup_rows
+        .iter()
+        .any(|(p, _, _, _, frac)| *p == "scattered" && *frac < 1.0);
+    let mut failures = Vec::new();
+    if !grid_clean {
+        failures.push(
+            "grid family: no clean rigid cell (expected the paper's regime to hold)".to_string(),
+        );
+    }
+    if !grid_broken {
+        failures.push("grid family: no failing non-rigid cell (expected mid-edge stops to break the lattice invariant)".to_string());
+    }
+    if !standup_ok {
+        failures.push("stand-up family: no succeeding at-weber cell".to_string());
+    }
+    if !standup_fail {
+        failures.push("stand-up family: no failing scattered cell (expected Weber-seeking to gather away from the casualty)".to_string());
+    }
+    gather_bench::report::fail_if_any("F7", &failures);
+}

@@ -1,26 +1,32 @@
 //! SWEEP — parameter-space cartography on the columnar mega-sweep engine.
 //!
 //! T1 samples Theorem 5.1's claim at 800 cells; this driver maps the
-//! whole phase space at an order of magnitude more: every configuration
-//! class × team size × scheduler × motion floor `δ` × *every* crash count
-//! `f ∈ 0..n-1`, several trials each — tens of thousands of scenarios,
-//! executed by [`gather_bench::sweep::run_batched_on`] (lockstep batches,
-//! one recycled arena per worker, admission memoisation across the grid
-//! cells that share an initial configuration; bit-identical to the
-//! sequential path, see B10).
+//! whole phase space at an order of magnitude more: every scenario family
+//! (the six configuration classes plus the grid-constrained and stand-up
+//! related-work families) × team size × scheduler × motion floor `δ` ×
+//! *every* crash count `f ∈ 0..n-1`, several trials each — tens of
+//! thousands of scenarios, executed by
+//! [`gather_bench::sweep::run_batched_on`] (lockstep batches, one recycled
+//! arena per worker, admission memoisation across the grid cells that
+//! share an initial configuration; bit-identical to the sequential path,
+//! see B10). The `async` scheduler column rides the same driver:
+//! `run_batched_on` routes those scenarios to the event-heap engine with
+//! a tick budget in place of the round budget (a tick is one event batch,
+//! ~`1/n` of a round's work).
 //!
 //! Outputs, committed in full mode:
 //!
 //! * `results/sweep_phase.json` — one aggregate row per grid cell
 //!   (gathered fraction, mean rounds, mean travel over trials);
-//! * `results/sweep_phase.svg` — a heatmap sheet (class × scheduler
+//! * `results/sweep_phase.svg` — a heatmap sheet (family × scheduler
 //!   panels; `δ` × crash-fraction cells; colour = log₁₀(1 + mean rounds
 //!   to gather)), the phase diagram's visual: gathering everywhere
 //!   (Theorem 5.1 for the non-bivalent classes; the bivalent class also
 //!   converges here because Lemma 5.2's impossibility needs the
 //!   group-serialising adversary, which none of the sampled schedulers
 //!   is — see T3 for that adversary), with cost growing toward the
-//!   single-activation scheduler and the stingy motion floor.
+//!   single-activation scheduler and the stingy motion floor, and the
+//!   async column visibly hotter (tick counts, not round counts).
 //!
 //! `--quick` runs a reduced grid into `--out` and leaves the committed
 //! artefacts untouched. Audits are off ([`Scenario::audit`]): the sweep
@@ -32,6 +38,7 @@ use gather_bench::sweep::run_batched_on;
 use gather_bench::table::{f, pct, Table};
 use gather_bench::Args;
 use gather_config::Class;
+use gather_geom::Point;
 use gather_viz::{render_heatmap_sheet, HeatmapPanel, HeatmapStyle};
 use gather_workloads as workloads;
 use std::collections::BTreeMap;
@@ -42,11 +49,65 @@ const WIDTH: usize = 16;
 /// in the grid, so round-limit cells mark genuinely slow corners of the
 /// phase space (deep serialisation × stingy motion), not noise.
 const MAX_ROUNDS: u64 = 2_000;
+/// Tick budget for the async column. A tick is one event batch — usually
+/// one robot's phase — so the budget is `MAX_ROUNDS` scaled by a typical
+/// team size rather than the round budget verbatim.
+const MAX_TICKS: u64 = 40_000;
 
-const SCHEDULERS: [&str; 4] = ["full", "round-robin", "single", "random"];
+const SCHEDULERS: [&str; 5] = ["full", "round-robin", "single", "random", "async"];
 const DELTAS: [f64; 4] = [0.01, 0.05, 0.2, 0.5];
 /// Crash-fraction buckets for the heatmap's x axis (`f / (n-1)`).
 const FRAC_BINS: usize = 8;
+
+/// One row-group of the sweep: the six configuration classes of the paper
+/// plus the two related-work scenario families.
+#[derive(Clone, Copy)]
+struct Family {
+    name: &'static str,
+    /// `None` for the two non-class families.
+    class: Option<Class>,
+    algorithm: &'static str,
+}
+
+fn families() -> Vec<Family> {
+    let mut out: Vec<Family> = Class::all()
+        .iter()
+        .map(|&c| Family {
+            name: c.short_name(),
+            class: Some(c),
+            algorithm: "wait-free-gather",
+        })
+        .collect();
+    // Grid-constrained gathering (Bose et al., arXiv:1709.00877): robots
+    // on ℤ², the grid rule, the grid model's common compass (pinned by
+    // `Scenario::frame_policy`).
+    out.push(Family {
+        name: "grid",
+        class: None,
+        algorithm: "grid-march",
+    });
+    // Stand-up indulgent gathering (Bramas et al., arXiv:2302.03466):
+    // scattered teams under the paper's algorithm; the strengthened
+    // gather-at-the-casualty predicate is mapped by `f7_boundary`, the
+    // sweep charts the plain-gathering cost of the same scenarios.
+    out.push(Family {
+        name: "standup",
+        class: None,
+        algorithm: "wait-free-gather",
+    });
+    out
+}
+
+fn family_initial(fam: &Family, n: usize, trial: u64) -> Vec<Point> {
+    match (fam.name, fam.class) {
+        (_, Some(class)) => workloads::of_class(class, n, trial),
+        ("grid", None) => {
+            let extent = 10.max((n as f64).sqrt().ceil() as i64);
+            workloads::lattice_scatter(n, extent, trial)
+        }
+        _ => workloads::random_scatter(n, 10.0, trial),
+    }
+}
 
 struct Dims {
     ns: Vec<usize>,
@@ -60,7 +121,7 @@ impl Dims {
         if quick {
             Dims {
                 ns: vec![8],
-                schedulers: vec!["full", "round-robin"],
+                schedulers: vec!["full", "round-robin", "async"],
                 deltas: vec![0.05, 0.5],
                 trials: 1,
             }
@@ -84,30 +145,31 @@ struct CellAgg {
     travel: f64,
 }
 
-type CellKey = (usize, usize, usize, usize, usize); // class, n, sched, delta, f
+type CellKey = (usize, usize, usize, usize, usize); // family, n, sched, delta, f
 
 fn main() {
     let args = Args::parse();
     let dims = Dims::new(args.quick);
-    let classes = Class::all();
+    let families = families();
 
     // Scenario order keeps every cell sharing an initial configuration
-    // consecutive (scheduler × δ × f inside one (class, n, trial)), which
+    // consecutive (scheduler × δ × f inside one (family, n, trial)), which
     // is the layout the batch admission memo deduplicates.
     let mut scenarios: Vec<(CellKey, Scenario)> = Vec::new();
-    for (ci, &class) in classes.iter().enumerate() {
+    for (ci, fam) in families.iter().enumerate() {
         for (ni, &n) in dims.ns.iter().enumerate() {
             for trial in 0..dims.trials {
-                let initial = workloads::of_class(class, n, trial);
+                let initial = family_initial(fam, n, trial);
                 for (si, &sched) in dims.schedulers.iter().enumerate() {
                     for (di, &delta) in dims.deltas.iter().enumerate() {
                         for faults in 0..n {
                             let mut s = Scenario::new(initial.clone(), trial);
+                            s.algorithm = fam.algorithm;
                             s.scheduler = sched;
                             s.motion = "random";
                             s.delta = delta;
                             s.faults = faults;
-                            s.max_rounds = MAX_ROUNDS;
+                            s.max_rounds = if s.is_async() { MAX_TICKS } else { MAX_ROUNDS };
                             s.audit = false;
                             scenarios.push(((ci, ni, si, di, faults), s));
                         }
@@ -120,9 +182,9 @@ fn main() {
 
     let pool = pool::global();
     println!(
-        "SWEEP — phase cartography: {} scenarios ({} classes × n {:?} × {} schedulers × {} δ × f 0..n-1 × {} trial(s)), {} worker(s), batch width {WIDTH}",
+        "SWEEP — phase cartography: {} scenarios ({} families × n {:?} × {} schedulers × {} δ × f 0..n-1 × {} trial(s)), {} worker(s), batch width {WIDTH}",
         specs.len(),
-        classes.len(),
+        families.len(),
         dims.ns,
         dims.schedulers.len(),
         dims.deltas.len(),
@@ -147,9 +209,9 @@ fn main() {
         agg.travel += m.total_travel;
     }
 
-    // --- Console digest: class × scheduler ------------------------------
-    let mut digest = Table::new(&["class", "scheduler", "gathered", "mean rounds"]);
-    for (ci, &class) in classes.iter().enumerate() {
+    // --- Console digest: family × scheduler -----------------------------
+    let mut digest = Table::new(&["family", "scheduler", "gathered", "mean rounds"]);
+    for (ci, fam) in families.iter().enumerate() {
         for (si, &sched) in dims.schedulers.iter().enumerate() {
             let (mut runs, mut gathered, mut rounds) = (0u64, 0u64, 0.0f64);
             for (key, agg) in &cells {
@@ -160,7 +222,7 @@ fn main() {
                 }
             }
             digest.push(vec![
-                class.short_name().to_string(),
+                fam.name.to_string(),
                 sched.to_string(),
                 pct(gathered as usize, runs as usize),
                 f(rounds / runs as f64, 1),
@@ -184,8 +246,8 @@ fn main() {
         }
         first = false;
         json.push_str(&format!(
-            "    {{\"class\": \"{}\", \"n\": {}, \"scheduler\": \"{}\", \"delta\": {}, \"f\": {}, \"gathered\": {:.3}, \"mean_rounds\": {:.1}, \"mean_travel\": {:.2}}}",
-            classes[ci].short_name(),
+            "    {{\"family\": \"{}\", \"n\": {}, \"scheduler\": \"{}\", \"delta\": {}, \"f\": {}, \"gathered\": {:.3}, \"mean_rounds\": {:.1}, \"mean_travel\": {:.2}}}",
+            families[ci].name,
             dims.ns[ni],
             dims.schedulers[si],
             dims.deltas[di],
@@ -197,11 +259,12 @@ fn main() {
     }
     json.push_str("\n  ]\n}\n");
 
-    // --- Heatmap sheet: class × scheduler panels ------------------------
+    // --- Heatmap sheet: family × scheduler panels -----------------------
     // x: crash fraction f/(n-1) bucketed; y: δ; colour: log10(1 + mean
-    // rounds), one shared scale across panels.
+    // rounds), one shared scale across panels (the async column reads
+    // hotter by construction: its unit is ticks, not rounds).
     let mut panels = Vec::new();
-    for (ci, &class) in classes.iter().enumerate() {
+    for (ci, fam) in families.iter().enumerate() {
         for (si, &sched) in dims.schedulers.iter().enumerate() {
             let mut sums = vec![vec![(0.0f64, 0u64); FRAC_BINS]; dims.deltas.len()];
             for (key, agg) in &cells {
@@ -220,7 +283,7 @@ fn main() {
                 slot.1 += agg.runs;
             }
             panels.push(HeatmapPanel {
-                title: format!("{} / {}", class.short_name(), sched),
+                title: format!("{} / {}", fam.name, sched),
                 cells: sums
                     .iter()
                     .map(|row| {

@@ -2,15 +2,20 @@
 //! experiment sweeps are plain data.
 
 use gather_sim::prelude::*;
-use gathering::{AgmonPelegStyle, CenterOfGravity, OrderedMarch, WaitFreeGather, WeberOracle};
+use gathering::{
+    AgmonPelegStyle, CenterOfGravity, GridMarch, OrderedMarch, WaitFreeGather, WeberOracle,
+};
 
-/// All algorithm names, the paper's algorithm first.
-pub const ALGORITHMS: [&str; 5] = [
+/// All algorithm names, the paper's algorithm first. `grid-march` is the
+/// grid-model rule (Bose et al.): non-equivariant by design, so the
+/// harness pins it to the global frame (see `Scenario::frame_policy`).
+pub const ALGORITHMS: [&str; 6] = [
     "wait-free-gather",
     "ordered-march",
     "agmon-peleg",
     "center-of-gravity",
     "weber-oracle",
+    "grid-march",
 ];
 
 /// All scheduler names.
@@ -31,6 +36,7 @@ pub fn algorithm(name: &str) -> Box<dyn Algorithm> {
         "agmon-peleg" => Box::new(AgmonPelegStyle::default()),
         "center-of-gravity" => Box::new(CenterOfGravity::new()),
         "weber-oracle" => Box::new(WeberOracle::default()),
+        "grid-march" => Box::new(GridMarch::new()),
         other => panic!("unknown algorithm {other}"),
     }
 }

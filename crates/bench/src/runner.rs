@@ -42,6 +42,14 @@ pub struct Scenario {
     /// bulk of round time (see `BENCH_b9_obs.json`) and the b10 contract
     /// compares batch and sequential execution with identical settings.
     pub audit: bool,
+    /// Rigid moves (default `true`). Only meaningful under the `"async"`
+    /// scheduler: `false` lets the adversary stop in-flight robots at any
+    /// event past `δ` progress ([`Rigidity::NonRigid`]).
+    pub rigid: bool,
+    /// Per-robot speed skew (default `0.0`). Only meaningful under the
+    /// `"async"` scheduler: each robot's travel speed is scaled by a
+    /// seeded multiplier in `[1, 1 + speed_skew)`.
+    pub speed_skew: f64,
 }
 
 impl Scenario {
@@ -58,7 +66,17 @@ impl Scenario {
             max_rounds: 60_000,
             seed,
             audit: true,
+            rigid: true,
+            speed_skew: 0.0,
         }
+    }
+
+    /// Does this scenario execute on the event-driven [`AsyncEngine`]?
+    /// The `"async"` scheduler name selects the engine, not a
+    /// [`Scheduler`] implementation — activation order comes from the
+    /// event heap.
+    pub fn is_async(&self) -> bool {
+        self.scheduler == "async"
     }
 
     /// Runs the scenario to completion and summarises it, recycling this
@@ -75,6 +93,11 @@ impl Scenario {
     /// allocation behaviour across sweep-item boundaries without the
     /// thread-local indirection.
     pub fn run_with(&self, parts: EngineParts) -> (RunMetrics, EngineParts) {
+        if self.is_async() {
+            let mut engine = self.build_async_engine(parts);
+            let metrics = self.complete_async(&mut engine);
+            return (metrics, engine.into_parts());
+        }
         let mut engine = self.build_engine(parts, None);
         let metrics = self.complete(&mut engine);
         (metrics, engine.into_parts())
@@ -86,6 +109,13 @@ impl Scenario {
     /// a [`EngineObs::disabled`] handle measures the cost of carrying the
     /// instrumentation without reading the clock.
     pub fn run_observed(&self, obs: EngineObs) -> (RunMetrics, EngineObs) {
+        if self.is_async() {
+            // The async engine carries no phase spans (its "phases" are
+            // event kinds, not wall-clock laps); run plain and hand the
+            // handle back untouched.
+            let (metrics, _) = self.run_with(EngineParts::default());
+            return (metrics, obs);
+        }
         let mut engine = self.build_engine(EngineParts::default(), Some(obs));
         let mut metrics = self.complete(&mut engine);
         metrics.phase_ns = engine.phase_nanos();
@@ -100,6 +130,11 @@ impl Scenario {
     /// the in-process twin of the service's `GET /v1/trace` endpoint: the
     /// returned string is byte-identical to the streamed response body.
     pub fn run_traced(&self) -> (RunMetrics, String) {
+        if self.is_async() {
+            let mut engine = self.build_async_engine(EngineParts::default());
+            let metrics = self.complete_async(&mut engine);
+            return (metrics, engine.trace().to_jsonl());
+        }
         let mut engine = self.build_engine(EngineParts::default(), None);
         let metrics = self.complete(&mut engine);
         (metrics, engine.trace().to_jsonl())
@@ -120,9 +155,7 @@ impl Scenario {
                 0.05,
                 self.seed.wrapping_add(2),
             ))
-            .frames(FramePolicy::RandomPerActivation {
-                seed: self.seed.wrapping_add(3),
-            })
+            .frames(self.frame_policy())
             .delta(self.delta)
             // Invariant monitors are part of the experiment only for the
             // wait-free algorithm; baselines violate them by design.
@@ -132,6 +165,75 @@ impl Scenario {
             builder = builder.observe(obs);
         }
         builder.build()
+    }
+
+    /// Frame policy shared by both engines: random per-activation frames,
+    /// except for `"grid-march"` — the grid model grants a common compass
+    /// (the algorithm is deliberately non-equivariant, its moves are
+    /// global-axis steps), so it observes in the global frame.
+    fn frame_policy(&self) -> FramePolicy {
+        if self.algorithm == "grid-march" {
+            FramePolicy::GlobalFrame
+        } else {
+            FramePolicy::RandomPerActivation {
+                seed: self.seed.wrapping_add(3),
+            }
+        }
+    }
+
+    /// Builds the event-driven engine for an `"async"` scenario. Seed
+    /// layout extends [`Scenario::build_engine`]'s (`+2` crashes, `+3`
+    /// frames) with `+4` pacing, `+5` speed skew, `+6` rigidity.
+    fn build_async_engine(&self, parts: EngineParts) -> AsyncEngine {
+        let n = self.initial.len();
+        let mut builder = AsyncEngine::builder(self.initial.clone())
+            .algorithm(factory::algorithm(self.algorithm))
+            .crash_plan(RandomCrashes::new(
+                self.faults.min(n.saturating_sub(1)),
+                0.05,
+                self.seed.wrapping_add(2),
+            ))
+            .frames(self.frame_policy())
+            .delta(self.delta)
+            .timing(Timing::Phased {
+                compute_time: 0.25,
+                speed: 1.0,
+            })
+            .pacing(Pacing::Exponential {
+                rate: 1.0,
+                seed: self.seed.wrapping_add(4),
+            })
+            // The paper's invariant monitors (Lemma 5.1, never-bivalent)
+            // are theorems of the ATOM model; mid-flight configurations
+            // violate them legitimately, so ASYNC runs never audit —
+            // boundary mapping records outcomes instead.
+            .check_invariants(false)
+            .recycle(parts);
+        if self.speed_skew > 0.0 {
+            builder = builder.speed_skew(self.speed_skew, self.seed.wrapping_add(5));
+        }
+        if !self.rigid {
+            builder = builder.rigidity(Rigidity::NonRigid {
+                stop_prob: 0.25,
+                seed: self.seed.wrapping_add(6),
+            });
+        }
+        builder.build()
+    }
+
+    /// Drives a built async engine to completion and summarises it,
+    /// attaching cache stats and the event count.
+    fn complete_async(&self, engine: &mut AsyncEngine) -> RunMetrics {
+        let outcome = engine.run(self.max_rounds);
+        let mut metrics = summarize(outcome, engine.trace());
+        let (computed, hits, dirty_skips) = engine.analysis_cache_stats();
+        metrics.analysis_cache = Some(CacheStats {
+            computed,
+            hits,
+            dirty_skips,
+        });
+        metrics.async_events = Some(engine.events_processed());
+        metrics
     }
 
     /// Drives a built engine to completion and summarises it, asserting the

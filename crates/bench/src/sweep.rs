@@ -34,8 +34,21 @@ pub const CHUNK: usize = 128;
 /// [`run_batched_on`] interchangeable with `Scenario::run`: identical
 /// configuration in, bit-identical [`RunMetrics`] out.
 pub fn lane_spec(s: &Scenario) -> LaneSpec {
+    assert!(
+        !s.is_async(),
+        "async scenarios run on the event-heap engine, not batch lanes"
+    );
     let n = s.initial.len();
     let wait_free = s.algorithm == "wait-free-gather" && s.audit;
+    let frames = if s.algorithm == "grid-march" {
+        // Same exemption as `Scenario::frame_policy`: the grid rule gets
+        // the grid model's common compass.
+        FramePolicy::GlobalFrame
+    } else {
+        FramePolicy::RandomPerActivation {
+            seed: s.seed.wrapping_add(3),
+        }
+    };
     LaneSpec {
         initial: s.initial.clone(),
         algorithm: factory::algorithm(s.algorithm),
@@ -46,9 +59,7 @@ pub fn lane_spec(s: &Scenario) -> LaneSpec {
             s.seed.wrapping_add(2),
         )),
         motion: factory::motion(s.motion, s.seed.wrapping_add(1)),
-        frames: FramePolicy::RandomPerActivation {
-            seed: s.seed.wrapping_add(3),
-        },
+        frames,
         tol: Tol::default(),
         delta: s.delta,
         check_invariants: wait_free,
@@ -71,14 +82,20 @@ pub fn run_batched_on(pool: &WorkerPool, scenarios: &[Scenario], width: usize) -
     assert!(width > 0, "batch width must be positive");
     let chunks: Vec<&[Scenario]> = scenarios.chunks(CHUNK).collect();
     let per_chunk = pool.map(&chunks, |chunk| {
-        let parts = take_thread_parts();
-        let mut batch = BatchEngine::new(width, parts);
-        let results = batch.run(chunk.iter().map(lane_spec).collect());
-        put_thread_parts(batch.into_parts());
-        chunk
-            .iter()
-            .zip(results)
-            .map(|(s, lane)| {
+        // Lockstep lanes model synchronized rounds; `"async"` scenarios
+        // have no rounds to lock, so each chunk partitions: sync members
+        // ride the BatchEngine, async members run sequentially on the
+        // event heap — same recycled thread arena, stitched back into
+        // chunk order.
+        let mut out: Vec<Option<RunMetrics>> = (0..chunk.len()).map(|_| None).collect();
+        let sync_idx: Vec<usize> = (0..chunk.len()).filter(|&i| !chunk[i].is_async()).collect();
+        if !sync_idx.is_empty() {
+            let parts = take_thread_parts();
+            let mut batch = BatchEngine::new(width, parts);
+            let results = batch.run(sync_idx.iter().map(|&i| lane_spec(&chunk[i])).collect());
+            put_thread_parts(batch.into_parts());
+            for (&i, lane) in sync_idx.iter().zip(results) {
+                let s = &chunk[i];
                 if s.algorithm == "wait-free-gather" && s.audit {
                     assert!(
                         lane.violations.is_empty(),
@@ -87,8 +104,16 @@ pub fn run_batched_on(pool: &WorkerPool, scenarios: &[Scenario], width: usize) -
                         lane.violations
                     );
                 }
-                lane.metrics
-            })
+                out[i] = Some(lane.metrics);
+            }
+        }
+        for (i, s) in chunk.iter().enumerate() {
+            if s.is_async() {
+                out[i] = Some(s.run());
+            }
+        }
+        out.into_iter()
+            .map(|m| m.expect("every chunk member executed"))
             .collect::<Vec<_>>()
     });
     per_chunk.into_iter().flatten().collect()
@@ -127,6 +152,29 @@ mod tests {
             let batched = run_batched_on(&pool, &scenarios, width);
             assert_eq!(batched, sequential, "width {width} diverged");
         }
+    }
+
+    #[test]
+    fn mixed_async_chunks_match_sequential_runs() {
+        let pool = WorkerPool::new(2);
+        let mut scenarios = grid();
+        // Interleave async scenarios through the chunk; they must come
+        // back in input order, bit-identical to their sequential runs.
+        for (i, s) in scenarios.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                s.scheduler = "async";
+                s.audit = false;
+                s.max_rounds = 2_000;
+            }
+        }
+        let sequential: Vec<RunMetrics> = scenarios.iter().map(|s| s.run()).collect();
+        let batched = run_batched_on(&pool, &scenarios, 4);
+        assert_eq!(batched, sequential);
+        assert!(scenarios
+            .iter()
+            .zip(&batched)
+            .filter(|(s, _)| s.is_async())
+            .all(|(_, m)| m.async_events.is_some()));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! The ASYNC degeneracy contract, end to end: with zero phase durations
+//! (atomic LCM cycles), lockstep pacing, every robot activated and rigid
+//! motion, the event-heap engine **is** the FSYNC round engine — same
+//! `RunOutcome`, same positions, same per-round trace bytes, same
+//! analysis-cache counters — for every configuration class and under
+//! crashes. And away from the degenerate corner, an ASYNC run is a pure
+//! function of its seed: the same spec yields byte-identical NDJSON
+//! regardless of how many pool workers execute around it.
+
+use gather_bench::pool::WorkerPool;
+use gather_bench::runner::Scenario;
+use gather_bench::sweep::run_batched_on;
+use gather_config::Class;
+use gather_geom::Point;
+use gather_sim::prelude::*;
+use gather_workloads::of_class;
+use gathering::WaitFreeGather;
+
+/// Builds the FSYNC and degenerate-ASYNC twins of one scenario: same
+/// algorithm, same derived seeds, same crash plan, same frame policy.
+fn twins(initial: Vec<Point>, seed: u64, faults: usize) -> (Engine, AsyncEngine) {
+    let n = initial.len();
+    let sync = Engine::builder(initial.clone())
+        .algorithm(WaitFreeGather::default())
+        .crash_plan(RandomCrashes::new(faults, 0.05, seed.wrapping_add(2)))
+        .frames(FramePolicy::RandomPerActivation {
+            seed: seed.wrapping_add(3),
+        })
+        .check_invariants(true)
+        .build();
+    let async_eng = AsyncEngine::builder(initial)
+        .algorithm(WaitFreeGather::default())
+        .crash_plan(RandomCrashes::new(
+            faults.min(n - 1),
+            0.05,
+            seed.wrapping_add(2),
+        ))
+        .frames(FramePolicy::RandomPerActivation {
+            seed: seed.wrapping_add(3),
+        })
+        .check_invariants(true)
+        .build();
+    (sync, async_eng)
+}
+
+#[test]
+fn degenerate_async_is_bit_identical_to_fsync_for_all_six_classes() {
+    for class in Class::all() {
+        for faults in [0usize, 2] {
+            let initial = of_class(class, 8, 17);
+            let (mut sync, mut async_eng) = twins(initial, 900, faults);
+            let a = sync.run(4_000);
+            let b = async_eng.run(4_000);
+            let tag = format!("class {} faults {faults}", class.short_name());
+            assert_eq!(a, b, "{tag}: outcomes diverged");
+            assert_eq!(sync.positions(), async_eng.positions(), "{tag}: positions");
+            assert_eq!(sync.alive(), async_eng.alive(), "{tag}: liveness");
+            assert_eq!(
+                sync.trace().to_jsonl(),
+                async_eng.trace().to_jsonl(),
+                "{tag}: trace bytes"
+            );
+            assert_eq!(
+                sync.violations(),
+                async_eng.violations(),
+                "{tag}: audit verdicts"
+            );
+            assert_eq!(
+                sync.analysis_cache_stats(),
+                async_eng.analysis_cache_stats(),
+                "{tag}: cache counters"
+            );
+        }
+    }
+}
+
+fn async_grid() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for (ci, class) in [Class::Multiple, Class::Asymmetric, Class::QuasiRegular]
+        .into_iter()
+        .enumerate()
+    {
+        let initial = of_class(class, 8, 50 + ci as u64);
+        for (rigid, skew) in [(true, 0.0), (false, 0.5)] {
+            let mut s = Scenario::new(initial.clone(), 7_000 + ci as u64);
+            s.scheduler = "async";
+            s.audit = false;
+            s.rigid = rigid;
+            s.speed_skew = skew;
+            s.faults = ci % 3;
+            s.max_rounds = 60_000;
+            scenarios.push(s);
+        }
+    }
+    scenarios
+}
+
+#[test]
+fn same_seed_async_ndjson_is_identical_across_pool_sizes() {
+    let scenarios = async_grid();
+    let render = |metrics: &[gather_sim::metrics::RunMetrics]| -> String {
+        metrics
+            .iter()
+            .map(|m| format!("{}\n", m.to_jsonl()))
+            .collect()
+    };
+    let sequential = render(&scenarios.iter().map(|s| s.run()).collect::<Vec<_>>());
+    for threads in [1usize, 2, 8] {
+        let pool = WorkerPool::new(threads);
+        let batched = render(&run_batched_on(&pool, &scenarios, 4));
+        assert_eq!(
+            batched, sequential,
+            "pool of {threads} changed the served bytes"
+        );
+    }
+}
+
+#[test]
+fn same_seed_async_trace_bytes_are_reproducible() {
+    for s in async_grid() {
+        let (m1, t1) = s.run_traced();
+        let (m2, t2) = s.run_traced();
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2, "trace bytes must be a pure function of the spec");
+        assert!(!t1.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Grid-constrained gathering in the style of Bose et al.
+//! (arXiv:1709.00877): robots live on the integer lattice ℤ² and move in
+//! unit steps along the axes.
+//!
+//! The rule: rally at the unique point of maximal multiplicity if one
+//! exists (strong multiplicity detection makes it visible), otherwise at
+//! the configuration's centroid rounded to the lattice; each activation
+//! takes **one axis-aligned unit step** from the robot's current cell
+//! toward the rally cell, longer axis first (x on ties), landing exactly
+//! on lattice points.
+//!
+//! **Frame contract**: unlike every other algorithm in this crate,
+//! `GridMarch` is deliberately *not* equivariant under rotation/scale —
+//! "one unit along the x-axis" only means something in a shared grid
+//! frame. The grid model grants robots a common compass and unit length,
+//! so the harness runs it under `FramePolicy::GlobalFrame` (the factory
+//! and the sweep lanes pin this). Under the default random-frame policy
+//! its behaviour is undefined by design.
+//!
+//! In the boundary-mapping experiments the interesting failure lives in
+//! the *motion* model, not the rule: under rigid moves every hop lands on
+//! ℤ² and the invariant checker stays quiet, while a non-rigid ASYNC
+//! adversary can stop a robot mid-edge — an off-lattice *resting* position
+//! that the grid model forbids (`gather-workloads`' checker flags it).
+
+use gather_geom::{centroid, Point};
+use gather_sim::prelude::{Algorithm, Snapshot};
+
+/// The axis-step grid gathering rule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridMarch;
+
+impl GridMarch {
+    /// The grid algorithm (stateless).
+    pub fn new() -> Self {
+        GridMarch
+    }
+
+    /// Nearest lattice point (ties round half-away-from-zero, `f64::round`).
+    fn cell(p: Point) -> Point {
+        Point::new(p.x.round(), p.y.round())
+    }
+
+    /// The rally cell: unique maximal multiplicity point if any, else the
+    /// rounded centroid. Canonicalised snapshots make co-located robots
+    /// bit-equal, so exact comparison counts multiplicities.
+    fn rally(snap: &Snapshot) -> Point {
+        let pts = snap.config().points();
+        let mut best: Option<(Point, usize)> = None;
+        let mut unique = true;
+        for (i, &p) in pts.iter().enumerate() {
+            if pts[..i].contains(&p) {
+                continue; // counted when first seen
+            }
+            let mult = pts.iter().filter(|&&q| q == p).count();
+            match &best {
+                Some((_, m)) if mult < *m => {}
+                Some((bp, m)) if mult == *m => {
+                    if p != *bp {
+                        unique = false;
+                    }
+                }
+                _ => {
+                    best = Some((p, mult));
+                    unique = true;
+                }
+            }
+        }
+        match best {
+            Some((p, mult)) if mult > 1 && unique => Self::cell(p),
+            _ => Self::cell(centroid(pts)),
+        }
+    }
+}
+
+impl Algorithm for GridMarch {
+    fn name(&self) -> &'static str {
+        "grid-march"
+    }
+
+    fn destination(&self, snap: &Snapshot) -> Point {
+        let me = snap.me();
+        let from = Self::cell(me);
+        let to = Self::rally(snap);
+        let dx = to.x - from.x;
+        let dy = to.y - from.y;
+        if dx == 0.0 && dy == 0.0 {
+            // Own cell is the rally cell: settle exactly onto the lattice
+            // point (a no-op when already there).
+            return to;
+        }
+        if dx.abs() >= dy.abs() {
+            Point::new(from.x + dx.signum(), from.y)
+        } else {
+            Point::new(from.x, from.y + dy.signum())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_config::Configuration;
+
+    fn snap_at(pts: Vec<Point>, me: Point) -> Snapshot<'static> {
+        Snapshot::new(Configuration::new(pts), me)
+    }
+
+    #[test]
+    fn steps_one_unit_along_the_longer_axis() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 2.0)];
+        // Rally = rounded centroid (2.5, 1.0) → (3, 1). From (0,0): |dx|=3
+        // beats |dy|=1, so one step in +x.
+        let alg = GridMarch::new();
+        assert_eq!(
+            alg.destination(&snap_at(pts, Point::new(0.0, 0.0))),
+            Point::new(1.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn x_wins_axis_ties() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(4.0, 4.0)];
+        let alg = GridMarch::new();
+        assert_eq!(
+            alg.destination(&snap_at(pts, Point::new(0.0, 0.0))),
+            Point::new(1.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn rallies_at_a_unique_multiplicity_point() {
+        let heavy = Point::new(6.0, 0.0);
+        let pts = vec![heavy, heavy, Point::new(0.0, 0.0), Point::new(0.0, 3.0)];
+        let alg = GridMarch::new();
+        // From (0,0): rally is the multiplicity point, |dx|=6 > |dy|=0.
+        assert_eq!(
+            alg.destination(&snap_at(pts, Point::new(0.0, 0.0))),
+            Point::new(1.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn tied_multiplicities_fall_back_to_the_centroid() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let pts = vec![a, a, b, b];
+        let alg = GridMarch::new();
+        // Two multiplicity-2 points: centroid (2,0) is the rally; one +x
+        // step from a.
+        assert_eq!(alg.destination(&snap_at(pts, a)), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn at_the_rally_cell_settles_onto_the_lattice() {
+        let p = Point::new(2.0, 2.0);
+        let alg = GridMarch::new();
+        assert_eq!(alg.destination(&snap_at(vec![p; 3], p)), p);
+        // Mid-edge in the rally cell (e.g. after a non-rigid stop): the
+        // destination is the cell's lattice point.
+        let near = Point::new(2.4, 2.0);
+        let pts = vec![near, p, p];
+        assert_eq!(alg.destination(&snap_at(pts, near)), p);
+    }
+}

@@ -7,13 +7,16 @@
 //! | [`AgmonPelegStyle`] | reconstruction of the 1-crash-tolerant algorithm of Agmon & Peleg: everyone to the multiplicity point, else everyone to the SEC centre | requires distinct initial positions; adversarial stops can mint a second multiplicity point under `f ≥ 2` |
 //! | [`CenterOfGravity`] | gravitational *convergence* (Cohen & Peleg): always move to the centroid | converges but the target shifts every round — exact gathering is not achieved in bounded adversarial executions |
 //! | [`WeberOracle`] | move to the (numerically computed) Weber point | not computable exactly in general — this oracle shows why the paper's computable-Weber classes matter |
+//! | [`GridMarch`] | grid-constrained gathering (Bose et al., arXiv:1709.00877): axis-aligned unit steps on ℤ² toward the multiplicity point or rounded centroid | assumes rigid unit hops and a common compass; a non-rigid ASYNC adversary strands robots mid-edge, off the lattice |
 
 mod agmon_peleg;
 mod center_of_gravity;
+mod grid_march;
 mod ordered_march;
 mod weber_oracle;
 
 pub use agmon_peleg::AgmonPelegStyle;
 pub use center_of_gravity::CenterOfGravity;
+pub use grid_march::GridMarch;
 pub use ordered_march::OrderedMarch;
 pub use weber_oracle::WeberOracle;

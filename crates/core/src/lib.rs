@@ -55,5 +55,5 @@ pub mod baselines;
 pub mod rules;
 mod wait_free;
 
-pub use baselines::{AgmonPelegStyle, CenterOfGravity, OrderedMarch, WeberOracle};
+pub use baselines::{AgmonPelegStyle, CenterOfGravity, GridMarch, OrderedMarch, WeberOracle};
 pub use wait_free::WaitFreeGather;

@@ -67,6 +67,10 @@ pub struct ServerMetrics {
     /// Total dirty-skip cache hits (incremental path, no robot moved),
     /// summed from runs that attached cache stats.
     pub cache_dirty_skips_total: AtomicU64,
+    /// Total event-heap events processed, summed from ASYNC-engine runs
+    /// ([`RunMetrics::async_events`]); stays 0 while only round-based
+    /// scenarios are served.
+    pub async_events_total: AtomicU64,
     /// Total distance travelled, accumulated as f64 bits under a CAS loop.
     travel_total_bits: AtomicU64,
     /// Per-request phase histograms (parse / queue wait / execute).
@@ -99,6 +103,9 @@ impl ServerMetrics {
                 .fetch_add(cs.computed, Ordering::Relaxed);
             self.cache_dirty_skips_total
                 .fetch_add(cs.dirty_skips, Ordering::Relaxed);
+        }
+        if let Some(events) = m.async_events {
+            self.async_events_total.fetch_add(events, Ordering::Relaxed);
         }
         let mut current = self.travel_total_bits.load(Ordering::Relaxed);
         loop {
@@ -161,7 +168,7 @@ impl ServerMetrics {
         use std::fmt::Write;
         let mut out = String::with_capacity(1024);
         out.push_str("# gather-serve metrics, text exposition v1\n");
-        let counters: [(&str, &AtomicU64); 15] = [
+        let counters: [(&str, &AtomicU64); 16] = [
             ("gather_requests_accepted_total", &self.accepted),
             ("gather_requests_rejected_full_total", &self.rejected_full),
             (
@@ -195,6 +202,7 @@ impl ServerMetrics {
                 "gather_sim_cache_dirty_skips_total",
                 &self.cache_dirty_skips_total,
             ),
+            ("gather_sim_async_events_total", &self.async_events_total),
         ];
         for (name, counter) in counters {
             writeln!(out, "{name} {}", counter.load(Ordering::Relaxed)).expect("write to String");
@@ -277,6 +285,7 @@ mod tests {
                 hits: 2,
                 dirty_skips: 1,
             }),
+            async_events: None,
             phase_ns: None,
         }
     }

@@ -2,7 +2,8 @@
 //! mapped onto [`gather_bench::runner::Scenario`].
 //!
 //! A spec is pure data — `(workload, class, n, seed, faults, algorithm,
-//! scheduler, motion, delta, max_rounds)` — and the mapping to an initial
+//! scheduler, motion, delta, max_rounds, rigidity, speed_skew)` — and the
+//! mapping to an initial
 //! configuration goes through `gather_workloads::by_name`, so a served
 //! run is *defined* to be the same pure function of its spec as an
 //! in-process experiment run. That definition is what the bit-identity
@@ -29,7 +30,7 @@ pub const MAX_ROUNDS: u64 = 500_000;
 pub const MAX_DEADLINE_MS: u64 = 600_000;
 
 /// The JSON fields a spec may carry.
-const SPEC_FIELDS: [&str; 10] = [
+const SPEC_FIELDS: [&str; 12] = [
     "workload",
     "class",
     "n",
@@ -40,6 +41,8 @@ const SPEC_FIELDS: [&str; 10] = [
     "motion",
     "delta",
     "max_rounds",
+    "rigidity",
+    "speed_skew",
 ];
 
 /// One validated scenario specification.
@@ -57,7 +60,9 @@ pub struct ScenarioSpec {
     pub faults: usize,
     /// Algorithm name (validated against [`factory::ALGORITHMS`]).
     pub algorithm: &'static str,
-    /// Scheduler name (validated against [`factory::SCHEDULERS`]).
+    /// Scheduler name (validated against [`factory::SCHEDULERS`], plus the
+    /// `"async"` event-heap scheduler which lives outside the round-based
+    /// table).
     pub scheduler: &'static str,
     /// Motion-adversary name (validated against [`factory::MOTIONS`]).
     pub motion: &'static str,
@@ -65,6 +70,10 @@ pub struct ScenarioSpec {
     pub delta: f64,
     /// Round budget.
     pub max_rounds: u64,
+    /// Rigid motion (ASYNC only; non-rigid moves may stop early, δ floor).
+    pub rigid: bool,
+    /// Per-robot speed-multiplier spread (ASYNC only; 0 = uniform speeds).
+    pub speed_skew: f64,
 }
 
 impl Default for ScenarioSpec {
@@ -81,6 +90,8 @@ impl Default for ScenarioSpec {
             motion: "full",
             delta: 0.05,
             max_rounds: 60_000,
+            rigid: true,
+            speed_skew: 0.0,
         }
     }
 }
@@ -180,7 +191,47 @@ impl ScenarioSpec {
         }
         if let Some(s) = v.get("scheduler") {
             let name = s.as_str().ok_or("\"scheduler\" must be a string")?;
-            spec.scheduler = lookup("scheduler", name, &factory::SCHEDULERS)?;
+            // The event-heap engine is not a round-based `Scheduler`
+            // implementation, so it is special-cased ahead of the table.
+            spec.scheduler = if name == "async" {
+                "async"
+            } else {
+                lookup("scheduler", name, &factory::SCHEDULERS)?
+            };
+        }
+        if let Some(r) = v.get("rigidity") {
+            let name = r.as_str().ok_or("\"rigidity\" must be a string")?;
+            if spec.scheduler != "async" {
+                return Err(format!(
+                    "\"rigidity\" requires \"scheduler\":\"async\" (round-based \
+                     schedulers delegate motion to the \"motion\" adversary), \
+                     got scheduler {:?}",
+                    spec.scheduler
+                ));
+            }
+            spec.rigid = match name {
+                "rigid" => true,
+                "non-rigid" => false,
+                other => {
+                    return Err(format!(
+                        "unknown rigidity {other:?}; known: rigid, non-rigid"
+                    ))
+                }
+            };
+        }
+        if let Some(s) = v.get("speed_skew") {
+            let s = s.as_f64().ok_or("\"speed_skew\" must be a number")?;
+            if spec.scheduler != "async" {
+                return Err(format!(
+                    "\"speed_skew\" requires \"scheduler\":\"async\" (round-based \
+                     schedulers have no per-robot speeds), got scheduler {:?}",
+                    spec.scheduler
+                ));
+            }
+            if !(0.0..=10.0).contains(&s) {
+                return Err(format!("\"speed_skew\" must be in [0, 10], got {s}"));
+            }
+            spec.speed_skew = s;
         }
         if let Some(m) = v.get("motion") {
             let name = m.as_str().ok_or("\"motion\" must be a string")?;
@@ -211,7 +262,14 @@ impl ScenarioSpec {
     ///
     /// Describes the first malformed pair or violated spec constraint.
     pub fn from_query(query: &str) -> Result<ScenarioSpec, String> {
-        const STRING_FIELDS: [&str; 5] = ["workload", "class", "algorithm", "scheduler", "motion"];
+        const STRING_FIELDS: [&str; 6] = [
+            "workload",
+            "class",
+            "algorithm",
+            "scheduler",
+            "motion",
+            "rigidity",
+        ];
         use std::fmt::Write;
         let mut body = String::from("{");
         for pair in query.split('&').filter(|p| !p.is_empty()) {
@@ -263,7 +321,12 @@ impl ScenarioSpec {
             delta: self.delta,
             max_rounds: self.max_rounds,
             seed: self.seed,
-            audit: true,
+            // ASYNC runs skip the ATOM-model invariant monitors: Lemma 5.1
+            // and the never-bivalent property are round-model theorems and
+            // mid-flight configurations violate them legitimately.
+            audit: self.scheduler != "async",
+            rigid: self.rigid,
+            speed_skew: self.speed_skew,
         })
     }
 
@@ -299,6 +362,8 @@ impl ScenarioSpec {
         out.push(0);
         out.extend_from_slice(&self.delta.to_bits().to_le_bytes());
         out.extend_from_slice(&self.max_rounds.to_le_bytes());
+        out.push(self.rigid as u8);
+        out.extend_from_slice(&self.speed_skew.to_bits().to_le_bytes());
         out
     }
 
@@ -310,10 +375,21 @@ impl ScenarioSpec {
             Some(c) => format!("\"class\":\"{}\",", c.short_name()),
             None => String::new(),
         };
+        // The ASYNC-only knobs are emitted only for async specs: round-based
+        // specs carrying them would fail `from_json`'s combo validation.
+        let async_knobs = if self.scheduler == "async" {
+            format!(
+                ",\"rigidity\":\"{}\",\"speed_skew\":{:?}",
+                if self.rigid { "rigid" } else { "non-rigid" },
+                self.speed_skew
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\"workload\":\"{}\",{class}\"n\":{},\"seed\":{},\"faults\":{},\
              \"algorithm\":\"{}\",\"scheduler\":\"{}\",\"motion\":\"{}\",\
-             \"delta\":{:?},\"max_rounds\":{}}}",
+             \"delta\":{:?},\"max_rounds\":{}{async_knobs}}}",
             self.workload,
             self.n,
             self.seed,
@@ -434,6 +510,81 @@ mod tests {
         };
         let parsed = ScenarioSpec::from_json(&Json::parse(&scatter.to_json()).unwrap()).unwrap();
         assert_eq!(parsed, scatter);
+    }
+
+    #[test]
+    fn async_specs_parse_and_round_trip() {
+        let body = r#"{"workload":"lattice","n":9,"seed":7,"faults":2,
+                       "algorithm":"grid-march","scheduler":"async",
+                       "rigidity":"non-rigid","speed_skew":0.5,"max_rounds":900}"#;
+        let spec = ScenarioSpec::from_json(&Json::parse(body).unwrap()).unwrap();
+        assert_eq!(spec.scheduler, "async");
+        assert!(!spec.rigid);
+        assert_eq!(spec.speed_skew, 0.5);
+        let scenario = spec.to_scenario().unwrap();
+        assert!(scenario.is_async());
+        assert!(!scenario.audit, "async runs must not audit ATOM invariants");
+        assert!(!scenario.rigid);
+        assert_eq!(scenario.speed_skew, 0.5);
+        // to_json is from_json's inverse for async specs too.
+        let parsed = ScenarioSpec::from_json(&Json::parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        // The async knobs feed the cache key: rigid vs non-rigid and skew
+        // must produce distinct canonical bytes.
+        let rigid = ScenarioSpec {
+            rigid: true,
+            ..spec.clone()
+        };
+        assert_ne!(spec.canonical_bytes(), rigid.canonical_bytes());
+        let skewed = ScenarioSpec {
+            speed_skew: 1.0,
+            ..spec.clone()
+        };
+        assert_ne!(spec.canonical_bytes(), skewed.canonical_bytes());
+        // Round-based specs never emit the async-only fields.
+        assert!(!ScenarioSpec::default().to_json().contains("rigidity"));
+    }
+
+    #[test]
+    fn async_query_specs_work_too() {
+        let spec =
+            ScenarioSpec::from_query("scheduler=async&rigidity=non-rigid&speed_skew=2").unwrap();
+        assert_eq!(spec.scheduler, "async");
+        assert!(!spec.rigid);
+        assert_eq!(spec.speed_skew, 2.0);
+    }
+
+    #[test]
+    fn async_knobs_without_async_scheduler_are_rejected() {
+        for (body, needle) in [
+            (
+                r#"{"rigidity":"non-rigid"}"#,
+                "requires \"scheduler\":\"async\"",
+            ),
+            (r#"{"speed_skew":1}"#, "requires \"scheduler\":\"async\""),
+            (
+                r#"{"scheduler":"full","rigidity":"rigid"}"#,
+                "requires \"scheduler\":\"async\"",
+            ),
+            (
+                r#"{"scheduler":"async","rigidity":"bendy"}"#,
+                "unknown rigidity",
+            ),
+            (
+                r#"{"scheduler":"async","speed_skew":11}"#,
+                "must be in [0, 10]",
+            ),
+            (
+                r#"{"scheduler":"async","speed_skew":-0.5}"#,
+                "must be in [0, 10]",
+            ),
+        ] {
+            let err = ScenarioSpec::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{body}: error {err:?} should mention {needle:?}"
+            );
+        }
     }
 
     #[test]

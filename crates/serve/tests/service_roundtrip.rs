@@ -124,6 +124,86 @@ fn mega_batch_endpoint_is_bit_identical_to_run_and_in_process() {
 }
 
 #[test]
+fn async_scenarios_are_served_bit_identically() {
+    let server = test_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    // Full knob soup: event-heap scheduler, non-rigid motion, skewed
+    // speeds — served bytes must still equal the in-process run.
+    let spec = ScenarioSpec {
+        scheduler: "async",
+        rigid: false,
+        speed_skew: 0.5,
+        seed: 31,
+        faults: 2,
+        max_rounds: 20_000,
+        ..ScenarioSpec::default()
+    };
+    let expected = local_jsonl(&spec);
+    assert!(
+        expected.contains("\"async_events\":"),
+        "async run must report its event count"
+    );
+    let response = client.post_run(&spec.to_json()).expect("POST /run");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(response.body, expected.as_bytes());
+    // Repeatable across requests (and through the result cache).
+    let again = client.post_run(&spec.to_json()).expect("second POST /run");
+    assert_eq!(again.body, response.body);
+    // The metrics exposition now carries the event-heap counter.
+    let metrics = client.get("/v1/metrics").expect("GET /v1/metrics");
+    let text = metrics.text();
+    let events: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("gather_sim_async_events_total "))
+        .expect("gather_sim_async_events_total exposed")
+        .parse()
+        .expect("counter is an integer");
+    assert!(events > 0, "async events counter must accumulate:\n{text}");
+    server.shutdown();
+}
+
+#[test]
+fn async_traces_round_trip_over_the_wire() {
+    let server = test_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let spec = ScenarioSpec {
+        scheduler: "async",
+        seed: 5,
+        max_rounds: 10_000,
+        ..ScenarioSpec::default()
+    };
+    let (_, expected) = spec.to_scenario().expect("valid spec").run_traced();
+    let response = client
+        .get_trace("scheduler=async&seed=5&max_rounds=10000")
+        .expect("GET /v1/trace");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(response.body, expected.as_bytes());
+    server.shutdown();
+}
+
+#[test]
+fn invalid_async_combos_get_structured_400s() {
+    let server = test_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    for body in [
+        r#"{"scheduler":"full","rigidity":"non-rigid"}"#,
+        r#"{"speed_skew":1.5}"#,
+        r#"{"scheduler":"async","rigidity":"bendy"}"#,
+        r#"{"scheduler":"async","speed_skew":99}"#,
+    ] {
+        let response = client.post_run(body).expect("POST /run");
+        assert_eq!(response.status, 400, "{body}: {}", response.text());
+        let text = response.text();
+        assert!(
+            text.contains("\"code\":\"bad_spec\"")
+                || text.contains("\"code\":\"malformed_request\""),
+            "{body}: error must be structured JSON, got {text}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
 fn workload_families_are_served_identically_too() {
     let server = test_server();
     let mut client = Client::connect(&server.addr()).expect("connect");

@@ -722,6 +722,15 @@ impl EngineBuilder {
     /// A positive delay approximates the ASYNC model's central hazard:
     /// robots move based on **stale** observations. The paper's proofs do
     /// not cover this regime; experiment F6 charts it.
+    ///
+    /// **Deprecation note:** this knob predates the event-heap
+    /// [`crate::async_engine::AsyncEngine`], which models staleness
+    /// properly — a robot computes on the exact configuration it looked
+    /// at, with the gap between LOOK and MOVE emerging from per-robot
+    /// phase timing rather than a fixed round lag (see DESIGN.md §17's
+    /// model table). `look_delay` keeps working for F6 reproducibility,
+    /// but new staleness experiments should use `AsyncEngine` with
+    /// [`crate::async_engine::Timing::Phased`].
     pub fn look_delay(mut self, delay: u64) -> Self {
         self.look_delay = delay;
         self

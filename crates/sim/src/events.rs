@@ -1,0 +1,282 @@
+//! The ASYNC engine's event heap: per-robot Look/Compute/Move completions
+//! ordered by simulated time.
+//!
+//! A binary min-heap keyed by `(time, seq)`: `time` is the simulated
+//! timestamp (compared with `f64::total_cmp`, so the ordering is total and
+//! deterministic even for pathological floats) and `seq` is a monotonically
+//! increasing insertion counter that breaks ties. Equal-time events
+//! therefore pop in exactly the order they were scheduled — the property
+//! the [`AsyncEngine`](crate::async_engine::AsyncEngine) leans on for
+//! reproducible executions and for the FSYNC degeneracy identity (all
+//! robots Looking at the same instant form one deterministic batch).
+//!
+//! [`EventHeap::pop_batch`] drains *every* event sharing the minimum
+//! timestamp in one call; the engine treats such a batch as one tick, so
+//! simultaneous events see the same pre-tick configuration.
+
+/// What a scheduled event makes a robot do when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The robot takes an instantaneous snapshot of the configuration and
+    /// begins computing (or, under atomic timing, performs a whole
+    /// Look–Compute–Move cycle at once).
+    Look,
+    /// The robot finishes computing on the snapshot it Looked at and
+    /// starts moving. `gen` is the robot's generation counter at schedule
+    /// time; a crash (or any other cancellation) bumps the counter, which
+    /// tombstones the event without heap surgery.
+    ComputeDone {
+        /// Generation guard (see [`EventKind::ComputeDone`]).
+        gen: u64,
+    },
+    /// The robot arrives at its destination. Generation-guarded like
+    /// `ComputeDone`: a non-rigid interruption or a crash invalidates the
+    /// pending arrival.
+    MoveDone {
+        /// Generation guard.
+        gen: u64,
+    },
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated firing time.
+    pub time: f64,
+    /// Insertion sequence number; the deterministic tie-break.
+    pub seq: u64,
+    /// The robot the event belongs to.
+    pub robot: usize,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Heap ordering key: earliest time first, then insertion order.
+    fn before(&self, other: &Event) -> bool {
+        match self.time.total_cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
+    }
+}
+
+/// A binary min-heap of [`Event`]s with deterministic total order.
+///
+/// `std::collections::BinaryHeap` is not used because its ordering
+/// contract needs `Ord` (awkward for `f64` times) and because the batch
+/// pop below wants cheap peeking; a hand-rolled sift-up/sift-down over a
+/// `Vec` is ~30 lines and keeps the comparison in one place.
+#[derive(Debug, Default)]
+pub struct EventHeap {
+    items: Vec<Event>,
+    next_seq: u64,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        EventHeap::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Schedules `kind` for `robot` at simulated `time`, assigning the next
+    /// sequence number (so equal-time events fire in schedule order).
+    pub fn push(&mut self, time: f64, robot: usize, kind: EventKind) {
+        debug_assert!(!time.is_nan(), "event time must not be NaN");
+        let event = Event {
+            time,
+            seq: self.next_seq,
+            robot,
+            kind,
+        };
+        self.next_seq += 1;
+        self.items.push(event);
+        self.sift_up(self.items.len() - 1);
+    }
+
+    /// The earliest pending event, if any.
+    pub fn peek(&self) -> Option<&Event> {
+        self.items.first()
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let event = self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        event
+    }
+
+    /// Drains every event sharing the minimum timestamp into `batch`
+    /// (cleared first), in sequence order, and returns that timestamp.
+    /// Returns `None` when the heap is empty.
+    ///
+    /// Events scheduled *during* the processing of a batch at the very same
+    /// timestamp are not part of it — they form the next batch (at the same
+    /// time value), preserving the rule that a batch observes one coherent
+    /// pre-batch state.
+    pub fn pop_batch(&mut self, batch: &mut Vec<Event>) -> Option<f64> {
+        batch.clear();
+        let time = self.peek()?.time;
+        while let Some(head) = self.peek() {
+            if head.time.total_cmp(&time) != std::cmp::Ordering::Equal {
+                break;
+            }
+            batch.push(self.pop().expect("peeked event"));
+        }
+        // The pops above surface equal-time events in heap order, which for
+        // equal keys is not insertion order; one sort restores the
+        // deterministic schedule order. Batches are tiny (usually 1..=n).
+        batch.sort_unstable_by_key(|e| e.seq);
+        Some(time)
+    }
+
+    /// Removes all pending events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].before(&self.items[parent]) {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.items.len();
+        loop {
+            let left = 2 * i + 1;
+            let right = left + 1;
+            let mut smallest = i;
+            if left < len && self.items[left].before(&self.items[smallest]) {
+                smallest = left;
+            }
+            if right < len && self.items[right].before(&self.items[smallest]) {
+                smallest = right;
+            }
+            if smallest == i {
+                break;
+            }
+            self.items.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(3.0, 0, EventKind::Look);
+        h.push(1.0, 1, EventKind::Look);
+        h.push(2.0, 2, EventKind::Look);
+        let times: Vec<f64> = std::iter::from_fn(|| h.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order() {
+        let mut h = EventHeap::new();
+        for robot in 0..16 {
+            h.push(1.0, robot, EventKind::Look);
+        }
+        h.push(0.5, 99, EventKind::MoveDone { gen: 0 });
+        let mut batch = Vec::new();
+        assert_eq!(h.pop_batch(&mut batch), Some(0.5));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].robot, 99);
+        assert_eq!(h.pop_batch(&mut batch), Some(1.0));
+        let robots: Vec<usize> = batch.iter().map(|e| e.robot).collect();
+        assert_eq!(robots, (0..16).collect::<Vec<_>>());
+        assert_eq!(h.pop_batch(&mut batch), None);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn batch_excludes_events_scheduled_mid_batch() {
+        let mut h = EventHeap::new();
+        h.push(1.0, 0, EventKind::Look);
+        let mut batch = Vec::new();
+        h.pop_batch(&mut batch);
+        assert_eq!(batch.len(), 1);
+        // Scheduling at the same instant during processing starts a NEW
+        // batch at the same time value.
+        h.push(1.0, 0, EventKind::ComputeDone { gen: 0 });
+        assert_eq!(h.pop_batch(&mut batch), Some(1.0));
+        assert_eq!(batch[0].kind, EventKind::ComputeDone { gen: 0 });
+    }
+
+    #[test]
+    fn interleaved_pushes_and_pops_stay_sorted() {
+        let mut h = EventHeap::new();
+        let mut rng = gather_prng::Rng::seed_from_u64(7);
+        let mut popped = Vec::new();
+        for round in 0..200u64 {
+            h.push(rng.next_f64() * 10.0, round as usize, EventKind::Look);
+            if round % 3 == 0 {
+                if let Some(e) = h.pop() {
+                    popped.push(e);
+                }
+            }
+        }
+        while let Some(e) = h.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped.len(), 200);
+        // Within each drain segment times are non-decreasing; the full
+        // sequence re-sorted must equal itself sorted stably by (time, seq).
+        let mut sorted = popped.clone();
+        sorted.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        let mut resorted = popped.clone();
+        resorted.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        assert_eq!(sorted, resorted);
+        // And a pure drain is globally sorted.
+        let mut h2 = EventHeap::new();
+        for (i, e) in popped.iter().enumerate() {
+            h2.push(e.time, i, EventKind::Look);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(e) = h2.pop() {
+            assert!(e.time >= last);
+            last = e.time;
+        }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_sequencing_monotonic() {
+        let mut h = EventHeap::new();
+        h.push(1.0, 0, EventKind::Look);
+        let seq_before = h.peek().expect("pushed").seq;
+        h.clear();
+        assert!(h.is_empty());
+        h.push(1.0, 1, EventKind::Look);
+        assert!(h.peek().expect("pushed").seq > seq_before);
+    }
+}

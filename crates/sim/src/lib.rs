@@ -23,6 +23,13 @@
 //! invariant monitors (wait-freeness per Lemma 5.1, never-entering the
 //! bivalent class, scheduler fairness).
 //!
+//! Beyond the paper's model, [`async_engine`] provides a true event-driven
+//! ASYNC/LCM executor over the same `StepCore` stages: per-robot
+//! Look/Compute/Move events on a binary heap ([`events`]), exponential
+//! inter-activation pacing, per-robot speeds, non-rigid interruptible
+//! moves, and stale-snapshot Computes — degenerating bit-identically to
+//! the round engine under atomic/lockstep settings.
+//!
 //! # Example
 //!
 //! ```
@@ -49,10 +56,12 @@
 //! ```
 
 pub mod algorithm;
+pub mod async_engine;
 pub mod batch;
 pub mod byzantine;
 pub mod crash;
 pub mod engine;
+pub mod events;
 pub mod frames;
 pub mod metrics;
 pub mod motion;
@@ -101,10 +110,12 @@ pub use trace::{RoundRecord, Trace};
 /// [`FramePolicy`]: crate::frames::FramePolicy
 pub mod prelude {
     pub use crate::algorithm::Algorithm;
+    pub use crate::async_engine::{AsyncEngine, AsyncEngineBuilder, Pacing, Rigidity, Timing};
     pub use crate::batch::{BatchEngine, LaneResult, LaneSpec};
     pub use crate::byzantine::{ByzantinePolicy, Fugitive, StackStalker, Statue, Wanderer};
     pub use crate::crash::{CrashAtRounds, CrashPlan, NoCrashes, RandomCrashes, TargetedCrashes};
     pub use crate::engine::{Engine, EngineBuilder, EngineParts, RunOutcome};
+    pub use crate::events::{Event, EventHeap, EventKind};
     pub use crate::frames::FramePolicy;
     pub use crate::metrics::{summarize, CacheStats, RunMetrics};
     pub use crate::motion::{

@@ -47,6 +47,14 @@ pub struct RunMetrics {
     /// `None`). Like `phase_ns`, the column is serialized only when
     /// present, so pre-existing rows keep their exact byte format.
     pub analysis_cache: Option<CacheStats>,
+    /// Total heap events processed, when the run executed on the
+    /// event-driven [`AsyncEngine`] (stale tombstones included — the
+    /// ASYNC analogue of "scheduler work done"); `None` for round-based
+    /// runs, and serialized only when present like the other optional
+    /// trailing columns.
+    ///
+    /// [`AsyncEngine`]: crate::async_engine::AsyncEngine
+    pub async_events: Option<u64>,
     /// Accumulated per-phase wall-clock nanoseconds, when the run's engine
     /// carried an *enabled* observability handle (`Engine::phase_nanos`);
     /// `None` for untimed runs. Serialized only when present, so untimed
@@ -83,6 +91,7 @@ pub fn summarize(outcome: RunOutcome, trace: &Trace) -> RunMetrics {
         cache_hits: trace.total_cache_hits(),
         weiszfeld_iters: trace.total_weiszfeld_iters(),
         analysis_cache: None,
+        async_events: None,
         phase_ns: None,
     }
 }
@@ -219,6 +228,11 @@ impl RunMetrics {
             )
             .expect("write to String");
         }
+        // Optional ASYNC-engine column: present only when the run executed
+        // on the event heap.
+        if let Some(events) = self.async_events {
+            write!(s, ",\"async_events\":{events}").expect("write to String");
+        }
         // Optional phase-timing column: present only for instrumented runs
         // (non-deterministic wall-clock data never enters the byte-exact
         // default format).
@@ -301,6 +315,12 @@ impl RunMetrics {
         } else {
             None
         };
+        let async_events = if c.s[c.i..].starts_with(",\"async_events\":") {
+            c.eat(",\"async_events\":")?;
+            Some(c.u64()?)
+        } else {
+            None
+        };
         let phase_ns = if c.peek() == Some(',') {
             c.eat(",\"phase_ns\":{")?;
             let mut nanos = PhaseNanos::default();
@@ -331,6 +351,7 @@ impl RunMetrics {
             cache_hits,
             weiszfeld_iters,
             analysis_cache,
+            async_events,
             phase_ns,
         })
     }
@@ -444,6 +465,7 @@ mod tests {
             cache_hits: 10,
             weiszfeld_iters: 33,
             analysis_cache: None,
+            async_events: None,
             phase_ns: None,
         }
     }
@@ -529,6 +551,35 @@ mod tests {
         let back = RunMetrics::from_jsonl(&both).expect("parse combined row");
         assert_eq!(back, m);
         assert_eq!(back.to_jsonl(), both);
+    }
+
+    #[test]
+    fn jsonl_round_trips_async_events_when_present() {
+        let mut m = sample_metrics();
+        m.async_events = Some(4242);
+        let line = m.to_jsonl();
+        assert!(line.ends_with(",\"async_events\":4242}"), "{line}");
+        let back = RunMetrics::from_jsonl(&line).expect("parse async row");
+        assert_eq!(back, m);
+        assert_eq!(back.to_jsonl(), line);
+        // All three optional columns together, in fixed order:
+        // analysis_cache, async_events, phase_ns.
+        m.analysis_cache = Some(CacheStats {
+            computed: 1,
+            hits: 2,
+            dirty_skips: 0,
+        });
+        let mut nanos = PhaseNanos::default();
+        nanos.add(Phase::Classify, 7);
+        m.phase_ns = Some(nanos);
+        let all = m.to_jsonl();
+        let cache_at = all.find("\"analysis_cache\"").unwrap();
+        let async_at = all.find("\"async_events\"").unwrap();
+        let phase_at = all.find("\"phase_ns\"").unwrap();
+        assert!(cache_at < async_at && async_at < phase_at, "{all}");
+        let back = RunMetrics::from_jsonl(&all).expect("parse full row");
+        assert_eq!(back, m);
+        assert_eq!(back.to_jsonl(), all);
     }
 
     #[test]

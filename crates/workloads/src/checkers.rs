@@ -1,0 +1,114 @@
+//! Invariant checkers for the related-work scenario families.
+//!
+//! Each family pairs a workload generator with a predicate the execution
+//! must (or measurably fails to) satisfy:
+//!
+//! * **Grid-constrained gathering** (Bose et al., arXiv:1709.00877) —
+//!   robots live on ℤ² and hop along the axes. The model invariant is
+//!   that every *resting* robot sits on a lattice point and every
+//!   completed hop is axis-aligned; [`grid_resting_violations`] and
+//!   [`axis_aligned`] audit exactly that. A robot mid-edge is legitimate
+//!   continuous motion (the engine materialises trajectories), so the
+//!   checker only judges robots the caller marks at rest.
+//! * **Stand-up indulgent gathering** (Bramas et al., arXiv:2302.03466) —
+//!   success is not "all live robots co-located" but "all live robots
+//!   co-located *at the crashed robot's position*": the swarm must stand
+//!   up where the casualty lies. [`standup_success`] evaluates that
+//!   strengthened predicate; the boundary experiments show the paper's
+//!   Weber-seeking algorithm gathers *away* from the casualty.
+
+use gather_geom::{Point, Tol};
+
+/// Indices of robots that are **at rest off the lattice** — the grid
+/// model's forbidden state. `at_rest[i]` is the caller's verdict on
+/// whether robot `i` is between activations (idle/computing/crashed)
+/// rather than mid-flight; the async engine's `at_rest` accessor supplies
+/// it directly, round-based engines pass all-true. Positions within
+/// `tol.snap` of a lattice point count as on it (canonicalisation snaps
+/// at that radius).
+pub fn grid_resting_violations(positions: &[Point], at_rest: &[bool], tol: Tol) -> Vec<usize> {
+    assert_eq!(positions.len(), at_rest.len());
+    positions
+        .iter()
+        .zip(at_rest)
+        .enumerate()
+        .filter(|(_, (p, rest))| {
+            **rest && {
+                let cell = Point::new(p.x.round(), p.y.round());
+                !p.within(cell, tol.snap)
+            }
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Is the segment `from → to` axis-aligned (one coordinate unchanged
+/// within `tol.snap`)? Zero-length segments are trivially axis-aligned.
+pub fn axis_aligned(from: Point, to: Point, tol: Tol) -> bool {
+    (from.x - to.x).abs() <= tol.snap || (from.y - to.y).abs() <= tol.snap
+}
+
+/// The stand-up indulgent success predicate: every **correct** robot is
+/// co-located with the crashed robot's resting position `crash_at`
+/// (within `tol.snap`). Plain gathering somewhere else — e.g. at the
+/// Weber point of the initial configuration — is a *failure* under this
+/// predicate even though the ordinary `GATHERED` check passes.
+pub fn standup_success(positions: &[Point], correct: &[bool], crash_at: Point, tol: Tol) -> bool {
+    assert_eq!(positions.len(), correct.len());
+    positions
+        .iter()
+        .zip(correct)
+        .filter(|(_, ok)| **ok)
+        .all(|(p, _)| p.within(crash_at, tol.snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resting_off_lattice_is_flagged() {
+        let tol = Tol::default();
+        let pts = [
+            Point::new(1.0, 2.0),  // on lattice, at rest — fine
+            Point::new(1.5, 2.0),  // mid-edge but flying — fine
+            Point::new(0.25, 0.0), // mid-edge AND at rest — violation
+        ];
+        let at_rest = [true, false, true];
+        assert_eq!(grid_resting_violations(&pts, &at_rest, tol), vec![2]);
+    }
+
+    #[test]
+    fn snap_radius_tolerates_canonicalisation_jitter() {
+        let tol = Tol::default();
+        let nearly = Point::new(3.0 + tol.snap * 0.5, -1.0);
+        assert!(grid_resting_violations(&[nearly], &[true], tol).is_empty());
+    }
+
+    #[test]
+    fn axis_alignment() {
+        let tol = Tol::default();
+        let o = Point::new(2.0, 2.0);
+        assert!(axis_aligned(o, Point::new(3.0, 2.0), tol));
+        assert!(axis_aligned(o, Point::new(2.0, -5.0), tol));
+        assert!(axis_aligned(o, o, tol));
+        assert!(!axis_aligned(o, Point::new(3.0, 3.0), tol));
+    }
+
+    #[test]
+    fn standup_requires_the_crash_site() {
+        let tol = Tol::default();
+        let crash_at = Point::new(1.0, 1.0);
+        let elsewhere = Point::new(4.0, 4.0);
+        // All correct robots at the casualty: success (the casualty's own
+        // entry is excused via correct=false).
+        let pts = [crash_at, crash_at, crash_at];
+        assert!(standup_success(&pts, &[false, true, true], crash_at, tol));
+        // Gathered, but not at the casualty: failure.
+        let pts = [crash_at, elsewhere, elsewhere];
+        assert!(!standup_success(&pts, &[false, true, true], crash_at, tol));
+        // One straggler: failure.
+        let pts = [crash_at, crash_at, elsewhere];
+        assert!(!standup_success(&pts, &[false, true, true], crash_at, tol));
+    }
+}

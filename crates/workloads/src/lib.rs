@@ -22,6 +22,8 @@ use gather_geom::{Point, Tol};
 use gather_prng::Rng;
 use std::f64::consts::TAU;
 
+pub mod checkers;
+
 /// A bivalent configuration: `n/2` robots on each of two points.
 ///
 /// # Panics
@@ -201,6 +203,37 @@ pub fn clusters(n: usize, k: usize, seed: u64) -> Vec<Point> {
     (0..n).map(|i| centers[i % k]).collect()
 }
 
+/// `n` robots on *distinct* integer-lattice points within
+/// `[-extent, extent]²` — the initial configurations of the
+/// grid-constrained gathering family (Bose et al., arXiv:1709.00877),
+/// where robots live on ℤ² and move in axis-aligned unit steps. Rejects
+/// symmetric accidents no more than the continuous scatter does; the grid
+/// family's invariant is the lattice itself, audited by
+/// [`checkers::grid_resting_violations`].
+///
+/// # Panics
+///
+/// Panics if the requested `n` exceeds the number of lattice points in the
+/// square (`(2·extent + 1)²`).
+pub fn lattice_scatter(n: usize, extent: i64, seed: u64) -> Vec<Point> {
+    let side = 2 * extent + 1;
+    assert!(
+        (n as i64) <= side * side,
+        "lattice_scatter: n = {n} robots cannot fit {side}×{side} cells"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut taken = std::collections::BTreeSet::new();
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x = rng.bounded_u64(side as u64) as i64 - extent;
+        let y = rng.bounded_u64(side as u64) as i64 - extent;
+        if taken.insert((x, y)) {
+            pts.push(Point::new(x as f64, y as f64));
+        }
+    }
+    pts
+}
+
 /// A `w × h` grid of robots with the given spacing (symmetric for square
 /// grids, class `QR`; a degenerate 1-row grid is collinear).
 pub fn grid(w: usize, h: usize, spacing: f64) -> Vec<Point> {
@@ -370,13 +403,14 @@ pub fn of_class(class: Class, n: usize, seed: u64) -> Vec<Point> {
 
 /// Workload family names accepted by [`by_name`], in documentation order.
 /// `"class"` additionally needs a [`Class`]; the rest ignore it.
-pub const WORKLOAD_NAMES: [&str; 6] = [
+pub const WORKLOAD_NAMES: [&str; 7] = [
     "class",
     "scatter",
     "clusters",
     "co-circular",
     "near-bivalent",
     "axial",
+    "lattice",
 ];
 
 /// Name-indexed workload construction — the spec→configuration mapping
@@ -418,6 +452,12 @@ pub fn by_name(
         "co-circular" => Ok(co_circular(n, 5.0, seed)),
         "near-bivalent" => Ok(near_bivalent(n, 6.0)),
         "axial" => Ok(axially_symmetric(n / 2, n % 2, seed)),
+        "lattice" => {
+            // Extent scales with n so density stays moderate; 10 matches
+            // the continuous scatter's span for the common sizes.
+            let extent = 10.max((n as f64).sqrt().ceil() as i64);
+            Ok(lattice_scatter(n, extent, seed))
+        }
         other => Err(format!(
             "unknown workload {other:?}; known: {}",
             WORKLOAD_NAMES.join(", ")
@@ -645,6 +685,27 @@ mod tests {
         assert!(by_name("class", Some(Class::Bivalent), 7, 0)
             .unwrap_err()
             .contains("even"));
+    }
+
+    #[test]
+    fn lattice_scatter_is_distinct_integer_points() {
+        let pts = lattice_scatter(40, 10, 5);
+        assert_eq!(pts.len(), 40);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.x, p.x.round(), "{p} off-lattice");
+            assert_eq!(p.y, p.y.round(), "{p} off-lattice");
+            assert!(p.x.abs() <= 10.0 && p.y.abs() <= 10.0, "{p} out of extent");
+            for q in &pts[..i] {
+                assert!(p.dist(*q) >= 1.0, "duplicate lattice cell");
+            }
+        }
+        assert_eq!(lattice_scatter(40, 10, 5), pts, "deterministic in seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn lattice_scatter_rejects_overfull_grids() {
+        let _ = lattice_scatter(10, 1, 0);
     }
 
     #[test]

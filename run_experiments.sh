@@ -51,10 +51,12 @@ else
   done
 fi
 
-# The service load bench, the observability-overhead bench and the
-# mega-sweep bench run last and always in quick mode: the committed
-# BENCH_b8_service.json / BENCH_b9_obs.json / BENCH_b10_sweep.json records
-# and the results/sweep_phase.* phase diagram are regenerated deliberately
+# The service load bench, the observability-overhead bench, the
+# mega-sweep bench, the ASYNC event-heap bench and the ASYNC boundary
+# mapper run last and always in quick mode: the committed
+# BENCH_b8_service.json / BENCH_b9_obs.json / BENCH_b10_sweep.json /
+# BENCH_b12_async.json records and the committed results/sweep_phase.* and
+# results/{grid,standup}_boundary.* figures are regenerated deliberately
 # (full run, by hand), not as a side effect of refreshing the result
 # tables. b8's quick mode covers the full new surface — cold open-loop
 # sweep, cache-hit closed-loop sweep and the /v1/batch amortisation
@@ -62,4 +64,6 @@ fi
 run_one b8_service --quick "$@"
 run_one b9_obs --quick "$@"
 run_one b10_sweep --quick "$@"
+run_one b12_async --quick "$@"
 run_one sweep --quick "$@"
+run_one f7_boundary --quick "$@"

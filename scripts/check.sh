@@ -83,6 +83,18 @@ echo "== largen-smoke (B11 incremental vs full recompute) =="
 cargo run --release --offline -p gather-bench \
   --bin b11_largen -- --quick --baseline BENCH_b11_largen.json \
   --out "$smoke_out"
+
+echo "== async-smoke (B12 event-heap engine vs committed baseline) =="
+# Quick B12 run: the event-heap ASYNC engine. Always fails if the
+# degenerate corner (atomic cycles, lockstep pacing, rigid motion) is not
+# bit-identical to the FSYNC round engine for every configuration class,
+# or if a same-seed phased/non-rigid/skewed run is not byte-reproducible
+# — both gates are machine-independent. The absolute events/s regression
+# check against the committed record auto-skips with a recorded reason on
+# machines with < 2 cores (the B7 convention).
+cargo run --release --offline -p gather-bench \
+  --bin b12_async -- --quick --baseline BENCH_b12_async.json \
+  --out "$smoke_out"
 rm -rf "$smoke_out"
 
 echo "== service-smoke (gather-serve over TCP) =="
