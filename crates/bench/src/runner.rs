@@ -140,13 +140,58 @@ impl Scenario {
         (metrics, engine.trace().to_jsonl())
     }
 
+    /// Runs like [`Scenario::run_traced`] but with the engine's position
+    /// log enabled, returning the metrics, the per-round NDJSON trace and
+    /// `log[r][i]` — robot `i`'s position after round `r` (`log[0]` is
+    /// the initial configuration). This is the replay entry point: the
+    /// trace-corpus tools re-simulate a captured spec + seed through it,
+    /// cross-check the regenerated trace against the corpus bytes, and
+    /// only then render frames — positions are never trusted from a
+    /// side channel the trace cannot verify.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `"async"` scenarios: the event-heap engine advances in
+    /// event time and keeps no per-round position rows to replay.
+    pub fn run_traced_positions(&self) -> Result<(RunMetrics, String, Vec<Vec<Point>>), String> {
+        if self.is_async() {
+            return Err(
+                "replay requires a round-based scenario: the async engine keeps no \
+                 per-round position log"
+                    .to_string(),
+            );
+        }
+        let mut engine = self.build_logged_engine(EngineParts::default());
+        let metrics = self.complete(&mut engine);
+        let trace = engine.trace().to_jsonl();
+        Ok((metrics, trace, engine.position_log().to_vec()))
+    }
+
+    /// [`Scenario::build_engine`] with the position log switched on —
+    /// recording is observation-only, so the run is bit-identical to an
+    /// unlogged one (the replay cross-check above depends on it).
+    fn build_logged_engine(&self, parts: EngineParts) -> Engine {
+        self.engine_builder(parts).record_positions(true).build()
+    }
+
     /// Builds the engine for this scenario. All `run*` entry points funnel
     /// through here so instrumented and traced runs are configured
     /// identically to plain ones.
     fn build_engine(&self, parts: EngineParts, obs: Option<EngineObs>) -> Engine {
+        let mut builder = self.engine_builder(parts);
+        if let Some(obs) = obs {
+            builder = builder.observe(obs);
+        }
+        builder.build()
+    }
+
+    /// The shared builder behind every sync entry point: one place owns the
+    /// factory wiring and seed layout, so logged/observed/traced runs can
+    /// only differ by the flags they flip on top.
+    fn engine_builder(&self, parts: EngineParts) -> EngineBuilder {
         let n = self.initial.len();
         let wait_free = self.algorithm == "wait-free-gather" && self.audit;
-        let mut builder = Engine::builder(self.initial.clone())
+        Engine::builder(self.initial.clone())
             .algorithm(factory::algorithm(self.algorithm))
             .scheduler(factory::scheduler(self.scheduler, n, self.seed))
             .motion(factory::motion(self.motion, self.seed.wrapping_add(1)))
@@ -160,11 +205,7 @@ impl Scenario {
             // Invariant monitors are part of the experiment only for the
             // wait-free algorithm; baselines violate them by design.
             .check_invariants(wait_free)
-            .recycle(parts);
-        if let Some(obs) = obs {
-            builder = builder.observe(obs);
-        }
-        builder.build()
+            .recycle(parts)
     }
 
     /// Frame policy shared by both engines: random per-activation frames,
@@ -345,6 +386,31 @@ mod tests {
         let s = Scenario::new(workloads::random_scatter(5, 5.0, 3), 3);
         let m = s.run();
         assert!(m.gathered);
+    }
+
+    #[test]
+    fn position_logged_run_is_bit_identical_to_the_traced_run() {
+        let mut s = Scenario::new(workloads::random_scatter(6, 5.0, 9), 9);
+        s.faults = 1;
+        s.max_rounds = 2_000;
+        let (plain_metrics, plain_trace) = s.run_traced();
+        let (metrics, trace, log) = s.run_traced_positions().expect("sync scenario");
+        assert_eq!(metrics, plain_metrics, "logging must not perturb the run");
+        assert_eq!(trace, plain_trace);
+        assert_eq!(
+            log.len() as u64,
+            metrics.rounds + 1,
+            "log[0] is the initial configuration, one row per round after"
+        );
+        assert!(log.iter().all(|row| row.len() == 6));
+
+        let mut a = s.clone();
+        a.scheduler = "async";
+        a.audit = false;
+        assert!(
+            a.run_traced_positions().is_err(),
+            "the event-heap engine has no per-round position log"
+        );
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub fn lane_spec(s: &Scenario) -> LaneSpec {
         warm_start: true,
         incremental: false,
         max_rounds: s.max_rounds,
+        // Sweeps read summaries only; full per-round traces stay off the
+        // hot path (trace consumers go through `Scenario::run_traced`).
+        traced: false,
     }
 }
 

@@ -343,8 +343,13 @@ fn smoke() {
         "served bytes must match the in-process run"
     );
 
-    // The streamed trace must be the in-process trace, byte for byte.
-    let traced = spec.to_scenario().expect("spec").run_traced().1;
+    // The streamed document must be the spec's trace/v2 header plus the
+    // in-process trace, byte for byte — via both wire forms.
+    let traced = format!(
+        "{}{}",
+        spec.trace_header(),
+        spec.to_scenario().expect("spec").run_traced().1
+    );
     let trace = client
         .get_trace("seed=3&max_rounds=2000")
         .expect("GET /v1/trace");
@@ -353,6 +358,17 @@ fn smoke() {
         trace.body,
         traced.as_bytes(),
         "streamed trace must match the in-process trace"
+    );
+    assert_eq!(
+        trace.header("deprecation"),
+        Some("true"),
+        "query-param traces are deprecated"
+    );
+    let posted = client.post_trace(&spec.to_json()).expect("POST /v1/trace");
+    assert_eq!(posted.status, 200, "trace: {}", posted.text());
+    assert_eq!(
+        posted.body, trace.body,
+        "POST /v1/trace must serve the same bytes as the deprecated GET"
     );
 
     // A two-scenario mega-batch exercises the worker pool and the
@@ -391,16 +407,18 @@ fn smoke() {
     );
 
     // The scrape must reflect the requests on the same keep-alive
-    // connection: run + trace + batch admitted (the batch's seed-3
+    // connection: run + GET trace + batch admitted (the batch's seed-3
     // scenario is served from cache inside the batch, which still
-    // admits because seed 4 is a miss), all completed, 3 scenarios
-    // executed in total (run + trace + the batch's one miss).
+    // admits because seed 4 is a miss; the POST trace is an all-hit
+    // answered at admission, so it completes without being accepted),
+    // 4 completed, 3 scenarios executed in total (run + trace + the
+    // batch's one miss).
     let metrics = client.get("/v1/metrics").expect("GET /v1/metrics");
     assert_eq!(metrics.status, 200);
     let text = metrics.text();
     for needle in [
         "gather_requests_accepted_total 3\n",
-        "gather_requests_completed_total 3\n",
+        "gather_requests_completed_total 4\n",
         "gather_requests_rejected_malformed_total 1\n",
         "gather_scenarios_run_total 3\n",
         "gather_queue_capacity 4\n",

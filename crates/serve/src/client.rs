@@ -103,9 +103,24 @@ impl Client {
         self.request("POST", "/v1/batch", json_body.as_bytes())
     }
 
+    /// Convenience: `POST /v1/trace` with a JSON `ScenarioSpec` body (the
+    /// same body shape as `/v1/run`). The chunked trace/v2 document —
+    /// header line plus NDJSON round lines — arrives fully decoded in
+    /// [`ClientResponse::body`], byte-identical to the deprecated
+    /// [`get_trace`](Client::get_trace) form of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`request`](Client::request).
+    pub fn post_trace(&mut self, json_body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", "/v1/trace", json_body.as_bytes())
+    }
+
     /// Convenience: `GET /v1/trace` with query-string spec parameters
-    /// (e.g. `n=8&seed=1`). The chunked NDJSON response arrives fully
-    /// decoded in [`ClientResponse::body`].
+    /// (e.g. `n=8&seed=1`) — the *deprecated* trace encoding (responses
+    /// carry a `Deprecation` header; prefer
+    /// [`post_trace`](Client::post_trace)). The chunked response arrives
+    /// fully decoded in [`ClientResponse::body`].
     ///
     /// # Errors
     ///

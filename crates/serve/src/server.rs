@@ -64,9 +64,9 @@ use std::time::{Duration, Instant};
 pub(crate) const IDLE_POLL: Duration = Duration::from_millis(100);
 /// Pause between accept attempts on the non-blocking listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Round-budget ceiling for `GET /v1/trace` — every round becomes one
-/// response line, so traced runs get a tighter cap than `/v1/run`'s
-/// [`crate::spec::MAX_ROUNDS`].
+/// Round-budget ceiling for `/v1/trace` (both wire forms) — every round
+/// becomes one response line, so traced runs get a tighter cap than
+/// `/v1/run`'s [`crate::spec::MAX_ROUNDS`].
 pub const TRACE_MAX_ROUNDS: u64 = 100_000;
 
 /// Server tuning knobs.
@@ -157,9 +157,16 @@ pub(crate) enum Work {
     /// cache hits and fresh runs in request order. `batch` routes the
     /// misses through the columnar `BatchEngine` lanes (`/v1/batch`).
     Run { slots: Vec<RunSlot>, batch: bool },
-    /// `GET /v1/trace`: one scenario, answered with its full per-round
-    /// NDJSON trace (cached whole under `key`).
-    Trace { key: u64, scenario: Box<Scenario> },
+    /// `/v1/trace` (JSON `POST`, or the deprecated query-param `GET`):
+    /// one scenario, answered with a trace/v2 document — the spec's
+    /// header line followed by its full per-round NDJSON trace — cached
+    /// whole under `key`.
+    Trace {
+        key: u64,
+        scenario: Box<Scenario>,
+        /// The pre-rendered trace/v2 header line (newline included).
+        header: String,
+    },
 }
 
 /// One admitted request.
@@ -504,14 +511,22 @@ fn execute(inner: &Inner, work: Work) -> Body {
             }
             stitch(parts)
         }
-        Work::Trace { key, scenario } => {
-            // Inline like single-scenario runs; the body is
-            // `Trace::to_jsonl` verbatim — the bit-identity contract
-            // extends to streamed traces (DESIGN.md §11) and therefore to
-            // their cached copies.
+        Work::Trace {
+            key,
+            scenario,
+            header,
+        } => {
+            // Inline like single-scenario runs; the round lines are
+            // `Trace::to_jsonl` verbatim after the spec's trace/v2 header
+            // — the bit-identity contract extends to streamed traces
+            // (DESIGN.md §11) and therefore to their cached copies, and
+            // both wire forms share this one execution path so their
+            // documents cannot diverge.
             let (metrics, jsonl) = scenario.run_traced();
             inner.metrics.record_run(&metrics);
-            let body = Arc::new(jsonl.into_bytes());
+            let mut document = header;
+            document.push_str(&jsonl);
+            let body = Arc::new(document.into_bytes());
             inner.cache.insert(key, Arc::clone(&body));
             Body::Shared(body)
         }
@@ -773,11 +788,12 @@ pub(crate) fn route(inner: &Inner, request: &Request, replier: Replier) -> Route
         }
         ("POST", "/run") => run_route(inner, request, replier, legacy, false),
         ("POST", "/batch") if !legacy => crate::batch_api::batch_route(inner, request, replier),
-        ("GET", "/trace") if !legacy => trace_route(inner, request, replier),
+        ("GET" | "POST", "/trace") if !legacy => trace_route(inner, request, replier),
         (_, "/trace") if !legacy => Routed::Now(Response::error(
             405,
             "method_not_allowed",
-            "method not allowed (traces come from GET /v1/trace)",
+            "method not allowed (traces come from POST /v1/trace; the \
+             query-param GET form is deprecated)",
         )),
         (_, "/batch") if !legacy => Routed::Now(Response::error(
             405,
@@ -792,7 +808,7 @@ pub(crate) fn route(inner: &Inner, request: &Request, replier: Replier) -> Route
         _ => Routed::Now(Response::error(
             404,
             "not_found",
-            "unknown path; try POST /v1/run, POST /v1/batch, GET /v1/trace, \
+            "unknown path; try POST /v1/run, POST /v1/batch, POST /v1/trace, \
              GET /v1/metrics, GET /v1/healthz",
         )),
     };
@@ -915,6 +931,12 @@ fn stitch_hits(mut slots: Vec<RunSlot>) -> Body {
     Body::Owned(body)
 }
 
+/// Shared `/v1/trace` admission for both wire forms. `POST` carries the
+/// same JSON `ScenarioSpec` body as `/v1/run` (one `from_json`
+/// validator); the query-param `GET` encoding predates it and is
+/// deprecated — it routes through this same handler (and the same cache
+/// key, so the two forms are byte-identical by construction) but every
+/// answer carries a `Deprecation` header.
 fn trace_route(inner: &Inner, request: &Request, replier: Replier) -> Routed {
     let started = Instant::now();
     if inner.is_shutting_down() {
@@ -935,7 +957,18 @@ fn trace_route(inner: &Inner, request: &Request, replier: Replier) -> Routed {
             .fetch_add(1, Ordering::Relaxed);
         Routed::Now(Response::error(400, "bad_spec", msg))
     };
-    let spec = match ScenarioSpec::from_query(&request.query) {
+    let deprecated = request.method == "GET";
+    let parsed = if deprecated {
+        ScenarioSpec::from_query(&request.query)
+    } else {
+        match std::str::from_utf8(&request.body) {
+            Ok(body) => crate::json::Json::parse(body)
+                .map_err(|e| format!("invalid JSON: {e}"))
+                .and_then(|v| ScenarioSpec::from_json(&v)),
+            Err(_) => Err("body is not UTF-8".to_string()),
+        }
+    };
+    let spec = match parsed {
         Ok(spec) => spec,
         Err(e) => return reject(&e),
     };
@@ -955,20 +988,26 @@ fn trace_route(inner: &Inner, request: &Request, replier: Replier) -> Routed {
         response.chunked = true;
         response.cache = Some("hit");
         response.age = Some(hit.age_secs);
+        response.deprecation = deprecated;
         return Routed::Now(response);
     }
     let scenario = match spec.to_scenario() {
         Ok(scenario) => Box::new(scenario),
         Err(e) => return reject(&e),
     };
+    let header = spec.trace_header();
     inner.metrics.phases.parse.record(elapsed_ns(started));
     admit(
         inner,
-        Work::Trace { key, scenario },
+        Work::Trace {
+            key,
+            scenario,
+            header,
+        },
         inner.config.default_deadline_ms,
         Pending {
             chunked: true,
-            deprecation: false,
+            deprecation: deprecated,
             cache_tag: (!inner.cache.disabled()).then_some("miss"),
             started,
         },

@@ -367,6 +367,23 @@ impl ScenarioSpec {
         out
     }
 
+    /// The trace/v2 document header line for this spec's traced run
+    /// (newline included, so the v1 round lines concatenate directly):
+    /// the pinned schema tag, the canonical spec JSON, the seed and the
+    /// producing engine. Both `/v1/trace` wire forms (JSON `POST` and the
+    /// deprecated query-param `GET`) emit exactly this header, which is
+    /// what lets a captured corpus name the execution it came from.
+    pub fn trace_header(&self) -> String {
+        let engine = if self.scheduler == "async" {
+            "async"
+        } else {
+            "sync"
+        };
+        let mut header = gather_sim::trace::v2_header(&self.to_json(), self.seed, engine);
+        header.push('\n');
+        header
+    }
+
     /// The spec as its canonical JSON object (inverse of
     /// [`ScenarioSpec::from_json`]; used by the load generator to build
     /// request bodies).
@@ -681,6 +698,25 @@ mod tests {
         assert!(RunRequest::parse(r#"{"scenarios":{}}"#, 4)
             .unwrap_err()
             .contains("array"));
+    }
+
+    #[test]
+    fn trace_header_names_spec_seed_and_engine() {
+        let spec = ScenarioSpec {
+            seed: 42,
+            ..ScenarioSpec::default()
+        };
+        let header = spec.trace_header();
+        assert!(header.starts_with("{\"schema\":\"trace/v2\",\"spec\":"));
+        assert!(header.contains(&format!("\"spec\":{}", spec.to_json())));
+        assert!(header.ends_with(",\"seed\":42,\"engine\":\"sync\"}\n"));
+        let async_spec = ScenarioSpec {
+            scheduler: "async",
+            ..ScenarioSpec::default()
+        };
+        assert!(async_spec
+            .trace_header()
+            .ends_with("\"engine\":\"async\"}\n"));
     }
 
     #[test]

@@ -172,12 +172,21 @@ fn async_traces_round_trip_over_the_wire() {
         max_rounds: 10_000,
         ..ScenarioSpec::default()
     };
-    let (_, expected) = spec.to_scenario().expect("valid spec").run_traced();
+    let (_, rounds) = spec.to_scenario().expect("valid spec").run_traced();
+    let expected = format!("{}{rounds}", spec.trace_header());
     let response = client
         .get_trace("scheduler=async&seed=5&max_rounds=10000")
         .expect("GET /v1/trace");
     assert_eq!(response.status, 200, "{}", response.text());
     assert_eq!(response.body, expected.as_bytes());
+    assert!(
+        response.text().starts_with("{\"schema\":\"trace/v2\","),
+        "async documents carry the v2 header too"
+    );
+    assert!(
+        expected.contains("\"engine\":\"async\""),
+        "header names the event-heap engine"
+    );
     server.shutdown();
 }
 

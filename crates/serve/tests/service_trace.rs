@@ -1,7 +1,10 @@
-//! `GET /v1/trace` streaming contract: the chunked NDJSON body a client
-//! decodes is byte-identical to the in-process per-round trace of the
-//! same spec ([`Scenario::run_traced`]) — the bit-identity contract of
-//! DESIGN.md §11 extended from summaries to full traces.
+//! `/v1/trace` streaming contract: the chunked trace/v2 document a
+//! client decodes is the spec's header line followed by round lines
+//! byte-identical to the in-process per-round trace of the same spec
+//! ([`Scenario::run_traced`]) — the bit-identity contract of DESIGN.md
+//! §11 extended from summaries to full traces. Both wire forms (JSON
+//! `POST`, deprecated query-param `GET`) must produce byte-identical
+//! documents, and only the GET form may carry a `Deprecation` header.
 
 use gather_config::Class;
 use gather_serve::{Client, ScenarioSpec, ServeConfig, Server};
@@ -27,7 +30,8 @@ fn streamed_traces_are_byte_identical_to_in_process_runs() {
         (Class::Asymmetric, 8),
     ] {
         let spec = ScenarioSpec::from_query(&query(class, n, 7)).expect("query spec");
-        let (metrics, expected) = spec.to_scenario().expect("scenario").run_traced();
+        let (metrics, rounds_jsonl) = spec.to_scenario().expect("scenario").run_traced();
+        let expected = format!("{}{rounds_jsonl}", spec.trace_header());
 
         let response = client.get_trace(&query(class, n, 7)).unwrap();
         assert_eq!(response.status, 200, "{class:?}: {}", response.text());
@@ -42,14 +46,39 @@ fn streamed_traces_are_byte_identical_to_in_process_runs() {
             "{class:?}"
         );
         assert_eq!(
-            response.body,
-            expected.as_bytes(),
-            "{class:?}: streamed trace must match the in-process trace"
+            response.header("deprecation"),
+            Some("true"),
+            "{class:?}: the query-param GET form is deprecated"
         );
         assert_eq!(
-            response.text().lines().count() as u64,
-            metrics.rounds,
-            "{class:?}: one line per simulated round"
+            response.body,
+            expected.as_bytes(),
+            "{class:?}: streamed document must be the header plus the \
+             in-process trace"
+        );
+        let text = response.text();
+        assert!(
+            text.starts_with("{\"schema\":\"trace/v2\","),
+            "{class:?}: document leads with the v2 header: {text:?}"
+        );
+        assert_eq!(
+            text.lines().count() as u64,
+            metrics.rounds + 1,
+            "{class:?}: one line per simulated round plus the header"
+        );
+
+        // The JSON POST form: same validator, same cache key, same
+        // document bytes — and no deprecation marker.
+        let posted = client.post_trace(&spec.to_json()).unwrap();
+        assert_eq!(posted.status, 200, "{class:?}: {}", posted.text());
+        assert_eq!(
+            posted.body, response.body,
+            "{class:?}: POST and GET documents must be byte-identical"
+        );
+        assert_eq!(
+            posted.header("deprecation"),
+            None,
+            "{class:?}: the POST form is not deprecated"
         );
     }
     server.shutdown();
@@ -68,6 +97,17 @@ fn trace_requests_are_validated_and_counted() {
         bad.text()
     );
 
+    // POST shares the same validator and budget checks.
+    let bad_post = client.post_trace(r#"{"n":3}"#).unwrap();
+    assert_eq!(bad_post.status, 400, "{}", bad_post.text());
+    assert!(
+        bad_post.text().contains("\"code\":\"bad_spec\""),
+        "{}",
+        bad_post.text()
+    );
+    let bad_json = client.post_trace("not json").unwrap();
+    assert_eq!(bad_json.status, 400, "{}", bad_json.text());
+
     let over = client
         .get_trace(&format!(
             "n=8&max_rounds={}",
@@ -77,12 +117,12 @@ fn trace_requests_are_validated_and_counted() {
     assert_eq!(over.status, 400, "{}", over.text());
     assert!(over.text().contains("max_rounds"), "{}", over.text());
 
+    // Only GET and POST reach the trace handler.
     assert_eq!(
-        client.request("POST", "/v1/trace", b"{}").unwrap().status,
+        client.request("PUT", "/v1/trace", b"{}").unwrap().status,
         405
     );
 
-    // A defaulted trace (empty query) runs the default spec.
     let ok = client.get_trace("class=A&n=8&max_rounds=2000").unwrap();
     assert_eq!(ok.status, 200, "{}", ok.text());
     let metrics = client.get("/v1/metrics").unwrap().text();
@@ -90,5 +130,14 @@ fn trace_requests_are_validated_and_counted() {
         metrics.contains("gather_requests_completed_total 1\n"),
         "{metrics}"
     );
+
+    // The POST twin of the spec above is a cache hit (shared key across
+    // wire forms) and still answers without a deprecation marker.
+    let spec = ScenarioSpec::from_query("class=A&n=8&max_rounds=2000").unwrap();
+    let hit = client.post_trace(&spec.to_json()).unwrap();
+    assert_eq!(hit.status, 200, "{}", hit.text());
+    assert_eq!(hit.header("x-gather-cache"), Some("hit"), "shared key");
+    assert_eq!(hit.header("deprecation"), None);
+    assert_eq!(hit.body, ok.body, "cache hit serves identical bytes");
     server.shutdown();
 }

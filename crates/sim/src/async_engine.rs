@@ -374,6 +374,10 @@ impl AsyncEngineBuilder {
             Rigidity::Rigid => None,
             Rigidity::NonRigid { seed, .. } => Some(Rng::seed_from_u64(seed)),
         };
+        // Always a fresh `Trace` — recycled `EngineParts` carry scratch
+        // and analysis cache only, so (unlike batch lanes, which recycle
+        // retired traces via reset-then-rebound) there is no path for a
+        // previous scenario's rounds to leak into this engine's trace.
         let mut trace = Trace::new();
         trace.set_capacity(self.trace_capacity);
         let mut engine = AsyncEngine {

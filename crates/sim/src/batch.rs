@@ -82,6 +82,12 @@ pub struct LaneSpec {
     /// Round limit: the lane retires `RoundLimit` when it steps this many
     /// rounds without gathering (default 10 000).
     pub max_rounds: u64,
+    /// Retain the full per-round trace and return it as NDJSON on the
+    /// lane's [`LaneResult::trace_jsonl`] (default off: aggregates only,
+    /// capacity-1 ring). Tracing never perturbs the simulation — a traced
+    /// lane's metrics, outcome and positions are bit-identical to its
+    /// untraced twin's.
+    pub traced: bool,
 }
 
 impl LaneSpec {
@@ -103,6 +109,7 @@ impl LaneSpec {
             warm_start: true,
             incremental: false,
             max_rounds: 10_000,
+            traced: false,
         }
     }
 }
@@ -120,6 +127,9 @@ pub struct LaneResult {
     pub violations: Vec<String>,
     /// Final canonical positions, indexed by robot.
     pub positions: Vec<Point>,
+    /// The full per-round NDJSON trace ([`Trace::to_jsonl`]) when the
+    /// spec asked for it ([`LaneSpec::traced`]); `None` otherwise.
+    pub trace_jsonl: Option<String>,
 }
 
 /// A live lane: one scenario's stepping core plus its per-scenario state.
@@ -135,9 +145,13 @@ struct Lane {
     index: usize,
     round: u64,
     max_rounds: u64,
-    /// Capacity-1 ring: aggregates (all [`RunMetrics`] reads) cover every
-    /// round; per-round records are not retained.
+    /// Capacity-1 ring by default (aggregates — all [`RunMetrics`] reads
+    /// — cover every round; per-round records are not retained), or
+    /// unbounded for a [`LaneSpec::traced`] lane.
     trace: Trace,
+    /// Serialise the retained records into [`LaneResult::trace_jsonl`] on
+    /// retirement.
+    traced: bool,
     violations: Vec<String>,
     record: RoundRecord,
 }
@@ -346,9 +360,19 @@ impl BatchEngine {
             self.ys[base + j] = p.y;
             self.alive[base + j] = true;
         }
+        // Trace recycling across lane generations: `reset` first (clears
+        // records, aggregates and the dropped counter while keeping the
+        // buffers), *then* re-bound the capacity for this lane. The order
+        // matters — `set_capacity` evicts and counts over-capacity records,
+        // so binding before resetting would let a retired traced lane's
+        // rounds bleed into the next lane's `dropped()` accounting. A
+        // recycled trace is thereafter indistinguishable from a fresh one
+        // (pinned by `Trace::reset`'s tests and the interleaving
+        // regression test below); the async engine sidesteps the question
+        // by building a fresh `Trace` per engine.
         let mut trace = self.spare_traces.pop().unwrap_or_default();
         trace.reset();
-        trace.set_capacity(Some(1));
+        trace.set_capacity(if spec.traced { None } else { Some(1) });
         self.lanes.push(Lane {
             core: StepCore {
                 algorithm: spec.algorithm,
@@ -372,6 +396,7 @@ impl BatchEngine {
             round: 0,
             max_rounds: spec.max_rounds,
             trace,
+            traced: spec.traced,
             violations: Vec::new(),
             record: RoundRecord::default(),
         });
@@ -435,6 +460,7 @@ impl BatchEngine {
                 metrics,
                 violations: std::mem::take(&mut lane.violations),
                 positions: self.aos.clone(),
+                trace_jsonl: lane.traced.then(|| lane.trace.to_jsonl()),
             };
             let index = lane.index;
             self.free_slots.push(lane.slot);
@@ -547,7 +573,7 @@ mod tests {
         s
     }
 
-    fn sequential(s: LaneSpec) -> LaneResult {
+    fn sequential_with_trace(s: LaneSpec) -> (LaneResult, String) {
         let mut e = Engine::builder(s.initial)
             .algorithm(s.algorithm)
             .scheduler(s.scheduler)
@@ -569,12 +595,18 @@ mod tests {
             hits,
             dirty_skips,
         });
-        LaneResult {
+        let result = LaneResult {
             outcome,
             metrics,
             violations: e.violations().to_vec(),
             positions: e.positions().to_vec(),
-        }
+            trace_jsonl: None,
+        };
+        (result, e.trace().to_jsonl())
+    }
+
+    fn sequential(s: LaneSpec) -> LaneResult {
+        sequential_with_trace(s).0
     }
 
     #[test]
@@ -661,6 +693,50 @@ mod tests {
             seq_inc.metrics.analysis_cache = reference.metrics.analysis_cache;
             assert_eq!(seq_inc, reference, "audits={audits}: sequential diverged");
         }
+    }
+
+    /// The trace-recycling regression pinned by the `admit` audit:
+    /// interleave traced (unbounded) and untraced (capacity-1) lanes on
+    /// one engine so every second-run lane inherits a retired trace of
+    /// the *other* kind, and require (a) no rounds leak across scenarios,
+    /// (b) tracing itself never perturbs the simulation.
+    #[test]
+    fn traced_and_untraced_lanes_interleave_without_leaking_rounds() {
+        let traced = |n: usize, phase: f64, on: bool| {
+            let mut s = spec(n, phase, 100);
+            s.traced = on;
+            s
+        };
+        let (seq_a, jsonl_a) = sequential_with_trace(spec(5, 0.2, 100));
+        let (seq_b, jsonl_b) = sequential_with_trace(spec(8, 4.0, 100));
+
+        // Width 1 serialises the lanes, so the second run's lanes must
+        // recycle the first run's retired traces with the roles swapped.
+        let mut batch = BatchEngine::new(1, EngineParts::default());
+        let first = batch.run(vec![traced(5, 0.2, true), traced(8, 4.0, false)]);
+        let second = batch.run(vec![traced(5, 0.2, false), traced(8, 4.0, true)]);
+
+        assert_eq!(first[0].trace_jsonl.as_deref(), Some(jsonl_a.as_str()));
+        assert_eq!(second[1].trace_jsonl.as_deref(), Some(jsonl_b.as_str()));
+        assert!(first[1].trace_jsonl.is_none(), "untraced lanes stay lean");
+        assert!(second[0].trace_jsonl.is_none());
+
+        // Modulo the trace column, every lane equals its sequential twin
+        // — covering aggregates (travel, histogram) that a leaked record
+        // would have shifted.
+        let strip = |r: &LaneResult| LaneResult {
+            trace_jsonl: None,
+            ..r.clone()
+        };
+        assert_eq!(strip(&first[0]), seq_a);
+        assert_eq!(strip(&second[0]), seq_a, "recycled traced->untraced");
+        assert_eq!(strip(&first[1]), seq_b);
+        assert_eq!(strip(&second[1]), seq_b, "recycled untraced->traced");
+
+        // The traced stream covers exactly the simulated rounds, from 0.
+        let lines: Vec<&str> = jsonl_a.lines().collect();
+        assert_eq!(lines.len() as u64, seq_a.metrics.rounds);
+        assert!(lines[0].starts_with("{\"round\":0,"));
     }
 
     #[test]

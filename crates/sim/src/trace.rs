@@ -3,6 +3,38 @@
 use gather_config::Class;
 use std::collections::BTreeMap;
 
+/// The versioned trace-document schema identifier carried by the header
+/// line ([`v2_header`]). A *v2 trace document* is this header followed by
+/// the unchanged v1 round lines ([`RoundRecord::write_jsonl`]) — the
+/// header adds provenance (spec, seed, producing engine) without touching
+/// the round-line encoding, so v1 consumers that skip unknown lines keep
+/// working and the round lines stay byte-identical to a bare
+/// [`Trace::to_jsonl`]. Pinned by `crates/sim/tests/trace_schema.rs`.
+pub const TRACE_SCHEMA_V2: &str = "trace/v2";
+
+/// Serialises the trace/v2 header line (newline excluded) in the fixed
+/// field order `schema, spec, seed, engine`.
+///
+/// `spec_json` is inserted verbatim as the `spec` member and must already
+/// be a canonical JSON object (the service uses `ScenarioSpec::to_json`);
+/// `engine` names the producer, `"sync"` (round-based) or `"async"`
+/// (event-heap). Deterministic and byte-exact like the round lines, so
+/// the service's trace responses stay cacheable and bit-comparable.
+pub fn write_v2_header(out: &mut String, spec_json: &str, seed: u64, engine: &str) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{TRACE_SCHEMA_V2}\",\"spec\":{spec_json},\"seed\":{seed},\"engine\":\"{engine}\"}}"
+    );
+}
+
+/// [`write_v2_header`] into a fresh `String`.
+pub fn v2_header(spec_json: &str, seed: u64, engine: &str) -> String {
+    let mut out = String::with_capacity(spec_json.len() + 64);
+    write_v2_header(&mut out, spec_json, seed, engine);
+    out
+}
+
 /// What happened in one simulated round.
 #[derive(Debug, PartialEq)]
 pub struct RoundRecord {
@@ -483,6 +515,18 @@ mod tests {
                 .map(|r| format!("{}\n", r.to_jsonl()))
                 .collect::<String>()
         );
+    }
+
+    #[test]
+    fn v2_header_is_deterministic_and_wraps_the_spec_verbatim() {
+        let header = v2_header("{\"n\":8}", 7, "sync");
+        assert_eq!(
+            header,
+            "{\"schema\":\"trace/v2\",\"spec\":{\"n\":8},\"seed\":7,\"engine\":\"sync\"}"
+        );
+        let mut streamed = String::new();
+        write_v2_header(&mut streamed, "{\"n\":8}", 7, "sync");
+        assert_eq!(streamed, header);
     }
 
     #[test]

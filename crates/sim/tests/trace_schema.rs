@@ -8,7 +8,7 @@
 
 use gather_config::Class;
 use gather_sim::prelude::*;
-use gather_sim::trace::RoundRecord;
+use gather_sim::trace::{v2_header, RoundRecord, TRACE_SCHEMA_V2};
 
 /// The pinned depth-1 key sequence of one trace line.
 const TRACE_SCHEMA: [&str; 10] = [
@@ -73,6 +73,32 @@ fn golden_line_is_byte_exact() {
          \"activated\":[0,2,4],\"crashed\":[1],\"travel\":0.25,\
          \"classifications\":7,\"cache_hits\":4,\"weiszfeld_iters\":11}"
     );
+}
+
+/// The pinned depth-1 key sequence of the trace/v2 header line.
+const HEADER_SCHEMA: [&str; 4] = ["schema", "spec", "seed", "engine"];
+
+/// Golden pin of the trace/v2 document header. A v2 document is this
+/// header followed by unchanged v1 round lines, so only the header is
+/// new surface — its key set, key order and encoding are an external
+/// contract exactly like the round lines above (`POST /v1/trace` and the
+/// `gather-trace` corpus parser both rely on these bytes).
+#[test]
+fn golden_v2_header_is_byte_exact() {
+    assert_eq!(TRACE_SCHEMA_V2, "trace/v2");
+    let header = v2_header("{\"workload\":\"class\",\"n\":8}", 7, "sync");
+    assert_eq!(
+        header,
+        "{\"schema\":\"trace/v2\",\"spec\":{\"workload\":\"class\",\"n\":8},\
+         \"seed\":7,\"engine\":\"sync\"}"
+    );
+    assert_eq!(json_keys(&header), HEADER_SCHEMA.to_vec());
+    // Nested spec keys stay invisible at depth 1 — a v2-aware consumer
+    // can dispatch on the first key alone.
+    assert!(header.starts_with("{\"schema\":\"trace/v2\""));
+    let async_header = v2_header("{}", 0, "async");
+    assert!(async_header.ends_with("\"engine\":\"async\"}"));
+    assert_eq!(json_keys(&async_header), HEADER_SCHEMA.to_vec());
 }
 
 struct GoToCentroid;

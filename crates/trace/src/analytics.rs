@@ -1,0 +1,584 @@
+//! Per-execution analytics: class-transition graphs, the
+//! potential-function monotonicity audit, phase durations and
+//! convergence-rate summaries.
+//!
+//! # The audited invariant
+//!
+//! The paper's progress argument (Lemmas 5.3–5.9) orders the six classes
+//! by how far the algorithm has pushed the execution:
+//!
+//! | class | rank | leaves to |
+//! |-------|------|-----------|
+//! | `B`   | 0    | anything but `B` |
+//! | `L2W` | 1    | anything but `B` |
+//! | `A`   | 2    | `QR`, `L1W`, `M` |
+//! | `QR`  | 3    | `L1W`, `M` |
+//! | `L1W` | 4    | `M` |
+//! | `M`   | 5    | nothing (`M` is absorbing, Lemma 5.3) |
+//!
+//! Every legal edge strictly increases the rank, so under the ATOM model
+//! with the paper's algorithm the rank is a monotone potential — and
+//! within `M` the maximum multiplicity never decreases (crashed robots
+//! stay put; live ones only join the tower). The audit flags every round
+//! whose start configuration breaks either clause, with the activations
+//! and crashes of the *previous* round attached: those are the moves
+//! that produced the regression. ASYNC executions legitimately violate
+//! the invariant (a robot moving on a stale snapshot can split a
+//! multiplicity), which is exactly what makes the audit useful as a
+//! staleness detector there.
+//!
+//! `distinct` is *not* monotone (a Weber-bound sweep can merge and
+//! re-split waypoints), so it contributes only to the descriptive scalar
+//! potential `φ = (5 − rank)·10⁶ + (distinct − 1)` used for the
+//! convergence-slope summary, never to the audit.
+
+use crate::corpus::{Corpus, Execution};
+use gather_config::Class;
+use std::fmt::Write;
+
+/// The monotone rank of a class in the paper's progress order.
+pub const fn class_rank(class: Class) -> u8 {
+    match class {
+        Class::Bivalent => 0,
+        Class::Collinear2W => 1,
+        Class::Asymmetric => 2,
+        Class::QuasiRegular => 3,
+        Class::Collinear1W => 4,
+        Class::Multiple => 5,
+    }
+}
+
+/// Is `from → to` an edge Lemmas 5.3–5.9 allow? Equivalent to a strict
+/// rank increase (every lemma edge raises the rank; every rank-raising
+/// edge appears in some lemma).
+pub fn legal_transition(from: Class, to: Class) -> bool {
+    class_rank(from) < class_rank(to)
+}
+
+/// The descriptive scalar potential of a `(class, distinct)` state.
+pub fn potential(class: Class, distinct: u32) -> u64 {
+    (5 - class_rank(class)) as u64 * 1_000_000 + distinct.saturating_sub(1) as u64
+}
+
+/// One audited monotonicity failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The round whose start configuration regressed.
+    pub round: u64,
+    /// The preceding recorded round (whose moves caused the regression).
+    pub prior_round: u64,
+    /// Class before the regression.
+    pub from: Class,
+    /// Class after the regression (equal to `from` for a multiplicity
+    /// drop inside `M`).
+    pub to: Class,
+    /// Maximum multiplicity before.
+    pub from_max_mult: u32,
+    /// Maximum multiplicity after.
+    pub to_max_mult: u32,
+    /// Robots activated in the prior round — the suspects.
+    pub activated: Vec<u32>,
+    /// Robots that crashed in the prior round.
+    pub crashed: Vec<u32>,
+}
+
+impl Violation {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"round\":{},\"prior_round\":{},\"from\":\"{}\",\"to\":\"{}\",\
+             \"from_max_mult\":{},\"to_max_mult\":{},\"activated\":{:?},\"crashed\":{:?}}}",
+            self.round,
+            self.prior_round,
+            self.from.short_name(),
+            self.to.short_name(),
+            self.from_max_mult,
+            self.to_max_mult,
+            self.activated,
+            self.crashed
+        );
+    }
+}
+
+/// Audits an execution against the monotone potential: flags every round
+/// whose class rank decreased, and every `M → M` step whose maximum
+/// multiplicity decreased.
+pub fn audit_monotonicity(exec: &Execution) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for i in 1..exec.rounds() {
+        let (from, to) = (exec.class[i - 1], exec.class[i]);
+        let class_regressed = class_rank(to) < class_rank(from);
+        let tower_shrank = from == Class::Multiple
+            && to == Class::Multiple
+            && exec.max_mult[i] < exec.max_mult[i - 1];
+        if class_regressed || tower_shrank {
+            violations.push(Violation {
+                round: exec.round[i],
+                prior_round: exec.round[i - 1],
+                from,
+                to,
+                from_max_mult: exec.max_mult[i - 1],
+                to_max_mult: exec.max_mult[i],
+                activated: exec.activated(i - 1).to_vec(),
+                crashed: exec.crashed(i - 1).to_vec(),
+            });
+        }
+    }
+    violations
+}
+
+/// One edge of an execution's class-transition graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionEdge {
+    /// Source class.
+    pub from: Class,
+    /// Destination class.
+    pub to: Class,
+    /// How many times the execution took this edge.
+    pub count: u64,
+    /// Whether Lemmas 5.3–5.9 allow the edge.
+    pub legal: bool,
+}
+
+/// The full analytics summary of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// The execution's corpus label.
+    pub label: String,
+    /// Producing engine (`"sync"`, `"async"`, or `"unknown"` for
+    /// headerless v1 streams).
+    pub engine: String,
+    /// Recorded rounds.
+    pub rounds: u64,
+    /// Class at the first recorded round.
+    pub initial_class: Option<Class>,
+    /// Class at the last recorded round.
+    pub final_class: Option<Class>,
+    /// Did the execution gather? Records carry *start-of-round* state, so
+    /// a run that gathers during its last round never shows the gathered
+    /// configuration in a record; for sync executions with a known
+    /// `max_rounds` budget this is inferred from early termination
+    /// (fewer recorded rounds than the budget), otherwise from the last
+    /// record's `distinct == 1`.
+    pub gathered: bool,
+    /// Rounds spent per class, ordered by rank (absent classes omitted).
+    pub phase_rounds: Vec<(Class, u64)>,
+    /// The transition graph's edges, ordered by (source rank, dest rank).
+    pub transitions: Vec<TransitionEdge>,
+    /// Count of edges the lemmas forbid.
+    pub illegal_transitions: u64,
+    /// Every monotonicity failure, in round order.
+    pub violations: Vec<Violation>,
+    /// `φ` at the first recorded round.
+    pub potential_start: u64,
+    /// `φ` at the last recorded round.
+    pub potential_end: u64,
+    /// Mean `φ` decrease per round — the convergence rate.
+    pub potential_slope: f64,
+    /// Total distance travelled.
+    pub travel: f64,
+    /// Total `classify()` invocations.
+    pub classifications: u64,
+    /// Total analysis-cache hits.
+    pub cache_hits: u64,
+    /// Total Weiszfeld iterations.
+    pub weiszfeld_iters: u64,
+}
+
+/// Analyzes one execution.
+pub fn analyze_execution(exec: &Execution) -> ExecutionReport {
+    let rounds = exec.rounds();
+    let mut histogram = [0u64; 6];
+    for &class in &exec.class {
+        histogram[class_rank(class) as usize] += 1;
+    }
+    let by_rank = {
+        let mut all = Class::all();
+        all.sort_by_key(|&c| class_rank(c));
+        all
+    };
+    let phase_rounds: Vec<(Class, u64)> = by_rank
+        .iter()
+        .filter_map(|&c| {
+            let n = histogram[class_rank(c) as usize];
+            (n > 0).then_some((c, n))
+        })
+        .collect();
+
+    let mut edge_counts = [[0u64; 6]; 6];
+    for pair in exec.class.windows(2) {
+        if pair[0] != pair[1] {
+            edge_counts[class_rank(pair[0]) as usize][class_rank(pair[1]) as usize] += 1;
+        }
+    }
+    let mut transitions = Vec::new();
+    let mut illegal_transitions = 0;
+    for &from in &by_rank {
+        for &to in &by_rank {
+            let count = edge_counts[class_rank(from) as usize][class_rank(to) as usize];
+            if count > 0 {
+                let legal = legal_transition(from, to);
+                if !legal {
+                    illegal_transitions += count;
+                }
+                transitions.push(TransitionEdge {
+                    from,
+                    to,
+                    count,
+                    legal,
+                });
+            }
+        }
+    }
+
+    let potential_start = exec
+        .class
+        .first()
+        .map(|&c| potential(c, exec.distinct[0]))
+        .unwrap_or(0);
+    let potential_end = exec
+        .class
+        .last()
+        .map(|&c| potential(c, exec.distinct[rounds - 1]))
+        .unwrap_or(0);
+    let elapsed = rounds.saturating_sub(1).max(1) as f64;
+    let potential_slope = (potential_start as f64 - potential_end as f64) / elapsed;
+
+    let sync_budget = exec
+        .header
+        .as_ref()
+        .filter(|h| h.engine == "sync")
+        .and_then(|h| gather_serve::json::Json::parse(&h.spec_json).ok())
+        .and_then(|s| {
+            s.get("max_rounds")
+                .and_then(gather_serve::json::Json::as_u64)
+        });
+    let gathered = match sync_budget {
+        Some(budget) => (rounds as u64) < budget,
+        None => exec.distinct.last().is_some_and(|&d| d == 1),
+    };
+
+    ExecutionReport {
+        label: exec.label.clone(),
+        engine: exec
+            .header
+            .as_ref()
+            .map(|h| h.engine.clone())
+            .unwrap_or_else(|| "unknown".to_string()),
+        rounds: rounds as u64,
+        initial_class: exec.class.first().copied(),
+        final_class: exec.class.last().copied(),
+        gathered,
+        phase_rounds,
+        transitions,
+        illegal_transitions,
+        violations: audit_monotonicity(exec),
+        potential_start,
+        potential_end,
+        potential_slope,
+        travel: exec.travel.iter().sum(),
+        classifications: exec.classifications.iter().sum(),
+        cache_hits: exec.cache_hits.iter().sum(),
+        weiszfeld_iters: exec.weiszfeld_iters.iter().sum(),
+    }
+}
+
+impl ExecutionReport {
+    /// Serialises the report as one deterministic NDJSON line (newline
+    /// excluded) — fixed field order, `{:?}` floats, so `analyze` output
+    /// is byte-comparable across runs and against committed baselines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"engine\":\"{}\",\"rounds\":{}",
+            self.label, self.engine, self.rounds
+        );
+        for (key, class) in [
+            ("initial_class", self.initial_class),
+            ("final_class", self.final_class),
+        ] {
+            match class {
+                Some(c) => {
+                    let _ = write!(out, ",\"{key}\":\"{}\"", c.short_name());
+                }
+                None => {
+                    let _ = write!(out, ",\"{key}\":null");
+                }
+            }
+        }
+        let _ = write!(out, ",\"gathered\":{}", self.gathered);
+        out.push_str(",\"phase_rounds\":[");
+        for (i, (class, n)) in self.phase_rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[\"{}\",{n}]", class.short_name());
+        }
+        out.push_str("],\"transitions\":[");
+        for (i, e) in self.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"count\":{},\"legal\":{}}}",
+                e.from.short_name(),
+                e.to.short_name(),
+                e.count,
+                e.legal
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"illegal_transitions\":{},\"violations\":[",
+            self.illegal_transitions
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(&mut out);
+        }
+        let _ = write!(
+            out,
+            "],\"potential_start\":{},\"potential_end\":{},\"potential_slope\":{:?},\
+             \"travel\":{:?},\"classifications\":{},\"cache_hits\":{},\"weiszfeld_iters\":{}}}",
+            self.potential_start,
+            self.potential_end,
+            self.potential_slope,
+            self.travel,
+            self.classifications,
+            self.cache_hits,
+            self.weiszfeld_iters
+        );
+        out
+    }
+}
+
+/// Analytics over a whole corpus: per-execution reports plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusReport {
+    /// One report per execution, in corpus order.
+    pub executions: Vec<ExecutionReport>,
+}
+
+/// Analyzes every execution of a corpus.
+pub fn analyze_corpus(corpus: &Corpus) -> CorpusReport {
+    CorpusReport {
+        executions: corpus.executions.iter().map(analyze_execution).collect(),
+    }
+}
+
+impl CorpusReport {
+    /// Total monotonicity violations across the corpus.
+    pub fn total_violations(&self) -> u64 {
+        self.executions
+            .iter()
+            .map(|e| e.violations.len() as u64)
+            .sum()
+    }
+
+    /// Total illegal transition-graph edges across the corpus.
+    pub fn total_illegal_transitions(&self) -> u64 {
+        self.executions.iter().map(|e| e.illegal_transitions).sum()
+    }
+
+    /// The full deterministic NDJSON report: one line per execution and
+    /// a final totals line. This is `trace-tool analyze`'s output and
+    /// the byte format of the committed `results/trace_analytics.json`
+    /// baseline.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for report in &self.executions {
+            out.push_str(&report.to_jsonl());
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{{\"corpus\":{{\"executions\":{},\"rounds\":{},\"violations\":{},\
+             \"illegal_transitions\":{},\"gathered\":{}}}}}",
+            self.executions.len(),
+            self.executions.iter().map(|e| e.rounds).sum::<u64>(),
+            self.total_violations(),
+            self.total_illegal_transitions(),
+            self.executions.iter().filter(|e| e.gathered).count(),
+        );
+        out
+    }
+
+    /// Finds an execution report by label.
+    pub fn by_label(&self, label: &str) -> Option<&ExecutionReport> {
+        self.executions.iter().find(|e| e.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_sim::trace::RoundRecord;
+
+    fn corpus_of(classes: &[(Class, u32, u32)]) -> Corpus {
+        // (class, distinct, max_mult) per round, activated = [round],
+        // crashed = [] except round 1 crashes robot 9.
+        let text: String = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, distinct, max_mult))| {
+                let r = RoundRecord {
+                    round: i as u64,
+                    class,
+                    distinct: distinct as usize,
+                    max_mult: max_mult as usize,
+                    activated: vec![i],
+                    crashed: if i == 1 { vec![9] } else { vec![] },
+                    travel: 0.5,
+                    classifications: 2,
+                    cache_hits: 1,
+                    weiszfeld_iters: 4,
+                };
+                format!("{}\n", r.to_jsonl())
+            })
+            .collect();
+        Corpus::parse(&text).expect("synthetic corpus")
+    }
+
+    #[test]
+    fn ranks_order_the_paper_dag_and_legality_matches_the_lemmas() {
+        use Class::*;
+        let lemma_edges = [
+            (Collinear1W, vec![Multiple]),
+            (QuasiRegular, vec![Collinear1W, Multiple]),
+            (Asymmetric, vec![QuasiRegular, Collinear1W, Multiple]),
+            (
+                Collinear2W,
+                vec![Asymmetric, QuasiRegular, Collinear1W, Multiple],
+            ),
+            (
+                Bivalent,
+                vec![Collinear2W, Asymmetric, QuasiRegular, Collinear1W, Multiple],
+            ),
+            (Multiple, vec![]),
+        ];
+        for (from, allowed) in lemma_edges {
+            for to in Class::all() {
+                if to == from {
+                    continue;
+                }
+                assert_eq!(
+                    legal_transition(from, to),
+                    allowed.contains(&to),
+                    "{} -> {}",
+                    from.short_name(),
+                    to.short_name()
+                );
+            }
+        }
+        // Rank is a strict monotone witness for the DAG.
+        let mut ranks: Vec<u8> = Class::all().map(class_rank).to_vec();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clean_executions_audit_clean() {
+        use Class::*;
+        let corpus = corpus_of(&[
+            (Asymmetric, 8, 1),
+            (Asymmetric, 6, 1),
+            (QuasiRegular, 6, 1),
+            (Multiple, 4, 3),
+            (Multiple, 2, 5),
+            (Multiple, 1, 8),
+        ]);
+        let report = analyze_execution(&corpus.executions[0]);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.illegal_transitions, 0);
+        assert!(report.gathered);
+        assert_eq!(report.initial_class, Some(Asymmetric));
+        assert_eq!(report.final_class, Some(Multiple));
+        assert_eq!(
+            report.phase_rounds,
+            vec![(Asymmetric, 2), (QuasiRegular, 1), (Multiple, 3)]
+        );
+        assert_eq!(report.transitions.len(), 2);
+        assert!(report.transitions.iter().all(|e| e.legal && e.count == 1));
+        // φ: A distinct 8 → M distinct 1, over 5 elapsed rounds.
+        assert_eq!(report.potential_start, 3_000_007);
+        assert_eq!(report.potential_end, 0);
+        assert!((report.potential_slope - 3_000_007.0 / 5.0).abs() < 1e-9);
+        assert_eq!(report.travel, 3.0);
+    }
+
+    #[test]
+    fn class_regressions_are_flagged_with_prior_round_context() {
+        use Class::*;
+        let corpus = corpus_of(&[
+            (Multiple, 4, 3),
+            (Asymmetric, 5, 1), // regression: M -> A, caused by round 0's moves
+            (Multiple, 3, 3),
+        ]);
+        let report = analyze_execution(&corpus.executions[0]);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.round, 1);
+        assert_eq!(v.prior_round, 0);
+        assert_eq!((v.from, v.to), (Multiple, Asymmetric));
+        assert_eq!(v.activated, vec![0], "round 0's activations are attached");
+        assert_eq!(report.illegal_transitions, 1, "M -> A is not a lemma edge");
+    }
+
+    #[test]
+    fn multiplicity_drops_inside_m_are_flagged() {
+        use Class::*;
+        let corpus = corpus_of(&[(Multiple, 3, 4), (Multiple, 4, 6), (Multiple, 1, 2)]);
+        let report = analyze_execution(&corpus.executions[0]);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!((v.from, v.to), (Multiple, Multiple));
+        assert_eq!((v.from_max_mult, v.to_max_mult), (6, 2));
+        assert_eq!((v.round, v.prior_round), (2, 1));
+        assert_eq!(v.crashed, vec![9], "round 1's crash context is attached");
+        assert_eq!(
+            report.illegal_transitions, 0,
+            "self-loops are not transition edges"
+        );
+    }
+
+    #[test]
+    fn report_jsonl_is_deterministic_and_complete() {
+        use Class::*;
+        let corpus = corpus_of(&[(QuasiRegular, 5, 1), (Multiple, 1, 5)]);
+        let report = analyze_corpus(&corpus);
+        let ndjson = report.to_ndjson();
+        assert_eq!(ndjson, analyze_corpus(&corpus).to_ndjson());
+        let exec_line = ndjson.lines().next().expect("one execution line");
+        assert!(exec_line.starts_with("{\"label\":\"exec0\",\"engine\":\"unknown\",\"rounds\":2"));
+        assert!(exec_line.contains("\"phase_rounds\":[[\"QR\",1],[\"M\",1]]"));
+        assert!(exec_line.contains("{\"from\":\"QR\",\"to\":\"M\",\"count\":1,\"legal\":true}"));
+        assert!(exec_line.contains("\"violations\":[]"));
+        let totals = ndjson.lines().last().expect("totals line");
+        assert_eq!(
+            totals,
+            "{\"corpus\":{\"executions\":1,\"rounds\":2,\"violations\":0,\
+             \"illegal_transitions\":0,\"gathered\":1}}"
+        );
+        // The report lines are themselves valid JSON.
+        for line in ndjson.lines() {
+            gather_serve::json::Json::parse(line).expect(line);
+        }
+    }
+
+    #[test]
+    fn empty_execution_reports_do_not_panic() {
+        let corpus = Corpus::parse(
+            "{\"schema\":\"trace/v2\",\"spec\":{\"n\":8},\"seed\":1,\"engine\":\"sync\"}\n",
+        )
+        .expect("header-only document");
+        let report = analyze_execution(&corpus.executions[0]);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.initial_class, None);
+        assert!(!report.gathered);
+        assert!(report.to_jsonl().contains("\"initial_class\":null"));
+    }
+}

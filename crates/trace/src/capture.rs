@@ -1,0 +1,206 @@
+//! Service-backed corpus capture.
+//!
+//! Capture goes through the real HTTP service — `POST /v1/trace` against
+//! an in-process [`Server`] — rather than calling `run_traced` directly,
+//! so a captured corpus exercises (and is certified by) the same wire
+//! path the deployed service serves: validation, the trace/v2 header,
+//! chunked streaming and the result cache. The bit-identity contract
+//! makes the two routes byte-equal anyway; capturing over the wire is
+//! what *checks* that, and [`capture_corpus`] optionally replays every
+//! spec through the deprecated `GET` form to assert the redesigned `POST`
+//! endpoint kept its bytes.
+
+use gather_config::Class;
+use gather_serve::{Client, ScenarioSpec, ServeConfig, Server};
+
+/// The standard six-class capture matrix: one execution per paper class
+/// (`n` chosen to satisfy each class's parity constraint), mirroring the
+/// service round-trip tests.
+pub const SIX_CLASS_MATRIX: [(Class, usize); 6] = [
+    (Class::Bivalent, 8),
+    (Class::Multiple, 9),
+    (Class::Collinear1W, 8),
+    (Class::Collinear2W, 8),
+    (Class::QuasiRegular, 9),
+    (Class::Asymmetric, 8),
+];
+
+/// The six-class corpus specs for one `(seed, max_rounds)` choice.
+///
+/// The harness defaults (FSYNC, unrestricted motion) gather in a round
+/// or two — traces with nothing to analyze. The standard corpus instead
+/// runs SSYNC round-robin activation under the δ-bounded motion
+/// adversary, so each execution actually walks the class DAG and the
+/// transition-graph and phase-duration analytics have substance. Still
+/// f = 0 and rigid: the corpus must audit clean.
+pub fn six_class_specs(seed: u64, max_rounds: u64) -> Vec<ScenarioSpec> {
+    SIX_CLASS_MATRIX
+        .iter()
+        .map(|&(class, n)| ScenarioSpec {
+            class: Some(class),
+            n,
+            seed,
+            max_rounds,
+            scheduler: "round-robin",
+            motion: "delta",
+            ..ScenarioSpec::default()
+        })
+        .collect()
+}
+
+/// The deprecated query-string form of a spec (the `GET /v1/trace`
+/// twin), used to cross-check the two wire forms during capture.
+fn spec_query(spec: &ScenarioSpec) -> String {
+    let mut q = format!("workload={}", spec.workload);
+    if let Some(class) = spec.class {
+        q.push_str(&format!("&class={}", class.short_name()));
+    }
+    q.push_str(&format!(
+        "&n={}&seed={}&faults={}&algorithm={}&scheduler={}&motion={}&delta={:?}&max_rounds={}",
+        spec.n,
+        spec.seed,
+        spec.faults,
+        spec.algorithm,
+        spec.scheduler,
+        spec.motion,
+        spec.delta,
+        spec.max_rounds
+    ));
+    if spec.scheduler == "async" {
+        q.push_str(&format!(
+            "&rigidity={}&speed_skew={:?}",
+            if spec.rigid { "rigid" } else { "non-rigid" },
+            spec.speed_skew
+        ));
+    }
+    q
+}
+
+/// Captures one corpus: starts an in-process service, streams every
+/// spec's trace document over `POST /v1/trace`, and concatenates the
+/// bodies in spec order. With `check_get_twin`, each document is also
+/// fetched through the deprecated `GET` form and both the bytes and the
+/// `Deprecation` header semantics are asserted.
+///
+/// # Errors
+///
+/// Any transport failure, non-200 response, or (under `check_get_twin`)
+/// wire-form divergence.
+pub fn capture_corpus(specs: &[ScenarioSpec], check_get_twin: bool) -> Result<String, String> {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("start capture service: {e}"))?;
+    let result = capture_on(&server, specs, check_get_twin);
+    server.shutdown();
+    result
+}
+
+fn capture_on(
+    server: &Server,
+    specs: &[ScenarioSpec],
+    check_get_twin: bool,
+) -> Result<String, String> {
+    let mut client =
+        Client::connect(&server.addr()).map_err(|e| format!("connect capture client: {e}"))?;
+    let mut corpus = String::new();
+    for spec in specs {
+        let posted = client
+            .post_trace(&spec.to_json())
+            .map_err(|e| format!("POST /v1/trace: {e}"))?;
+        if posted.status != 200 {
+            return Err(format!(
+                "POST /v1/trace -> {}: {}",
+                posted.status,
+                posted.text()
+            ));
+        }
+        if posted.header("deprecation").is_some() {
+            return Err("POST /v1/trace must not be marked deprecated".to_string());
+        }
+        let document = posted.text();
+        if !document.starts_with("{\"schema\":\"trace/v2\",") {
+            return Err(format!(
+                "trace document lacks the v2 header: {:?}...",
+                &document[..document.len().min(40)]
+            ));
+        }
+        if check_get_twin {
+            let got = client
+                .get_trace(&spec_query(spec))
+                .map_err(|e| format!("GET /v1/trace: {e}"))?;
+            if got.status != 200 {
+                return Err(format!("GET /v1/trace -> {}: {}", got.status, got.text()));
+            }
+            if got.header("deprecation") != Some("true") {
+                return Err("GET /v1/trace must carry the Deprecation header".to_string());
+            }
+            if got.body != posted.body {
+                return Err(format!(
+                    "wire forms diverge for seed {}: GET served {} bytes, POST {}",
+                    spec.seed,
+                    got.body.len(),
+                    posted.body.len()
+                ));
+            }
+        }
+        corpus.push_str(&document);
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_class_specs_cover_every_class_once() {
+        let specs = six_class_specs(7, 2_000);
+        assert_eq!(specs.len(), 6);
+        let classes: Vec<Class> = specs.iter().filter_map(|s| s.class).collect();
+        assert_eq!(classes, Class::all().to_vec());
+        assert!(specs.iter().all(|s| s.seed == 7 && s.max_rounds == 2_000));
+    }
+
+    #[test]
+    fn query_twin_round_trips_through_the_shared_validator() {
+        for spec in six_class_specs(3, 500) {
+            let parsed = ScenarioSpec::from_query(&spec_query(&spec)).expect("query parses");
+            assert_eq!(parsed, spec);
+        }
+        let async_spec = ScenarioSpec {
+            scheduler: "async",
+            rigid: false,
+            speed_skew: 0.5,
+            ..ScenarioSpec::default()
+        };
+        let parsed = ScenarioSpec::from_query(&spec_query(&async_spec)).expect("async query");
+        assert_eq!(parsed, async_spec);
+    }
+
+    #[test]
+    fn capture_streams_documents_in_spec_order_with_get_twin_checks() {
+        let specs = vec![
+            ScenarioSpec {
+                seed: 11,
+                max_rounds: 1_500,
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                seed: 12,
+                max_rounds: 1_500,
+                ..ScenarioSpec::default()
+            },
+        ];
+        let corpus = capture_corpus(&specs, true).expect("capture");
+        let expected: String = specs
+            .iter()
+            .map(|spec| {
+                let (_, rounds) = spec.to_scenario().expect("valid").run_traced();
+                format!("{}{rounds}", spec.trace_header())
+            })
+            .collect();
+        assert_eq!(corpus, expected, "served capture == in-process documents");
+    }
+}

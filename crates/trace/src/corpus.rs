@@ -1,0 +1,581 @@
+//! Columnar in-memory trace corpora.
+//!
+//! A *corpus file* is a concatenation of trace documents: each trace/v2
+//! header line (`{"schema":"trace/v2",...}`) starts a new execution and
+//! the v1 round lines that follow belong to it. A headerless (pure v1)
+//! stream parses as one anonymous execution, so both schema generations
+//! load through the same entry point, [`Corpus::parse`].
+//!
+//! Round lines are decoded by a hand-rolled scanner that walks the pinned
+//! field order (`round, class, distinct, max_mult, activated, crashed,
+//! travel, classifications, cache_hits, weiszfeld_iters` — see
+//! `crates/sim/tests/trace_schema.rs`) directly into column vectors: no
+//! per-line JSON tree, no per-round allocation beyond the growing
+//! columns. The ragged robot-id lists land in flat vectors with offsets.
+//! Any deviation from the pinned schema is a hard parse error with the
+//! offending line number — a corpus that does not match the schema the
+//! engine promises is corrupt, not "lenient input".
+
+use gather_config::Class;
+use gather_serve::json::Json;
+
+/// Provenance carried by a trace/v2 document header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// The `spec` member, verbatim (canonical `ScenarioSpec::to_json`
+    /// bytes) — kept as written so replay can re-validate through the
+    /// service's own `ScenarioSpec::from_json` and re-emit the identical
+    /// header.
+    pub spec_json: String,
+    /// The seed the execution ran with.
+    pub seed: u64,
+    /// The producing engine: `"sync"` (round-based) or `"async"`.
+    pub engine: String,
+}
+
+impl TraceHeader {
+    /// Parses one header line, validating the pinned `trace/v2` schema
+    /// tag and extracting the `spec` object verbatim.
+    pub fn parse(line: &str) -> Result<TraceHeader, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed header: {e}"))?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some(gather_sim::trace::TRACE_SCHEMA_V2) => {}
+            Some(other) => return Err(format!("unsupported trace schema {other:?}")),
+            None => return Err("header lacks a \"schema\" member".to_string()),
+        }
+        let seed = v
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("header lacks an integer \"seed\"")?;
+        let engine = v
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or("header lacks a string \"engine\"")?
+            .to_string();
+        if engine != "sync" && engine != "async" {
+            return Err(format!("unknown engine {engine:?}"));
+        }
+        let spec_json = extract_verbatim_object(line, "\"spec\":")
+            .ok_or("header lacks a \"spec\" object")?
+            .to_string();
+        Ok(TraceHeader {
+            spec_json,
+            seed,
+            engine,
+        })
+    }
+}
+
+/// Finds `key` in `line` and returns the balanced JSON object following
+/// it, verbatim. String-aware (braces inside quoted values don't count),
+/// which is all the generality a canonical spec needs.
+fn extract_verbatim_object<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let bytes = line.as_bytes();
+    if bytes.get(start) != Some(&b'{') {
+        return None;
+    }
+    let (mut depth, mut in_string, mut escaped) = (0usize, false, false);
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match (in_string, escaped, b) {
+            (true, true, _) => escaped = false,
+            (true, false, b'\\') => escaped = true,
+            (true, false, b'"') => in_string = false,
+            (true, ..) => {}
+            (false, _, b'"') => in_string = true,
+            (false, _, b'{') => depth += 1,
+            (false, _, b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&line[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One execution's rounds, stored column-wise.
+///
+/// Scalar fields are one vector per column; the per-round robot-id lists
+/// (`activated`, `crashed`) are flattened with an offsets vector each
+/// (`offsets.len() == rounds + 1`), read back through
+/// [`Execution::activated`] / [`Execution::crashed`].
+#[derive(Debug, Clone, Default)]
+pub struct Execution {
+    /// Document provenance; `None` for a headerless v1 stream.
+    pub header: Option<TraceHeader>,
+    /// Stable human-readable identity (diffing keys executions by it):
+    /// `class-or-workload/nN/seedS/engine` from the header, or `execI`
+    /// for anonymous executions.
+    pub label: String,
+    /// Round index column.
+    pub round: Vec<u64>,
+    /// Start-of-round configuration class column.
+    pub class: Vec<Class>,
+    /// Distinct occupied locations column.
+    pub distinct: Vec<u32>,
+    /// Maximum multiplicity column.
+    pub max_mult: Vec<u32>,
+    /// Per-round travel column.
+    pub travel: Vec<f64>,
+    /// Per-round `classify()` invocation column.
+    pub classifications: Vec<u64>,
+    /// Per-round analysis-cache hit column.
+    pub cache_hits: Vec<u64>,
+    /// Per-round Weiszfeld iteration column.
+    pub weiszfeld_iters: Vec<u64>,
+    activated_flat: Vec<u32>,
+    activated_offsets: Vec<u32>,
+    crashed_flat: Vec<u32>,
+    crashed_offsets: Vec<u32>,
+}
+
+impl Execution {
+    fn new(header: Option<TraceHeader>, index: usize) -> Execution {
+        let label = match &header {
+            Some(h) => {
+                let spec = Json::parse(&h.spec_json).unwrap_or(Json::Null);
+                let family = spec
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .or_else(|| spec.get("workload").and_then(Json::as_str))
+                    .unwrap_or("?")
+                    .to_string();
+                let n = spec.get("n").and_then(Json::as_u64).unwrap_or(0);
+                format!("{family}/n{n}/seed{}/{}", h.seed, h.engine)
+            }
+            None => format!("exec{index}"),
+        };
+        Execution {
+            header,
+            label,
+            activated_offsets: vec![0],
+            crashed_offsets: vec![0],
+            ..Execution::default()
+        }
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.round.len()
+    }
+
+    /// Robots activated in the `r`-th recorded round.
+    pub fn activated(&self, r: usize) -> &[u32] {
+        &self.activated_flat
+            [self.activated_offsets[r] as usize..self.activated_offsets[r + 1] as usize]
+    }
+
+    /// Robots newly crashed in the `r`-th recorded round.
+    pub fn crashed(&self, r: usize) -> &[u32] {
+        &self.crashed_flat[self.crashed_offsets[r] as usize..self.crashed_offsets[r + 1] as usize]
+    }
+
+    /// Every `(robot, round)` crash event, in round order — the form the
+    /// replay and trajectory renderers take.
+    pub fn crash_events(&self) -> Vec<(usize, u64)> {
+        (0..self.rounds())
+            .flat_map(|r| {
+                self.crashed(r)
+                    .iter()
+                    .map(move |&robot| (robot as usize, self.round[r]))
+            })
+            .collect()
+    }
+
+    /// Re-encodes the columns as the original v1 round lines (each
+    /// `\n`-terminated). Because both the column decode and the `{:?}`
+    /// float encoding round-trip exactly, this equals the parsed input
+    /// bytes — replay uses that to cross-check a re-simulated trace
+    /// against the corpus without keeping the raw text around.
+    pub fn to_round_jsonl(&self) -> String {
+        let mut record = gather_sim::trace::RoundRecord::default();
+        let mut out = String::with_capacity(self.rounds() * 128);
+        for r in 0..self.rounds() {
+            record.round = self.round[r];
+            record.class = self.class[r];
+            record.distinct = self.distinct[r] as usize;
+            record.max_mult = self.max_mult[r] as usize;
+            record.activated.clear();
+            record
+                .activated
+                .extend(self.activated(r).iter().map(|&id| id as usize));
+            record.crashed.clear();
+            record
+                .crashed
+                .extend(self.crashed(r).iter().map(|&id| id as usize));
+            record.travel = self.travel[r];
+            record.classifications = self.classifications[r];
+            record.cache_hits = self.cache_hits[r];
+            record.weiszfeld_iters = self.weiszfeld_iters[r];
+            record.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes one pinned-schema round line into the columns.
+    fn push_line(&mut self, line: &str) -> Result<(), String> {
+        let mut c = Scanner::new(line);
+        c.lit("{\"round\":")?;
+        let round = c.uint()?;
+        if let Some(&last) = self.round.last() {
+            if round <= last {
+                return Err(format!(
+                    "round {round} does not advance past {last} — truncated or \
+                     interleaved document?"
+                ));
+            }
+        }
+        c.lit(",\"class\":\"")?;
+        let name = c.until(b'"')?;
+        let class =
+            Class::from_short_name(name).ok_or_else(|| format!("unknown class {name:?}"))?;
+        c.lit("\",\"distinct\":")?;
+        let distinct = c.uint()?;
+        c.lit(",\"max_mult\":")?;
+        let max_mult = c.uint()?;
+        c.lit(",\"activated\":[")?;
+        c.id_list(&mut self.activated_flat)?;
+        c.lit(",\"crashed\":[")?;
+        c.id_list(&mut self.crashed_flat)?;
+        c.lit(",\"travel\":")?;
+        let travel = c.float()?;
+        c.lit(",\"classifications\":")?;
+        let classifications = c.uint()?;
+        c.lit(",\"cache_hits\":")?;
+        let cache_hits = c.uint()?;
+        c.lit(",\"weiszfeld_iters\":")?;
+        let weiszfeld_iters = c.uint()?;
+        c.lit("}")?;
+        c.end()?;
+
+        self.round.push(round);
+        self.class.push(class);
+        self.distinct
+            .push(u32::try_from(distinct).map_err(|_| "distinct overflow")?);
+        self.max_mult
+            .push(u32::try_from(max_mult).map_err(|_| "max_mult overflow")?);
+        self.travel.push(travel);
+        self.classifications.push(classifications);
+        self.cache_hits.push(cache_hits);
+        self.weiszfeld_iters.push(weiszfeld_iters);
+        self.activated_offsets
+            .push(self.activated_flat.len() as u32);
+        self.crashed_offsets.push(self.crashed_flat.len() as u32);
+        Ok(())
+    }
+}
+
+/// A parsed corpus: executions in document order.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// The executions, in the order their documents appeared.
+    pub executions: Vec<Execution>,
+}
+
+impl Corpus {
+    /// Parses a corpus file: concatenated trace/v2 documents, or a bare
+    /// v1 round-line stream (one anonymous execution).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first malformed line with its 1-based line number.
+    pub fn parse(text: &str) -> Result<Corpus, String> {
+        let mut executions: Vec<Execution> = Vec::new();
+        let mut current: Option<Execution> = None;
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("{\"schema\":") {
+                let header =
+                    TraceHeader::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+                if let Some(done) = current.take() {
+                    executions.push(done);
+                }
+                current = Some(Execution::new(Some(header), executions.len()));
+            } else {
+                let exec = {
+                    let next_index = executions.len();
+                    current.get_or_insert_with(|| Execution::new(None, next_index))
+                };
+                exec.push_line(line)
+                    .map_err(|e| format!("line {}: {e}", i + 1))?;
+            }
+        }
+        if let Some(done) = current.take() {
+            executions.push(done);
+        }
+        Ok(Corpus { executions })
+    }
+
+    /// Total recorded rounds across all executions.
+    pub fn total_rounds(&self) -> usize {
+        self.executions.iter().map(Execution::rounds).sum()
+    }
+
+    /// Finds an execution by its label.
+    pub fn by_label(&self, label: &str) -> Option<&Execution> {
+        self.executions.iter().find(|e| e.label == label)
+    }
+}
+
+/// Byte cursor over one NDJSON line.
+struct Scanner<'a> {
+    line: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a str) -> Scanner<'a> {
+        Scanner { line, pos: 0 }
+    }
+
+    /// Consumes the exact literal `lit` or fails — this is where the
+    /// pinned field order is enforced.
+    fn lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.line[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {lit:?} at byte {} of round line (pinned trace schema; \
+                 got {:?}...)",
+                self.pos,
+                &self.line[self.pos..self.line.len().min(self.pos + 24)]
+            ))
+        }
+    }
+
+    /// Consumes a decimal unsigned integer.
+    fn uint(&mut self) -> Result<u64, String> {
+        let bytes = self.line.as_bytes();
+        let start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(d) = bytes.get(self.pos).and_then(|b| (*b as char).to_digit(10)) {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(d as u64))
+                .ok_or("integer overflow in round line")?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected an integer at byte {start}"));
+        }
+        Ok(value)
+    }
+
+    /// Consumes a JSON number (the `{:?}` float encoding: digits, sign,
+    /// dot, exponent) up to the next structural character.
+    fn float(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        let bytes = self.line.as_bytes();
+        while let Some(&b) = bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.line[start..self.pos]
+            .parse::<f64>()
+            .map_err(|e| format!("bad float at byte {start}: {e}"))
+    }
+
+    /// Returns the slice up to (excluding) the next `stop` byte without
+    /// consuming the stop itself.
+    fn until(&mut self, stop: u8) -> Result<&'a str, String> {
+        let start = self.pos;
+        let rest = &self.line.as_bytes()[self.pos..];
+        let len = rest
+            .iter()
+            .position(|&b| b == stop)
+            .ok_or_else(|| format!("unterminated token at byte {start}"))?;
+        self.pos += len;
+        Ok(&self.line[start..start + len])
+    }
+
+    /// Consumes a `1,2,3]` tail of an id array (the opening `[` is part
+    /// of the preceding literal), appending the ids to `out`.
+    fn id_list(&mut self, out: &mut Vec<u32>) -> Result<(), String> {
+        if self.line.as_bytes().get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let id = self.uint()?;
+            out.push(u32::try_from(id).map_err(|_| "robot id overflow")?);
+            match self.line.as_bytes().get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("malformed id list at byte {}", self.pos)),
+            }
+        }
+    }
+
+    /// Asserts the whole line was consumed.
+    fn end(&self) -> Result<(), String> {
+        if self.pos == self.line.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "trailing bytes after round record: {:?}",
+                &self.line[self.pos..]
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_sim::trace::RoundRecord;
+
+    fn line(round: u64, class: Class, activated: Vec<usize>, crashed: Vec<usize>) -> String {
+        RoundRecord {
+            round,
+            class,
+            distinct: 5,
+            max_mult: 2,
+            activated,
+            crashed,
+            travel: 0.625,
+            classifications: 7,
+            cache_hits: 3,
+            weiszfeld_iters: 11,
+        }
+        .to_jsonl()
+    }
+
+    #[test]
+    fn round_lines_decode_into_columns_exactly() {
+        let text = format!(
+            "{}\n{}\n",
+            line(0, Class::Asymmetric, vec![0, 1, 2], vec![]),
+            line(1, Class::Multiple, vec![1], vec![2]),
+        );
+        let corpus = Corpus::parse(&text).expect("parse v1 stream");
+        assert_eq!(corpus.executions.len(), 1);
+        let e = &corpus.executions[0];
+        assert_eq!(e.label, "exec0");
+        assert!(e.header.is_none());
+        assert_eq!(e.rounds(), 2);
+        assert_eq!(e.round, vec![0, 1]);
+        assert_eq!(e.class, vec![Class::Asymmetric, Class::Multiple]);
+        assert_eq!(e.distinct, vec![5, 5]);
+        assert_eq!(e.max_mult, vec![2, 2]);
+        assert_eq!(e.travel, vec![0.625, 0.625]);
+        assert_eq!(e.classifications, vec![7, 7]);
+        assert_eq!(e.cache_hits, vec![3, 3]);
+        assert_eq!(e.weiszfeld_iters, vec![11, 11]);
+        assert_eq!(e.activated(0), &[0, 1, 2]);
+        assert_eq!(e.activated(1), &[1]);
+        assert_eq!(e.crashed(0), &[] as &[u32]);
+        assert_eq!(e.crashed(1), &[2]);
+        assert_eq!(e.crash_events(), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn v2_headers_delimit_executions() {
+        let spec = "{\"workload\":\"class\",\"class\":\"QR\",\"n\":9,\"seed\":7}";
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            gather_sim::trace::v2_header(spec, 7, "sync"),
+            line(0, Class::QuasiRegular, vec![0], vec![]),
+            gather_sim::trace::v2_header(spec, 8, "async"),
+            line(0, Class::QuasiRegular, vec![1], vec![]),
+        );
+        let corpus = Corpus::parse(&text).expect("parse v2 corpus");
+        assert_eq!(corpus.executions.len(), 2);
+        assert_eq!(corpus.executions[0].label, "QR/n9/seed7/sync");
+        assert_eq!(corpus.executions[1].label, "QR/n9/seed8/async");
+        let h = corpus.executions[0].header.as_ref().expect("header");
+        assert_eq!(h.spec_json, spec, "spec survives verbatim");
+        assert_eq!(h.seed, 7);
+        assert_eq!(h.engine, "sync");
+        assert_eq!(corpus.total_rounds(), 2);
+        assert!(corpus.by_label("QR/n9/seed8/async").is_some());
+    }
+
+    #[test]
+    fn header_spec_extraction_is_string_aware() {
+        // A workload name containing a brace must not confuse the
+        // balanced-object scan.
+        let line = "{\"schema\":\"trace/v2\",\"spec\":{\"workload\":\"we{ird\",\"n\":8},\"seed\":1,\"engine\":\"sync\"}";
+        let h = TraceHeader::parse(line).expect("parse");
+        assert_eq!(h.spec_json, "{\"workload\":\"we{ird\",\"n\":8}");
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected_with_line_numbers() {
+        for (text, needle) in [
+            ("{\"round\":0,\"klass\":\"A\"}\n", "pinned trace schema"),
+            ("{\"round\":0,\"class\":\"Z\"", "unknown class"),
+            (
+                "{\"schema\":\"trace/v1\",\"spec\":{},\"seed\":0,\"engine\":\"sync\"}\n",
+                "unsupported trace schema",
+            ),
+            (
+                "{\"schema\":\"trace/v2\",\"spec\":{},\"seed\":0,\"engine\":\"warp\"}\n",
+                "unknown engine",
+            ),
+            ("not json\n", "pinned trace schema"),
+        ] {
+            let err = Corpus::parse(text).expect_err(text);
+            assert!(err.starts_with("line 1:"), "{err}");
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn non_advancing_rounds_are_rejected() {
+        // The regression the batch-lane recycling audit guards against:
+        // a retired lane's rounds bleeding into the next document.
+        let text = format!(
+            "{}\n{}\n",
+            line(3, Class::Multiple, vec![], vec![]),
+            line(3, Class::Multiple, vec![], vec![]),
+        );
+        let err = Corpus::parse(&text).expect_err("duplicate round");
+        assert!(err.contains("does not advance"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_and_empty_lines() {
+        let mut bad = line(0, Class::Multiple, vec![], vec![]);
+        bad.push_str("junk\n");
+        assert!(Corpus::parse(&bad)
+            .expect_err("trailing junk")
+            .contains("trailing bytes"));
+        assert!(Corpus::parse("\n\n").expect("blank").executions.is_empty());
+        assert!(Corpus::parse("").expect("empty").executions.is_empty());
+    }
+
+    #[test]
+    fn real_engine_output_parses_and_matches_the_trace_aggregates() {
+        use gather_bench::runner::Scenario;
+        use gather_workloads::of_class;
+        let s = Scenario::new(of_class(Class::Asymmetric, 8, 7), 7);
+        let (metrics, jsonl) = s.run_traced();
+        let corpus = Corpus::parse(&jsonl).expect("engine output parses");
+        let e = &corpus.executions[0];
+        assert_eq!(e.rounds() as u64, metrics.rounds);
+        assert_eq!(
+            e.travel.iter().sum::<f64>(),
+            metrics.total_travel,
+            "columnar travel must sum to the engine's aggregate"
+        );
+        assert_eq!(*e.round.last().expect("rounds"), metrics.rounds - 1);
+        assert_eq!(
+            e.to_round_jsonl(),
+            jsonl,
+            "columnar decode + re-encode must round-trip the bytes"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Corpus diffing for regression detection.
+//!
+//! Two corpora — typically a freshly captured one and a committed
+//! baseline — are compared execution by execution, matched on the
+//! corpus label. The regression predicate is directional: *slower*
+//! gathering (more rounds), a *flatter* potential slope, *more*
+//! monotonicity violations, or a lost terminal state count against the
+//! candidate; improvements do not. Tolerances are relative, so a
+//! zero-tolerance diff (the default, and what the `trace-smoke` gate
+//! runs against itself) demands exact equality of the guarded columns.
+
+use crate::analytics::CorpusReport;
+use gather_config::Class;
+use std::fmt::Write;
+
+/// Relative tolerances for [`diff_reports`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiffTolerance {
+    /// Allowed relative round-count growth per execution (`0.1` = 10 %).
+    pub rel_rounds: f64,
+    /// Allowed relative potential-slope decrease per execution.
+    pub rel_slope: f64,
+}
+
+/// One execution's baseline-vs-candidate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionDelta {
+    /// The matched corpus label.
+    pub label: String,
+    /// Baseline and candidate round counts.
+    pub rounds: (u64, u64),
+    /// Baseline and candidate potential slopes.
+    pub slope: (f64, f64),
+    /// Baseline and candidate violation counts.
+    pub violations: (u64, u64),
+    /// Per-class round-count deltas (candidate − baseline), rank order,
+    /// zero deltas omitted.
+    pub phase_deltas: Vec<(Class, i64)>,
+    /// Why this execution counts as regressed (empty = clean).
+    pub regressions: Vec<String>,
+}
+
+/// The full diff between a baseline and a candidate corpus report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-execution comparisons, baseline order.
+    pub deltas: Vec<ExecutionDelta>,
+    /// Baseline labels the candidate lacks (each one a regression).
+    pub missing: Vec<String>,
+    /// Candidate labels the baseline lacks (informational).
+    pub extra: Vec<String>,
+}
+
+impl DiffReport {
+    /// Total regression count across executions and missing labels.
+    pub fn regressions(&self) -> usize {
+        self.missing.len()
+            + self
+                .deltas
+                .iter()
+                .map(|d| d.regressions.len())
+                .sum::<usize>()
+    }
+
+    /// Deterministic NDJSON rendering: one line per execution delta,
+    /// then a summary line.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"rounds\":[{},{}],\"slope\":[{:?},{:?}],\
+                 \"violations\":[{},{}],\"phase_deltas\":[",
+                d.label,
+                d.rounds.0,
+                d.rounds.1,
+                d.slope.0,
+                d.slope.1,
+                d.violations.0,
+                d.violations.1
+            );
+            for (i, (class, delta)) in d.phase_deltas.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[\"{}\",{delta}]", class.short_name());
+            }
+            out.push_str("],\"regressions\":[");
+            for (i, r) in d.regressions.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", gather_serve::json::escape(r));
+            }
+            out.push_str("]}\n");
+        }
+        let _ = writeln!(
+            out,
+            "{{\"diff\":{{\"executions\":{},\"missing\":{:?},\"extra\":{:?},\
+             \"regressions\":{}}}}}",
+            self.deltas.len(),
+            self.missing,
+            self.extra,
+            self.regressions()
+        );
+        out
+    }
+}
+
+/// Compares `candidate` against `baseline` under `tol`.
+pub fn diff_reports(
+    baseline: &CorpusReport,
+    candidate: &CorpusReport,
+    tol: DiffTolerance,
+) -> DiffReport {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.executions {
+        let Some(cand) = candidate.by_label(&base.label) else {
+            missing.push(base.label.clone());
+            continue;
+        };
+        let mut regressions = Vec::new();
+        let allowed_rounds = base.rounds as f64 * (1.0 + tol.rel_rounds);
+        if cand.rounds as f64 > allowed_rounds {
+            regressions.push(format!(
+                "rounds grew {} -> {} (> {:.1} allowed)",
+                base.rounds, cand.rounds, allowed_rounds
+            ));
+        }
+        // A flatter (smaller) slope converges slower. Guard only when the
+        // baseline made progress at all.
+        if base.potential_slope > 0.0 {
+            let floor = base.potential_slope * (1.0 - tol.rel_slope);
+            if cand.potential_slope < floor {
+                regressions.push(format!(
+                    "potential slope flattened {:?} -> {:?} (< {floor:?} allowed)",
+                    base.potential_slope, cand.potential_slope
+                ));
+            }
+        }
+        if cand.violations.len() > base.violations.len() {
+            regressions.push(format!(
+                "monotonicity violations grew {} -> {}",
+                base.violations.len(),
+                cand.violations.len()
+            ));
+        }
+        if cand.illegal_transitions > base.illegal_transitions {
+            regressions.push(format!(
+                "illegal transitions grew {} -> {}",
+                base.illegal_transitions, cand.illegal_transitions
+            ));
+        }
+        if base.gathered && !cand.gathered {
+            regressions.push("execution no longer gathers".to_string());
+        }
+        if base.final_class != cand.final_class {
+            regressions.push(format!(
+                "final class changed {:?} -> {:?}",
+                base.final_class.map(|c| c.short_name()),
+                cand.final_class.map(|c| c.short_name())
+            ));
+        }
+
+        let mut phase_deltas = Vec::new();
+        let mut ranked = Class::all();
+        ranked.sort_by_key(|&c| crate::analytics::class_rank(c));
+        for class in ranked {
+            let at = |r: &crate::analytics::ExecutionReport| {
+                r.phase_rounds
+                    .iter()
+                    .find(|(c, _)| *c == class)
+                    .map(|&(_, n)| n as i64)
+                    .unwrap_or(0)
+            };
+            let delta = at(cand) - at(base);
+            if delta != 0 {
+                phase_deltas.push((class, delta));
+            }
+        }
+
+        deltas.push(ExecutionDelta {
+            label: base.label.clone(),
+            rounds: (base.rounds, cand.rounds),
+            slope: (base.potential_slope, cand.potential_slope),
+            violations: (base.violations.len() as u64, cand.violations.len() as u64),
+            phase_deltas,
+            regressions,
+        });
+    }
+    let extra = candidate
+        .executions
+        .iter()
+        .filter(|c| baseline.by_label(&c.label).is_none())
+        .map(|c| c.label.clone())
+        .collect();
+    DiffReport {
+        deltas,
+        missing,
+        extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::{analyze_corpus, CorpusReport};
+    use crate::corpus::Corpus;
+    use gather_config::Class;
+    use gather_sim::trace::RoundRecord;
+
+    fn report(label_seed: u64, rounds: usize, final_mult: usize) -> CorpusReport {
+        let spec =
+            format!("{{\"workload\":\"class\",\"class\":\"A\",\"n\":8,\"seed\":{label_seed}}}");
+        let mut text = format!(
+            "{}\n",
+            gather_sim::trace::v2_header(&spec, label_seed, "sync")
+        );
+        for i in 0..rounds {
+            let r = RoundRecord {
+                round: i as u64,
+                class: if i + 1 == rounds {
+                    Class::Multiple
+                } else {
+                    Class::Asymmetric
+                },
+                distinct: if i + 1 == rounds { 1 } else { 8 - i.min(4) },
+                max_mult: if i + 1 == rounds { final_mult } else { 1 },
+                activated: vec![0],
+                crashed: vec![],
+                travel: 1.0,
+                classifications: 1,
+                cache_hits: 0,
+                weiszfeld_iters: 0,
+            };
+            text.push_str(&r.to_jsonl());
+            text.push('\n');
+        }
+        analyze_corpus(&Corpus::parse(&text).expect("synthetic corpus"))
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let a = report(7, 6, 8);
+        let diff = diff_reports(&a, &a, DiffTolerance::default());
+        assert_eq!(diff.regressions(), 0);
+        assert!(diff.missing.is_empty() && diff.extra.is_empty());
+        assert!(diff.deltas[0].phase_deltas.is_empty());
+        assert!(diff.to_ndjson().ends_with("\"regressions\":0}}\n"));
+    }
+
+    #[test]
+    fn slower_gathering_is_a_regression_within_tolerance_is_not() {
+        let base = report(7, 6, 8);
+        let slow = report(7, 9, 8);
+        let strict = diff_reports(&base, &slow, DiffTolerance::default());
+        assert!(strict.regressions() >= 1);
+        assert!(strict.deltas[0]
+            .regressions
+            .iter()
+            .any(|r| r.contains("rounds grew 6 -> 9")));
+        assert_eq!(
+            strict.deltas[0].phase_deltas,
+            vec![(Class::Asymmetric, 3)],
+            "the extra rounds are attributed to the A phase"
+        );
+        let lax = diff_reports(
+            &base,
+            &slow,
+            DiffTolerance {
+                rel_rounds: 1.0,
+                rel_slope: 1.0,
+            },
+        );
+        assert_eq!(lax.regressions(), 0, "{:?}", lax.deltas[0].regressions);
+        // Improvements never regress, even at zero tolerance.
+        let fast = diff_reports(&base, &report(7, 5, 8), DiffTolerance::default());
+        assert!(
+            fast.deltas[0]
+                .regressions
+                .iter()
+                .all(|r| !r.contains("rounds")),
+            "{:?}",
+            fast.deltas[0].regressions
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_executions_are_reported() {
+        let base = report(7, 6, 8);
+        let other = report(8, 6, 8);
+        let diff = diff_reports(&base, &other, DiffTolerance::default());
+        assert_eq!(diff.missing, vec!["A/n8/seed7/sync"]);
+        assert_eq!(diff.extra, vec!["A/n8/seed8/sync"]);
+        assert_eq!(diff.regressions(), 1, "a missing execution regresses");
+    }
+
+    #[test]
+    fn diff_lines_are_valid_json() {
+        let diff = diff_reports(&report(7, 6, 8), &report(7, 9, 8), DiffTolerance::default());
+        for line in diff.to_ndjson().lines() {
+            gather_serve::json::Json::parse(line).expect(line);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The monotonicity auditor's two-sided property contract:
+//!
+//! * **soundness on the paper's model** — under the ATOM round model
+//!   (FSYNC and SSYNC schedulers), fault-free and rigid, the wait-free
+//!   algorithm's executions must audit *clean* for every initial class:
+//!   the class rank is a monotone potential (Lemmas 5.3–5.9) and the
+//!   audit has no false positives;
+//! * **sensitivity off the model** — a non-rigid, speed-skewed ASYNC
+//!   execution moves robots on stale snapshots, which can legitimately
+//!   break the potential (e.g. splitting a multiplicity tower). The
+//!   pinned seed below provably regresses the class rank, and the audit
+//!   must flag it — no false negatives on the staleness it exists to
+//!   detect. The seed stays meaningful because engine runs are
+//!   byte-deterministic (DESIGN.md §11).
+
+use gather_config::Class;
+use gather_serve::ScenarioSpec;
+use gather_trace::{analyze_corpus, audit_monotonicity, class_rank, Corpus, SIX_CLASS_MATRIX};
+
+fn document(spec: &ScenarioSpec) -> String {
+    let (_, rounds) = spec.to_scenario().expect("valid spec").run_traced();
+    format!("{}{rounds}", spec.trace_header())
+}
+
+#[test]
+fn fault_free_rigid_executions_audit_clean_for_all_six_classes() {
+    let mut corpus_text = String::new();
+    let mut expected = 0;
+    for &(class, n) in &SIX_CLASS_MATRIX {
+        for scheduler in ["full", "round-robin"] {
+            for motion in ["full", "delta"] {
+                for seed in [1u64, 9] {
+                    corpus_text.push_str(&document(&ScenarioSpec {
+                        class: Some(class),
+                        n,
+                        seed,
+                        scheduler,
+                        motion,
+                        max_rounds: 5_000,
+                        ..ScenarioSpec::default()
+                    }));
+                    expected += 1;
+                }
+            }
+        }
+    }
+    let corpus = Corpus::parse(&corpus_text).expect("every document parses");
+    assert_eq!(corpus.executions.len(), expected);
+    let report = analyze_corpus(&corpus);
+    for exec in &report.executions {
+        assert!(
+            exec.violations.is_empty(),
+            "{} ({} rounds): ATOM-model execution broke the potential: {:?}",
+            exec.label,
+            exec.rounds,
+            exec.violations
+        );
+        assert_eq!(
+            exec.illegal_transitions, 0,
+            "{}: transition graph contains a non-lemma edge: {:?}",
+            exec.label, exec.transitions
+        );
+        assert!(
+            exec.transitions.iter().all(|e| e.legal),
+            "{}: {:?}",
+            exec.label,
+            exec.transitions
+        );
+        assert!(
+            exec.gathered,
+            "{}: fault-free execution must gather within budget",
+            exec.label
+        );
+    }
+}
+
+#[test]
+fn staleness_in_non_rigid_async_executions_is_flagged() {
+    // Pinned by the seed hunt: non-rigid motion + speed skew + crashes
+    // maximises snapshot staleness; this execution demonstrably regresses
+    // from QR back to A mid-run.
+    let spec = ScenarioSpec {
+        class: Some(Class::QuasiRegular),
+        n: 8,
+        seed: 35,
+        faults: 2,
+        scheduler: "async",
+        rigid: false,
+        speed_skew: 0.5,
+        max_rounds: 20_000,
+        ..ScenarioSpec::default()
+    };
+    let corpus = Corpus::parse(&document(&spec)).expect("async document parses");
+    let exec = &corpus.executions[0];
+    assert_eq!(exec.header.as_ref().expect("header").engine, "async");
+
+    let violations = audit_monotonicity(exec);
+    assert!(
+        !violations.is_empty(),
+        "the pinned staleness scenario must produce at least one \
+         non-monotone step for the audit to flag"
+    );
+    let v = &violations[0];
+    assert!(
+        class_rank(v.to) < class_rank(v.from),
+        "flagged step must be a rank regression, got {} -> {}",
+        v.from.short_name(),
+        v.to.short_name()
+    );
+    assert_eq!(
+        (v.from, v.to),
+        (Class::QuasiRegular, Class::Asymmetric),
+        "deterministic engine: the pinned seed's first regression is QR -> A"
+    );
+    assert!(
+        v.prior_round < v.round,
+        "context names the round whose moves caused the regression"
+    );
+    assert!(
+        !v.activated.is_empty(),
+        "the suspect activations are attached to the violation"
+    );
+
+    // The analytics report carries the same audit verbatim, and the
+    // illegal edge shows up in the transition graph too.
+    let report = analyze_corpus(&corpus);
+    assert_eq!(report.executions[0].violations, violations);
+    assert!(report.executions[0].illegal_transitions >= 1);
+    assert!(report.executions[0]
+        .transitions
+        .iter()
+        .any(|e| !e.legal && e.from == Class::QuasiRegular && e.to == Class::Asymmetric));
+}

@@ -10,7 +10,9 @@
 //!   multiplicity labels, the smallest enclosing circle, and the
 //!   classification target;
 //! * [`render_heatmap_sheet`] — multi-panel phase-diagram heatmaps for
-//!   the mega-sweep's parameter-space cartography.
+//!   the mega-sweep's parameter-space cartography;
+//! * [`render_replay`] — terminal (Unicode, fixed-frame) replay of an
+//!   execution for `trace-tool replay`, one frame per position-log row.
 //!
 //! # Example
 //!
@@ -29,11 +31,13 @@
 //! ```
 
 mod heatmap;
+mod replay;
 mod snapshot;
 mod svg;
 mod trajectories;
 
 pub use heatmap::{render_heatmap_sheet, HeatmapPanel, HeatmapStyle};
+pub use replay::{render_replay, ReplayStyle};
 pub use snapshot::{render_configuration, SnapshotStyle};
 pub use trajectories::{render_trajectories, TrajectoryStyle};
 

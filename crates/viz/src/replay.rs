@@ -1,0 +1,320 @@
+//! Terminal replay of an execution: fixed-frame Unicode rendering.
+//!
+//! A replay is a sequence of frames, one per position-log row, each
+//! rendered into the *same* character viewport so robots move across a
+//! stable coordinate system instead of the camera chasing them. The
+//! frame contract (relied on by `trace-tool replay` and documented in
+//! DESIGN.md §18):
+//!
+//! * the viewport is fitted once over **every** log row plus the target,
+//!   so frame `r` and frame `r+1` map world coordinates identically;
+//! * frame `r` shows `log[r]` (`log[0]` is the initial configuration)
+//!   under a banner naming the round, the configuration class observed
+//!   at the *start* of that round (`classes[r]`), and the live count;
+//! * a robot that crashed during round `c` renders as a tombstone `†`
+//!   from frame `c + 1` onward, frozen at its final position;
+//! * cell precedence is live multiplicity (`●` for 1, digits `2`–`9`,
+//!   `#` beyond) over tombstone over the Weber/gathering target `+`.
+
+use gather_geom::Point;
+
+/// Style options for [`render_replay`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayStyle {
+    /// Interior grid width in character cells (border excluded).
+    pub cols: usize,
+    /// Interior grid height in character cells (border excluded).
+    pub rows: usize,
+}
+
+impl Default for ReplayStyle {
+    fn default() -> Self {
+        ReplayStyle { cols: 60, rows: 20 }
+    }
+}
+
+/// The fixed character-grid camera shared by every frame of a replay.
+struct CharViewport {
+    min_x: f64,
+    min_y: f64,
+    span_x: f64,
+    span_y: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl CharViewport {
+    /// Fits the viewport over `points` with a small margin; degenerate
+    /// extents (a single point, a vertical line) are widened to a unit
+    /// span so the mapping stays well-defined.
+    fn fit(points: impl Iterator<Item = Point>, cols: usize, rows: usize) -> CharViewport {
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if !min_x.is_finite() {
+            (min_x, min_y, max_x, max_y) = (0.0, 0.0, 1.0, 1.0);
+        }
+        let pad_x = ((max_x - min_x) * 0.05).max(0.5);
+        let pad_y = ((max_y - min_y) * 0.05).max(0.5);
+        min_x -= pad_x;
+        min_y -= pad_y;
+        CharViewport {
+            min_x,
+            min_y,
+            span_x: max_x + pad_x - min_x,
+            span_y: max_y + pad_y - min_y,
+            cols,
+            rows,
+        }
+    }
+
+    /// Maps a world point to a `(col, row)` cell; row 0 is the top.
+    fn map(&self, p: Point) -> (usize, usize) {
+        let fx = (p.x - self.min_x) / self.span_x;
+        let fy = (p.y - self.min_y) / self.span_y;
+        let col = (fx * (self.cols - 1) as f64).round() as usize;
+        let row = ((1.0 - fy) * (self.rows - 1) as f64).round() as usize;
+        (col.min(self.cols - 1), row.min(self.rows - 1))
+    }
+}
+
+/// The character for a live-robot cell holding `count` robots.
+fn multiplicity_char(count: usize) -> char {
+    match count {
+        1 => '●',
+        2..=9 => (b'0' + count as u8) as char,
+        _ => '#',
+    }
+}
+
+/// Renders an execution into terminal frames (one `String` per log row).
+///
+/// * `log[r][i]` is robot `i`'s position after round `r` — the engine's
+///   `position_log()` (see `Scenario::run_traced_positions`);
+/// * `crashed[k] = (robot, round)` marks robot `robot` as crashed during
+///   round `round`;
+/// * `classes[r]` is the class banner for frame `r` (typically the trace
+///   record for round `r`); the final frame, which has no started round,
+///   is labelled `final`;
+/// * `target`, when present, draws the gathering/Weber point as `+`.
+///
+/// Every frame has identical dimensions: one banner line plus a
+/// `rows + 2` by `cols + 2` box — downstream pagers can seek by a fixed
+/// stride and diffing two replays aligns line-for-line.
+///
+/// # Panics
+///
+/// Panics if the log rows have inconsistent robot counts.
+pub fn render_replay(
+    log: &[Vec<Point>],
+    crashed: &[(usize, u64)],
+    classes: &[&str],
+    target: Option<Point>,
+    style: ReplayStyle,
+) -> Vec<String> {
+    let n = log.first().map(|row| row.len()).unwrap_or(0);
+    for row in log {
+        assert_eq!(row.len(), n, "inconsistent robot count in position log");
+    }
+    let cols = style.cols.max(8);
+    let rows = style.rows.max(4);
+    let vp = CharViewport::fit(log.iter().flatten().copied().chain(target), cols, rows);
+    let last = log.len().saturating_sub(1);
+
+    log.iter()
+        .enumerate()
+        .map(|(r, positions)| {
+            // A robot crashed during round c is live through frame c (its
+            // last own move landed there) and a tombstone from c + 1 on.
+            let dead = |robot: usize| {
+                crashed
+                    .iter()
+                    .any(|&(who, when)| who == robot && (when as usize) < r)
+            };
+            let mut live = vec![0usize; cols * rows];
+            let mut tombs = vec![false; cols * rows];
+            for (robot, &p) in positions.iter().enumerate() {
+                let (c, w) = vp.map(p);
+                if dead(robot) {
+                    tombs[w * cols + c] = true;
+                } else {
+                    live[w * cols + c] += 1;
+                }
+            }
+            let target_cell = target.map(|t| vp.map(t));
+
+            let alive = (0..n).filter(|&i| !dead(i)).count();
+            let banner = if r < classes.len() {
+                format!(
+                    "round {r}/{last} · class {} · alive {alive}/{n}",
+                    classes[r]
+                )
+            } else {
+                format!("round {r}/{last} · final · alive {alive}/{n}")
+            };
+
+            let mut frame = String::with_capacity((cols + 3) * (rows + 3) + banner.len());
+            frame.push_str(&banner);
+            frame.push('\n');
+            frame.push('┌');
+            frame.extend(std::iter::repeat_n('─', cols));
+            frame.push_str("┐\n");
+            for w in 0..rows {
+                frame.push('│');
+                for c in 0..cols {
+                    let count = live[w * cols + c];
+                    frame.push(if count > 0 {
+                        multiplicity_char(count)
+                    } else if tombs[w * cols + c] {
+                        '†'
+                    } else if target_cell == Some((c, w)) {
+                        '+'
+                    } else {
+                        ' '
+                    });
+                }
+                frame.push_str("│\n");
+            }
+            frame.push('└');
+            frame.extend(std::iter::repeat_n('─', cols));
+            frame.push('┘');
+            frame
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_log() -> Vec<Vec<Point>> {
+        vec![
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(2.0, 3.0),
+            ],
+            vec![
+                Point::new(1.0, 0.5),
+                Point::new(4.0, 0.0),
+                Point::new(2.0, 2.0),
+            ],
+            vec![
+                Point::new(2.0, 1.0),
+                Point::new(4.0, 0.0),
+                Point::new(2.0, 1.0),
+            ],
+        ]
+    }
+
+    #[test]
+    fn one_frame_per_log_row_with_fixed_dimensions() {
+        let style = ReplayStyle { cols: 32, rows: 10 };
+        let frames = render_replay(&demo_log(), &[], &["A", "QR"], None, style);
+        assert_eq!(frames.len(), 3);
+        for frame in &frames {
+            let lines: Vec<&str> = frame.lines().collect();
+            assert_eq!(lines.len(), 1 + 10 + 2, "banner + box rows");
+            for line in &lines[1..] {
+                assert_eq!(line.chars().count(), 32 + 2, "fixed width: {line}");
+            }
+        }
+        assert!(frames[0].starts_with("round 0/2 · class A · alive 3/3"));
+        assert!(frames[1].starts_with("round 1/2 · class QR · alive 3/3"));
+        assert!(frames[2].starts_with("round 2/2 · final · alive 3/3"));
+    }
+
+    #[test]
+    fn tombstone_appears_the_frame_after_the_crash_round() {
+        // Robot 1 crashes during round 0: live in frame 0, † from frame 1.
+        let frames = render_replay(
+            &demo_log(),
+            &[(1, 0)],
+            &["A", "A"],
+            None,
+            ReplayStyle::default(),
+        );
+        assert!(!frames[0].contains('†'));
+        assert!(frames[1].contains('†'));
+        assert!(frames[2].contains('†'));
+        assert!(frames[1].starts_with("round 1/2 · class A · alive 2/3"));
+    }
+
+    #[test]
+    fn multiplicities_render_as_digits_and_the_target_as_a_plus() {
+        let frames = render_replay(
+            &demo_log(),
+            &[],
+            &[],
+            Some(Point::new(0.0, 3.0)),
+            ReplayStyle::default(),
+        );
+        // Robots 0 and 2 coincide at (2, 1) in the final frame.
+        assert!(frames[2].contains('2'), "multiplicity digit: {}", frames[2]);
+        for frame in &frames {
+            assert!(frame.contains('+'), "target marker in every frame");
+        }
+    }
+
+    #[test]
+    fn live_robots_cover_tombstones_and_the_target() {
+        // Crashed robot 0 and live robot 1 share a cell; the live robot
+        // wins. The target under robot 1 is hidden too.
+        let log = vec![
+            vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)],
+            vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)],
+        ];
+        let frames = render_replay(
+            &log,
+            &[(0, 0)],
+            &["M"],
+            Some(Point::new(0.0, 0.0)),
+            ReplayStyle::default(),
+        );
+        assert!(!frames[1].contains('†'));
+        assert!(!frames[1].contains('+'));
+        assert!(frames[1].contains('●'));
+    }
+
+    #[test]
+    fn frames_share_one_viewport_across_the_whole_log() {
+        // A stationary robot must occupy the same cell in every frame even
+        // though the other robot's travel dominates the extent.
+        let log = vec![
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+            vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)],
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+        ];
+        let style = ReplayStyle { cols: 40, rows: 8 };
+        let frames = render_replay(&log, &[], &[], None, style);
+        let stationary_cell = |frame: &str| {
+            frame
+                .lines()
+                .skip(2)
+                .position(|l| l.contains('●') || l.contains('2'))
+        };
+        let first = stationary_cell(&frames[0]);
+        assert!(first.is_some());
+        assert_eq!(first, stationary_cell(&frames[1]));
+        assert_eq!(first, stationary_cell(&frames[2]));
+    }
+
+    #[test]
+    fn empty_log_renders_no_frames() {
+        let frames = render_replay(&[], &[], &[], None, ReplayStyle::default());
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn degenerate_single_point_log_does_not_panic() {
+        let log = vec![vec![Point::new(3.0, 3.0)]];
+        let frames = render_replay(&log, &[], &[], None, ReplayStyle::default());
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].contains('●'));
+    }
+}

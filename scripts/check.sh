@@ -114,4 +114,15 @@ echo "== serve-cache-smoke (event loop + deterministic result cache) =="
 # unavailable — non-Linux hosts or GATHER_NO_EPOLL=1.
 cargo run --release --offline -p gather-serve --bin b8_service -- --cache-smoke
 
+echo "== trace-smoke (corpus capture + analytics vs committed baseline) =="
+# The trace-corpus gate (DESIGN.md §18): captures the standard six-class
+# corpus twice over POST /v1/trace against an in-process service (must be
+# byte-deterministic, with the deprecated GET twin serving identical
+# bytes), audits every execution clean (zero monotonicity violations,
+# zero non-lemma transition edges, all gather), asserts the analyzer's
+# NDJSON byte-identical to the committed baseline, and runs a
+# zero-tolerance self-diff.
+cargo run --release --offline -p gather-trace --bin trace-tool -- \
+  smoke --baseline results/trace_analytics.json
+
 echo "== check.sh: all gates passed =="
